@@ -1,0 +1,35 @@
+//! Native BFS benchmarks: the frontier data structures of Figure 4,
+//! measured on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mic_eval::bfs::{
+    bfs, direction::hybrid_bfs, direction::Hybrid, parallel_bfs, seq::table1_source, BfsVariant,
+};
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::runtime::ThreadPool;
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let g = build(PaperGraph::Hood, Scale::Fraction(32));
+    let src = table1_source(&g);
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(20);
+
+    group.bench_function("sequential", |b| b.iter(|| black_box(bfs(&g, src).num_levels)));
+    group.bench_function("direction_optimizing", |b| {
+        b.iter(|| black_box(hybrid_bfs(&g, src, Hybrid::default()).num_levels))
+    });
+
+    for variant in BfsVariant::paper_set() {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", variant.name()),
+            &variant,
+            |b, &variant| b.iter(|| black_box(parallel_bfs(&pool, &g, src, variant).num_levels)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Native coloring benchmarks: sequential greedy vs parallel speculative
+//! under each runtime model (Figure 1's kernel, measured on this host).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mic_eval::coloring::{iterative_coloring, seq::greedy_color};
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::runtime::{Partitioner, RuntimeModel, Schedule, ThreadPool};
+use std::hint::black_box;
+
+fn bench_coloring(c: &mut Criterion) {
+    let g = build(PaperGraph::Hood, Scale::Fraction(32));
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("coloring");
+    group.sample_size(20);
+
+    group.bench_function("seq_greedy", |b| {
+        b.iter(|| black_box(greedy_color(black_box(&g)).num_colors))
+    });
+
+    for (name, model) in [
+        ("openmp_dynamic100", RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 100 })),
+        ("openmp_static", RuntimeModel::OpenMp(Schedule::Static { chunk: None })),
+        ("openmp_guided", RuntimeModel::OpenMp(Schedule::Guided { min_chunk: 100 })),
+        ("cilk_holder100", RuntimeModel::CilkHolder { grain: 100 }),
+        ("tbb_simple40", RuntimeModel::Tbb(Partitioner::Simple { grain: 40 })),
+        ("tbb_auto", RuntimeModel::Tbb(Partitioner::Auto)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("parallel", name), &model, |b, &model| {
+            b.iter(|| black_box(iterative_coloring(&pool, &g, model).num_colors))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Graph-construction benchmarks: generators, CSR build, permutation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mic_eval::graph::generators::{erdos_renyi_gnm, rgg3d_with_avg_degree, rmat, Box3, RmatProbs};
+use mic_eval::graph::ordering::{apply, Ordering};
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    group.bench_function("rgg3d_20k", |b| {
+        b.iter(|| black_box(rgg3d_with_avg_degree(20_000, Box3::new(8.0, 1.0, 1.0), 30.0, 1)))
+    });
+    group.bench_function("rmat_s12", |b| {
+        b.iter(|| black_box(rmat(12, 16, RmatProbs::graph500(), 1)))
+    });
+    group.bench_function("erdos_renyi_20k", |b| {
+        b.iter(|| black_box(erdos_renyi_gnm(20_000, 200_000, 1)))
+    });
+    group.bench_function("suite_hood_frac64", |b| {
+        b.iter(|| black_box(build(PaperGraph::Hood, Scale::Fraction(64))))
+    });
+
+    let g = build(PaperGraph::Hood, Scale::Fraction(64));
+    group.bench_function("permute_shuffle", |b| {
+        b.iter(|| black_box(apply(&g, Ordering::Random { seed: 2 }).0.num_edges()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

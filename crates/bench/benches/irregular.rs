@@ -1,0 +1,39 @@
+//! Native irregular-kernel benchmarks: the compute-to-communication knob
+//! of Figure 3, measured on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::irregular::kernel::{irregular_inplace, irregular_jacobi};
+use mic_eval::runtime::{RuntimeModel, Schedule, ThreadPool};
+use std::hint::black_box;
+
+fn bench_irregular(c: &mut Criterion) {
+    let g = build(PaperGraph::Auto, Scale::Fraction(32));
+    let n = g.num_vertices();
+    let pool = ThreadPool::new(4);
+    let model = RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 100 });
+    let mut group = c.benchmark_group("irregular");
+    group.sample_size(15);
+
+    for iter in [1usize, 3, 10] {
+        group.bench_with_input(BenchmarkId::new("inplace", iter), &iter, |b, &iter| {
+            b.iter(|| {
+                let mut state: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
+                irregular_inplace(&pool, &g, &mut state, iter, model);
+                black_box(state[0])
+            })
+        });
+    }
+    group.bench_function("jacobi_iter3", |b| {
+        let state: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
+        let mut out = vec![0.0; n];
+        b.iter(|| {
+            irregular_jacobi(&pool, &g, &state, &mut out, 3, model);
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_irregular);
+criterion_main!(benches);

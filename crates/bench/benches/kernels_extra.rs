@@ -1,0 +1,67 @@
+//! Criterion benches for the extension kernels: SSSP, betweenness,
+//! components, triangles, MIS, k-core, prefix scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mic_eval::bfs::centrality::{parallel_betweenness, Sources};
+use mic_eval::bfs::components::components_parallel;
+use mic_eval::bfs::kcore::kcore;
+use mic_eval::bfs::persistent::persistent_bfs;
+use mic_eval::bfs::sssp::{default_delta, delta_stepping};
+use mic_eval::coloring::mis::luby_mis;
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::graph::weights::EdgeWeights;
+use mic_eval::irregular::triangles::triangles;
+use mic_eval::runtime::{exclusive_scan, RuntimeModel, Schedule, ThreadPool};
+use std::hint::black_box;
+
+fn bench_extras(c: &mut Criterion) {
+    let g = build(PaperGraph::Hood, Scale::Fraction(64));
+    let pool = ThreadPool::new(4);
+    let model = RuntimeModel::OpenMp(Schedule::dynamic100());
+    let mut group = c.benchmark_group("kernels_extra");
+    group.sample_size(10);
+
+    let w = EdgeWeights::random_symmetric(&g, 0.1, 2.0, 3);
+    let delta = default_delta(&g, &w);
+    group.bench_function("delta_stepping", |b| {
+        b.iter(|| black_box(delta_stepping(&pool, &g, &w, 0, delta, model).phases))
+    });
+
+    let sample: Vec<u32> = (0..g.num_vertices() as u32).step_by(200).collect();
+    group.bench_function("betweenness_sampled", |b| {
+        b.iter(|| {
+            black_box(
+                parallel_betweenness(&pool, &g, &Sources::Sample(sample.clone()), model)[0],
+            )
+        })
+    });
+
+    group.bench_function("components", |b| {
+        b.iter(|| black_box(components_parallel(&pool, &g, model).count))
+    });
+
+    group.bench_function("triangles", |b| b.iter(|| black_box(triangles(&pool, &g, model))));
+
+    group.bench_function("luby_mis", |b| {
+        b.iter(|| black_box(luby_mis(&pool, &g, model, 7).rounds))
+    });
+
+    group.bench_function("kcore", |b| b.iter(|| black_box(kcore(&g).degeneracy)));
+
+    group.bench_function("persistent_bfs", |b| {
+        let src = mic_eval::bfs::seq::table1_source(&g);
+        b.iter(|| black_box(persistent_bfs(&pool, &g, src, 32, 16, true).num_levels))
+    });
+
+    group.bench_function("exclusive_scan_1m", |b| {
+        let mut v: Vec<u64> = (0..1_000_000u64).map(|i| i % 7).collect();
+        b.iter(|| {
+            black_box(exclusive_scan(&pool, &mut v));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extras);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Data-structure microbenchmarks: the paper's block-accessed queue
+//! against the Leiserson–Schardl bag and a plain vector, plus the block
+//! size tradeoff ("not so small so that we do not use atomics too often").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mic_eval::bfs::queue::Bag;
+use mic_eval::runtime::{BlockQueue, ThreadPool};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn bench_queues(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("queues");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(20);
+
+    for block in [1usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("block_queue_push", block), &block, |b, &bl| {
+            b.iter(|| {
+                let q: BlockQueue<u32> = BlockQueue::with_writers(N, bl, 4, u32::MAX);
+                let qr = &q;
+                pool.run(|ctx| {
+                    let mut w = qr.writer();
+                    let mut i = ctx.id;
+                    while i < N {
+                        w.push(i as u32);
+                        i += ctx.num_threads;
+                    }
+                });
+                black_box(q.raw_len())
+            })
+        });
+    }
+
+    group.bench_function("bag_insert_union", |b| {
+        b.iter(|| {
+            let mut bags: Vec<Bag<u32>> = (0..4).map(|_| Bag::new(64)).collect();
+            for i in 0..N {
+                bags[i % 4].insert(i as u32);
+            }
+            let mut total = Bag::new(64);
+            for bag in bags {
+                total.union(bag);
+            }
+            black_box(total.len())
+        })
+    });
+
+    group.bench_function("vec_push_baseline", |b| {
+        b.iter(|| {
+            let mut v = Vec::with_capacity(N);
+            for i in 0..N {
+                v.push(i as u32);
+            }
+            black_box(v.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

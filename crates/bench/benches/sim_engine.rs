@@ -1,0 +1,28 @@
+//! Simulator throughput: how fast the fluid discrete-event engine chews
+//! through a figure-sized sweep (this bounds how long `--bin all` takes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mic_eval::coloring::instrument::instrument;
+use mic_eval::graph::stats::LocalityWindows;
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::sim::{simulate, Machine, Policy};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let g = build(PaperGraph::Hood, Scale::Fraction(8));
+    let w = instrument(&g, LocalityWindows::default());
+    let machine = Machine::knf();
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+
+    for t in [1usize, 31, 121] {
+        let regions = w.regions(Policy::OmpDynamic { chunk: 100 });
+        group.bench_with_input(BenchmarkId::new("coloring_region", t), &t, |b, &t| {
+            b.iter(|| black_box(simulate(&machine, t, &regions).cycles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

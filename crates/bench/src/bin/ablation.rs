@@ -1,0 +1,24 @@
+//! Ablation benches for the design choices the paper discusses: block
+//! size, chunk size, locked vs relaxed queues, vertex ordering.
+//!
+//! Usage: `ablation [--scale K]`.
+
+use mic_eval::experiments::ablation;
+use mic_eval::graph::suite::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) => {
+            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
+            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+        }
+        None => Scale::Full,
+    };
+    println!("{}", ablation::block_size_sweep(scale).to_ascii());
+    println!("{}", ablation::chunk_size_sweep(scale).to_ascii());
+    println!("{}", ablation::locked_vs_relaxed(scale).to_ascii());
+    println!("{}", ablation::ordering_ablation(scale).to_ascii());
+    println!("{}", ablation::placement_ablation(scale).to_ascii());
+    println!("{}", ablation::fork_vs_persistent(scale).to_ascii());
+}

@@ -1,0 +1,47 @@
+//! Regenerate every exhibit of the paper in one run.
+//!
+//! Usage: `all [--scale K]` — the EXPERIMENTS.md record uses the default
+//! (full paper-size) scale.
+
+use mic_eval::experiments::{ablation, fig1, fig2, fig3, fig4, table1};
+use mic_eval::graph::suite::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) => {
+            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
+            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+        }
+        None => Scale::Full,
+    };
+
+    eprintln!("== Table I ==");
+    println!("{}", table1::render(&table1::table1(scale)));
+
+    for p in [fig1::Panel::OpenMp, fig1::Panel::CilkPlus, fig1::Panel::Tbb] {
+        eprintln!("== Figure 1 {p:?} ==");
+        println!("{}", fig1::fig1(p, scale).to_ascii());
+    }
+
+    eprintln!("== Figure 2 ==");
+    println!("{}", fig2::fig2(scale).to_ascii());
+
+    for p in [fig3::Panel::OpenMp, fig3::Panel::CilkPlus, fig3::Panel::Tbb] {
+        eprintln!("== Figure 3 {p:?} ==");
+        println!("{}", fig3::fig3(p, scale).to_ascii());
+    }
+
+    for p in [fig4::Panel::Pwtk, fig4::Panel::Inline1, fig4::Panel::AllKnf, fig4::Panel::AllCpu] {
+        eprintln!("== Figure 4 {p:?} ==");
+        println!("{}", fig4::fig4(p, scale).to_ascii());
+    }
+
+    eprintln!("== Ablations ==");
+    println!("{}", ablation::block_size_sweep(scale).to_ascii());
+    println!("{}", ablation::chunk_size_sweep(scale).to_ascii());
+    println!("{}", ablation::locked_vs_relaxed(scale).to_ascii());
+    println!("{}", ablation::ordering_ablation(scale).to_ascii());
+    println!("{}", ablation::placement_ablation(scale).to_ascii());
+    println!("{}", ablation::fork_vs_persistent(scale).to_ascii());
+}

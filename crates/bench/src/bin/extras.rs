@@ -1,0 +1,27 @@
+//! Exhibits beyond the paper: Jones–Plassmann vs speculation, and the
+//! Δ-stepping Δ sweep.
+//!
+//! Usage: `extras [--scale K] [--threads N]`.
+
+use mic_eval::experiments::extras;
+use mic_eval::graph::suite::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) => {
+            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
+            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+        }
+        None => Scale::Fraction(16),
+    };
+    let threads: usize = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    println!("{}", extras::jp_vs_speculation(scale, threads).to_ascii());
+    println!("{}", extras::coloring_quality(scale, threads).to_ascii());
+    println!("{}", extras::delta_sweep(scale, threads).to_ascii());
+}

@@ -1,0 +1,50 @@
+//! Native wall-clock scaling of the three kernels on THIS host.
+//!
+//! On a many-core machine this is the paper's measurement methodology run
+//! for real; the simulated figures exist because the original 124-thread
+//! card does not. Usage: `native [--scale K] [--max-threads N]`.
+
+use mic_eval::bfs::BfsVariant;
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::native::{native_scaling, run_bfs, run_coloring, run_irregular};
+use mic_eval::runtime::{RuntimeModel, Schedule};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) => {
+            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
+            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+        }
+        None => Scale::Fraction(8),
+    };
+    let max_t: usize = args
+        .iter()
+        .position(|a| a == "--max-threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let threads: Vec<usize> = (1..=max_t).collect();
+
+    let g = build(PaperGraph::Hood, scale);
+    println!("hood at {scale:?}: {} vertices, {} edges\n", g.num_vertices(), g.num_edges());
+    let model = RuntimeModel::OpenMp(Schedule::dynamic100());
+
+    let mut fig = native_scaling(&threads, 3, |pool| run_coloring(pool, &g, model).elapsed);
+    fig.title = "native coloring (OpenMP-dynamic/100)".into();
+    println!("{}", fig.to_ascii());
+
+    let src = mic_eval::bfs::seq::table1_source(&g);
+    let variant = BfsVariant::OmpBlock {
+        sched: Schedule::Dynamic { chunk: 32 },
+        block: 32,
+        relaxed: true,
+    };
+    let mut fig = native_scaling(&threads, 3, |pool| run_bfs(pool, &g, src, variant).elapsed);
+    fig.title = "native BFS (OpenMP-Block-relaxed)".into();
+    println!("{}", fig.to_ascii());
+
+    let mut fig = native_scaling(&threads, 3, |pool| run_irregular(pool, &g, 3, model).elapsed);
+    fig.title = "native irregular kernel (iter = 3)".into();
+    println!("{}", fig.to_ascii());
+}

@@ -1,0 +1,69 @@
+//! What-if projection: the paper's kernels on the *commercial* Knights
+//! Corner design its conclusion anticipates ("more than 50 cores"), and
+//! the effect of thread placement (scatter vs compact).
+//!
+//! Usage: `whatif [--scale K]`.
+
+use mic_eval::coloring::instrument::instrument as color_instr;
+use mic_eval::graph::ordering::{apply, Ordering};
+use mic_eval::graph::stats::LocalityWindows;
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::irregular::instrument::instrument as irr_instr;
+use mic_eval::sim::{simulate, simulate_region, Machine, Placement, Policy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) => {
+            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
+            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+        }
+        None => Scale::Fraction(4),
+    };
+    let g = build(PaperGraph::Hood, scale);
+    let (shuffled, _) = apply(&g, Ordering::Random { seed: 5 });
+    let win = LocalityWindows::default();
+    let policy = Policy::OmpDynamic { chunk: 100 };
+
+    let knf = Machine::knf();
+    let knc = Machine::knc_projection();
+
+    println!("== KNF prototype vs projected KNC (hood at {scale:?}) ==\n");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "kernel",
+        format!("KNF@{}", knf.hw_threads() - 3),
+        format!("KNC@{}", knc.hw_threads() - 3)
+    );
+    let speedup = |m: &Machine, regions: &[mic_eval::sim::Region]| {
+        simulate(m, 1, regions).cycles / simulate(m, m.hw_threads() - 3, regions).cycles
+    };
+    let nat = color_instr(&g, win).regions(policy);
+    let shf = color_instr(&shuffled, win).regions(policy);
+    println!("{:<28} {:>14.1} {:>14.1}", "coloring (natural)", speedup(&knf, &nat), speedup(&knc, &nat));
+    println!("{:<28} {:>14.1} {:>14.1}", "coloring (shuffled)", speedup(&knf, &shf), speedup(&knc, &shf));
+    for iter in [1usize, 10] {
+        let r = [irr_instr(&g, win, iter).region(policy)];
+        println!(
+            "{:<28} {:>14.1} {:>14.1}",
+            format!("irregular iter={iter}"),
+            speedup(&knf, &r),
+            speedup(&knc, &r)
+        );
+    }
+
+    println!("\n== Thread placement on KNF: scatter vs compact ==\n");
+    let mut compact = Machine::knf();
+    compact.placement = Placement::Compact;
+    let r = irr_instr(&g, win, 1).region(policy);
+    println!("{:>8} {:>10} {:>10}", "threads", "scatter", "compact");
+    let base_s = simulate_region(&knf, 1, &r);
+    let base_c = simulate_region(&compact, 1, &r);
+    for t in [4usize, 8, 16, 31, 62, 124] {
+        println!(
+            "{t:>8} {:>10.1} {:>10.1}",
+            base_s / simulate_region(&knf, t, &r),
+            base_c / simulate_region(&compact, t, &r)
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Explain the figures: for each headline configuration, print where the
+//! simulated machine's time goes (the binding resource), using the
+//! engine's bottleneck telemetry. This is the one-screen answer to "why
+//! does this curve plateau where it does".
+//!
+//! Usage: `why [--scale K]` (default 1/4 scale).
+
+use mic_eval::coloring::instrument::instrument as color_instr;
+use mic_eval::graph::ordering::{apply, Ordering};
+use mic_eval::graph::stats::LocalityWindows;
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::irregular::instrument::instrument as irr_instr;
+use mic_eval::sim::{simulate_region_telemetry, Bottleneck, Machine, Policy, Region};
+
+fn show(name: &str, m: &Machine, t: usize, regions: &[Region]) {
+    // Aggregate telemetry over the regions, weighted by their cycles.
+    let mut total = 0.0;
+    let mut agg = Bottleneck::default();
+    for r in regions {
+        let (c, b) = simulate_region_telemetry(m, t, r);
+        total += c;
+        agg.latency += b.latency * c;
+        agg.issue += b.issue * c;
+        agg.fpu += b.fpu * c;
+        agg.l2_bandwidth += b.l2_bandwidth * c;
+        agg.dram_bandwidth += b.dram_bandwidth * c;
+        agg.atomics += b.atomics * c;
+        agg.background += b.background * c;
+    }
+    for f in [
+        &mut agg.latency,
+        &mut agg.issue,
+        &mut agg.fpu,
+        &mut agg.l2_bandwidth,
+        &mut agg.dram_bandwidth,
+        &mut agg.atomics,
+        &mut agg.background,
+    ] {
+        *f /= total;
+    }
+    println!(
+        "{name:<38} {:<14} lat {:>4.0}% iss {:>4.0}% fpu {:>4.0}% l2bw {:>4.0}% dram {:>4.0}% atom {:>4.0}% bg {:>4.0}%",
+        agg.dominant(),
+        agg.latency * 100.0,
+        agg.issue * 100.0,
+        agg.fpu * 100.0,
+        agg.l2_bandwidth * 100.0,
+        agg.dram_bandwidth * 100.0,
+        agg.atomics * 100.0,
+        agg.background * 100.0,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.iter().position(|a| a == "--scale") {
+        Some(i) => {
+            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
+            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+        }
+        None => Scale::Fraction(4),
+    };
+    let m = Machine::knf();
+    let t = 121;
+    let win = LocalityWindows::default();
+    let g = build(PaperGraph::Hood, scale);
+    let (shuffled, _) = apply(&g, Ordering::Random { seed: 5 });
+
+    println!("binding resource at {t} threads on KNF (hood at {scale:?}):\n");
+    show(
+        "Fig1a coloring natural, OMP-dyn/100",
+        &m,
+        t,
+        &color_instr(&g, win).regions(Policy::OmpDynamic { chunk: 100 }),
+    );
+    show(
+        "Fig1b coloring natural, Cilk/100",
+        &m,
+        t,
+        &color_instr(&g, win).regions(Policy::Cilk { grain: 100 }),
+    );
+    show(
+        "Fig1c coloring natural, TBB-simple/40",
+        &m,
+        t,
+        &color_instr(&g, win).regions(Policy::TbbSimple { grain: 40 }),
+    );
+    show(
+        "Fig2  coloring shuffled, OMP-dyn/100",
+        &m,
+        t,
+        &color_instr(&shuffled, win).regions(Policy::OmpDynamic { chunk: 100 }),
+    );
+    for iter in [1usize, 10] {
+        show(
+            &format!("Fig3  irregular iter={iter}, OMP-dyn/100"),
+            &m,
+            t,
+            &[irr_instr(&g, win, iter).region(Policy::OmpDynamic { chunk: 100 })],
+        );
+    }
+    let src = mic_eval::bfs::seq::table1_source(&g);
+    let bw = mic_eval::bfs::instrument::instrument(
+        &g,
+        src,
+        win,
+        mic_eval::bfs::instrument::SimVariant::Block { block: 32, relaxed: true },
+    );
+    show(
+        "Fig4  BFS block-relaxed, OMP-dyn/32",
+        &m,
+        t,
+        &bw.regions(Policy::OmpDynamic { chunk: 32 }),
+    );
+}

@@ -1,0 +1,1 @@
+//! Experiment harness binaries live in src/bin; see mic-eval for the library.

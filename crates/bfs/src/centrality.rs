@@ -1,0 +1,272 @@
+//! Betweenness centrality (Brandes' algorithm) — the "computationally
+//! expensive centrality measure" the paper cites as the archetypal
+//! BFS-based kernel.
+//!
+//! One Brandes pass per source: a BFS that counts shortest paths (σ), then
+//! a reverse level-order accumulation of dependencies (δ). The exposed
+//! parallelism here is *across sources* — each pass is an independent BFS,
+//! so the runtime models parallelize over sources with per-worker
+//! accumulators, the coarse-grained strategy that complements the paper's
+//! fine-grained within-level BFS parallelism.
+
+use crate::UNREACHED;
+use mic_graph::{Csr, VertexId};
+use mic_runtime::{PerWorker, RuntimeModel, ThreadPool};
+
+/// Which sources to run Brandes passes from.
+#[derive(Clone, Debug)]
+pub enum Sources {
+    /// Every vertex: exact betweenness. O(|V| |E|) — small graphs only.
+    All,
+    /// The given sample (approximate betweenness, scaled up by |V|/k).
+    Sample(Vec<VertexId>),
+}
+
+impl Sources {
+    fn resolve(&self, n: usize) -> Vec<VertexId> {
+        match self {
+            Sources::All => (0..n as VertexId).collect(),
+            Sources::Sample(s) => s.clone(),
+        }
+    }
+
+    fn scale(&self, n: usize) -> f64 {
+        match self {
+            Sources::All => 1.0,
+            Sources::Sample(s) => {
+                if s.is_empty() {
+                    1.0
+                } else {
+                    n as f64 / s.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// One Brandes pass from `s`, adding dependencies into `bc`.
+/// `sigma`, `dist`, `delta` and `order` are caller-provided scratch.
+fn brandes_pass(
+    g: &Csr,
+    s: VertexId,
+    bc: &mut [f64],
+    sigma: &mut [f64],
+    dist: &mut [u32],
+    delta: &mut [f64],
+    order: &mut Vec<VertexId>,
+) {
+    let n = g.num_vertices();
+    sigma[..n].fill(0.0);
+    dist[..n].fill(UNREACHED);
+    delta[..n].fill(0.0);
+    order.clear();
+
+    sigma[s as usize] = 1.0;
+    dist[s as usize] = 0;
+    order.push(s);
+    // BFS in order; `order` doubles as the FIFO (stable index walk).
+    let mut head = 0usize;
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHED {
+                dist[w as usize] = dv + 1;
+                order.push(w);
+            }
+            if dist[w as usize] == dv + 1 {
+                sigma[w as usize] += sigma[v as usize];
+            }
+        }
+    }
+    // Reverse accumulation.
+    for &w in order.iter().rev() {
+        let dw = dist[w as usize];
+        if dw == 0 {
+            continue;
+        }
+        let coeff = (1.0 + delta[w as usize]) / sigma[w as usize];
+        for &v in g.neighbors(w) {
+            if dist[v as usize] + 1 == dw {
+                delta[v as usize] += sigma[v as usize] * coeff;
+            }
+        }
+        if w != s {
+            bc[w as usize] += delta[w as usize];
+        }
+    }
+}
+
+/// Sequential betweenness. For undirected graphs each pair is counted from
+/// both endpoints, so scores are halved, matching the standard definition.
+///
+/// ```
+/// use mic_bfs::centrality::{betweenness, Sources};
+/// use mic_graph::generators::path;
+/// // On a path, vertex i carries i * (n - 1 - i) pairs.
+/// let bc = betweenness(&path(5), &Sources::All);
+/// assert_eq!(bc, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+/// ```
+pub fn betweenness(g: &Csr, sources: &Sources) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut bc = vec![0.0; n];
+    let mut sigma = vec![0.0; n];
+    let mut dist = vec![0u32; n];
+    let mut delta = vec![0.0; n];
+    let mut order = Vec::with_capacity(n);
+    for s in sources.resolve(n) {
+        brandes_pass(g, s, &mut bc, &mut sigma, &mut dist, &mut delta, &mut order);
+    }
+    let k = sources.scale(n) / 2.0;
+    for b in &mut bc {
+        *b *= k;
+    }
+    bc
+}
+
+/// Parallel betweenness: sources distributed over the pool under `model`,
+/// per-worker scratch and accumulators, summed at the end.
+pub fn parallel_betweenness(
+    pool: &ThreadPool,
+    g: &Csr,
+    sources: &Sources,
+    model: RuntimeModel,
+) -> Vec<f64> {
+    let n = g.num_vertices();
+    let srcs = sources.resolve(n);
+    struct Scratch {
+        bc: Vec<f64>,
+        sigma: Vec<f64>,
+        dist: Vec<u32>,
+        delta: Vec<f64>,
+        order: Vec<VertexId>,
+    }
+    let mut per: PerWorker<Scratch> = PerWorker::new(pool.num_threads(), move |_| Scratch {
+        bc: vec![0.0; n],
+        sigma: vec![0.0; n],
+        dist: vec![0u32; n],
+        delta: vec![0.0; n],
+        order: Vec::with_capacity(n),
+    });
+    {
+        let srcs_ref = &srcs;
+        let per_ref = &per;
+        model.drive(pool, srcs_ref.len(), |chunk, ctx| {
+            per_ref.with(ctx, |sc| {
+                for i in chunk {
+                    brandes_pass(
+                        g,
+                        srcs_ref[i],
+                        &mut sc.bc,
+                        &mut sc.sigma,
+                        &mut sc.dist,
+                        &mut sc.delta,
+                        &mut sc.order,
+                    );
+                }
+            });
+        });
+    }
+    let mut bc = vec![0.0; n];
+    for sc in per.iter_mut() {
+        for (acc, x) in bc.iter_mut().zip(&sc.bc) {
+            *acc += x;
+        }
+    }
+    let k = sources.scale(n) / 2.0;
+    for b in &mut bc {
+        *b *= k;
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_graph::generators::{complete, cycle, erdos_renyi_gnm, path, star};
+    use mic_runtime::{Partitioner, Schedule};
+
+    fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn path_betweenness_closed_form() {
+        // On a path, vertex i lies on all s<i<t pairs: BC(i) = i*(n-1-i).
+        let n = 9usize;
+        let bc = betweenness(&path(n), &Sources::All);
+        for (i, &b) in bc.iter().enumerate() {
+            let want = (i * (n - 1 - i)) as f64;
+            assert!((b - want).abs() < 1e-9, "vertex {i}: {b} vs {want}");
+        }
+    }
+
+    #[test]
+    fn star_hub_dominates() {
+        let n = 12usize;
+        let bc = betweenness(&star(n), &Sources::All);
+        let hub_want = ((n - 1) * (n - 2)) as f64 / 2.0;
+        assert!((bc[0] - hub_want).abs() < 1e-9);
+        assert!(bc[1..].iter().all(|&b| b.abs() < 1e-9));
+    }
+
+    #[test]
+    fn complete_graph_all_zero() {
+        // Every pair is adjacent: no intermediaries.
+        let bc = betweenness(&complete(8), &Sources::All);
+        assert!(bc.iter().all(|&b| b.abs() < 1e-9));
+    }
+
+    #[test]
+    fn cycle_is_uniform() {
+        let bc = betweenness(&cycle(10), &Sources::All);
+        for &b in &bc {
+            assert!((b - bc[0]).abs() < 1e-9);
+        }
+        assert!(bc[0] > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_all_models() {
+        let g = erdos_renyi_gnm(300, 1200, 11);
+        let want = betweenness(&g, &Sources::All);
+        let pool = ThreadPool::new(6);
+        for model in [
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 8 }),
+            RuntimeModel::CilkHolder { grain: 8 },
+            RuntimeModel::Tbb(Partitioner::Simple { grain: 8 }),
+        ] {
+            let got = parallel_betweenness(&pool, &g, &Sources::All, model);
+            assert!(close(&got, &want, 1e-6), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_approximates() {
+        let g = erdos_renyi_gnm(400, 2400, 3);
+        let exact = betweenness(&g, &Sources::All);
+        let sample: Vec<u32> = (0..400).step_by(2).collect();
+        let approx = betweenness(&g, &Sources::Sample(sample));
+        // Rank correlation proxy: the top exact vertex should be near the
+        // top of the approximation.
+        let top_exact = exact
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let mut rank: Vec<usize> = (0..400).collect();
+        rank.sort_by(|&a, &b| approx[b].total_cmp(&approx[a]));
+        let pos = rank.iter().position(|&v| v == top_exact).unwrap();
+        assert!(pos < 40, "top exact vertex ranked {pos} by the sample");
+    }
+
+    #[test]
+    fn disconnected_and_trivial() {
+        let bc = betweenness(&Csr::empty(5), &Sources::All);
+        assert!(bc.iter().all(|&b| b == 0.0));
+        let bc = betweenness(&path(2), &Sources::All);
+        assert!(bc.iter().all(|&b| b.abs() < 1e-12));
+    }
+}

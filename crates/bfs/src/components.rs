@@ -1,0 +1,159 @@
+//! Parallel connected components by label propagation — the classic
+//! companion kernel to BFS in graph suites (SNAP ships one), with the same
+//! irregular access pattern and another use of the paper's runtime models.
+//!
+//! Each vertex starts labeled with its own id; rounds of parallel sweeps
+//! replace every label by the minimum over the closed neighborhood until a
+//! fixed point. Converges in O(diameter) rounds; the min-combining races
+//! are benign (monotone decreasing lattice), so the result is exactly the
+//! per-component minimum id regardless of scheduling.
+
+use mic_graph::{Csr, VertexId};
+use mic_runtime::{RuntimeModel, ThreadPool};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Component labels: `labels[v]` = the smallest vertex id in v's component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    pub labels: Vec<VertexId>,
+    pub count: usize,
+    pub rounds: usize,
+}
+
+/// Sequential reference (BFS flood fill, labels = min id per component).
+pub fn components_seq(g: &Csr) -> Components {
+    let n = g.num_vertices();
+    let mut labels = vec![VertexId::MAX; n];
+    let mut count = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as VertexId {
+        if labels[s as usize] != VertexId::MAX {
+            continue;
+        }
+        count += 1;
+        labels[s as usize] = s;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if labels[w as usize] == VertexId::MAX {
+                    labels[w as usize] = s;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    Components { labels, count, rounds: 1 }
+}
+
+/// Parallel label propagation under `model`.
+pub fn components_parallel(pool: &ThreadPool, g: &Csr, model: RuntimeModel) -> Components {
+    let n = g.num_vertices();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let changed = AtomicBool::new(false);
+        {
+            let labels_ref = &labels;
+            let changed_ref = &changed;
+            model.drive(pool, n, |chunk, _| {
+                for vi in chunk {
+                    let v = vi as VertexId;
+                    let mut m = labels_ref[vi].load(Ordering::Relaxed);
+                    for &w in g.neighbors(v) {
+                        m = m.min(labels_ref[w as usize].load(Ordering::Relaxed));
+                    }
+                    // Monotone min-update; fetch_min keeps concurrent
+                    // lowering from being lost.
+                    let prev = labels_ref[vi].fetch_min(m, Ordering::Relaxed);
+                    if m < prev {
+                        changed_ref.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    let labels: Vec<VertexId> = labels.into_iter().map(|l| l.into_inner()).collect();
+    let mut count = 0usize;
+    for (v, &l) in labels.iter().enumerate() {
+        if l == v as VertexId {
+            count += 1;
+        }
+    }
+    Components { labels, count, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_graph::generators::{erdos_renyi_gnm, path, star};
+    use mic_graph::GraphBuilder;
+    use mic_runtime::{Partitioner, Schedule};
+
+    fn models() -> Vec<RuntimeModel> {
+        vec![
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 16 }),
+            RuntimeModel::CilkHolder { grain: 16 },
+            RuntimeModel::Tbb(Partitioner::Simple { grain: 16 }),
+        ]
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        let pool = ThreadPool::new(6);
+        for seed in 0..3 {
+            // Sparse: plenty of components.
+            let g = erdos_renyi_gnm(800, 500, seed);
+            let want = components_seq(&g);
+            for model in models() {
+                let got = components_parallel(&pool, &g, model);
+                assert_eq!(got.labels, want.labels, "{model:?} seed {seed}");
+                assert_eq!(got.count, want.count);
+            }
+        }
+    }
+
+    #[test]
+    fn single_component_structures() {
+        let pool = ThreadPool::new(4);
+        for g in [path(100), star(50)] {
+            let r = components_parallel(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()));
+            assert_eq!(r.count, 1);
+            assert!(r.labels.iter().all(|&l| l == 0));
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_label_themselves() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(1, 3);
+        let g = b.build();
+        let pool = ThreadPool::new(3);
+        let r = components_parallel(&pool, &g, RuntimeModel::CilkHolder { grain: 2 });
+        assert_eq!(r.count, 4);
+        assert_eq!(r.labels, vec![0, 1, 2, 1, 4]);
+    }
+
+    #[test]
+    fn rounds_bounded_by_diameter() {
+        let pool = ThreadPool::new(4);
+        let g = path(200); // diameter 199, but min-id flooding needs ~n rounds on a path? No:
+                           // label 0 propagates one hop per round from vertex 0.
+        let r = components_parallel(&pool, &g, RuntimeModel::OpenMp(Schedule::Static { chunk: None }));
+        assert_eq!(r.count, 1);
+        // In-place sweeps propagate many hops per round when chunks run in
+        // ascending order; just sanity-bound it.
+        assert!(r.rounds <= 201, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let pool = ThreadPool::new(2);
+        let r = components_parallel(&pool, &mic_graph::Csr::empty(0), RuntimeModel::OpenMp(Schedule::dynamic100()));
+        assert_eq!(r.count, 0);
+        assert_eq!(r.rounds, 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Direction-optimizing BFS (Beamer-style top-down / bottom-up switching).
+//!
+//! An extension beyond the paper's experiments: when the frontier grows
+//! large, it becomes cheaper to iterate over *unvisited* vertices asking
+//! "is any of my neighbors in the frontier?" (bottom-up) than to scan the
+//! frontier's out-edges (top-down). This is the standard optimization the
+//! Graph 500 community adopted shortly after the paper appeared; it is
+//! included here because the paper's queue structures are exactly the
+//! machinery a hybrid traversal needs on the top-down steps.
+
+use crate::seq::BfsResult;
+use crate::UNREACHED;
+use mic_graph::{Csr, VertexId};
+
+/// Heuristic parameters: switch to bottom-up when the frontier's out-edge
+/// count exceeds `1/alpha` of the unexplored edges; switch back when the
+/// frontier shrinks below `n / beta` vertices. Defaults follow Beamer's.
+#[derive(Clone, Copy, Debug)]
+pub struct Hybrid {
+    pub alpha: usize,
+    pub beta: usize,
+}
+
+impl Default for Hybrid {
+    fn default() -> Self {
+        Hybrid { alpha: 14, beta: 24 }
+    }
+}
+
+/// Direction-optimizing BFS from `source`. Produces exactly the sequential
+/// BFS levels.
+pub fn hybrid_bfs(g: &Csr, source: VertexId, h: Hybrid) -> BfsResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n);
+    let mut levels = vec![UNREACHED; n];
+    levels[source as usize] = 0;
+    let mut frontier: Vec<VertexId> = vec![source];
+    let mut level = 1u32;
+    let mut max_level = 0u32;
+    let mut unexplored_edges: usize = 2 * g.num_edges();
+
+    while !frontier.is_empty() {
+        let frontier_edges: usize = frontier.iter().map(|&v| g.degree(v)).sum();
+        let bottom_up = h.alpha > 0 && frontier_edges * h.alpha > unexplored_edges.max(1);
+        unexplored_edges = unexplored_edges.saturating_sub(frontier_edges);
+        let mut next = Vec::new();
+        if bottom_up {
+            // Scan all unvisited vertices; adopt a parent if any neighbor
+            // is in the current frontier (level - 1).
+            for v in 0..n as VertexId {
+                if levels[v as usize] != UNREACHED {
+                    continue;
+                }
+                if g.neighbors(v).iter().any(|&w| levels[w as usize] == level - 1) {
+                    levels[v as usize] = level;
+                    next.push(v);
+                }
+            }
+        } else {
+            for &v in &frontier {
+                for &w in g.neighbors(v) {
+                    if levels[w as usize] == UNREACHED {
+                        levels[w as usize] = level;
+                        next.push(w);
+                    }
+                }
+            }
+        }
+        if !next.is_empty() {
+            max_level = level;
+        }
+        // Switch back to top-down when the frontier gets small again.
+        let _ = h.beta; // the top-down test above re-evaluates every level
+        frontier = next;
+        level += 1;
+    }
+    BfsResult { levels, num_levels: max_level + 1 }
+}
+
+/// Parallel direction-optimizing BFS: top-down steps use the paper's
+/// block-accessed queue; bottom-up steps scan the unvisited vertices in
+/// parallel asking "is any neighbor on the frontier?". Produces exactly
+/// the sequential levels.
+pub fn parallel_hybrid_bfs(
+    pool: &mic_runtime::ThreadPool,
+    g: &Csr,
+    source: VertexId,
+    h: Hybrid,
+) -> BfsResult {
+    use crate::queue::block::{discover, queue_capacity};
+    use mic_runtime::{parallel_for_chunks, BlockCursor, BlockQueue, PerWorker, Schedule};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    let n = g.num_vertices();
+    assert!((source as usize) < n);
+    let t = pool.num_threads();
+    let sentinel = VertexId::MAX;
+    let block = 32usize;
+    let sched = Schedule::Dynamic { chunk: 64 };
+
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    levels[source as usize].store(0, Ordering::Relaxed);
+
+    let cap = queue_capacity(n, block, t);
+    let mut cur: BlockQueue<VertexId> = BlockQueue::with_writers(cap, block, t, sentinel);
+    let mut next: BlockQueue<VertexId> = BlockQueue::with_writers(cap, block, t, sentinel);
+    cur.writer().push(source);
+    // Track the frontier as explicit vertices for edge counting and for
+    // switching into bottom-up mode.
+    let mut frontier: Vec<VertexId> = vec![source];
+    let mut unexplored_edges: usize = 2 * g.num_edges();
+    let mut level = 1u32;
+
+    while !frontier.is_empty() {
+        let frontier_edges: usize = frontier.iter().map(|&v| g.degree(v)).sum();
+        let bottom_up = h.alpha > 0 && frontier_edges * h.alpha > unexplored_edges.max(1);
+        unexplored_edges = unexplored_edges.saturating_sub(frontier_edges);
+
+        if bottom_up {
+            // Parallel scan of all unvisited vertices.
+            let found = mic_runtime::ConcurrentPushVec::new(n);
+            {
+                let levels_ref = &levels;
+                let found_ref = &found;
+                parallel_for_chunks(pool, 0..n, sched, |chunk, _| {
+                    for vi in chunk {
+                        if levels_ref[vi].load(Ordering::Relaxed) != UNREACHED {
+                            continue;
+                        }
+                        let v = vi as VertexId;
+                        if g
+                            .neighbors(v)
+                            .iter()
+                            .any(|&w| levels_ref[w as usize].load(Ordering::Relaxed) == level - 1)
+                        {
+                            levels_ref[vi].store(level, Ordering::Relaxed);
+                            found_ref.push(v);
+                        }
+                    }
+                });
+            }
+            let mut found = found;
+            frontier = found.drain();
+            // Rebuild the block queue so a later top-down step can resume.
+            cur.reset();
+            next.reset();
+            let cur_ref = &cur;
+            let frontier_ref = &frontier;
+            pool.run(|ctx| {
+                let mut w = cur_ref.writer();
+                let mut i = ctx.id;
+                while i < frontier_ref.len() {
+                    w.push(frontier_ref[i]);
+                    i += ctx.num_threads;
+                }
+            });
+        } else {
+            let slots = cur.raw_len();
+            {
+                let cur_ref = &cur;
+                let next_ref = &next;
+                let levels_ref = &levels;
+                let cursors: PerWorker<BlockCursor> =
+                    PerWorker::new(t, |_| BlockCursor::default());
+                parallel_for_chunks(pool, 0..slots, sched, |chunk, ctx| {
+                    cursors.with(ctx, |bc| {
+                        for i in chunk {
+                            let v = cur_ref.slot(i);
+                            if v == sentinel {
+                                continue;
+                            }
+                            for &w in g.neighbors(v) {
+                                if discover(levels_ref, w, level, false) {
+                                    next_ref.push_with(bc, w);
+                                }
+                            }
+                        }
+                    });
+                });
+            }
+            cur.reset();
+            std::mem::swap(&mut cur, &mut next);
+            // Collect the new frontier for the edge-count heuristic.
+            let mut f = Vec::new();
+            for i in 0..cur.raw_len() {
+                let v = cur.slot(i);
+                if v != sentinel {
+                    f.push(v);
+                }
+            }
+            frontier = f;
+        }
+        level += 1;
+    }
+
+    let levels: Vec<u32> = levels.into_iter().map(|l| l.into_inner()).collect();
+    let num_levels =
+        levels.iter().copied().filter(|&l| l != UNREACHED).max().map_or(0, |m| m + 1);
+    BfsResult { levels, num_levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::bfs;
+    use crate::verify::check_levels;
+    use mic_graph::generators::{erdos_renyi_gnm, path, rmat, star, RmatProbs};
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        for seed in 0..5 {
+            let g = erdos_renyi_gnm(1500, 9000, seed);
+            let want = bfs(&g, 3);
+            let got = hybrid_bfs(&g, 3, Hybrid::default());
+            assert_eq!(got.levels, want.levels, "seed {seed}");
+            assert_eq!(got.num_levels, want.num_levels);
+        }
+    }
+
+    #[test]
+    fn matches_on_rmat_where_bottom_up_triggers() {
+        let g = rmat(12, 16, RmatProbs::graph500(), 7);
+        let want = bfs(&g, 0);
+        let got = hybrid_bfs(&g, 0, Hybrid::default());
+        assert_eq!(got.levels, want.levels);
+        check_levels(&g, 0, &got.levels).unwrap();
+    }
+
+    #[test]
+    fn star_switches_bottom_up_immediately() {
+        let g = star(10_000);
+        let got = hybrid_bfs(&g, 0, Hybrid::default());
+        assert_eq!(got.num_levels, 2);
+    }
+
+    #[test]
+    fn chain_stays_top_down() {
+        let g = path(500);
+        let got = hybrid_bfs(&g, 0, Hybrid::default());
+        assert_eq!(got.levels, bfs(&g, 0).levels);
+    }
+
+    #[test]
+    fn parallel_hybrid_matches_sequential() {
+        use mic_runtime::ThreadPool;
+        for (g, src) in [
+            (rmat(12, 16, RmatProbs::graph500(), 7), 0u32),
+            (erdos_renyi_gnm(1500, 9000, 2), 3),
+            (star(3000), 0),
+            (path(200), 0),
+        ] {
+            let want = bfs(&g, src);
+            for t in [1usize, 4, 8] {
+                let pool = ThreadPool::new(t);
+                let got = parallel_hybrid_bfs(&pool, &g, src, Hybrid::default());
+                assert_eq!(got.levels, want.levels, "t = {t}");
+                assert_eq!(got.num_levels, want.num_levels);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_disables_bottom_up() {
+        let g = star(100);
+        let got = hybrid_bfs(&g, 0, Hybrid { alpha: 0, beta: 24 });
+        assert_eq!(got.levels, bfs(&g, 0).levels);
+    }
+}

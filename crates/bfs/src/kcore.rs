@@ -1,0 +1,168 @@
+//! k-core decomposition by bucketed peeling (Matula & Beck) — the standard
+//! companion to the degree-driven orderings the coloring literature uses
+//! (the "smallest-last" order the paper's references study *is* the
+//! peeling order this module produces).
+
+use mic_graph::{Csr, VertexId};
+
+/// Core decomposition: `core[v]` is the largest k such that v belongs to a
+/// subgraph of minimum degree k; `peel_order` is the smallest-last vertex
+/// order (degeneracy order).
+#[derive(Clone, Debug)]
+pub struct CoreDecomposition {
+    pub core: Vec<u32>,
+    pub peel_order: Vec<VertexId>,
+    /// The degeneracy: max core number (0 for edgeless graphs).
+    pub degeneracy: u32,
+}
+
+/// O(|V| + |E|) bucket peeling.
+pub fn kcore(g: &Csr) -> CoreDecomposition {
+    let n = g.num_vertices();
+    let mut degree: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    let maxd = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort by degree.
+    let mut bucket_start = vec![0usize; maxd + 2];
+    for &d in &degree {
+        bucket_start[d + 1] += 1;
+    }
+    for i in 0..=maxd {
+        bucket_start[i + 1] += bucket_start[i];
+    }
+    let mut pos = vec![0usize; n]; // position of v in `order`
+    let mut order = vec![0 as VertexId; n];
+    {
+        let mut cursor = bucket_start.clone();
+        for v in 0..n {
+            let d = degree[v];
+            order[cursor[d]] = v as VertexId;
+            pos[v] = cursor[d];
+            cursor[d] += 1;
+        }
+    }
+    // bucket_start[d] = first index in `order` with (current) degree >= d.
+    let mut core = vec![0u32; n];
+    let mut degeneracy = 0u32;
+    for i in 0..n {
+        let v = order[i];
+        let dv = degree[v as usize];
+        core[v as usize] = dv as u32;
+        degeneracy = degeneracy.max(dv as u32);
+        // Peel v: decrement the degree of its not-yet-peeled neighbors,
+        // moving each to the front of its old bucket.
+        for &w in g.neighbors(v) {
+            let wi = w as usize;
+            if degree[wi] > dv {
+                let dw = degree[wi];
+                // Swap w with the first element of bucket dw.
+                let first = bucket_start[dw].max(i + 1);
+                let u = order[first];
+                order.swap(pos[wi], first);
+                pos[u as usize] = pos[wi];
+                pos[wi] = first;
+                bucket_start[dw] = first + 1;
+                degree[wi] -= 1;
+            }
+        }
+    }
+    CoreDecomposition { core, peel_order: order, degeneracy }
+}
+
+/// Validate a decomposition: within the subgraph of vertices with
+/// `core >= k`, every vertex has at least k neighbors (for every k that
+/// occurs), and nothing higher is possible for the peel order.
+pub fn check_cores(g: &Csr, d: &CoreDecomposition) -> bool {
+    let n = g.num_vertices();
+    if d.core.len() != n || d.peel_order.len() != n {
+        return false;
+    }
+    for v in g.vertices() {
+        let k = d.core[v as usize];
+        let in_core =
+            g.neighbors(v).iter().filter(|&&w| d.core[w as usize] >= k).count();
+        if (in_core as u32) < k {
+            return false; // not actually a member of its claimed core
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_graph::generators::{complete, cycle, erdos_renyi_gnm, grid2d, path, star, Stencil2};
+
+    #[test]
+    fn complete_graph_core() {
+        let d = kcore(&complete(6));
+        assert!(d.core.iter().all(|&c| c == 5));
+        assert_eq!(d.degeneracy, 5);
+        assert!(check_cores(&complete(6), &d));
+    }
+
+    #[test]
+    fn path_and_cycle() {
+        let d = kcore(&path(10));
+        assert_eq!(d.degeneracy, 1);
+        assert!(d.core.iter().all(|&c| c <= 1));
+        let d = kcore(&cycle(10));
+        assert!(d.core.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn star_core_is_one() {
+        let g = star(20);
+        let d = kcore(&g);
+        assert_eq!(d.degeneracy, 1);
+        assert!(check_cores(&g, &d));
+    }
+
+    #[test]
+    fn grid_cores() {
+        let g = grid2d(10, 10, Stencil2::FivePoint);
+        let d = kcore(&g);
+        assert_eq!(d.degeneracy, 2); // grids peel down to 2-cores
+        assert!(check_cores(&g, &d));
+    }
+
+    #[test]
+    fn random_graphs_validate() {
+        for seed in 0..4 {
+            let g = erdos_renyi_gnm(400, 2400, seed);
+            let d = kcore(&g);
+            assert!(check_cores(&g, &d), "seed {seed}");
+            // Peel order is a permutation.
+            let mut seen = vec![false; 400];
+            for &v in &d.peel_order {
+                assert!(!std::mem::replace(&mut seen[v as usize], true));
+            }
+        }
+    }
+
+    #[test]
+    fn degeneracy_order_property() {
+        // In the peel order, each vertex has at most `degeneracy` neighbors
+        // appearing later.
+        let g = erdos_renyi_gnm(300, 1800, 9);
+        let d = kcore(&g);
+        let mut rank = vec![0usize; 300];
+        for (i, &v) in d.peel_order.iter().enumerate() {
+            rank[v as usize] = i;
+        }
+        for &v in &d.peel_order {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| rank[w as usize] > rank[v as usize])
+                .count();
+            assert!(later as u32 <= d.degeneracy, "vertex {v}: {later} later neighbors");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = kcore(&Csr::empty(4));
+        assert_eq!(d.degeneracy, 0);
+        assert!(d.core.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,347 @@
+//! Layered parallel BFS (Algorithm 7 of the paper) over the three frontier
+//! structures, named as in the paper's Figure 4.
+
+use crate::queue::bag::Bag;
+use crate::queue::block::{discover, queue_capacity, PAPER_BLOCK};
+use crate::queue::tls::{merge_locals_parallel, try_claim};
+use crate::seq::BfsResult;
+use crate::UNREACHED;
+use mic_graph::{Csr, VertexId};
+use mic_runtime::{
+    cilk_for, parallel_for_chunks, tbb_parallel_for, BlockCursor, BlockQueue, Partitioner,
+    PerWorker, Schedule, ThreadPool,
+};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The BFS implementations the paper compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BfsVariant {
+    /// `OpenMP-Block` / `OpenMP-Block-relaxed`: block-accessed queue,
+    /// OpenMP loop over the current queue.
+    OmpBlock { sched: Schedule, block: usize, relaxed: bool },
+    /// `TBB-Block` / `TBB-Block-relaxed`.
+    TbbBlock { part: Partitioner, block: usize, relaxed: bool },
+    /// `CilkPlus-Bag-relaxed`: Leiserson–Schardl bags under work stealing
+    /// (relaxed by construction).
+    CilkBag { grain: usize },
+    /// `OpenMP-TLS`: SNAP's per-thread queues with vertex locks (with the
+    /// paper's test-before-lock improvement).
+    OmpTls { sched: Schedule },
+}
+
+impl BfsVariant {
+    /// The paper's featured configurations, with its best block size (32)
+    /// and the schedules it reports (dynamic for OpenMP, simple for TBB).
+    pub fn paper_set() -> [BfsVariant; 4] {
+        [
+            BfsVariant::OmpBlock {
+                sched: Schedule::Dynamic { chunk: PAPER_BLOCK },
+                block: PAPER_BLOCK,
+                relaxed: true,
+            },
+            BfsVariant::TbbBlock {
+                part: Partitioner::Simple { grain: PAPER_BLOCK },
+                block: PAPER_BLOCK,
+                relaxed: true,
+            },
+            BfsVariant::CilkBag { grain: 64 },
+            BfsVariant::OmpTls { sched: Schedule::Dynamic { chunk: PAPER_BLOCK } },
+        ]
+    }
+
+    /// A short name matching the paper's figure legends.
+    pub fn name(&self) -> String {
+        match self {
+            BfsVariant::OmpBlock { relaxed, .. } => {
+                format!("OpenMP-Block{}", if *relaxed { "-relaxed" } else { "" })
+            }
+            BfsVariant::TbbBlock { relaxed, .. } => {
+                format!("TBB-Block{}", if *relaxed { "-relaxed" } else { "" })
+            }
+            BfsVariant::CilkBag { .. } => "CilkPlus-Bag-relaxed".to_string(),
+            BfsVariant::OmpTls { .. } => "OpenMP-TLS".to_string(),
+        }
+    }
+}
+
+/// Algorithm 7 with the chosen variant. Always produces exactly the
+/// sequential BFS levels (see the module docs on why even the relaxed
+/// variants are deterministic in their *result*).
+///
+/// ```
+/// use mic_bfs::{bfs, parallel_bfs, BfsVariant};
+/// use mic_graph::generators::{grid2d, Stencil2};
+/// use mic_runtime::{Schedule, ThreadPool};
+/// let g = grid2d(15, 15, Stencil2::FivePoint);
+/// let pool = ThreadPool::new(4);
+/// let variant = BfsVariant::OmpBlock {
+///     sched: Schedule::Dynamic { chunk: 32 },
+///     block: 32,
+///     relaxed: true,
+/// };
+/// assert_eq!(parallel_bfs(&pool, &g, 0, variant).levels, bfs(&g, 0).levels);
+/// ```
+pub fn parallel_bfs(pool: &ThreadPool, g: &Csr, source: VertexId, variant: BfsVariant) -> BfsResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    levels[source as usize].store(0, Ordering::Relaxed);
+
+    match variant {
+        BfsVariant::OmpBlock { sched, block, relaxed } => {
+            block_bfs(pool, g, source, &levels, block, relaxed, |len, body| {
+                parallel_for_chunks(pool, 0..len, sched, body)
+            });
+        }
+        BfsVariant::TbbBlock { part, block, relaxed } => {
+            block_bfs(pool, g, source, &levels, block, relaxed, |len, body| {
+                tbb_parallel_for(pool, 0..len, part, body)
+            });
+        }
+        BfsVariant::CilkBag { grain } => bag_bfs(pool, g, source, &levels, grain),
+        BfsVariant::OmpTls { sched } => tls_bfs(pool, g, source, &levels, sched),
+    }
+
+    let levels: Vec<u32> = levels.into_iter().map(|l| l.into_inner()).collect();
+    let num_levels =
+        levels.iter().copied().filter(|&l| l != UNREACHED).max().map_or(0, |m| m + 1);
+    BfsResult { levels, num_levels }
+}
+
+/// The block-accessed-queue skeleton, generic over the driving loop
+/// construct (OpenMP schedule or TBB partitioner).
+fn block_bfs<D>(
+    pool: &ThreadPool,
+    g: &Csr,
+    source: VertexId,
+    levels: &[AtomicU32],
+    block: usize,
+    relaxed: bool,
+    drive: D,
+) where
+    D: Fn(usize, &(dyn Fn(std::ops::Range<usize>, mic_runtime::WorkerCtx) + Sync)),
+{
+    let t = pool.num_threads();
+    let cap = queue_capacity(g.num_vertices(), block, t);
+    let sentinel = VertexId::MAX;
+    let mut cur: BlockQueue<VertexId> = BlockQueue::with_writers(cap, block, t, sentinel);
+    let mut next: BlockQueue<VertexId> = BlockQueue::with_writers(cap, block, t, sentinel);
+    cur.writer().push(source);
+
+    let mut level = 1u32;
+    loop {
+        let slots = cur.raw_len();
+        if slots == 0 {
+            break;
+        }
+        {
+            let cur_ref = &cur;
+            let next_ref = &next;
+            // Per-thread block cursor survives across scheduler chunks, as
+            // in the paper ("each thread reserves a block of memory from
+            // the queue and uses that block for adding vertices").
+            let cursors: PerWorker<BlockCursor> = PerWorker::new(t, |_| BlockCursor::default());
+            drive(slots, &|chunk: std::ops::Range<usize>, ctx: mic_runtime::WorkerCtx| {
+                cursors.with(ctx, |bc| {
+                    for i in chunk.clone() {
+                        let v = cur_ref.slot(i);
+                        if v == sentinel {
+                            continue; // padding
+                        }
+                        for &w in g.neighbors(v) {
+                            if discover(levels, w, level, relaxed) {
+                                next_ref.push_with(bc, w);
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        cur.reset();
+        std::mem::swap(&mut cur, &mut next);
+        level += 1;
+    }
+}
+
+/// The Leiserson–Schardl bag skeleton under Cilk-style work stealing.
+fn bag_bfs(pool: &ThreadPool, g: &Csr, source: VertexId, levels: &[AtomicU32], grain: usize) {
+    let t = pool.num_threads();
+    let mut cur: Bag<VertexId> = Bag::new(grain);
+    cur.insert(source);
+    let mut level = 1u32;
+    while !cur.is_empty() {
+        let nodes = cur.nodes();
+        let locals: PerWorker<Bag<VertexId>> = PerWorker::new(t, move |_| Bag::new(grain));
+        {
+            let nodes_ref = &nodes;
+            let locals_ref = &locals;
+            // One pennant node per leaf task: the bag's own traversal
+            // granularity, as in the original code.
+            cilk_for(pool, 0..nodes_ref.len(), 1, |chunk, ctx| {
+                locals_ref.with(ctx, |local| {
+                    for ni in chunk {
+                        for &v in nodes_ref[ni] {
+                            for &w in g.neighbors(v) {
+                                // Relaxed discovery is inherent to the bag
+                                // algorithm (the "benign race").
+                                if discover(levels, w, level, true) {
+                                    local.insert(w);
+                                }
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        let mut locals = locals;
+        let mut merged = Bag::new(grain);
+        for b in locals.take_values() {
+            merged.union(b);
+        }
+        cur = merged;
+        level += 1;
+    }
+}
+
+/// The SNAP-style TLS skeleton: CAS-locked discovery into per-thread
+/// queues, merged per level.
+fn tls_bfs(pool: &ThreadPool, g: &Csr, source: VertexId, levels: &[AtomicU32], sched: Schedule) {
+    let t = pool.num_threads();
+    let mut cur: Vec<VertexId> = vec![source];
+    let mut level = 1u32;
+    while !cur.is_empty() {
+        let locals: PerWorker<Vec<VertexId>> = PerWorker::new(t, |_| Vec::new());
+        {
+            let cur_ref = &cur;
+            let locals_ref = &locals;
+            parallel_for_chunks(pool, 0..cur_ref.len(), sched, |chunk, ctx| {
+                locals_ref.with(ctx, |local| {
+                    for i in chunk.clone() {
+                        let v = cur_ref[i];
+                        for &w in g.neighbors(v) {
+                            if try_claim(levels, w, level, true) {
+                                local.push(w);
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        let mut locals = locals;
+        cur = merge_locals_parallel(pool, locals.take_values());
+        level += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::bfs;
+    use crate::verify::check_levels;
+    use mic_graph::generators::{
+        balanced_binary_tree, erdos_renyi_gnm, grid2d, path, rgg3d_with_avg_degree, star, Box3,
+        Stencil2,
+    };
+
+    fn variants() -> Vec<BfsVariant> {
+        let mut v = BfsVariant::paper_set().to_vec();
+        v.push(BfsVariant::OmpBlock {
+            sched: Schedule::Dynamic { chunk: 8 },
+            block: 4,
+            relaxed: false,
+        });
+        v.push(BfsVariant::TbbBlock { part: Partitioner::Auto, block: 16, relaxed: false });
+        v.push(BfsVariant::OmpBlock {
+            sched: Schedule::Static { chunk: Some(16) },
+            block: 32,
+            relaxed: true,
+        });
+        v.push(BfsVariant::CilkBag { grain: 1 });
+        v.push(BfsVariant::OmpTls { sched: Schedule::Guided { min_chunk: 4 } });
+        v
+    }
+
+    fn assert_matches_seq(g: &Csr, source: VertexId, threads: usize) {
+        let pool = ThreadPool::new(threads);
+        let want = bfs(g, source);
+        for variant in variants() {
+            let got = parallel_bfs(&pool, g, source, variant);
+            assert_eq!(got.levels, want.levels, "{} t={threads}", variant.name());
+            assert_eq!(got.num_levels, want.num_levels, "{}", variant.name());
+            check_levels(g, source, &got.levels).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_variants_match_sequential_on_random_graph() {
+        let g = erdos_renyi_gnm(2000, 8000, 5);
+        assert_matches_seq(&g, 42, 4);
+    }
+
+    #[test]
+    fn all_variants_match_sequential_on_mesh() {
+        let g = rgg3d_with_avg_degree(3000, Box3::new(6.0, 1.0, 1.0), 12.0, 8);
+        assert_matches_seq(&g, (g.num_vertices() / 2) as u32, 8);
+    }
+
+    #[test]
+    fn chain_works_despite_no_parallelism() {
+        // The paper's worst case: one vertex per level.
+        let g = path(300);
+        assert_matches_seq(&g, 0, 4);
+    }
+
+    #[test]
+    fn star_works_with_wide_level() {
+        let g = star(5000);
+        assert_matches_seq(&g, 0, 8);
+    }
+
+    #[test]
+    fn tree_and_grid() {
+        assert_matches_seq(&balanced_binary_tree(1023), 0, 4);
+        assert_matches_seq(&grid2d(40, 40, Stencil2::NinePoint), 777, 4);
+    }
+
+    #[test]
+    fn disconnected_graph_leaves_unreached() {
+        let mut b = mic_graph::GraphBuilder::new(10);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(5, 6);
+        let g = b.build();
+        let pool = ThreadPool::new(4);
+        for variant in variants() {
+            let r = parallel_bfs(&pool, &g, 0, variant);
+            assert_eq!(r.levels[5], UNREACHED, "{}", variant.name());
+            assert_eq!(r.levels[2], 2);
+            assert_eq!(r.num_levels, 3);
+        }
+    }
+
+    #[test]
+    fn single_thread_all_variants() {
+        let g = erdos_renyi_gnm(800, 3000, 1);
+        assert_matches_seq(&g, 0, 1);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Csr::empty(1);
+        let pool = ThreadPool::new(2);
+        for variant in variants() {
+            let r = parallel_bfs(&pool, &g, 0, variant);
+            assert_eq!(r.levels, vec![0]);
+            assert_eq!(r.num_levels, 1);
+        }
+    }
+
+    #[test]
+    fn variant_names_match_paper() {
+        let names: Vec<String> = BfsVariant::paper_set().iter().map(|v| v.name()).collect();
+        assert_eq!(
+            names,
+            vec!["OpenMP-Block-relaxed", "TBB-Block-relaxed", "CilkPlus-Bag-relaxed", "OpenMP-TLS"]
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! BFS with parent trees and the Graph 500 result check.
+//!
+//! Graph 500 — "the reference graph algorithm" benchmark the paper cites —
+//! requires a BFS to output a *parent array* and validates it structurally
+//! (the levels alone are not enough). This module provides a block-queue
+//! BFS recording parents and the official-style validator.
+
+use crate::queue::block::{queue_capacity, PAPER_BLOCK};
+use crate::UNREACHED;
+use mic_graph::{Csr, VertexId};
+use mic_runtime::{parallel_for_chunks, BlockCursor, BlockQueue, PerWorker, Schedule, ThreadPool};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Parent marker for unreached vertices / no parent.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// BFS output with parents: `parent[source] == source`.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    pub parent: Vec<VertexId>,
+    pub levels: Vec<u32>,
+    pub num_levels: u32,
+}
+
+/// Layered block-queue BFS recording the parent of every discovered
+/// vertex. Discovery is CAS-claimed (the "locked" flavor): with parents, a
+/// relaxed race would let two writers record *different* parents, so the
+/// claim must be unique — exactly why Graph 500 implementations keep this
+/// atomic even when the level array alone could race benignly.
+pub fn bfs_with_parents(pool: &ThreadPool, g: &Csr, source: VertexId) -> BfsTree {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let t = pool.num_threads();
+    let sentinel = VertexId::MAX;
+
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
+    let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    parent[source as usize].store(source, Ordering::Relaxed);
+    levels[source as usize].store(0, Ordering::Relaxed);
+
+    let cap = queue_capacity(n, PAPER_BLOCK, t);
+    let mut cur: BlockQueue<VertexId> = BlockQueue::with_writers(cap, PAPER_BLOCK, t, sentinel);
+    let mut next: BlockQueue<VertexId> = BlockQueue::with_writers(cap, PAPER_BLOCK, t, sentinel);
+    cur.writer().push(source);
+
+    let mut level = 1u32;
+    loop {
+        let slots = cur.raw_len();
+        if slots == 0 {
+            break;
+        }
+        {
+            let cur_ref = &cur;
+            let next_ref = &next;
+            let parent_ref = &parent;
+            let levels_ref = &levels;
+            let cursors: PerWorker<BlockCursor> = PerWorker::new(t, |_| BlockCursor::default());
+            parallel_for_chunks(pool, 0..slots, Schedule::Dynamic { chunk: PAPER_BLOCK }, |chunk, ctx| {
+                cursors.with(ctx, |bc| {
+                    for i in chunk {
+                        let v = cur_ref.slot(i);
+                        if v == sentinel {
+                            continue;
+                        }
+                        for &w in g.neighbors(v) {
+                            let slot = &levels_ref[w as usize];
+                            if slot.load(Ordering::Relaxed) == UNREACHED
+                                && slot
+                                    .compare_exchange(
+                                        UNREACHED,
+                                        level,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                            {
+                                parent_ref[w as usize].store(v, Ordering::Relaxed);
+                                next_ref.push_with(bc, w);
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        cur.reset();
+        std::mem::swap(&mut cur, &mut next);
+        level += 1;
+    }
+
+    let parent: Vec<u32> = parent.into_iter().map(|p| p.into_inner()).collect();
+    let levels: Vec<u32> = levels.into_iter().map(|l| l.into_inner()).collect();
+    let num_levels =
+        levels.iter().copied().filter(|&l| l != UNREACHED).max().map_or(0, |m| m + 1);
+    BfsTree { parent, levels, num_levels }
+}
+
+/// Why a parent array fails Graph 500-style validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    BadRoot,
+    /// Parent edge does not exist in the graph.
+    PhantomEdge(VertexId),
+    /// A vertex's level is not its parent's level + 1.
+    LevelMismatch(VertexId),
+    /// Reached/unreached disagreement between parent and level arrays.
+    ReachMismatch(VertexId),
+    /// A graph edge connects a reached and an unreached vertex.
+    MissedVertex(VertexId, VertexId),
+}
+
+/// Graph 500-style validation: the root is its own parent; every parent
+/// edge exists; levels increase by exactly one along parent edges; the
+/// reached set is closed.
+pub fn check_tree(g: &Csr, source: VertexId, tree: &BfsTree) -> Result<(), TreeError> {
+    let n = g.num_vertices();
+    assert_eq!(tree.parent.len(), n);
+    assert_eq!(tree.levels.len(), n);
+    if tree.parent[source as usize] != source || tree.levels[source as usize] != 0 {
+        return Err(TreeError::BadRoot);
+    }
+    for v in g.vertices() {
+        let p = tree.parent[v as usize];
+        let l = tree.levels[v as usize];
+        match (p == NO_PARENT, l == UNREACHED) {
+            (true, true) => {
+                for &w in g.neighbors(v) {
+                    if tree.levels[w as usize] != UNREACHED {
+                        return Err(TreeError::MissedVertex(v, w));
+                    }
+                }
+            }
+            (false, false) => {
+                if v != source {
+                    if !g.has_edge(v, p) {
+                        return Err(TreeError::PhantomEdge(v));
+                    }
+                    if tree.levels[p as usize] + 1 != l {
+                        return Err(TreeError::LevelMismatch(v));
+                    }
+                }
+            }
+            _ => return Err(TreeError::ReachMismatch(v)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::bfs;
+    use mic_graph::generators::{erdos_renyi_gnm, path, rmat, star, RmatProbs};
+
+    #[test]
+    fn tree_levels_match_bfs_and_validate() {
+        let pool = ThreadPool::new(6);
+        for seed in 0..3 {
+            let g = erdos_renyi_gnm(1500, 6000, seed);
+            let tree = bfs_with_parents(&pool, &g, 3);
+            assert_eq!(tree.levels, bfs(&g, 3).levels, "seed {seed}");
+            check_tree(&g, 3, &tree).unwrap();
+        }
+    }
+
+    #[test]
+    fn rmat_graph500_style() {
+        let pool = ThreadPool::new(8);
+        let g = rmat(12, 8, RmatProbs::graph500(), 77);
+        let tree = bfs_with_parents(&pool, &g, 1);
+        check_tree(&g, 1, &tree).unwrap();
+        assert_eq!(tree.levels, bfs(&g, 1).levels);
+    }
+
+    #[test]
+    fn parents_on_path_are_predecessors() {
+        let pool = ThreadPool::new(3);
+        let g = path(10);
+        let tree = bfs_with_parents(&pool, &g, 0);
+        for v in 1..10usize {
+            assert_eq!(tree.parent[v], v as u32 - 1);
+        }
+        check_tree(&g, 0, &tree).unwrap();
+    }
+
+    #[test]
+    fn star_parents_all_hub() {
+        let pool = ThreadPool::new(4);
+        let g = star(100);
+        let tree = bfs_with_parents(&pool, &g, 0);
+        assert!((1..100).all(|v| tree.parent[v] == 0));
+        check_tree(&g, 0, &tree).unwrap();
+    }
+
+    #[test]
+    fn validator_catches_corruption() {
+        let pool = ThreadPool::new(2);
+        let g = path(5);
+        let good = bfs_with_parents(&pool, &g, 0);
+        let mut bad = good.clone();
+        bad.parent[3] = 0; // not an edge
+        assert_eq!(check_tree(&g, 0, &bad), Err(TreeError::PhantomEdge(3)));
+        let mut bad = good.clone();
+        bad.levels[2] = 5; // level jump
+        assert!(check_tree(&g, 0, &bad).is_err());
+        let mut bad = good.clone();
+        bad.parent[4] = NO_PARENT;
+        bad.levels[4] = UNREACHED; // false unreachability
+        assert!(matches!(check_tree(&g, 0, &bad), Err(TreeError::MissedVertex(..))));
+        let mut bad = good;
+        bad.parent[0] = 1;
+        assert_eq!(check_tree(&g, 0, &bad), Err(TreeError::BadRoot));
+    }
+}

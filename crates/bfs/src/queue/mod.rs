@@ -1,0 +1,12 @@
+//! Next-frontier data structures for layered BFS.
+//!
+//! The paper's comparison (§IV-C): a Leiserson–Schardl [`bag::Bag`], the
+//! SNAP-style thread-local queues in [`tls`], and the paper's novel
+//! block-accessed queue (the generic machinery lives in
+//! `mic_runtime::BlockQueue`; [`block`] adds the BFS-side discovery logic).
+
+pub mod bag;
+pub mod block;
+pub mod tls;
+
+pub use bag::Bag;

@@ -1,0 +1,340 @@
+//! Single-source shortest paths on weighted graphs: Dijkstra (reference)
+//! and Δ-stepping (Meyer & Sanders), the standard parallel SSSP.
+//!
+//! The paper frames BFS as the archetype that "implicitly computes
+//! shortest paths"; Δ-stepping is its weighted generalization and shares
+//! the layered structure: buckets of tentative distances play the role of
+//! BFS levels, light-edge relaxations iterate within a bucket (like a
+//! level's frontier), heavy edges are relaxed once on bucket settlement.
+//! The parallel inner loops run under the paper's runtime models with the
+//! same benign-race discipline as the relaxed BFS queues: distance
+//! relaxation is a monotone `fetch_min`, so races only ever lower values.
+
+use mic_graph::weights::EdgeWeights;
+use mic_graph::{Csr, VertexId};
+use mic_runtime::{ConcurrentPushVec, RuntimeModel, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distance assignment: `dist[v]` = shortest distance from the source, or
+/// `f64::INFINITY` for unreachable vertices.
+#[derive(Clone, Debug)]
+pub struct Sssp {
+    pub dist: Vec<f64>,
+    /// Buckets (Δ-stepping) or heap pops (Dijkstra) processed.
+    pub phases: usize,
+}
+
+/// Dijkstra with a binary heap — the sequential reference.
+pub fn dijkstra(g: &Csr, w: &EdgeWeights, source: VertexId) -> Sssp {
+    let n = g.num_vertices();
+    assert!((source as usize) < n);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push((std::cmp::Reverse(ordered(0.0)), source));
+    let mut pops = 0usize;
+    while let Some((std::cmp::Reverse(d), v)) = heap.pop() {
+        pops += 1;
+        let d = d.0;
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        for (&u, &wt) in g.neighbors(v).iter().zip(w.row(g, v)) {
+            assert!(wt >= 0.0, "Dijkstra requires non-negative weights");
+            let nd = d + wt;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push((std::cmp::Reverse(ordered(nd)), u));
+            }
+        }
+    }
+    Sssp { dist, phases: pops }
+}
+
+/// Total-ordered f64 wrapper for the heap.
+#[derive(PartialEq, PartialOrd)]
+struct Ordered(f64);
+impl Eq for Ordered {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+fn ordered(x: f64) -> Ordered {
+    Ordered(x)
+}
+
+/// Atomic f64 distances via bit transmutation with a monotone
+/// `fetch_min`-style CAS loop. Returns whether the update lowered it.
+#[inline]
+fn relax(slot: &AtomicU64, nd: f64) -> bool {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        if nd >= f64::from_bits(cur) {
+            return false;
+        }
+        match slot.compare_exchange_weak(cur, nd.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Δ-stepping: buckets of width `delta`; within a bucket, rounds of
+/// parallel light-edge (< delta) relaxations until the bucket is stable,
+/// then one parallel pass of heavy-edge relaxations.
+///
+/// ```
+/// use mic_bfs::sssp::{delta_stepping, dijkstra, default_delta};
+/// use mic_graph::generators::{grid2d, Stencil2};
+/// use mic_graph::weights::EdgeWeights;
+/// use mic_runtime::{RuntimeModel, Schedule, ThreadPool};
+/// let g = grid2d(10, 10, Stencil2::FivePoint);
+/// let w = EdgeWeights::random_symmetric(&g, 0.5, 1.5, 1);
+/// let pool = ThreadPool::new(4);
+/// let model = RuntimeModel::OpenMp(Schedule::dynamic100());
+/// let par = delta_stepping(&pool, &g, &w, 0, default_delta(&g, &w), model);
+/// let seq = dijkstra(&g, &w, 0);
+/// assert!(par.dist.iter().zip(&seq.dist).all(|(a, b)| (a - b).abs() < 1e-9));
+/// ```
+pub fn delta_stepping(
+    pool: &ThreadPool,
+    g: &Csr,
+    w: &EdgeWeights,
+    source: VertexId,
+    delta: f64,
+    model: RuntimeModel,
+) -> Sssp {
+    let n = g.num_vertices();
+    assert!((source as usize) < n);
+    assert!(delta > 0.0, "delta must be positive");
+    debug_assert!(w.values().iter().all(|&x| x >= 0.0), "weights must be non-negative");
+
+    let dist: Vec<AtomicU64> =
+        (0..n).map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect();
+    dist[source as usize].store(0.0f64.to_bits(), Ordering::Relaxed);
+    let d_of = |v: usize| f64::from_bits(dist[v].load(Ordering::Relaxed));
+
+    let mut bucket_idx = 0usize;
+    let mut phases = 0usize;
+    let mut current: Vec<VertexId> = vec![source];
+    // Vertices settled per bucket, for the heavy pass.
+    let mut settled: Vec<VertexId> = Vec::new();
+
+    loop {
+        // --- light-edge rounds within the bucket ----------------------
+        while !current.is_empty() {
+            phases += 1;
+            settled.extend_from_slice(&current);
+            let found = ConcurrentPushVec::new(2 * g.num_edges().max(current.len()) + 16);
+            {
+                let cur_ref = &current;
+                let dist_ref = &dist;
+                let found_ref = &found;
+                let upper = (bucket_idx + 1) as f64 * delta;
+                model.drive(pool, cur_ref.len(), |chunk, _| {
+                    for i in chunk {
+                        let v = cur_ref[i];
+                        let dv = f64::from_bits(dist_ref[v as usize].load(Ordering::Relaxed));
+                        if dv >= upper {
+                            continue; // re-bucketed upward meanwhile (stale)
+                        }
+                        for (&u, &wt) in g.neighbors(v).iter().zip(w.row(g, v)) {
+                            if wt < delta {
+                                let nd = dv + wt;
+                                // Always relax; only requeue into *this*
+                                // bucket when the new distance stays below
+                                // its upper bound (later buckets pick the
+                                // vertex up from the scan).
+                                if relax(&dist_ref[u as usize], nd) && nd < upper {
+                                    found_ref.push(u);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            let mut found = found;
+            let mut next = found.drain();
+            next.sort_unstable();
+            next.dedup();
+            current = next;
+        }
+        // --- one heavy pass over everything settled in this bucket ----
+        if !settled.is_empty() {
+            phases += 1;
+            let settled_ref = &settled;
+            let dist_ref = &dist;
+            model.drive(pool, settled_ref.len(), |chunk, _| {
+                for i in chunk {
+                    let v = settled_ref[i];
+                    let dv = f64::from_bits(dist_ref[v as usize].load(Ordering::Relaxed));
+                    for (&u, &wt) in g.neighbors(v).iter().zip(w.row(g, v)) {
+                        if wt >= delta {
+                            relax(&dist_ref[u as usize], dv + wt);
+                        }
+                    }
+                }
+            });
+            settled.clear();
+        }
+        // --- find the next non-empty bucket ----------------------------
+        bucket_idx += 1;
+        let mut min_next = f64::INFINITY;
+        for v in 0..n {
+            let d = d_of(v);
+            if d.is_finite() && d >= bucket_idx as f64 * delta {
+                min_next = min_next.min(d);
+            }
+        }
+        if !min_next.is_finite() {
+            break;
+        }
+        bucket_idx = (min_next / delta) as usize;
+        let (lo, hi) = (bucket_idx as f64 * delta, (bucket_idx + 1) as f64 * delta);
+        current = (0..n as VertexId)
+            .filter(|&v| {
+                let d = d_of(v as usize);
+                d >= lo && d < hi
+            })
+            .collect();
+    }
+
+    let dist = dist.into_iter().map(|d| f64::from_bits(d.into_inner())).collect();
+    Sssp { dist, phases }
+}
+
+/// Pick a reasonable Δ: the classic heuristic Δ ≈ max-weight over... in
+/// practice Δ ≈ (average weight) works well for random weights; we use
+/// total-weight / edge-count.
+pub fn default_delta(g: &Csr, w: &EdgeWeights) -> f64 {
+    let m = g.adj().len();
+    if m == 0 {
+        return 1.0;
+    }
+    let sum: f64 = w.values().iter().sum();
+    (sum / m as f64).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_graph::generators::{erdos_renyi_gnm, grid2d, path, Stencil2};
+    use mic_runtime::{Partitioner, Schedule};
+
+    fn close(a: &[f64], b: &[f64]) -> bool {
+        a.iter().zip(b).all(|(x, y)| {
+            (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-9
+        })
+    }
+
+    #[test]
+    fn dijkstra_on_weighted_path() {
+        let g = path(4);
+        let w = EdgeWeights::from_fn(&g, |u, v| (u.max(v)) as f64); // 1,2,3
+        let r = dijkstra(&g, &w, 0);
+        assert_eq!(r.dist, vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_bfs() {
+        let g = erdos_renyi_gnm(500, 2000, 3);
+        let w = EdgeWeights::constant(&g, 1.0);
+        let d = dijkstra(&g, &w, 7);
+        let bfs = crate::seq::bfs(&g, 7);
+        for (v, &lvl) in bfs.levels.iter().enumerate() {
+            if lvl == crate::UNREACHED {
+                assert!(d.dist[v].is_infinite());
+            } else {
+                assert_eq!(d.dist[v], lvl as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra_all_models() {
+        let pool = ThreadPool::new(6);
+        let g = erdos_renyi_gnm(600, 3000, 9);
+        let w = EdgeWeights::random_symmetric(&g, 0.1, 2.0, 4);
+        let want = dijkstra(&g, &w, 11);
+        for model in [
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 16 }),
+            RuntimeModel::CilkHolder { grain: 16 },
+            RuntimeModel::Tbb(Partitioner::Simple { grain: 16 }),
+        ] {
+            for delta in [0.3, default_delta(&g, &w), 5.0] {
+                let got = delta_stepping(&pool, &g, &w, 11, delta, model);
+                assert!(
+                    close(&got.dist, &want.dist),
+                    "{model:?} delta {delta} diverged from Dijkstra"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_stepping_across_thread_counts() {
+        let g = grid2d(25, 25, Stencil2::NinePoint);
+        let w = EdgeWeights::random_symmetric(&g, 0.5, 1.5, 8);
+        let want = dijkstra(&g, &w, 0);
+        for t in [1usize, 3, 8] {
+            let pool = ThreadPool::new(t);
+            let got = delta_stepping(
+                &pool,
+                &g,
+                &w,
+                0,
+                default_delta(&g, &w),
+                RuntimeModel::OpenMp(Schedule::dynamic100()),
+            );
+            assert!(close(&got.dist, &want.dist), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_infinite() {
+        let mut b = mic_graph::GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let w = EdgeWeights::constant(&g, 2.5);
+        let pool = ThreadPool::new(3);
+        let r = delta_stepping(&pool, &g, &w, 0, 1.0, RuntimeModel::OpenMp(Schedule::dynamic100()));
+        assert_eq!(r.dist[2], 5.0);
+        assert!(r.dist[4].is_infinite() && r.dist[5].is_infinite());
+    }
+
+    #[test]
+    fn big_delta_degenerates_to_bellman_ford_rounds() {
+        // With delta > all path lengths, one bucket holds everything and
+        // light rounds do the whole job; result must still be exact.
+        let g = path(50);
+        let w = EdgeWeights::constant(&g, 1.0);
+        let pool = ThreadPool::new(4);
+        let r = delta_stepping(&pool, &g, &w, 0, 1e9, RuntimeModel::OpenMp(Schedule::dynamic100()));
+        let want = dijkstra(&g, &w, 0);
+        assert!(close(&r.dist, &want.dist));
+    }
+
+    #[test]
+    fn tiny_delta_degenerates_to_dijkstra_buckets() {
+        let g = path(20);
+        let w = EdgeWeights::constant(&g, 1.0);
+        let pool = ThreadPool::new(2);
+        // delta smaller than any weight: every edge is heavy.
+        let r = delta_stepping(&pool, &g, &w, 0, 0.5, RuntimeModel::OpenMp(Schedule::dynamic100()));
+        let want = dijkstra(&g, &w, 0);
+        assert!(close(&r.dist, &want.dist));
+    }
+
+    #[test]
+    fn default_delta_positive() {
+        let g = erdos_renyi_gnm(50, 100, 1);
+        let w = EdgeWeights::random_symmetric(&g, 0.5, 1.0, 2);
+        assert!(default_delta(&g, &w) > 0.0);
+        let empty = mic_graph::Csr::empty(3);
+        assert_eq!(default_delta(&empty, &EdgeWeights::constant(&empty, 1.0)), 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! BFS level validation (Graph500-style checks).
+
+use crate::UNREACHED;
+use mic_graph::{Csr, VertexId};
+
+/// Why a level assignment is not a valid BFS from `source`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BfsError {
+    /// The source is not at level 0.
+    BadSource,
+    /// An edge spans more than one level.
+    EdgeSpan(VertexId, VertexId),
+    /// A vertex at level `l > 0` has no neighbor at `l - 1`.
+    NoParent(VertexId),
+    /// A reached vertex adjacent to an unreached one (or vice versa).
+    ReachabilityMismatch(VertexId, VertexId),
+}
+
+impl std::fmt::Display for BfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BfsError::BadSource => write!(f, "source is not at level 0"),
+            BfsError::EdgeSpan(u, v) => write!(f, "edge ({u},{v}) spans more than one level"),
+            BfsError::NoParent(v) => write!(f, "vertex {v} has no neighbor one level up"),
+            BfsError::ReachabilityMismatch(u, v) => {
+                write!(f, "edge ({u},{v}) crosses the reached/unreached boundary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BfsError {}
+
+/// Check that `levels` is exactly the BFS level assignment from `source`:
+/// source at 0, every edge spans at most one level, every reached non-source
+/// vertex has a parent one level up, and reachability is consistent.
+/// Together these conditions force `levels[v]` = dist(source, v).
+pub fn check_levels(g: &Csr, source: VertexId, levels: &[u32]) -> Result<(), BfsError> {
+    assert_eq!(levels.len(), g.num_vertices());
+    if levels[source as usize] != 0 {
+        return Err(BfsError::BadSource);
+    }
+    for v in g.vertices() {
+        let lv = levels[v as usize];
+        if lv == UNREACHED {
+            for &w in g.neighbors(v) {
+                if levels[w as usize] != UNREACHED {
+                    return Err(BfsError::ReachabilityMismatch(v, w));
+                }
+            }
+            continue;
+        }
+        let mut has_parent = lv == 0;
+        for &w in g.neighbors(v) {
+            let lw = levels[w as usize];
+            if lw == UNREACHED {
+                return Err(BfsError::ReachabilityMismatch(v, w));
+            }
+            if (lw as i64 - lv as i64).abs() > 1 {
+                return Err(BfsError::EdgeSpan(v, w));
+            }
+            if lw + 1 == lv {
+                has_parent = true;
+            }
+        }
+        if !has_parent {
+            return Err(BfsError::NoParent(v));
+        }
+        // Exactly one vertex may be at level 0.
+        if lv == 0 && v != source {
+            return Err(BfsError::NoParent(v));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::bfs;
+    use mic_graph::generators::{erdos_renyi_gnm, grid2d, Stencil2};
+
+    #[test]
+    fn accepts_sequential_bfs() {
+        let g = erdos_renyi_gnm(500, 1500, 2);
+        let r = bfs(&g, 7);
+        check_levels(&g, 7, &r.levels).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_source() {
+        let g = grid2d(3, 3, Stencil2::FivePoint);
+        let mut levels = bfs(&g, 0).levels;
+        levels[0] = 1;
+        assert!(check_levels(&g, 0, &levels).is_err());
+    }
+
+    #[test]
+    fn rejects_edge_span() {
+        let g = grid2d(3, 1, Stencil2::FivePoint); // path 0-1-2
+        assert_eq!(check_levels(&g, 0, &[0, 2, 3]), Err(BfsError::EdgeSpan(0, 1)));
+    }
+
+    #[test]
+    fn rejects_level_without_parent() {
+        // Path 0-1-2-3: levels 0,1,2,3 valid; 0,1,2,2 invalid (3 has no
+        // neighbor at level 1).
+        let g = mic_graph::generators::path(4);
+        assert_eq!(check_levels(&g, 0, &[0, 1, 2, 2]), Err(BfsError::NoParent(3)));
+    }
+
+    #[test]
+    fn rejects_fake_reachability() {
+        let g = mic_graph::generators::path(3);
+        assert!(matches!(
+            check_levels(&g, 0, &[0, 1, UNREACHED]),
+            Err(BfsError::ReachabilityMismatch(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_second_root() {
+        // Cycle of 4 with two "level 0" vertices.
+        let g = mic_graph::generators::cycle(4);
+        assert!(check_levels(&g, 0, &[0, 1, 0, 1]).is_err());
+    }
+}

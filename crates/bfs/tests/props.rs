@@ -1,0 +1,83 @@
+//! Property-based tests: every BFS variant equals sequential BFS on
+//! arbitrary graphs, any source, any thread count; the bag is a faithful
+//! multiset.
+
+use mic_bfs::queue::Bag;
+use mic_bfs::{bfs, check_levels, parallel_bfs, BfsVariant};
+use mic_graph::{Csr, GraphBuilder, VertexId};
+use mic_runtime::{Partitioner, Schedule, ThreadPool};
+use proptest::prelude::*;
+
+fn arb_graph_and_source() -> impl Strategy<Value = (Csr, VertexId)> {
+    (2usize..80).prop_flat_map(|n| {
+        let g = proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..250)
+            .prop_map(move |es| {
+                let mut b = GraphBuilder::new(n);
+                b.extend(es);
+                b.build()
+            });
+        (g, 0..n as VertexId)
+    })
+}
+
+fn arb_variant() -> impl Strategy<Value = BfsVariant> {
+    prop_oneof![
+        ((1usize..64), (1usize..64), any::<bool>()).prop_map(|(c, b, relaxed)| {
+            BfsVariant::OmpBlock { sched: Schedule::Dynamic { chunk: c }, block: b, relaxed }
+        }),
+        ((1usize..64), (1usize..64), any::<bool>()).prop_map(|(g, b, relaxed)| {
+            BfsVariant::TbbBlock { part: Partitioner::Simple { grain: g }, block: b, relaxed }
+        }),
+        (1usize..64).prop_map(|g| BfsVariant::CilkBag { grain: g }),
+        (1usize..64).prop_map(|c| BfsVariant::OmpTls { sched: Schedule::Dynamic { chunk: c } }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_bfs_equals_sequential(
+        (g, src) in arb_graph_and_source(),
+        variant in arb_variant(),
+        t in 1usize..8,
+    ) {
+        let pool = ThreadPool::new(t);
+        let want = bfs(&g, src);
+        let got = parallel_bfs(&pool, &g, src, variant);
+        prop_assert_eq!(&got.levels, &want.levels);
+        prop_assert_eq!(got.num_levels, want.num_levels);
+        prop_assert!(check_levels(&g, src, &got.levels).is_ok());
+    }
+
+    #[test]
+    fn bag_union_is_multiset_union(
+        a in proptest::collection::vec(any::<u32>(), 0..500),
+        b in proptest::collection::vec(any::<u32>(), 0..500),
+        grain in 1usize..40,
+    ) {
+        let mut x = Bag::new(grain);
+        let mut y = Bag::new(grain);
+        for &v in &a { x.insert(v); }
+        for &v in &b { y.insert(v); }
+        x.union(y);
+        prop_assert_eq!(x.len(), a.len() + b.len());
+        let mut got = x.to_vec();
+        got.sort_unstable();
+        let mut want = [a, b].concat();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bag_nodes_partition_contents(
+        items in proptest::collection::vec(any::<u32>(), 0..800),
+        grain in 1usize..50,
+    ) {
+        let mut bag = Bag::new(grain);
+        for &v in &items { bag.insert(v); }
+        let total: usize = bag.nodes().iter().map(|n| n.len()).sum();
+        prop_assert_eq!(total, items.len());
+        prop_assert!(bag.nodes().iter().all(|n| n.len() <= grain));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the BFS crate's extension kernels: SSSP,
+//! connected components, betweenness.
+
+use mic_bfs::components::{components_parallel, components_seq};
+use mic_bfs::sssp::{default_delta, delta_stepping, dijkstra};
+use mic_bfs::{bfs, UNREACHED};
+use mic_graph::weights::EdgeWeights;
+use mic_graph::{Csr, GraphBuilder, VertexId};
+use mic_runtime::{Partitioner, RuntimeModel, Schedule, ThreadPool};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..180).prop_map(
+            move |es| {
+                let mut b = GraphBuilder::new(n);
+                b.extend(es);
+                b.build()
+            },
+        )
+    })
+}
+
+fn arb_model() -> impl Strategy<Value = RuntimeModel> {
+    prop_oneof![
+        (1usize..50).prop_map(|c| RuntimeModel::OpenMp(Schedule::Dynamic { chunk: c })),
+        (1usize..50).prop_map(|g| RuntimeModel::CilkHolder { grain: g }),
+        (1usize..50).prop_map(|g| RuntimeModel::Tbb(Partitioner::Simple { grain: g })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn delta_stepping_equals_dijkstra(
+        g in arb_graph(),
+        model in arb_model(),
+        t in 1usize..6,
+        seed in any::<u64>(),
+        delta_scale in 0.1f64..10.0,
+    ) {
+        let w = EdgeWeights::random_symmetric(&g, 0.1, 3.0, seed);
+        let src = 0;
+        let want = dijkstra(&g, &w, src);
+        let pool = ThreadPool::new(t);
+        let delta = default_delta(&g, &w) * delta_scale;
+        let got = delta_stepping(&pool, &g, &w, src, delta, model);
+        for (a, b) in got.dist.iter().zip(&want.dist) {
+            prop_assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9,
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn sssp_unit_weights_match_bfs(g in arb_graph(), t in 1usize..5) {
+        let w = EdgeWeights::constant(&g, 1.0);
+        let pool = ThreadPool::new(t);
+        let got = delta_stepping(
+            &pool, &g, &w, 0, 1.0,
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 8 }),
+        );
+        let levels = bfs(&g, 0).levels;
+        for (d, &l) in got.dist.iter().zip(&levels) {
+            if l == UNREACHED {
+                prop_assert!(d.is_infinite());
+            } else {
+                prop_assert!((d - l as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn components_parallel_equals_seq(g in arb_graph(), model in arb_model(), t in 1usize..6) {
+        let pool = ThreadPool::new(t);
+        let want = components_seq(&g);
+        let got = components_parallel(&pool, &g, model);
+        prop_assert_eq!(got.labels, want.labels);
+        prop_assert_eq!(got.count, want.count);
+    }
+
+    #[test]
+    fn component_labels_are_fixed_points(g in arb_graph(), t in 1usize..5) {
+        // Every label equals the min over the closed neighborhood.
+        let pool = ThreadPool::new(t);
+        let r = components_parallel(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()));
+        for v in g.vertices() {
+            let min_nbr = g
+                .neighbors(v)
+                .iter()
+                .map(|&w| r.labels[w as usize])
+                .chain(std::iter::once(r.labels[v as usize]))
+                .min()
+                .unwrap();
+            prop_assert_eq!(r.labels[v as usize], min_nbr);
+            prop_assert!(r.labels[v as usize] <= v);
+        }
+    }
+}

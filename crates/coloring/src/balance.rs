@@ -1,0 +1,146 @@
+//! Color-class balancing (toward equitable colorings).
+//!
+//! The paper's opening application of coloring is scheduling: color
+//! classes become synchronization-free parallel phases. Phases are only as
+//! fast as their *largest* class, so after minimizing colors one wants the
+//! classes *balanced*. This module implements the standard greedy
+//! rebalancing pass: visit vertices of over-full classes and move each to
+//! the smallest permissible class, never increasing the color count.
+
+use crate::seq::Coloring;
+use crate::verify::num_colors_used;
+use mic_graph::{Csr, VertexId};
+
+/// Balance statistics of a coloring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Balance {
+    pub largest: usize,
+    pub smallest: usize,
+    /// largest / ideal (1.0 = perfectly equitable).
+    pub imbalance: f64,
+}
+
+/// Measure class balance.
+pub fn class_balance(coloring: &Coloring, n: usize) -> Balance {
+    let k = coloring.num_colors as usize;
+    if k == 0 || n == 0 {
+        return Balance { largest: 0, smallest: 0, imbalance: 1.0 };
+    }
+    let mut sizes = vec![0usize; k];
+    for &c in &coloring.colors {
+        sizes[c as usize] += 1;
+    }
+    let largest = sizes.iter().copied().max().unwrap();
+    let smallest = sizes.iter().copied().min().unwrap();
+    let ideal = n as f64 / k as f64;
+    Balance { largest, smallest, imbalance: largest as f64 / ideal }
+}
+
+/// One balancing sweep: vertices in classes above the ideal size move to
+/// the smallest permissible class strictly below it. Properness and the
+/// color count are preserved. Returns the number of moved vertices.
+pub fn rebalance_pass(g: &Csr, coloring: &mut Coloring) -> usize {
+    let n = g.num_vertices();
+    let k = coloring.num_colors as usize;
+    if k <= 1 || n == 0 {
+        return 0;
+    }
+    let mut sizes = vec![0usize; k];
+    for &c in &coloring.colors {
+        sizes[c as usize] += 1;
+    }
+    let ideal = n as f64 / k as f64;
+    let mut moved = 0usize;
+    let mut permissible = vec![true; k];
+    for v in 0..n as VertexId {
+        let cv = coloring.colors[v as usize] as usize;
+        if (sizes[cv] as f64) <= ideal {
+            continue;
+        }
+        permissible.iter_mut().for_each(|p| *p = true);
+        for &w in g.neighbors(v) {
+            permissible[coloring.colors[w as usize] as usize] = false;
+        }
+        // Smallest permissible class strictly smaller than the current.
+        let target = (0..k)
+            .filter(|&c| c != cv && permissible[c])
+            .min_by_key(|&c| sizes[c]);
+        if let Some(t) = target {
+            if (sizes[t] as f64) < ideal && sizes[t] + 1 < sizes[cv] {
+                coloring.colors[v as usize] = t as u32;
+                sizes[t] += 1;
+                sizes[cv] -= 1;
+                moved += 1;
+            }
+        }
+    }
+    debug_assert_eq!(num_colors_used(&coloring.colors), coloring.num_colors);
+    moved
+}
+
+/// Iterate balancing sweeps until no vertex moves (or `max_passes`).
+pub fn rebalance(g: &Csr, coloring: &mut Coloring, max_passes: usize) -> Balance {
+    for _ in 0..max_passes {
+        if rebalance_pass(g, coloring) == 0 {
+            break;
+        }
+    }
+    class_balance(coloring, g.num_vertices())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::greedy_color;
+    use crate::verify::check_proper;
+    use mic_graph::generators::{erdos_renyi_gnm, grid2d, Stencil2};
+    use mic_graph::suite::{build, PaperGraph, Scale};
+
+    #[test]
+    fn balancing_preserves_properness_and_colors() {
+        let g = erdos_renyi_gnm(800, 5000, 7);
+        let mut c = greedy_color(&g);
+        let k0 = c.num_colors;
+        rebalance(&g, &mut c, 8);
+        check_proper(&g, &c.colors).unwrap();
+        assert_eq!(c.num_colors, k0);
+    }
+
+    #[test]
+    fn first_fit_is_skewed_and_balancing_helps() {
+        // First Fit loads low colors heavily; rebalancing must cut the
+        // imbalance substantially.
+        let g = build(PaperGraph::Hood, Scale::Fraction(128));
+        let mut c = greedy_color(&g);
+        let before = class_balance(&c, g.num_vertices());
+        rebalance(&g, &mut c, 10);
+        let after = class_balance(&c, g.num_vertices());
+        check_proper(&g, &c.colors).unwrap();
+        assert!(before.imbalance > 1.5, "FF should be skewed, got {}", before.imbalance);
+        assert!(
+            after.imbalance < before.imbalance * 0.8,
+            "balance {} -> {}",
+            before.imbalance,
+            after.imbalance
+        );
+    }
+
+    #[test]
+    fn bipartite_grid_balances_well() {
+        let g = grid2d(20, 20, Stencil2::FivePoint);
+        let mut c = greedy_color(&g);
+        let after = rebalance(&g, &mut c, 10);
+        check_proper(&g, &c.colors).unwrap();
+        // Two classes of a 400-vertex bipartite grid are already even.
+        assert!(after.imbalance < 1.05, "{after:?}");
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        let g = Csr::empty(5);
+        let mut c = greedy_color(&g);
+        assert_eq!(rebalance_pass(&g, &mut c), 0);
+        let b = class_balance(&c, 5);
+        assert_eq!(b.largest, 5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-vertex work descriptors of the coloring algorithm, for the machine
+//! simulator.
+//!
+//! The costs below count what the native kernel in [`crate::parallel`]
+//! actually does per vertex: stream the adjacency list, read each
+//! neighbor's color (hit class determined by the id gap, which is what the
+//! paper's random shuffle destroys), stamp the thread-local forbidden
+//! array, scan for the first free color. Conflict rounds touch only a tiny
+//! fraction of vertices ("the number of conflicting vertices is usually
+//! low"), so the simulator re-runs the two sweeps on a small sample.
+
+use mic_graph::stats::{gap_class, LocalityWindows, MemClass};
+use mic_graph::Csr;
+use mic_sim::{Policy, Region, Work};
+use std::sync::Arc;
+
+/// Issue ops per vertex outside the neighbor loop (queue read, color
+/// store, scan setup, loop control).
+const VERTEX_ISSUE: f64 = 10.0;
+/// Issue ops per neighbor (load, compare, stamp, increment).
+const EDGE_ISSUE: f64 = 5.0;
+/// Forbidden-array stamps and scans per neighbor — always L1 (the array is
+/// a few hundred bytes).
+const EDGE_L1: f64 = 1.5;
+/// Adjacency-array streaming: 16 `u32` ids per 64-byte line. The hardware
+/// prefetcher keeps the stream resident, so it costs L2/ring transfers,
+/// not demand misses.
+const EDGE_STREAM_L2: f64 = 1.0 / 16.0;
+/// Fraction of vertices revisited in conflict rounds (the paper reports
+/// conflict counts far below 1%).
+const CONFLICT_SAMPLE: usize = 1024;
+
+/// The simulator-facing workload of one iterative-coloring execution.
+#[derive(Clone)]
+pub struct ColoringWorkload {
+    /// Per-vertex cost of the tentative-coloring sweep.
+    pub tentative: Arc<Vec<Work>>,
+    /// Per-vertex cost of the conflict-detection sweep.
+    pub detect: Arc<Vec<Work>>,
+    /// Sampled conflict-round costs (both sweeps over the sample).
+    pub conflict_tentative: Arc<Vec<Work>>,
+    pub conflict_detect: Arc<Vec<Work>>,
+}
+
+/// Build the workload for `g` with the given locality windows.
+pub fn instrument(g: &Csr, windows: LocalityWindows) -> ColoringWorkload {
+    let n = g.num_vertices();
+    let mut tentative = Vec::with_capacity(n);
+    let mut detect = Vec::with_capacity(n);
+    for v in g.vertices() {
+        let deg = g.degree(v) as f64;
+        let (mut l1, mut l2, mut dram) = (0.0f64, 0.0f64, 0.0f64);
+        for &w in g.neighbors(v) {
+            match gap_class(v, w, windows) {
+                MemClass::L1 => l1 += 1.0,
+                MemClass::L2 => l2 += 1.0,
+                MemClass::Dram => dram += 1.0,
+            }
+        }
+        tentative.push(Work {
+            issue: VERTEX_ISSUE + EDGE_ISSUE * deg,
+            l1: l1 + EDGE_L1 * deg,
+            l2: l2 + EDGE_STREAM_L2 * deg,
+            dram,
+            flops: 0.0,
+            atomics: 0.0,
+        });
+        detect.push(Work {
+            issue: 6.0 + 3.0 * deg,
+            l1: l1 + 1.0, // neighbor colors re-read; own color cached
+            l2: l2 + EDGE_STREAM_L2 * deg,
+            dram,
+            flops: 0.0,
+            atomics: 0.0,
+        });
+    }
+    let sample = |src: &[Work]| -> Vec<Work> {
+        src.iter().step_by(CONFLICT_SAMPLE).copied().collect()
+    };
+    ColoringWorkload {
+        conflict_tentative: Arc::new(sample(&tentative)),
+        conflict_detect: Arc::new(sample(&detect)),
+        tentative: Arc::new(tentative),
+        detect: Arc::new(detect),
+    }
+}
+
+impl ColoringWorkload {
+    /// The region sequence of one full run under `policy`:
+    /// round 1 over all vertices (tentative + detect), a conflict round
+    /// over the sample, each sweep a separate parallel region.
+    pub fn regions(&self, policy: Policy) -> Vec<Region> {
+        vec![
+            Region::shared(Arc::clone(&self.tentative), policy),
+            Region::shared(Arc::clone(&self.detect), policy),
+            Region::shared(Arc::clone(&self.conflict_tentative), policy),
+            Region::shared(Arc::clone(&self.conflict_detect), policy),
+        ]
+    }
+
+    /// Replay-fidelity regions: instead of the fixed conflict sample, use
+    /// the *actual* per-round visit sets recorded by
+    /// `mic_coloring::parallel::iterative_coloring_traced` — two regions
+    /// (tentative + detect) per real round, each over exactly the vertices
+    /// that round touched.
+    pub fn regions_replay(&self, policy: Policy, round_visits: &[Vec<u32>]) -> Vec<Region> {
+        let mut regions = Vec::with_capacity(round_visits.len() * 2);
+        for visit in round_visits {
+            let tent: Vec<Work> =
+                visit.iter().map(|&v| self.tentative[v as usize]).collect();
+            let det: Vec<Work> = visit.iter().map(|&v| self.detect[v as usize]).collect();
+            regions.push(Region::new(tent, policy));
+            regions.push(Region::new(det, policy));
+        }
+        regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_graph::generators::{grid2d, Stencil2};
+    use mic_graph::ordering::{apply, Ordering};
+    use mic_sim::{simulate, Machine};
+
+    #[test]
+    fn workload_sizes_match_graph() {
+        let g = grid2d(50, 50, Stencil2::FivePoint);
+        let w = instrument(&g, LocalityWindows::default());
+        assert_eq!(w.tentative.len(), g.num_vertices());
+        assert_eq!(w.detect.len(), g.num_vertices());
+        assert!(w.conflict_tentative.len() <= g.num_vertices() / CONFLICT_SAMPLE + 1);
+        assert!(w.tentative.iter().all(|x| x.is_valid()));
+    }
+
+    #[test]
+    fn shuffling_moves_reads_to_dram() {
+        let g = grid2d(600, 600, Stencil2::FivePoint);
+        let (shuffled, _) = apply(&g, Ordering::Random { seed: 4 });
+        let nat = instrument(&g, LocalityWindows::default());
+        let shf = instrument(&shuffled, LocalityWindows::default());
+        let dram_nat: f64 = nat.tentative.iter().map(|w| w.dram).sum();
+        let dram_shf: f64 = shf.tentative.iter().map(|w| w.dram).sum();
+        assert!(dram_shf > 3.0 * dram_nat, "shuffle should add DRAM traffic: {dram_nat} -> {dram_shf}");
+    }
+
+    #[test]
+    fn replay_agrees_with_sampled_approximation() {
+        // The fixed conflict-sample approximation must track the real
+        // traced rounds closely (the paper's conflicts are tiny).
+        use mic_runtime::ThreadPool;
+        let g = grid2d(300, 300, Stencil2::FivePoint);
+        let pool = ThreadPool::new(8);
+        let (_, rounds) = mic_coloring_traced(&pool, &g);
+        let w = instrument(&g, LocalityWindows::default());
+        let policy = Policy::OmpDynamic { chunk: 100 };
+        let m = Machine::knf();
+        let sampled = simulate(&m, 61, &w.regions(policy)).cycles;
+        let replay = simulate(&m, 61, &w.regions_replay(policy, &rounds)).cycles;
+        // The fixed two-round sample over-/under-shoots by the cost of
+        // however many conflict rounds the traced run actually had; at 61
+        // threads that is a ~10% effect on a graph this small and shrinks
+        // with graph size.
+        let rel = (sampled - replay).abs() / replay;
+        assert!(rel < 0.2, "sampled {sampled} vs replay {replay} ({rel:.3})");
+    }
+
+    fn mic_coloring_traced(
+        pool: &mic_runtime::ThreadPool,
+        g: &Csr,
+    ) -> (crate::parallel::ParallelColoring, Vec<Vec<u32>>) {
+        use mic_runtime::Schedule;
+        crate::parallel::iterative_coloring_traced(
+            pool,
+            g,
+            mic_runtime::RuntimeModel::OpenMp(Schedule::dynamic100()),
+        )
+    }
+
+    #[test]
+    fn shuffled_scales_better_than_natural_at_high_threads() {
+        // The paper's central SMT observation: the DRAM-latency-bound
+        // (shuffled) kernel keeps scaling to 121 threads, the natural one
+        // saturates earlier.
+        let g = grid2d(600, 600, Stencil2::FivePoint);
+        let (shuffled, _) = apply(&g, Ordering::Random { seed: 4 });
+        let m = Machine::knf();
+        let policy = Policy::OmpDynamic { chunk: 100 };
+        let speedup = |g: &mic_graph::Csr| {
+            let w = instrument(g, LocalityWindows::default());
+            let regions = w.regions(policy);
+            let t1 = simulate(&m, 1, &regions).cycles;
+            let t121 = simulate(&m, 121, &regions).cycles;
+            t1 / t121
+        };
+        let s_nat = speedup(&g);
+        let s_shf = speedup(&shuffled);
+        assert!(s_shf > s_nat, "shuffled {s_shf} should out-scale natural {s_nat}");
+        assert!(s_shf > 90.0, "shuffled speedup should be near-linear, got {s_shf}");
+    }
+}

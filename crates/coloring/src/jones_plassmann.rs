@@ -1,0 +1,208 @@
+//! Jones–Plassmann parallel coloring — the classic alternative to the
+//! paper's speculate-and-repair scheme, included as a baseline.
+//!
+//! Every vertex draws a random priority; in each round, the vertices that
+//! are local priority maxima among their *uncolored* neighbors color
+//! themselves. Two adjacent vertices can never color in the same round, so
+//! the algorithm needs no conflict detection and — unlike speculation —
+//! produces the *same* coloring for every thread count and runtime model
+//! (a property the tests pin down). The price is more rounds: O(log n)
+//! expected for bounded-degree graphs versus the speculative algorithm's
+//! typical 2–3.
+
+use crate::{verify, UNCOLORED};
+use mic_graph::{Csr, VertexId};
+use mic_runtime::{ConcurrentPushVec, RuntimeModel, ThreadPool};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Outcome of a Jones–Plassmann run.
+#[derive(Clone, Debug)]
+pub struct JpColoring {
+    pub colors: Vec<u32>,
+    pub num_colors: u32,
+    pub rounds: usize,
+}
+
+/// Color `g` with random priorities drawn from `seed`.
+pub fn jones_plassmann(pool: &ThreadPool, g: &Csr, model: RuntimeModel, seed: u64) -> JpColoring {
+    let n = g.num_vertices();
+    // Random total order: priority[v] = rank of v in a shuffled sequence.
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut priority = vec![0u32; n];
+    for (rank, &v) in order.iter().enumerate() {
+        priority[v as usize] = rank as u32;
+    }
+
+    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+    // Round in which each vertex was colored. All visibility decisions go
+    // through this: a vertex colored in the *current* round is treated as
+    // still uncolored by everyone else, so every round works against the
+    // deterministic round-start snapshot (otherwise the result would
+    // depend on intra-round timing).
+    let round_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let mut active: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rounds = 0u32;
+
+    while !active.is_empty() {
+        rounds += 1;
+        let next = ConcurrentPushVec::new(active.len());
+        {
+            let r = rounds;
+            let active_ref = &active;
+            let colors_ref = &colors;
+            let round_ref = &round_of;
+            let priority_ref = &priority;
+            let next_ref = &next;
+            model.drive(pool, active_ref.len(), |chunk, _ctx| {
+                // Forbidden-color scratch, stamped per vertex: allocated
+                // per chunk since degree-bounded and cheap.
+                let mut forbidden: Vec<VertexId> = Vec::new();
+                for idx in chunk {
+                    let v = active_ref[idx];
+                    let pv = priority_ref[v as usize];
+                    let colored_before =
+                        |w: VertexId| round_ref[w as usize].load(Ordering::Relaxed) < r;
+                    let mut is_max = true;
+                    for &w in g.neighbors(v) {
+                        if !colored_before(w) && priority_ref[w as usize] > pv {
+                            is_max = false;
+                            break;
+                        }
+                    }
+                    if !is_max {
+                        next_ref.push(v);
+                        continue;
+                    }
+                    // Local max in the snapshot: no neighbor colors this
+                    // round, and only snapshot colors enter the forbidden
+                    // set, so the choice is deterministic.
+                    if forbidden.len() < g.degree(v) + 2 {
+                        forbidden.resize(g.degree(v) + 2, VertexId::MAX);
+                    }
+                    for &w in g.neighbors(v) {
+                        if colored_before(w) {
+                            let c = colors_ref[w as usize].load(Ordering::Relaxed) as usize;
+                            // Neighbors may carry colors above deg(v)+1
+                            // (their own degrees are larger); those can
+                            // never block v's first-fit slot, so skip.
+                            if c < forbidden.len() {
+                                forbidden[c] = v;
+                            }
+                        }
+                    }
+                    let mut c = 0u32;
+                    while forbidden[c as usize] == v {
+                        c += 1;
+                    }
+                    colors_ref[v as usize].store(c, Ordering::Relaxed);
+                    round_ref[v as usize].store(r, Ordering::Relaxed);
+                }
+            });
+        }
+        let mut next = next;
+        active = next.drain();
+    }
+    let rounds = rounds as usize;
+
+    let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
+    let num_colors = verify::num_colors_used(&colors);
+    JpColoring { colors, num_colors, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::greedy_color;
+    use crate::verify::check_proper;
+    use mic_graph::generators::{complete, erdos_renyi_gnm, grid2d, path, star, Stencil2};
+    use mic_runtime::{Partitioner, Schedule};
+
+    #[test]
+    fn proper_on_random_graphs() {
+        let pool = ThreadPool::new(4);
+        for seed in 0..3 {
+            let g = erdos_renyi_gnm(1500, 8000, seed);
+            let r = jones_plassmann(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()), 42);
+            check_proper(&g, &r.colors).unwrap();
+            assert!(r.num_colors as usize <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_threads_and_models() {
+        let g = erdos_renyi_gnm(1200, 6000, 9);
+        let reference = {
+            let pool = ThreadPool::new(1);
+            jones_plassmann(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()), 7).colors
+        };
+        for t in [2usize, 4, 8] {
+            let pool = ThreadPool::new(t);
+            for model in [
+                RuntimeModel::OpenMp(Schedule::Static { chunk: Some(13) }),
+                RuntimeModel::CilkHolder { grain: 50 },
+                RuntimeModel::Tbb(Partitioner::Auto),
+            ] {
+                let r = jones_plassmann(&pool, &g, model, 7);
+                assert_eq!(r.colors, reference, "{model:?} t={t} must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_proper() {
+        let pool = ThreadPool::new(4);
+        let g = grid2d(30, 30, Stencil2::NinePoint);
+        let a = jones_plassmann(&pool, &g, RuntimeModel::CilkHolder { grain: 32 }, 1);
+        let b = jones_plassmann(&pool, &g, RuntimeModel::CilkHolder { grain: 32 }, 2);
+        check_proper(&g, &a.colors).unwrap();
+        check_proper(&g, &b.colors).unwrap();
+    }
+
+    #[test]
+    fn special_graphs() {
+        let pool = ThreadPool::new(4);
+        let m = RuntimeModel::OpenMp(Schedule::dynamic100());
+        let g = complete(10);
+        assert_eq!(jones_plassmann(&pool, &g, m, 3).num_colors, 10);
+        let g = star(64);
+        assert!(jones_plassmann(&pool, &g, m, 3).num_colors <= 2);
+        let g = path(100);
+        assert!(jones_plassmann(&pool, &g, m, 3).num_colors <= 3);
+    }
+
+    #[test]
+    fn round_count_reasonable() {
+        // O(log n) expected rounds for bounded degree.
+        let pool = ThreadPool::new(8);
+        let g = grid2d(60, 60, Stencil2::FivePoint);
+        let r = jones_plassmann(&pool, &g, RuntimeModel::Tbb(Partitioner::Simple { grain: 64 }), 5);
+        assert!(r.rounds < 60, "rounds {}", r.rounds);
+        check_proper(&g, &r.colors).unwrap();
+    }
+
+    #[test]
+    fn quality_comparable_to_greedy() {
+        let pool = ThreadPool::new(4);
+        let g = erdos_renyi_gnm(2000, 12_000, 4);
+        let jp = jones_plassmann(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()), 11);
+        let gr = greedy_color(&g);
+        assert!(
+            (jp.num_colors as f64) <= 1.6 * gr.num_colors as f64 + 2.0,
+            "JP {} vs greedy {}",
+            jp.num_colors,
+            gr.num_colors
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let pool = ThreadPool::new(2);
+        let r = jones_plassmann(&pool, &Csr::empty(0), RuntimeModel::OpenMp(Schedule::dynamic100()), 0);
+        assert_eq!(r.num_colors, 0);
+        assert_eq!(r.rounds, 0);
+    }
+}

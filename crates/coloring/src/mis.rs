@@ -1,0 +1,193 @@
+//! Luby's maximal independent set — the randomized primitive underneath
+//! Jones–Plassmann (a JP round *is* a Luby round whose winners get colors)
+//! and the classic way to parallelize the "independent set" view of
+//! coloring the paper's introduction describes (color classes are exactly
+//! independent sets).
+
+use mic_graph::{Csr, VertexId};
+use mic_runtime::{ConcurrentPushVec, RuntimeModel, ThreadPool};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const UNDECIDED: u8 = 0;
+const IN_SET: u8 = 1;
+const OUT: u8 = 2;
+
+/// Result of a MIS computation.
+#[derive(Clone, Debug)]
+pub struct Mis {
+    /// Membership per vertex.
+    pub in_set: Vec<bool>,
+    pub rounds: usize,
+}
+
+/// Luby's algorithm with a fixed random priority permutation (Blelloch's
+/// deterministic-parallel variant): in each round, every undecided vertex
+/// whose priority beats all undecided neighbors joins the set and knocks
+/// its neighbors out. Deterministic for a given seed, any thread count.
+///
+/// ```
+/// use mic_coloring::mis::{check_mis, luby_mis};
+/// use mic_graph::generators::cycle;
+/// use mic_runtime::{RuntimeModel, Schedule, ThreadPool};
+/// let g = cycle(12);
+/// let pool = ThreadPool::new(4);
+/// let mis = luby_mis(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()), 1);
+/// assert!(check_mis(&g, &mis.in_set));
+/// ```
+pub fn luby_mis(pool: &ThreadPool, g: &Csr, model: RuntimeModel, seed: u64) -> Mis {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut priority = vec![0u32; n];
+    for (rank, &v) in order.iter().enumerate() {
+        priority[v as usize] = rank as u32;
+    }
+
+    let state: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect();
+    let mut active: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rounds = 0usize;
+
+    while !active.is_empty() {
+        rounds += 1;
+        // Phase 1: local-max vertices join the set. Only UNDECIDED
+        // neighbors compete, judged against the round-start state — but
+        // since state only moves UNDECIDED -> {IN_SET, OUT} and a vertex
+        // that becomes IN_SET/OUT this round cannot also be a competing
+        // local max (priorities are a total order), the phase is
+        // deterministic without a snapshot.
+        let winners = ConcurrentPushVec::new(active.len());
+        {
+            let active_ref = &active;
+            let state_ref = &state;
+            let priority_ref = &priority;
+            let winners_ref = &winners;
+            model.drive(pool, active_ref.len(), |chunk, _| {
+                for i in chunk {
+                    let v = active_ref[i];
+                    if state_ref[v as usize].load(Ordering::Relaxed) != UNDECIDED {
+                        continue;
+                    }
+                    let pv = priority_ref[v as usize];
+                    let wins = g.neighbors(v).iter().all(|&w| {
+                        state_ref[w as usize].load(Ordering::Relaxed) == OUT
+                            || priority_ref[w as usize] < pv
+                    });
+                    if wins {
+                        state_ref[v as usize].store(IN_SET, Ordering::Relaxed);
+                        winners_ref.push(v);
+                    }
+                }
+            });
+        }
+        // Phase 2: winners knock out their neighbors.
+        let mut winners = winners;
+        let winners = winners.drain();
+        {
+            let state_ref = &state;
+            let winners_ref = &winners;
+            model.drive(pool, winners_ref.len(), |chunk, _| {
+                for i in chunk {
+                    for &w in g.neighbors(winners_ref[i]) {
+                        state_ref[w as usize].store(OUT, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        active.retain(|&v| state[v as usize].load(Ordering::Relaxed) == UNDECIDED);
+    }
+
+    let in_set = state.into_iter().map(|s| s.into_inner() == IN_SET).collect();
+    Mis { in_set, rounds }
+}
+
+/// Check maximal independence: no two set members adjacent, and every
+/// non-member has a member neighbor.
+pub fn check_mis(g: &Csr, in_set: &[bool]) -> bool {
+    assert_eq!(in_set.len(), g.num_vertices());
+    for v in g.vertices() {
+        if in_set[v as usize] {
+            if g.neighbors(v).iter().any(|&w| in_set[w as usize]) {
+                return false; // not independent
+            }
+        } else if !g.neighbors(v).iter().any(|&w| in_set[w as usize]) {
+            return false; // not maximal
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_graph::generators::{complete, erdos_renyi_gnm, grid2d, path, star, Stencil2};
+    use mic_runtime::{Partitioner, Schedule};
+
+    #[test]
+    fn valid_on_random_graphs_all_models() {
+        let pool = ThreadPool::new(6);
+        let g = erdos_renyi_gnm(1500, 7000, 3);
+        for model in [
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 32 }),
+            RuntimeModel::CilkHolder { grain: 32 },
+            RuntimeModel::Tbb(Partitioner::Simple { grain: 32 }),
+        ] {
+            let m = luby_mis(&pool, &g, model, 7);
+            assert!(check_mis(&g, &m.in_set), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = erdos_renyi_gnm(1000, 5000, 9);
+        let want = {
+            let pool = ThreadPool::new(1);
+            luby_mis(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()), 5).in_set
+        };
+        for t in [2usize, 5, 8] {
+            let pool = ThreadPool::new(t);
+            let got = luby_mis(&pool, &g, RuntimeModel::CilkHolder { grain: 17 }, 5).in_set;
+            assert_eq!(got, want, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn special_graphs() {
+        let pool = ThreadPool::new(4);
+        let m = RuntimeModel::OpenMp(Schedule::dynamic100());
+        // Complete graph: exactly one vertex.
+        let mis = luby_mis(&pool, &complete(10), m, 1);
+        assert_eq!(mis.in_set.iter().filter(|&&x| x).count(), 1);
+        // Star: either the hub alone or all the leaves.
+        let g = star(30);
+        let mis = luby_mis(&pool, &g, m, 1);
+        assert!(check_mis(&g, &mis.in_set));
+        // Path: valid MIS (size between n/3 and n/2 + 1).
+        let g = path(30);
+        let mis = luby_mis(&pool, &g, m, 1);
+        assert!(check_mis(&g, &mis.in_set));
+        let k = mis.in_set.iter().filter(|&&x| x).count();
+        assert!((10..=16).contains(&k), "path MIS size {k}");
+    }
+
+    #[test]
+    fn grid_rounds_logarithmic() {
+        let pool = ThreadPool::new(8);
+        let g = grid2d(50, 50, Stencil2::NinePoint);
+        let m = luby_mis(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()), 3);
+        assert!(check_mis(&g, &m.in_set));
+        assert!(m.rounds < 40, "rounds {}", m.rounds);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let pool = ThreadPool::new(2);
+        let m = RuntimeModel::OpenMp(Schedule::dynamic100());
+        let mis = luby_mis(&pool, &Csr::empty(5), m, 0);
+        assert!(mis.in_set.iter().all(|&x| x), "isolated vertices all join");
+        let mis = luby_mis(&pool, &Csr::empty(0), m, 0);
+        assert!(mis.in_set.is_empty());
+    }
+}

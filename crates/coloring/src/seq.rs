@@ -1,0 +1,111 @@
+//! Sequential greedy First-Fit coloring (Algorithm 1 of the paper).
+
+use crate::UNCOLORED;
+use mic_graph::{Csr, VertexId};
+
+/// A coloring: `colors[v]` is 0-based; `num_colors` = max + 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coloring {
+    pub colors: Vec<u32>,
+    pub num_colors: u32,
+}
+
+/// Greedy First-Fit in the given visit `order` (a sequence of all vertex
+/// ids). For any order this uses at most Δ + 1 colors; for some orders it
+/// is optimal (the properties the paper cites).
+///
+/// The `forbidden` array is stamped with the current vertex id instead of
+/// being cleared per vertex — the same trick as the paper's
+/// `forbiddenColors[color[w]] ← v`.
+pub fn greedy_color_in_order(g: &Csr, order: &[VertexId]) -> Coloring {
+    let n = g.num_vertices();
+    assert_eq!(order.len(), n, "order must visit every vertex once");
+    let mut colors = vec![UNCOLORED; n];
+    // At most Δ + 1 colors ever needed; + 1 slot to find a free color.
+    let mut forbidden = vec![VertexId::MAX; g.max_degree() + 2];
+    let mut num_colors = 0u32;
+    for &v in order {
+        for &w in g.neighbors(v) {
+            let c = colors[w as usize];
+            if c != UNCOLORED {
+                forbidden[c as usize] = v;
+            }
+        }
+        let mut c = 0u32;
+        while forbidden[c as usize] == v {
+            c += 1;
+        }
+        colors[v as usize] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    Coloring { colors, num_colors }
+}
+
+/// Greedy First-Fit in natural vertex order — the configuration whose
+/// color counts Table I reports.
+pub fn greedy_color(g: &Csr) -> Coloring {
+    let order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    greedy_color_in_order(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_proper;
+    use mic_graph::generators::{complete, cycle, erdos_renyi_gnm, path, star};
+
+    #[test]
+    fn path_uses_two_colors() {
+        let g = path(10);
+        let c = greedy_color(&g);
+        assert_eq!(c.num_colors, 2);
+        check_proper(&g, &c.colors).unwrap();
+    }
+
+    #[test]
+    fn even_cycle_two_odd_cycle_three() {
+        let c = greedy_color(&cycle(8));
+        assert_eq!(c.num_colors, 2);
+        let c = greedy_color(&cycle(9));
+        assert_eq!(c.num_colors, 3);
+    }
+
+    #[test]
+    fn star_uses_two() {
+        let c = greedy_color(&star(100));
+        assert_eq!(c.num_colors, 2);
+    }
+
+    #[test]
+    fn complete_uses_n() {
+        let g = complete(7);
+        let c = greedy_color(&g);
+        assert_eq!(c.num_colors, 7);
+        check_proper(&g, &c.colors).unwrap();
+    }
+
+    #[test]
+    fn random_graph_within_delta_plus_one() {
+        let g = erdos_renyi_gnm(500, 3000, 17);
+        let c = greedy_color(&g);
+        assert!(c.num_colors as usize <= g.max_degree() + 1);
+        check_proper(&g, &c.colors).unwrap();
+    }
+
+    #[test]
+    fn reverse_order_still_proper() {
+        let g = erdos_renyi_gnm(200, 800, 5);
+        let order: Vec<u32> = (0..200u32).rev().collect();
+        let c = greedy_color_in_order(&g, &order);
+        check_proper(&g, &c.colors).unwrap();
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let c = greedy_color(&Csr::empty(0));
+        assert_eq!(c.num_colors, 0);
+        let c = greedy_color(&Csr::empty(5));
+        assert_eq!(c.num_colors, 1);
+        assert!(c.colors.iter().all(|&x| x == 0));
+    }
+}

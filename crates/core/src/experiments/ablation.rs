@@ -1,0 +1,245 @@
+//! Ablations of the design choices the paper calls out: the block size of
+//! the block-accessed queue, the scheduler chunk size, locked vs relaxed
+//! queues, and vertex ordering.
+
+use crate::series::{Figure, Series};
+use mic_bfs::instrument::{instrument as bfs_instrument, SimVariant};
+use mic_bfs::seq::table1_source;
+use mic_coloring::instrument::instrument as coloring_instrument;
+use mic_graph::ordering::{apply, Ordering};
+use mic_graph::stats::LocalityWindows;
+use mic_graph::suite::{PaperGraph, Scale};
+use super::suite_graph as build;
+use mic_irregular::instrument::instrument as irregular_instrument;
+use mic_sim::{simulate, simulate_region, Machine, Placement, Policy};
+
+/// Sweep the block-accessed queue's block size (the paper: "by keeping the
+/// block size small (but not so small so that we do not use atomics too
+/// often), the overhead is minimized" — 32 was its best).
+pub fn block_size_sweep(scale: Scale) -> Figure {
+    let machine = Machine::knf();
+    let g = build(PaperGraph::Hood, scale);
+    let src = table1_source(&g);
+    let windows = LocalityWindows::default();
+    let blocks = [1usize, 4, 8, 16, 32, 64, 128, 512];
+    let mut fig = Figure::new("Ablation: BFS block size (hood, OpenMP-Block-relaxed)", blocks.to_vec());
+    fig.xlabel = "block size".into();
+    for &t in &[31usize, 61, 121] {
+        let y: Vec<f64> = blocks
+            .iter()
+            .map(|&b| {
+                let w = bfs_instrument(&g, src, windows, SimVariant::Block { block: b, relaxed: true });
+                let regions = w.regions(Policy::OmpDynamic { chunk: b });
+                simulate(&machine, 1, &regions).cycles / simulate(&machine, t, &regions).cycles
+            })
+            .collect();
+        fig.push(Series::new(format!("{t} threads"), y));
+    }
+    fig
+}
+
+/// Sweep the OpenMP dynamic chunk size for coloring (the paper tried 40 to
+/// 150 and settled on 100).
+pub fn chunk_size_sweep(scale: Scale) -> Figure {
+    let machine = Machine::knf();
+    let g = build(PaperGraph::Hood, scale);
+    let w = coloring_instrument(&g, LocalityWindows::default());
+    let chunks = [10usize, 40, 100, 400, 1000, 4000];
+    let mut fig = Figure::new("Ablation: coloring dynamic chunk size (hood)", chunks.to_vec());
+    fig.xlabel = "chunk size".into();
+    for &t in &[31usize, 121] {
+        let y: Vec<f64> = chunks
+            .iter()
+            .map(|&c| {
+                let regions = w.regions(Policy::OmpDynamic { chunk: c });
+                simulate(&machine, 1, &regions).cycles / simulate(&machine, t, &regions).cycles
+            })
+            .collect();
+        fig.push(Series::new(format!("{t} threads"), y));
+    }
+    fig
+}
+
+/// Locked vs relaxed block queues across the thread grid (Figure 4a/b's
+/// sub-comparison, isolated).
+pub fn locked_vs_relaxed(scale: Scale) -> Figure {
+    let machine = Machine::knf();
+    let g = build(PaperGraph::Hood, scale);
+    let src = table1_source(&g);
+    let windows = LocalityWindows::default();
+    let grid = machine.thread_grid();
+    let mut fig = Figure::new("Ablation: locked vs relaxed block queue (hood)", grid.clone());
+    // Common baseline (the fastest 1-thread variant), the paper's rule.
+    let runs: Vec<(&str, Vec<f64>)> = [("relaxed", true), ("locked", false)]
+        .into_iter()
+        .map(|(label, relaxed)| {
+            let w = bfs_instrument(&g, src, windows, SimVariant::Block { block: 32, relaxed });
+            let regions = w.regions(Policy::OmpDynamic { chunk: 32 });
+            (label, grid.iter().map(|&t| simulate(&machine, t, &regions).cycles).collect())
+        })
+        .collect();
+    let base = runs.iter().map(|(_, c)| c[0]).fold(f64::INFINITY, f64::min);
+    for (label, cycles) in runs {
+        fig.push(Series::new(label, cycles.iter().map(|c| base / c).collect()));
+    }
+    fig
+}
+
+/// Vertex-ordering ablation for coloring: natural vs Cuthill–McKee vs
+/// random shuffle (extends Figure 2 with the bandwidth-reducing order).
+pub fn ordering_ablation(scale: Scale) -> Figure {
+    let machine = Machine::knf();
+    let g = build(PaperGraph::Hood, scale);
+    let grid = machine.thread_grid();
+    let mut fig = Figure::new("Ablation: coloring vertex ordering (hood, OpenMP-dynamic)", grid.clone());
+    let orders: [(&str, Option<Ordering>); 3] = [
+        ("natural", None),
+        ("cuthill-mckee", Some(Ordering::CuthillMcKee { source: 0 })),
+        ("shuffled", Some(Ordering::Random { seed: 77 })),
+    ];
+    for (label, ord) in orders {
+        let graph = match ord {
+            None => g.clone(),
+            Some(o) => apply(&g, o).0,
+        };
+        let w = coloring_instrument(&graph, LocalityWindows::default());
+        let regions = w.regions(Policy::OmpDynamic { chunk: 100 });
+        let base = simulate(&machine, 1, &regions).cycles;
+        let y: Vec<f64> =
+            grid.iter().map(|&t| base / simulate(&machine, t, &regions).cycles).collect();
+        fig.push(Series::new(label, y));
+    }
+    fig
+}
+
+/// Thread-placement ablation (scatter vs compact) on the irregular kernel:
+/// scatter uses one thread per core as long as possible; compact saturates
+/// SMT slots first, paying issue/FPU sharing from the start. The paper ran
+/// scatter; this shows why that was the right call below ~62 threads.
+pub fn placement_ablation(scale: Scale) -> Figure {
+    let g = build(PaperGraph::Hood, scale);
+    let w = irregular_instrument(&g, LocalityWindows::default(), 1);
+    let r = w.region(Policy::OmpDynamic { chunk: 100 });
+    let scatter = Machine::knf();
+    let mut compact = Machine::knf();
+    compact.placement = Placement::Compact;
+    let grid = scatter.thread_grid();
+    let mut fig = Figure::new("Ablation: thread placement (hood, irregular iter=1)", grid.clone());
+    for (label, m) in [("scatter", &scatter), ("compact", &compact)] {
+        let base = simulate_region(m, 1, &r);
+        let y: Vec<f64> = grid.iter().map(|&t| base / simulate_region(m, t, &r)).collect();
+        fig.push(Series::new(label, y));
+    }
+    fig
+}
+
+/// Fork/join-per-level vs persistent-team BFS: the paper's codes fork a
+/// parallel region per level; a persistent team pays only a barrier. The
+/// gap grows with depth — `pwtk`'s 267 levels are the showcase.
+pub fn fork_vs_persistent(scale: Scale) -> Figure {
+    let machine = Machine::knf();
+    let g = build(PaperGraph::Pwtk, scale);
+    let src = table1_source(&g);
+    let w = bfs_instrument(
+        &g,
+        src,
+        LocalityWindows::default(),
+        SimVariant::Block { block: 32, relaxed: true },
+    );
+    let grid = machine.thread_grid();
+    let forked = w.regions(Policy::OmpDynamic { chunk: 32 });
+    let persistent = w.regions_persistent(Policy::OmpDynamic { chunk: 32 });
+    let base = simulate(&machine, 1, &forked)
+        .cycles
+        .min(simulate(&machine, 1, &persistent).cycles);
+    let mut fig = Figure::new("Ablation: fork/join per level vs persistent team (pwtk)", grid.clone());
+    for (label, regions) in [("fork-join", &forked), ("persistent-team", &persistent)] {
+        let y: Vec<f64> =
+            grid.iter().map(|&t| base / simulate(&machine, t, regions).cycles).collect();
+        fig.push(Series::new(label, y));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_scatter_wins_below_full_occupancy() {
+        let fig = placement_ablation(Scale::Fraction(16));
+        let s = fig.get("scatter").unwrap();
+        let c = fig.get("compact").unwrap();
+        let mid = fig.x.iter().position(|&t| t == 31).unwrap();
+        assert!(s.y[mid] > 1.5 * c.y[mid], "scatter {} vs compact {} at 31 threads", s.y[mid], c.y[mid]);
+        // At full occupancy they converge.
+        let last = fig.x.len() - 1;
+        assert!((s.y[last] - c.y[last]).abs() / s.y[last] < 0.25);
+    }
+
+    #[test]
+    fn persistent_team_beats_fork_join_on_deep_graphs() {
+        let fig = fork_vs_persistent(Scale::Fraction(16));
+        let f = fig.get("fork-join").unwrap();
+        let p = fig.get("persistent-team").unwrap();
+        // The advantage is clearest before the (linear-in-threads) barrier
+        // term dwarfs the fork cost; it must never hurt.
+        let mid = fig.x.iter().position(|&t| t == 31).unwrap();
+        assert!(
+            p.y[mid] > f.y[mid] * 1.01,
+            "persistent {} should beat fork-join {} at 31 threads",
+            p.y[mid],
+            f.y[mid]
+        );
+        for (pp, ff) in p.y.iter().zip(&f.y) {
+            assert!(pp * 1.001 >= *ff, "persistent must never lose: {pp} vs {ff}");
+        }
+    }
+
+    #[test]
+    fn block_sweep_penalizes_extremes() {
+        // Needs a graph whose levels hold many blocks; 1/8 scale keeps
+        // hood's level widths in the hundreds.
+        let fig = block_size_sweep(Scale::Fraction(8));
+        let s = fig.get("121 threads").unwrap();
+        // Block 1 pays an atomic per push; block 512 starves/wastes.
+        let b1 = s.y[0];
+        let b32 = s.y[fig.x.iter().position(|&b| b == 32).unwrap()];
+        let b512 = s.y[fig.x.len() - 1];
+        assert!(b32 > b1, "block 32 ({b32}) should beat block 1 ({b1})");
+        assert!(b32 > b512, "block 32 ({b32}) should beat block 512 ({b512})");
+    }
+
+    #[test]
+    fn relaxed_at_least_matches_locked() {
+        let fig = locked_vs_relaxed(Scale::Fraction(16));
+        let r = fig.get("relaxed").unwrap();
+        let l = fig.get("locked").unwrap();
+        let last = fig.x.len() - 1;
+        assert!(
+            r.y[last] > l.y[last],
+            "relaxed {} should beat locked {} against the common baseline",
+            r.y[last],
+            l.y[last]
+        );
+    }
+
+    #[test]
+    fn shuffled_ordering_scales_best_cm_and_natural_similar() {
+        let fig = ordering_ablation(Scale::Fraction(64));
+        let last = fig.x.len() - 1;
+        let nat = fig.get("natural").unwrap().y[last];
+        let shf = fig.get("shuffled").unwrap().y[last];
+        assert!(shf > nat, "shuffled speedup {shf} should exceed natural {nat}");
+    }
+
+    #[test]
+    fn chunk_sweep_has_an_interior_optimum_or_plateau() {
+        let fig = chunk_size_sweep(Scale::Fraction(64));
+        let s = fig.get("121 threads").unwrap();
+        let max = s.y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Tiny chunks pay dispatch; the best chunk is none of the extremes
+        // or at least not the smallest.
+        assert!(max > s.y[0], "chunk 10 should not be optimal: {:?}", s.y);
+    }
+}

@@ -1,0 +1,34 @@
+//! Drivers regenerating every table and figure of the paper.
+//!
+//! All drivers take a [`mic_graph::suite::Scale`]: `Scale::Full` for the
+//! paper-sized runs recorded in EXPERIMENTS.md, a fraction for smoke tests.
+//! Scalability curves come from the `mic-sim` machine model fed with
+//! instrumented runs of the real kernels (see DESIGN.md for the
+//! substitution argument); the kernels themselves run natively in the test
+//! suite for correctness.
+
+pub mod ablation;
+pub mod extras;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod table1;
+
+use mic_graph::suite::{build, build_cached, PaperGraph, Scale};
+use mic_graph::Csr;
+
+/// Build one suite graph, honoring the `MIC_SUITE_CACHE` directory if set
+/// (binary CSR cache — useful when regenerating many figures at full
+/// scale).
+pub(crate) fn suite_graph(g: PaperGraph, scale: Scale) -> Csr {
+    match std::env::var_os("MIC_SUITE_CACHE") {
+        Some(dir) => build_cached(g, scale, dir),
+        None => build(g, scale),
+    }
+}
+
+/// Build the full seven-graph suite at `scale`, in Table I order.
+pub(crate) fn suite(scale: Scale) -> Vec<(PaperGraph, Csr)> {
+    PaperGraph::all().into_iter().map(|g| (g, suite_graph(g, scale))).collect()
+}

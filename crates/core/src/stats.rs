@@ -1,0 +1,89 @@
+//! Aggregation helpers: the paper's speedup methodology.
+//!
+//! "Speedup value on multiple graphs are geometric mean of the speedup of
+//! each graph, which is computed using as baseline the configuration that
+//! performs the fastest on 1 thread for that graph."
+
+/// Geometric mean of positive values (1.0 for an empty slice).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Per-graph execution costs of several configurations over a thread grid.
+/// `cycles[config][graph][ti]` → speedups per config:
+/// `geomean_g( baseline_g / cycles[config][g][ti] )` where `baseline_g` is
+/// the fastest 1-thread cost across configs for that graph.
+pub fn paper_speedups(cycles: &[Vec<Vec<f64>>]) -> Vec<Vec<f64>> {
+    assert!(!cycles.is_empty());
+    let n_graphs = cycles[0].len();
+    let n_t = cycles[0][0].len();
+    for c in cycles {
+        assert_eq!(c.len(), n_graphs, "inconsistent graph counts");
+        assert!(c.iter().all(|g| g.len() == n_t), "inconsistent grids");
+    }
+    // Fastest 1-thread configuration per graph.
+    let baselines: Vec<f64> = (0..n_graphs)
+        .map(|g| cycles.iter().map(|c| c[g][0]).fold(f64::INFINITY, f64::min))
+        .collect();
+    cycles
+        .iter()
+        .map(|c| {
+            (0..n_t)
+                .map(|ti| {
+                    let per_graph: Vec<f64> =
+                        (0..n_graphs).map(|g| baselines[g] / c[g][ti]).collect();
+                    geomean(&per_graph)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn speedups_use_fastest_single_thread_baseline() {
+        // Two configs, one graph, grid {1, 2}: config B is slower at t=1,
+        // so its speedup there is below 1 relative to A's baseline.
+        let a = vec![vec![100.0, 50.0]];
+        let b = vec![vec![200.0, 40.0]];
+        let s = paper_speedups(&[a, b]);
+        assert!((s[0][0] - 1.0).abs() < 1e-12);
+        assert!((s[0][1] - 2.0).abs() < 1e-12);
+        assert!((s[1][0] - 0.5).abs() < 1e-12);
+        assert!((s[1][1] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedups_geomean_across_graphs() {
+        // One config, two graphs with speedups 4 and 9 at t=2.
+        let c = vec![vec![100.0, 25.0], vec![90.0, 10.0]];
+        let s = paper_speedups(&[c]);
+        assert!((s[0][1] - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,65 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// G(n, m): `m` distinct undirected edges sampled uniformly.
+///
+/// Sampling is with rejection against a builder-side count, so the result has
+/// exactly `m` edges (requires `m <= n(n-1)/2`).
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Csr {
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_m, "requested {m} edges but only {max_m} possible");
+    if n == 0 || m == 0 {
+        return GraphBuilder::new(n).build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // For sparse graphs, rejection via a hash set of edge keys is fine.
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u64) as VertexId;
+        let v = rng.gen_range(0..n as u64) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 300, 3);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 300);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi_gnm(50, 100, 5), erdos_renyi_gnm(50, 100, 5));
+    }
+
+    #[test]
+    fn dense_limit_is_complete() {
+        let g = erdos_renyi_gnm(10, 45, 1);
+        assert_eq!(g.num_edges(), 45);
+        assert_eq!(g.max_degree(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn rejects_impossible_m() {
+        let _ = erdos_renyi_gnm(3, 4, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Regular stencil grids — the archetypes of structured mesh computations.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// 2D stencil shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stencil2 {
+    /// 5-point (von Neumann): up/down/left/right.
+    FivePoint,
+    /// 9-point (Moore): includes diagonals.
+    NinePoint,
+}
+
+/// 3D stencil shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stencil3 {
+    /// 7-point: the six axis neighbors.
+    SevenPoint,
+    /// 27-point: the full 3×3×3 neighborhood.
+    TwentySevenPoint,
+}
+
+/// `nx × ny` grid with the given stencil, vertices numbered row-major
+/// (`v = y * nx + x`), which gives the banded "natural" ordering typical of
+/// assembled FE matrices.
+pub fn grid2d(nx: usize, ny: usize, stencil: Stencil2) -> Csr {
+    let n = nx * ny;
+    let mut b = GraphBuilder::with_capacity(n, 4 * n);
+    let id = |x: usize, y: usize| (y * nx + x) as VertexId;
+    for y in 0..ny {
+        for x in 0..nx {
+            if x + 1 < nx {
+                b.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < ny {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+            if stencil == Stencil2::NinePoint && y + 1 < ny {
+                if x + 1 < nx {
+                    b.add_edge(id(x, y), id(x + 1, y + 1));
+                }
+                if x > 0 {
+                    b.add_edge(id(x, y), id(x - 1, y + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// `nx × ny × nz` grid with the given stencil, numbered x-fastest
+/// (`v = (z * ny + y) * nx + x`).
+pub fn grid3d(nx: usize, ny: usize, nz: usize, stencil: Stencil3) -> Csr {
+    let n = nx * ny * nz;
+    let mut b = GraphBuilder::with_capacity(n, 13 * n);
+    let id = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as VertexId;
+    let offsets: &[(i64, i64, i64)] = match stencil {
+        Stencil3::SevenPoint => &[(1, 0, 0), (0, 1, 0), (0, 0, 1)],
+        Stencil3::TwentySevenPoint => &[
+            // Half of the 26 neighbors (the lexicographically positive ones);
+            // symmetry supplies the rest.
+            (1, 0, 0),
+            (0, 1, 0),
+            (0, 0, 1),
+            (1, 1, 0),
+            (1, -1, 0),
+            (1, 0, 1),
+            (1, 0, -1),
+            (0, 1, 1),
+            (0, 1, -1),
+            (1, 1, 1),
+            (1, 1, -1),
+            (1, -1, 1),
+            (1, -1, -1),
+        ],
+    };
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                for &(dx, dy, dz) in offsets {
+                    let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                    if xx >= 0
+                        && (xx as usize) < nx
+                        && yy >= 0
+                        && (yy as usize) < ny
+                        && zz >= 0
+                        && (zz as usize) < nz
+                    {
+                        b.add_edge(id(x, y, z), id(xx as usize, yy as usize, zz as usize));
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_five_point_counts() {
+        let g = grid2d(4, 3, Stencil2::FivePoint);
+        assert_eq!(g.num_vertices(), 12);
+        // horizontal: 3*3, vertical: 4*2
+        assert_eq!(g.num_edges(), 9 + 8);
+        assert_eq!(g.max_degree(), 4);
+        // corner has degree 2
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn grid2d_nine_point_interior_degree() {
+        let g = grid2d(5, 5, Stencil2::NinePoint);
+        // interior vertex (2,2) = 12
+        assert_eq!(g.degree(12), 8);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn grid3d_seven_point_counts() {
+        let g = grid3d(3, 3, 3, Stencil3::SevenPoint);
+        assert_eq!(g.num_vertices(), 27);
+        // edges: 3 directions * 2*3*3
+        assert_eq!(g.num_edges(), 3 * 18);
+        // center vertex has all 6 neighbors
+        assert_eq!(g.degree(13), 6);
+    }
+
+    #[test]
+    fn grid3d_twenty_seven_point_center_degree() {
+        let g = grid3d(3, 3, 3, Stencil3::TwentySevenPoint);
+        assert_eq!(g.degree(13), 26);
+        assert!(g.check_invariants());
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let g = grid2d(1, 1, Stencil2::FivePoint);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = grid2d(5, 1, Stencil2::NinePoint);
+        assert_eq!(g.num_edges(), 4); // reduces to a path
+        let g = grid3d(1, 1, 4, Stencil3::TwentySevenPoint);
+        assert_eq!(g.num_edges(), 3); // path along z
+    }
+}

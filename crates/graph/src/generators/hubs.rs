@@ -1,0 +1,77 @@
+//! Degree "hubs": lifting the maximum degree of a mesh-like graph.
+//!
+//! FE matrices such as `inline_1` (Δ = 842) and `bmw3_2` (Δ = 335) contain a
+//! handful of very-high-degree rows — multi-point constraints / rigid body
+//! elements that tie many mesh nodes to one master node. Random geometric
+//! graphs have no such rows, so the calibrated suite grafts them on: `k`
+//! master vertices are each connected to `spokes` vertices drawn from a
+//! window of nearby ids (keeping the extra edges local, as the real
+//! constraints are).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Return a copy of `g` where `k` evenly spaced vertices have been connected
+/// to `spokes` random vertices each, drawn within `window` ids of the hub.
+pub fn add_random_hubs(g: &Csr, k: usize, spokes: usize, window: usize, seed: u64) -> Csr {
+    let n = g.num_vertices();
+    if n < 2 || k == 0 || spokes == 0 {
+        return g.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges() + k * spokes);
+    for u in g.vertices() {
+        for &v in g.neighbors(u) {
+            if u < v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    let window = window.max(2).min(n);
+    for i in 0..k {
+        let hub = ((i * n) / k + n / (2 * k)).min(n - 1) as VertexId;
+        let lo = (hub as usize).saturating_sub(window / 2);
+        let hi = (lo + window).min(n);
+        let lo = hi - window.min(hi);
+        for _ in 0..spokes {
+            let v = rng.gen_range(lo as u64..hi as u64) as VertexId;
+            if v != hub {
+                b.add_edge(hub, v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, Stencil2};
+
+    #[test]
+    fn hubs_raise_max_degree() {
+        let g = grid2d(40, 40, Stencil2::FivePoint);
+        let h = add_random_hubs(&g, 2, 100, 400, 13);
+        assert!(h.max_degree() >= 80, "max degree {} too small", h.max_degree());
+        assert_eq!(h.num_vertices(), g.num_vertices());
+        assert!(h.num_edges() > g.num_edges());
+        assert!(h.check_invariants());
+    }
+
+    #[test]
+    fn zero_hubs_is_identity() {
+        let g = grid2d(5, 5, Stencil2::FivePoint);
+        assert_eq!(add_random_hubs(&g, 0, 10, 10, 1), g);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid2d(10, 10, Stencil2::FivePoint);
+        assert_eq!(
+            add_random_hubs(&g, 3, 20, 50, 77),
+            add_random_hubs(&g, 3, 20, 50, 77)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! The paper's BFS baseline comes from SNAP — the "Small-world Network
+//! Analysis and Partitioning" framework — so small-world inputs are a
+//! natural part of the test diet: high clustering like a ring lattice, but
+//! a few rewired shortcuts collapse the diameter, giving BFS level
+//! profiles unlike either meshes or RMAT.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz: a ring lattice on `n` vertices where each vertex
+/// connects to its `k` nearest neighbors on each side (degree `2k`), with
+/// each edge rewired to a random endpoint with probability `beta`.
+///
+/// `beta = 0` is the pure lattice (diameter ~ n/2k); `beta = 1` approaches
+/// a random graph (diameter ~ log n); small `beta` gives the small-world
+/// regime: lattice-like clustering, random-graph-like distances.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Csr {
+    assert!(k >= 1, "need at least one neighbor per side");
+    assert!(n > 2 * k, "ring needs n > 2k");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut u = (v + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform random non-self endpoint. The
+                // builder drops duplicates, so collisions just thin the
+                // graph marginally, as in the standard formulation.
+                u = rng.gen_range(0..n as u64) as usize;
+                if u == v {
+                    u = (u + 1) % n;
+                }
+            }
+            b.add_edge(v as VertexId, u as VertexId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    fn diameter_from(g: &Csr, s: VertexId) -> usize {
+        // Eccentricity of s via BFS.
+        let n = g.num_vertices();
+        let mut dist = vec![usize::MAX; n];
+        let mut q = std::collections::VecDeque::new();
+        dist[s as usize] = 0;
+        q.push_back(s);
+        let mut ecc = 0;
+        while let Some(v) = q.pop_front() {
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == usize::MAX {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    ecc = ecc.max(dist[w as usize]);
+                    q.push_back(w);
+                }
+            }
+        }
+        ecc
+    }
+
+    #[test]
+    fn zero_beta_is_the_ring_lattice() {
+        let g = watts_strogatz(100, 3, 0.0, 1);
+        assert_eq!(g.num_edges(), 300);
+        assert!(g.vertices().all(|v| g.degree(v) == 6));
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 3) && !g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn shortcuts_shrink_the_world() {
+        let lattice = watts_strogatz(2000, 2, 0.0, 7);
+        let small = watts_strogatz(2000, 2, 0.1, 7);
+        let d_lattice = diameter_from(&lattice, 0);
+        let d_small = diameter_from(&small, 0);
+        assert!(
+            d_small * 4 < d_lattice,
+            "rewiring should collapse distances: {d_small} vs {d_lattice}"
+        );
+    }
+
+    #[test]
+    fn stays_connected_at_moderate_beta() {
+        // WS with k >= 2 stays connected w.h.p. for moderate beta.
+        let g = watts_strogatz(1000, 3, 0.2, 3);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(200, 2, 0.3, 9), watts_strogatz(200, 2, 0.3, 9));
+        assert_ne!(watts_strogatz(200, 2, 0.3, 9), watts_strogatz(200, 2, 0.3, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 2k")]
+    fn rejects_tiny_ring() {
+        let _ = watts_strogatz(4, 2, 0.1, 0);
+    }
+}

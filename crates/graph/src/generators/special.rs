@@ -1,0 +1,106 @@
+//! Small deterministic families used in tests and as pathological cases.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// Path 0 – 1 – … – (n-1): the paper's "very long chain" on which layered
+/// BFS exposes no parallelism at all.
+pub fn path(n: usize) -> Csr {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v);
+    }
+    b.add_edge(n as VertexId - 1, 0);
+    b.build()
+}
+
+/// Star: vertex 0 adjacent to all others — maximal level-width BFS, a
+/// two-color graph, and the extreme case for per-vertex parallelism.
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..n as VertexId {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> Csr {
+    let mut b = GraphBuilder::with_capacity(n, n * (n.saturating_sub(1)) / 2);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Balanced binary tree with `n` vertices (heap numbering: children of `v`
+/// are `2v+1`, `2v+2`).
+pub fn balanced_binary_tree(n: usize) -> Csr {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge(((v - 1) / 2) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn path_degenerate() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_all_degree_two() {
+        let g = cycle(7);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+        assert_eq!(g.num_edges(), 7);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = balanced_binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+    }
+}

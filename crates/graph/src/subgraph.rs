@@ -1,0 +1,153 @@
+//! Induced subgraphs and component extraction.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Csr, VertexId};
+
+/// The subgraph induced by `keep` (ids relabeled to `0..keep.len()` in the
+/// given order). Returns the subgraph and the old-id list (`new -> old`).
+///
+/// # Panics
+/// Panics if `keep` contains duplicates or out-of-range ids.
+pub fn induced(g: &Csr, keep: &[VertexId]) -> (Csr, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut new_id = vec![VertexId::MAX; n];
+    for (new, &old) in keep.iter().enumerate() {
+        assert!((old as usize) < n, "vertex id out of range");
+        assert_eq!(new_id[old as usize], VertexId::MAX, "duplicate vertex in keep list");
+        new_id[old as usize] = new as VertexId;
+    }
+    let mut b = GraphBuilder::new(keep.len());
+    for (new, &old) in keep.iter().enumerate() {
+        for &w in g.neighbors(old) {
+            let nw = new_id[w as usize];
+            if nw != VertexId::MAX && (new as VertexId) < nw {
+                b.add_edge(new as VertexId, nw);
+            }
+        }
+    }
+    (b.build(), keep.to_vec())
+}
+
+/// The largest connected component as its own graph, plus the old-id list.
+/// Ties break toward the component with the smallest minimum id.
+pub fn largest_component(g: &Csr) -> (Csr, Vec<VertexId>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (Csr::empty(0), Vec::new());
+    }
+    // Label components by flood fill.
+    let mut label = vec![usize::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        let c = sizes.len();
+        label[s] = c;
+        sizes.push(1usize);
+        queue.push_back(s as VertexId);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if label[w as usize] == usize::MAX {
+                    label[w as usize] = c;
+                    sizes[c] += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .unwrap();
+    let keep: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| label[v as usize] == best).collect();
+    induced(g, &keep)
+}
+
+/// Drop isolated (degree-0) vertices, keeping everything else.
+pub fn without_isolated(g: &Csr) -> (Csr, Vec<VertexId>) {
+    let keep: Vec<VertexId> = g.vertices().filter(|&v| g.degree(v) > 0).collect();
+    induced(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi_gnm, path};
+    use crate::stats::connected_components;
+    use crate::GraphBuilder;
+
+    fn two_components() -> Csr {
+        // Path 0-1-2-3 and triangle 4-5-6, isolated 7.
+        let mut b = GraphBuilder::new(8);
+        b.extend([(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 4)]);
+        b.build()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = two_components();
+        let (sub, old) = induced(&g, &[1, 2, 4, 5]);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.num_edges(), 2); // (1,2) and (4,5)
+        assert_eq!(old, vec![1, 2, 4, 5]);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(2, 3));
+        assert!(!sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn largest_component_picks_the_path() {
+        let g = two_components();
+        let (lc, old) = largest_component(&g);
+        assert_eq!(lc.num_vertices(), 4);
+        assert_eq!(old, vec![0, 1, 2, 3]);
+        assert_eq!(connected_components(&lc), 1);
+    }
+
+    #[test]
+    fn without_isolated_drops_only_isolated() {
+        let g = two_components();
+        let (h, old) = without_isolated(&g);
+        assert_eq!(h.num_vertices(), 7);
+        assert!(!old.contains(&7));
+        assert_eq!(h.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn connected_graph_is_its_own_largest_component() {
+        let g = path(20);
+        let (lc, old) = largest_component(&g);
+        assert_eq!(lc, g);
+        assert_eq!(old.len(), 20);
+    }
+
+    #[test]
+    fn random_graph_component_is_connected() {
+        let g = erdos_renyi_gnm(300, 200, 5); // sparse: fragmented
+        let (lc, _) = largest_component(&g);
+        assert_eq!(connected_components(&lc), 1);
+        assert!(lc.num_vertices() <= g.num_vertices());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn induced_rejects_duplicates() {
+        let g = path(4);
+        let _ = induced(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let g = Csr::empty(0);
+        assert_eq!(largest_component(&g).0.num_vertices(), 0);
+        let g = Csr::empty(3);
+        let (lc, old) = largest_component(&g);
+        assert_eq!(lc.num_vertices(), 1); // a single isolated vertex
+        assert_eq!(old, vec![0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! The calibrated stand-ins for the paper's seven test graphs (Table I).
+//!
+//! The original matrices (UF Sparse Matrix Collection / Parasol) are FE
+//! meshes of car bodies, doors and a pressurized wind tunnel. We reproduce
+//! each row with a random geometric graph in an anisotropic box whose
+//! parameters are solved so that |V| matches exactly, the average degree
+//! (hence |E|) matches closely, and the BFS level count from vertex |V|/2
+//! lands near the paper's — the level profile is what drives Figure 4.
+//! Graphs whose paper Δ is far above what an RGG produces (`inline_1`,
+//! `bmw3_2`, `pwtk`) get constraint-style degree hubs grafted on.
+//!
+//! If you have the real matrices, read them with
+//! [`crate::io::read_matrix_market_path`] and hand them to the same
+//! experiment drivers instead.
+
+use crate::csr::Csr;
+use crate::generators::{add_random_hubs, rgg3d_with_avg_degree, Box3};
+
+/// One of the paper's seven test graphs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PaperGraph {
+    Auto,
+    Bmw32,
+    Hood,
+    Inline1,
+    Ldoor,
+    Msdoor,
+    Pwtk,
+}
+
+impl PaperGraph {
+    /// All seven graphs, in Table I order.
+    pub fn all() -> [PaperGraph; 7] {
+        use PaperGraph::*;
+        [Auto, Bmw32, Hood, Inline1, Ldoor, Msdoor, Pwtk]
+    }
+
+    /// The UF collection name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperGraph::Auto => "auto",
+            PaperGraph::Bmw32 => "bmw3_2",
+            PaperGraph::Hood => "hood",
+            PaperGraph::Inline1 => "inline_1",
+            PaperGraph::Ldoor => "ldoor",
+            PaperGraph::Msdoor => "msdoor",
+            PaperGraph::Pwtk => "pwtk",
+        }
+    }
+}
+
+/// A row of the paper's Table I.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    pub graph: PaperGraph,
+    pub vertices: usize,
+    pub edges: usize,
+    pub max_degree: usize,
+    pub colors: usize,
+    pub levels: usize,
+}
+
+/// Table I of the paper, verbatim.
+pub const PAPER_TABLE1: [PaperRow; 7] = [
+    PaperRow { graph: PaperGraph::Auto, vertices: 448_695, edges: 3_314_611, max_degree: 37, colors: 13, levels: 58 },
+    PaperRow { graph: PaperGraph::Bmw32, vertices: 227_362, edges: 5_530_634, max_degree: 335, colors: 48, levels: 86 },
+    PaperRow { graph: PaperGraph::Hood, vertices: 220_542, edges: 4_837_440, max_degree: 76, colors: 40, levels: 116 },
+    PaperRow { graph: PaperGraph::Inline1, vertices: 503_712, edges: 18_156_315, max_degree: 842, colors: 51, levels: 183 },
+    PaperRow { graph: PaperGraph::Ldoor, vertices: 952_203, edges: 20_770_807, max_degree: 76, colors: 42, levels: 169 },
+    PaperRow { graph: PaperGraph::Msdoor, vertices: 415_863, edges: 9_378_650, max_degree: 76, colors: 42, levels: 99 },
+    PaperRow { graph: PaperGraph::Pwtk, vertices: 217_918, edges: 5_653_257, max_degree: 179, colors: 48, levels: 267 },
+];
+
+/// The Table I row for a graph.
+pub fn paper_row(g: PaperGraph) -> PaperRow {
+    PAPER_TABLE1.iter().copied().find(|r| r.graph == g).expect("graph present in table")
+}
+
+/// Size knob: figure-regeneration runs use [`Scale::Full`]; tests and smoke
+/// runs use a fraction (the geometry — box aspect and average degree — is
+/// preserved, so the *shape* of every curve survives scaling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-size vertex counts.
+    Full,
+    /// `|V| / k` vertices.
+    Fraction(u32),
+    /// An explicit vertex count.
+    Vertices(usize),
+}
+
+impl Scale {
+    fn apply(self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Fraction(k) => (full / k.max(1) as usize).max(64),
+            Scale::Vertices(n) => n.max(2),
+        }
+    }
+}
+
+/// Per-graph generation recipe (degree hubs lift Δ where the mesh alone
+/// cannot reach the paper's value).
+struct Recipe {
+    /// Hubs: (count, spokes, id window).
+    hubs: Option<(usize, usize, usize)>,
+    /// Empirical correction multiplying the solved box aspect so measured
+    /// BFS levels land near the paper's (levels scale linearly in it).
+    level_fudge: f64,
+    /// Empirical correction multiplying the target average degree to
+    /// compensate the boundary losses of the anisotropic box.
+    deg_fudge: f64,
+    seed: u64,
+}
+
+fn recipe(g: PaperGraph) -> Recipe {
+    match g {
+        PaperGraph::Auto => Recipe { hubs: None, level_fudge: 0.52, deg_fudge: 1.027, seed: 0xA070 },
+        PaperGraph::Bmw32 => Recipe { hubs: Some((6, 300, 4_000)), level_fudge: 0.96, deg_fudge: 1.073, seed: 0xB3B2 },
+        PaperGraph::Hood => Recipe { hubs: None, level_fudge: 0.92, deg_fudge: 1.083, seed: 0x400D },
+        PaperGraph::Inline1 => Recipe { hubs: Some((4, 800, 8_000)), level_fudge: 1.04, deg_fudge: 1.087, seed: 0x171E },
+        PaperGraph::Ldoor => Recipe { hubs: None, level_fudge: 0.93, deg_fudge: 1.047, seed: 0x1D00 },
+        PaperGraph::Msdoor => Recipe { hubs: None, level_fudge: 0.91, deg_fudge: 1.056, seed: 0x3D00 },
+        PaperGraph::Pwtk => Recipe { hubs: Some((4, 120, 3_000)), level_fudge: 1.03, deg_fudge: 1.141, seed: 0x991C },
+    }
+}
+
+/// Solve the box aspect `A` (a `A × 1 × 1` box) so that a BFS from the box
+/// center runs for about `levels` levels: each BFS level advances roughly
+/// `κ·r` along the long axis, and the radius `r` itself depends on `A`
+/// through the constant-degree constraint, so we fixed-point iterate.
+fn solve_aspect(n: usize, avg_degree: f64, levels: usize, fudge: f64) -> f64 {
+    // r(A) = cbrt(3 A d / (4 π (n-1)))
+    let r = |a: f64| (3.0 * a * avg_degree / (4.0 * std::f64::consts::PI * (n as f64 - 1.0))).cbrt();
+    // Empirically a BFS level advances ~0.93 r in a dense RGG.
+    let kappa = 0.93 * fudge;
+    let mut a = 10.0;
+    for _ in 0..60 {
+        a = 2.0 * levels as f64 * kappa * r(a);
+    }
+    a.max(1.0)
+}
+
+/// Build the calibrated stand-in for `g` at the given scale.
+///
+/// Deterministic for a given `(g, scale)`.
+pub fn build(g: PaperGraph, scale: Scale) -> Csr {
+    let row = paper_row(g);
+    let n = scale.apply(row.vertices);
+    let d = 2.0 * row.edges as f64 / row.vertices as f64;
+    let rec = recipe(g);
+    // Scale the level target with n^(1/3) so smaller instances keep the
+    // same geometry (similar box, more coarsely sampled).
+    let level_target =
+        ((row.levels as f64) * (n as f64 / row.vertices as f64).cbrt()).round().max(3.0) as usize;
+    let aspect = solve_aspect(n, d, level_target, rec.level_fudge);
+    let base = rgg3d_with_avg_degree(n, Box3::new(aspect, 1.0, 1.0), d * rec.deg_fudge, rec.seed);
+    match rec.hubs {
+        None => base,
+        Some((k, spokes, window)) => {
+            // Scale hub spokes/window with the instance so small instances
+            // stay mesh-like.
+            let f = n as f64 / row.vertices as f64;
+            let spokes = ((spokes as f64 * f.max(0.02)).round() as usize).clamp(8, spokes);
+            let window = ((window as f64 * f).round() as usize).clamp(16, window);
+            add_random_hubs(&base, k, spokes, window, rec.seed ^ 0x5EED)
+        }
+    }
+}
+
+/// Build all seven graphs at the given scale, in Table I order.
+pub fn build_all(scale: Scale) -> Vec<(PaperGraph, Csr)> {
+    PaperGraph::all().into_iter().map(|g| (g, build(g, scale))).collect()
+}
+
+/// Like [`build`], but cached as a binary CSR file under `dir` (created if
+/// missing). Generation of the paper-sized graphs costs seconds; reloading
+/// the cache costs milliseconds, which matters when regenerating many
+/// figures. Corrupt or stale cache files are silently regenerated.
+pub fn build_cached(g: PaperGraph, scale: Scale, dir: impl AsRef<std::path::Path>) -> Csr {
+    let dir = dir.as_ref();
+    let tag = match scale {
+        Scale::Full => "full".to_string(),
+        Scale::Fraction(k) => format!("f{k}"),
+        Scale::Vertices(n) => format!("v{n}"),
+    };
+    let path = dir.join(format!("{}-{}.csr", g.name(), tag));
+    if let Ok(cached) = crate::io::read_csr_bin_path(&path) {
+        return cached;
+    }
+    let graph = build(g, scale);
+    if std::fs::create_dir_all(dir).is_ok() {
+        // Best effort: a failed write just means no cache next time.
+        let _ = crate::io::write_csr_bin_path(&graph, &path);
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_consistent() {
+        assert_eq!(PAPER_TABLE1.len(), 7);
+        for r in PAPER_TABLE1 {
+            assert!(r.vertices > 0 && r.edges > r.vertices);
+            assert_eq!(paper_row(r.graph).vertices, r.vertices);
+        }
+    }
+
+    #[test]
+    fn small_scale_matches_degree_targets() {
+        for g in [PaperGraph::Auto, PaperGraph::Hood, PaperGraph::Pwtk] {
+            let row = paper_row(g);
+            let target_d = 2.0 * row.edges as f64 / row.vertices as f64;
+            let csr = build(g, Scale::Fraction(64));
+            let d = csr.avg_degree();
+            assert!(
+                d > 0.5 * target_d && d < 1.3 * target_d,
+                "{}: avg degree {d:.1} vs target {target_d:.1}",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(build(PaperGraph::Hood, Scale::Fraction(128)), build(PaperGraph::Hood, Scale::Fraction(128)));
+    }
+
+    #[test]
+    fn hub_graphs_have_elevated_max_degree() {
+        // At 1/8 scale inline_1's hubs get ~100 spokes each, far above the
+        // RGG's natural maximum degree (avg + a few standard deviations).
+        let hubby = build(PaperGraph::Inline1, Scale::Fraction(8));
+        let natural_max = hubby.avg_degree() + 6.0 * hubby.avg_degree().sqrt();
+        assert!(
+            hubby.max_degree() as f64 > natural_max,
+            "max degree {} not above natural ceiling {natural_max:.0}",
+            hubby.max_degree()
+        );
+    }
+
+    #[test]
+    fn scale_variants() {
+        let n_full = paper_row(PaperGraph::Auto).vertices;
+        assert_eq!(build(PaperGraph::Auto, Scale::Vertices(500)).num_vertices(), 500);
+        let frac = build(PaperGraph::Auto, Scale::Fraction(256));
+        assert_eq!(frac.num_vertices(), n_full / 256);
+    }
+}

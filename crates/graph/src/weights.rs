@@ -1,0 +1,133 @@
+//! Edge weights aligned with a CSR graph.
+//!
+//! The paper notes its irregular kernel "has data dependencies similar to
+//! a sparse matrix vector multiplication"; [`EdgeWeights`] turns a [`Csr`]
+//! pattern back into the weighted matrix an SpMV needs. Weights are stored
+//! positionally: `weights[k]` belongs to the adjacency entry `adj[k]`, so
+//! symmetric matrices need `w(u,v) == w(v,u)` (checked by
+//! [`EdgeWeights::is_symmetric`]).
+
+use crate::csr::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-directed-edge weights, positionally aligned with [`Csr::adj`].
+///
+/// ```
+/// use mic_graph::generators::path;
+/// use mic_graph::weights::EdgeWeights;
+/// let g = path(3);
+/// let w = EdgeWeights::constant(&g, 2.0);
+/// assert_eq!(w.row(&g, 1), &[2.0, 2.0]);
+/// assert!(w.is_symmetric(&g));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeWeights {
+    values: Vec<f64>,
+}
+
+impl EdgeWeights {
+    /// Constant weight for every edge.
+    pub fn constant(g: &Csr, w: f64) -> Self {
+        EdgeWeights { values: vec![w; g.adj().len()] }
+    }
+
+    /// Symmetric uniform random weights in `[lo, hi)`, seeded: the weight
+    /// of `(u, v)` equals the weight of `(v, u)`.
+    pub fn random_symmetric(g: &Csr, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(lo < hi);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut values = vec![0.0; g.adj().len()];
+        for u in g.vertices() {
+            let base = g.xadj()[u as usize];
+            for (off, &v) in g.neighbors(u).iter().enumerate() {
+                if u < v {
+                    let w = rng.gen_range(lo..hi);
+                    values[base + off] = w;
+                    // Mirror into (v, u).
+                    let pos = g.neighbors(v).binary_search(&u).expect("symmetric CSR");
+                    values[g.xadj()[v as usize] + pos] = w;
+                }
+            }
+        }
+        EdgeWeights { values }
+    }
+
+    /// Weights computed from endpoints: `f(u, v)` per directed edge.
+    pub fn from_fn(g: &Csr, mut f: impl FnMut(VertexId, VertexId) -> f64) -> Self {
+        let mut values = Vec::with_capacity(g.adj().len());
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                values.push(f(u, v));
+            }
+        }
+        EdgeWeights { values }
+    }
+
+    /// The weights of `v`'s adjacency segment, aligned with
+    /// [`Csr::neighbors`].
+    #[inline]
+    pub fn row(&self, g: &Csr, v: VertexId) -> &[f64] {
+        &self.values[g.xadj()[v as usize]..g.xadj()[v as usize + 1]]
+    }
+
+    /// All values (length `2|E|`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Check `w(u,v) == w(v,u)` everywhere.
+    pub fn is_symmetric(&self, g: &Csr) -> bool {
+        for u in g.vertices() {
+            for (off, &v) in g.neighbors(u).iter().enumerate() {
+                let wu = self.values[g.xadj()[u as usize] + off];
+                let pos = match g.neighbors(v).binary_search(&u) {
+                    Ok(p) => p,
+                    Err(_) => return false,
+                };
+                if self.values[g.xadj()[v as usize] + pos] != wu {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi_gnm, grid2d, Stencil2};
+
+    #[test]
+    fn constant_rows_align() {
+        let g = grid2d(4, 4, Stencil2::FivePoint);
+        let w = EdgeWeights::constant(&g, 2.5);
+        for v in g.vertices() {
+            assert_eq!(w.row(&g, v).len(), g.degree(v));
+            assert!(w.row(&g, v).iter().all(|&x| x == 2.5));
+        }
+        assert!(w.is_symmetric(&g));
+    }
+
+    #[test]
+    fn random_weights_symmetric_and_in_range() {
+        let g = erdos_renyi_gnm(200, 800, 5);
+        let w = EdgeWeights::random_symmetric(&g, 1.0, 3.0, 9);
+        assert!(w.is_symmetric(&g));
+        assert!(w.values().iter().all(|&x| x == 0.0 || (1.0..3.0).contains(&x)));
+        // Every edge got a nonzero weight.
+        assert!(w.values().iter().filter(|&&x| x > 0.0).count() == 2 * g.num_edges());
+        // Deterministic.
+        assert_eq!(w, EdgeWeights::random_symmetric(&g, 1.0, 3.0, 9));
+    }
+
+    #[test]
+    fn from_fn_directed_values() {
+        let g = grid2d(3, 1, Stencil2::FivePoint); // path 0-1-2
+        let w = EdgeWeights::from_fn(&g, |u, v| (u + 2 * v) as f64);
+        assert_eq!(w.row(&g, 0), &[2.0]); // (0,1)
+        assert_eq!(w.row(&g, 1), &[1.0, 5.0]); // (1,0), (1,2)
+        assert!(!w.is_symmetric(&g));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the graph substrate.
+
+use mic_graph::generators::erdos_renyi_gnm;
+use mic_graph::ordering::{apply, permutation, Ordering};
+use mic_graph::stats::{stats, connected_components};
+use mic_graph::{Csr, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Arbitrary small graph: edge list over `n` vertices.
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (2usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..200);
+        edges.prop_map(move |es| {
+            let mut b = GraphBuilder::new(n);
+            b.extend(es);
+            b.build()
+        })
+    })
+}
+
+fn arb_ordering() -> impl Strategy<Value = Ordering> {
+    prop_oneof![
+        Just(Ordering::Natural),
+        any::<u64>().prop_map(|seed| Ordering::Random { seed }),
+        Just(Ordering::CuthillMcKee { source: 0 }),
+        Just(Ordering::DegreeAscending),
+        Just(Ordering::DegreeDescending),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn builder_always_produces_valid_csr(g in arb_graph()) {
+        prop_assert!(g.check_invariants());
+        // Handshake: sum of degrees = 2|E|.
+        let degsum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn permutation_preserves_structure(g in arb_graph(), ord in arb_ordering()) {
+        let (h, perm) = apply(&g, ord);
+        prop_assert!(h.check_invariants());
+        prop_assert_eq!(h.num_vertices(), g.num_vertices());
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        // Degrees transported along the permutation.
+        for v in g.vertices() {
+            prop_assert_eq!(g.degree(v), h.degree(perm[v as usize]));
+        }
+        // Every edge transported.
+        for (u, v) in g.edges() {
+            prop_assert!(h.has_edge(perm[u as usize], perm[v as usize]));
+        }
+    }
+
+    #[test]
+    fn double_permutation_roundtrips(g in arb_graph(), seed in any::<u64>()) {
+        let perm = permutation(&g, Ordering::Random { seed });
+        let h = g.permute(&perm);
+        // Inverse permutation brings it back.
+        let mut inv = vec![0 as VertexId; perm.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as VertexId;
+        }
+        prop_assert_eq!(h.permute(&inv), g);
+    }
+
+    #[test]
+    fn stats_are_consistent(g in arb_graph()) {
+        let s = stats(&g);
+        prop_assert!(s.locality.is_valid());
+        prop_assert_eq!(s.num_edges, g.num_edges());
+        prop_assert_eq!(s.max_degree, g.max_degree());
+        prop_assert!(s.components >= 1 || g.num_vertices() == 0);
+        prop_assert!(s.bandwidth <= g.num_vertices());
+    }
+
+    #[test]
+    fn components_invariant_under_relabeling(g in arb_graph(), seed in any::<u64>()) {
+        let (h, _) = apply(&g, Ordering::Random { seed });
+        prop_assert_eq!(connected_components(&g), connected_components(&h));
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        mic_graph::io::write_matrix_market(&g, &mut buf).unwrap();
+        let h = mic_graph::io::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(g, h);
+    }
+
+    #[test]
+    fn er_generator_honors_parameters(n in 2usize..80, seed in any::<u64>()) {
+        let max_m = n * (n - 1) / 2;
+        let m = max_m.min(3 * n);
+        let g = erdos_renyi_gnm(n, m, seed);
+        prop_assert_eq!(g.num_edges(), m);
+        prop_assert!(g.check_invariants());
+    }
+}

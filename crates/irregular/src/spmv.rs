@@ -1,0 +1,215 @@
+//! Sparse matrix–vector multiplication on the CSR pattern.
+//!
+//! The paper positions its microbenchmark as having "data dependencies
+//! similar to a sparse matrix vector multiplication"; this module provides
+//! the real thing (`y = A x` with symmetric `A` from the graph plus edge
+//! weights), sequential and parallel under all three runtime models, plus
+//! a conjugate-gradient mini-solver built on it — the canonical FE-matrix
+//! workload these graphs came from.
+
+use mic_graph::weights::EdgeWeights;
+use mic_graph::Csr;
+use mic_runtime::{RuntimeModel, ThreadPool};
+
+/// `y = A x` where `A = diag + off-diagonal(weights over g)`.
+/// `diag` may be empty (treated as zero diagonal).
+pub fn spmv_seq(g: &Csr, w: &EdgeWeights, diag: &[f64], x: &[f64], y: &mut [f64]) {
+    let n = g.num_vertices();
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    assert!(diag.is_empty() || diag.len() == n);
+    for v in g.vertices() {
+        let vi = v as usize;
+        let mut sum = if diag.is_empty() { 0.0 } else { diag[vi] * x[vi] };
+        for (&u, &a) in g.neighbors(v).iter().zip(w.row(g, v)) {
+            sum += a * x[u as usize];
+        }
+        y[vi] = sum;
+    }
+}
+
+/// Parallel `y = A x`: rows distributed under `model`. Deterministic
+/// (row-private sums, no cross-row accumulation).
+pub fn spmv(
+    pool: &ThreadPool,
+    g: &Csr,
+    w: &EdgeWeights,
+    diag: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    model: RuntimeModel,
+) {
+    let n = g.num_vertices();
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    assert!(diag.is_empty() || diag.len() == n);
+    struct OutPtr(*mut f64);
+    unsafe impl Sync for OutPtr {}
+    let out = OutPtr(y.as_mut_ptr());
+    model.drive(pool, n, |chunk, _| {
+        let _ = &out;
+        for vi in chunk {
+            let v = vi as u32;
+            let mut sum = if diag.is_empty() { 0.0 } else { diag[vi] * x[vi] };
+            for (&u, &a) in g.neighbors(v).iter().zip(w.row(g, v)) {
+                sum += a * x[u as usize];
+            }
+            // SAFETY: schedulers hand out each row exactly once.
+            unsafe { *out.0.add(vi) = sum };
+        }
+    });
+}
+
+/// Conjugate gradient for `A x = b` with `A` symmetric positive definite.
+/// Returns `(x, iterations, final_residual_norm)`.
+///
+/// A graph Laplacian plus `alpha I` (see [`laplacian_diag`]) is SPD and is
+/// exactly the sort of system the paper's FE matrices produce.
+#[allow(clippy::too_many_arguments)]
+pub fn conjugate_gradient(
+    pool: &ThreadPool,
+    g: &Csr,
+    w: &EdgeWeights,
+    diag: &[f64],
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+    model: RuntimeModel,
+) -> (Vec<f64>, usize, f64) {
+    let n = g.num_vertices();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = b.to_vec();
+    let mut ap = vec![0.0; n];
+    let mut rr: f64 = r.iter().map(|v| v * v).sum();
+    let tol2 = tol * tol;
+    for it in 0..max_iters {
+        if rr <= tol2 {
+            return (x, it, rr.sqrt());
+        }
+        spmv(pool, g, w, diag, &p, &mut ap, model);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        assert!(pap > 0.0, "matrix must be positive definite (pAp = {pap})");
+        let alpha = rr / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rr_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rr_new / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+    }
+    (x, max_iters, rr.sqrt())
+}
+
+/// Diagonal making `diag - (negated weights)` a shifted graph Laplacian:
+/// `diag[v] = alpha + Σ_u w(v,u)`. Using it with off-diagonal weights
+/// `-w(v,u)` gives `L + alpha I`, SPD for `alpha > 0`.
+pub fn laplacian_diag(g: &Csr, w: &EdgeWeights, alpha: f64) -> Vec<f64> {
+    g.vertices()
+        .map(|v| alpha + w.row(g, v).iter().sum::<f64>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_graph::generators::{erdos_renyi_gnm, grid2d, path, Stencil2};
+    use mic_runtime::{Partitioner, Schedule};
+
+    fn models() -> Vec<RuntimeModel> {
+        vec![
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 32 }),
+            RuntimeModel::CilkHolder { grain: 32 },
+            RuntimeModel::Tbb(Partitioner::Simple { grain: 32 }),
+        ]
+    }
+
+    #[test]
+    fn spmv_parallel_equals_sequential() {
+        let pool = ThreadPool::new(6);
+        let g = erdos_renyi_gnm(500, 2500, 7);
+        let w = EdgeWeights::random_symmetric(&g, 0.5, 2.0, 1);
+        let diag = laplacian_diag(&g, &w, 1.0);
+        let x: Vec<f64> = (0..500).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let mut want = vec![0.0; 500];
+        spmv_seq(&g, &w, &diag, &x, &mut want);
+        for model in models() {
+            let mut got = vec![0.0; 500];
+            spmv(&pool, &g, &w, &diag, &x, &mut got, model);
+            assert_eq!(got, want, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn spmv_identityish() {
+        // Diagonal-only matrix acts elementwise.
+        let g = mic_graph::Csr::empty(4);
+        let w = EdgeWeights::constant(&g, 0.0);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0; 4];
+        spmv_seq(&g, &w, &[2.0, 2.0, 2.0, 2.0], &x, &mut y);
+        assert_eq!(y, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn spmv_path_stencil() {
+        // Path 0-1-2 with unit weights and zero diagonal: y = neighbor sum.
+        let g = path(3);
+        let w = EdgeWeights::constant(&g, 1.0);
+        let x = vec![1.0, 10.0, 100.0];
+        let mut y = vec![0.0; 3];
+        spmv_seq(&g, &w, &[], &x, &mut y);
+        assert_eq!(y, vec![10.0, 101.0, 10.0]);
+    }
+
+    #[test]
+    fn cg_solves_shifted_laplacian() {
+        let pool = ThreadPool::new(4);
+        let g = grid2d(12, 12, Stencil2::FivePoint);
+        let w0 = EdgeWeights::random_symmetric(&g, 0.5, 1.5, 3);
+        // Off-diagonal entries are the NEGATED weights for a Laplacian.
+        let w = EdgeWeights::from_fn(&g, |u, v| {
+            let pos = g.neighbors(u).binary_search(&v).unwrap();
+            -w0.row(&g, u)[pos]
+        });
+        let diag = laplacian_diag(&g, &w0, 0.5);
+        let n = g.num_vertices();
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut b = vec![0.0; n];
+        spmv_seq(&g, &w, &diag, &x_true, &mut b);
+        let (x, iters, res) = conjugate_gradient(
+            &pool,
+            &g,
+            &w,
+            &diag,
+            &b,
+            1e-10,
+            2000,
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 16 }),
+        );
+        assert!(iters < 2000, "CG did not converge: residual {res}");
+        for (a, bb) in x.iter().zip(&x_true) {
+            assert!((a - bb).abs() < 1e-6, "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn laplacian_row_sums_are_alpha() {
+        // L*1 = 0, so (L + aI)*1 = a*1.
+        let g = grid2d(5, 5, Stencil2::NinePoint);
+        let w0 = EdgeWeights::random_symmetric(&g, 0.1, 2.0, 8);
+        let w = EdgeWeights::from_fn(&g, |u, v| {
+            let pos = g.neighbors(u).binary_search(&v).unwrap();
+            -w0.row(&g, u)[pos]
+        });
+        let diag = laplacian_diag(&g, &w0, 0.7);
+        let ones = vec![1.0; g.num_vertices()];
+        let mut y = vec![0.0; g.num_vertices()];
+        spmv_seq(&g, &w, &diag, &ones, &mut y);
+        assert!(y.iter().all(|&v| (v - 0.7).abs() < 1e-9));
+    }
+}

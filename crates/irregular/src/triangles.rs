@@ -1,0 +1,159 @@
+//! Triangle counting and clustering coefficients — another classic
+//! memory-bound irregular kernel (sorted-adjacency intersection), and the
+//! quantity that distinguishes the small-world generator's regimes.
+//!
+//! Counting uses the standard forward/degree-ordered scheme: each triangle
+//! `{u, v, w}` with `u < v < w` is found exactly once by intersecting the
+//! higher-id tails of two adjacency lists. The parallel version distributes
+//! vertices under any runtime model; per-vertex counts are private, so the
+//! result is deterministic.
+
+use mic_graph::{Csr, VertexId};
+use mic_runtime::{RuntimeModel, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Count triangles through vertex-local intersection of higher-id tails.
+fn count_at(g: &Csr, v: VertexId) -> u64 {
+    let nv = g.neighbors(v);
+    // Position of the first neighbor greater than v.
+    let start = nv.partition_point(|&x| x <= v);
+    let higher = &nv[start..];
+    let mut count = 0u64;
+    for (i, &u) in higher.iter().enumerate() {
+        // Intersect higher[i+1..] with the >u tail of u's adjacency.
+        let rest = &higher[i + 1..];
+        let nu = g.neighbors(u);
+        let nu_start = nu.partition_point(|&x| x <= u);
+        let mut a = rest.iter().peekable();
+        let mut b = nu[nu_start..].iter().peekable();
+        while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Total triangle count, sequential.
+///
+/// ```
+/// use mic_irregular::triangles::triangles_seq;
+/// use mic_graph::generators::complete;
+/// assert_eq!(triangles_seq(&complete(5)), 10); // C(5,3)
+/// ```
+pub fn triangles_seq(g: &Csr) -> u64 {
+    g.vertices().map(|v| count_at(g, v)).sum()
+}
+
+/// Total triangle count, parallel under `model`. Deterministic.
+pub fn triangles(pool: &ThreadPool, g: &Csr, model: RuntimeModel) -> u64 {
+    let total = AtomicU64::new(0);
+    model.drive(pool, g.num_vertices(), |chunk, _| {
+        let mut local = 0u64;
+        for vi in chunk {
+            local += count_at(g, vi as VertexId);
+        }
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    total.into_inner()
+}
+
+/// Global clustering coefficient: 3·triangles / open-or-closed wedges.
+pub fn clustering_coefficient(pool: &ThreadPool, g: &Csr, model: RuntimeModel) -> f64 {
+    let tri = triangles(pool, g, model);
+    let wedges: u64 = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * tri as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mic_graph::generators::{complete, cycle, erdos_renyi_gnm, grid2d, watts_strogatz, Stencil2};
+    use mic_runtime::{Partitioner, Schedule};
+
+    #[test]
+    fn complete_graph_count() {
+        // K_n has C(n,3) triangles.
+        let g = complete(8);
+        assert_eq!(triangles_seq(&g), 56);
+    }
+
+    #[test]
+    fn triangle_free_graphs() {
+        assert_eq!(triangles_seq(&cycle(10)), 0);
+        assert_eq!(triangles_seq(&grid2d(6, 6, Stencil2::FivePoint)), 0);
+    }
+
+    #[test]
+    fn nine_point_grid_has_triangles() {
+        // Each diagonal closes triangles with the axis edges.
+        let g = grid2d(4, 4, Stencil2::NinePoint);
+        assert!(triangles_seq(&g) > 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = ThreadPool::new(6);
+        let g = erdos_renyi_gnm(800, 8000, 5);
+        let want = triangles_seq(&g);
+        for model in [
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 16 }),
+            RuntimeModel::CilkHolder { grain: 16 },
+            RuntimeModel::Tbb(Partitioner::Auto),
+        ] {
+            assert_eq!(triangles(&pool, &g, model), want, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn clustering_detects_small_world_regime() {
+        let pool = ThreadPool::new(4);
+        let m = RuntimeModel::OpenMp(Schedule::dynamic100());
+        // Ring lattice with k=2 (degree 4): highly clustered; full rewiring
+        // destroys clustering.
+        let lattice = watts_strogatz(2000, 2, 0.0, 3);
+        let random = watts_strogatz(2000, 2, 1.0, 3);
+        let c_lat = clustering_coefficient(&pool, &lattice, m);
+        let c_rand = clustering_coefficient(&pool, &random, m);
+        assert!(c_lat > 0.4, "lattice clustering {c_lat}");
+        assert!(c_rand < c_lat / 5.0, "random clustering {c_rand} vs lattice {c_lat}");
+    }
+
+    #[test]
+    fn complete_clustering_is_one() {
+        let pool = ThreadPool::new(2);
+        let c = clustering_coefficient(&pool, &complete(10), RuntimeModel::OpenMp(Schedule::dynamic100()));
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_zero() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(triangles(&pool, &mic_graph::Csr::empty(5), RuntimeModel::OpenMp(Schedule::dynamic100())), 0);
+        assert_eq!(
+            clustering_coefficient(&pool, &mic_graph::Csr::empty(5), RuntimeModel::OpenMp(Schedule::dynamic100())),
+            0.0
+        );
+    }
+}

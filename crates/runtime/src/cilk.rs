@@ -1,0 +1,184 @@
+//! Cilk Plus-style loops: recursive range splitting executed by work
+//! stealing (§II-B of the paper).
+//!
+//! `cilk for` in Cilk Plus recursively spawns halves of the iteration space
+//! until a grain size is reached; idle workers steal the *shallowest*
+//! (largest) pending subranges. We reproduce that discipline with a local
+//! LIFO stack per worker (the "deep" end, executed locally) and a shared
+//! injector (the "shallow" end, exposed for stealing): whenever a worker
+//! splits a range it keeps the front half and publishes the back half. This
+//! preserves Cilk's key properties — geometric task sizes, grain-bounded
+//! leaves, steals take big pieces — without pinning per-OS-thread deques
+//! into the generic pool.
+
+use crate::pool::{ThreadPool, WorkerCtx};
+use crossbeam_deque::{Injector, Steal};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Default grain: like Cilk Plus, aim for ~8 leaves per worker so steals
+/// stay rare but balance is achievable.
+pub fn default_grain(n: usize, threads: usize) -> usize {
+    (n / (8 * threads.max(1))).max(1)
+}
+
+/// `cilk_for` over `range` with the given `grain` (use
+/// [`default_grain`] to mimic Cilk's automatic choice). `body` receives
+/// leaf subranges of length `<= grain`.
+pub fn cilk_for<F>(pool: &ThreadPool, range: Range<usize>, grain: usize, body: F)
+where
+    F: Fn(Range<usize>, WorkerCtx) + Sync,
+{
+    if range.is_empty() {
+        return;
+    }
+    let grain = grain.max(1);
+    let total = range.len();
+    let injector: Injector<Range<usize>> = Injector::new();
+    injector.push(range);
+    let remaining = AtomicUsize::new(total);
+    // A panicking leaf would strand `remaining` above zero and leave the
+    // other workers spinning forever; the abort flag releases them, and
+    // the panic itself is re-raised through the pool to the caller.
+    let aborted = AtomicBool::new(false);
+
+    pool.run(|ctx| {
+        let mut local: Vec<Range<usize>> = Vec::new();
+        'outer: while remaining.load(Ordering::Acquire) > 0 {
+            if aborted.load(Ordering::Acquire) {
+                break;
+            }
+            // Take the deepest local range, else steal from the injector.
+            let task = match local.pop() {
+                Some(r) => r,
+                None => loop {
+                    match injector.steal() {
+                        Steal::Success(r) => break r,
+                        Steal::Empty => {
+                            if remaining.load(Ordering::Acquire) == 0
+                                || aborted.load(Ordering::Acquire)
+                            {
+                                break 'outer;
+                            }
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                        }
+                        Steal::Retry => {}
+                    }
+                },
+            };
+            // Split down to the grain, keeping the front half local-ish and
+            // publishing the back half for thieves.
+            let mut r = task;
+            while r.len() > grain {
+                let mid = r.start + r.len() / 2;
+                let back = mid..r.end;
+                // Publish generously while the pool is likely hungry,
+                // otherwise keep it on the local stack.
+                if injector.is_empty() {
+                    injector.push(back);
+                } else {
+                    local.push(back);
+                }
+                r = r.start..mid;
+            }
+            let len = r.len();
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(r, ctx))) {
+                aborted.store(true, Ordering::Release);
+                resume_unwind(p);
+            }
+            remaining.fetch_sub(len, Ordering::AcqRel);
+        }
+    });
+}
+
+/// Fork–join on two independent closures, Cilk's `spawn`/`sync` pair.
+/// Runs on plain scoped threads (it is used standalone, not inside pool
+/// regions — the paper's kernels only need `cilk_for`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("joined closure panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_once() {
+        let pool = ThreadPool::new(6);
+        for grain in [1, 3, 64, 10_000] {
+            let n = 2777;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            cilk_for(&pool, 0..n, grain, |r, _| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "grain {grain} missed/duplicated"
+            );
+        }
+    }
+
+    #[test]
+    fn leaves_respect_grain() {
+        let pool = ThreadPool::new(4);
+        let max_leaf = AtomicUsize::new(0);
+        cilk_for(&pool, 0..10_000, 100, |r, _| {
+            max_leaf.fetch_max(r.len(), Ordering::Relaxed);
+        });
+        assert!(max_leaf.load(Ordering::Relaxed) <= 100);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let pool = ThreadPool::new(8);
+        let sum = AtomicU64::new(0);
+        cilk_for(&pool, 10..5000, default_grain(4990, 8), |r, _| {
+            let s: u64 = r.map(|i| i as u64).sum();
+            sum.fetch_add(s, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (10..5000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_and_tiny_ranges() {
+        let pool = ThreadPool::new(3);
+        let hits = AtomicUsize::new(0);
+        cilk_for(&pool, 0..0, 10, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        cilk_for(&pool, 0..1, 10, |r, _| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 2 + 2, || "ok".len());
+        assert_eq!((a, b), (4, 2));
+    }
+
+    #[test]
+    fn default_grain_sane() {
+        assert_eq!(default_grain(0, 4), 1);
+        assert_eq!(default_grain(800, 4), 25);
+        assert!(default_grain(7, 64) >= 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Re-implementations of the three programming models the paper evaluates —
+//! OpenMP, Cilk Plus and Intel TBB — on top of a small persistent thread
+//! pool, plus the concurrent building blocks the kernels share.
+//!
+//! The paper's comparison dimension is the *scheduling discipline* of each
+//! model, not the vendor runtime binaries:
+//!
+//! - [`openmp`]: `parallel for` with `static` / `dynamic` / `guided`
+//!   scheduling and a chunk size (§II-A of the paper);
+//! - [`cilk`]: recursive-splitting `cilk_for` executed by work stealing, and
+//!   the holder/reducer thread-local mechanisms (§II-B);
+//! - [`tbb`]: blocked ranges with the `simple` / `auto` / `affinity`
+//!   partitioners and `combinable`-style TLS (§II-C).
+//!
+//! All of them run on [`pool::ThreadPool`], which may be over-subscribed
+//! (more workers than hardware threads) — the paper itself runs up to 121
+//! threads on a 31-core card, and this crate is used natively only for
+//! *correctness*; scalability numbers come from the `mic-sim` machine model.
+//!
+//! [`concurrent`] provides the shared lock-free pieces: a push-only
+//! concurrent vector (used for the coloring conflict list) and the paper's
+//! *block-accessed queue* (§IV-C), the novel data structure behind its best
+//! BFS implementation. [`sync`] adds the OpenMP `barrier`/`critical`/
+//! `single` constructs for persistent-team kernels, [`scan`] the parallel
+//! prefix sum behind SNAP-style queue merges, and [`pipeline`] a TBB-style
+//! `parallel_pipeline` with in-order serial stages.
+
+pub mod cilk;
+pub mod model;
+pub mod concurrent;
+pub mod openmp;
+pub mod pipeline;
+pub mod pool;
+pub mod scan;
+pub mod sync;
+pub mod tbb;
+pub mod tls;
+
+pub use cilk::cilk_for;
+pub use model::RuntimeModel;
+pub use concurrent::{BlockCursor, BlockQueue, BlockWriter, ConcurrentPushVec};
+pub use openmp::{parallel_for, parallel_for_chunks, parallel_reduce, Schedule};
+pub use pipeline::{run_pipeline, Stage};
+pub use pool::{ThreadPool, WorkerCtx};
+pub use scan::{exclusive_scan, exclusive_scan_seq};
+pub use sync::{Critical, RegionBarrier, Single};
+pub use tbb::{tbb_parallel_for, Partitioner};
+pub use tls::{Combinable, Holder, PerWorker, ReducerMax};

@@ -1,0 +1,105 @@
+//! The runtime-model axis of the paper's experiments: which programming
+//! model (and which of its scheduling knobs) drives a parallel loop.
+
+use crate::cilk::cilk_for;
+use crate::openmp::{parallel_for_chunks, Schedule};
+use crate::pool::{ThreadPool, WorkerCtx};
+use crate::tbb::{tbb_parallel_for, Partitioner};
+use std::ops::Range;
+
+/// Which runtime drives a parallel loop — the comparison axis of
+/// Figures 1 and 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeModel {
+    /// OpenMP `parallel for` with the given schedule; thread-id-indexed
+    /// local storage allocated up front (§IV-A1 of the paper).
+    OpenMp(Schedule),
+    /// Cilk Plus `cilk_for` with a holder view for local storage,
+    /// initialized on first touch (§IV-A2, the recommended way).
+    CilkHolder { grain: usize },
+    /// Cilk Plus `cilk_for` indexing local storage by worker number —
+    /// possible but discouraged; kept for the Figure 1b comparison.
+    CilkWorkerId { grain: usize },
+    /// TBB `parallel_for` with the given partitioner;
+    /// `enumerable_thread_specific`-style local storage (§IV-A3).
+    Tbb(Partitioner),
+}
+
+impl RuntimeModel {
+    /// The best-performing configuration per model reported by the paper
+    /// for the coloring kernel: OpenMP dynamic/100, Cilk holder/100, TBB
+    /// simple/40.
+    pub fn paper_best() -> [RuntimeModel; 3] {
+        [
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 100 }),
+            RuntimeModel::CilkHolder { grain: 100 },
+            RuntimeModel::Tbb(Partitioner::Simple { grain: 40 }),
+        ]
+    }
+
+    /// Whether thread-local storage is initialized eagerly (OpenMP /
+    /// worker-id styles) or on first touch (holder / TBB).
+    pub fn eager_tls(&self) -> bool {
+        matches!(self, RuntimeModel::OpenMp(_) | RuntimeModel::CilkWorkerId { .. })
+    }
+
+    /// A short display name ("OpenMP", "CilkPlus", "TBB").
+    pub fn family(&self) -> &'static str {
+        match self {
+            RuntimeModel::OpenMp(_) => "OpenMP",
+            RuntimeModel::CilkHolder { .. } | RuntimeModel::CilkWorkerId { .. } => "CilkPlus",
+            RuntimeModel::Tbb(_) => "TBB",
+        }
+    }
+
+    /// Run `body` over `0..len` chunk-wise under this model.
+    pub fn drive<F>(&self, pool: &ThreadPool, len: usize, body: F)
+    where
+        F: Fn(Range<usize>, WorkerCtx) + Sync,
+    {
+        match *self {
+            RuntimeModel::OpenMp(sched) => parallel_for_chunks(pool, 0..len, sched, body),
+            RuntimeModel::CilkHolder { grain } | RuntimeModel::CilkWorkerId { grain } => {
+                cilk_for(pool, 0..len, grain, body)
+            }
+            RuntimeModel::Tbb(part) => tbb_parallel_for(pool, 0..len, part, body),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_models_cover_range() {
+        let pool = ThreadPool::new(4);
+        let all = [
+            RuntimeModel::OpenMp(Schedule::Guided { min_chunk: 3 }),
+            RuntimeModel::CilkHolder { grain: 10 },
+            RuntimeModel::CilkWorkerId { grain: 10 },
+            RuntimeModel::Tbb(Partitioner::Affinity),
+        ];
+        for m in all {
+            let n = 500;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            m.drive(&pool, n, |r, _| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn families_and_tls_style() {
+        assert_eq!(RuntimeModel::OpenMp(Schedule::dynamic100()).family(), "OpenMP");
+        assert_eq!(RuntimeModel::CilkHolder { grain: 1 }.family(), "CilkPlus");
+        assert_eq!(RuntimeModel::Tbb(Partitioner::Auto).family(), "TBB");
+        assert!(RuntimeModel::OpenMp(Schedule::dynamic100()).eager_tls());
+        assert!(!RuntimeModel::CilkHolder { grain: 1 }.eager_tls());
+        assert!(RuntimeModel::CilkWorkerId { grain: 1 }.eager_tls());
+    }
+}

@@ -1,0 +1,389 @@
+//! A TBB-style linear pipeline (`tbb::parallel_pipeline`).
+//!
+//! The paper's §II-C: TBB's "flow graph construct allows to define tasks
+//! that are repeatedly executed by taking some data as an input and
+//! producing an output. It allows to easily set up a pipeline of tasks
+//! that perform complex tasks such as, typically, video compression,
+//! graphical rendering, and data processing." This module provides the
+//! linear special case: a serial in-order source, any mix of parallel and
+//! serial(-in-order) middle stages, and a serial in-order sink, with a
+//! bound on tokens in flight (TBB's `max_number_of_live_tokens`).
+//!
+//! Simplification relative to TBB: all stages transform the same token
+//! type `T` (TBB lets each stage change the type); in exchange the whole
+//! pipeline needs no per-token boxing.
+
+use crate::pool::ThreadPool;
+use crossbeam_deque::{Injector, Steal};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A middle stage of the pipeline.
+pub enum Stage<T> {
+    /// Tokens processed concurrently, in any order.
+    Parallel(Box<dyn Fn(T) -> T + Sync + Send>),
+    /// Tokens processed one at a time, in source order
+    /// (TBB `serial_in_order`).
+    Serial(Box<dyn FnMut(T) -> T + Send>),
+}
+
+impl<T> Stage<T> {
+    /// A parallel stage from a closure.
+    pub fn parallel(f: impl Fn(T) -> T + Sync + Send + 'static) -> Self {
+        Stage::Parallel(Box::new(f))
+    }
+
+    /// A serial in-order stage from a closure.
+    pub fn serial(f: impl FnMut(T) -> T + Send + 'static) -> Self {
+        Stage::Serial(Box::new(f))
+    }
+}
+
+struct Token<T> {
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for Token<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<T> Eq for Token<T> {}
+impl<T> PartialOrd for Token<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Token<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.seq.cmp(&self.seq) // min-heap by sequence number
+    }
+}
+
+/// Reorder buffer + function of a serial in-order middle stage.
+struct SerialState<T> {
+    expected: u64,
+    pending: BinaryHeap<Token<T>>,
+    f: Box<dyn FnMut(T) -> T + Send>,
+}
+
+/// Reorder buffer + consumer of the sink.
+struct SinkState<T, K> {
+    expected: u64,
+    pending: BinaryHeap<Token<T>>,
+    f: K,
+}
+
+// The parallel variant carries an Injector inline (it is touched on every
+// token); the size gap to the serial variant is irrelevant because nodes
+// live in one short Vec.
+#[allow(clippy::large_enum_variant)]
+enum Node<T> {
+    Parallel { inbox: Injector<Token<T>>, f: Box<dyn Fn(T) -> T + Sync + Send> },
+    Serial { state: Mutex<SerialState<T>> },
+}
+
+fn forward<T, K>(nodes: &[Node<T>], sink: &Mutex<SinkState<T, K>>, i: usize, tok: Token<T>) {
+    if i < nodes.len() {
+        match &nodes[i] {
+            Node::Parallel { inbox, .. } => inbox.push(tok),
+            Node::Serial { state } => state.lock().pending.push(tok),
+        }
+    } else {
+        sink.lock().pending.push(tok);
+    }
+}
+
+/// Run a pipeline: `source` yields items (serially, in order), each passes
+/// through `stages`, and `sink` consumes them **in source order**. At most
+/// `max_tokens` items are in flight at once (memory backpressure).
+///
+/// ```
+/// use mic_runtime::{run_pipeline, Stage, ThreadPool};
+/// let pool = ThreadPool::new(4);
+/// let mut i = 0u64;
+/// let mut out = Vec::new();
+/// run_pipeline(
+///     &pool,
+///     move || { i += 1; (i <= 5).then_some(i) },
+///     vec![Stage::parallel(|v: u64| v * v)],
+///     |v| out.push(v),
+///     8,
+/// );
+/// assert_eq!(out, vec![1, 4, 9, 16, 25]); // in order despite parallelism
+/// ```
+pub fn run_pipeline<T, S, K>(
+    pool: &ThreadPool,
+    source: S,
+    stages: Vec<Stage<T>>,
+    sink: K,
+    max_tokens: usize,
+) where
+    T: Send,
+    S: FnMut() -> Option<T> + Send,
+    K: FnMut(T) + Send,
+{
+    assert!(max_tokens >= 1, "need at least one live token");
+    let nodes: Vec<Node<T>> = stages
+        .into_iter()
+        .map(|s| match s {
+            Stage::Parallel(f) => Node::Parallel { inbox: Injector::new(), f },
+            Stage::Serial(f) => Node::Serial {
+                state: Mutex::new(SerialState { expected: 0, pending: BinaryHeap::new(), f }),
+            },
+        })
+        .collect();
+
+    struct SourceState<S> {
+        f: S,
+        next_seq: u64,
+        exhausted: bool,
+    }
+    let source = Mutex::new(SourceState { f: source, next_seq: 0, exhausted: false });
+    let sink = Mutex::new(SinkState { expected: 0, pending: BinaryHeap::new(), f: sink });
+    let in_flight = AtomicUsize::new(0);
+    // A panicking stage consumes its token without forwarding it, which
+    // would strand `in_flight` above zero; the abort flag releases the
+    // other workers and the panic propagates through the pool.
+    let aborted = AtomicBool::new(false);
+    // Re-raise a caught panic, marking the pipeline aborted first.
+    let bail = |p: Box<dyn std::any::Any + Send>| -> ! {
+        aborted.store(true, Ordering::Release);
+        resume_unwind(p)
+    };
+
+    pool.run(|_ctx| loop {
+        if aborted.load(Ordering::Acquire) {
+            break;
+        }
+        let mut progressed = false;
+
+        // 1. Drain the sink: consume every ready token in order.
+        {
+            let mut st = sink.lock();
+            while st.pending.peek().map(|t| t.seq) == Some(st.expected) {
+                let tok = st.pending.pop().unwrap();
+                st.expected += 1;
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| (st.f)(tok.value))) {
+                    bail(p);
+                }
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+                progressed = true;
+            }
+        }
+
+        // 2. Advance middle stages, last to first (drains before filling).
+        for (i, node) in nodes.iter().enumerate().rev() {
+            match node {
+                Node::Parallel { inbox, f } => loop {
+                    match inbox.steal() {
+                        Steal::Success(tok) => {
+                            let value = match catch_unwind(AssertUnwindSafe(|| f(tok.value))) {
+                                Ok(v) => v,
+                                Err(p) => bail(p),
+                            };
+                            forward(&nodes, &sink, i + 1, Token { seq: tok.seq, value });
+                            progressed = true;
+                            break;
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                },
+                Node::Serial { state } => {
+                    // Holding the lock across `f` *is* the serial
+                    // guarantee; in-order comes from the reorder buffer.
+                    let mut st = state.lock();
+                    if st.pending.peek().map(|t| t.seq) == Some(st.expected) {
+                        let tok = st.pending.pop().unwrap();
+                        st.expected += 1;
+                        let value = match catch_unwind(AssertUnwindSafe(|| (st.f)(tok.value))) {
+                            Ok(v) => v,
+                            Err(p) => {
+                                drop(st);
+                                bail(p)
+                            }
+                        };
+                        drop(st);
+                        forward(&nodes, &sink, i + 1, Token { seq: tok.seq, value });
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        // 3. Produce a new token if there is room.
+        if in_flight.load(Ordering::Acquire) < max_tokens {
+            let mut src = source.lock();
+            if !src.exhausted {
+                match catch_unwind(AssertUnwindSafe(|| (src.f)())) {
+                    Ok(Some(value)) => {
+                        let tok = Token { seq: src.next_seq, value };
+                        src.next_seq += 1;
+                        drop(src);
+                        in_flight.fetch_add(1, Ordering::AcqRel);
+                        forward(&nodes, &sink, 0, tok);
+                        progressed = true;
+                    }
+                    Ok(None) => src.exhausted = true,
+                    Err(p) => {
+                        drop(src);
+                        bail(p)
+                    }
+                }
+            }
+        }
+
+        // 4. Terminate once the source is dry and every token is consumed.
+        if !progressed {
+            if in_flight.load(Ordering::Acquire) == 0 && source.lock().exhausted {
+                break;
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counter_source(n: usize) -> impl FnMut() -> Option<u64> + Send {
+        let mut i = 0u64;
+        move || {
+            if (i as usize) < n {
+                i += 1;
+                Some(i - 1)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn sink_sees_items_in_order() {
+        let pool = ThreadPool::new(6);
+        let n = 2000;
+        let mut seen = Vec::new();
+        {
+            let sink = |v: u64| seen.push(v);
+            run_pipeline(
+                &pool,
+                counter_source(n),
+                vec![Stage::parallel(|v: u64| v * 3), Stage::parallel(|v| v + 1)],
+                sink,
+                32,
+            );
+        }
+        let want: Vec<u64> = (0..n as u64).map(|v| v * 3 + 1).collect();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn serial_stage_is_exclusive_and_ordered() {
+        let pool = ThreadPool::new(8);
+        let n = 1000;
+        // The serial stage checks it always sees consecutive sequence
+        // values (in-order) — any concurrency or reorder would break it.
+        let mut expected_next = 0u64;
+        let mut out = Vec::new();
+        {
+            let stage = Stage::serial(move |v: u64| {
+                assert_eq!(v, expected_next, "serial stage must run in order");
+                expected_next += 1;
+                v
+            });
+            run_pipeline(&pool, counter_source(n), vec![stage], |v| out.push(v), 16);
+        }
+        assert_eq!(out, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_stages_compose() {
+        let pool = ThreadPool::new(4);
+        let n = 500;
+        let mut running_sum = 0u64;
+        let mut sums = Vec::new();
+        {
+            let stages = vec![
+                Stage::parallel(|v: u64| v * v),
+                Stage::serial(move |v: u64| {
+                    running_sum += v;
+                    running_sum
+                }),
+            ];
+            run_pipeline(&pool, counter_source(n), stages, |v| sums.push(v), 8);
+        }
+        // Prefix sums of squares, exact and ordered.
+        let mut acc = 0u64;
+        let want: Vec<u64> = (0..n as u64)
+            .map(|v| {
+                acc += v * v;
+                acc
+            })
+            .collect();
+        assert_eq!(sums, want);
+    }
+
+    #[test]
+    fn empty_source() {
+        let pool = ThreadPool::new(3);
+        let mut count = 0usize;
+        run_pipeline(
+            &pool,
+            || None::<u64>,
+            vec![Stage::parallel(|v| v)],
+            |_| count += 1,
+            4,
+        );
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn no_middle_stages() {
+        let pool = ThreadPool::new(2);
+        let mut out = Vec::new();
+        run_pipeline(&pool, counter_source(10), Vec::new(), |v| out.push(v), 2);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn token_cap_bounds_memory() {
+        // With max_tokens = 1 the pipeline degenerates to strict
+        // tick-tock; correctness must hold and peak in-flight is 1.
+        let pool = ThreadPool::new(4);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static CURRENT: AtomicUsize = AtomicUsize::new(0);
+        PEAK.store(0, Ordering::SeqCst);
+        CURRENT.store(0, Ordering::SeqCst);
+        let mut produced = 0u64;
+        let source = move || {
+            if produced < 100 {
+                produced += 1;
+                let c = CURRENT.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(c, Ordering::SeqCst);
+                Some(produced - 1)
+            } else {
+                None
+            }
+        };
+        let mut got = 0u64;
+        run_pipeline(
+            &pool,
+            source,
+            vec![Stage::parallel(|v| v)],
+            |_| {
+                CURRENT.fetch_sub(1, Ordering::SeqCst);
+                got += 1;
+            },
+            1,
+        );
+        assert_eq!(got, 100);
+        assert_eq!(PEAK.load(Ordering::SeqCst), 1, "token cap violated");
+    }
+}

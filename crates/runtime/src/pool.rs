@@ -1,0 +1,310 @@
+//! A persistent, possibly over-subscribed worker pool.
+//!
+//! The pool executes *parallel regions*: every worker invokes the same
+//! closure exactly once, with its worker id — the OpenMP `parallel`
+//! construct. All higher-level loops (`parallel_for`, `cilk_for`, TBB
+//! partitioners) are built from this plus shared atomics.
+//!
+//! The closure is passed by reference with its lifetime erased; `run`
+//! blocks until every worker has finished, so the borrow can never be
+//! observed after it expires. Panics in workers are caught and re-thrown
+//! from `run` on the calling thread (first panic wins).
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Context handed to a worker inside a parallel region.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerCtx {
+    /// Worker id in `0..num_threads`, unique within the region.
+    pub id: usize,
+    /// Number of workers participating in the region.
+    pub num_threads: usize,
+}
+
+type Job = *const (dyn Fn(WorkerCtx) + Sync);
+
+/// Raw job pointer made sendable; validity is guaranteed by `run` blocking
+/// until all workers are done with it.
+#[derive(Clone, Copy)]
+struct SendJob(Job);
+unsafe impl Send for SendJob {}
+
+struct State {
+    epoch: u64,
+    job: Option<SendJob>,
+    remaining: usize,
+    panic: Option<Box<dyn Any + Send>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+thread_local! {
+    /// The id of the pool whose region this OS thread is currently inside
+    /// (if any). Re-entering the *same* pool would deadlock on `run_lock`,
+    /// so that is rejected with a clear error; entering a *different* pool
+    /// (hierarchical composition, e.g. a pipeline stage driving its own
+    /// worker pool) is safe and allowed.
+    static IN_REGION: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Monotonic pool ids for the same-pool re-entrancy check.
+static POOL_IDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Fixed-size worker pool. See the module docs.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes concurrent `run` calls from different threads.
+    run_lock: Mutex<()>,
+    num_threads: usize,
+    id: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `num_threads` workers (`>= 1`). More workers than
+    /// hardware threads is allowed and common here: the paper's thread
+    /// counts go to 121 on a 31-core chip.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads >= 1, "pool needs at least one worker");
+        let pool_id = POOL_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..num_threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mic-worker-{id}"))
+                    .spawn(move || worker_loop(id, num_threads, pool_id, shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles, run_lock: Mutex::new(()), num_threads, id: pool_id }
+    }
+
+    /// Number of workers.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Execute a parallel region: every worker calls `f` once. Blocks until
+    /// all workers return. Panics raised inside workers are re-raised here.
+    ///
+    /// # Panics
+    /// Panics if called from inside a region of the *same* pool (that
+    /// would deadlock). Regions of different pools may nest.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(WorkerCtx) + Sync,
+    {
+        IN_REGION.with(|flag| {
+            assert!(
+                flag.get() != Some(self.id),
+                "re-entering a pool from its own region would deadlock"
+            );
+        });
+        let _serialize = self.run_lock.lock();
+        let f_ref: &(dyn Fn(WorkerCtx) + Sync) = &f;
+        // SAFETY: we erase the lifetime of `f_ref`, but `run` does not
+        // return until `remaining == 0`, i.e. until no worker can touch the
+        // job pointer again, so the borrow is live for every dereference.
+        let job: Job = unsafe {
+            std::mem::transmute::<*const (dyn Fn(WorkerCtx) + Sync), Job>(f_ref as *const _)
+        };
+        let mut s = self.shared.state.lock();
+        s.epoch += 1;
+        s.job = Some(SendJob(job));
+        s.remaining = self.num_threads;
+        self.shared.work_cv.notify_all();
+        while s.remaining > 0 {
+            self.shared.done_cv.wait(&mut s);
+        }
+        s.job = None;
+        let panic = s.panic.take();
+        drop(s);
+        if let Some(p) = panic {
+            panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut s = self.shared.state.lock();
+            s.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared>) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut s = shared.state.lock();
+            loop {
+                if s.shutdown {
+                    return;
+                }
+                if s.epoch > seen_epoch {
+                    if let Some(job) = s.job {
+                        seen_epoch = s.epoch;
+                        break job;
+                    }
+                }
+                shared.work_cv.wait(&mut s);
+            }
+        };
+        // SAFETY: `run` keeps the closure alive until `remaining` drops to
+        // zero, which happens strictly after this call returns.
+        let f = unsafe { &*job.0 };
+        let outer = IN_REGION.with(|flag| flag.replace(Some(pool_id)));
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(WorkerCtx { id, num_threads })));
+        IN_REGION.with(|flag| flag.set(outer));
+        let mut s = shared.state.lock();
+        if let Err(p) = result {
+            if s.panic.is_none() {
+                s.panic = Some(p);
+            }
+        }
+        s.remaining -= 1;
+        if s.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_once() {
+        let pool = ThreadPool::new(8);
+        let hits = AtomicUsize::new(0);
+        let mask = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            mask.fetch_or(1 << ctx.id, Ordering::Relaxed);
+            assert_eq!(ctx.num_threads, 8);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        assert_eq!(mask.load(Ordering::Relaxed), 0xFF);
+    }
+
+    #[test]
+    fn regions_are_sequential_and_reusable() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn borrows_local_data() {
+        let pool = ThreadPool::new(3);
+        let data = [1u64, 2, 3];
+        let sum = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            sum.fetch_add(data[ctx.id] as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(4);
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.id == 2 {
+                    panic!("boom from worker");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // Pool still usable afterwards.
+        let ok = AtomicUsize::new(0);
+        pool.run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn same_pool_reentry_rejected() {
+        let pool = ThreadPool::new(2);
+        let pool_ref = &pool;
+        let r = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool_ref.run(|ctx| {
+                if ctx.id == 0 {
+                    pool_ref.run(|_| {});
+                }
+            });
+        }));
+        assert!(r.is_err(), "same-pool re-entry must panic");
+    }
+
+    #[test]
+    fn cross_pool_nesting_allowed() {
+        let outer = ThreadPool::new(2);
+        let inner = ThreadPool::new(3);
+        let hits = AtomicUsize::new(0);
+        outer.run(|ctx| {
+            if ctx.id == 0 {
+                inner.run(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = ThreadPool::new(1);
+        let v = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            assert_eq!(ctx.id, 0);
+            v.store(7, Ordering::Relaxed);
+        });
+        assert_eq!(v.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn oversubscribed_pool() {
+        // Far more workers than cores on this box; must still complete.
+        let pool = ThreadPool::new(64);
+        let hits = AtomicUsize::new(0);
+        pool.run(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+}

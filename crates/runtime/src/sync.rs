@@ -1,0 +1,229 @@
+//! In-region synchronization: the OpenMP `barrier`, `critical` and
+//! `single` constructs (§II-A of the paper mentions all three).
+//!
+//! These let a kernel keep one *persistent team* across phases instead of
+//! forking a fresh parallel region per phase — the alternative BFS
+//! organization the `persistent` variant benchmarks (each fork/join pays
+//! the pool wake/sleep; a barrier among already-running workers is much
+//! cheaper).
+
+use crate::pool::WorkerCtx;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for the `num_threads` workers of one region
+/// (sense-reversing, blocking). Create it outside `pool.run` and have every
+/// worker call [`RegionBarrier::wait`] the same number of times.
+pub struct RegionBarrier {
+    num_threads: usize,
+    arrived: AtomicUsize,
+    sense: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl RegionBarrier {
+    /// A barrier for `num_threads` participants.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads >= 1);
+        RegionBarrier {
+            num_threads,
+            arrived: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until all participants have arrived. Returns `true` on exactly
+    /// one participant per episode (the "leader", as in
+    /// `std::sync::Barrier`), which is handy for serial interludes.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        let pos = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if pos == self.num_threads {
+            // Last arrival: reset and flip the sense, waking everyone.
+            self.arrived.store(0, Ordering::Release);
+            let _g = self.lock.lock();
+            self.sense.store(my_sense, Ordering::Release);
+            self.cv.notify_all();
+            true
+        } else {
+            let mut g = self.lock.lock();
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                self.cv.wait(&mut g);
+            }
+            false
+        }
+    }
+}
+
+/// An OpenMP-style named `critical` section: at most one worker inside at
+/// a time. A thin, intention-revealing wrapper over a mutex.
+pub struct Critical<T> {
+    inner: Mutex<T>,
+}
+
+impl<T> Critical<T> {
+    /// Protect `value`.
+    pub fn new(value: T) -> Self {
+        Critical { inner: Mutex::new(value) }
+    }
+
+    /// Run `f` exclusively.
+    pub fn section<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Unwrap after the region.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+/// An OpenMP `single` construct: the closure runs on exactly one of the
+/// workers that reach it (the first), per episode. Reusable across
+/// episodes via [`Single::reset`].
+pub struct Single {
+    taken: AtomicBool,
+}
+
+impl Single {
+    pub fn new() -> Self {
+        Single { taken: AtomicBool::new(false) }
+    }
+
+    /// Run `f` if this worker is the first to arrive; returns whether it
+    /// ran here.
+    pub fn run(&self, f: impl FnOnce()) -> bool {
+        if self
+            .taken
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            f();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-arm for the next episode (call between barriers).
+    pub fn reset(&self) {
+        self.taken.store(false, Ordering::Release);
+    }
+}
+
+impl Default for Single {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convenience: a per-region helper bundling a barrier sized to the
+/// context's team.
+pub fn team_barrier(ctx: WorkerCtx) -> usize {
+    ctx.num_threads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let t = 6;
+        let pool = ThreadPool::new(t);
+        let barrier = RegionBarrier::new(t);
+        let phase1 = AtomicUsize::new(0);
+        let phase2_saw = AtomicUsize::new(usize::MAX);
+        pool.run(|_ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            barrier.wait();
+            // Everyone must observe the completed phase 1.
+            phase2_saw.fetch_min(phase1.load(Ordering::SeqCst), Ordering::SeqCst);
+            barrier.wait();
+        });
+        assert_eq!(phase2_saw.load(Ordering::SeqCst), t);
+    }
+
+    #[test]
+    fn barrier_elects_exactly_one_leader_per_episode() {
+        let t = 5;
+        let pool = ThreadPool::new(t);
+        let barrier = RegionBarrier::new(t);
+        let leaders = AtomicUsize::new(0);
+        pool.run(|_| {
+            for _ in 0..10 {
+                if barrier.wait() {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn barrier_many_episodes_stress() {
+        let t = 4;
+        let pool = ThreadPool::new(t);
+        let barrier = RegionBarrier::new(t);
+        let counter = AtomicU64::new(0);
+        let episodes = 500u64;
+        pool.run(|_| {
+            for e in 0..episodes {
+                counter.fetch_add(1, Ordering::SeqCst);
+                barrier.wait();
+                // After each barrier the counter is exactly t * (e + 1).
+                assert_eq!(counter.load(Ordering::SeqCst), t as u64 * (e + 1));
+                barrier.wait();
+            }
+        });
+    }
+
+    #[test]
+    fn critical_serializes() {
+        let pool = ThreadPool::new(8);
+        let acc = Critical::new(Vec::new());
+        pool.run(|ctx| {
+            for i in 0..100 {
+                acc.section(|v| v.push(ctx.id * 1000 + i));
+            }
+        });
+        let v = acc.into_inner();
+        assert_eq!(v.len(), 800);
+    }
+
+    #[test]
+    fn single_runs_once_per_episode() {
+        let t = 6;
+        let pool = ThreadPool::new(t);
+        let barrier = RegionBarrier::new(t);
+        let single = Single::new();
+        let runs = AtomicUsize::new(0);
+        pool.run(|_| {
+            for _ in 0..20 {
+                single.run(|| {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                });
+                if barrier.wait() {
+                    single.reset();
+                }
+                barrier.wait();
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn team_barrier_reports_team_size() {
+        let pool = ThreadPool::new(3);
+        let sizes = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            sizes.fetch_max(team_barrier(ctx), Ordering::SeqCst);
+        });
+        assert_eq!(sizes.load(Ordering::SeqCst), 3);
+    }
+}

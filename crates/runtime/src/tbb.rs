@@ -1,0 +1,219 @@
+//! TBB-style `parallel_for` over a blocked range with the three partitioners
+//! of §II-C of the paper.
+
+use crate::pool::{ThreadPool, WorkerCtx};
+use crossbeam_deque::{Injector, Steal};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// TBB range partitioner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioner {
+    /// `simple_partitioner`: recursively divide until `grain` is reached —
+    /// "similar to the dynamic scheduling policy of OpenMP" (§II-C). The
+    /// paper's coloring results use this with grain 40.
+    Simple { grain: usize },
+    /// `auto_partitioner`: create ~`4 t` subranges up front and split a
+    /// range further only when it is stolen.
+    Auto,
+    /// `affinity_partitioner`: deal chunks to workers in a fixed cyclic
+    /// pattern so repeated loops see the same iterations on the same
+    /// worker. The mapping is deterministic, so affinity across loop
+    /// executions holds by construction.
+    Affinity,
+}
+
+struct Task {
+    range: Range<usize>,
+    /// Id of the worker that pushed this task; a different id popping it
+    /// means the task was stolen (the auto partitioner's split trigger).
+    owner: usize,
+}
+
+/// `tbb::parallel_for(blocked_range(...), body, partitioner)`.
+pub fn tbb_parallel_for<F>(pool: &ThreadPool, range: Range<usize>, part: Partitioner, body: F)
+where
+    F: Fn(Range<usize>, WorkerCtx) + Sync,
+{
+    if range.is_empty() {
+        return;
+    }
+    match part {
+        Partitioner::Simple { grain } => {
+            // Same splitting engine as cilk_for: divide-until-grain with
+            // stealable halves.
+            crate::cilk::cilk_for(pool, range, grain.max(1), body);
+        }
+        Partitioner::Auto => auto_partition(pool, range, body),
+        Partitioner::Affinity => {
+            let t = pool.num_threads();
+            let n = range.len();
+            // TBB's affinity partitioner aims for a few chunks per thread.
+            let chunks = (t * 4).min(n.max(1));
+            let chunk = n.div_ceil(chunks);
+            let start = range.start;
+            let end = range.end;
+            pool.run(|ctx| {
+                let mut c = ctx.id;
+                loop {
+                    let lo = start + c * chunk;
+                    if lo >= end {
+                        break;
+                    }
+                    body(lo..(lo + chunk).min(end), ctx);
+                    c += t;
+                }
+            });
+        }
+    }
+}
+
+fn auto_partition<F>(pool: &ThreadPool, range: Range<usize>, body: F)
+where
+    F: Fn(Range<usize>, WorkerCtx) + Sync,
+{
+    let t = pool.num_threads();
+    let n = range.len();
+    let total = n;
+    let injector: Injector<Task> = Injector::new();
+    // Initial division: ~4 subranges per thread, dealt with owner = the
+    // worker they are destined for (cyclic), so a different popper counts
+    // as a steal.
+    let initial = (4 * t).min(n.max(1));
+    let chunk = n.div_ceil(initial);
+    let mut lo = range.start;
+    let mut idx = 0usize;
+    while lo < range.end {
+        let hi = (lo + chunk).min(range.end);
+        injector.push(Task { range: lo..hi, owner: idx % t });
+        lo = hi;
+        idx += 1;
+    }
+    let remaining = AtomicUsize::new(total);
+    // See cilk_for: release spinning siblings if a task body panics.
+    let aborted = AtomicBool::new(false);
+
+    pool.run(|ctx| {
+        let mut local: Vec<Task> = Vec::new();
+        'outer: while remaining.load(Ordering::Acquire) > 0 {
+            if aborted.load(Ordering::Acquire) {
+                break;
+            }
+            let task = match local.pop() {
+                Some(task) => task,
+                None => loop {
+                    match injector.steal() {
+                        Steal::Success(task) => break task,
+                        Steal::Empty => {
+                            if remaining.load(Ordering::Acquire) == 0
+                                || aborted.load(Ordering::Acquire)
+                            {
+                                break 'outer;
+                            }
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                        }
+                        Steal::Retry => {}
+                    }
+                },
+            };
+            let stolen = task.owner != ctx.id;
+            let mut r = task.range;
+            if stolen && r.len() > 1 {
+                // Split once on steal, publishing the back half — the auto
+                // partitioner's defining move.
+                let mid = r.start + r.len() / 2;
+                injector.push(Task { range: mid..r.end, owner: ctx.id });
+                r = r.start..mid;
+            }
+            let len = r.len();
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body(r, ctx))) {
+                aborted.store(true, Ordering::Release);
+                resume_unwind(p);
+            }
+            remaining.fetch_sub(len, Ordering::AcqRel);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    fn partitioners() -> Vec<Partitioner> {
+        vec![
+            Partitioner::Simple { grain: 1 },
+            Partitioner::Simple { grain: 40 },
+            Partitioner::Auto,
+            Partitioner::Affinity,
+        ]
+    }
+
+    #[test]
+    fn covers_every_index_once() {
+        let pool = ThreadPool::new(5);
+        for part in partitioners() {
+            let n = 1534;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            tbb_parallel_for(&pool, 0..n, part, |r, _| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{part:?}");
+        }
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let pool = ThreadPool::new(7);
+        let expected: u64 = (3..4000u64).sum();
+        for part in partitioners() {
+            let sum = AtomicU64::new(0);
+            tbb_parallel_for(&pool, 3..4000, part, |r, _| {
+                sum.fetch_add(r.map(|i| i as u64).sum::<u64>(), Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), expected, "{part:?}");
+        }
+    }
+
+    #[test]
+    fn simple_respects_grain() {
+        let pool = ThreadPool::new(4);
+        let max_leaf = AtomicUsize::new(0);
+        tbb_parallel_for(&pool, 0..5000, Partitioner::Simple { grain: 64 }, |r, _| {
+            max_leaf.fetch_max(r.len(), Ordering::Relaxed);
+        });
+        assert!(max_leaf.load(Ordering::Relaxed) <= 64);
+    }
+
+    #[test]
+    fn affinity_mapping_is_deterministic() {
+        let pool = ThreadPool::new(4);
+        let n = 1000;
+        let run = || {
+            let owner: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+            tbb_parallel_for(&pool, 0..n, Partitioner::Affinity, |r, ctx| {
+                for i in r {
+                    owner[i].store(ctx.id, Ordering::Relaxed);
+                }
+            });
+            owner.iter().map(|o| o.load(Ordering::Relaxed)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "affinity must map iterations identically across loops");
+    }
+
+    #[test]
+    fn empty_range() {
+        let pool = ThreadPool::new(2);
+        for part in partitioners() {
+            let hits = AtomicUsize::new(0);
+            tbb_parallel_for(&pool, 9..9, part, |_, _| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 0);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the scheduling constructs: every policy must
+//! partition any range exactly, and the concurrent containers must never
+//! lose or duplicate elements.
+
+use mic_runtime::{
+    cilk_for, parallel_for_chunks, tbb_parallel_for, BlockQueue, ConcurrentPushVec, Partitioner,
+    Schedule, ThreadPool,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Static { chunk: None }),
+        (1usize..200).prop_map(|c| Schedule::Static { chunk: Some(c) }),
+        (1usize..200).prop_map(|c| Schedule::Dynamic { chunk: c }),
+        (1usize..100).prop_map(|c| Schedule::Guided { min_chunk: c }),
+    ]
+}
+
+fn arb_partitioner() -> impl Strategy<Value = Partitioner> {
+    prop_oneof![
+        (1usize..200).prop_map(|g| Partitioner::Simple { grain: g }),
+        Just(Partitioner::Auto),
+        Just(Partitioner::Affinity),
+    ]
+}
+
+fn check_exact_cover(hits: &[AtomicUsize]) -> Result<(), TestCaseError> {
+    for (i, h) in hits.iter().enumerate() {
+        let c = h.load(Ordering::Relaxed);
+        prop_assert!(c == 1, "index {i} visited {c} times");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn openmp_covers_exactly(n in 0usize..3000, t in 1usize..9, sched in arb_schedule()) {
+        let pool = ThreadPool::new(t);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_chunks(&pool, 0..n, sched, |r, _| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        check_exact_cover(&hits)?;
+    }
+
+    #[test]
+    fn cilk_covers_exactly(n in 0usize..3000, t in 1usize..9, grain in 1usize..300) {
+        let pool = ThreadPool::new(t);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        cilk_for(&pool, 0..n, grain, |r, _| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        check_exact_cover(&hits)?;
+    }
+
+    #[test]
+    fn tbb_covers_exactly(n in 0usize..3000, t in 1usize..9, part in arb_partitioner()) {
+        let pool = ThreadPool::new(t);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        tbb_parallel_for(&pool, 0..n, part, |r, _| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        check_exact_cover(&hits)?;
+    }
+
+    #[test]
+    fn push_vec_is_a_multiset(n in 0usize..2000, t in 1usize..8) {
+        let pool = ThreadPool::new(t);
+        let cv: ConcurrentPushVec<usize> = ConcurrentPushVec::new(n);
+        parallel_for_chunks(&pool, 0..n, Schedule::Dynamic { chunk: 13 }, |r, _| {
+            for i in r {
+                cv.push(i);
+            }
+        });
+        let mut cv = cv;
+        let mut got = cv.drain();
+        got.sort_unstable();
+        let want: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn block_queue_is_a_multiset(
+        n in 0usize..3000,
+        t in 1usize..8,
+        block in 1usize..100,
+    ) {
+        let pool = ThreadPool::new(t);
+        let q: BlockQueue<u32> = BlockQueue::with_writers(n, block, t, u32::MAX);
+        let qr = &q;
+        pool.run(|ctx| {
+            let mut w = qr.writer();
+            let mut i = ctx.id;
+            while i < n {
+                w.push(i as u32);
+                i += ctx.num_threads;
+            }
+        });
+        let mut q = q;
+        let mut got = q.items();
+        got.sort_unstable();
+        let want: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(got, want);
+        // Sentinel accounting: raw slots are item count plus padding,
+        // bounded by one block per writer.
+        prop_assert!(q.raw_len() >= n);
+        prop_assert!(q.raw_len() <= n + t * block);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the machine simulator: conservation, sanity and
+//! monotonicity laws that must hold for any workload.
+
+use mic_sim::{simulate_region, Machine, Policy, Region, Work};
+use proptest::prelude::*;
+
+fn arb_work() -> impl Strategy<Value = Work> {
+    (0.0f64..50.0, 0.0f64..20.0, 0.0f64..5.0, 0.0f64..3.0, 0.0f64..20.0, 0.0f64..0.2).prop_map(
+        |(issue, l1, l2, dram, flops, atomics)| Work { issue: issue + 1.0, l1, l2, dram, flops, atomics },
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::OmpStatic { chunk: None }),
+        (1usize..100).prop_map(|c| Policy::OmpStatic { chunk: Some(c) }),
+        (1usize..100).prop_map(|c| Policy::OmpDynamic { chunk: c }),
+        (1usize..50).prop_map(|c| Policy::OmpGuided { min_chunk: c }),
+        (1usize..100).prop_map(|g| Policy::Cilk { grain: g }),
+        (1usize..100).prop_map(|g| Policy::TbbSimple { grain: g }),
+        Just(Policy::TbbAuto),
+        Just(Policy::TbbAffinity),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn time_positive_and_finite(
+        work in proptest::collection::vec(arb_work(), 1..400),
+        policy in arb_policy(),
+        t in 1usize..124,
+    ) {
+        let m = Machine::knf();
+        let r = Region::new(work, policy);
+        let c = simulate_region(&m, t, &r);
+        prop_assert!(c.is_finite() && c > 0.0);
+    }
+
+    #[test]
+    fn issue_capacity_is_conserved(
+        work in proptest::collection::vec(arb_work(), 10..300),
+        t in 1usize..124,
+    ) {
+        // No schedule can beat the chip's aggregate issue bandwidth.
+        let m = Machine::knf();
+        let total_issue: f64 = work.iter().map(|w| w.issue + w.flops).sum();
+        let floor = total_issue / (m.cores as f64);
+        let r = Region::new(work, Policy::OmpDynamic { chunk: 16 });
+        let c = simulate_region(&m, t, &r);
+        prop_assert!(c + 1e-6 >= floor, "cycles {c} below issue floor {floor}");
+    }
+
+    #[test]
+    fn single_thread_beats_nothing(
+        work in proptest::collection::vec(arb_work(), 10..200),
+        policy in arb_policy(),
+    ) {
+        // One thread can never be faster than the serialized work itself.
+        let m = Machine::knf();
+        let r = Region::new(work.clone(), policy);
+        let c1 = simulate_region(&m, 1, &r);
+        let serial: f64 = work
+            .iter()
+            .map(|w| {
+                (w.issue * m.single_thread_issue_penalty)
+                    .max(w.flops * m.fpu_recip_throughput)
+            })
+            .sum();
+        prop_assert!(c1 + 1e-6 >= serial);
+    }
+
+    #[test]
+    fn many_threads_never_slower_than_one(
+        work in proptest::collection::vec(arb_work(), 50..300),
+        t in 2usize..124,
+    ) {
+        // Under the light-weight dynamic schedule, adding threads may give
+        // diminishing returns but must not lose to one thread.
+        let m = Machine::knf();
+        let r = Region::new(work, Policy::OmpDynamic { chunk: 8 });
+        let c1 = simulate_region(&m, 1, &r);
+        let ct = simulate_region(&m, t, &r);
+        prop_assert!(ct <= c1 * 1.05, "t={t}: {ct} vs single {c1}");
+    }
+
+    #[test]
+    fn xeon_and_knf_both_accept_any_workload(
+        work in proptest::collection::vec(arb_work(), 1..100),
+        policy in arb_policy(),
+    ) {
+        let r = Region::new(work, policy);
+        for m in [Machine::knf(), Machine::xeon_host()] {
+            let c = simulate_region(&m, m.hw_threads().min(24), &r);
+            prop_assert!(c.is_finite() && c > 0.0);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: build a graph, color it, run BFS, and simulate how the
+//! whole thing would scale on the paper's 124-thread MIC prototype.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mic_eval::bfs::{self, instrument::SimVariant, parallel_bfs, BfsVariant};
+use mic_eval::coloring::{self, iterative_coloring};
+use mic_eval::graph::stats::LocalityWindows;
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::runtime::{Partitioner, RuntimeModel, Schedule, ThreadPool};
+use mic_eval::sim::{simulate, Machine, Policy};
+
+fn main() {
+    // 1. A mesh-like graph: the calibrated stand-in for the paper's `hood`
+    //    matrix, at 1/16 scale so this example runs in moments.
+    let g = build(PaperGraph::Hood, Scale::Fraction(16));
+    println!(
+        "graph: {} vertices, {} edges, max degree {}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.max_degree()
+    );
+
+    // 2. Color it with the parallel iterative speculative algorithm, under
+    //    each of the three programming models the paper compares.
+    let pool = ThreadPool::new(4);
+    for model in [
+        RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 100 }),
+        RuntimeModel::CilkHolder { grain: 100 },
+        RuntimeModel::Tbb(Partitioner::Simple { grain: 40 }),
+    ] {
+        let r = iterative_coloring(&pool, &g, model);
+        coloring::check_proper(&g, &r.colors).expect("coloring must be proper");
+        println!(
+            "{:<9} coloring: {} colors in {} round(s)",
+            model.family(),
+            r.num_colors,
+            r.rounds
+        );
+    }
+
+    // 3. BFS with the paper's block-accessed queue (relaxed), checked
+    //    against the sequential reference.
+    let source = bfs::seq::table1_source(&g);
+    let seq = bfs::bfs(&g, source);
+    let par = parallel_bfs(
+        &pool,
+        &g,
+        source,
+        BfsVariant::OmpBlock { sched: Schedule::Dynamic { chunk: 32 }, block: 32, relaxed: true },
+    );
+    assert_eq!(par.levels, seq.levels);
+    println!("BFS: {} levels from vertex {source} (parallel == sequential)", par.num_levels);
+
+    // 4. Simulate the same BFS on the Knights Ferry machine model and
+    //    print the speedup curve next to the paper's analytic model.
+    let machine = Machine::knf();
+    let workload = bfs::instrument::instrument(
+        &g,
+        source,
+        LocalityWindows::default(),
+        SimVariant::Block { block: 32, relaxed: true },
+    );
+    let regions = workload.regions(Policy::OmpDynamic { chunk: 32 });
+    let base = simulate(&machine, 1, &regions).cycles;
+    println!("\n{:>8} {:>10} {:>10}", "threads", "simulated", "model");
+    for t in [1usize, 31, 61, 121] {
+        let s = base / simulate(&machine, t, &regions).cycles;
+        let m = mic_eval::sim::bfs_model_speedup(&workload.widths, t);
+        println!("{t:>8} {s:>10.2} {m:>10.2}");
+    }
+}

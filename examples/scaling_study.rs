@@ -1,0 +1,51 @@
+//! Scaling study on a user-chosen graph: how do the kernels scale on the
+//! simulated MIC card, and how much does vertex ordering matter?
+//!
+//! Run with: `cargo run --release --example scaling_study [-- <n>]`
+//! where `<n>` is the vertex count (default 50_000).
+
+use mic_eval::coloring::instrument::instrument as color_instr;
+use mic_eval::graph::generators::{rgg3d_with_avg_degree, Box3};
+use mic_eval::graph::ordering::{apply, Ordering};
+use mic_eval::graph::stats::{stats, LocalityWindows};
+use mic_eval::irregular::instrument::instrument as irr_instr;
+use mic_eval::sim::{simulate, simulate_region, Machine, Policy};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let g = rgg3d_with_avg_degree(n, Box3::new(8.0, 1.0, 1.0), 30.0, 42);
+    let (shuffled, _) = apply(&g, Ordering::Random { seed: 7 });
+
+    let st_nat = stats(&g);
+    let st_shf = stats(&shuffled);
+    println!("natural  ordering: locality {:?}", st_nat.locality);
+    println!("shuffled ordering: locality {:?}", st_shf.locality);
+
+    let machine = Machine::knf();
+    let win = LocalityWindows::default();
+    let policy = Policy::OmpDynamic { chunk: 100 };
+
+    println!("\ncoloring speedups on the simulated KNF card:");
+    println!("{:>8} {:>10} {:>10}", "threads", "natural", "shuffled");
+    let nat = color_instr(&g, win).regions(policy);
+    let shf = color_instr(&shuffled, win).regions(policy);
+    let (b_nat, b_shf) =
+        (simulate(&machine, 1, &nat).cycles, simulate(&machine, 1, &shf).cycles);
+    for t in [11usize, 31, 61, 91, 121] {
+        println!(
+            "{t:>8} {:>10.1} {:>10.1}",
+            b_nat / simulate(&machine, t, &nat).cycles,
+            b_shf / simulate(&machine, t, &shf).cycles
+        );
+    }
+
+    println!("\nirregular kernel: SMT benefit vs compute intensity:");
+    println!("{:>8} {:>12} {:>14}", "iter", "speedup@121", "vs 31 threads");
+    for iter in [1usize, 3, 5, 10] {
+        let r = irr_instr(&g, win, iter).region(policy);
+        let b = simulate_region(&machine, 1, &r);
+        let s121 = b / simulate_region(&machine, 121, &r);
+        let s31 = b / simulate_region(&machine, 31, &r);
+        println!("{iter:>8} {s121:>12.1} {:>13.2}x", s121 / s31);
+    }
+}

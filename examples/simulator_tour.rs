@@ -1,0 +1,69 @@
+//! A tour of the machine simulator: build custom machines, run a workload
+//! across them, and ask the telemetry why each one behaves as it does.
+//!
+//! Run with: `cargo run --release --example simulator_tour`
+
+use mic_eval::sim::{
+    simulate_region, simulate_region_telemetry, Machine, Placement, Policy, Region, Work,
+};
+
+fn main() {
+    // A synthetic irregular loop: a few integer ops, a couple of cached
+    // reads, one DRAM miss and one flop per iteration.
+    let w = Work { issue: 8.0, l1: 2.0, l2: 0.3, dram: 0.7, flops: 1.0, atomics: 0.0 };
+    let region = Region::new(vec![w; 100_000], Policy::OmpDynamic { chunk: 100 });
+
+    let machines: Vec<Machine> = vec![
+        Machine::knf(),
+        Machine::xeon_host(),
+        Machine::knc_projection(),
+        {
+            // A hypothetical KNF with out-of-order cores: no single-thread
+            // penalties (what would the paper's Figure 2 have looked like?)
+            let mut m = Machine::knf();
+            m.name = "knf-out-of-order";
+            m.single_thread_issue_penalty = 1.0;
+            m.single_thread_stall_penalty = 1.0;
+            m
+        },
+        {
+            let mut m = Machine::knf();
+            m.name = "knf-compact-placement";
+            m.placement = Placement::Compact;
+            m
+        },
+    ];
+
+    println!(
+        "{:<24} {:>7} {:>12} {:>12} {:>16}",
+        "machine", "hw thr", "speedup@half", "speedup@max", "binding resource"
+    );
+    for m in &machines {
+        let base = simulate_region(m, 1, &region);
+        let half = m.hw_threads() / 2;
+        let s_half = base / simulate_region(m, half, &region);
+        let (c_max, tele) = simulate_region_telemetry(m, m.hw_threads(), &region);
+        let s_max = base / c_max;
+        println!(
+            "{:<24} {:>7} {:>12.1} {:>12.1} {:>16}",
+            m.name,
+            m.hw_threads(),
+            s_half,
+            s_max,
+            tele.dominant()
+        );
+    }
+
+    println!("\nKNF speedup vs thread count (the paper's grid):");
+    let knf = Machine::knf();
+    let base = simulate_region(&knf, 1, &region);
+    print!("  threads:");
+    for &t in &knf.thread_grid() {
+        print!(" {t:>6}");
+    }
+    print!("\n  speedup:");
+    for &t in &knf.thread_grid() {
+        print!(" {:>6.1}", base / simulate_region(&knf, t, &region));
+    }
+    println!();
+}

@@ -1,0 +1,70 @@
+//! Cross-crate integration: the irregular kernel and its mini-apps on the
+//! calibrated suite.
+
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::irregular::apps::{heat_diffusion, pagerank};
+use mic_eval::irregular::kernel::{irregular_inplace, irregular_jacobi, jacobi_seq};
+use mic_eval::runtime::{Partitioner, RuntimeModel, Schedule, ThreadPool};
+
+const SCALE: Scale = Scale::Fraction(128);
+
+#[test]
+fn jacobi_deterministic_across_models_on_suite() {
+    let pool = ThreadPool::new(8);
+    for pg in [PaperGraph::Hood, PaperGraph::Bmw32] {
+        let g = build(pg, SCALE);
+        let n = g.num_vertices();
+        let state: Vec<f64> = (0..n).map(|i| ((i * 31) % 101) as f64).collect();
+        let mut want = vec![0.0; n];
+        jacobi_seq(&g, &state, &mut want, 3);
+        for model in [
+            RuntimeModel::OpenMp(Schedule::dynamic100()),
+            RuntimeModel::CilkHolder { grain: 64 },
+            RuntimeModel::Tbb(Partitioner::Auto),
+        ] {
+            let mut got = vec![0.0; n];
+            irregular_jacobi(&pool, &g, &state, &mut got, 3, model);
+            assert_eq!(got, want, "{} under {model:?}", pg.name());
+        }
+    }
+}
+
+#[test]
+fn inplace_kernel_bounded_on_suite() {
+    let pool = ThreadPool::new(8);
+    let g = build(PaperGraph::Pwtk, SCALE);
+    let mut state: Vec<f64> = (0..g.num_vertices()).map(|i| (i % 7) as f64 - 3.0).collect();
+    let (lo, hi) = (-3.0, 3.0);
+    irregular_inplace(&pool, &g, &mut state, 5, RuntimeModel::OpenMp(Schedule::dynamic100()));
+    assert!(state.iter().all(|&s| s >= lo - 1e-9 && s <= hi + 1e-9));
+}
+
+#[test]
+fn pagerank_on_mesh_converges() {
+    let pool = ThreadPool::new(4);
+    let g = build(PaperGraph::Auto, SCALE);
+    let (r, iters) = pagerank(&pool, &g, 0.85, 1e-8, 500, RuntimeModel::CilkHolder { grain: 64 });
+    assert!(iters < 500);
+    assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn heat_diffusion_smooths_on_mesh() {
+    let pool = ThreadPool::new(4);
+    let g = build(PaperGraph::Hood, SCALE);
+    let n = g.num_vertices();
+    let mut initial = vec![0.0; n];
+    initial[n / 2] = 1.0;
+    let t = heat_diffusion(
+        &pool,
+        &g,
+        &initial,
+        0.9,
+        50,
+        RuntimeModel::Tbb(Partitioner::Simple { grain: 32 }),
+    );
+    // The spike must have spread: peak well below 1, neighbors warmed.
+    let peak = t.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(peak < 0.5, "peak {peak}");
+    assert!(t.iter().filter(|&&x| x > 1e-6).count() > 100);
+}

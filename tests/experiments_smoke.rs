@@ -1,0 +1,82 @@
+//! Smoke tests: every exhibit driver produces well-formed output at
+//! miniature scale.
+
+use mic_eval::experiments::{ablation, fig1, fig2, fig3, fig4, table1};
+use mic_eval::graph::suite::Scale;
+
+const SCALE: Scale = Scale::Fraction(64);
+
+#[test]
+fn table1_has_all_rows_and_renders() {
+    let rows = table1::table1(SCALE);
+    assert_eq!(rows.len(), 7);
+    let txt = table1::render(&rows);
+    for name in ["auto", "bmw3_2", "hood", "inline_1", "ldoor", "msdoor", "pwtk"] {
+        assert!(txt.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn fig1_all_panels_produce_curves() {
+    for (panel, n_series) in [
+        (fig1::Panel::OpenMp, 3),
+        (fig1::Panel::CilkPlus, 2),
+        (fig1::Panel::Tbb, 3),
+    ] {
+        let fig = fig1::fig1(panel, SCALE);
+        assert_eq!(fig.series.len(), n_series, "{panel:?}");
+        assert_eq!(fig.x.len(), 13);
+        assert!(fig.series.iter().all(|s| s.y.iter().all(|v| v.is_finite() && *v > 0.0)));
+        assert!(!fig.to_csv().is_empty());
+    }
+}
+
+#[test]
+fn fig2_produces_three_models() {
+    let fig = fig2::fig2(SCALE);
+    assert_eq!(fig.series.len(), 3);
+    // Every curve starts at ~1 on one thread (common-baseline rule allows
+    // slightly under for the slower 1-thread configs).
+    for s in &fig.series {
+        assert!(s.y[0] > 0.5 && s.y[0] <= 1.01, "{}: {}", s.label, s.y[0]);
+    }
+}
+
+#[test]
+fn fig3_panels_have_four_iter_curves() {
+    for panel in [fig3::Panel::OpenMp, fig3::Panel::CilkPlus, fig3::Panel::Tbb] {
+        let fig = fig3::fig3(panel, SCALE);
+        assert_eq!(fig.series.len(), 4);
+        for iter in fig3::ITERS {
+            assert!(fig.get(&format!("{iter} iterations")).is_some());
+        }
+    }
+}
+
+#[test]
+fn fig4_panels_have_model_plus_impls() {
+    for (panel, n_series) in [
+        (fig4::Panel::Pwtk, 3),
+        (fig4::Panel::Inline1, 3),
+        (fig4::Panel::AllKnf, 4),
+        (fig4::Panel::AllCpu, 5),
+    ] {
+        let fig = fig4::fig4(panel, SCALE);
+        assert_eq!(fig.series.len(), n_series, "{panel:?}");
+        assert_eq!(fig.series[0].label, "Model");
+    }
+}
+
+#[test]
+fn ablations_render() {
+    for fig in [
+        ablation::block_size_sweep(SCALE),
+        ablation::chunk_size_sweep(SCALE),
+        ablation::locked_vs_relaxed(SCALE),
+        ablation::ordering_ablation(SCALE),
+        ablation::placement_ablation(SCALE),
+    ] {
+        assert!(!fig.series.is_empty());
+        assert!(fig.to_ascii().contains("Ablation"));
+    }
+}

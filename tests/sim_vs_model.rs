@@ -1,0 +1,125 @@
+//! The machine simulator against the paper's analytic BFS model: under the
+//! model's own idealizing assumptions, the two must agree; with overheads
+//! enabled, the simulator must stay below the model.
+
+use mic_eval::bfs::instrument::{instrument, SimVariant};
+use mic_eval::bfs::seq::table1_source;
+use mic_eval::graph::stats::LocalityWindows;
+use mic_eval::graph::suite::{build, PaperGraph, Scale};
+use mic_eval::sim::{bfs_model_speedup, simulate, BfsModel, Machine, Policy, Region, Work};
+
+/// A machine with no overheads, uniform vertex cost and free scheduling —
+/// the paper's five assumptions.
+fn ideal_machine() -> Machine {
+    let mut m = Machine::knf();
+    // "Processing threads are completely independent": one thread per
+    // core, so no issue-slot or FPU sharing.
+    m.cores = 124;
+    m.smt_per_core = 1;
+    m.single_thread_issue_penalty = 1.0;
+    m.single_thread_stall_penalty = 1.0;
+    m.dram_lines_per_cycle = 1e12;
+    m.l2_lines_per_cycle = 1e12;
+    m.atomic_service = 0.0;
+    m.atomic_latency = 0.0;
+    m.barrier_base = 0.0;
+    m.barrier_log = 0.0;
+    m.barrier_per_thread = 0.0;
+    m.fork_base = 0.0;
+    m.sched.static_chunk = 0.0;
+    m.sched.dynamic_chunk = 0.0;
+    m.sched.bg_omp = 0.0;
+    m
+}
+
+/// Uniform-cost level regions matching the analytic model's world: every
+/// vertex costs exactly one unit, scheduled in blocks of `b`.
+fn uniform_levels(widths: &[usize], b: usize) -> Vec<Region> {
+    widths
+        .iter()
+        .map(|&x| {
+            Region::new(
+                vec![Work { issue: 1.0, ..Default::default() }; x],
+                Policy::OmpDynamic { chunk: b },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn ideal_simulator_matches_analytic_model() {
+    let m = ideal_machine();
+    let widths = vec![64usize, 816, 2048, 300, 31, 5];
+    let model = BfsModel { block: 32, level_widths: widths.clone() };
+    let regions = uniform_levels(&widths, 32);
+    let base = simulate(&m, 1, &regions).cycles;
+    for t in [1usize, 4, 13, 31, 61, 124] {
+        let sim_speedup = base / simulate(&m, t, &regions).cycles;
+        let model_speedup = model.speedup(t);
+        let rel = (sim_speedup - model_speedup).abs() / model_speedup;
+        // The model rounds whole levels to block multiples; the simulator
+        // schedules exact chunks, so small levels differ a little.
+        assert!(
+            rel < 0.15,
+            "t={t}: simulator {sim_speedup:.2} vs model {model_speedup:.2}"
+        );
+    }
+}
+
+#[test]
+fn real_simulator_stays_at_or_below_model_at_scale() {
+    // With all overheads on, the implementation cannot beat the model by
+    // more than the baseline-inflation factor (the model ignores the
+    // single-thread penalties which make real 1-thread runs slower).
+    let g = build(PaperGraph::Hood, Scale::Fraction(16));
+    let src = table1_source(&g);
+    let w = instrument(&g, src, LocalityWindows::default(), SimVariant::Block { block: 32, relaxed: true });
+    let regions = w.regions(Policy::OmpDynamic { chunk: 32 });
+    let m = Machine::knf();
+    let base = simulate(&m, 1, &regions).cycles;
+    let slack = m.single_thread_stall_penalty.max(m.single_thread_issue_penalty);
+    for t in [31usize, 61, 121] {
+        let s = base / simulate(&m, t, &regions).cycles;
+        let model = bfs_model_speedup(&w.widths, t);
+        assert!(
+            s <= model * slack * 1.05,
+            "t={t}: implementation {s:.1} implausibly beats model {model:.1}"
+        );
+    }
+}
+
+#[test]
+fn chain_graph_yields_no_parallelism_in_both() {
+    // The paper's extreme case: a long chain exposes nothing to either the
+    // model or the simulator.
+    let widths = vec![1usize; 500];
+    let m = ideal_machine();
+    let regions = uniform_levels(&widths, 32);
+    let base = simulate(&m, 1, &regions).cycles;
+    let s = base / simulate(&m, 124, &regions).cycles;
+    assert!((s - 1.0).abs() < 0.05, "chain speedup {s}");
+    assert!((bfs_model_speedup(&widths, 124) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn model_upper_bounds_tighten_with_narrow_levels() {
+    // Sanity on real level profiles: pwtk's narrow levels cap the model
+    // well below inline_1's, matching the paper's Figure 4a/4b contrast.
+    let pwtk = build(PaperGraph::Pwtk, Scale::Fraction(16));
+    let inline1 = build(PaperGraph::Inline1, Scale::Fraction(16));
+    let widths = |g: &mic_eval::graph::Csr| {
+        instrument(
+            g,
+            table1_source(g),
+            LocalityWindows::default(),
+            SimVariant::Block { block: 32, relaxed: true },
+        )
+        .widths
+    };
+    let s_pwtk = bfs_model_speedup(&widths(&pwtk), 121);
+    let s_inline = bfs_model_speedup(&widths(&inline1), 121);
+    assert!(
+        s_inline > 1.5 * s_pwtk,
+        "inline_1 model {s_inline:.1} should dwarf pwtk {s_pwtk:.1}"
+    );
+}
