@@ -16,7 +16,9 @@ fn bench_bfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("bfs");
     group.sample_size(20);
 
-    group.bench_function("sequential", |b| b.iter(|| black_box(bfs(&g, src).num_levels)));
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(bfs(&g, src).num_levels))
+    });
     group.bench_function("direction_optimizing", |b| {
         b.iter(|| black_box(hybrid_bfs(&g, src, Hybrid::default()).num_levels))
     });

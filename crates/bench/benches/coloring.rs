@@ -18,11 +18,23 @@ fn bench_coloring(c: &mut Criterion) {
     });
 
     for (name, model) in [
-        ("openmp_dynamic100", RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 100 })),
-        ("openmp_static", RuntimeModel::OpenMp(Schedule::Static { chunk: None })),
-        ("openmp_guided", RuntimeModel::OpenMp(Schedule::Guided { min_chunk: 100 })),
+        (
+            "openmp_dynamic100",
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 100 }),
+        ),
+        (
+            "openmp_static",
+            RuntimeModel::OpenMp(Schedule::Static { chunk: None }),
+        ),
+        (
+            "openmp_guided",
+            RuntimeModel::OpenMp(Schedule::Guided { min_chunk: 100 }),
+        ),
         ("cilk_holder100", RuntimeModel::CilkHolder { grain: 100 }),
-        ("tbb_simple40", RuntimeModel::Tbb(Partitioner::Simple { grain: 40 })),
+        (
+            "tbb_simple40",
+            RuntimeModel::Tbb(Partitioner::Simple { grain: 40 }),
+        ),
         ("tbb_auto", RuntimeModel::Tbb(Partitioner::Auto)),
     ] {
         group.bench_with_input(BenchmarkId::new("parallel", name), &model, |b, &model| {

@@ -11,7 +11,14 @@ fn bench_generators(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("rgg3d_20k", |b| {
-        b.iter(|| black_box(rgg3d_with_avg_degree(20_000, Box3::new(8.0, 1.0, 1.0), 30.0, 1)))
+        b.iter(|| {
+            black_box(rgg3d_with_avg_degree(
+                20_000,
+                Box3::new(8.0, 1.0, 1.0),
+                30.0,
+                1,
+            ))
+        })
     });
     group.bench_function("rmat_s12", |b| {
         b.iter(|| black_box(rmat(12, 16, RmatProbs::graph500(), 1)))

@@ -30,9 +30,7 @@ fn bench_extras(c: &mut Criterion) {
     let sample: Vec<u32> = (0..g.num_vertices() as u32).step_by(200).collect();
     group.bench_function("betweenness_sampled", |b| {
         b.iter(|| {
-            black_box(
-                parallel_betweenness(&pool, &g, &Sources::Sample(sample.clone()), model)[0],
-            )
+            black_box(parallel_betweenness(&pool, &g, &Sources::Sample(sample.clone()), model)[0])
         })
     });
 
@@ -40,7 +38,9 @@ fn bench_extras(c: &mut Criterion) {
         b.iter(|| black_box(components_parallel(&pool, &g, model).count))
     });
 
-    group.bench_function("triangles", |b| b.iter(|| black_box(triangles(&pool, &g, model))));
+    group.bench_function("triangles", |b| {
+        b.iter(|| black_box(triangles(&pool, &g, model)))
+    });
 
     group.bench_function("luby_mis", |b| {
         b.iter(|| black_box(luby_mis(&pool, &g, model, 7).rounds))

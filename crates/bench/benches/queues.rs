@@ -16,21 +16,25 @@ fn bench_queues(c: &mut Criterion) {
     group.sample_size(20);
 
     for block in [1usize, 8, 32, 128] {
-        group.bench_with_input(BenchmarkId::new("block_queue_push", block), &block, |b, &bl| {
-            b.iter(|| {
-                let q: BlockQueue<u32> = BlockQueue::with_writers(N, bl, 4, u32::MAX);
-                let qr = &q;
-                pool.run(|ctx| {
-                    let mut w = qr.writer();
-                    let mut i = ctx.id;
-                    while i < N {
-                        w.push(i as u32);
-                        i += ctx.num_threads;
-                    }
-                });
-                black_box(q.raw_len())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("block_queue_push", block),
+            &block,
+            |b, &bl| {
+                b.iter(|| {
+                    let q: BlockQueue<u32> = BlockQueue::with_writers(N, bl, 4, u32::MAX);
+                    let qr = &q;
+                    pool.run(|ctx| {
+                        let mut w = qr.writer();
+                        let mut i = ctx.id;
+                        while i < N {
+                            w.push(i as u32);
+                            i += ctx.num_threads;
+                        }
+                    });
+                    black_box(q.raw_len())
+                })
+            },
+        );
     }
 
     group.bench_function("bag_insert_union", |b| {

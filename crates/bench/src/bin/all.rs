@@ -2,46 +2,131 @@
 //!
 //! Usage: `all [--scale K]` — the EXPERIMENTS.md record uses the default
 //! (full paper-size) scale.
+//!
+//! The tables/figures go to stdout exactly as before; a per-exhibit wall
+//! time footer goes to stderr, and a machine-readable copy is written to
+//! `BENCH_sweep.json` in the working directory (disable with
+//! `MIC_BENCH_JSON=0`, or point it elsewhere with `MIC_BENCH_JSON=path`).
 
 use mic_eval::experiments::{ablation, fig1, fig2, fig3, fig4, table1};
 use mic_eval::graph::suite::Scale;
+use std::time::Instant;
+
+struct Timings {
+    exhibits: Vec<(String, f64)>,
+}
+
+impl Timings {
+    /// Run one exhibit, print its stdout block, record its wall time.
+    fn show(&mut self, name: &str, render: impl FnOnce() -> String) {
+        let start = Instant::now();
+        let text = render();
+        self.exhibits
+            .push((name.to_string(), start.elapsed().as_secs_f64()));
+        println!("{text}");
+    }
+}
+
+fn json_path() -> Option<String> {
+    match std::env::var("MIC_BENCH_JSON") {
+        Ok(v) if v == "0" => None,
+        Ok(v) if !v.is_empty() => Some(v),
+        _ => Some("BENCH_sweep.json".to_string()),
+    }
+}
+
+fn write_json(path: &str, scale: Scale, threads: usize, total_s: f64, t: &Timings) {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    body.push_str(&format!("  \"sweep_threads\": {threads},\n"));
+    body.push_str(&format!("  \"total_seconds\": {total_s:.3},\n"));
+    body.push_str("  \"exhibits\": [\n");
+    for (i, (name, secs)) in t.exhibits.iter().enumerate() {
+        let comma = if i + 1 < t.exhibits.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{comma}\n"
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("(could not write {path}: {e})");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = match args.iter().position(|a| a == "--scale") {
         Some(i) => {
             let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+            if k <= 1 {
+                Scale::Full
+            } else {
+                Scale::Fraction(k)
+            }
         }
         None => Scale::Full,
     };
 
+    let start = Instant::now();
+    let mut t = Timings {
+        exhibits: Vec::new(),
+    };
+
     eprintln!("== Table I ==");
-    println!("{}", table1::render(&table1::table1(scale)));
+    t.show("table1", || table1::render(&table1::table1(scale)));
 
     for p in [fig1::Panel::OpenMp, fig1::Panel::CilkPlus, fig1::Panel::Tbb] {
         eprintln!("== Figure 1 {p:?} ==");
-        println!("{}", fig1::fig1(p, scale).to_ascii());
+        t.show(&format!("fig1-{p:?}"), || fig1::fig1(p, scale).to_ascii());
     }
 
     eprintln!("== Figure 2 ==");
-    println!("{}", fig2::fig2(scale).to_ascii());
+    t.show("fig2", || fig2::fig2(scale).to_ascii());
 
     for p in [fig3::Panel::OpenMp, fig3::Panel::CilkPlus, fig3::Panel::Tbb] {
         eprintln!("== Figure 3 {p:?} ==");
-        println!("{}", fig3::fig3(p, scale).to_ascii());
+        t.show(&format!("fig3-{p:?}"), || fig3::fig3(p, scale).to_ascii());
     }
 
-    for p in [fig4::Panel::Pwtk, fig4::Panel::Inline1, fig4::Panel::AllKnf, fig4::Panel::AllCpu] {
+    for p in [
+        fig4::Panel::Pwtk,
+        fig4::Panel::Inline1,
+        fig4::Panel::AllKnf,
+        fig4::Panel::AllCpu,
+    ] {
         eprintln!("== Figure 4 {p:?} ==");
-        println!("{}", fig4::fig4(p, scale).to_ascii());
+        t.show(&format!("fig4-{p:?}"), || fig4::fig4(p, scale).to_ascii());
     }
 
     eprintln!("== Ablations ==");
-    println!("{}", ablation::block_size_sweep(scale).to_ascii());
-    println!("{}", ablation::chunk_size_sweep(scale).to_ascii());
-    println!("{}", ablation::locked_vs_relaxed(scale).to_ascii());
-    println!("{}", ablation::ordering_ablation(scale).to_ascii());
-    println!("{}", ablation::placement_ablation(scale).to_ascii());
-    println!("{}", ablation::fork_vs_persistent(scale).to_ascii());
+    t.show("ablation-block-size", || {
+        ablation::block_size_sweep(scale).to_ascii()
+    });
+    t.show("ablation-chunk-size", || {
+        ablation::chunk_size_sweep(scale).to_ascii()
+    });
+    t.show("ablation-locked-vs-relaxed", || {
+        ablation::locked_vs_relaxed(scale).to_ascii()
+    });
+    t.show("ablation-ordering", || {
+        ablation::ordering_ablation(scale).to_ascii()
+    });
+    t.show("ablation-placement", || {
+        ablation::placement_ablation(scale).to_ascii()
+    });
+    t.show("ablation-fork-vs-persistent", || {
+        ablation::fork_vs_persistent(scale).to_ascii()
+    });
+
+    let total_s = start.elapsed().as_secs_f64();
+    let threads = mic_eval::sweep::default_threads();
+    eprintln!("== Timing ({threads} sweep threads) ==");
+    for (name, secs) in &t.exhibits {
+        eprintln!("{name:<28} {secs:>8.3} s");
+    }
+    eprintln!("{:<28} {total_s:>8.3} s", "total");
+    if let Some(path) = json_path() {
+        write_json(&path, scale, threads, total_s, &t);
+        eprintln!("(timings written to {path})");
+    }
 }

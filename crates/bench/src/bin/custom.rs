@@ -41,21 +41,34 @@ fn main() {
     let colors = greedy_color(&g);
     let src = table1_source(&g);
     let levels = bfs(&g, src);
-    println!("#Color (seq greedy) = {}, #Level (BFS from |V|/2) = {}", colors.num_colors, levels.num_levels);
+    println!(
+        "#Color (seq greedy) = {}, #Level (BFS from |V|/2) = {}",
+        colors.num_colors, levels.num_levels
+    );
 
     // Parallel coloring.
     let r = iterative_coloring(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()));
     check_proper(&g, &r.colors).expect("parallel coloring invalid");
-    println!("parallel coloring: {} colors in {} rounds", r.num_colors, r.rounds);
+    println!(
+        "parallel coloring: {} colors in {} rounds",
+        r.num_colors, r.rounds
+    );
 
     // Parallel BFS (block-relaxed), validated.
     let pr = parallel_bfs(
         &pool,
         &g,
         src,
-        BfsVariant::OmpBlock { sched: Schedule::Dynamic { chunk: 32 }, block: 32, relaxed: true },
+        BfsVariant::OmpBlock {
+            sched: Schedule::Dynamic { chunk: 32 },
+            block: 32,
+            relaxed: true,
+        },
     );
-    assert_eq!(pr.levels, levels.levels, "parallel BFS must match sequential");
+    assert_eq!(
+        pr.levels, levels.levels,
+        "parallel BFS must match sequential"
+    );
     println!("parallel BFS matches sequential ({} levels)", pr.num_levels);
 
     // Simulated KNF scalability.
@@ -63,7 +76,10 @@ fn main() {
         &g,
         src,
         LocalityWindows::default(),
-        SimVariant::Block { block: 32, relaxed: true },
+        SimVariant::Block {
+            block: 32,
+            relaxed: true,
+        },
     );
     let regions = w.regions(Policy::OmpDynamic { chunk: 32 });
     let m = Machine::knf();

@@ -11,7 +11,11 @@ fn main() {
     let scale = match args.iter().position(|a| a == "--scale") {
         Some(i) => {
             let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+            if k <= 1 {
+                Scale::Full
+            } else {
+                Scale::Fraction(k)
+            }
         }
         None => Scale::Fraction(16),
     };

@@ -10,14 +10,23 @@ fn main() {
     let scale = match args.iter().position(|a| a == "--scale") {
         Some(i) => {
             let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+            if k <= 1 {
+                Scale::Full
+            } else {
+                Scale::Fraction(k)
+            }
         }
         None => Scale::Full,
     };
     let panels: Vec<Panel> = args
         .iter()
         .skip(1)
-        .filter_map(|a| a.chars().next().and_then(Panel::from_char).filter(|_| a.len() == 1))
+        .filter_map(|a| {
+            a.chars()
+                .next()
+                .and_then(Panel::from_char)
+                .filter(|_| a.len() == 1)
+        })
         .collect();
     let panels = if panels.is_empty() {
         vec![Panel::OpenMp, Panel::CilkPlus, Panel::Tbb]

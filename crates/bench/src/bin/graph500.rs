@@ -20,12 +20,20 @@ fn main() {
     eprintln!("generating RMAT scale {scale}, edge factor {edge_factor}...");
     let t0 = Instant::now();
     let g = rmat(scale, edge_factor, RmatProbs::graph500(), 42);
-    eprintln!("  {} vertices, {} edges in {:.2?}", g.num_vertices(), g.num_edges(), t0.elapsed());
+    eprintln!(
+        "  {} vertices, {} edges in {:.2?}",
+        g.num_vertices(),
+        g.num_edges(),
+        t0.elapsed()
+    );
 
     // Native traversals with Graph500-style validation, 4 sources.
     let pool = ThreadPool::new(4);
     let sources = [0u32, 1, 2, 3].map(|k| (g.num_vertices() as u32 / 4) * k + 5);
-    println!("{:<24} {:>12} {:>14}", "variant", "median ms", "MTEPS (native)");
+    println!(
+        "{:<24} {:>12} {:>14}",
+        "variant", "median ms", "MTEPS (native)"
+    );
     for variant in BfsVariant::paper_set() {
         let mut times = Vec::new();
         let mut edges_touched = 0usize;
@@ -56,11 +64,22 @@ fn main() {
     // Simulated KNF scalability of the block-relaxed variant on this RMAT
     // graph (scale-free level structure: short and very wide).
     let src = 5u32.min(g.num_vertices() as u32 - 1);
-    let w = instrument(&g, src, LocalityWindows::default(), SimVariant::Block { block: 32, relaxed: true });
+    let w = instrument(
+        &g,
+        src,
+        LocalityWindows::default(),
+        SimVariant::Block {
+            block: 32,
+            relaxed: true,
+        },
+    );
     let regions = w.regions(Policy::OmpDynamic { chunk: 32 });
     let m = Machine::knf();
     let base = simulate(&m, 1, &regions).cycles;
-    println!("\nsimulated KNF speedups (levels: {:?}...):", &w.widths[..w.widths.len().min(8)]);
+    println!(
+        "\nsimulated KNF speedups (levels: {:?}...):",
+        &w.widths[..w.widths.len().min(8)]
+    );
     println!("{:>8} {:>10} {:>10}", "threads", "simulated", "model");
     for t in [31usize, 61, 121] {
         println!(

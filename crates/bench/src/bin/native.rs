@@ -14,7 +14,11 @@ fn main() {
     let scale = match args.iter().position(|a| a == "--scale") {
         Some(i) => {
             let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+            if k <= 1 {
+                Scale::Full
+            } else {
+                Scale::Fraction(k)
+            }
         }
         None => Scale::Fraction(8),
     };
@@ -23,11 +27,19 @@ fn main() {
         .position(|a| a == "--max-threads")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
     let threads: Vec<usize> = (1..=max_t).collect();
 
     let g = build(PaperGraph::Hood, scale);
-    println!("hood at {scale:?}: {} vertices, {} edges\n", g.num_vertices(), g.num_edges());
+    println!(
+        "hood at {scale:?}: {} vertices, {} edges\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
     let model = RuntimeModel::OpenMp(Schedule::dynamic100());
 
     let mut fig = native_scaling(&threads, 3, |pool| run_coloring(pool, &g, model).elapsed);
@@ -44,7 +56,9 @@ fn main() {
     fig.title = "native BFS (OpenMP-Block-relaxed)".into();
     println!("{}", fig.to_ascii());
 
-    let mut fig = native_scaling(&threads, 3, |pool| run_irregular(pool, &g, 3, model).elapsed);
+    let mut fig = native_scaling(&threads, 3, |pool| {
+        run_irregular(pool, &g, 3, model).elapsed
+    });
     fig.title = "native irregular kernel (iter = 3)".into();
     println!("{}", fig.to_ascii());
 }

@@ -16,7 +16,11 @@ fn main() {
     let scale = match args.iter().position(|a| a == "--scale") {
         Some(i) => {
             let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+            if k <= 1 {
+                Scale::Full
+            } else {
+                Scale::Fraction(k)
+            }
         }
         None => Scale::Fraction(4),
     };
@@ -40,8 +44,18 @@ fn main() {
     };
     let nat = color_instr(&g, win).regions(policy);
     let shf = color_instr(&shuffled, win).regions(policy);
-    println!("{:<28} {:>14.1} {:>14.1}", "coloring (natural)", speedup(&knf, &nat), speedup(&knc, &nat));
-    println!("{:<28} {:>14.1} {:>14.1}", "coloring (shuffled)", speedup(&knf, &shf), speedup(&knc, &shf));
+    println!(
+        "{:<28} {:>14.1} {:>14.1}",
+        "coloring (natural)",
+        speedup(&knf, &nat),
+        speedup(&knc, &nat)
+    );
+    println!(
+        "{:<28} {:>14.1} {:>14.1}",
+        "coloring (shuffled)",
+        speedup(&knf, &shf),
+        speedup(&knc, &shf)
+    );
     for iter in [1usize, 10] {
         let r = [irr_instr(&g, win, iter).region(policy)];
         println!(

@@ -56,7 +56,11 @@ fn main() {
     let scale = match args.iter().position(|a| a == "--scale") {
         Some(i) => {
             let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 { Scale::Full } else { Scale::Fraction(k) }
+            if k <= 1 {
+                Scale::Full
+            } else {
+                Scale::Fraction(k)
+            }
         }
         None => Scale::Fraction(4),
     };
@@ -104,7 +108,10 @@ fn main() {
         &g,
         src,
         win,
-        mic_eval::bfs::instrument::SimVariant::Block { block: 32, relaxed: true },
+        mic_eval::bfs::instrument::SimVariant::Block {
+            block: 32,
+            relaxed: true,
+        },
     );
     show(
         "Fig4  BFS block-relaxed, OMP-dyn/32",

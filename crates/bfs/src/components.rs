@@ -42,7 +42,11 @@ pub fn components_seq(g: &Csr) -> Components {
             }
         }
     }
-    Components { labels, count, rounds: 1 }
+    Components {
+        labels,
+        count,
+        rounds: 1,
+    }
 }
 
 /// Parallel label propagation under `model`.
@@ -83,7 +87,11 @@ pub fn components_parallel(pool: &ThreadPool, g: &Csr, model: RuntimeModel) -> C
             count += 1;
         }
     }
-    Components { labels, count, rounds }
+    Components {
+        labels,
+        count,
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +150,11 @@ mod tests {
         let pool = ThreadPool::new(4);
         let g = path(200); // diameter 199, but min-id flooding needs ~n rounds on a path? No:
                            // label 0 propagates one hop per round from vertex 0.
-        let r = components_parallel(&pool, &g, RuntimeModel::OpenMp(Schedule::Static { chunk: None }));
+        let r = components_parallel(
+            &pool,
+            &g,
+            RuntimeModel::OpenMp(Schedule::Static { chunk: None }),
+        );
         assert_eq!(r.count, 1);
         // In-place sweeps propagate many hops per round when chunks run in
         // ascending order; just sanity-bound it.
@@ -152,7 +164,11 @@ mod tests {
     #[test]
     fn empty_graph() {
         let pool = ThreadPool::new(2);
-        let r = components_parallel(&pool, &mic_graph::Csr::empty(0), RuntimeModel::OpenMp(Schedule::dynamic100()));
+        let r = components_parallel(
+            &pool,
+            &mic_graph::Csr::empty(0),
+            RuntimeModel::OpenMp(Schedule::dynamic100()),
+        );
         assert_eq!(r.count, 0);
         assert_eq!(r.rounds, 1);
     }

@@ -23,7 +23,10 @@ pub struct Hybrid {
 
 impl Default for Hybrid {
     fn default() -> Self {
-        Hybrid { alpha: 14, beta: 24 }
+        Hybrid {
+            alpha: 14,
+            beta: 24,
+        }
     }
 }
 
@@ -51,7 +54,10 @@ pub fn hybrid_bfs(g: &Csr, source: VertexId, h: Hybrid) -> BfsResult {
                 if levels[v as usize] != UNREACHED {
                     continue;
                 }
-                if g.neighbors(v).iter().any(|&w| levels[w as usize] == level - 1) {
+                if g.neighbors(v)
+                    .iter()
+                    .any(|&w| levels[w as usize] == level - 1)
+                {
                     levels[v as usize] = level;
                     next.push(v);
                 }
@@ -74,7 +80,10 @@ pub fn hybrid_bfs(g: &Csr, source: VertexId, h: Hybrid) -> BfsResult {
         frontier = next;
         level += 1;
     }
-    BfsResult { levels, num_levels: max_level + 1 }
+    BfsResult {
+        levels,
+        num_levels: max_level + 1,
+    }
 }
 
 /// Parallel direction-optimizing BFS: top-down steps use the paper's
@@ -128,8 +137,7 @@ pub fn parallel_hybrid_bfs(
                             continue;
                         }
                         let v = vi as VertexId;
-                        if g
-                            .neighbors(v)
+                        if g.neighbors(v)
                             .iter()
                             .any(|&w| levels_ref[w as usize].load(Ordering::Relaxed) == level - 1)
                         {
@@ -160,8 +168,7 @@ pub fn parallel_hybrid_bfs(
                 let cur_ref = &cur;
                 let next_ref = &next;
                 let levels_ref = &levels;
-                let cursors: PerWorker<BlockCursor> =
-                    PerWorker::new(t, |_| BlockCursor::default());
+                let cursors: PerWorker<BlockCursor> = PerWorker::new(t, |_| BlockCursor::default());
                 parallel_for_chunks(pool, 0..slots, sched, |chunk, ctx| {
                     cursors.with(ctx, |bc| {
                         for i in chunk {
@@ -194,8 +201,12 @@ pub fn parallel_hybrid_bfs(
     }
 
     let levels: Vec<u32> = levels.into_iter().map(|l| l.into_inner()).collect();
-    let num_levels =
-        levels.iter().copied().filter(|&l| l != UNREACHED).max().map_or(0, |m| m + 1);
+    let num_levels = levels
+        .iter()
+        .copied()
+        .filter(|&l| l != UNREACHED)
+        .max()
+        .map_or(0, |m| m + 1);
     BfsResult { levels, num_levels }
 }
 

@@ -21,7 +21,7 @@ use mic_sim::{Policy, Region, Work};
 use std::sync::Arc;
 
 /// Which implementation the workload models.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SimVariant {
     /// Block-accessed queue (the paper's), locked or relaxed.
     Block { block: usize, relaxed: bool },
@@ -68,7 +68,12 @@ pub fn instrument(
     let level_work: Vec<Arc<Vec<Work>>> = by_level
         .iter()
         .map(|verts| {
-            Arc::new(verts.iter().map(|&v| vertex_work(g, v, windows, variant)).collect())
+            Arc::new(
+                verts
+                    .iter()
+                    .map(|&v| vertex_work(g, v, windows, variant))
+                    .collect(),
+            )
         })
         .collect();
 
@@ -113,9 +118,9 @@ fn vertex_work(g: &Csr, v: VertexId, windows: LocalityWindows, variant: SimVaria
             w.issue += 30.0 + 60.0 / grain as f64;
             w.l1 += 3.0;
             w.dram += 0.6; // freshly allocated nodes miss
-            // "The code utilizes dynamic memory for its bag data structure
-            // and uses complex pointer techniques": allocator locks and
-            // steal-deque transfers serialize on shared lines.
+                           // "The code utilizes dynamic memory for its bag data structure
+                           // and uses complex pointer techniques": allocator locks and
+                           // steal-deque transfers serialize on shared lines.
             w.atomics += 1.8;
         }
         SimVariant::Tls => {
@@ -138,8 +143,11 @@ impl BfsWorkload {
         self.level_work
             .iter()
             .map(|lw| {
-                Region::shared(Arc::clone(lw), policy)
-                    .with_serial_pre(Work { issue: 120.0, l1: 6.0, ..Default::default() })
+                Region::shared(Arc::clone(lw), policy).with_serial_pre(Work {
+                    issue: 120.0,
+                    l1: 6.0,
+                    ..Default::default()
+                })
             })
             .collect()
     }
@@ -154,7 +162,10 @@ impl BfsWorkload {
     /// the organization `mic_bfs::persistent::persistent_bfs` implements
     /// natively.
     pub fn regions_persistent(&self, policy: Policy) -> Vec<Region> {
-        self.regions(policy).into_iter().map(|r| r.persistent()).collect()
+        self.regions(policy)
+            .into_iter()
+            .map(|r| r.persistent())
+            .collect()
     }
 }
 
@@ -181,10 +192,27 @@ mod tests {
     fn bag_costs_more_than_block() {
         let g = mesh();
         let src = (g.num_vertices() / 2) as u32;
-        let block = instrument(&g, src, LocalityWindows::default(), SimVariant::Block { block: 32, relaxed: true });
-        let bag = instrument(&g, src, LocalityWindows::default(), SimVariant::Bag { grain: 64 });
+        let block = instrument(
+            &g,
+            src,
+            LocalityWindows::default(),
+            SimVariant::Block {
+                block: 32,
+                relaxed: true,
+            },
+        );
+        let bag = instrument(
+            &g,
+            src,
+            LocalityWindows::default(),
+            SimVariant::Bag { grain: 64 },
+        );
         let sum = |w: &BfsWorkload| -> f64 {
-            w.level_work.iter().flat_map(|l| l.iter()).map(|x| x.issue + x.dram * 50.0).sum()
+            w.level_work
+                .iter()
+                .flat_map(|l| l.iter())
+                .map(|x| x.issue + x.dram * 50.0)
+                .sum()
         };
         assert!(sum(&bag) > 1.3 * sum(&block));
     }
@@ -194,12 +222,17 @@ mod tests {
         let g = mesh();
         let src = (g.num_vertices() / 2) as u32;
         let a = |relaxed: bool| -> f64 {
-            instrument(&g, src, LocalityWindows::default(), SimVariant::Block { block: 32, relaxed })
-                .level_work
-                .iter()
-                .flat_map(|l| l.iter())
-                .map(|w| w.atomics)
-                .sum()
+            instrument(
+                &g,
+                src,
+                LocalityWindows::default(),
+                SimVariant::Block { block: 32, relaxed },
+            )
+            .level_work
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|w| w.atomics)
+            .sum()
         };
         assert!(a(false) > 5.0 * a(true));
     }
@@ -216,21 +249,48 @@ mod tests {
             simulate(&m, 1, &regions).cycles / simulate(&m, t, &regions).cycles
         };
         let s_block = speedup(
-            SimVariant::Block { block: 32, relaxed: true },
+            SimVariant::Block {
+                block: 32,
+                relaxed: true,
+            },
             Policy::OmpDynamic { chunk: 32 },
             61,
         );
-        let s_bag = speedup(SimVariant::Bag { grain: 64 }, Policy::Cilk { grain: 64 }, 61);
+        let s_bag = speedup(
+            SimVariant::Bag { grain: 64 },
+            Policy::Cilk { grain: 64 },
+            61,
+        );
         assert!(s_block < 61.0, "BFS must be sublinear, got {s_block}");
-        assert!(s_block > 2.0, "block queue should still scale some, got {s_block}");
+        assert!(
+            s_block > 2.0,
+            "block queue should still scale some, got {s_block}"
+        );
         assert!(s_bag < s_block, "bag {s_bag} must trail block {s_block}");
     }
 
     #[test]
     fn names_match_legends() {
-        assert_eq!(SimVariant::Block { block: 32, relaxed: true }.name("OpenMP"), "OpenMP-Block-relaxed");
-        assert_eq!(SimVariant::Block { block: 32, relaxed: false }.name("TBB"), "TBB-Block");
-        assert_eq!(SimVariant::Bag { grain: 64 }.name("CilkPlus"), "CilkPlus-Bag-relaxed");
+        assert_eq!(
+            SimVariant::Block {
+                block: 32,
+                relaxed: true
+            }
+            .name("OpenMP"),
+            "OpenMP-Block-relaxed"
+        );
+        assert_eq!(
+            SimVariant::Block {
+                block: 32,
+                relaxed: false
+            }
+            .name("TBB"),
+            "TBB-Block"
+        );
+        assert_eq!(
+            SimVariant::Bag { grain: 64 }.name("CilkPlus"),
+            "CilkPlus-Bag-relaxed"
+        );
         assert_eq!(SimVariant::Tls.name("OpenMP"), "OpenMP-TLS");
     }
 }

@@ -65,7 +65,11 @@ pub fn kcore(g: &Csr) -> CoreDecomposition {
             }
         }
     }
-    CoreDecomposition { core, peel_order: order, degeneracy }
+    CoreDecomposition {
+        core,
+        peel_order: order,
+        degeneracy,
+    }
 }
 
 /// Validate a decomposition: within the subgraph of vertices with
@@ -78,8 +82,11 @@ pub fn check_cores(g: &Csr, d: &CoreDecomposition) -> bool {
     }
     for v in g.vertices() {
         let k = d.core[v as usize];
-        let in_core =
-            g.neighbors(v).iter().filter(|&&w| d.core[w as usize] >= k).count();
+        let in_core = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| d.core[w as usize] >= k)
+            .count();
         if (in_core as u32) < k {
             return false; // not actually a member of its claimed core
         }
@@ -155,7 +162,10 @@ mod tests {
                 .iter()
                 .filter(|&&w| rank[w as usize] > rank[v as usize])
                 .count();
-            assert!(later as u32 <= d.degeneracy, "vertex {v}: {later} later neighbors");
+            assert!(
+                later as u32 <= d.degeneracy,
+                "vertex {v}: {later} later neighbors"
+            );
         }
     }
 

@@ -18,9 +18,17 @@ use std::sync::atomic::{AtomicU32, Ordering};
 pub enum BfsVariant {
     /// `OpenMP-Block` / `OpenMP-Block-relaxed`: block-accessed queue,
     /// OpenMP loop over the current queue.
-    OmpBlock { sched: Schedule, block: usize, relaxed: bool },
+    OmpBlock {
+        sched: Schedule,
+        block: usize,
+        relaxed: bool,
+    },
     /// `TBB-Block` / `TBB-Block-relaxed`.
-    TbbBlock { part: Partitioner, block: usize, relaxed: bool },
+    TbbBlock {
+        part: Partitioner,
+        block: usize,
+        relaxed: bool,
+    },
     /// `CilkPlus-Bag-relaxed`: Leiserson–Schardl bags under work stealing
     /// (relaxed by construction).
     CilkBag { grain: usize },
@@ -45,7 +53,9 @@ impl BfsVariant {
                 relaxed: true,
             },
             BfsVariant::CilkBag { grain: 64 },
-            BfsVariant::OmpTls { sched: Schedule::Dynamic { chunk: PAPER_BLOCK } },
+            BfsVariant::OmpTls {
+                sched: Schedule::Dynamic { chunk: PAPER_BLOCK },
+            },
         ]
     }
 
@@ -81,19 +91,32 @@ impl BfsVariant {
 /// };
 /// assert_eq!(parallel_bfs(&pool, &g, 0, variant).levels, bfs(&g, 0).levels);
 /// ```
-pub fn parallel_bfs(pool: &ThreadPool, g: &Csr, source: VertexId, variant: BfsVariant) -> BfsResult {
+pub fn parallel_bfs(
+    pool: &ThreadPool,
+    g: &Csr,
+    source: VertexId,
+    variant: BfsVariant,
+) -> BfsResult {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
     let levels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
     levels[source as usize].store(0, Ordering::Relaxed);
 
     match variant {
-        BfsVariant::OmpBlock { sched, block, relaxed } => {
+        BfsVariant::OmpBlock {
+            sched,
+            block,
+            relaxed,
+        } => {
             block_bfs(pool, g, source, &levels, block, relaxed, |len, body| {
                 parallel_for_chunks(pool, 0..len, sched, body)
             });
         }
-        BfsVariant::TbbBlock { part, block, relaxed } => {
+        BfsVariant::TbbBlock {
+            part,
+            block,
+            relaxed,
+        } => {
             block_bfs(pool, g, source, &levels, block, relaxed, |len, body| {
                 tbb_parallel_for(pool, 0..len, part, body)
             });
@@ -103,8 +126,12 @@ pub fn parallel_bfs(pool: &ThreadPool, g: &Csr, source: VertexId, variant: BfsVa
     }
 
     let levels: Vec<u32> = levels.into_iter().map(|l| l.into_inner()).collect();
-    let num_levels =
-        levels.iter().copied().filter(|&l| l != UNREACHED).max().map_or(0, |m| m + 1);
+    let num_levels = levels
+        .iter()
+        .copied()
+        .filter(|&l| l != UNREACHED)
+        .max()
+        .map_or(0, |m| m + 1);
     BfsResult { levels, num_levels }
 }
 
@@ -141,21 +168,24 @@ fn block_bfs<D>(
             // in the paper ("each thread reserves a block of memory from
             // the queue and uses that block for adding vertices").
             let cursors: PerWorker<BlockCursor> = PerWorker::new(t, |_| BlockCursor::default());
-            drive(slots, &|chunk: std::ops::Range<usize>, ctx: mic_runtime::WorkerCtx| {
-                cursors.with(ctx, |bc| {
-                    for i in chunk.clone() {
-                        let v = cur_ref.slot(i);
-                        if v == sentinel {
-                            continue; // padding
-                        }
-                        for &w in g.neighbors(v) {
-                            if discover(levels, w, level, relaxed) {
-                                next_ref.push_with(bc, w);
+            drive(
+                slots,
+                &|chunk: std::ops::Range<usize>, ctx: mic_runtime::WorkerCtx| {
+                    cursors.with(ctx, |bc| {
+                        for i in chunk.clone() {
+                            let v = cur_ref.slot(i);
+                            if v == sentinel {
+                                continue; // padding
+                            }
+                            for &w in g.neighbors(v) {
+                                if discover(levels, w, level, relaxed) {
+                                    next_ref.push_with(bc, w);
+                                }
                             }
                         }
-                    }
-                });
-            });
+                    });
+                },
+            );
         }
         cur.reset();
         std::mem::swap(&mut cur, &mut next);
@@ -250,14 +280,20 @@ mod tests {
             block: 4,
             relaxed: false,
         });
-        v.push(BfsVariant::TbbBlock { part: Partitioner::Auto, block: 16, relaxed: false });
+        v.push(BfsVariant::TbbBlock {
+            part: Partitioner::Auto,
+            block: 16,
+            relaxed: false,
+        });
         v.push(BfsVariant::OmpBlock {
             sched: Schedule::Static { chunk: Some(16) },
             block: 32,
             relaxed: true,
         });
         v.push(BfsVariant::CilkBag { grain: 1 });
-        v.push(BfsVariant::OmpTls { sched: Schedule::Guided { min_chunk: 4 } });
+        v.push(BfsVariant::OmpTls {
+            sched: Schedule::Guided { min_chunk: 4 },
+        });
         v
     }
 
@@ -341,7 +377,12 @@ mod tests {
         let names: Vec<String> = BfsVariant::paper_set().iter().map(|v| v.name()).collect();
         assert_eq!(
             names,
-            vec!["OpenMP-Block-relaxed", "TBB-Block-relaxed", "CilkPlus-Bag-relaxed", "OpenMP-TLS"]
+            vec![
+                "OpenMP-Block-relaxed",
+                "TBB-Block-relaxed",
+                "CilkPlus-Bag-relaxed",
+                "OpenMP-TLS"
+            ]
         );
     }
 }

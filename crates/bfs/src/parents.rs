@@ -55,32 +55,37 @@ pub fn bfs_with_parents(pool: &ThreadPool, g: &Csr, source: VertexId) -> BfsTree
             let parent_ref = &parent;
             let levels_ref = &levels;
             let cursors: PerWorker<BlockCursor> = PerWorker::new(t, |_| BlockCursor::default());
-            parallel_for_chunks(pool, 0..slots, Schedule::Dynamic { chunk: PAPER_BLOCK }, |chunk, ctx| {
-                cursors.with(ctx, |bc| {
-                    for i in chunk {
-                        let v = cur_ref.slot(i);
-                        if v == sentinel {
-                            continue;
-                        }
-                        for &w in g.neighbors(v) {
-                            let slot = &levels_ref[w as usize];
-                            if slot.load(Ordering::Relaxed) == UNREACHED
-                                && slot
-                                    .compare_exchange(
-                                        UNREACHED,
-                                        level,
-                                        Ordering::Relaxed,
-                                        Ordering::Relaxed,
-                                    )
-                                    .is_ok()
-                            {
-                                parent_ref[w as usize].store(v, Ordering::Relaxed);
-                                next_ref.push_with(bc, w);
+            parallel_for_chunks(
+                pool,
+                0..slots,
+                Schedule::Dynamic { chunk: PAPER_BLOCK },
+                |chunk, ctx| {
+                    cursors.with(ctx, |bc| {
+                        for i in chunk {
+                            let v = cur_ref.slot(i);
+                            if v == sentinel {
+                                continue;
+                            }
+                            for &w in g.neighbors(v) {
+                                let slot = &levels_ref[w as usize];
+                                if slot.load(Ordering::Relaxed) == UNREACHED
+                                    && slot
+                                        .compare_exchange(
+                                            UNREACHED,
+                                            level,
+                                            Ordering::Relaxed,
+                                            Ordering::Relaxed,
+                                        )
+                                        .is_ok()
+                                {
+                                    parent_ref[w as usize].store(v, Ordering::Relaxed);
+                                    next_ref.push_with(bc, w);
+                                }
                             }
                         }
-                    }
-                });
-            });
+                    });
+                },
+            );
         }
         cur.reset();
         std::mem::swap(&mut cur, &mut next);
@@ -89,9 +94,17 @@ pub fn bfs_with_parents(pool: &ThreadPool, g: &Csr, source: VertexId) -> BfsTree
 
     let parent: Vec<u32> = parent.into_iter().map(|p| p.into_inner()).collect();
     let levels: Vec<u32> = levels.into_iter().map(|l| l.into_inner()).collect();
-    let num_levels =
-        levels.iter().copied().filter(|&l| l != UNREACHED).max().map_or(0, |m| m + 1);
-    BfsTree { parent, levels, num_levels }
+    let num_levels = levels
+        .iter()
+        .copied()
+        .filter(|&l| l != UNREACHED)
+        .max()
+        .map_or(0, |m| m + 1);
+    BfsTree {
+        parent,
+        levels,
+        num_levels,
+    }
 }
 
 /// Why a parent array fails Graph 500-style validation.
@@ -205,7 +218,10 @@ mod tests {
         let mut bad = good.clone();
         bad.parent[4] = NO_PARENT;
         bad.levels[4] = UNREACHED; // false unreachability
-        assert!(matches!(check_tree(&g, 0, &bad), Err(TreeError::MissedVertex(..))));
+        assert!(matches!(
+            check_tree(&g, 0, &bad),
+            Err(TreeError::MissedVertex(..))
+        ));
         let mut bad = good;
         bad.parent[0] = 1;
         assert_eq!(check_tree(&g, 0, &bad), Err(TreeError::BadRoot));

@@ -35,8 +35,10 @@ pub fn persistent_bfs(
     levels[source as usize].store(0, Ordering::Relaxed);
 
     let cap = queue_capacity(n, block, t);
-    let queues =
-        [BlockQueue::with_writers(cap, block, t, sentinel), BlockQueue::with_writers(cap, block, t, sentinel)];
+    let queues = [
+        BlockQueue::with_writers(cap, block, t, sentinel),
+        BlockQueue::with_writers(cap, block, t, sentinel),
+    ];
     queues[0].writer().push(source);
 
     let barrier = RegionBarrier::new(t);
@@ -96,8 +98,12 @@ pub fn persistent_bfs(
     });
 
     let levels: Vec<u32> = levels.into_iter().map(|l| l.into_inner()).collect();
-    let num_levels =
-        levels.iter().copied().filter(|&l| l != UNREACHED).max().map_or(0, |m| m + 1);
+    let num_levels = levels
+        .iter()
+        .copied()
+        .filter(|&l| l != UNREACHED)
+        .max()
+        .map_or(0, |m| m + 1);
     BfsResult { levels, num_levels }
 }
 

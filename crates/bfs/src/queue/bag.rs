@@ -18,7 +18,11 @@ struct Pennant<T> {
 
 impl<T> Pennant<T> {
     fn leaf(data: Vec<T>) -> Box<Self> {
-        Box::new(Pennant { data, left: None, right: None })
+        Box::new(Pennant {
+            data,
+            left: None,
+            right: None,
+        })
     }
 
     /// Merge two pennants of the same rank into one of rank + 1 (O(1)).
@@ -54,7 +58,12 @@ impl<T> Bag<T> {
     /// An empty bag whose nodes hold up to `grain` elements.
     pub fn new(grain: usize) -> Self {
         assert!(grain >= 1, "grain must be at least 1");
-        Bag { spine: Vec::new(), hopper: Vec::new(), grain, len: 0 }
+        Bag {
+            spine: Vec::new(),
+            hopper: Vec::new(),
+            grain,
+            len: 0,
+        }
     }
 
     /// Number of elements.

@@ -28,7 +28,9 @@ pub fn discover(levels: &[AtomicU32], w: u32, level: u32, relaxed: bool) -> bool
         }
     } else {
         slot.load(Ordering::Relaxed) == UNREACHED
-            && slot.compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+            && slot
+                .compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
     }
 }
 

@@ -17,7 +17,8 @@ pub fn try_claim(levels: &[AtomicU32], w: u32, level: u32, test_first: bool) -> 
     if test_first && slot.load(Ordering::Relaxed) != UNREACHED {
         return false;
     }
-    slot.compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+    slot.compare_exchange(UNREACHED, level, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
 }
 
 /// Merge per-thread local queues into the global next-level queue
@@ -34,10 +35,7 @@ pub fn merge_locals(locals: Vec<Vec<u32>>) -> Vec<u32> {
 /// Parallel merge, the way SNAP actually does it: exclusive-scan the local
 /// queue lengths into write offsets, then copy every local queue into its
 /// slot concurrently.
-pub fn merge_locals_parallel(
-    pool: &mic_runtime::ThreadPool,
-    locals: Vec<Vec<u32>>,
-) -> Vec<u32> {
+pub fn merge_locals_parallel(pool: &mic_runtime::ThreadPool, locals: Vec<Vec<u32>>) -> Vec<u32> {
     let mut lens: Vec<u64> = locals.iter().map(|l| l.len() as u64).collect();
     let total = mic_runtime::exclusive_scan(pool, &mut lens) as usize;
     let mut out = vec![0u32; total];

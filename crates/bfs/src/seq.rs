@@ -33,7 +33,10 @@ pub fn bfs(g: &Csr, source: VertexId) -> BfsResult {
             }
         }
     }
-    BfsResult { levels, num_levels: max_level + 1 }
+    BfsResult {
+        levels,
+        num_levels: max_level + 1,
+    }
 }
 
 /// Level widths `x_l` (the input of the paper's performance model): the
@@ -54,8 +57,7 @@ pub fn level_widths(levels: &[u32]) -> Vec<usize> {
 /// the visit order used by the simulator instrumentation.
 pub fn vertices_by_level(levels: &[u32]) -> Vec<Vec<VertexId>> {
     let widths = level_widths(levels);
-    let mut by_level: Vec<Vec<VertexId>> =
-        widths.iter().map(|&w| Vec::with_capacity(w)).collect();
+    let mut by_level: Vec<Vec<VertexId>> = widths.iter().map(|&w| Vec::with_capacity(w)).collect();
     for (v, &l) in levels.iter().enumerate() {
         if l != UNREACHED {
             by_level[l as usize].push(v as VertexId);

@@ -74,8 +74,7 @@ fn relax(slot: &AtomicU64, nd: f64) -> bool {
         if nd >= f64::from_bits(cur) {
             return false;
         }
-        match slot.compare_exchange_weak(cur, nd.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
-        {
+        match slot.compare_exchange_weak(cur, nd.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return true,
             Err(now) => cur = now,
         }
@@ -110,10 +109,14 @@ pub fn delta_stepping(
     let n = g.num_vertices();
     assert!((source as usize) < n);
     assert!(delta > 0.0, "delta must be positive");
-    debug_assert!(w.values().iter().all(|&x| x >= 0.0), "weights must be non-negative");
+    debug_assert!(
+        w.values().iter().all(|&x| x >= 0.0),
+        "weights must be non-negative"
+    );
 
-    let dist: Vec<AtomicU64> =
-        (0..n).map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect();
+    let dist: Vec<AtomicU64> = (0..n)
+        .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+        .collect();
     dist[source as usize].store(0.0f64.to_bits(), Ordering::Relaxed);
     let d_of = |v: usize| f64::from_bits(dist[v].load(Ordering::Relaxed));
 
@@ -202,7 +205,10 @@ pub fn delta_stepping(
             .collect();
     }
 
-    let dist = dist.into_iter().map(|d| f64::from_bits(d.into_inner())).collect();
+    let dist = dist
+        .into_iter()
+        .map(|d| f64::from_bits(d.into_inner()))
+        .collect();
     Sssp { dist, phases }
 }
 
@@ -225,9 +231,9 @@ mod tests {
     use mic_runtime::{Partitioner, Schedule};
 
     fn close(a: &[f64], b: &[f64]) -> bool {
-        a.iter().zip(b).all(|(x, y)| {
-            (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-9
-        })
+        a.iter()
+            .zip(b)
+            .all(|(x, y)| (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-9)
     }
 
     #[test]
@@ -301,7 +307,14 @@ mod tests {
         let g = b.build();
         let w = EdgeWeights::constant(&g, 2.5);
         let pool = ThreadPool::new(3);
-        let r = delta_stepping(&pool, &g, &w, 0, 1.0, RuntimeModel::OpenMp(Schedule::dynamic100()));
+        let r = delta_stepping(
+            &pool,
+            &g,
+            &w,
+            0,
+            1.0,
+            RuntimeModel::OpenMp(Schedule::dynamic100()),
+        );
         assert_eq!(r.dist[2], 5.0);
         assert!(r.dist[4].is_infinite() && r.dist[5].is_infinite());
     }
@@ -313,7 +326,14 @@ mod tests {
         let g = path(50);
         let w = EdgeWeights::constant(&g, 1.0);
         let pool = ThreadPool::new(4);
-        let r = delta_stepping(&pool, &g, &w, 0, 1e9, RuntimeModel::OpenMp(Schedule::dynamic100()));
+        let r = delta_stepping(
+            &pool,
+            &g,
+            &w,
+            0,
+            1e9,
+            RuntimeModel::OpenMp(Schedule::dynamic100()),
+        );
         let want = dijkstra(&g, &w, 0);
         assert!(close(&r.dist, &want.dist));
     }
@@ -324,7 +344,14 @@ mod tests {
         let w = EdgeWeights::constant(&g, 1.0);
         let pool = ThreadPool::new(2);
         // delta smaller than any weight: every edge is heavy.
-        let r = delta_stepping(&pool, &g, &w, 0, 0.5, RuntimeModel::OpenMp(Schedule::dynamic100()));
+        let r = delta_stepping(
+            &pool,
+            &g,
+            &w,
+            0,
+            0.5,
+            RuntimeModel::OpenMp(Schedule::dynamic100()),
+        );
         let want = dijkstra(&g, &w, 0);
         assert!(close(&r.dist, &want.dist));
     }
@@ -335,6 +362,9 @@ mod tests {
         let w = EdgeWeights::random_symmetric(&g, 0.5, 1.0, 2);
         assert!(default_delta(&g, &w) > 0.0);
         let empty = mic_graph::Csr::empty(3);
-        assert_eq!(default_delta(&empty, &EdgeWeights::constant(&empty, 1.0)), 1.0);
+        assert_eq!(
+            default_delta(&empty, &EdgeWeights::constant(&empty, 1.0)),
+            1.0
+        );
     }
 }

@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn rejects_edge_span() {
         let g = grid2d(3, 1, Stencil2::FivePoint); // path 0-1-2
-        assert_eq!(check_levels(&g, 0, &[0, 2, 3]), Err(BfsError::EdgeSpan(0, 1)));
+        assert_eq!(
+            check_levels(&g, 0, &[0, 2, 3]),
+            Err(BfsError::EdgeSpan(0, 1))
+        );
     }
 
     #[test]
@@ -106,7 +109,10 @@ mod tests {
         // Path 0-1-2-3: levels 0,1,2,3 valid; 0,1,2,2 invalid (3 has no
         // neighbor at level 1).
         let g = mic_graph::generators::path(4);
-        assert_eq!(check_levels(&g, 0, &[0, 1, 2, 2]), Err(BfsError::NoParent(3)));
+        assert_eq!(
+            check_levels(&g, 0, &[0, 1, 2, 2]),
+            Err(BfsError::NoParent(3))
+        );
     }
 
     #[test]

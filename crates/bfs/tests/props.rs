@@ -10,12 +10,13 @@ use proptest::prelude::*;
 
 fn arb_graph_and_source() -> impl Strategy<Value = (Csr, VertexId)> {
     (2usize..80).prop_flat_map(|n| {
-        let g = proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..250)
-            .prop_map(move |es| {
+        let g = proptest::collection::vec((0..n as VertexId, 0..n as VertexId), 0..250).prop_map(
+            move |es| {
                 let mut b = GraphBuilder::new(n);
                 b.extend(es);
                 b.build()
-            });
+            },
+        );
         (g, 0..n as VertexId)
     })
 }
@@ -23,13 +24,23 @@ fn arb_graph_and_source() -> impl Strategy<Value = (Csr, VertexId)> {
 fn arb_variant() -> impl Strategy<Value = BfsVariant> {
     prop_oneof![
         ((1usize..64), (1usize..64), any::<bool>()).prop_map(|(c, b, relaxed)| {
-            BfsVariant::OmpBlock { sched: Schedule::Dynamic { chunk: c }, block: b, relaxed }
+            BfsVariant::OmpBlock {
+                sched: Schedule::Dynamic { chunk: c },
+                block: b,
+                relaxed,
+            }
         }),
         ((1usize..64), (1usize..64), any::<bool>()).prop_map(|(g, b, relaxed)| {
-            BfsVariant::TbbBlock { part: Partitioner::Simple { grain: g }, block: b, relaxed }
+            BfsVariant::TbbBlock {
+                part: Partitioner::Simple { grain: g },
+                block: b,
+                relaxed,
+            }
         }),
         (1usize..64).prop_map(|g| BfsVariant::CilkBag { grain: g }),
-        (1usize..64).prop_map(|c| BfsVariant::OmpTls { sched: Schedule::Dynamic { chunk: c } }),
+        (1usize..64).prop_map(|c| BfsVariant::OmpTls {
+            sched: Schedule::Dynamic { chunk: c }
+        }),
     ]
 }
 

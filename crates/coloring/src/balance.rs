@@ -24,7 +24,11 @@ pub struct Balance {
 pub fn class_balance(coloring: &Coloring, n: usize) -> Balance {
     let k = coloring.num_colors as usize;
     if k == 0 || n == 0 {
-        return Balance { largest: 0, smallest: 0, imbalance: 1.0 };
+        return Balance {
+            largest: 0,
+            smallest: 0,
+            imbalance: 1.0,
+        };
     }
     let mut sizes = vec![0usize; k];
     for &c in &coloring.colors {
@@ -33,7 +37,11 @@ pub fn class_balance(coloring: &Coloring, n: usize) -> Balance {
     let largest = sizes.iter().copied().max().unwrap();
     let smallest = sizes.iter().copied().min().unwrap();
     let ideal = n as f64 / k as f64;
-    Balance { largest, smallest, imbalance: largest as f64 / ideal }
+    Balance {
+        largest,
+        smallest,
+        imbalance: largest as f64 / ideal,
+    }
 }
 
 /// One balancing sweep: vertices in classes above the ideal size move to
@@ -116,7 +124,11 @@ mod tests {
         rebalance(&g, &mut c, 10);
         let after = class_balance(&c, g.num_vertices());
         check_proper(&g, &c.colors).unwrap();
-        assert!(before.imbalance > 1.5, "FF should be skewed, got {}", before.imbalance);
+        assert!(
+            before.imbalance > 1.5,
+            "FF should be skewed, got {}",
+            before.imbalance
+        );
         assert!(
             after.imbalance < before.imbalance * 0.8,
             "balance {} -> {}",

@@ -201,7 +201,12 @@ pub fn iterative_coloring_d2(
     }
 
     let num_colors = crate::verify::num_colors_used(&colors);
-    crate::parallel::ParallelColoring { colors, num_colors, rounds, conflicts_per_round }
+    crate::parallel::ParallelColoring {
+        colors,
+        num_colors,
+        rounds,
+        conflicts_per_round,
+    }
 }
 
 #[cfg(test)]
@@ -286,9 +291,12 @@ mod tests {
         let pool = ThreadPool::new(8);
         let g = grid2d(25, 25, Stencil2::FivePoint);
         let seq = greedy_distance2(&g).num_colors;
-        let par =
-            iterative_coloring_d2(&pool, &g, RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 8 }))
-                .num_colors;
+        let par = iterative_coloring_d2(
+            &pool,
+            &g,
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 8 }),
+        )
+        .num_colors;
         assert!(par <= seq + 4, "parallel d2 used {par} vs sequential {seq}");
     }
 }

@@ -17,16 +17,17 @@ pub fn dsatur(g: &Csr) -> Coloring {
     let n = g.num_vertices();
     let mut colors = vec![UNCOLORED; n];
     if n == 0 {
-        return Coloring { colors, num_colors: 0 };
+        return Coloring {
+            colors,
+            num_colors: 0,
+        };
     }
     // Saturation sets: distinct neighbor colors per vertex.
     let mut saturation: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
     // Ordered set of (saturation, degree, vertex) for max extraction.
     // BTreeSet gives O(log n) updates; keys must stay in sync.
-    let mut queue: BTreeSet<(usize, usize, VertexId)> = g
-        .vertices()
-        .map(|v| (0usize, g.degree(v), v))
-        .collect();
+    let mut queue: BTreeSet<(usize, usize, VertexId)> =
+        g.vertices().map(|v| (0usize, g.degree(v), v)).collect();
     let mut forbidden: Vec<VertexId> = vec![VertexId::MAX; g.max_degree() + 2];
     let mut num_colors = 0u32;
 
@@ -81,7 +82,10 @@ mod tests {
         let d = dsatur(&shuffled);
         check_proper(&shuffled, &d.colors).unwrap();
         assert_eq!(d.num_colors, 2, "grid is bipartite");
-        assert!(greedy_color(&shuffled).num_colors > 2, "FF should do worse here");
+        assert!(
+            greedy_color(&shuffled).num_colors > 2,
+            "FF should do worse here"
+        );
     }
 
     #[test]

@@ -74,9 +74,8 @@ pub fn instrument(g: &Csr, windows: LocalityWindows) -> ColoringWorkload {
             atomics: 0.0,
         });
     }
-    let sample = |src: &[Work]| -> Vec<Work> {
-        src.iter().step_by(CONFLICT_SAMPLE).copied().collect()
-    };
+    let sample =
+        |src: &[Work]| -> Vec<Work> { src.iter().step_by(CONFLICT_SAMPLE).copied().collect() };
     ColoringWorkload {
         conflict_tentative: Arc::new(sample(&tentative)),
         conflict_detect: Arc::new(sample(&detect)),
@@ -106,8 +105,7 @@ impl ColoringWorkload {
     pub fn regions_replay(&self, policy: Policy, round_visits: &[Vec<u32>]) -> Vec<Region> {
         let mut regions = Vec::with_capacity(round_visits.len() * 2);
         for visit in round_visits {
-            let tent: Vec<Work> =
-                visit.iter().map(|&v| self.tentative[v as usize]).collect();
+            let tent: Vec<Work> = visit.iter().map(|&v| self.tentative[v as usize]).collect();
             let det: Vec<Work> = visit.iter().map(|&v| self.detect[v as usize]).collect();
             regions.push(Region::new(tent, policy));
             regions.push(Region::new(det, policy));
@@ -141,7 +139,10 @@ mod tests {
         let shf = instrument(&shuffled, LocalityWindows::default());
         let dram_nat: f64 = nat.tentative.iter().map(|w| w.dram).sum();
         let dram_shf: f64 = shf.tentative.iter().map(|w| w.dram).sum();
-        assert!(dram_shf > 3.0 * dram_nat, "shuffle should add DRAM traffic: {dram_nat} -> {dram_shf}");
+        assert!(
+            dram_shf > 3.0 * dram_nat,
+            "shuffle should add DRAM traffic: {dram_nat} -> {dram_shf}"
+        );
     }
 
     #[test]
@@ -195,7 +196,13 @@ mod tests {
         };
         let s_nat = speedup(&g);
         let s_shf = speedup(&shuffled);
-        assert!(s_shf > s_nat, "shuffled {s_shf} should out-scale natural {s_nat}");
-        assert!(s_shf > 90.0, "shuffled speedup should be near-linear, got {s_shf}");
+        assert!(
+            s_shf > s_nat,
+            "shuffled {s_shf} should out-scale natural {s_nat}"
+        );
+        assert!(
+            s_shf > 90.0,
+            "shuffled speedup should be near-linear, got {s_shf}"
+        );
     }
 }

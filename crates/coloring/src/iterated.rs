@@ -52,8 +52,12 @@ pub fn regroup_pass(g: &Csr, coloring: &Coloring, order: ClassOrder) -> Coloring
 pub fn iterated_greedy(g: &Csr, initial: &Coloring, iterations: usize) -> Coloring {
     let mut best = initial.clone();
     let mut cur = initial.clone();
-    let orders =
-        [ClassOrder::Reverse, ClassOrder::LargestFirst, ClassOrder::Reverse, ClassOrder::SmallestFirst];
+    let orders = [
+        ClassOrder::Reverse,
+        ClassOrder::LargestFirst,
+        ClassOrder::Reverse,
+        ClassOrder::SmallestFirst,
+    ];
     for i in 0..iterations {
         cur = regroup_pass(g, &cur, orders[i % orders.len()]);
         debug_assert_eq!(num_colors_used(&cur.colors), cur.num_colors);
@@ -77,7 +81,11 @@ mod tests {
     fn passes_never_increase_colors() {
         let g = erdos_renyi_gnm(600, 6000, 4);
         let mut c = greedy_color(&g);
-        for order in [ClassOrder::Reverse, ClassOrder::LargestFirst, ClassOrder::SmallestFirst] {
+        for order in [
+            ClassOrder::Reverse,
+            ClassOrder::LargestFirst,
+            ClassOrder::SmallestFirst,
+        ] {
             let next = regroup_pass(&g, &c, order);
             check_proper(&g, &next.colors).unwrap();
             assert!(next.num_colors <= c.num_colors, "{order:?}");
@@ -98,7 +106,10 @@ mod tests {
         for v in 0..g.num_vertices() {
             colors[v] = bad_on_shuffled.colors[perm[v] as usize];
         }
-        let bad = Coloring { colors, num_colors: bad_on_shuffled.num_colors };
+        let bad = Coloring {
+            colors,
+            num_colors: bad_on_shuffled.num_colors,
+        };
         check_proper(&g, &bad.colors).unwrap();
         let improved = iterated_greedy(&g, &bad, 8);
         check_proper(&g, &improved.colors).unwrap();

@@ -110,7 +110,11 @@ pub fn jones_plassmann(pool: &ThreadPool, g: &Csr, model: RuntimeModel, seed: u6
 
     let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
     let num_colors = verify::num_colors_used(&colors);
-    JpColoring { colors, num_colors, rounds }
+    JpColoring {
+        colors,
+        num_colors,
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +183,12 @@ mod tests {
         // O(log n) expected rounds for bounded degree.
         let pool = ThreadPool::new(8);
         let g = grid2d(60, 60, Stencil2::FivePoint);
-        let r = jones_plassmann(&pool, &g, RuntimeModel::Tbb(Partitioner::Simple { grain: 64 }), 5);
+        let r = jones_plassmann(
+            &pool,
+            &g,
+            RuntimeModel::Tbb(Partitioner::Simple { grain: 64 }),
+            5,
+        );
         assert!(r.rounds < 60, "rounds {}", r.rounds);
         check_proper(&g, &r.colors).unwrap();
     }
@@ -201,7 +210,12 @@ mod tests {
     #[test]
     fn empty_graph() {
         let pool = ThreadPool::new(2);
-        let r = jones_plassmann(&pool, &Csr::empty(0), RuntimeModel::OpenMp(Schedule::dynamic100()), 0);
+        let r = jones_plassmann(
+            &pool,
+            &Csr::empty(0),
+            RuntimeModel::OpenMp(Schedule::dynamic100()),
+            0,
+        );
         assert_eq!(r.num_colors, 0);
         assert_eq!(r.rounds, 0);
     }

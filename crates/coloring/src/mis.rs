@@ -99,7 +99,10 @@ pub fn luby_mis(pool: &ThreadPool, g: &Csr, model: RuntimeModel, seed: u64) -> M
         active.retain(|&v| state[v as usize].load(Ordering::Relaxed) == UNDECIDED);
     }
 
-    let in_set = state.into_iter().map(|s| s.into_inner() == IN_SET).collect();
+    let in_set = state
+        .into_iter()
+        .map(|s| s.into_inner() == IN_SET)
+        .collect();
     Mis { in_set, rounds }
 }
 

@@ -146,7 +146,15 @@ pub fn iterative_coloring_traced(
     }
 
     let num_colors = verify::num_colors_used(&colors).max(max_color.get());
-    (ParallelColoring { colors, num_colors, rounds, conflicts_per_round }, round_visits)
+    (
+        ParallelColoring {
+            colors,
+            num_colors,
+            rounds,
+            conflicts_per_round,
+        },
+        round_visits,
+    )
 }
 
 #[cfg(test)]
@@ -154,7 +162,9 @@ mod tests {
     use super::*;
     use crate::seq::greedy_color;
     use crate::verify::check_proper;
-    use mic_graph::generators::{complete, erdos_renyi_gnm, grid2d, path, rgg3d_with_avg_degree, Box3, Stencil2};
+    use mic_graph::generators::{
+        complete, erdos_renyi_gnm, grid2d, path, rgg3d_with_avg_degree, Box3, Stencil2,
+    };
     use mic_runtime::{Partitioner, Schedule};
 
     fn models() -> Vec<RuntimeModel> {
@@ -205,7 +215,11 @@ mod tests {
         // With one thread there can be no conflicts: one round.
         let pool = ThreadPool::new(1);
         let g = grid2d(40, 40, Stencil2::NinePoint);
-        let r = iterative_coloring(&pool, &g, RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 16 }));
+        let r = iterative_coloring(
+            &pool,
+            &g,
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 16 }),
+        );
         assert_eq!(r.rounds, 1);
         assert_eq!(r.conflicts_per_round, vec![0]);
         check_proper(&g, &r.colors).unwrap();
@@ -224,9 +238,17 @@ mod tests {
     fn path_two_colors() {
         let pool = ThreadPool::new(4);
         let g = path(500);
-        let r = iterative_coloring(&pool, &g, RuntimeModel::Tbb(Partitioner::Simple { grain: 8 }));
+        let r = iterative_coloring(
+            &pool,
+            &g,
+            RuntimeModel::Tbb(Partitioner::Simple { grain: 8 }),
+        );
         check_proper(&g, &r.colors).unwrap();
-        assert!(r.num_colors <= 3, "path should need at most 2-3 colors, got {}", r.num_colors);
+        assert!(
+            r.num_colors <= 3,
+            "path should need at most 2-3 colors, got {}",
+            r.num_colors
+        );
     }
 
     #[test]
@@ -242,7 +264,11 @@ mod tests {
     fn reports_round_counts() {
         let pool = ThreadPool::new(8);
         let g = erdos_renyi_gnm(3000, 30_000, 9);
-        let r = iterative_coloring(&pool, &g, RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 4 }));
+        let r = iterative_coloring(
+            &pool,
+            &g,
+            RuntimeModel::OpenMp(Schedule::Dynamic { chunk: 4 }),
+        );
         assert!(r.rounds >= 1 && r.rounds < MAX_ROUNDS);
         assert_eq!(r.conflicts_per_round.len(), r.rounds);
         check_proper(&g, &r.colors).unwrap();

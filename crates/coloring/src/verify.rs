@@ -16,7 +16,9 @@ impl std::fmt::Display for ColoringError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ColoringError::Uncolored(v) => write!(f, "vertex {v} is uncolored"),
-            ColoringError::Conflict(u, v) => write!(f, "adjacent vertices {u} and {v} share a color"),
+            ColoringError::Conflict(u, v) => {
+                write!(f, "adjacent vertices {u} and {v} share a color")
+            }
         }
     }
 }
@@ -41,7 +43,12 @@ pub fn check_proper(g: &Csr, colors: &[u32]) -> Result<(), ColoringError> {
 
 /// Number of distinct colors used (max + 1 over colored vertices).
 pub fn num_colors_used(colors: &[u32]) -> u32 {
-    colors.iter().copied().filter(|&c| c != UNCOLORED).max().map_or(0, |c| c + 1)
+    colors
+        .iter()
+        .copied()
+        .filter(|&c| c != UNCOLORED)
+        .max()
+        .map_or(0, |c| c + 1)
 }
 
 #[cfg(test)]
@@ -58,13 +65,19 @@ mod tests {
     #[test]
     fn rejects_conflict() {
         let g = path(3);
-        assert_eq!(check_proper(&g, &[0, 0, 1]), Err(ColoringError::Conflict(0, 1)));
+        assert_eq!(
+            check_proper(&g, &[0, 0, 1]),
+            Err(ColoringError::Conflict(0, 1))
+        );
     }
 
     #[test]
     fn rejects_uncolored() {
         let g = path(2);
-        assert_eq!(check_proper(&g, &[0, UNCOLORED]), Err(ColoringError::Uncolored(1)));
+        assert_eq!(
+            check_proper(&g, &[0, UNCOLORED]),
+            Err(ColoringError::Uncolored(1))
+        );
     }
 
     #[test]

@@ -3,36 +3,51 @@
 //! queues, and vertex ordering.
 
 use crate::series::{Figure, Series};
-use mic_bfs::instrument::{instrument as bfs_instrument, SimVariant};
-use mic_bfs::seq::table1_source;
-use mic_coloring::instrument::instrument as coloring_instrument;
-use mic_graph::ordering::{apply, Ordering};
+use crate::sweep;
+use crate::workload_cache::{self, OrderTag};
+use mic_bfs::instrument::SimVariant;
 use mic_graph::stats::LocalityWindows;
 use mic_graph::suite::{PaperGraph, Scale};
-use super::suite_graph as build;
-use mic_irregular::instrument::instrument as irregular_instrument;
-use mic_sim::{simulate, simulate_region, Machine, Placement, Policy};
+use mic_sim::{
+    simulate_region_with_scratch, simulate_with_scratch, Machine, Placement, Policy, SimScratch,
+};
 
 /// Sweep the block-accessed queue's block size (the paper: "by keeping the
 /// block size small (but not so small so that we do not use atomics too
 /// often), the overhead is minimized" — 32 was its best).
 pub fn block_size_sweep(scale: Scale) -> Figure {
     let machine = Machine::knf();
-    let g = build(PaperGraph::Hood, scale);
-    let src = table1_source(&g);
     let windows = LocalityWindows::default();
     let blocks = [1usize, 4, 8, 16, 32, 64, 128, 512];
-    let mut fig = Figure::new("Ablation: BFS block size (hood, OpenMP-Block-relaxed)", blocks.to_vec());
+    let threads = [31usize, 61, 121];
+    let mut fig = Figure::new(
+        "Ablation: BFS block size (hood, OpenMP-Block-relaxed)",
+        blocks.to_vec(),
+    );
     fig.xlabel = "block size".into();
-    for &t in &[31usize, 61, 121] {
-        let y: Vec<f64> = blocks
+    // One job per block size; each instruments once (via the cache) and
+    // yields the speedup at every thread count.
+    let per_block: Vec<Vec<f64>> = sweep::map(&blocks, |_, &b| {
+        let w = workload_cache::bfs(
+            PaperGraph::Hood,
+            scale,
+            OrderTag::Natural,
+            windows,
+            SimVariant::Block {
+                block: b,
+                relaxed: true,
+            },
+        );
+        let regions = w.regions(Policy::OmpDynamic { chunk: b });
+        let mut scratch = SimScratch::default();
+        let base = simulate_with_scratch(&machine, 1, &regions, &mut scratch).cycles;
+        threads
             .iter()
-            .map(|&b| {
-                let w = bfs_instrument(&g, src, windows, SimVariant::Block { block: b, relaxed: true });
-                let regions = w.regions(Policy::OmpDynamic { chunk: b });
-                simulate(&machine, 1, &regions).cycles / simulate(&machine, t, &regions).cycles
-            })
-            .collect();
+            .map(|&t| base / simulate_with_scratch(&machine, t, &regions, &mut scratch).cycles)
+            .collect()
+    });
+    for (ti, &t) in threads.iter().enumerate() {
+        let y: Vec<f64> = per_block.iter().map(|s| s[ti]).collect();
         fig.push(Series::new(format!("{t} threads"), y));
     }
     fig
@@ -42,19 +57,30 @@ pub fn block_size_sweep(scale: Scale) -> Figure {
 /// 150 and settled on 100).
 pub fn chunk_size_sweep(scale: Scale) -> Figure {
     let machine = Machine::knf();
-    let g = build(PaperGraph::Hood, scale);
-    let w = coloring_instrument(&g, LocalityWindows::default());
+    let w = workload_cache::coloring(
+        PaperGraph::Hood,
+        scale,
+        OrderTag::Natural,
+        LocalityWindows::default(),
+    );
     let chunks = [10usize, 40, 100, 400, 1000, 4000];
-    let mut fig = Figure::new("Ablation: coloring dynamic chunk size (hood)", chunks.to_vec());
+    let threads = [31usize, 121];
+    let mut fig = Figure::new(
+        "Ablation: coloring dynamic chunk size (hood)",
+        chunks.to_vec(),
+    );
     fig.xlabel = "chunk size".into();
-    for &t in &[31usize, 121] {
-        let y: Vec<f64> = chunks
+    let per_chunk: Vec<Vec<f64>> = sweep::map(&chunks, |_, &c| {
+        let regions = w.regions(Policy::OmpDynamic { chunk: c });
+        let mut scratch = SimScratch::default();
+        let base = simulate_with_scratch(&machine, 1, &regions, &mut scratch).cycles;
+        threads
             .iter()
-            .map(|&c| {
-                let regions = w.regions(Policy::OmpDynamic { chunk: c });
-                simulate(&machine, 1, &regions).cycles / simulate(&machine, t, &regions).cycles
-            })
-            .collect();
+            .map(|&t| base / simulate_with_scratch(&machine, t, &regions, &mut scratch).cycles)
+            .collect()
+    });
+    for (ti, &t) in threads.iter().enumerate() {
+        let y: Vec<f64> = per_chunk.iter().map(|s| s[ti]).collect();
         fig.push(Series::new(format!("{t} threads"), y));
     }
     fig
@@ -64,23 +90,36 @@ pub fn chunk_size_sweep(scale: Scale) -> Figure {
 /// sub-comparison, isolated).
 pub fn locked_vs_relaxed(scale: Scale) -> Figure {
     let machine = Machine::knf();
-    let g = build(PaperGraph::Hood, scale);
-    let src = table1_source(&g);
     let windows = LocalityWindows::default();
     let grid = machine.thread_grid();
-    let mut fig = Figure::new("Ablation: locked vs relaxed block queue (hood)", grid.clone());
+    let mut fig = Figure::new(
+        "Ablation: locked vs relaxed block queue (hood)",
+        grid.clone(),
+    );
     // Common baseline (the fastest 1-thread variant), the paper's rule.
-    let runs: Vec<(&str, Vec<f64>)> = [("relaxed", true), ("locked", false)]
-        .into_iter()
-        .map(|(label, relaxed)| {
-            let w = bfs_instrument(&g, src, windows, SimVariant::Block { block: 32, relaxed });
-            let regions = w.regions(Policy::OmpDynamic { chunk: 32 });
-            (label, grid.iter().map(|&t| simulate(&machine, t, &regions).cycles).collect())
-        })
-        .collect();
+    let arms = [("relaxed", true), ("locked", false)];
+    let runs: Vec<(&str, Vec<f64>)> = sweep::map(&arms, |_, &(label, relaxed)| {
+        let w = workload_cache::bfs(
+            PaperGraph::Hood,
+            scale,
+            OrderTag::Natural,
+            windows,
+            SimVariant::Block { block: 32, relaxed },
+        );
+        let regions = w.regions(Policy::OmpDynamic { chunk: 32 });
+        let mut scratch = SimScratch::default();
+        let cycles = grid
+            .iter()
+            .map(|&t| simulate_with_scratch(&machine, t, &regions, &mut scratch).cycles)
+            .collect();
+        (label, cycles)
+    });
     let base = runs.iter().map(|(_, c)| c[0]).fold(f64::INFINITY, f64::min);
     for (label, cycles) in runs {
-        fig.push(Series::new(label, cycles.iter().map(|c| base / c).collect()));
+        fig.push(Series::new(
+            label,
+            cycles.iter().map(|c| base / c).collect(),
+        ));
     }
     fig
 }
@@ -89,24 +128,27 @@ pub fn locked_vs_relaxed(scale: Scale) -> Figure {
 /// random shuffle (extends Figure 2 with the bandwidth-reducing order).
 pub fn ordering_ablation(scale: Scale) -> Figure {
     let machine = Machine::knf();
-    let g = build(PaperGraph::Hood, scale);
     let grid = machine.thread_grid();
-    let mut fig = Figure::new("Ablation: coloring vertex ordering (hood, OpenMP-dynamic)", grid.clone());
-    let orders: [(&str, Option<Ordering>); 3] = [
-        ("natural", None),
-        ("cuthill-mckee", Some(Ordering::CuthillMcKee { source: 0 })),
-        ("shuffled", Some(Ordering::Random { seed: 77 })),
+    let mut fig = Figure::new(
+        "Ablation: coloring vertex ordering (hood, OpenMP-dynamic)",
+        grid.clone(),
+    );
+    let orders: [(&str, OrderTag); 3] = [
+        ("natural", OrderTag::Natural),
+        ("cuthill-mckee", OrderTag::CuthillMcKee { source: 0 }),
+        ("shuffled", OrderTag::Random { seed: 77 }),
     ];
-    for (label, ord) in orders {
-        let graph = match ord {
-            None => g.clone(),
-            Some(o) => apply(&g, o).0,
-        };
-        let w = coloring_instrument(&graph, LocalityWindows::default());
+    let runs: Vec<Vec<f64>> = sweep::map(&orders, |_, &(_, order)| {
+        let w =
+            workload_cache::coloring(PaperGraph::Hood, scale, order, LocalityWindows::default());
         let regions = w.regions(Policy::OmpDynamic { chunk: 100 });
-        let base = simulate(&machine, 1, &regions).cycles;
-        let y: Vec<f64> =
-            grid.iter().map(|&t| base / simulate(&machine, t, &regions).cycles).collect();
+        let mut scratch = SimScratch::default();
+        let base = simulate_with_scratch(&machine, 1, &regions, &mut scratch).cycles;
+        grid.iter()
+            .map(|&t| base / simulate_with_scratch(&machine, t, &regions, &mut scratch).cycles)
+            .collect()
+    });
+    for ((label, _), y) in orders.into_iter().zip(runs) {
         fig.push(Series::new(label, y));
     }
     fig
@@ -117,17 +159,31 @@ pub fn ordering_ablation(scale: Scale) -> Figure {
 /// SMT slots first, paying issue/FPU sharing from the start. The paper ran
 /// scatter; this shows why that was the right call below ~62 threads.
 pub fn placement_ablation(scale: Scale) -> Figure {
-    let g = build(PaperGraph::Hood, scale);
-    let w = irregular_instrument(&g, LocalityWindows::default(), 1);
+    let w = workload_cache::irregular(
+        PaperGraph::Hood,
+        scale,
+        OrderTag::Natural,
+        LocalityWindows::default(),
+        1,
+    );
     let r = w.region(Policy::OmpDynamic { chunk: 100 });
     let scatter = Machine::knf();
     let mut compact = Machine::knf();
     compact.placement = Placement::Compact;
     let grid = scatter.thread_grid();
-    let mut fig = Figure::new("Ablation: thread placement (hood, irregular iter=1)", grid.clone());
-    for (label, m) in [("scatter", &scatter), ("compact", &compact)] {
-        let base = simulate_region(m, 1, &r);
-        let y: Vec<f64> = grid.iter().map(|&t| base / simulate_region(m, t, &r)).collect();
+    let mut fig = Figure::new(
+        "Ablation: thread placement (hood, irregular iter=1)",
+        grid.clone(),
+    );
+    let arms = [("scatter", &scatter), ("compact", &compact)];
+    let runs: Vec<Vec<f64>> = sweep::map(&arms, |_, &(_, m)| {
+        let mut scratch = SimScratch::default();
+        let base = simulate_region_with_scratch(m, 1, &r, &mut scratch);
+        grid.iter()
+            .map(|&t| base / simulate_region_with_scratch(m, t, &r, &mut scratch))
+            .collect()
+    });
+    for ((label, _), y) in arms.into_iter().zip(runs) {
         fig.push(Series::new(label, y));
     }
     fig
@@ -138,25 +194,39 @@ pub fn placement_ablation(scale: Scale) -> Figure {
 /// gap grows with depth — `pwtk`'s 267 levels are the showcase.
 pub fn fork_vs_persistent(scale: Scale) -> Figure {
     let machine = Machine::knf();
-    let g = build(PaperGraph::Pwtk, scale);
-    let src = table1_source(&g);
-    let w = bfs_instrument(
-        &g,
-        src,
+    let w = workload_cache::bfs(
+        PaperGraph::Pwtk,
+        scale,
+        OrderTag::Natural,
         LocalityWindows::default(),
-        SimVariant::Block { block: 32, relaxed: true },
+        SimVariant::Block {
+            block: 32,
+            relaxed: true,
+        },
     );
     let grid = machine.thread_grid();
     let forked = w.regions(Policy::OmpDynamic { chunk: 32 });
     let persistent = w.regions_persistent(Policy::OmpDynamic { chunk: 32 });
-    let base = simulate(&machine, 1, &forked)
-        .cycles
-        .min(simulate(&machine, 1, &persistent).cycles);
-    let mut fig = Figure::new("Ablation: fork/join per level vs persistent team (pwtk)", grid.clone());
-    for (label, regions) in [("fork-join", &forked), ("persistent-team", &persistent)] {
-        let y: Vec<f64> =
-            grid.iter().map(|&t| base / simulate(&machine, t, regions).cycles).collect();
-        fig.push(Series::new(label, y));
+    let arms = [("fork-join", &forked), ("persistent-team", &persistent)];
+    let runs: Vec<(f64, Vec<f64>)> = sweep::map(&arms, |_, &(_, regions)| {
+        let mut scratch = SimScratch::default();
+        let own_base = simulate_with_scratch(&machine, 1, regions, &mut scratch).cycles;
+        let cycles = grid
+            .iter()
+            .map(|&t| simulate_with_scratch(&machine, t, regions, &mut scratch).cycles)
+            .collect();
+        (own_base, cycles)
+    });
+    let base = runs.iter().map(|(b, _)| *b).fold(f64::INFINITY, f64::min);
+    let mut fig = Figure::new(
+        "Ablation: fork/join per level vs persistent team (pwtk)",
+        grid.clone(),
+    );
+    for ((label, _), (_, cycles)) in arms.into_iter().zip(runs) {
+        fig.push(Series::new(
+            label,
+            cycles.iter().map(|c| base / c).collect::<Vec<f64>>(),
+        ));
     }
     fig
 }
@@ -171,7 +241,12 @@ mod tests {
         let s = fig.get("scatter").unwrap();
         let c = fig.get("compact").unwrap();
         let mid = fig.x.iter().position(|&t| t == 31).unwrap();
-        assert!(s.y[mid] > 1.5 * c.y[mid], "scatter {} vs compact {} at 31 threads", s.y[mid], c.y[mid]);
+        assert!(
+            s.y[mid] > 1.5 * c.y[mid],
+            "scatter {} vs compact {} at 31 threads",
+            s.y[mid],
+            c.y[mid]
+        );
         // At full occupancy they converge.
         let last = fig.x.len() - 1;
         assert!((s.y[last] - c.y[last]).abs() / s.y[last] < 0.25);
@@ -192,7 +267,10 @@ mod tests {
             f.y[mid]
         );
         for (pp, ff) in p.y.iter().zip(&f.y) {
-            assert!(pp * 1.001 >= *ff, "persistent must never lose: {pp} vs {ff}");
+            assert!(
+                pp * 1.001 >= *ff,
+                "persistent must never lose: {pp} vs {ff}"
+            );
         }
     }
 
@@ -207,7 +285,10 @@ mod tests {
         let b32 = s.y[fig.x.iter().position(|&b| b == 32).unwrap()];
         let b512 = s.y[fig.x.len() - 1];
         assert!(b32 > b1, "block 32 ({b32}) should beat block 1 ({b1})");
-        assert!(b32 > b512, "block 32 ({b32}) should beat block 512 ({b512})");
+        assert!(
+            b32 > b512,
+            "block 32 ({b32}) should beat block 512 ({b512})"
+        );
     }
 
     #[test]
@@ -230,7 +311,10 @@ mod tests {
         let last = fig.x.len() - 1;
         let nat = fig.get("natural").unwrap().y[last];
         let shf = fig.get("shuffled").unwrap().y[last];
-        assert!(shf > nat, "shuffled speedup {shf} should exceed natural {nat}");
+        assert!(
+            shf > nat,
+            "shuffled speedup {shf} should exceed natural {nat}"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! timing.
 
 use crate::series::{Figure, Series};
+use crate::sweep;
 use mic_bfs::sssp::{delta_stepping, dijkstra};
 use mic_coloring::balance::{class_balance, rebalance};
 use mic_coloring::dsatur::dsatur;
@@ -19,7 +20,6 @@ use mic_runtime::{RuntimeModel, Schedule, ThreadPool};
 /// graph (JP needs many more rounds; speculation needs conflict repair but
 /// converges in 2–3). X-axis = graph index in Table I order.
 pub fn jp_vs_speculation(scale: Scale, threads: usize) -> Figure {
-    let pool = ThreadPool::new(threads);
     let model = RuntimeModel::OpenMp(Schedule::dynamic100());
     let graphs = super::suite(scale);
     let mut fig = Figure::new(
@@ -28,25 +28,26 @@ pub fn jp_vs_speculation(scale: Scale, threads: usize) -> Figure {
     );
     fig.xlabel = "graph (Table I order)".into();
     fig.ylabel = "rounds / colors".into();
-    let mut spec_rounds = Vec::new();
-    let mut spec_colors = Vec::new();
-    let mut jp_rounds = Vec::new();
-    let mut jp_colors = Vec::new();
-    let mut greedy_colors = Vec::new();
-    for (_, g) in &graphs {
+    // One sweep job per graph; each drives the native kernels on its own
+    // `threads`-wide pool (cross-pool nesting is supported by the runtime).
+    let rows: Vec<[f64; 5]> = sweep::map(&graphs, |_, (_, g)| {
+        let pool = ThreadPool::new(threads);
         let (spec, _) = iterative_coloring_traced(&pool, g, model);
-        spec_rounds.push(spec.rounds as f64);
-        spec_colors.push(spec.num_colors as f64);
         let jp = jones_plassmann(&pool, g, model, 42);
-        jp_rounds.push(jp.rounds as f64);
-        jp_colors.push(jp.num_colors as f64);
-        greedy_colors.push(greedy_color(g).num_colors as f64);
-    }
-    fig.push(Series::new("speculative rounds", spec_rounds));
-    fig.push(Series::new("JP rounds", jp_rounds));
-    fig.push(Series::new("speculative colors", spec_colors));
-    fig.push(Series::new("JP colors", jp_colors));
-    fig.push(Series::new("greedy colors", greedy_colors));
+        [
+            spec.rounds as f64,
+            jp.rounds as f64,
+            spec.num_colors as f64,
+            jp.num_colors as f64,
+            greedy_color(g).num_colors as f64,
+        ]
+    });
+    let col = |i: usize| -> Vec<f64> { rows.iter().map(|r| r[i]).collect() };
+    fig.push(Series::new("speculative rounds", col(0)));
+    fig.push(Series::new("JP rounds", col(1)));
+    fig.push(Series::new("speculative colors", col(2)));
+    fig.push(Series::new("JP colors", col(3)));
+    fig.push(Series::new("greedy colors", col(4)));
     fig
 }
 
@@ -56,15 +57,14 @@ pub fn jp_vs_speculation(scale: Scale, threads: usize) -> Figure {
 pub fn delta_sweep(scale: Scale, threads: usize) -> Figure {
     let g = super::suite_graph(PaperGraph::Hood, scale);
     let w = EdgeWeights::random_symmetric(&g, 0.05, 1.0, 7);
-    let pool = ThreadPool::new(threads);
     let model = RuntimeModel::OpenMp(Schedule::dynamic100());
     let src = (g.num_vertices() / 2) as u32;
     let reference = dijkstra(&g, &w, src);
     // Δ multipliers of the mean weight, as integer per-mille for the axis.
     let multipliers = [50usize, 200, 1000, 5000, 20000, 100000];
     let mean_w: f64 = w.values().iter().sum::<f64>() / w.values().len() as f64;
-    let mut phases = Vec::new();
-    for &m in &multipliers {
+    let phases: Vec<f64> = sweep::map(&multipliers, |_, &m| {
+        let pool = ThreadPool::new(threads);
         let delta = mean_w * m as f64 / 1000.0;
         let r = delta_stepping(&pool, &g, &w, src, delta, model);
         // Cross-check correctness while we are here.
@@ -73,8 +73,8 @@ pub fn delta_sweep(scale: Scale, threads: usize) -> Figure {
             .iter()
             .zip(&reference.dist)
             .all(|(a, b)| (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9));
-        phases.push(r.phases as f64);
-    }
+        r.phases as f64
+    });
     let _ = reference;
     let mut fig = Figure::new(
         format!("Extras: delta-stepping phases vs delta (hood, {threads} threads)"),
@@ -91,43 +91,49 @@ pub fn delta_sweep(scale: Scale, threads: usize) -> Figure {
 /// speculative + iterated greedy; plus the First-Fit class imbalance
 /// before/after rebalancing.
 pub fn coloring_quality(scale: Scale, threads: usize) -> Figure {
-    let pool = ThreadPool::new(threads);
     let model = RuntimeModel::OpenMp(Schedule::dynamic100());
     let graphs = super::suite(scale);
-    let mut fig = Figure::new("Extras: coloring quality across algorithms", (0..graphs.len()).collect());
+    let mut fig = Figure::new(
+        "Extras: coloring quality across algorithms",
+        (0..graphs.len()).collect(),
+    );
     fig.xlabel = "graph (Table I order)".into();
     fig.ylabel = "colors / imbalance".into();
-    let mut ff = Vec::new();
-    let mut ds = Vec::new();
-    let mut jp = Vec::new();
-    let mut spec = Vec::new();
-    let mut spec_it = Vec::new();
-    let mut imb_before = Vec::new();
-    let mut imb_after = Vec::new();
-    for (_, g) in &graphs {
+    let rows: Vec<[f64; 7]> = sweep::map(&graphs, |_, (_, g)| {
+        let pool = ThreadPool::new(threads);
         let mut c = greedy_color(g);
-        ff.push(c.num_colors as f64);
-        imb_before.push(class_balance(&c, g.num_vertices()).imbalance);
-        let b = rebalance(g, &mut c, 10);
-        imb_after.push(b.imbalance);
-        ds.push(dsatur(g).num_colors as f64);
-        jp.push(jones_plassmann(&pool, g, model, 42).num_colors as f64);
+        let ff = c.num_colors as f64;
+        let imb_before = class_balance(&c, g.num_vertices()).imbalance;
+        let imb_after = rebalance(g, &mut c, 10).imbalance;
+        let ds = dsatur(g).num_colors as f64;
+        let jp = jones_plassmann(&pool, g, model, 42).num_colors as f64;
         let (sp, _) = iterative_coloring_traced(&pool, g, model);
         let improved = iterated_greedy(
             g,
-            &mic_coloring::seq::Coloring { colors: sp.colors.clone(), num_colors: sp.num_colors },
+            &mic_coloring::seq::Coloring {
+                colors: sp.colors.clone(),
+                num_colors: sp.num_colors,
+            },
             6,
         );
-        spec.push(sp.num_colors as f64);
-        spec_it.push(improved.num_colors as f64);
-    }
-    fig.push(Series::new("first-fit colors", ff));
-    fig.push(Series::new("dsatur colors", ds));
-    fig.push(Series::new("jones-plassmann colors", jp));
-    fig.push(Series::new("speculative colors", spec));
-    fig.push(Series::new("speculative+iterated colors", spec_it));
-    fig.push(Series::new("FF imbalance before", imb_before));
-    fig.push(Series::new("FF imbalance after", imb_after));
+        [
+            ff,
+            ds,
+            jp,
+            sp.num_colors as f64,
+            improved.num_colors as f64,
+            imb_before,
+            imb_after,
+        ]
+    });
+    let col = |i: usize| -> Vec<f64> { rows.iter().map(|r| r[i]).collect() };
+    fig.push(Series::new("first-fit colors", col(0)));
+    fig.push(Series::new("dsatur colors", col(1)));
+    fig.push(Series::new("jones-plassmann colors", col(2)));
+    fig.push(Series::new("speculative colors", col(3)));
+    fig.push(Series::new("speculative+iterated colors", col(4)));
+    fig.push(Series::new("FF imbalance before", col(5)));
+    fig.push(Series::new("FF imbalance after", col(6)));
     fig
 }
 
@@ -177,6 +183,9 @@ mod tests {
         let min = p.iter().cloned().fold(f64::MAX, f64::min);
         // Both extremes cost more phases than the best middle value.
         assert!(p[0] > min, "tiny delta should pay: {p:?}");
-        assert!(*p.last().unwrap() >= min, "huge delta should not win: {p:?}");
+        assert!(
+            *p.last().unwrap() >= min,
+            "huge delta should not win: {p:?}"
+        );
     }
 }

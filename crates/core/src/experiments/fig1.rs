@@ -3,10 +3,11 @@
 
 use crate::series::{Figure, Series};
 use crate::stats::paper_speedups;
-use mic_coloring::instrument::{instrument, ColoringWorkload};
+use crate::workload_cache::{self, OrderTag};
+use mic_coloring::instrument::ColoringWorkload;
 use mic_graph::stats::LocalityWindows;
 use mic_graph::suite::Scale;
-use mic_sim::{simulate, Machine, Policy, Region, Work};
+use mic_sim::{simulate_with_scratch, Machine, Policy, Region, SimScratch, Work};
 use std::sync::Arc;
 
 /// Which panel of Figure 1.
@@ -47,7 +48,10 @@ impl Panel {
                 (
                     "CilkPlus-holder",
                     Policy::Cilk { grain: 100 },
-                    Work { issue: 2.0, ..Default::default() },
+                    Work {
+                        issue: 2.0,
+                        ..Default::default()
+                    },
                 ),
             ],
             Panel::Tbb => vec![
@@ -76,23 +80,30 @@ fn regions_with_extra(w: &ColoringWorkload, policy: Policy, extra: Work) -> Vec<
 
 /// Simulated speedups of a set of coloring variants over the KNF thread
 /// grid, with the paper's baseline rule, geomean over the suite.
+///
+/// One sweep job per (variant, graph) pair; each job walks the full thread
+/// grid with a reused [`SimScratch`], so the region prefix sums and the
+/// event-loop buffers are built once per pair.
 pub(crate) fn coloring_speedups(
-    workloads: &[ColoringWorkload],
+    workloads: &[Arc<ColoringWorkload>],
     variants: &[(&'static str, Policy, Work)],
     machine: &Machine,
 ) -> Figure {
     let grid = machine.thread_grid();
-    let cycles: Vec<Vec<Vec<f64>>> = variants
-        .iter()
-        .map(|(_, policy, extra)| {
-            workloads
-                .iter()
-                .map(|w| {
-                    let regions = regions_with_extra(w, *policy, *extra);
-                    grid.iter().map(|&t| simulate(machine, t, &regions).cycles).collect()
-                })
-                .collect()
-        })
+    let jobs: Vec<(usize, usize)> = (0..variants.len())
+        .flat_map(|v| (0..workloads.len()).map(move |g| (v, g)))
+        .collect();
+    let per_job: Vec<Vec<f64>> = crate::sweep::map(&jobs, |_, &(v, g)| {
+        let (_, policy, extra) = variants[v];
+        let regions = regions_with_extra(&workloads[g], policy, extra);
+        let mut scratch = SimScratch::default();
+        grid.iter()
+            .map(|&t| simulate_with_scratch(machine, t, &regions, &mut scratch).cycles)
+            .collect()
+    });
+    let cycles: Vec<Vec<Vec<f64>>> = per_job
+        .chunks(workloads.len().max(1))
+        .map(|c| c.to_vec())
         .collect();
     let speedups = paper_speedups(&cycles);
     let mut fig = Figure::new("coloring speedup", grid);
@@ -105,16 +116,21 @@ pub(crate) fn coloring_speedups(
 /// Figure 1, panel `panel`, at `scale` on the KNF machine model.
 pub fn fig1(panel: Panel, scale: Scale) -> Figure {
     let machine = Machine::knf();
-    let workloads: Vec<ColoringWorkload> = super::suite(scale)
-        .iter()
-        .map(|(_, g)| instrument(g, LocalityWindows::default()))
-        .collect();
+    let windows = LocalityWindows::default();
+    let workloads: Vec<Arc<ColoringWorkload>> =
+        crate::sweep::map(&mic_graph::suite::PaperGraph::all(), |_, &pg| {
+            workload_cache::coloring(pg, scale, OrderTag::Natural, windows)
+        });
     let mut fig = coloring_speedups(&workloads, &panel.variants(), &machine);
-    fig.title = format!("Figure 1{}: coloring on naturally ordered graphs ({:?})", match panel {
-        Panel::OpenMp => 'a',
-        Panel::CilkPlus => 'b',
-        Panel::Tbb => 'c',
-    }, panel);
+    fig.title = format!(
+        "Figure 1{}: coloring on naturally ordered graphs ({:?})",
+        match panel {
+            Panel::OpenMp => 'a',
+            Panel::CilkPlus => 'b',
+            Panel::Tbb => 'c',
+        },
+        panel
+    );
     fig
 }
 
@@ -154,7 +170,10 @@ mod tests {
         let a = fig.get("CilkPlus").unwrap();
         let b = fig.get("CilkPlus-holder").unwrap();
         for (ya, yb) in a.y.iter().zip(&b.y) {
-            assert!((ya - yb).abs() / ya < 0.15, "variants should be close: {ya} vs {yb}");
+            assert!(
+                (ya - yb).abs() / ya < 0.15,
+                "variants should be close: {ya} vs {yb}"
+            );
         }
     }
 

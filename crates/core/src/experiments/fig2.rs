@@ -5,22 +5,23 @@
 
 use crate::experiments::fig1::coloring_speedups;
 use crate::series::Figure;
-use mic_coloring::instrument::{instrument, ColoringWorkload};
-use mic_graph::ordering::{apply, Ordering};
+use crate::workload_cache::{self, OrderTag};
+use mic_coloring::instrument::ColoringWorkload;
 use mic_graph::stats::LocalityWindows;
-use mic_graph::suite::Scale;
+use mic_graph::suite::{PaperGraph, Scale};
 use mic_sim::{Machine, Policy, Work};
+use std::sync::Arc;
 
 /// Figure 2 at `scale`: each model's best variant on the shuffled suite.
 pub fn fig2(scale: Scale) -> Figure {
     let machine = Machine::knf();
-    let workloads: Vec<ColoringWorkload> = super::suite(scale)
-        .iter()
-        .map(|(pg, g)| {
-            let (shuffled, _) = apply(g, Ordering::Random { seed: 0xF16 ^ pg.name().len() as u64 });
-            instrument(&shuffled, LocalityWindows::default())
-        })
-        .collect();
+    let windows = LocalityWindows::default();
+    let workloads: Vec<Arc<ColoringWorkload>> = crate::sweep::map(&PaperGraph::all(), |_, &pg| {
+        let order = OrderTag::Random {
+            seed: 0xF16 ^ pg.name().len() as u64,
+        };
+        workload_cache::coloring(pg, scale, order, windows)
+    });
     let variants: Vec<(&'static str, Policy, Work)> = vec![
         ("OpenMP", Policy::OmpDynamic { chunk: 100 }, Work::default()),
         ("TBB", Policy::TbbSimple { grain: 40 }, Work::default()),
@@ -47,12 +48,20 @@ mod tests {
         let last = fig.x.len() - 1;
         assert_eq!(fig.x[last], 121);
         // Paper: 153 / 121 / 98. Shapes: all high; OpenMP >= TBB >= Cilk.
-        assert!(omp.y[last] > 60.0, "OpenMP shuffled speedup {}", omp.y[last]);
+        assert!(
+            omp.y[last] > 60.0,
+            "OpenMP shuffled speedup {}",
+            omp.y[last]
+        );
         assert!(omp.y[last] >= tbb.y[last]);
         assert!(tbb.y[last] >= cilk.y[last] * 0.95);
         // Monotonically increasing for OpenMP (the paper's curve is).
         for w in omp.y.windows(2) {
-            assert!(w[1] >= w[0] * 0.98, "OpenMP curve should keep rising: {:?}", omp.y);
+            assert!(
+                w[1] >= w[0] * 0.98,
+                "OpenMP curve should keep rising: {:?}",
+                omp.y
+            );
         }
     }
 }

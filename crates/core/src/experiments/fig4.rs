@@ -4,12 +4,12 @@
 
 use crate::series::{Figure, Series};
 use crate::stats::{geomean, paper_speedups};
-use mic_bfs::instrument::{instrument, BfsWorkload, SimVariant};
-use mic_bfs::seq::table1_source;
+use crate::workload_cache::{self, OrderTag};
+use mic_bfs::instrument::{BfsWorkload, SimVariant};
 use mic_graph::stats::LocalityWindows;
 use mic_graph::suite::{PaperGraph, Scale};
-use mic_graph::Csr;
-use mic_sim::{bfs_model_speedup, simulate, Machine, Policy};
+use mic_sim::{bfs_model_speedup, simulate_with_scratch, Machine, Policy, SimScratch};
+use std::sync::Arc;
 
 /// Which panel of Figure 4.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,8 +42,14 @@ const BLOCK: usize = 32;
 /// (label, frontier variant, driving policy) — the implementation series
 /// of each panel.
 fn impl_variants(panel: Panel) -> Vec<(&'static str, SimVariant, Policy)> {
-    let block_relaxed = SimVariant::Block { block: BLOCK, relaxed: true };
-    let block_locked = SimVariant::Block { block: BLOCK, relaxed: false };
+    let block_relaxed = SimVariant::Block {
+        block: BLOCK,
+        relaxed: true,
+    };
+    let block_locked = SimVariant::Block {
+        block: BLOCK,
+        relaxed: false,
+    };
     let bag = SimVariant::Bag { grain: 64 };
     let omp = Policy::OmpDynamic { chunk: BLOCK };
     let tbb = Policy::TbbSimple { grain: BLOCK };
@@ -67,61 +73,61 @@ fn impl_variants(panel: Panel) -> Vec<(&'static str, SimVariant, Policy)> {
     }
 }
 
-fn graphs_for(panel: Panel, scale: Scale) -> Vec<Csr> {
+fn graphs_for(panel: Panel) -> Vec<PaperGraph> {
     match panel {
-        Panel::Pwtk => vec![super::suite_graph(PaperGraph::Pwtk, scale)],
-        Panel::Inline1 => vec![super::suite_graph(PaperGraph::Inline1, scale)],
-        Panel::AllKnf | Panel::AllCpu => {
-            super::suite(scale).into_iter().map(|(_, g)| g).collect()
-        }
+        Panel::Pwtk => vec![PaperGraph::Pwtk],
+        Panel::Inline1 => vec![PaperGraph::Inline1],
+        Panel::AllKnf | Panel::AllCpu => PaperGraph::all().to_vec(),
     }
 }
 
 /// Figure 4, panel `panel`, at `scale`.
+///
+/// One sweep job per (variant, graph): each pulls its BFS workload from
+/// the cache (instrumented once per variant — the underlying graph and
+/// its BFS run once in total) and walks the grid with reused scratch.
 pub fn fig4(panel: Panel, scale: Scale) -> Figure {
     let machine = match panel {
         Panel::AllCpu => Machine::xeon_host(),
         _ => Machine::knf(),
     };
     let grid = machine.thread_grid();
-    let graphs = graphs_for(panel, scale);
+    let graphs = graphs_for(panel);
     let windows = LocalityWindows::default();
     let variants = impl_variants(panel);
 
-    // Workloads per (variant, graph); widths are variant-independent, take
-    // them from the first.
-    let workloads: Vec<Vec<BfsWorkload>> = variants
-        .iter()
-        .map(|(_, sv, _)| {
-            graphs.iter().map(|g| instrument(g, table1_source(g), windows, *sv)).collect()
-        })
+    let jobs: Vec<(usize, PaperGraph)> = (0..variants.len())
+        .flat_map(|v| graphs.iter().map(move |&pg| (v, pg)))
         .collect();
+    let runs: Vec<(Arc<BfsWorkload>, Vec<f64>)> = crate::sweep::map(&jobs, |_, &(v, pg)| {
+        let (_, sv, policy) = variants[v];
+        let w = workload_cache::bfs(pg, scale, OrderTag::Natural, windows, sv);
+        let regions = w.regions(policy);
+        let mut scratch = SimScratch::default();
+        let cycles = grid
+            .iter()
+            .map(|&t| simulate_with_scratch(&machine, t, &regions, &mut scratch).cycles)
+            .collect();
+        (w, cycles)
+    });
 
-    // The analytic model on the same level profiles.
+    // The analytic model on the level profiles (variant-independent: take
+    // the first variant's workloads).
     let model_y: Vec<f64> = grid
         .iter()
         .map(|&t| {
-            let per_graph: Vec<f64> = workloads[0]
+            let per_graph: Vec<f64> = runs[..graphs.len()]
                 .iter()
-                .map(|w| bfs_model_speedup(&w.widths, t))
+                .map(|(w, _)| bfs_model_speedup(&w.widths, t))
                 .collect();
             geomean(&per_graph)
         })
         .collect();
 
     // Simulated implementations with the paper's baseline rule.
-    let cycles: Vec<Vec<Vec<f64>>> = variants
-        .iter()
-        .zip(&workloads)
-        .map(|((_, _, policy), per_graph)| {
-            per_graph
-                .iter()
-                .map(|w| {
-                    let regions = w.regions(*policy);
-                    grid.iter().map(|&t| simulate(&machine, t, &regions).cycles).collect()
-                })
-                .collect()
-        })
+    let cycles: Vec<Vec<Vec<f64>>> = runs
+        .chunks(graphs.len())
+        .map(|per_graph| per_graph.iter().map(|(_, c)| c.clone()).collect())
         .collect();
     let speedups = paper_speedups(&cycles);
 
@@ -180,7 +186,12 @@ mod tests {
         let a = fig4(Panel::Pwtk, Scale::Fraction(16));
         let b = fig4(Panel::Inline1, Scale::Fraction(16));
         let peak = |f: &Figure| f.get("OpenMP-Block-relaxed").unwrap().peak().1;
-        assert!(peak(&b) > 1.2 * peak(&a), "inline_1 {} vs pwtk {}", peak(&b), peak(&a));
+        assert!(
+            peak(&b) > 1.2 * peak(&a),
+            "inline_1 {} vs pwtk {}",
+            peak(&b),
+            peak(&a)
+        );
     }
 
     #[test]

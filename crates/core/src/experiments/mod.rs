@@ -15,20 +15,19 @@ pub mod fig3;
 pub mod fig4;
 pub mod table1;
 
-use mic_graph::suite::{build, build_cached, PaperGraph, Scale};
+use mic_graph::suite::{PaperGraph, Scale};
 use mic_graph::Csr;
+use std::sync::Arc;
 
-/// Build one suite graph, honoring the `MIC_SUITE_CACHE` directory if set
-/// (binary CSR cache — useful when regenerating many figures at full
-/// scale).
-pub(crate) fn suite_graph(g: PaperGraph, scale: Scale) -> Csr {
-    match std::env::var_os("MIC_SUITE_CACHE") {
-        Some(dir) => build_cached(g, scale, dir),
-        None => build(g, scale),
-    }
+/// One suite graph, shared from the process-wide [`crate::workload_cache`]
+/// (which also honors the `MIC_SUITE_CACHE` binary-CSR directory if set),
+/// so regenerating many figures builds each graph once.
+pub(crate) fn suite_graph(g: PaperGraph, scale: Scale) -> Arc<Csr> {
+    crate::workload_cache::graph(g, scale, crate::workload_cache::OrderTag::Natural)
 }
 
-/// Build the full seven-graph suite at `scale`, in Table I order.
-pub(crate) fn suite(scale: Scale) -> Vec<(PaperGraph, Csr)> {
-    PaperGraph::all().into_iter().map(|g| (g, suite_graph(g, scale))).collect()
+/// The full seven-graph suite at `scale`, in Table I order, shared from
+/// the cache.
+pub(crate) fn suite(scale: Scale) -> Vec<(PaperGraph, Arc<Csr>)> {
+    crate::workload_cache::suite(scale)
 }

@@ -75,7 +75,11 @@ mod tests {
         for r in &rows {
             assert_eq!(r.vertices, r.paper.vertices / 64);
             assert!(r.edges > 0);
-            assert!(r.colors >= 2 && (r.colors as usize) <= r.max_degree + 1, "{}", r.name);
+            assert!(
+                r.colors >= 2 && (r.colors as usize) <= r.max_degree + 1,
+                "{}",
+                r.name
+            );
             assert!(r.levels >= 2, "{}", r.name);
         }
         let txt = render(&rows);

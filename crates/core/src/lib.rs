@@ -47,5 +47,7 @@ pub mod experiments;
 pub mod native;
 pub mod series;
 pub mod stats;
+pub mod sweep;
+pub mod workload_cache;
 
 pub use series::{Figure, Series};

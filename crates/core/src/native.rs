@@ -24,7 +24,10 @@ pub struct Timed<T> {
 fn timed<T>(f: impl FnOnce() -> T) -> Timed<T> {
     let start = Instant::now();
     let output = f();
-    Timed { elapsed: start.elapsed(), output }
+    Timed {
+        elapsed: start.elapsed(),
+        output,
+    }
 }
 
 /// Run and time the parallel iterative coloring; returns the color count
@@ -43,12 +46,7 @@ pub fn run_bfs(pool: &ThreadPool, g: &Csr, source: VertexId, variant: BfsVariant
 
 /// Run and time one irregular-computation sweep (in place, Algorithm 5);
 /// returns the state checksum.
-pub fn run_irregular(
-    pool: &ThreadPool,
-    g: &Csr,
-    iter: usize,
-    model: RuntimeModel,
-) -> Timed<f64> {
+pub fn run_irregular(pool: &ThreadPool, g: &Csr, iter: usize, model: RuntimeModel) -> Timed<f64> {
     timed(|| {
         let mut state: Vec<f64> = (0..g.num_vertices()).map(|i| (i % 1013) as f64).collect();
         irregular_inplace(pool, g, &mut state, iter, model);
@@ -69,8 +67,7 @@ where
     let mut medians = Vec::with_capacity(threads.len());
     for &t in threads {
         let pool = ThreadPool::new(t);
-        let mut times: Vec<f64> =
-            (0..repeats).map(|_| run(&pool).as_secs_f64()).collect();
+        let mut times: Vec<f64> = (0..repeats).map(|_| run(&pool).as_secs_f64()).collect();
         times.sort_by(f64::total_cmp);
         medians.push(times[times.len() / 2]);
     }
@@ -114,7 +111,11 @@ mod tests {
             &pool,
             &g,
             0,
-            BfsVariant::OmpBlock { sched: Schedule::Dynamic { chunk: 32 }, block: 32, relaxed: true },
+            BfsVariant::OmpBlock {
+                sched: Schedule::Dynamic { chunk: 32 },
+                block: 32,
+                relaxed: true,
+            },
         );
         assert!(b.output >= 2);
         let i = run_irregular(&pool, &g, 2, RuntimeModel::CilkHolder { grain: 32 });

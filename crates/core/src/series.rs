@@ -9,7 +9,10 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>, y: Vec<f64>) -> Self {
-        Series { label: label.into(), y }
+        Series {
+            label: label.into(),
+            y,
+        }
     }
 
     /// Peak value and the x-index where it occurs.
@@ -18,7 +21,10 @@ impl Series {
             .iter()
             .copied()
             .enumerate()
-            .fold((0, f64::NEG_INFINITY), |acc, (i, v)| if v > acc.1 { (i, v) } else { acc })
+            .fold(
+                (0, f64::NEG_INFINITY),
+                |acc, (i, v)| if v > acc.1 { (i, v) } else { acc },
+            )
     }
 }
 
@@ -45,7 +51,12 @@ impl Figure {
 
     /// Add a curve; its length must match the x-grid.
     pub fn push(&mut self, s: Series) {
-        assert_eq!(s.y.len(), self.x.len(), "series '{}' length mismatch", s.label);
+        assert_eq!(
+            s.y.len(),
+            self.x.len(),
+            "series '{}' length mismatch",
+            s.label
+        );
         self.series.push(s);
     }
 
@@ -60,9 +71,16 @@ impl Figure {
         out.push_str(&format!("# {}\n", self.title));
         out.push_str(&format!("# y: {}\n", self.ylabel));
         let w = 22usize;
-        out.push_str(&format!("{:>8}", self.xlabel.split_whitespace().last().unwrap_or("x")));
+        out.push_str(&format!(
+            "{:>8}",
+            self.xlabel.split_whitespace().last().unwrap_or("x")
+        ));
         for s in &self.series {
-            let lbl = if s.label.len() > w { &s.label[..w] } else { &s.label };
+            let lbl = if s.label.len() > w {
+                &s.label[..w]
+            } else {
+                &s.label
+            };
             out.push_str(&format!(" {lbl:>w$}"));
         }
         out.push('\n');
@@ -80,9 +98,11 @@ impl Figure {
     /// pipe to `gnuplot` to get a PNG next to the paper's figure.
     pub fn to_gnuplot(&self, output_png: &str) -> String {
         let mut out = String::new();
-        out.push_str(&format!("set terminal pngcairo size 800,600
+        out.push_str(&format!(
+            "set terminal pngcairo size 800,600
 set output '{output_png}'
-"));
+"
+        ));
         out.push_str(&format!(
             "set title \"{}\"
 set xlabel \"{}\"
@@ -96,17 +116,29 @@ set key top left
         let plots: Vec<String> = self
             .series
             .iter()
-            .map(|s| format!("'-' using 1:2 with linespoints title \"{}\"", s.label.replace('"', "'")))
+            .map(|s| {
+                format!(
+                    "'-' using 1:2 with linespoints title \"{}\"",
+                    s.label.replace('"', "'")
+                )
+            })
             .collect();
-        out.push_str(&format!("plot {}
-", plots.join(", ")));
+        out.push_str(&format!(
+            "plot {}
+",
+            plots.join(", ")
+        ));
         for s in &self.series {
             for (&x, &y) in self.x.iter().zip(&s.y) {
-                out.push_str(&format!("{x} {y}
-"));
+                out.push_str(&format!(
+                    "{x} {y}
+"
+                ));
             }
-            out.push_str("e
-");
+            out.push_str(
+                "e
+",
+            );
         }
         out
     }

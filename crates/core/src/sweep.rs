@@ -1,0 +1,157 @@
+//! Parallel sweep harness for the experiment drivers.
+//!
+//! Every figure is a cross-product — (variant × graph × thread-grid) — of
+//! *independent, pure* simulation jobs. This module fans those jobs out
+//! over `mic-runtime`'s own [`ThreadPool`] (the reproduction's parallel
+//! runtime drives its own evaluation) while keeping the output
+//! **deterministic**: each job writes its result into the slot indexed by
+//! its input position, so the assembled vector is identical for any worker
+//! count and any interleaving — bit-for-bit equal to the serial reference
+//! (see `tests/sweep_determinism.rs`).
+//!
+//! Worker count comes from `MIC_SWEEP_THREADS` (default: the machine's
+//! available parallelism, capped at 16). `MIC_SWEEP_THREADS=1` forces the
+//! plain serial loop, which is also used automatically for empty and
+//! single-item inputs.
+//!
+//! Jobs may themselves run parallel regions on *other* pools (the native
+//! kernels in `experiments::extras` do); cross-pool nesting is supported
+//! by the runtime. A job must not call back into the sweep that spawned
+//! it, but nested `sweep::map` calls are fine — each map drives its own
+//! pool.
+
+use mic_runtime::ThreadPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Worker count for [`map`]: `MIC_SWEEP_THREADS` if set and positive,
+/// otherwise available parallelism capped at 16.
+pub fn default_threads() -> usize {
+    match std::env::var("MIC_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16),
+    }
+}
+
+/// `f` applied to every item, results in input order, fanned out over
+/// [`default_threads`] workers.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_with(default_threads(), items, f)
+}
+
+/// The serial reference: a plain in-order loop. [`map_with`] must produce
+/// exactly this, for any worker count.
+pub fn map_serial<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(usize, &T) -> R,
+{
+    items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+}
+
+/// `f` applied to every item on `threads` pool workers, results in input
+/// order. Jobs are claimed dynamically (an atomic cursor), so stragglers
+/// do not serialize the sweep; each result lands in its input-index slot,
+/// making the output independent of the execution interleaving.
+pub fn map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return map_serial(items, f);
+    }
+    let pool = ThreadPool::new(threads.min(items.len()));
+    let slots: Vec<OnceLock<R>> = items.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    pool.run(|_ctx| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= items.len() {
+            break;
+        }
+        let value = f(i, &items[i]);
+        if slots[i].set(value).is_err() {
+            unreachable!("sweep slot {i} claimed twice");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("sweep job dropped without a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |i: usize, &x: &u64| -> u64 { x * x + i as u64 };
+        let serial = map_serial(&items, f);
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(map_with(threads, &items, f), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let n = 100;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        let out = map_with(7, &items, |i, &x| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out, items);
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_with(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(map_with(8, &[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn nested_maps_use_distinct_pools() {
+        let outer: Vec<usize> = (0..4).collect();
+        let sums = map_with(2, &outer, |_, &base| {
+            let inner: Vec<usize> = (0..8).collect();
+            map_with(2, &inner, |_, &x| base * 100 + x)
+                .iter()
+                .sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..4)
+            .map(|b| (0..8).map(|x| b * 100 + x).sum::<usize>())
+            .collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn job_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_with(4, &items, |_, &x| {
+                if x == 9 {
+                    panic!("job failure");
+                }
+                x
+            })
+        }));
+        assert!(r.is_err());
+    }
+}

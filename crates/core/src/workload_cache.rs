@@ -1,0 +1,479 @@
+//! Instrumented-workload cache for the experiment drivers.
+//!
+//! Regenerating every figure used to rebuild each suite graph and re-run
+//! each instrumentation pass once *per figure*; with this module, a
+//! process instruments each distinct (graph, scale, ordering, locality
+//! windows[, kernel knob]) combination exactly once, no matter how many
+//! figures — or parallel sweep jobs — ask for it.
+//!
+//! Two layers:
+//!
+//! - **In-memory** (always on): process-global maps from key to
+//!   `Arc`-shared graph or workload. Entries are built inside a per-key
+//!   `OnceLock`, so concurrent sweep jobs that race on the same key block
+//!   on one build instead of duplicating it, while distinct keys build in
+//!   parallel.
+//! - **On-disk** (opt-in): when `MIC_SUITE_CACHE` is set, workload arrays
+//!   are persisted as `wl1-*.bin` files next to the binary-CSR graph
+//!   cache, so *separate* full-scale runs skip instrumentation too.
+//!   Corrupt or truncated files are ignored and rewritten. The `wl1`
+//!   prefix is the format version: bump it when instrumentation changes
+//!   meaning, or delete the cache directory to invalidate by hand.
+
+use mic_bfs::instrument::{instrument as bfs_instrument, BfsWorkload, SimVariant};
+use mic_bfs::seq::table1_source;
+use mic_coloring::instrument::{instrument as coloring_instrument, ColoringWorkload};
+use mic_graph::ordering::{apply, Ordering};
+use mic_graph::stats::LocalityWindows;
+use mic_graph::suite::{build, build_cached, PaperGraph, Scale};
+use mic_graph::Csr;
+use mic_irregular::instrument::{instrument as irregular_instrument, IrregularWorkload};
+use mic_sim::Work;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Vertex ordering applied to a suite graph before instrumentation — the
+/// hashable subset of [`Ordering`] the experiments use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OrderTag {
+    Natural,
+    Random { seed: u64 },
+    CuthillMcKee { source: u32 },
+}
+
+impl OrderTag {
+    fn ordering(self) -> Option<Ordering> {
+        match self {
+            OrderTag::Natural => None,
+            OrderTag::Random { seed } => Some(Ordering::Random { seed }),
+            OrderTag::CuthillMcKee { source } => Some(Ordering::CuthillMcKee { source }),
+        }
+    }
+
+    /// Stable, filename-safe code for the on-disk cache.
+    fn file_code(self) -> String {
+        match self {
+            OrderTag::Natural => "nat".into(),
+            OrderTag::Random { seed } => format!("rnd{seed:x}"),
+            OrderTag::CuthillMcKee { source } => format!("cm{source}"),
+        }
+    }
+}
+
+fn scale_code(scale: Scale) -> String {
+    match scale {
+        Scale::Full => "full".into(),
+        Scale::Fraction(k) => format!("f{k}"),
+        Scale::Vertices(n) => format!("v{n}"),
+    }
+}
+
+fn variant_code(v: SimVariant) -> String {
+    match v {
+        SimVariant::Block { block, relaxed } => {
+            format!("blk{block}{}", if relaxed { "r" } else { "l" })
+        }
+        SimVariant::Bag { grain } => format!("bag{grain}"),
+        SimVariant::Tls => "tls".into(),
+    }
+}
+
+/// Locality windows as a hashable key.
+type WinKey = (usize, usize);
+
+fn win_key(w: LocalityWindows) -> WinKey {
+    (w.l1_gap, w.l2_gap)
+}
+
+/// A process-global key→value cache where each entry is built exactly
+/// once. The map lock is held only to look up the entry's cell; the build
+/// itself runs under the cell's `OnceLock`, so different keys build
+/// concurrently while same-key racers share one build.
+struct Cache<K, V>(OnceLock<Mutex<HashMap<K, Arc<OnceLock<V>>>>>);
+
+impl<K: Eq + Hash, V: Clone> Cache<K, V> {
+    const fn new() -> Self {
+        Cache(OnceLock::new())
+    }
+
+    fn get_or_build(&self, key: K, build: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut map = self
+                .0
+                .get_or_init(|| Mutex::new(HashMap::new()))
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key).or_default())
+        };
+        cell.get_or_init(build).clone()
+    }
+}
+
+type GraphKey = (PaperGraph, Scale, OrderTag);
+static GRAPHS: Cache<GraphKey, Arc<Csr>> = Cache::new();
+
+type ColoringKey = (PaperGraph, Scale, OrderTag, WinKey);
+static COLORING: Cache<ColoringKey, Arc<ColoringWorkload>> = Cache::new();
+
+type IrregularKey = (PaperGraph, Scale, OrderTag, WinKey, usize);
+static IRREGULAR: Cache<IrregularKey, Arc<IrregularWorkload>> = Cache::new();
+
+type BfsKey = (PaperGraph, Scale, OrderTag, WinKey, SimVariant);
+static BFS: Cache<BfsKey, Arc<BfsWorkload>> = Cache::new();
+
+/// One suite graph at `scale` under `order`, built (or read from the
+/// `MIC_SUITE_CACHE` CSR cache) once per process. Ordered variants are
+/// derived from the cached natural graph.
+pub fn graph(pg: PaperGraph, scale: Scale, order: OrderTag) -> Arc<Csr> {
+    GRAPHS.get_or_build((pg, scale, order), || match order.ordering() {
+        None => Arc::new(match std::env::var_os("MIC_SUITE_CACHE") {
+            Some(dir) => build_cached(pg, scale, dir),
+            None => build(pg, scale),
+        }),
+        Some(o) => {
+            let base = graph(pg, scale, OrderTag::Natural);
+            Arc::new(apply(&base, o).0)
+        }
+    })
+}
+
+/// The full seven-graph suite at `scale`, Table I order, naturally
+/// ordered, shared from the cache.
+pub fn suite(scale: Scale) -> Vec<(PaperGraph, Arc<Csr>)> {
+    PaperGraph::all()
+        .into_iter()
+        .map(|g| (g, graph(g, scale, OrderTag::Natural)))
+        .collect()
+}
+
+/// The coloring workload of a suite graph (Figures 1–2, ablations).
+pub fn coloring(
+    pg: PaperGraph,
+    scale: Scale,
+    order: OrderTag,
+    windows: LocalityWindows,
+) -> Arc<ColoringWorkload> {
+    COLORING.get_or_build((pg, scale, order, win_key(windows)), || {
+        let file = disk_path("coloring", pg, scale, order, windows, "");
+        if let Some((_, arrays)) = file.as_deref().and_then(|p| load_arrays(p, 4, 0)) {
+            let mut it = arrays.into_iter();
+            return Arc::new(ColoringWorkload {
+                tentative: it.next().unwrap(),
+                detect: it.next().unwrap(),
+                conflict_tentative: it.next().unwrap(),
+                conflict_detect: it.next().unwrap(),
+            });
+        }
+        let g = graph(pg, scale, order);
+        let w = Arc::new(coloring_instrument(&g, windows));
+        if let Some(p) = file {
+            store_arrays(
+                &p,
+                &[],
+                &[
+                    &w.tentative,
+                    &w.detect,
+                    &w.conflict_tentative,
+                    &w.conflict_detect,
+                ],
+            );
+        }
+        w
+    })
+}
+
+/// The irregular-microbenchmark workload at `iter` repetitions (Figure 3,
+/// placement ablation).
+pub fn irregular(
+    pg: PaperGraph,
+    scale: Scale,
+    order: OrderTag,
+    windows: LocalityWindows,
+    iter: usize,
+) -> Arc<IrregularWorkload> {
+    IRREGULAR.get_or_build((pg, scale, order, win_key(windows), iter), || {
+        let file = disk_path("irregular", pg, scale, order, windows, &format!("-i{iter}"));
+        if let Some((meta, arrays)) = file.as_deref().and_then(|p| load_arrays(p, 1, 1)) {
+            if meta[0] as usize == iter {
+                return Arc::new(IrregularWorkload {
+                    iter_work: arrays.into_iter().next().unwrap(),
+                    iter,
+                });
+            }
+        }
+        let g = graph(pg, scale, order);
+        let w = Arc::new(irregular_instrument(&g, windows, iter));
+        if let Some(p) = file {
+            store_arrays(&p, &[iter as u64], &[&w.iter_work]);
+        }
+        w
+    })
+}
+
+/// The BFS workload of a suite graph under `variant`, from the paper's
+/// Table-1 source (Figure 4, queue ablations).
+pub fn bfs(
+    pg: PaperGraph,
+    scale: Scale,
+    order: OrderTag,
+    windows: LocalityWindows,
+    variant: SimVariant,
+) -> Arc<BfsWorkload> {
+    BFS.get_or_build((pg, scale, order, win_key(windows), variant), || {
+        let file = disk_path(
+            "bfs",
+            pg,
+            scale,
+            order,
+            windows,
+            &format!("-{}", variant_code(variant)),
+        );
+        // Level count is data-dependent: 0 means "any".
+        if let Some((meta, arrays)) = file.as_deref().and_then(|p| load_arrays(p, 0, 0)) {
+            if meta.len() == arrays.len() {
+                return Arc::new(BfsWorkload {
+                    level_work: arrays,
+                    widths: meta.into_iter().map(|w| w as usize).collect(),
+                });
+            }
+        }
+        let g = graph(pg, scale, order);
+        let w = Arc::new(bfs_instrument(&g, table1_source(&g), windows, variant));
+        if let Some(p) = file {
+            let meta: Vec<u64> = w.widths.iter().map(|&x| x as u64).collect();
+            let arrays: Vec<&[Work]> = w.level_work.iter().map(|a| a.as_slice()).collect();
+            store_arrays(&p, &meta, &arrays);
+        }
+        w
+    })
+}
+
+// ---------------------------------------------------------------------------
+// On-disk workload files: `wl1-<kind>-<graph>-<scale>-<order>-<l1>-<l2><extra>.bin`
+// next to the binary-CSR cache. Layout (all little-endian):
+//
+//   magic  b"MICWL1\0\0"
+//   u64    number of meta words          u64    number of arrays
+//   meta   u64 × n_meta
+//   per array: u64 length, then length × 6 f64 (issue,l1,l2,dram,flops,atomics)
+// ---------------------------------------------------------------------------
+
+const MAGIC: &[u8; 8] = b"MICWL1\0\0";
+
+fn disk_path(
+    kind: &str,
+    pg: PaperGraph,
+    scale: Scale,
+    order: OrderTag,
+    windows: LocalityWindows,
+    extra: &str,
+) -> Option<PathBuf> {
+    let dir = std::env::var_os("MIC_SUITE_CACHE")?;
+    Some(PathBuf::from(dir).join(format!(
+        "wl1-{kind}-{}-{}-{}-{}-{}{extra}.bin",
+        pg.name(),
+        scale_code(scale),
+        order.file_code(),
+        windows.l1_gap,
+        windows.l2_gap,
+    )))
+}
+
+/// Best-effort write; failure just means no cache hit next run.
+fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
+    let write = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(meta.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(arrays.len() as u64).to_le_bytes());
+        for m in meta {
+            buf.extend_from_slice(&m.to_le_bytes());
+        }
+        for arr in arrays {
+            buf.extend_from_slice(&(arr.len() as u64).to_le_bytes());
+            for w in arr.iter() {
+                for v in [w.issue, w.l1, w.l2, w.dram, w.flops, w.atomics] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        // Write-then-rename so a crashed run never leaves a torn file
+        // under the final name.
+        let tmp = path.with_extension("bin.tmp");
+        std::fs::File::create(&tmp)?.write_all(&buf)?;
+        std::fs::rename(&tmp, path)
+    };
+    let _ = write();
+}
+
+/// Meta words + work arrays, as stored in one workload file.
+type StoredArrays = (Vec<u64>, Vec<Arc<Vec<Work>>>);
+
+/// Read a workload file; `None` on any structural problem (missing,
+/// truncated, wrong counts, non-finite values). `expect_arrays` /
+/// `expect_meta` of 0 accept any count.
+fn load_arrays(path: &Path, expect_arrays: usize, expect_meta: usize) -> Option<StoredArrays> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .ok()?
+        .read_to_end(&mut bytes)
+        .ok()?;
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = bytes.get(*off..*off + n)?;
+        *off += n;
+        Some(s)
+    };
+    if take(&mut off, 8)? != MAGIC {
+        return None;
+    }
+    let read_u64 = |off: &mut usize| -> Option<u64> {
+        Some(u64::from_le_bytes(take(off, 8)?.try_into().ok()?))
+    };
+    let n_meta = read_u64(&mut off)? as usize;
+    let n_arrays = read_u64(&mut off)? as usize;
+    if (expect_meta != 0 && n_meta != expect_meta)
+        || (expect_arrays != 0 && n_arrays != expect_arrays)
+        || n_meta > bytes.len()
+        || n_arrays > bytes.len()
+    {
+        return None;
+    }
+    let mut meta = Vec::with_capacity(n_meta);
+    for _ in 0..n_meta {
+        meta.push(read_u64(&mut off)?);
+    }
+    let mut arrays = Vec::with_capacity(n_arrays);
+    for _ in 0..n_arrays {
+        let len = read_u64(&mut off)? as usize;
+        if len.checked_mul(48).is_none_or(|b| off + b > bytes.len()) {
+            return None;
+        }
+        let mut arr = Vec::with_capacity(len);
+        for _ in 0..len {
+            let mut f = [0.0f64; 6];
+            for v in f.iter_mut() {
+                *v = f64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?);
+            }
+            let w = Work {
+                issue: f[0],
+                l1: f[1],
+                l2: f[2],
+                dram: f[3],
+                flops: f[4],
+                atomics: f[5],
+            };
+            if !w.is_valid() {
+                return None;
+            }
+            arr.push(w);
+        }
+        arrays.push(Arc::new(arr));
+    }
+    if off != bytes.len() {
+        return None;
+    }
+    Some((meta, arrays))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_cache_shares_one_build() {
+        let a = graph(PaperGraph::Hood, Scale::Vertices(500), OrderTag::Natural);
+        let b = graph(PaperGraph::Hood, Scale::Vertices(500), OrderTag::Natural);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one graph");
+        let c = graph(
+            PaperGraph::Hood,
+            Scale::Vertices(500),
+            OrderTag::Random { seed: 9 },
+        );
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.num_vertices(), c.num_vertices());
+    }
+
+    #[test]
+    fn coloring_cache_is_keyed_by_all_inputs() {
+        let scale = Scale::Vertices(400);
+        let w1 = coloring(
+            PaperGraph::Pwtk,
+            scale,
+            OrderTag::Natural,
+            LocalityWindows::default(),
+        );
+        let w2 = coloring(
+            PaperGraph::Pwtk,
+            scale,
+            OrderTag::Natural,
+            LocalityWindows::default(),
+        );
+        assert!(Arc::ptr_eq(&w1, &w2));
+        let other = LocalityWindows {
+            l1_gap: 64,
+            l2_gap: 4096,
+        };
+        let w3 = coloring(PaperGraph::Pwtk, scale, OrderTag::Natural, other);
+        assert!(!Arc::ptr_eq(&w1, &w3), "different windows must not share");
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let key_scale = Scale::Vertices(600);
+        let results = crate::sweep::map_with(8, &[(); 16], |_, _| {
+            coloring(
+                PaperGraph::Ldoor,
+                key_scale,
+                OrderTag::Natural,
+                LocalityWindows::default(),
+            )
+        });
+        for w in &results {
+            assert!(
+                Arc::ptr_eq(w, &results[0]),
+                "racing builders must converge on one value"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_roundtrip_preserves_arrays_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("micwl-test-{}", std::process::id()));
+        let path = dir.join("wl1-selftest.bin");
+        let a: Vec<Work> = (0..10)
+            .map(|i| Work {
+                issue: i as f64,
+                dram: 0.5 * i as f64,
+                ..Default::default()
+            })
+            .collect();
+        let b: Vec<Work> = vec![
+            Work {
+                flops: 3.0,
+                ..Default::default()
+            };
+            3
+        ];
+        store_arrays(&path, &[7, 9], &[&a, &b]);
+        let (meta, arrays) = load_arrays(&path, 2, 2).expect("roundtrip");
+        assert_eq!(meta, vec![7, 9]);
+        assert_eq!(arrays.len(), 2);
+        assert_eq!(arrays[0].len(), 10);
+        assert_eq!(arrays[0][4], a[4]);
+        assert_eq!(arrays[1].len(), 3);
+        // Wrong expected shape → None.
+        assert!(load_arrays(&path, 3, 2).is_none());
+        // Truncation → None.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(load_arrays(&path, 2, 2).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,7 +25,10 @@ impl GraphBuilder {
     /// A builder for a graph on `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
         assert!(n <= VertexId::MAX as usize, "too many vertices for u32 ids");
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-allocate space for `m` edges.
@@ -52,7 +55,10 @@ impl GraphBuilder {
     /// Panics if `u` or `v` is out of range.
     #[inline]
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex id out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "vertex id out of range"
+        );
         if u != v {
             self.edges.push((u, v));
         }

@@ -31,8 +31,15 @@ impl Csr {
     pub fn from_parts(xadj: Vec<usize>, adj: Vec<VertexId>) -> Self {
         assert!(!xadj.is_empty(), "xadj must have length n + 1 >= 1");
         assert_eq!(xadj[0], 0, "xadj must start at 0");
-        assert_eq!(*xadj.last().unwrap(), adj.len(), "xadj must end at adj.len()");
-        assert!(xadj.windows(2).all(|w| w[0] <= w[1]), "xadj must be non-decreasing");
+        assert_eq!(
+            *xadj.last().unwrap(),
+            adj.len(),
+            "xadj must end at adj.len()"
+        );
+        assert!(
+            xadj.windows(2).all(|w| w[0] <= w[1]),
+            "xadj must be non-decreasing"
+        );
         let n = xadj.len() - 1;
         assert!(n <= VertexId::MAX as usize, "too many vertices for u32 ids");
         let g = Csr { xadj, adj };
@@ -176,13 +183,21 @@ impl Csr {
 
     /// Graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Csr {
-        Csr { xadj: vec![0; n + 1], adj: Vec::new() }
+        Csr {
+            xadj: vec![0; n + 1],
+            adj: Vec::new(),
+        }
     }
 }
 
 impl std::fmt::Debug for Csr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Csr {{ |V| = {}, |E| = {} }}", self.num_vertices(), self.num_edges())
+        write!(
+            f,
+            "Csr {{ |V| = {}, |E| = {} }}",
+            self.num_vertices(),
+            self.num_edges()
+        )
     }
 }
 
@@ -277,13 +292,19 @@ mod tests {
     #[test]
     fn invariant_check_catches_asymmetry() {
         // 0 lists 1 but 1 does not list 0.
-        let g = Csr { xadj: vec![0, 1, 1], adj: vec![1] };
+        let g = Csr {
+            xadj: vec![0, 1, 1],
+            adj: vec![1],
+        };
         assert!(!g.check_invariants());
     }
 
     #[test]
     fn invariant_check_catches_self_loop() {
-        let g = Csr { xadj: vec![0, 1], adj: vec![0] };
+        let g = Csr {
+            xadj: vec![0, 1],
+            adj: vec![0],
+        };
         assert!(!g.check_invariants());
     }
 }

@@ -54,7 +54,11 @@ mod tests {
     fn hubs_raise_max_degree() {
         let g = grid2d(40, 40, Stencil2::FivePoint);
         let h = add_random_hubs(&g, 2, 100, 400, 13);
-        assert!(h.max_degree() >= 80, "max degree {} too small", h.max_degree());
+        assert!(
+            h.max_degree() >= 80,
+            "max degree {} too small",
+            h.max_degree()
+        );
         assert_eq!(h.num_vertices(), g.num_vertices());
         assert!(h.num_edges() > g.num_edges());
         assert!(h.check_invariants());

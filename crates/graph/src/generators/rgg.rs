@@ -74,7 +74,8 @@ pub fn rgg3d(n: usize, bounds: Box3, radius: f64, seed: u64) -> Csr {
     pts.sort_unstable_by(|a, b| {
         let ca = cell_of(a);
         let cb = cell_of(b);
-        ca.cmp(&cb).then(a[0].partial_cmp(&b[0]).unwrap_or(std::cmp::Ordering::Equal))
+        ca.cmp(&cb)
+            .then(a[0].partial_cmp(&b[0]).unwrap_or(std::cmp::Ordering::Equal))
     });
 
     // Bucket points into cells (counting sort over flattened cell index).
@@ -118,7 +119,8 @@ pub fn rgg3d(n: usize, bounds: Box3, radius: f64, seed: u64) -> Csr {
                             continue;
                         }
                         let q = pts[j];
-                        let d2 = (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
+                        let d2 =
+                            (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2);
                         if d2 <= r2 {
                             b.add_edge(i as VertexId, j as VertexId);
                         }

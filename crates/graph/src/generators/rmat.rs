@@ -18,7 +18,12 @@ pub struct RmatProbs {
 impl RmatProbs {
     /// Graph 500 defaults (a, b, c, d) = (0.57, 0.19, 0.19, 0.05).
     pub fn graph500() -> Self {
-        RmatProbs { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        RmatProbs {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 
     fn validate(&self) {
@@ -27,7 +32,10 @@ impl RmatProbs {
             self.a > 0.0 && self.b > 0.0 && self.c > 0.0 && self.d > 0.0,
             "RMAT probabilities must be positive"
         );
-        assert!((s - 1.0).abs() < 1e-6, "RMAT probabilities must sum to 1, got {s}");
+        assert!(
+            (s - 1.0).abs() < 1e-6,
+            "RMAT probabilities must sum to 1, got {s}"
+        );
     }
 }
 
@@ -87,6 +95,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_probs() {
-        let _ = rmat(4, 2, RmatProbs { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, 0);
+        let _ = rmat(
+            4,
+            2,
+            RmatProbs {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            0,
+        );
     }
 }

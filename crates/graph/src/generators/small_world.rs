@@ -96,8 +96,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(watts_strogatz(200, 2, 0.3, 9), watts_strogatz(200, 2, 0.3, 9));
-        assert_ne!(watts_strogatz(200, 2, 0.3, 9), watts_strogatz(200, 2, 0.3, 10));
+        assert_eq!(
+            watts_strogatz(200, 2, 0.3, 9),
+            watts_strogatz(200, 2, 0.3, 9)
+        );
+        assert_ne!(
+            watts_strogatz(200, 2, 0.3, 9),
+            watts_strogatz(200, 2, 0.3, 10)
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl From<std::io::Error> for IoError {
 }
 
 fn parse_err(line: usize, msg: impl Into<String>) -> IoError {
-    IoError::Parse { line, msg: msg.into() }
+    IoError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Read a Matrix Market file as an undirected graph.
@@ -80,11 +83,20 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, IoError> {
     if parts.len() != 3 {
         return Err(parse_err(lineno, "size line must have 3 fields"));
     }
-    let rows: usize = parts[0].parse().map_err(|_| parse_err(lineno, "bad row count"))?;
-    let cols: usize = parts[1].parse().map_err(|_| parse_err(lineno, "bad col count"))?;
-    let nnz: usize = parts[2].parse().map_err(|_| parse_err(lineno, "bad nnz count"))?;
+    let rows: usize = parts[0]
+        .parse()
+        .map_err(|_| parse_err(lineno, "bad row count"))?;
+    let cols: usize = parts[1]
+        .parse()
+        .map_err(|_| parse_err(lineno, "bad col count"))?;
+    let nnz: usize = parts[2]
+        .parse()
+        .map_err(|_| parse_err(lineno, "bad nnz count"))?;
     if rows != cols {
-        return Err(parse_err(lineno, format!("matrix must be square, got {rows}x{cols}")));
+        return Err(parse_err(
+            lineno,
+            format!("matrix must be square, got {rows}x{cols}"),
+        ));
     }
 
     let mut b = GraphBuilder::with_capacity(rows, nnz);
@@ -105,7 +117,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, IoError> {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| parse_err(i + 1, "bad col index"))?;
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(parse_err(i + 1, "index out of range (Matrix Market is 1-based)"));
+            return Err(parse_err(
+                i + 1,
+                "index out of range (Matrix Market is 1-based)",
+            ));
         }
         if r != c {
             b.add_edge((r - 1) as VertexId, (c - 1) as VertexId);
@@ -116,7 +131,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Csr, IoError> {
         }
     }
     if read != nnz {
-        return Err(parse_err(0, format!("declared {nnz} entries but found {read}")));
+        return Err(parse_err(
+            0,
+            format!("declared {nnz} entries but found {read}"),
+        ));
     }
     Ok(b.build())
 }
@@ -130,7 +148,13 @@ pub fn read_matrix_market_path(path: impl AsRef<Path>) -> Result<Csr, IoError> {
 pub fn write_matrix_market<W: Write>(g: &Csr, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
     writeln!(w, "%%MatrixMarket matrix coordinate pattern symmetric")?;
-    writeln!(w, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "{} {} {}",
+        g.num_vertices(),
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         // Lower triangle, 1-based: row > col.
         writeln!(w, "{} {}", v + 1, u + 1)?;
@@ -256,7 +280,10 @@ pub fn read_csr_bin<R: Read>(reader: R) -> Result<Csr, IoError> {
     // so a truncated or hostile file fails at EOF instead of in the
     // allocator.
     if n64 > u32::MAX as u64 || m64 > u32::MAX as u64 {
-        return Err(parse_err(0, "corrupt CSR: implausible vertex or edge count"));
+        return Err(parse_err(
+            0,
+            "corrupt CSR: implausible vertex or edge count",
+        ));
     }
     let (n, m2) = (n64 as usize, m64 as usize);
     const PRE_RESERVE_CAP: usize = 1 << 22;
@@ -265,12 +292,18 @@ pub fn read_csr_bin<R: Read>(reader: R) -> Result<Csr, IoError> {
         r.read_exact(&mut u64buf)?;
         let x = u64::from_le_bytes(u64buf);
         if x > m64 {
-            return Err(parse_err(0, format!("corrupt CSR: offset {i} beyond adjacency")));
+            return Err(parse_err(
+                0,
+                format!("corrupt CSR: offset {i} beyond adjacency"),
+            ));
         }
         xadj.push(x as usize);
     }
     if xadj[0] != 0 || xadj.last().copied() != Some(m2) || xadj.windows(2).any(|w| w[0] > w[1]) {
-        return Err(parse_err(0, "corrupt CSR: offsets are not a valid prefix array"));
+        return Err(parse_err(
+            0,
+            "corrupt CSR: offsets are not a valid prefix array",
+        ));
     }
     let mut adj = Vec::with_capacity(m2.min(PRE_RESERVE_CAP));
     let mut u32buf = [0u8; 4];

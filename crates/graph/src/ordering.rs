@@ -86,7 +86,12 @@ fn cuthill_mckee(g: &Csr, source: VertexId) -> Vec<VertexId> {
         queue.push_back(seed);
         while let Some(v) = queue.pop_front() {
             nbrs.clear();
-            nbrs.extend(g.neighbors(v).iter().copied().filter(|&w| perm[w as usize] == VertexId::MAX));
+            nbrs.extend(
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| perm[w as usize] == VertexId::MAX),
+            );
             nbrs.sort_by_key(|&w| g.degree(w));
             for &w in &nbrs {
                 if perm[w as usize] == VertexId::MAX {
@@ -146,7 +151,10 @@ mod tests {
         let natural_bw: usize = g.edges().map(|(u, v)| (v - u) as usize).sum();
         let (h, _) = apply(&g, Ordering::Random { seed: 9 });
         let shuffled_bw: usize = h.edges().map(|(u, v)| (v - u) as usize).sum();
-        assert!(shuffled_bw > 10 * natural_bw, "shuffle should blow up id gaps");
+        assert!(
+            shuffled_bw > 10 * natural_bw,
+            "shuffle should blow up id gaps"
+        );
     }
 
     #[test]
@@ -154,7 +162,9 @@ mod tests {
         let g = grid2d(30, 30, Stencil2::FivePoint);
         let (shuffled, _) = apply(&g, Ordering::Random { seed: 3 });
         let (rcm, _) = apply(&shuffled, Ordering::CuthillMcKee { source: 0 });
-        let bw = |g: &crate::Csr| -> usize { g.edges().map(|(u, v)| (v - u) as usize).max().unwrap_or(0) };
+        let bw = |g: &crate::Csr| -> usize {
+            g.edges().map(|(u, v)| (v - u) as usize).max().unwrap_or(0)
+        };
         assert!(bw(&rcm) < bw(&shuffled) / 4, "CM should shrink bandwidth");
     }
 

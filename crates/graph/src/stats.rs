@@ -22,12 +22,20 @@ pub struct LocalityProfile {
 impl LocalityProfile {
     /// All-DRAM profile (worst case).
     pub fn worst() -> Self {
-        LocalityProfile { l1: 0.0, l2: 0.0, dram: 1.0 }
+        LocalityProfile {
+            l1: 0.0,
+            l2: 0.0,
+            dram: 1.0,
+        }
     }
 
     /// All-L1 profile (best case).
     pub fn best() -> Self {
-        LocalityProfile { l1: 1.0, l2: 0.0, dram: 0.0 }
+        LocalityProfile {
+            l1: 1.0,
+            l2: 0.0,
+            dram: 0.0,
+        }
     }
 
     /// Check the fractions form a distribution.
@@ -53,7 +61,10 @@ pub struct LocalityWindows {
 
 impl Default for LocalityWindows {
     fn default() -> Self {
-        LocalityWindows { l1_gap: 256, l2_gap: 64 * 1024 }
+        LocalityWindows {
+            l1_gap: 256,
+            l2_gap: 64 * 1024,
+        }
     }
 }
 
@@ -129,7 +140,11 @@ pub fn stats_with_windows(g: &Csr, w: LocalityWindows) -> GraphStats {
         num_edges: g.num_edges(),
         max_degree: g.max_degree(),
         avg_degree: g.avg_degree(),
-        mean_gap: if total == 0 { 0.0 } else { gap_sum as f64 / total as f64 },
+        mean_gap: if total == 0 {
+            0.0
+        } else {
+            gap_sum as f64 / total as f64
+        },
         bandwidth,
         locality,
         components: connected_components(g),
@@ -202,9 +217,21 @@ mod tests {
         // With the tight L1 window, the row-major grid's horizontal
         // neighbors stay L1 but vertical ones (gap 600) land in L2; none
         // should reach DRAM.
-        assert!(nat.locality.dram < 0.01, "natural grid should avoid DRAM, got {:?}", nat.locality);
-        assert!(nat.locality.l1 > 0.4, "horizontal neighbors should be L1, got {:?}", nat.locality);
-        assert!(shuf.locality.dram > 0.5, "shuffled grid should be DRAM-bound, got {:?}", shuf.locality);
+        assert!(
+            nat.locality.dram < 0.01,
+            "natural grid should avoid DRAM, got {:?}",
+            nat.locality
+        );
+        assert!(
+            nat.locality.l1 > 0.4,
+            "horizontal neighbors should be L1, got {:?}",
+            nat.locality
+        );
+        assert!(
+            shuf.locality.dram > 0.5,
+            "shuffled grid should be DRAM-bound, got {:?}",
+            shuf.locality
+        );
         assert!(shuf.mean_gap > 50.0 * nat.mean_gap);
     }
 

@@ -13,7 +13,11 @@ pub fn induced(g: &Csr, keep: &[VertexId]) -> (Csr, Vec<VertexId>) {
     let mut new_id = vec![VertexId::MAX; n];
     for (new, &old) in keep.iter().enumerate() {
         assert!((old as usize) < n, "vertex id out of range");
-        assert_eq!(new_id[old as usize], VertexId::MAX, "duplicate vertex in keep list");
+        assert_eq!(
+            new_id[old as usize],
+            VertexId::MAX,
+            "duplicate vertex in keep list"
+        );
         new_id[old as usize] = new as VertexId;
     }
     let mut b = GraphBuilder::new(keep.len());
@@ -63,8 +67,9 @@ pub fn largest_component(g: &Csr) -> (Csr, Vec<VertexId>) {
         .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
         .map(|(i, _)| i)
         .unwrap();
-    let keep: Vec<VertexId> =
-        (0..n as VertexId).filter(|&v| label[v as usize] == best).collect();
+    let keep: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| label[v as usize] == best)
+        .collect();
     induced(g, &keep)
 }
 

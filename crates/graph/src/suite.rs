@@ -62,24 +62,77 @@ pub struct PaperRow {
 
 /// Table I of the paper, verbatim.
 pub const PAPER_TABLE1: [PaperRow; 7] = [
-    PaperRow { graph: PaperGraph::Auto, vertices: 448_695, edges: 3_314_611, max_degree: 37, colors: 13, levels: 58 },
-    PaperRow { graph: PaperGraph::Bmw32, vertices: 227_362, edges: 5_530_634, max_degree: 335, colors: 48, levels: 86 },
-    PaperRow { graph: PaperGraph::Hood, vertices: 220_542, edges: 4_837_440, max_degree: 76, colors: 40, levels: 116 },
-    PaperRow { graph: PaperGraph::Inline1, vertices: 503_712, edges: 18_156_315, max_degree: 842, colors: 51, levels: 183 },
-    PaperRow { graph: PaperGraph::Ldoor, vertices: 952_203, edges: 20_770_807, max_degree: 76, colors: 42, levels: 169 },
-    PaperRow { graph: PaperGraph::Msdoor, vertices: 415_863, edges: 9_378_650, max_degree: 76, colors: 42, levels: 99 },
-    PaperRow { graph: PaperGraph::Pwtk, vertices: 217_918, edges: 5_653_257, max_degree: 179, colors: 48, levels: 267 },
+    PaperRow {
+        graph: PaperGraph::Auto,
+        vertices: 448_695,
+        edges: 3_314_611,
+        max_degree: 37,
+        colors: 13,
+        levels: 58,
+    },
+    PaperRow {
+        graph: PaperGraph::Bmw32,
+        vertices: 227_362,
+        edges: 5_530_634,
+        max_degree: 335,
+        colors: 48,
+        levels: 86,
+    },
+    PaperRow {
+        graph: PaperGraph::Hood,
+        vertices: 220_542,
+        edges: 4_837_440,
+        max_degree: 76,
+        colors: 40,
+        levels: 116,
+    },
+    PaperRow {
+        graph: PaperGraph::Inline1,
+        vertices: 503_712,
+        edges: 18_156_315,
+        max_degree: 842,
+        colors: 51,
+        levels: 183,
+    },
+    PaperRow {
+        graph: PaperGraph::Ldoor,
+        vertices: 952_203,
+        edges: 20_770_807,
+        max_degree: 76,
+        colors: 42,
+        levels: 169,
+    },
+    PaperRow {
+        graph: PaperGraph::Msdoor,
+        vertices: 415_863,
+        edges: 9_378_650,
+        max_degree: 76,
+        colors: 42,
+        levels: 99,
+    },
+    PaperRow {
+        graph: PaperGraph::Pwtk,
+        vertices: 217_918,
+        edges: 5_653_257,
+        max_degree: 179,
+        colors: 48,
+        levels: 267,
+    },
 ];
 
 /// The Table I row for a graph.
 pub fn paper_row(g: PaperGraph) -> PaperRow {
-    PAPER_TABLE1.iter().copied().find(|r| r.graph == g).expect("graph present in table")
+    PAPER_TABLE1
+        .iter()
+        .copied()
+        .find(|r| r.graph == g)
+        .expect("graph present in table")
 }
 
 /// Size knob: figure-regeneration runs use [`Scale::Full`]; tests and smoke
 /// runs use a fraction (the geometry — box aspect and average degree — is
 /// preserved, so the *shape* of every curve survives scaling).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Paper-size vertex counts.
     Full,
@@ -115,13 +168,48 @@ struct Recipe {
 
 fn recipe(g: PaperGraph) -> Recipe {
     match g {
-        PaperGraph::Auto => Recipe { hubs: None, level_fudge: 0.52, deg_fudge: 1.027, seed: 0xA070 },
-        PaperGraph::Bmw32 => Recipe { hubs: Some((6, 300, 4_000)), level_fudge: 0.96, deg_fudge: 1.073, seed: 0xB3B2 },
-        PaperGraph::Hood => Recipe { hubs: None, level_fudge: 0.92, deg_fudge: 1.083, seed: 0x400D },
-        PaperGraph::Inline1 => Recipe { hubs: Some((4, 800, 8_000)), level_fudge: 1.04, deg_fudge: 1.087, seed: 0x171E },
-        PaperGraph::Ldoor => Recipe { hubs: None, level_fudge: 0.93, deg_fudge: 1.047, seed: 0x1D00 },
-        PaperGraph::Msdoor => Recipe { hubs: None, level_fudge: 0.91, deg_fudge: 1.056, seed: 0x3D00 },
-        PaperGraph::Pwtk => Recipe { hubs: Some((4, 120, 3_000)), level_fudge: 1.03, deg_fudge: 1.141, seed: 0x991C },
+        PaperGraph::Auto => Recipe {
+            hubs: None,
+            level_fudge: 0.52,
+            deg_fudge: 1.027,
+            seed: 0xA070,
+        },
+        PaperGraph::Bmw32 => Recipe {
+            hubs: Some((6, 300, 4_000)),
+            level_fudge: 0.96,
+            deg_fudge: 1.073,
+            seed: 0xB3B2,
+        },
+        PaperGraph::Hood => Recipe {
+            hubs: None,
+            level_fudge: 0.92,
+            deg_fudge: 1.083,
+            seed: 0x400D,
+        },
+        PaperGraph::Inline1 => Recipe {
+            hubs: Some((4, 800, 8_000)),
+            level_fudge: 1.04,
+            deg_fudge: 1.087,
+            seed: 0x171E,
+        },
+        PaperGraph::Ldoor => Recipe {
+            hubs: None,
+            level_fudge: 0.93,
+            deg_fudge: 1.047,
+            seed: 0x1D00,
+        },
+        PaperGraph::Msdoor => Recipe {
+            hubs: None,
+            level_fudge: 0.91,
+            deg_fudge: 1.056,
+            seed: 0x3D00,
+        },
+        PaperGraph::Pwtk => Recipe {
+            hubs: Some((4, 120, 3_000)),
+            level_fudge: 1.03,
+            deg_fudge: 1.141,
+            seed: 0x991C,
+        },
     }
 }
 
@@ -131,7 +219,8 @@ fn recipe(g: PaperGraph) -> Recipe {
 /// through the constant-degree constraint, so we fixed-point iterate.
 fn solve_aspect(n: usize, avg_degree: f64, levels: usize, fudge: f64) -> f64 {
     // r(A) = cbrt(3 A d / (4 π (n-1)))
-    let r = |a: f64| (3.0 * a * avg_degree / (4.0 * std::f64::consts::PI * (n as f64 - 1.0))).cbrt();
+    let r =
+        |a: f64| (3.0 * a * avg_degree / (4.0 * std::f64::consts::PI * (n as f64 - 1.0))).cbrt();
     // Empirically a BFS level advances ~0.93 r in a dense RGG.
     let kappa = 0.93 * fudge;
     let mut a = 10.0;
@@ -151,8 +240,9 @@ pub fn build(g: PaperGraph, scale: Scale) -> Csr {
     let rec = recipe(g);
     // Scale the level target with n^(1/3) so smaller instances keep the
     // same geometry (similar box, more coarsely sampled).
-    let level_target =
-        ((row.levels as f64) * (n as f64 / row.vertices as f64).cbrt()).round().max(3.0) as usize;
+    let level_target = ((row.levels as f64) * (n as f64 / row.vertices as f64).cbrt())
+        .round()
+        .max(3.0) as usize;
     let aspect = solve_aspect(n, d, level_target, rec.level_fudge);
     let base = rgg3d_with_avg_degree(n, Box3::new(aspect, 1.0, 1.0), d * rec.deg_fudge, rec.seed);
     match rec.hubs {
@@ -170,7 +260,10 @@ pub fn build(g: PaperGraph, scale: Scale) -> Csr {
 
 /// Build all seven graphs at the given scale, in Table I order.
 pub fn build_all(scale: Scale) -> Vec<(PaperGraph, Csr)> {
-    PaperGraph::all().into_iter().map(|g| (g, build(g, scale))).collect()
+    PaperGraph::all()
+        .into_iter()
+        .map(|g| (g, build(g, scale)))
+        .collect()
 }
 
 /// Like [`build`], but cached as a binary CSR file under `dir` (created if
@@ -226,7 +319,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(build(PaperGraph::Hood, Scale::Fraction(128)), build(PaperGraph::Hood, Scale::Fraction(128)));
+        assert_eq!(
+            build(PaperGraph::Hood, Scale::Fraction(128)),
+            build(PaperGraph::Hood, Scale::Fraction(128))
+        );
     }
 
     #[test]
@@ -245,7 +341,10 @@ mod tests {
     #[test]
     fn scale_variants() {
         let n_full = paper_row(PaperGraph::Auto).vertices;
-        assert_eq!(build(PaperGraph::Auto, Scale::Vertices(500)).num_vertices(), 500);
+        assert_eq!(
+            build(PaperGraph::Auto, Scale::Vertices(500)).num_vertices(),
+            500
+        );
         let frac = build(PaperGraph::Auto, Scale::Fraction(256));
         assert_eq!(frac.num_vertices(), n_full / 256);
     }

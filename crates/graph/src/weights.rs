@@ -29,7 +29,9 @@ pub struct EdgeWeights {
 impl EdgeWeights {
     /// Constant weight for every edge.
     pub fn constant(g: &Csr, w: f64) -> Self {
-        EdgeWeights { values: vec![w; g.adj().len()] }
+        EdgeWeights {
+            values: vec![w; g.adj().len()],
+        }
     }
 
     /// Symmetric uniform random weights in `[lo, hi)`, seeded: the weight
@@ -115,7 +117,10 @@ mod tests {
         let g = erdos_renyi_gnm(200, 800, 5);
         let w = EdgeWeights::random_symmetric(&g, 1.0, 3.0, 9);
         assert!(w.is_symmetric(&g));
-        assert!(w.values().iter().all(|&x| x == 0.0 || (1.0..3.0).contains(&x)));
+        assert!(w
+            .values()
+            .iter()
+            .all(|&x| x == 0.0 || (1.0..3.0).contains(&x)));
         // Every edge got a nonzero weight.
         assert!(w.values().iter().filter(|&&x| x > 0.0).count() == 2 * g.num_edges());
         // Deterministic.

@@ -2,7 +2,7 @@
 
 use mic_graph::generators::erdos_renyi_gnm;
 use mic_graph::ordering::{apply, permutation, Ordering};
-use mic_graph::stats::{stats, connected_components};
+use mic_graph::stats::{connected_components, stats};
 use mic_graph::{Csr, GraphBuilder, VertexId};
 use proptest::prelude::*;
 

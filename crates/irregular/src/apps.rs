@@ -16,8 +16,11 @@ fn pagerank_step(
     model: RuntimeModel,
 ) {
     let n = g.num_vertices() as f64;
-    let dangling: f64 =
-        g.vertices().filter(|&v| g.degree(v) == 0).map(|v| rank[v as usize]).sum();
+    let dangling: f64 = g
+        .vertices()
+        .filter(|&v| g.degree(v) == 0)
+        .map(|v| rank[v as usize])
+        .sum();
     let base = (1.0 - damping) / n + damping * dangling / n;
     struct OutPtr(*mut f64);
     unsafe impl Sync for OutPtr {}
@@ -167,8 +170,10 @@ mod tests {
             RuntimeModel::CilkHolder { grain: 16 },
             RuntimeModel::Tbb(Partitioner::Simple { grain: 16 }),
         ];
-        let results: Vec<Vec<f64>> =
-            models.iter().map(|&m| pagerank(&pool(), &g, 0.85, 1e-10, 300, m).0).collect();
+        let results: Vec<Vec<f64>> = models
+            .iter()
+            .map(|&m| pagerank(&pool(), &g, 0.85, 1e-10, 300, m).0)
+            .collect();
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0], results[2]);
     }
@@ -182,7 +187,10 @@ mod tests {
         let t = heat_diffusion(&pool(), &g, &initial, 0.8, 4000, OMP);
         let spread = t.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - t.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread < 1.0, "temperatures should equalize, spread {spread}");
+        assert!(
+            spread < 1.0,
+            "temperatures should equalize, spread {spread}"
+        );
         assert!(t.iter().all(|&x| (0.0..=100.0).contains(&x)));
     }
 

@@ -50,7 +50,10 @@ pub fn instrument(g: &Csr, windows: LocalityWindows, iter: usize) -> IrregularWo
             }
         })
         .collect();
-    IrregularWorkload { iter_work: Arc::new(work), iter }
+    IrregularWorkload {
+        iter_work: Arc::new(work),
+        iter,
+    }
 }
 
 impl IrregularWorkload {
@@ -117,7 +120,12 @@ mod tests {
             let r = w.region(Policy::Cilk { grain: 100 });
             simulate_region(&m, 1, &r) / simulate_region(&m, 121, &r)
         };
-        assert!(speedup(10) > speedup(1), "cilk {} vs {}", speedup(10), speedup(1));
+        assert!(
+            speedup(10) > speedup(1),
+            "cilk {} vs {}",
+            speedup(10),
+            speedup(1)
+        );
     }
 
     #[test]

@@ -156,7 +156,10 @@ mod tests {
         for model in models() {
             irregular_inplace(&pool, &g, &mut state, 3, model);
             for &s in &state {
-                assert!(s >= lo - 1e-9 && s <= hi + 1e-9, "state {s} escaped [{lo}, {hi}]");
+                assert!(
+                    s >= lo - 1e-9 && s <= hi + 1e-9,
+                    "state {s} escaped [{lo}, {hi}]"
+                );
             }
         }
     }
@@ -210,7 +213,14 @@ mod tests {
         let g = Csr::empty(5);
         let state = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let mut out = vec![0.0; 5];
-        irregular_jacobi(&pool, &g, &state, &mut out, 4, RuntimeModel::CilkHolder { grain: 2 });
+        irregular_jacobi(
+            &pool,
+            &g,
+            &state,
+            &mut out,
+            4,
+            RuntimeModel::CilkHolder { grain: 2 },
+        );
         assert_eq!(out, state);
     }
 }

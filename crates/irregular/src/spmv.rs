@@ -20,7 +20,11 @@ pub fn spmv_seq(g: &Csr, w: &EdgeWeights, diag: &[f64], x: &[f64], y: &mut [f64]
     assert!(diag.is_empty() || diag.len() == n);
     for v in g.vertices() {
         let vi = v as usize;
-        let mut sum = if diag.is_empty() { 0.0 } else { diag[vi] * x[vi] };
+        let mut sum = if diag.is_empty() {
+            0.0
+        } else {
+            diag[vi] * x[vi]
+        };
         for (&u, &a) in g.neighbors(v).iter().zip(w.row(g, v)) {
             sum += a * x[u as usize];
         }
@@ -50,7 +54,11 @@ pub fn spmv(
         let _ = &out;
         for vi in chunk {
             let v = vi as u32;
-            let mut sum = if diag.is_empty() { 0.0 } else { diag[vi] * x[vi] };
+            let mut sum = if diag.is_empty() {
+                0.0
+            } else {
+                diag[vi] * x[vi]
+            };
             for (&u, &a) in g.neighbors(v).iter().zip(w.row(g, v)) {
                 sum += a * x[u as usize];
             }

@@ -89,7 +89,9 @@ pub fn clustering_coefficient(pool: &ThreadPool, g: &Csr, model: RuntimeModel) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mic_graph::generators::{complete, cycle, erdos_renyi_gnm, grid2d, watts_strogatz, Stencil2};
+    use mic_graph::generators::{
+        complete, cycle, erdos_renyi_gnm, grid2d, watts_strogatz, Stencil2,
+    };
     use mic_runtime::{Partitioner, Schedule};
 
     #[test]
@@ -137,22 +139,40 @@ mod tests {
         let c_lat = clustering_coefficient(&pool, &lattice, m);
         let c_rand = clustering_coefficient(&pool, &random, m);
         assert!(c_lat > 0.4, "lattice clustering {c_lat}");
-        assert!(c_rand < c_lat / 5.0, "random clustering {c_rand} vs lattice {c_lat}");
+        assert!(
+            c_rand < c_lat / 5.0,
+            "random clustering {c_rand} vs lattice {c_lat}"
+        );
     }
 
     #[test]
     fn complete_clustering_is_one() {
         let pool = ThreadPool::new(2);
-        let c = clustering_coefficient(&pool, &complete(10), RuntimeModel::OpenMp(Schedule::dynamic100()));
+        let c = clustering_coefficient(
+            &pool,
+            &complete(10),
+            RuntimeModel::OpenMp(Schedule::dynamic100()),
+        );
         assert!((c - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_graph_zero() {
         let pool = ThreadPool::new(2);
-        assert_eq!(triangles(&pool, &mic_graph::Csr::empty(5), RuntimeModel::OpenMp(Schedule::dynamic100())), 0);
         assert_eq!(
-            clustering_coefficient(&pool, &mic_graph::Csr::empty(5), RuntimeModel::OpenMp(Schedule::dynamic100())),
+            triangles(
+                &pool,
+                &mic_graph::Csr::empty(5),
+                RuntimeModel::OpenMp(Schedule::dynamic100())
+            ),
+            0
+        );
+        assert_eq!(
+            clustering_coefficient(
+                &pool,
+                &mic_graph::Csr::empty(5),
+                RuntimeModel::OpenMp(Schedule::dynamic100())
+            ),
             0.0
         );
     }

@@ -64,7 +64,10 @@ impl<T> ConcurrentPushVec<T> {
     /// reset to empty.
     pub fn drain(&mut self) -> Vec<T> {
         let n = *self.len.get_mut();
-        let out = self.data[..n].iter_mut().map(|c| c.get_mut().take().expect("pushed slot")).collect();
+        let out = self.data[..n]
+            .iter_mut()
+            .map(|c| c.get_mut().take().expect("pushed slot"))
+            .collect();
         *self.len.get_mut() = 0;
         out
     }
@@ -149,7 +152,10 @@ impl<T: Copy + PartialEq> BlockQueue<T> {
 
     /// Open a writer handle. Each concurrent writer thread needs its own.
     pub fn writer(&self) -> BlockWriter<'_, T> {
-        BlockWriter { queue: self, cursor: BlockCursor::default() }
+        BlockWriter {
+            queue: self,
+            cursor: BlockCursor::default(),
+        }
     }
 
     /// Append `v` through an external [`BlockCursor`] — the same protocol
@@ -215,7 +221,11 @@ impl<T: Copy + PartialEq> BlockQueue<T> {
     /// iterate `raw_slice` and skip sentinels inline, as the paper does).
     pub fn items(&mut self) -> Vec<T> {
         let s = self.sentinel;
-        self.raw_slice().iter().copied().filter(|v| *v != s).collect()
+        self.raw_slice()
+            .iter()
+            .copied()
+            .filter(|v| *v != s)
+            .collect()
     }
 
     /// Reset through a shared reference.

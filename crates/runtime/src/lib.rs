@@ -26,8 +26,8 @@
 //! `parallel_pipeline` with in-order serial stages.
 
 pub mod cilk;
-pub mod model;
 pub mod concurrent;
+pub mod model;
 pub mod openmp;
 pub mod pipeline;
 pub mod pool;
@@ -37,8 +37,8 @@ pub mod tbb;
 pub mod tls;
 
 pub use cilk::cilk_for;
-pub use model::RuntimeModel;
 pub use concurrent::{BlockCursor, BlockQueue, BlockWriter, ConcurrentPushVec};
+pub use model::RuntimeModel;
 pub use openmp::{parallel_for, parallel_for_chunks, parallel_reduce, Schedule};
 pub use pipeline::{run_pipeline, Stage};
 pub use pool::{ThreadPool, WorkerCtx};

@@ -40,7 +40,10 @@ impl RuntimeModel {
     /// Whether thread-local storage is initialized eagerly (OpenMP /
     /// worker-id styles) or on first touch (holder / TBB).
     pub fn eager_tls(&self) -> bool {
-        matches!(self, RuntimeModel::OpenMp(_) | RuntimeModel::CilkWorkerId { .. })
+        matches!(
+            self,
+            RuntimeModel::OpenMp(_) | RuntimeModel::CilkWorkerId { .. }
+        )
     }
 
     /// A short display name ("OpenMP", "CilkPlus", "TBB").
@@ -95,7 +98,10 @@ mod tests {
 
     #[test]
     fn families_and_tls_style() {
-        assert_eq!(RuntimeModel::OpenMp(Schedule::dynamic100()).family(), "OpenMP");
+        assert_eq!(
+            RuntimeModel::OpenMp(Schedule::dynamic100()).family(),
+            "OpenMP"
+        );
         assert_eq!(RuntimeModel::CilkHolder { grain: 1 }.family(), "CilkPlus");
         assert_eq!(RuntimeModel::Tbb(Partitioner::Auto).family(), "TBB");
         assert!(RuntimeModel::OpenMp(Schedule::dynamic100()).eager_tls());

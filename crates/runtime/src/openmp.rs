@@ -240,7 +240,11 @@ mod tests {
             parallel_for(&pool, 100..200, sched, |i, _| {
                 sum.fetch_add(i as u64, Ordering::Relaxed);
             });
-            assert_eq!(sum.load(Ordering::Relaxed), (100..200u64).sum::<u64>(), "{sched:?}");
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                (100..200u64).sum::<u64>(),
+                "{sched:?}"
+            );
         }
     }
 
@@ -280,7 +284,10 @@ mod tests {
                     seen[i].fetch_add(1, Ordering::Relaxed);
                 }
             });
-            assert!(seen.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{sched:?}");
+            assert!(
+                seen.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{sched:?}"
+            );
         }
     }
 
@@ -289,10 +296,15 @@ mod tests {
         let pool = ThreadPool::new(4);
         // Record (worker, chunk) pairs; each worker must appear at most once.
         let firsts: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(usize::MAX)).collect();
-        parallel_for_chunks(&pool, 0..100, Schedule::Static { chunk: None }, |chunk, ctx| {
-            let prev = firsts[ctx.id].swap(chunk.start, Ordering::Relaxed);
-            assert_eq!(prev, usize::MAX, "worker {0} saw two chunks", ctx.id);
-            assert_eq!(chunk.len(), 25);
-        });
+        parallel_for_chunks(
+            &pool,
+            0..100,
+            Schedule::Static { chunk: None },
+            |chunk, ctx| {
+                let prev = firsts[ctx.id].swap(chunk.start, Ordering::Relaxed);
+                assert_eq!(prev, usize::MAX, "worker {0} saw two chunks", ctx.id);
+                assert_eq!(chunk.len(), 25);
+            },
+        );
     }
 }

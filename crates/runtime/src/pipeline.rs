@@ -82,8 +82,13 @@ struct SinkState<T, K> {
 // live in one short Vec.
 #[allow(clippy::large_enum_variant)]
 enum Node<T> {
-    Parallel { inbox: Injector<Token<T>>, f: Box<dyn Fn(T) -> T + Sync + Send> },
-    Serial { state: Mutex<SerialState<T>> },
+    Parallel {
+        inbox: Injector<Token<T>>,
+        f: Box<dyn Fn(T) -> T + Sync + Send>,
+    },
+    Serial {
+        state: Mutex<SerialState<T>>,
+    },
 }
 
 fn forward<T, K>(nodes: &[Node<T>], sink: &Mutex<SinkState<T, K>>, i: usize, tok: Token<T>) {
@@ -130,9 +135,16 @@ pub fn run_pipeline<T, S, K>(
     let nodes: Vec<Node<T>> = stages
         .into_iter()
         .map(|s| match s {
-            Stage::Parallel(f) => Node::Parallel { inbox: Injector::new(), f },
+            Stage::Parallel(f) => Node::Parallel {
+                inbox: Injector::new(),
+                f,
+            },
             Stage::Serial(f) => Node::Serial {
-                state: Mutex::new(SerialState { expected: 0, pending: BinaryHeap::new(), f }),
+                state: Mutex::new(SerialState {
+                    expected: 0,
+                    pending: BinaryHeap::new(),
+                    f,
+                }),
             },
         })
         .collect();
@@ -142,8 +154,16 @@ pub fn run_pipeline<T, S, K>(
         next_seq: u64,
         exhausted: bool,
     }
-    let source = Mutex::new(SourceState { f: source, next_seq: 0, exhausted: false });
-    let sink = Mutex::new(SinkState { expected: 0, pending: BinaryHeap::new(), f: sink });
+    let source = Mutex::new(SourceState {
+        f: source,
+        next_seq: 0,
+        exhausted: false,
+    });
+    let sink = Mutex::new(SinkState {
+        expected: 0,
+        pending: BinaryHeap::new(),
+        f: sink,
+    });
     let in_flight = AtomicUsize::new(0);
     // A panicking stage consumes its token without forwarding it, which
     // would strand `in_flight` above zero; the abort flag releases the
@@ -185,7 +205,15 @@ pub fn run_pipeline<T, S, K>(
                                 Ok(v) => v,
                                 Err(p) => bail(p),
                             };
-                            forward(&nodes, &sink, i + 1, Token { seq: tok.seq, value });
+                            forward(
+                                &nodes,
+                                &sink,
+                                i + 1,
+                                Token {
+                                    seq: tok.seq,
+                                    value,
+                                },
+                            );
                             progressed = true;
                             break;
                         }
@@ -208,7 +236,15 @@ pub fn run_pipeline<T, S, K>(
                             }
                         };
                         drop(st);
-                        forward(&nodes, &sink, i + 1, Token { seq: tok.seq, value });
+                        forward(
+                            &nodes,
+                            &sink,
+                            i + 1,
+                            Token {
+                                seq: tok.seq,
+                                value,
+                            },
+                        );
                         progressed = true;
                     }
                 }
@@ -221,7 +257,10 @@ pub fn run_pipeline<T, S, K>(
             if !src.exhausted {
                 match catch_unwind(AssertUnwindSafe(|| (src.f)())) {
                     Ok(Some(value)) => {
-                        let tok = Token { seq: src.next_seq, value };
+                        let tok = Token {
+                            seq: src.next_seq,
+                            value,
+                        };
                         src.next_seq += 1;
                         drop(src);
                         in_flight.fetch_add(1, Ordering::AcqRel);

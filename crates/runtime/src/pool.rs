@@ -97,7 +97,13 @@ impl ThreadPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        ThreadPool { shared, handles, run_lock: Mutex::new(()), num_threads, id: pool_id }
+        ThreadPool {
+            shared,
+            handles,
+            run_lock: Mutex::new(()),
+            num_threads,
+            id: pool_id,
+        }
     }
 
     /// Number of workers.

@@ -38,14 +38,19 @@ pub fn exclusive_scan(pool: &ThreadPool, values: &mut [u64]) -> u64 {
     {
         let values_ref = &*values;
         let totals_ref = &totals;
-        parallel_for_chunks(pool, 0..num_blocks, Schedule::Dynamic { chunk: 1 }, |blocks, _| {
-            for b in blocks {
-                let lo = b * block;
-                let hi = (lo + block).min(n);
-                let sum: u64 = values_ref[lo..hi].iter().sum();
-                totals_ref[b].store(sum, Ordering::Relaxed);
-            }
-        });
+        parallel_for_chunks(
+            pool,
+            0..num_blocks,
+            Schedule::Dynamic { chunk: 1 },
+            |blocks, _| {
+                for b in blocks {
+                    let lo = b * block;
+                    let hi = (lo + block).min(n);
+                    let sum: u64 = values_ref[lo..hi].iter().sum();
+                    totals_ref[b].store(sum, Ordering::Relaxed);
+                }
+            },
+        );
     }
     // Pass 2: sequential scan over the (few) block totals.
     let mut offsets: Vec<u64> = totals.into_iter().map(|a| a.into_inner()).collect();
@@ -57,22 +62,27 @@ pub fn exclusive_scan(pool: &ThreadPool, values: &mut [u64]) -> u64 {
     let base = Ptr(values.as_mut_ptr());
     {
         let offsets_ref = &offsets;
-        parallel_for_chunks(pool, 0..num_blocks, Schedule::Dynamic { chunk: 1 }, |blocks, _| {
-            let _ = &base;
-            for b in blocks {
-                let lo = b * block;
-                let hi = (lo + block).min(n);
-                // SAFETY: block b's range [lo, hi) is touched by exactly
-                // one task.
-                let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
-                let mut acc = offsets_ref[b];
-                for v in slice {
-                    let x = *v;
-                    *v = acc;
-                    acc += x;
+        parallel_for_chunks(
+            pool,
+            0..num_blocks,
+            Schedule::Dynamic { chunk: 1 },
+            |blocks, _| {
+                let _ = &base;
+                for b in blocks {
+                    let lo = b * block;
+                    let hi = (lo + block).min(n);
+                    // SAFETY: block b's range [lo, hi) is touched by exactly
+                    // one task.
+                    let slice = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+                    let mut acc = offsets_ref[b];
+                    for v in slice {
+                        let x = *v;
+                        *v = acc;
+                        acc += x;
+                    }
                 }
-            }
-        });
+            },
+        );
     }
     grand_total
 }

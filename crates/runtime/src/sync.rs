@@ -67,7 +67,9 @@ pub struct Critical<T> {
 impl<T> Critical<T> {
     /// Protect `value`.
     pub fn new(value: T) -> Self {
-        Critical { inner: Mutex::new(value) }
+        Critical {
+            inner: Mutex::new(value),
+        }
     }
 
     /// Run `f` exclusively.
@@ -90,7 +92,9 @@ pub struct Single {
 
 impl Single {
     pub fn new() -> Self {
-        Single { taken: AtomicBool::new(false) }
+        Single {
+            taken: AtomicBool::new(false),
+        }
     }
 
     /// Run `f` if this worker is the first to arrive; returns whether it

@@ -86,7 +86,10 @@ where
     let mut idx = 0usize;
     while lo < range.end {
         let hi = (lo + chunk).min(range.end);
-        injector.push(Task { range: lo..hi, owner: idx % t });
+        injector.push(Task {
+            range: lo..hi,
+            owner: idx % t,
+        });
         lo = hi;
         idx += 1;
     }
@@ -124,7 +127,10 @@ where
                 // Split once on steal, publishing the back half — the auto
                 // partitioner's defining move.
                 let mid = r.start + r.len() / 2;
-                injector.push(Task { range: mid..r.end, owner: ctx.id });
+                injector.push(Task {
+                    range: mid..r.end,
+                    owner: ctx.id,
+                });
                 r = r.start..mid;
             }
             let len = r.len();
@@ -162,7 +168,10 @@ mod tests {
                     hits[i].fetch_add(1, Ordering::Relaxed);
                 }
             });
-            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{part:?}");
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{part:?}"
+            );
         }
     }
 
@@ -200,9 +209,16 @@ mod tests {
                     owner[i].store(ctx.id, Ordering::Relaxed);
                 }
             });
-            owner.iter().map(|o| o.load(Ordering::Relaxed)).collect::<Vec<_>>()
+            owner
+                .iter()
+                .map(|o| o.load(Ordering::Relaxed))
+                .collect::<Vec<_>>()
         };
-        assert_eq!(run(), run(), "affinity must map iterations identically across loops");
+        assert_eq!(
+            run(),
+            run(),
+            "affinity must map iterations identically across loops"
+        );
     }
 
     #[test]

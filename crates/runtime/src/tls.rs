@@ -42,10 +42,16 @@ impl<T> PerWorker<T> {
     pub fn new(num_threads: usize, init: impl Fn(usize) -> T + Send + Sync + 'static) -> Self {
         let slots = (0..num_threads)
             .map(|_| {
-                CachePadded::new(Slot { value: UnsafeCell::new(None), borrowed: AtomicBool::new(false) })
+                CachePadded::new(Slot {
+                    value: UnsafeCell::new(None),
+                    borrowed: AtomicBool::new(false),
+                })
             })
             .collect();
-        PerWorker { slots, init: Box::new(init) }
+        PerWorker {
+            slots,
+            init: Box::new(init),
+        }
     }
 
     /// Number of slots.
@@ -89,12 +95,17 @@ impl<T> PerWorker<T> {
     /// Iterate over the values of all initialized slots (exclusive access,
     /// for use after the parallel region).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
-        self.slots.iter_mut().filter_map(|s| s.value.get_mut().as_mut())
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.value.get_mut().as_mut())
     }
 
     /// Drain all initialized values.
     pub fn take_values(&mut self) -> Vec<T> {
-        self.slots.iter_mut().filter_map(|s| s.value.get_mut().take()).collect()
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.value.get_mut().take())
+            .collect()
     }
 
     /// Fold all initialized values into one (TBB `combinable::combine`).
@@ -119,7 +130,10 @@ pub struct ReducerMax<T> {
 impl<T: Ord + Copy + Send + Sync + 'static> ReducerMax<T> {
     /// A reducer over `num_threads` workers starting from `identity`.
     pub fn new(num_threads: usize, identity: T) -> Self {
-        ReducerMax { inner: PerWorker::new(num_threads, move |_| identity), identity }
+        ReducerMax {
+            inner: PerWorker::new(num_threads, move |_| identity),
+            identity,
+        }
     }
 
     /// Fold `v` into this worker's view.
@@ -193,11 +207,18 @@ mod tests {
     #[test]
     fn reducer_max_matches_sequential_max() {
         let pool = ThreadPool::new(5);
-        let values: Vec<u32> = (0..997).map(|i| (i * 2654435761u64 % 10007) as u32).collect();
+        let values: Vec<u32> = (0..997)
+            .map(|i| (i * 2654435761u64 % 10007) as u32)
+            .collect();
         let mut red = ReducerMax::new(5, 0u32);
-        parallel_for(&pool, 0..values.len(), Schedule::Guided { min_chunk: 8 }, |i, ctx| {
-            red.update(ctx, values[i]);
-        });
+        parallel_for(
+            &pool,
+            0..values.len(),
+            Schedule::Guided { min_chunk: 8 },
+            |i, ctx| {
+                red.update(ctx, values[i]);
+            },
+        );
         assert_eq!(red.get(), *values.iter().max().unwrap());
     }
 

@@ -14,7 +14,11 @@ fn assert_pool_still_works(pool: &ThreadPool) {
     parallel_for(pool, 0..100, Schedule::Dynamic { chunk: 7 }, |_, _| {
         hits.fetch_add(1, Ordering::Relaxed);
     });
-    assert_eq!(hits.load(Ordering::Relaxed), 100, "pool must be reusable after a panic");
+    assert_eq!(
+        hits.load(Ordering::Relaxed),
+        100,
+        "pool must be reusable after a panic"
+    );
 }
 
 #[test]
@@ -57,7 +61,11 @@ fn panic_in_cilk_body_does_not_deadlock() {
 #[test]
 fn panic_in_tbb_bodies_does_not_deadlock() {
     let pool = ThreadPool::new(6);
-    for part in [Partitioner::Simple { grain: 8 }, Partitioner::Auto, Partitioner::Affinity] {
+    for part in [
+        Partitioner::Simple { grain: 8 },
+        Partitioner::Auto,
+        Partitioner::Affinity,
+    ] {
         let r = catch_unwind(AssertUnwindSafe(|| {
             tbb_parallel_for(&pool, 0..5000, part, |chunk, _| {
                 if chunk.contains(&2500) {

@@ -29,7 +29,10 @@ pub struct BfsModel {
 impl BfsModel {
     /// Model with the paper's block size of 32.
     pub fn paper(level_widths: Vec<usize>) -> Self {
-        BfsModel { block: 32, level_widths }
+        BfsModel {
+            block: 32,
+            level_widths,
+        }
     }
 
     /// `c(l)` for a given level width and thread count.
@@ -50,8 +53,11 @@ impl BfsModel {
         if total == 0.0 {
             return 1.0;
         }
-        let cost: f64 =
-            self.level_widths.iter().map(|&x| self.level_cost(x, threads)).sum();
+        let cost: f64 = self
+            .level_widths
+            .iter()
+            .map(|&x| self.level_cost(x, threads))
+            .sum();
         total / cost
     }
 
@@ -64,7 +70,13 @@ impl BfsModel {
         let cost: f64 = self
             .level_widths
             .iter()
-            .map(|&x| if x < self.block { x as f64 } else { self.block as f64 })
+            .map(|&x| {
+                if x < self.block {
+                    x as f64
+                } else {
+                    self.block as f64
+                }
+            })
             .sum();
         total / cost
     }
@@ -83,7 +95,10 @@ mod tests {
     #[test]
     fn single_thread_speedup_is_one_for_wide_multiple_levels() {
         // Levels that are exact multiples of b: c(l) = x_l at t = 1.
-        let m = BfsModel { block: 32, level_widths: vec![64, 128, 320] };
+        let m = BfsModel {
+            block: 32,
+            level_widths: vec![64, 128, 320],
+        };
         assert!((m.speedup(1) - 1.0).abs() < 1e-12);
     }
 
@@ -109,8 +124,14 @@ mod tests {
         let s26 = m.speedup(26);
         assert!((s12 - 816.0 / 96.0).abs() < 1e-9, "s12 = {s12}");
         assert!((s13 - 816.0 / 64.0).abs() < 1e-9, "jump at 13: {s13}");
-        assert!((s20 - s13).abs() < 1e-9 && (s25 - s13).abs() < 1e-9, "plateau 13..=25");
-        assert!((s26 - 816.0 / 32.0).abs() < 1e-9, "one round suffices from 26: {s26}");
+        assert!(
+            (s20 - s13).abs() < 1e-9 && (s25 - s13).abs() < 1e-9,
+            "plateau 13..=25"
+        );
+        assert!(
+            (s26 - 816.0 / 32.0).abs() < 1e-9,
+            "one round suffices from 26: {s26}"
+        );
     }
 
     #[test]
@@ -127,7 +148,10 @@ mod tests {
 
     #[test]
     fn narrow_levels_execute_serially() {
-        let m = BfsModel { block: 32, level_widths: vec![10, 20, 31] };
+        let m = BfsModel {
+            block: 32,
+            level_widths: vec![10, 20, 31],
+        };
         // All below the block size: c(l) = x_l regardless of threads.
         assert!((m.speedup(121) - 1.0).abs() < 1e-12);
     }

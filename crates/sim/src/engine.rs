@@ -91,6 +91,47 @@ struct ThreadSim {
     running: bool,
 }
 
+/// Reusable buffers for the event loop. One `SimScratch`, passed to the
+/// `*_with_scratch` entry points, makes repeated simulations (thread-grid
+/// sweeps, figure regeneration) allocation-free after the first region.
+#[derive(Default)]
+pub struct SimScratch {
+    ts: Vec<ThreadSim>,
+    core_occ: Vec<usize>,
+    t0: Vec<f64>,
+    slow: Vec<f64>,
+    issue_d: Vec<f64>,
+    fpu_d: Vec<f64>,
+}
+
+impl SimScratch {
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    /// Size every buffer for `threads` software threads on `m`, restoring
+    /// the exact initial values a fresh allocation would have.
+    fn reset(&mut self, m: &Machine, threads: usize) {
+        self.ts.clear();
+        self.ts.extend((0..threads).map(|i| ThreadSim {
+            core: m.core_of(i),
+            frac: 0.0,
+            comp: Priced::default(),
+            running: false,
+        }));
+        self.core_occ.clear();
+        self.core_occ.resize(m.cores, 0);
+        self.t0.clear();
+        self.t0.resize(threads, 0.0);
+        self.slow.clear();
+        self.slow.resize(threads, 1.0);
+        self.issue_d.clear();
+        self.issue_d.resize(m.cores, 0.0);
+        self.fpu_d.clear();
+        self.fpu_d.resize(m.cores, 0.0);
+    }
+}
+
 /// Simulate one parallel region on `threads` software threads.
 ///
 /// ```
@@ -107,7 +148,18 @@ struct ThreadSim {
 /// Panics if `threads` is zero or exceeds the machine's hardware threads
 /// (the paper never oversubscribes the card).
 pub fn simulate_region(m: &Machine, threads: usize, region: &Region) -> f64 {
-    simulate_region_impl(m, threads, region, None)
+    simulate_region_impl(m, threads, region, None, &mut SimScratch::default())
+}
+
+/// Like [`simulate_region`], reusing caller-owned scratch buffers so the
+/// call allocates nothing.
+pub fn simulate_region_with_scratch(
+    m: &Machine,
+    threads: usize,
+    region: &Region,
+    scratch: &mut SimScratch,
+) -> f64 {
+    simulate_region_impl(m, threads, region, None, scratch)
 }
 
 /// Like [`simulate_region`], but also reports where the time went.
@@ -117,7 +169,7 @@ pub fn simulate_region_telemetry(
     region: &Region,
 ) -> (f64, Bottleneck) {
     let mut b = Bottleneck::default();
-    let c = simulate_region_impl(m, threads, region, Some(&mut b));
+    let c = simulate_region_impl(m, threads, region, Some(&mut b), &mut SimScratch::default());
     (c, b)
 }
 
@@ -126,6 +178,7 @@ fn simulate_region_impl(
     threads: usize,
     region: &Region,
     mut telemetry: Option<&mut Bottleneck>,
+    scratch: &mut SimScratch,
 ) -> f64 {
     m.validate();
     assert!(threads >= 1, "need at least one thread");
@@ -159,37 +212,27 @@ fn simulate_region_impl(
             + m.barrier_per_thread * threads as f64;
     }
 
-    // Prefix sums for O(1) chunk aggregation.
-    let mut prefix: Vec<Work> = Vec::with_capacity(n + 1);
-    prefix.push(Work::default());
-    for w in region.iter_work.iter() {
-        debug_assert!(w.is_valid(), "invalid Work descriptor");
-        let last = *prefix.last().unwrap();
-        prefix.push(last.add(w));
-    }
-    let range_work = |lo: usize, hi: usize| -> Work {
-        let (a, b) = (prefix[lo], prefix[hi]);
-        Work {
-            issue: b.issue - a.issue,
-            l1: b.l1 - a.l1,
-            l2: b.l2 - a.l2,
-            dram: b.dram - a.dram,
-            flops: b.flops - a.flops,
-            atomics: b.atomics - a.atomics,
-        }
-    };
+    // Prefix sums for O(1) chunk aggregation, built once per work array
+    // and cached on the region (shared by clones and policy variants).
+    let prefix = std::sync::Arc::clone(region.prefix_sums());
+    let range_work = |lo: usize, hi: usize| -> Work { prefix[hi].sub(&prefix[lo]) };
 
     let mut cursor = Cursor::new(region.policy, n, threads);
     let overhead = region.policy.chunk_overhead(m);
     // Runtime background coherence traffic: a global slowdown floor that
     // grows with oversubscription (see `Policy::background_coeff`).
-    let sigma_bg = 1.0
-        + region.policy.background_coeff(m) * (threads * threads) as f64 / m.cores as f64;
+    let sigma_bg =
+        1.0 + region.policy.background_coeff(m) * (threads * threads) as f64 / m.cores as f64;
 
-    let mut ts: Vec<ThreadSim> = (0..threads)
-        .map(|i| ThreadSim { core: m.core_of(i), frac: 0.0, comp: Priced::default(), running: false })
-        .collect();
-    let mut core_occ = vec![0usize; m.cores];
+    scratch.reset(m, threads);
+    let SimScratch {
+        ts,
+        core_occ,
+        t0,
+        slow,
+        issue_d,
+        fpu_d,
+    } = scratch;
 
     // Initial dispatch.
     let mut active = 0usize;
@@ -205,8 +248,6 @@ fn simulate_region_impl(
     }
 
     let mut now = 0.0f64;
-    let mut t0 = vec![0.0f64; threads];
-    let mut slow = vec![1.0f64; threads];
 
     while active > 0 {
         // Nominal durations given current core occupancy.
@@ -224,9 +265,9 @@ fn simulate_region_impl(
             let compute = (t.comp.issue * pen_i).max(t.comp.fpu);
             t0[i] = (compute + t.comp.stall * pen_s).max(EPS);
         }
-        // Shared-resource demands.
-        let mut issue_d = vec![0.0f64; m.cores];
-        let mut fpu_d = vec![0.0f64; m.cores];
+        // Shared-resource demands (per-core buffers zeroed in place).
+        issue_d.fill(0.0);
+        fpu_d.fill(0.0);
         let mut dram_d = 0.0f64;
         let mut l2_d = 0.0f64;
         let mut atomic_d = 0.0f64;
@@ -242,7 +283,11 @@ fn simulate_region_impl(
         }
         let sigma_dram = dram_d / m.dram_lines_per_cycle;
         let sigma_l2 = l2_d / m.l2_lines_per_cycle;
-        let sigma_global = sigma_dram.max(sigma_l2).max(atomic_d).max(sigma_bg).max(1.0);
+        let sigma_global = sigma_dram
+            .max(sigma_l2)
+            .max(atomic_d)
+            .max(sigma_bg)
+            .max(1.0);
         // Completion horizon per thread.
         let mut dt = f64::INFINITY;
         for (i, t) in ts.iter().enumerate() {
@@ -338,15 +383,29 @@ fn simulate_region_impl(
 
 /// Time for one thread, alone on its core, to execute `p`.
 fn solo_time(m: &Machine, p: &Priced) -> f64 {
-    (p.issue * m.single_thread_issue_penalty).max(p.fpu)
-        + p.stall * m.single_thread_stall_penalty
+    (p.issue * m.single_thread_issue_penalty).max(p.fpu) + p.stall * m.single_thread_stall_penalty
 }
 
 /// Simulate a sequence of regions (levels, rounds, phases) back to back.
 pub fn simulate(m: &Machine, threads: usize, regions: &[Region]) -> SimReport {
-    let region_cycles: Vec<f64> =
-        regions.iter().map(|r| simulate_region(m, threads, r)).collect();
-    SimReport { cycles: region_cycles.iter().sum(), region_cycles }
+    simulate_with_scratch(m, threads, regions, &mut SimScratch::default())
+}
+
+/// Like [`simulate`], reusing caller-owned scratch across every region.
+pub fn simulate_with_scratch(
+    m: &Machine,
+    threads: usize,
+    regions: &[Region],
+    scratch: &mut SimScratch,
+) -> SimReport {
+    let region_cycles: Vec<f64> = regions
+        .iter()
+        .map(|r| simulate_region_impl(m, threads, r, None, scratch))
+        .collect();
+    SimReport {
+        cycles: region_cycles.iter().sum(),
+        region_cycles,
+    }
 }
 
 #[cfg(test)]
@@ -360,15 +419,28 @@ mod tests {
 
     fn mem_bound() -> Work {
         // A shuffled-graph edge visit: a little issue work, a DRAM miss.
-        Work { issue: 5.0, dram: 1.0, ..Default::default() }
+        Work {
+            issue: 5.0,
+            dram: 1.0,
+            ..Default::default()
+        }
     }
 
     fn issue_bound() -> Work {
-        Work { issue: 50.0, l1: 2.0, ..Default::default() }
+        Work {
+            issue: 50.0,
+            l1: 2.0,
+            ..Default::default()
+        }
     }
 
     fn flop_bound() -> Work {
-        Work { issue: 12.0, l1: 4.0, flops: 10.0, ..Default::default() }
+        Work {
+            issue: 12.0,
+            l1: 4.0,
+            flops: 10.0,
+            ..Default::default()
+        }
     }
 
     fn speedup(m: &Machine, region: &Region, t: usize) -> f64 {
@@ -384,7 +456,8 @@ mod tests {
         let r = uniform_region(n, w, Policy::OmpStatic { chunk: None });
         let cycles = simulate_region(&m, 1, &r);
         let p = Priced::price(&w, &m);
-        let expected = solo_time(&m, &p) * n as f64 + m.sched.static_chunk * m.single_thread_issue_penalty;
+        let expected =
+            solo_time(&m, &p) * n as f64 + m.sched.static_chunk * m.single_thread_issue_penalty;
         // One chunk of n iterations + its dispatch overhead.
         assert!(
             (cycles - expected).abs() / expected < 0.01,
@@ -403,7 +476,10 @@ mod tests {
         let s124 = speedup(&m, &r, 124);
         assert!(s31 > 25.0, "31-thread speedup {s31}");
         assert!(s124 > 3.0 * s31, "SMT should keep scaling: {s124} vs {s31}");
-        assert!(s124 >= 115.0, "memory-bound speedup should be ~linear, got {s124}");
+        assert!(
+            s124 >= 115.0,
+            "memory-bound speedup should be ~linear, got {s124}"
+        );
     }
 
     #[test]
@@ -418,7 +494,10 @@ mod tests {
         let cap = m.cores as f64 * m.single_thread_issue_penalty;
         assert!(s62 < cap * 1.05);
         assert!(s124 < cap * 1.05);
-        assert!((s124 - s62).abs() < 0.15 * s62, "SMT beyond 2/core should not help issue-bound work");
+        assert!(
+            (s124 - s62).abs() < 0.15 * s62,
+            "SMT beyond 2/core should not help issue-bound work"
+        );
     }
 
     #[test]
@@ -432,7 +511,10 @@ mod tests {
         let mem = uniform_region(20_000, mem_bound(), Policy::OmpDynamic { chunk: 100 });
         let gain_flop = s124 / s62;
         let gain_mem = speedup(&m, &mem, 124) / speedup(&m, &mem, 62);
-        assert!(gain_flop < gain_mem * 0.75, "flop gain {gain_flop} vs mem gain {gain_mem}");
+        assert!(
+            gain_flop < gain_mem * 0.75,
+            "flop gain {gain_flop} vs mem gain {gain_mem}"
+        );
     }
 
     #[test]
@@ -464,13 +546,28 @@ mod tests {
         // Front-loaded work: static splits assign the heavy half to the
         // first threads; dynamic balances.
         let m = Machine::knf();
-        let mut iters = vec![Work { issue: 200.0, ..Default::default() }; 2_000];
-        iters.extend(vec![Work { issue: 5.0, ..Default::default() }; 18_000]);
+        let mut iters = vec![
+            Work {
+                issue: 200.0,
+                ..Default::default()
+            };
+            2_000
+        ];
+        iters.extend(vec![
+            Work {
+                issue: 5.0,
+                ..Default::default()
+            };
+            18_000
+        ]);
         let st = Region::new(iters.clone(), Policy::OmpStatic { chunk: None });
         let dy = Region::new(iters, Policy::OmpDynamic { chunk: 100 });
         let c_static = simulate_region(&m, 62, &st);
         let c_dynamic = simulate_region(&m, 62, &dy);
-        assert!(c_dynamic < c_static, "dynamic {c_dynamic} vs static {c_static}");
+        assert!(
+            c_dynamic < c_static,
+            "dynamic {c_dynamic} vs static {c_static}"
+        );
     }
 
     #[test]
@@ -478,21 +575,34 @@ mod tests {
         // Same kernel under OpenMP-dynamic vs Cilk: Cilk's per-leaf cost
         // (issue + shared-line ops) must show up at high thread counts.
         let m = Machine::knf();
-        let w = Work { issue: 8.0, l1: 2.0, l2: 0.3, ..Default::default() };
+        let w = Work {
+            issue: 8.0,
+            l1: 2.0,
+            l2: 0.3,
+            ..Default::default()
+        };
         let omp = uniform_region(50_000, w, Policy::OmpDynamic { chunk: 100 });
         let cilk = uniform_region(50_000, w, Policy::Cilk { grain: 100 });
         let s_omp = speedup(&m, &omp, 121);
         let s_cilk = speedup(&m, &cilk, 121);
-        assert!(s_omp > s_cilk, "OpenMP {s_omp} should beat Cilk {s_cilk} at 121 threads");
+        assert!(
+            s_omp > s_cilk,
+            "OpenMP {s_omp} should beat Cilk {s_cilk} at 121 threads"
+        );
     }
 
     #[test]
     fn empty_region_costs_only_serial_prefix() {
         let m = Machine::knf();
-        let r = Region::new(Vec::new(), Policy::OmpDynamic { chunk: 10 })
-            .with_serial_pre(Work { issue: 100.0, ..Default::default() });
+        let r = Region::new(Vec::new(), Policy::OmpDynamic { chunk: 10 }).with_serial_pre(Work {
+            issue: 100.0,
+            ..Default::default()
+        });
         let c = simulate_region(&m, 124, &r);
-        assert!((c - 200.0).abs() < 1e-6, "serial prefix alone, penalized: {c}");
+        assert!(
+            (c - 200.0).abs() < 1e-6,
+            "serial prefix alone, penalized: {c}"
+        );
     }
 
     #[test]
@@ -543,7 +653,10 @@ mod tests {
         // Not the full 124/240 ratio: at 240 threads the dynamic/100
         // dispatch counter itself starts to serialize — a real projection
         // of why finer-grained schedules need rethinking at KNC scale.
-        assert!(knc_best < 0.75 * knf_best, "KNC {knc_best} vs KNF {knf_best}");
+        assert!(
+            knc_best < 0.75 * knf_best,
+            "KNC {knc_best} vs KNF {knf_best}"
+        );
     }
 
     #[test]
@@ -558,7 +671,11 @@ mod tests {
         let (_, b) = simulate_region_telemetry(&m, 124, &flop);
         assert_eq!(b.dominant(), "fpu", "{b:?}");
         // L2-heavy traffic saturates the ring.
-        let l2w = Work { issue: 4.0, l2: 3.0, ..Default::default() };
+        let l2w = Work {
+            issue: 4.0,
+            l2: 3.0,
+            ..Default::default()
+        };
         let ring = uniform_region(100_000, l2w, Policy::OmpDynamic { chunk: 100 });
         let (_, b) = simulate_region_telemetry(&m, 124, &ring);
         assert_eq!(b.dominant(), "l2_bandwidth", "{b:?}");
@@ -571,8 +688,227 @@ mod tests {
         let plain = simulate_region(&m, 61, &r);
         let (with_tele, b) = simulate_region_telemetry(&m, 61, &r);
         assert!((plain - with_tele).abs() < 1e-6);
-        let total = b.latency + b.issue + b.fpu + b.l2_bandwidth + b.dram_bandwidth + b.atomics + b.background;
+        let total = b.latency
+            + b.issue
+            + b.fpu
+            + b.l2_bandwidth
+            + b.dram_bandwidth
+            + b.atomics
+            + b.background;
         assert!((total - 1.0).abs() < 1e-9, "{b:?}");
+    }
+
+    /// The event loop exactly as the engine shipped before the prefix
+    /// cache and scratch reuse: per-call prefix build, per-event demand
+    /// vectors. Kept verbatim so the refactored path can be checked
+    /// bit-for-bit against it.
+    fn reference_simulate_region(m: &Machine, threads: usize, region: &Region) -> f64 {
+        m.validate();
+        assert!(threads >= 1 && threads <= m.hw_threads());
+
+        let mut cycles = 0.0;
+        if region.serial_pre != Work::default() {
+            cycles += solo_time(m, &Priced::price(&region.serial_pre, m));
+        }
+        let n = region.len();
+        if n == 0 {
+            return cycles;
+        }
+        if threads > 1 {
+            if region.fork {
+                cycles += m.fork_base;
+            }
+            cycles += m.barrier_base
+                + m.barrier_log * (threads as f64).log2()
+                + m.barrier_per_thread * threads as f64;
+        }
+
+        let mut prefix: Vec<Work> = Vec::with_capacity(n + 1);
+        prefix.push(Work::default());
+        for w in region.iter_work.iter() {
+            let last = *prefix.last().unwrap();
+            prefix.push(last.add(w));
+        }
+        let range_work = |lo: usize, hi: usize| -> Work {
+            let (a, b) = (prefix[lo], prefix[hi]);
+            Work {
+                issue: b.issue - a.issue,
+                l1: b.l1 - a.l1,
+                l2: b.l2 - a.l2,
+                dram: b.dram - a.dram,
+                flops: b.flops - a.flops,
+                atomics: b.atomics - a.atomics,
+            }
+        };
+
+        let mut cursor = Cursor::new(region.policy, n, threads);
+        let overhead = region.policy.chunk_overhead(m);
+        let sigma_bg =
+            1.0 + region.policy.background_coeff(m) * (threads * threads) as f64 / m.cores as f64;
+
+        let mut ts: Vec<ThreadSim> = (0..threads)
+            .map(|i| ThreadSim {
+                core: m.core_of(i),
+                frac: 0.0,
+                comp: Priced::default(),
+                running: false,
+            })
+            .collect();
+        let mut core_occ = vec![0usize; m.cores];
+
+        let mut active = 0usize;
+        for i in 0..threads {
+            if let Some(r) = cursor.next(i) {
+                let w = range_work(r.start, r.end).add(&overhead);
+                ts[i].comp = Priced::price(&w, m);
+                ts[i].frac = 1.0;
+                ts[i].running = true;
+                core_occ[ts[i].core] += 1;
+                active += 1;
+            }
+        }
+
+        let mut now = 0.0f64;
+        let mut t0 = vec![0.0f64; threads];
+        let mut slow = vec![1.0f64; threads];
+
+        while active > 0 {
+            for (i, t) in ts.iter().enumerate() {
+                if !t.running {
+                    continue;
+                }
+                let (pen_i, pen_s) = if core_occ[t.core] == 1 {
+                    (m.single_thread_issue_penalty, m.single_thread_stall_penalty)
+                } else {
+                    (1.0, 1.0)
+                };
+                let compute = (t.comp.issue * pen_i).max(t.comp.fpu);
+                t0[i] = (compute + t.comp.stall * pen_s).max(EPS);
+            }
+            let mut issue_d = vec![0.0f64; m.cores];
+            let mut fpu_d = vec![0.0f64; m.cores];
+            let mut dram_d = 0.0f64;
+            let mut l2_d = 0.0f64;
+            let mut atomic_d = 0.0f64;
+            for (i, t) in ts.iter().enumerate() {
+                if !t.running {
+                    continue;
+                }
+                issue_d[t.core] += t.comp.issue / t0[i];
+                fpu_d[t.core] += t.comp.fpu / t0[i];
+                dram_d += t.comp.dram / t0[i];
+                l2_d += t.comp.l2 / t0[i];
+                atomic_d += t.comp.atomics * m.atomic_service / t0[i];
+            }
+            let sigma_dram = dram_d / m.dram_lines_per_cycle;
+            let sigma_l2 = l2_d / m.l2_lines_per_cycle;
+            let sigma_global = sigma_dram
+                .max(sigma_l2)
+                .max(atomic_d)
+                .max(sigma_bg)
+                .max(1.0);
+            let mut dt = f64::INFINITY;
+            for (i, t) in ts.iter().enumerate() {
+                if !t.running {
+                    continue;
+                }
+                let sigma_core = issue_d[t.core].max(fpu_d[t.core]).max(1.0);
+                slow[i] = sigma_core.max(sigma_global);
+                dt = dt.min(t.frac * t0[i] * slow[i]);
+            }
+            now += dt;
+            for i in 0..threads {
+                if !ts[i].running {
+                    continue;
+                }
+                ts[i].frac -= dt / (t0[i] * slow[i]);
+                if ts[i].frac <= EPS {
+                    match cursor.next(i) {
+                        Some(r) => {
+                            let w = range_work(r.start, r.end).add(&overhead);
+                            ts[i].comp = Priced::price(&w, m);
+                            ts[i].frac = 1.0;
+                        }
+                        None => {
+                            ts[i].running = false;
+                            core_occ[ts[i].core] -= 1;
+                            active -= 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        cycles + now
+    }
+
+    #[test]
+    fn cached_prefix_and_scratch_bit_identical_to_seed_path() {
+        // Every policy × several thread counts × heterogeneous work: the
+        // cached-prefix, scratch-reusing engine must return *exactly* the
+        // seed path's cycles — same operations in the same order.
+        let m = Machine::knf();
+        let mut iters = Vec::new();
+        for i in 0..4_000usize {
+            iters.push(Work {
+                issue: 5.0 + (i % 7) as f64,
+                l1: (i % 3) as f64,
+                l2: 0.25 * (i % 2) as f64,
+                dram: if i % 5 == 0 { 1.0 } else { 0.0 },
+                flops: (i % 4) as f64,
+                atomics: if i % 11 == 0 { 1.0 } else { 0.0 },
+            });
+        }
+        let policies = [
+            Policy::Serial,
+            Policy::OmpStatic { chunk: None },
+            Policy::OmpStatic { chunk: Some(16) },
+            Policy::OmpDynamic { chunk: 100 },
+            Policy::OmpGuided { min_chunk: 8 },
+            Policy::Cilk { grain: 100 },
+            Policy::TbbSimple { grain: 40 },
+            Policy::TbbAuto,
+            Policy::TbbAffinity,
+        ];
+        let mut scratch = SimScratch::new();
+        for policy in policies {
+            let r = Region::new(iters.clone(), policy).with_serial_pre(Work {
+                issue: 20.0,
+                ..Default::default()
+            });
+            for t in [1usize, 2, 11, 31, 62, 121, 124] {
+                let expect = reference_simulate_region(&m, t, &r);
+                let fresh = simulate_region(&m, t, &r);
+                let reused = simulate_region_with_scratch(&m, t, &r, &mut scratch);
+                assert_eq!(
+                    expect.to_bits(),
+                    fresh.to_bits(),
+                    "{policy:?} t={t}: fresh-scratch path diverged: {expect} vs {fresh}"
+                );
+                assert_eq!(
+                    expect.to_bits(),
+                    reused.to_bits(),
+                    "{policy:?} t={t}: reused-scratch path diverged: {expect} vs {reused}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_cache_shared_across_policy_variants() {
+        let r = Region::new(vec![mem_bound(); 100], Policy::OmpDynamic { chunk: 10 });
+        let p1 = std::sync::Arc::clone(r.prefix_sums());
+        let variant = r.with_policy(Policy::Cilk { grain: 5 });
+        assert!(
+            std::sync::Arc::ptr_eq(&p1, variant.prefix_sums()),
+            "policy variants must share the prefix cache"
+        );
+        let clone = r.clone();
+        assert!(std::sync::Arc::ptr_eq(&p1, clone.prefix_sums()));
+        assert_eq!(p1.len(), 101);
+        // A region over a different work array gets its own cache.
+        let other = Region::new(vec![mem_bound(); 100], Policy::OmpDynamic { chunk: 10 });
+        assert!(!std::sync::Arc::ptr_eq(&p1, other.prefix_sums()));
     }
 
     #[test]
@@ -581,11 +917,15 @@ mod tests {
         // total work: the fragmented version must be slower at high t.
         let m = Machine::knf();
         let w = mem_bound();
-        let small: Vec<Region> =
-            (0..200).map(|_| uniform_region(50, w, Policy::OmpDynamic { chunk: 8 })).collect();
+        let small: Vec<Region> = (0..200)
+            .map(|_| uniform_region(50, w, Policy::OmpDynamic { chunk: 8 }))
+            .collect();
         let big = uniform_region(10_000, w, Policy::OmpDynamic { chunk: 8 });
         let frag = simulate(&m, 121, &small).cycles;
         let mono = simulate_region(&m, 121, &big);
-        assert!(frag > 1.5 * mono, "fragmentation should cost barriers: {frag} vs {mono}");
+        assert!(
+            frag > 1.5 * mono,
+            "fragmentation should cost barriers: {frag} vs {mono}"
+        );
     }
 }

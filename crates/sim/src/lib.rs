@@ -41,7 +41,10 @@ pub mod sched;
 pub mod work;
 
 pub use analytic::{bfs_model_speedup, BfsModel};
-pub use engine::{simulate, simulate_region, simulate_region_telemetry, Bottleneck, SimReport};
+pub use engine::{
+    simulate, simulate_region, simulate_region_telemetry, simulate_region_with_scratch,
+    simulate_with_scratch, Bottleneck, SimReport, SimScratch,
+};
 pub use machine::{Machine, Placement, SchedCosts};
 pub use sched::Policy;
 pub use work::{Region, Work};

@@ -40,7 +40,11 @@ impl Policy {
             Policy::TbbAuto => (s.tbb_task, s.tbb_task_atomics * 0.7),
             Policy::TbbAffinity => (s.tbb_task * 0.6, 0.0),
         };
-        Work { issue, atomics, ..Default::default() }
+        Work {
+            issue,
+            atomics,
+            ..Default::default()
+        }
     }
 
     /// Coefficient of the runtime's background coherence traffic (see
@@ -67,20 +71,32 @@ pub(crate) enum Cursor {
     Blocks { ranges: Vec<Option<Range<usize>>> },
     /// Cyclic chunks: thread `id` takes chunks `id`, `id + t`, … Used for
     /// static-with-chunk and the (deterministic) affinity partitioner.
-    Cyclic { n: usize, chunk: usize, t: usize, next_round: Vec<usize> },
+    Cyclic {
+        n: usize,
+        chunk: usize,
+        t: usize,
+        next_round: Vec<usize>,
+    },
     /// First-come-first-served fixed chunks (dynamic / Cilk / TBB simple &
     /// auto — what differs between those is the per-chunk overhead, not
     /// the dispatch order).
     Fcfs { n: usize, chunk: usize, next: usize },
     /// Guided: FCFS with geometrically shrinking chunk sizes.
-    Guided { n: usize, min_chunk: usize, t: usize, next: usize },
+    Guided {
+        n: usize,
+        min_chunk: usize,
+        t: usize,
+        next: usize,
+    },
 }
 
 impl Cursor {
     pub(crate) fn new(policy: Policy, n: usize, t: usize) -> Cursor {
         match policy {
             Policy::Serial => Cursor::Blocks {
-                ranges: (0..t).map(|id| if id == 0 && n > 0 { Some(0..n) } else { None }).collect(),
+                ranges: (0..t)
+                    .map(|id| if id == 0 && n > 0 { Some(0..n) } else { None })
+                    .collect(),
             },
             Policy::OmpStatic { chunk: None } => {
                 let base = n / t;
@@ -98,23 +114,46 @@ impl Cursor {
                     .collect();
                 Cursor::Blocks { ranges }
             }
-            Policy::OmpStatic { chunk: Some(c) } => {
-                Cursor::Cyclic { n, chunk: c.max(1), t, next_round: vec![0; t] }
-            }
+            Policy::OmpStatic { chunk: Some(c) } => Cursor::Cyclic {
+                n,
+                chunk: c.max(1),
+                t,
+                next_round: vec![0; t],
+            },
             Policy::TbbAffinity => {
                 let chunk = n.div_ceil((t * 4).max(1)).max(1);
-                Cursor::Cyclic { n, chunk, t, next_round: vec![0; t] }
+                Cursor::Cyclic {
+                    n,
+                    chunk,
+                    t,
+                    next_round: vec![0; t],
+                }
             }
-            Policy::OmpDynamic { chunk } => Cursor::Fcfs { n, chunk: chunk.max(1), next: 0 },
-            Policy::Cilk { grain } => Cursor::Fcfs { n, chunk: grain.max(1), next: 0 },
-            Policy::TbbSimple { grain } => Cursor::Fcfs { n, chunk: grain.max(1), next: 0 },
+            Policy::OmpDynamic { chunk } => Cursor::Fcfs {
+                n,
+                chunk: chunk.max(1),
+                next: 0,
+            },
+            Policy::Cilk { grain } => Cursor::Fcfs {
+                n,
+                chunk: grain.max(1),
+                next: 0,
+            },
+            Policy::TbbSimple { grain } => Cursor::Fcfs {
+                n,
+                chunk: grain.max(1),
+                next: 0,
+            },
             Policy::TbbAuto => {
                 let chunk = n.div_ceil((t * 4).max(1)).max(1);
                 Cursor::Fcfs { n, chunk, next: 0 }
             }
-            Policy::OmpGuided { min_chunk } => {
-                Cursor::Guided { n, min_chunk: min_chunk.max(1), t, next: 0 }
-            }
+            Policy::OmpGuided { min_chunk } => Cursor::Guided {
+                n,
+                min_chunk: min_chunk.max(1),
+                t,
+                next: 0,
+            },
         }
     }
 
@@ -122,7 +161,12 @@ impl Cursor {
     pub(crate) fn next(&mut self, thread: usize) -> Option<Range<usize>> {
         match self {
             Cursor::Blocks { ranges } => ranges[thread].take(),
-            Cursor::Cyclic { n, chunk, t, next_round } => {
+            Cursor::Cyclic {
+                n,
+                chunk,
+                t,
+                next_round,
+            } => {
                 let round = next_round[thread];
                 let lo = (round * *t + thread) * *chunk;
                 if lo >= *n {
@@ -139,7 +183,12 @@ impl Cursor {
                 *next = (*next + *chunk).min(*n);
                 Some(lo..*next)
             }
-            Cursor::Guided { n, min_chunk, t, next } => {
+            Cursor::Guided {
+                n,
+                min_chunk,
+                t,
+                next,
+            } => {
                 if *next >= *n {
                     return None;
                 }

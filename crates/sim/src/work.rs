@@ -37,6 +37,19 @@ impl Work {
         }
     }
 
+    /// Elementwise difference. With prefix sums `p`, `p[hi].sub(&p[lo])`
+    /// aggregates iterations `lo..hi` in O(1).
+    pub fn sub(&self, o: &Work) -> Work {
+        Work {
+            issue: self.issue - o.issue,
+            l1: self.l1 - o.l1,
+            l2: self.l2 - o.l2,
+            dram: self.dram - o.dram,
+            flops: self.flops - o.flops,
+            atomics: self.atomics - o.atomics,
+        }
+    }
+
     /// Elementwise scale.
     pub fn scale(&self, k: f64) -> Work {
         Work {
@@ -60,9 +73,16 @@ impl Work {
 
     /// All fields finite and non-negative.
     pub fn is_valid(&self) -> bool {
-        [self.issue, self.l1, self.l2, self.dram, self.flops, self.atomics]
-            .iter()
-            .all(|v| v.is_finite() && *v >= 0.0)
+        [
+            self.issue,
+            self.l1,
+            self.l2,
+            self.dram,
+            self.flops,
+            self.atomics,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v >= 0.0)
     }
 }
 
@@ -97,7 +117,6 @@ impl Priced {
             atomics: w.atomics,
         }
     }
-
 }
 
 /// One parallel region: a loop over `iter_work.len()` iterations scheduled
@@ -115,32 +134,55 @@ pub struct Region {
     /// `false` models a *persistent team* synchronizing with an in-region
     /// barrier instead (only the barrier is charged).
     pub fork: bool,
+    /// Lazily-built prefix sums of `iter_work`, shared (through the outer
+    /// `Arc`) by every clone and policy variant of this region so a sweep
+    /// over the thread grid pays the O(n) pass once.
+    prefix: std::sync::Arc<std::sync::OnceLock<std::sync::Arc<Vec<Work>>>>,
 }
 
 impl Region {
     /// A region with no serial prefix.
     pub fn new(iter_work: Vec<Work>, policy: Policy) -> Region {
-        Region {
-            iter_work: std::sync::Arc::new(iter_work),
-            policy,
-            serial_pre: Work::default(),
-            fork: true,
-        }
+        Region::shared(std::sync::Arc::new(iter_work), policy)
     }
 
     /// A region sharing an existing work array.
     pub fn shared(iter_work: std::sync::Arc<Vec<Work>>, policy: Policy) -> Region {
-        Region { iter_work, policy, serial_pre: Work::default(), fork: true }
+        Region {
+            iter_work,
+            policy,
+            serial_pre: Work::default(),
+            fork: true,
+            prefix: std::sync::Arc::new(std::sync::OnceLock::new()),
+        }
     }
 
-    /// The same region under a different scheduling policy (cheap).
+    /// The same region under a different scheduling policy (cheap; shares
+    /// both the work array and the prefix-sum cache).
     pub fn with_policy(&self, policy: Policy) -> Region {
         Region {
             iter_work: std::sync::Arc::clone(&self.iter_work),
             policy,
             serial_pre: self.serial_pre,
             fork: self.fork,
+            prefix: std::sync::Arc::clone(&self.prefix),
         }
+    }
+
+    /// Prefix sums of `iter_work` (`n + 1` entries, leading zero), built on
+    /// first use and cached. Iterations `lo..hi` aggregate in O(1) as
+    /// `prefix[hi].sub(&prefix[lo])`.
+    pub fn prefix_sums(&self) -> &std::sync::Arc<Vec<Work>> {
+        self.prefix.get_or_init(|| {
+            let mut p = Vec::with_capacity(self.iter_work.len() + 1);
+            p.push(Work::default());
+            for w in self.iter_work.iter() {
+                debug_assert!(w.is_valid(), "invalid Work descriptor");
+                let last = *p.last().unwrap();
+                p.push(last.add(w));
+            }
+            std::sync::Arc::new(p)
+        })
     }
 
     /// Mark this region as run by a persistent team (no fork cost).
@@ -167,7 +209,9 @@ impl Region {
 
     /// Total work across iterations.
     pub fn total(&self) -> Work {
-        self.iter_work.iter().fold(Work::default(), |acc, w| acc.add(w))
+        self.iter_work
+            .iter()
+            .fold(Work::default(), |acc, w| acc.add(w))
     }
 }
 
@@ -177,7 +221,14 @@ mod tests {
 
     #[test]
     fn work_algebra() {
-        let a = Work { issue: 1.0, l1: 2.0, l2: 3.0, dram: 4.0, flops: 5.0, atomics: 6.0 };
+        let a = Work {
+            issue: 1.0,
+            l1: 2.0,
+            l2: 3.0,
+            dram: 4.0,
+            flops: 5.0,
+            atomics: 6.0,
+        };
         let b = a.scale(2.0);
         assert_eq!(b.dram, 8.0);
         let c = a.add(&b);
@@ -196,18 +247,30 @@ mod tests {
     #[test]
     fn pricing_uses_machine_latencies() {
         let m = Machine::knf();
-        let w = Work { issue: 10.0, l1: 1.0, l2: 1.0, dram: 1.0, flops: 4.0, atomics: 1.0 };
+        let w = Work {
+            issue: 10.0,
+            l1: 1.0,
+            l2: 1.0,
+            dram: 1.0,
+            flops: 4.0,
+            atomics: 1.0,
+        };
         let p = Priced::price(&w, &m);
         assert!((p.fpu - 4.0 * m.fpu_recip_throughput).abs() < 1e-9);
-        let expected_stall =
-            m.l1_latency + m.l2_latency + m.dram_latency + m.atomic_latency;
+        let expected_stall = m.l1_latency + m.l2_latency + m.dram_latency + m.atomic_latency;
         assert!((p.stall - expected_stall).abs() < 1e-9);
     }
 
     #[test]
     fn region_total() {
         let r = Region::new(
-            vec![Work { issue: 1.0, ..Default::default() }; 10],
+            vec![
+                Work {
+                    issue: 1.0,
+                    ..Default::default()
+                };
+                10
+            ],
             Policy::OmpDynamic { chunk: 4 },
         );
         assert_eq!(r.len(), 10);

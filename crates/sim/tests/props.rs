@@ -5,9 +5,22 @@ use mic_sim::{simulate_region, Machine, Policy, Region, Work};
 use proptest::prelude::*;
 
 fn arb_work() -> impl Strategy<Value = Work> {
-    (0.0f64..50.0, 0.0f64..20.0, 0.0f64..5.0, 0.0f64..3.0, 0.0f64..20.0, 0.0f64..0.2).prop_map(
-        |(issue, l1, l2, dram, flops, atomics)| Work { issue: issue + 1.0, l1, l2, dram, flops, atomics },
+    (
+        0.0f64..50.0,
+        0.0f64..20.0,
+        0.0f64..5.0,
+        0.0f64..3.0,
+        0.0f64..20.0,
+        0.0f64..0.2,
     )
+        .prop_map(|(issue, l1, l2, dram, flops, atomics)| Work {
+            issue: issue + 1.0,
+            l1,
+            l2,
+            dram,
+            flops,
+            atomics,
+        })
 }
 
 fn arb_policy() -> impl Strategy<Value = Policy> {

@@ -52,5 +52,8 @@ fn main() {
     // Distance-2 coloring (Jacobian compression): needs far more colors.
     let d2 = greedy_distance2(&g);
     check_distance2(&g, &d2.colors).unwrap();
-    println!("distance-2 greedy: {} colors (distance-1 needed {})", d2.num_colors, seq_colors);
+    println!(
+        "distance-2 greedy: {} colors (distance-1 needed {})",
+        d2.num_colors, seq_colors
+    );
 }

@@ -32,7 +32,11 @@ fn main() {
     let source = move || {
         betas.get(next).map(|&b| {
             next += 1;
-            Item { beta_millis: b, graph: None, report: None }
+            Item {
+                beta_millis: b,
+                graph: None,
+                report: None,
+            }
         })
     };
 

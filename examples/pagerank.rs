@@ -26,7 +26,10 @@ fn main() {
     for model in models {
         let (ranks, iters) = pagerank(&pool, &g, 0.85, 1e-9, 200, model);
         let mass: f64 = ranks.iter().sum();
-        println!("{:<9}: converged in {iters} iterations, mass {mass:.6}", model.family());
+        println!(
+            "{:<9}: converged in {iters} iterations, mass {mass:.6}",
+            model.family()
+        );
         match &reference {
             None => reference = Some(ranks),
             Some(r) => assert_eq!(r, &ranks, "all models must agree exactly"),
@@ -38,6 +41,9 @@ fn main() {
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\ntop 5 vertices by rank:");
     for (v, r) in top.iter().take(5) {
-        println!("  vertex {v:>6}: rank {r:.6} (degree {})", g.degree(*v as u32));
+        println!(
+            "  vertex {v:>6}: rank {r:.6} (degree {})",
+            g.degree(*v as u32)
+        );
     }
 }

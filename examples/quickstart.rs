@@ -47,10 +47,17 @@ fn main() {
         &pool,
         &g,
         source,
-        BfsVariant::OmpBlock { sched: Schedule::Dynamic { chunk: 32 }, block: 32, relaxed: true },
+        BfsVariant::OmpBlock {
+            sched: Schedule::Dynamic { chunk: 32 },
+            block: 32,
+            relaxed: true,
+        },
     );
     assert_eq!(par.levels, seq.levels);
-    println!("BFS: {} levels from vertex {source} (parallel == sequential)", par.num_levels);
+    println!(
+        "BFS: {} levels from vertex {source} (parallel == sequential)",
+        par.num_levels
+    );
 
     // 4. Simulate the same BFS on the Knights Ferry machine model and
     //    print the speedup curve next to the paper's analytic model.
@@ -59,7 +66,10 @@ fn main() {
         &g,
         source,
         LocalityWindows::default(),
-        SimVariant::Block { block: 32, relaxed: true },
+        SimVariant::Block {
+            block: 32,
+            relaxed: true,
+        },
     );
     let regions = workload.regions(Policy::OmpDynamic { chunk: 32 });
     let base = simulate(&machine, 1, &regions).cycles;

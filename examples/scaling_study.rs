@@ -12,7 +12,10 @@ use mic_eval::irregular::instrument::instrument as irr_instr;
 use mic_eval::sim::{simulate, simulate_region, Machine, Policy};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
     let g = rgg3d_with_avg_degree(n, Box3::new(8.0, 1.0, 1.0), 30.0, 42);
     let (shuffled, _) = apply(&g, Ordering::Random { seed: 7 });
 
@@ -29,8 +32,10 @@ fn main() {
     println!("{:>8} {:>10} {:>10}", "threads", "natural", "shuffled");
     let nat = color_instr(&g, win).regions(policy);
     let shf = color_instr(&shuffled, win).regions(policy);
-    let (b_nat, b_shf) =
-        (simulate(&machine, 1, &nat).cycles, simulate(&machine, 1, &shf).cycles);
+    let (b_nat, b_shf) = (
+        simulate(&machine, 1, &nat).cycles,
+        simulate(&machine, 1, &shf).cycles,
+    );
     for t in [11usize, 31, 61, 91, 121] {
         println!(
             "{t:>8} {:>10.1} {:>10.1}",
@@ -40,7 +45,10 @@ fn main() {
     }
 
     println!("\nirregular kernel: SMT benefit vs compute intensity:");
-    println!("{:>8} {:>12} {:>14}", "iter", "speedup@121", "vs 31 threads");
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "iter", "speedup@121", "vs 31 threads"
+    );
     for iter in [1usize, 3, 5, 10] {
         let r = irr_instr(&g, win, iter).region(policy);
         let b = simulate_region(&machine, 1, &r);

@@ -10,7 +10,14 @@ use mic_eval::sim::{
 fn main() {
     // A synthetic irregular loop: a few integer ops, a couple of cached
     // reads, one DRAM miss and one flop per iteration.
-    let w = Work { issue: 8.0, l1: 2.0, l2: 0.3, dram: 0.7, flops: 1.0, atomics: 0.0 };
+    let w = Work {
+        issue: 8.0,
+        l1: 2.0,
+        l2: 0.3,
+        dram: 0.7,
+        flops: 1.0,
+        atomics: 0.0,
+    };
     let region = Region::new(vec![w; 100_000], Policy::OmpDynamic { chunk: 100 });
 
     let machines: Vec<Machine> = vec![

@@ -1,0 +1,133 @@
+//! Offline stand-in for the `crossbeam-deque` crate (see
+//! `shims/README.md`). The workspace uses only the [`Injector`] FIFO and
+//! the [`Steal`] result type; this version trades the lock-free internals
+//! for a mutexed ring buffer with the same interface and FIFO order.
+//! `Steal::Retry` is still surfaced (under contention on `try_lock`) so
+//! caller retry loops keep their real shape.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was taken.
+    Success(T),
+    /// Lost a race; try again.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A FIFO injection queue shared by all workers.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.try_lock() {
+            Ok(mut q) => match q.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(std::sync::TryLockError::WouldBlock) => Steal::Retry,
+            Err(std::sync::TryLockError::Poisoned(e)) => match e.into_inner().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let mut got = Vec::new();
+        loop {
+            match inj.steal() {
+                Steal::Success(v) => got.push(v),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_drain_exactly_once() {
+        let inj = Arc::new(Injector::new());
+        let n = 10_000usize;
+        for i in 0..n {
+            inj.push(i);
+        }
+        let sum = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                let sum = Arc::clone(&sum);
+                std::thread::spawn(move || loop {
+                    match inj.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => std::hint::spin_loop(),
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for the `crossbeam-utils` crate (see
+//! `shims/README.md`). Only [`CachePadded`] is used by this workspace.
+
+/// Pads and aligns a value to 128 bytes so that adjacent instances never
+/// share a cache line (two 64-byte lines cover adjacent-line prefetchers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_deref() {
+        let v: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+        for (i, p) in v.iter().enumerate() {
+            assert_eq!(**p, i as u64);
+            assert_eq!((p as *const _ as usize) % 128, 0);
+        }
+    }
+}

@@ -4,8 +4,8 @@
 use mic_eval::bfs::parents::{bfs_with_parents, check_tree};
 use mic_eval::bfs::persistent::persistent_bfs;
 use mic_eval::bfs::{
-    bfs, check_levels, direction::hybrid_bfs, direction::Hybrid, parallel_bfs,
-    seq::table1_source, BfsVariant,
+    bfs, check_levels, direction::hybrid_bfs, direction::Hybrid, parallel_bfs, seq::table1_source,
+    BfsVariant,
 };
 use mic_eval::graph::suite::{build, PaperGraph, Scale};
 use mic_eval::runtime::{Partitioner, Schedule, ThreadPool};
@@ -19,7 +19,11 @@ fn all_variants() -> Vec<BfsVariant> {
         block: 32,
         relaxed: false,
     });
-    v.push(BfsVariant::TbbBlock { part: Partitioner::Auto, block: 8, relaxed: false });
+    v.push(BfsVariant::TbbBlock {
+        part: Partitioner::Auto,
+        block: 8,
+        relaxed: false,
+    });
     v
 }
 
@@ -32,7 +36,13 @@ fn whole_suite_levels_match_sequential() {
         let want = bfs(&g, src);
         for variant in all_variants() {
             let got = parallel_bfs(&pool, &g, src, variant);
-            assert_eq!(got.levels, want.levels, "{} under {}", pg.name(), variant.name());
+            assert_eq!(
+                got.levels,
+                want.levels,
+                "{} under {}",
+                pg.name(),
+                variant.name()
+            );
             check_levels(&g, src, &got.levels).unwrap();
         }
     }

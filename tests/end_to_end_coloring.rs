@@ -51,9 +51,8 @@ fn parallel_quality_close_to_sequential_on_suite() {
     for pg in [PaperGraph::Hood, PaperGraph::Ldoor, PaperGraph::Pwtk] {
         let g = build(pg, SCALE);
         let seq = greedy_color(&g).num_colors as f64;
-        let par =
-            iterative_coloring(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100())).num_colors
-                as f64;
+        let par = iterative_coloring(&pool, &g, RuntimeModel::OpenMp(Schedule::dynamic100()))
+            .num_colors as f64;
         assert!(par <= seq * 1.2 + 2.0, "{}: {par} vs {seq}", pg.name());
     }
 }
@@ -65,7 +64,11 @@ fn shuffled_graphs_color_identically_well() {
     let pool = ThreadPool::new(4);
     let g = build(PaperGraph::Auto, SCALE);
     let (shuffled, _) = apply(&g, Ordering::Random { seed: 99 });
-    let r = iterative_coloring(&pool, &shuffled, RuntimeModel::OpenMp(Schedule::dynamic100()));
+    let r = iterative_coloring(
+        &pool,
+        &shuffled,
+        RuntimeModel::OpenMp(Schedule::dynamic100()),
+    );
     check_proper(&shuffled, &r.colors).unwrap();
     assert!(r.num_colors as usize <= shuffled.max_degree() + 1);
 }
@@ -100,7 +103,15 @@ fn extension_algorithms_agree_on_suite() {
 fn conflicts_resolve_within_a_few_rounds() {
     let pool = ThreadPool::new(8);
     let g = build(PaperGraph::Msdoor, SCALE);
-    let r = iterative_coloring(&pool, &g, RuntimeModel::Tbb(Partitioner::Simple { grain: 10 }));
-    assert!(r.rounds <= 8, "speculation should converge fast, took {} rounds", r.rounds);
+    let r = iterative_coloring(
+        &pool,
+        &g,
+        RuntimeModel::Tbb(Partitioner::Simple { grain: 10 }),
+    );
+    assert!(
+        r.rounds <= 8,
+        "speculation should converge fast, took {} rounds",
+        r.rounds
+    );
     assert_eq!(*r.conflicts_per_round.last().unwrap(), 0);
 }

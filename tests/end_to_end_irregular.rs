@@ -33,9 +33,17 @@ fn jacobi_deterministic_across_models_on_suite() {
 fn inplace_kernel_bounded_on_suite() {
     let pool = ThreadPool::new(8);
     let g = build(PaperGraph::Pwtk, SCALE);
-    let mut state: Vec<f64> = (0..g.num_vertices()).map(|i| (i % 7) as f64 - 3.0).collect();
+    let mut state: Vec<f64> = (0..g.num_vertices())
+        .map(|i| (i % 7) as f64 - 3.0)
+        .collect();
     let (lo, hi) = (-3.0, 3.0);
-    irregular_inplace(&pool, &g, &mut state, 5, RuntimeModel::OpenMp(Schedule::dynamic100()));
+    irregular_inplace(
+        &pool,
+        &g,
+        &mut state,
+        5,
+        RuntimeModel::OpenMp(Schedule::dynamic100()),
+    );
     assert!(state.iter().all(|&s| s >= lo - 1e-9 && s <= hi + 1e-9));
 }
 
@@ -43,7 +51,14 @@ fn inplace_kernel_bounded_on_suite() {
 fn pagerank_on_mesh_converges() {
     let pool = ThreadPool::new(4);
     let g = build(PaperGraph::Auto, SCALE);
-    let (r, iters) = pagerank(&pool, &g, 0.85, 1e-8, 500, RuntimeModel::CilkHolder { grain: 64 });
+    let (r, iters) = pagerank(
+        &pool,
+        &g,
+        0.85,
+        1e-8,
+        500,
+        RuntimeModel::CilkHolder { grain: 64 },
+    );
     assert!(iters < 500);
     assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-6);
 }

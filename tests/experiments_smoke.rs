@@ -11,7 +11,9 @@ fn table1_has_all_rows_and_renders() {
     let rows = table1::table1(SCALE);
     assert_eq!(rows.len(), 7);
     let txt = table1::render(&rows);
-    for name in ["auto", "bmw3_2", "hood", "inline_1", "ldoor", "msdoor", "pwtk"] {
+    for name in [
+        "auto", "bmw3_2", "hood", "inline_1", "ldoor", "msdoor", "pwtk",
+    ] {
         assert!(txt.contains(name), "missing {name}");
     }
 }
@@ -26,7 +28,10 @@ fn fig1_all_panels_produce_curves() {
         let fig = fig1::fig1(panel, SCALE);
         assert_eq!(fig.series.len(), n_series, "{panel:?}");
         assert_eq!(fig.x.len(), 13);
-        assert!(fig.series.iter().all(|s| s.y.iter().all(|v| v.is_finite() && *v > 0.0)));
+        assert!(fig
+            .series
+            .iter()
+            .all(|s| s.y.iter().all(|v| v.is_finite() && *v > 0.0)));
         assert!(!fig.to_csv().is_empty());
     }
 }

@@ -71,7 +71,14 @@ fn fig2_shuffled_is_near_linear_and_ordered() {
 fn fig3_convergence_at_iter_10() {
     let values: Vec<f64> = [fig3::Panel::OpenMp, fig3::Panel::CilkPlus, fig3::Panel::Tbb]
         .into_iter()
-        .map(|p| *fig3::fig3(p, FULL).get("10 iterations").unwrap().y.last().unwrap())
+        .map(|p| {
+            *fig3::fig3(p, FULL)
+                .get("10 iterations")
+                .unwrap()
+                .y
+                .last()
+                .unwrap()
+        })
         .collect();
     // Paper: all three ≈ 49.
     for v in &values {
@@ -91,7 +98,11 @@ fn fig4_block_beats_bag_and_tracks_model() {
     let block = fig.get("OpenMP-Block-relaxed").unwrap();
     let bag = fig.get("CilkPlus-Bag-relaxed").unwrap().y[last];
     assert!(block.y[last] < model, "model bounds the implementation");
-    assert!(block.y[last] > 5.0 * bag, "block {} must dwarf bag {bag}", block.y[last]);
+    assert!(
+        block.y[last] > 5.0 * bag,
+        "block {} must dwarf bag {bag}",
+        block.y[last]
+    );
     // The block implementation peaks before 121 threads and declines.
     let (peak_idx, _) = block.peak();
     assert!(fig.x[peak_idx] < 121, "peak at {}", fig.x[peak_idx]);

@@ -77,9 +77,7 @@ fn pipeline_drives_kernels_in_order() {
     let mut outputs: Vec<(usize, u32)> = Vec::new();
     run_pipeline(
         &pool,
-        move || {
-            sizes.get(i).copied().inspect(|_| i += 1)
-        },
+        move || sizes.get(i).copied().inspect(|_| i += 1),
         vec![Stage::parallel(|n: usize| {
             // Color a small graph sequentially inside the stage.
             let g = erdos_renyi_gnm(n, 3 * n, n as u64);
@@ -117,7 +115,9 @@ fn schedulers_agree_on_expensive_reduction() {
     // A reduction whose result is order-independent: all schedules and
     // partitioners must agree exactly.
     let n = 100_000usize;
-    let expected: u64 = (0..n as u64).map(|i| i.wrapping_mul(2654435761)).fold(0, u64::wrapping_add);
+    let expected: u64 = (0..n as u64)
+        .map(|i| i.wrapping_mul(2654435761))
+        .fold(0, u64::wrapping_add);
     for threads in [1usize, 4, 7] {
         let pool = ThreadPool::new(threads);
         for sched in [
@@ -129,17 +129,28 @@ fn schedulers_agree_on_expensive_reduction() {
             parallel_for(&pool, 0..n, sched, |i, _| {
                 acc.fetch_add((i as u64).wrapping_mul(2654435761), Ordering::Relaxed);
             });
-            assert_eq!(acc.load(Ordering::Relaxed), expected, "{sched:?} t={threads}");
+            assert_eq!(
+                acc.load(Ordering::Relaxed),
+                expected,
+                "{sched:?} t={threads}"
+            );
         }
-        for part in [Partitioner::Simple { grain: 512 }, Partitioner::Auto, Partitioner::Affinity]
-        {
+        for part in [
+            Partitioner::Simple { grain: 512 },
+            Partitioner::Auto,
+            Partitioner::Affinity,
+        ] {
             let acc = std::sync::atomic::AtomicU64::new(0);
             mic_eval::runtime::tbb_parallel_for(&pool, 0..n, part, |r, _| {
                 for i in r {
                     acc.fetch_add((i as u64).wrapping_mul(2654435761), Ordering::Relaxed);
                 }
             });
-            assert_eq!(acc.load(Ordering::Relaxed), expected, "{part:?} t={threads}");
+            assert_eq!(
+                acc.load(Ordering::Relaxed),
+                expected,
+                "{part:?} t={threads}"
+            );
         }
     }
 }

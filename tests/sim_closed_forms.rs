@@ -30,17 +30,26 @@ fn close(a: f64, b: f64) -> bool {
 #[test]
 fn single_thread_issue_penalty_exact() {
     let m = bare(4, 4);
-    let w = Work { issue: 10.0, ..Default::default() };
+    let w = Work {
+        issue: 10.0,
+        ..Default::default()
+    };
     let r = Region::new(vec![w; 1000], Policy::OmpStatic { chunk: None });
     // One thread alone: issue at half rate.
     let c = simulate_region(&m, 1, &r);
-    assert!(close(c, 1000.0 * 10.0 * m.single_thread_issue_penalty), "{c}");
+    assert!(
+        close(c, 1000.0 * 10.0 * m.single_thread_issue_penalty),
+        "{c}"
+    );
 }
 
 #[test]
 fn two_threads_per_core_saturate_issue_exactly() {
     let m = bare(2, 4);
-    let w = Work { issue: 10.0, ..Default::default() };
+    let w = Work {
+        issue: 10.0,
+        ..Default::default()
+    };
     let r = Region::new(vec![w; 1000], Policy::OmpStatic { chunk: None });
     // 4 threads on 2 cores: each core runs 500+500 issue-ops at 1/cycle.
     let c = simulate_region(&m, 4, &r);
@@ -51,24 +60,41 @@ fn two_threads_per_core_saturate_issue_exactly() {
 fn memory_stalls_overlap_across_smt_exactly() {
     let m = bare(1, 4);
     // Pure stall work: one DRAM miss per iteration, negligible issue.
-    let w = Work { issue: 0.001, dram: 1.0, ..Default::default() };
+    let w = Work {
+        issue: 0.001,
+        dram: 1.0,
+        ..Default::default()
+    };
     let r = Region::new(vec![w; 400], Policy::OmpStatic { chunk: None });
     let c1 = simulate_region(&m, 1, &r);
     let c4 = simulate_region(&m, 4, &r);
     // One thread: 400 misses serialized (with the lone-thread stall
     // penalty). Four threads: 100 misses each, fully overlapped.
     let per_miss = m.dram_latency;
-    assert!(close(c1, 400.0 * per_miss * m.single_thread_stall_penalty + 0.4 * 2.0), "{c1}");
+    assert!(
+        close(
+            c1,
+            400.0 * per_miss * m.single_thread_stall_penalty + 0.4 * 2.0
+        ),
+        "{c1}"
+    );
     assert!(c4 > 100.0 * per_miss && c4 < 100.5 * per_miss + 1.0, "{c4}");
     let ratio = c1 / c4;
-    assert!((ratio - 4.0 * m.single_thread_stall_penalty).abs() < 0.05, "{ratio}");
+    assert!(
+        (ratio - 4.0 * m.single_thread_stall_penalty).abs() < 0.05,
+        "{ratio}"
+    );
 }
 
 #[test]
 fn fpu_is_a_per_core_resource_exactly() {
     let m = bare(1, 4);
     // Flop-only work: issue 1/flop, occupancy recip/flop.
-    let w = Work { issue: 1.0, flops: 1.0, ..Default::default() };
+    let w = Work {
+        issue: 1.0,
+        flops: 1.0,
+        ..Default::default()
+    };
     let r = Region::new(vec![w; 1000], Policy::OmpStatic { chunk: None });
     let c4 = simulate_region(&m, 4, &r);
     // 1000 flops through one FPU at `recip` cycles each, regardless of
@@ -81,7 +107,11 @@ fn dram_bandwidth_cap_exact() {
     let mut m = bare(31, 4);
     m.dram_lines_per_cycle = 0.5;
     m.single_thread_stall_penalty = 1.0;
-    let w = Work { issue: 0.001, dram: 1.0, ..Default::default() };
+    let w = Work {
+        issue: 0.001,
+        dram: 1.0,
+        ..Default::default()
+    };
     let r = Region::new(vec![w; 12_400], Policy::OmpStatic { chunk: None });
     let c = simulate_region(&m, 124, &r);
     // Latency-bound floor: 100 misses deep per thread = 100 * 260 = 26 000.
@@ -97,7 +127,11 @@ fn guided_equals_dynamic_on_uniform_work_when_free() {
     // With zero dispatch overheads and uniform iterations, schedule choice
     // cannot matter (up to chunk-boundary quantization).
     let m = bare(8, 2);
-    let w = Work { issue: 5.0, l1: 2.0, ..Default::default() };
+    let w = Work {
+        issue: 5.0,
+        l1: 2.0,
+        ..Default::default()
+    };
     let mk = |p| Region::new(vec![w; 16_000], p);
     let a = simulate_region(&m, 16, &mk(Policy::OmpDynamic { chunk: 100 }));
     let b = simulate_region(&m, 16, &mk(Policy::OmpGuided { min_chunk: 100 }));

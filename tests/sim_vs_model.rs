@@ -39,7 +39,13 @@ fn uniform_levels(widths: &[usize], b: usize) -> Vec<Region> {
         .iter()
         .map(|&x| {
             Region::new(
-                vec![Work { issue: 1.0, ..Default::default() }; x],
+                vec![
+                    Work {
+                        issue: 1.0,
+                        ..Default::default()
+                    };
+                    x
+                ],
                 Policy::OmpDynamic { chunk: b },
             )
         })
@@ -50,7 +56,10 @@ fn uniform_levels(widths: &[usize], b: usize) -> Vec<Region> {
 fn ideal_simulator_matches_analytic_model() {
     let m = ideal_machine();
     let widths = vec![64usize, 816, 2048, 300, 31, 5];
-    let model = BfsModel { block: 32, level_widths: widths.clone() };
+    let model = BfsModel {
+        block: 32,
+        level_widths: widths.clone(),
+    };
     let regions = uniform_levels(&widths, 32);
     let base = simulate(&m, 1, &regions).cycles;
     for t in [1usize, 4, 13, 31, 61, 124] {
@@ -73,11 +82,21 @@ fn real_simulator_stays_at_or_below_model_at_scale() {
     // single-thread penalties which make real 1-thread runs slower).
     let g = build(PaperGraph::Hood, Scale::Fraction(16));
     let src = table1_source(&g);
-    let w = instrument(&g, src, LocalityWindows::default(), SimVariant::Block { block: 32, relaxed: true });
+    let w = instrument(
+        &g,
+        src,
+        LocalityWindows::default(),
+        SimVariant::Block {
+            block: 32,
+            relaxed: true,
+        },
+    );
     let regions = w.regions(Policy::OmpDynamic { chunk: 32 });
     let m = Machine::knf();
     let base = simulate(&m, 1, &regions).cycles;
-    let slack = m.single_thread_stall_penalty.max(m.single_thread_issue_penalty);
+    let slack = m
+        .single_thread_stall_penalty
+        .max(m.single_thread_issue_penalty);
     for t in [31usize, 61, 121] {
         let s = base / simulate(&m, t, &regions).cycles;
         let model = bfs_model_speedup(&w.widths, t);
@@ -112,7 +131,10 @@ fn model_upper_bounds_tighten_with_narrow_levels() {
             g,
             table1_source(g),
             LocalityWindows::default(),
-            SimVariant::Block { block: 32, relaxed: true },
+            SimVariant::Block {
+                block: 32,
+                relaxed: true,
+            },
         )
         .widths
     };
