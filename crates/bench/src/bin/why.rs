@@ -3,41 +3,23 @@
 //! engine's bottleneck telemetry. This is the one-screen answer to "why
 //! does this curve plateau where it does".
 //!
+//! Two levels of detail: a one-line summary per configuration at the top
+//! thread count, then the full per-point stall-attribution table over the
+//! whole thread grid (every sweep point of every headline config). With
+//! `MIC_TRACE=PATH` set, also exports chunk-level Chrome traces of the
+//! top-thread-count runs (open in `chrome://tracing` or Perfetto).
+//!
 //! Usage: `why [--scale K]` (default 1/4 scale).
 
-use mic_eval::coloring::instrument::instrument as color_instr;
-use mic_eval::graph::ordering::{apply, Ordering};
+use mic_eval::bfs::instrument::SimVariant;
 use mic_eval::graph::stats::LocalityWindows;
-use mic_eval::graph::suite::{build, PaperGraph, Scale};
-use mic_eval::irregular::instrument::instrument as irr_instr;
-use mic_eval::sim::{simulate_region_telemetry, Bottleneck, Machine, Policy, Region};
+use mic_eval::graph::suite::{PaperGraph, Scale};
+use mic_eval::sim::{Machine, Policy, Region};
+use mic_eval::trace::{aggregate_breakdown, stall_sweep, trace_path, trace_simulation};
+use mic_eval::workload_cache::{self, OrderTag};
 
 fn show(name: &str, m: &Machine, t: usize, regions: &[Region]) {
-    // Aggregate telemetry over the regions, weighted by their cycles.
-    let mut total = 0.0;
-    let mut agg = Bottleneck::default();
-    for r in regions {
-        let (c, b) = simulate_region_telemetry(m, t, r);
-        total += c;
-        agg.latency += b.latency * c;
-        agg.issue += b.issue * c;
-        agg.fpu += b.fpu * c;
-        agg.l2_bandwidth += b.l2_bandwidth * c;
-        agg.dram_bandwidth += b.dram_bandwidth * c;
-        agg.atomics += b.atomics * c;
-        agg.background += b.background * c;
-    }
-    for f in [
-        &mut agg.latency,
-        &mut agg.issue,
-        &mut agg.fpu,
-        &mut agg.l2_bandwidth,
-        &mut agg.dram_bandwidth,
-        &mut agg.atomics,
-        &mut agg.background,
-    ] {
-        *f /= total;
-    }
+    let (_, agg) = aggregate_breakdown(m, t, regions);
     println!(
         "{name:<38} {:<14} lat {:>4.0}% iss {:>4.0}% fpu {:>4.0}% l2bw {:>4.0}% dram {:>4.0}% atom {:>4.0}% bg {:>4.0}%",
         agg.dominant(),
@@ -67,56 +49,76 @@ fn main() {
     let m = Machine::knf();
     let t = 121;
     let win = LocalityWindows::default();
-    let g = build(PaperGraph::Hood, scale);
-    let (shuffled, _) = apply(&g, Ordering::Random { seed: 5 });
+
+    // All workloads come from the shared cache, so repeated runs (and the
+    // other bench binaries in the same process tree) instrument once.
+    let natural = OrderTag::Natural;
+    let shuffled = OrderTag::Random { seed: 5 };
+    let color = |order, policy| {
+        workload_cache::coloring(PaperGraph::Hood, scale, order, win).regions(policy)
+    };
+    let configs: Vec<(String, Vec<Region>)> = vec![
+        (
+            "Fig1a coloring natural, OMP-dyn/100".into(),
+            color(natural, Policy::OmpDynamic { chunk: 100 }),
+        ),
+        (
+            "Fig1b coloring natural, Cilk/100".into(),
+            color(natural, Policy::Cilk { grain: 100 }),
+        ),
+        (
+            "Fig1c coloring natural, TBB-simple/40".into(),
+            color(natural, Policy::TbbSimple { grain: 40 }),
+        ),
+        (
+            "Fig2  coloring shuffled, OMP-dyn/100".into(),
+            color(shuffled, Policy::OmpDynamic { chunk: 100 }),
+        ),
+        (
+            "Fig3  irregular iter=1, OMP-dyn/100".into(),
+            vec![
+                workload_cache::irregular(PaperGraph::Hood, scale, natural, win, 1)
+                    .region(Policy::OmpDynamic { chunk: 100 }),
+            ],
+        ),
+        (
+            "Fig3  irregular iter=10, OMP-dyn/100".into(),
+            vec![
+                workload_cache::irregular(PaperGraph::Hood, scale, natural, win, 10)
+                    .region(Policy::OmpDynamic { chunk: 100 }),
+            ],
+        ),
+        (
+            "Fig4  BFS block-relaxed, OMP-dyn/32".into(),
+            workload_cache::bfs(
+                PaperGraph::Hood,
+                scale,
+                natural,
+                win,
+                SimVariant::Block {
+                    block: 32,
+                    relaxed: true,
+                },
+            )
+            .regions(Policy::OmpDynamic { chunk: 32 }),
+        ),
+    ];
 
     println!("binding resource at {t} threads on KNF (hood at {scale:?}):\n");
-    show(
-        "Fig1a coloring natural, OMP-dyn/100",
-        &m,
-        t,
-        &color_instr(&g, win).regions(Policy::OmpDynamic { chunk: 100 }),
-    );
-    show(
-        "Fig1b coloring natural, Cilk/100",
-        &m,
-        t,
-        &color_instr(&g, win).regions(Policy::Cilk { grain: 100 }),
-    );
-    show(
-        "Fig1c coloring natural, TBB-simple/40",
-        &m,
-        t,
-        &color_instr(&g, win).regions(Policy::TbbSimple { grain: 40 }),
-    );
-    show(
-        "Fig2  coloring shuffled, OMP-dyn/100",
-        &m,
-        t,
-        &color_instr(&shuffled, win).regions(Policy::OmpDynamic { chunk: 100 }),
-    );
-    for iter in [1usize, 10] {
-        show(
-            &format!("Fig3  irregular iter={iter}, OMP-dyn/100"),
-            &m,
-            t,
-            &[irr_instr(&g, win, iter).region(Policy::OmpDynamic { chunk: 100 })],
-        );
+    for (name, regions) in &configs {
+        show(name, &m, t, regions);
     }
-    let src = mic_eval::bfs::seq::table1_source(&g);
-    let bw = mic_eval::bfs::instrument::instrument(
-        &g,
-        src,
-        win,
-        mic_eval::bfs::instrument::SimVariant::Block {
-            block: 32,
-            relaxed: true,
-        },
-    );
-    show(
-        "Fig4  BFS block-relaxed, OMP-dyn/32",
-        &m,
-        t,
-        &bw.regions(Policy::OmpDynamic { chunk: 32 }),
-    );
+
+    println!("\nper-point stall attribution over the thread grid:\n");
+    let table = stall_sweep(&m, &m.thread_grid(), &configs);
+    print!("{}", table.to_ascii());
+
+    if let Some(path) = trace_path() {
+        let parts: Vec<_> = configs
+            .iter()
+            .map(|(name, regions)| trace_simulation(&format!("{name} t={t}"), &m, t, regions).1)
+            .collect();
+        mic_eval::trace::write_chrome_trace(&path, &parts, &[]).expect("write MIC_TRACE file");
+        println!("\nwrote chunk-level trace to {}", path.display());
+    }
 }

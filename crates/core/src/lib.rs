@@ -48,6 +48,7 @@ pub mod native;
 pub mod series;
 pub mod stats;
 pub mod sweep;
+pub mod trace;
 pub mod workload_cache;
 
 pub use series::{Figure, Series};

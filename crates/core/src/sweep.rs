@@ -25,17 +25,48 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Worker count for [`map`]: `MIC_SWEEP_THREADS` if set and positive,
-/// otherwise available parallelism capped at 16.
+/// otherwise available parallelism capped at 16. A set-but-unusable value
+/// (unparsable, or `0`) is rejected with a one-line warning on stderr —
+/// silently falling back used to make `MIC_SWEEP_THREADS=O` typos
+/// indistinguishable from the default.
 pub fn default_threads() -> usize {
-    match std::env::var("MIC_SWEEP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
+    let fallback = || {
+        std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-            .min(16),
+            .min(16)
+    };
+    match std::env::var("MIC_SWEEP_THREADS") {
+        Err(_) => fallback(),
+        Ok(raw) => match parse_sweep_threads(&raw) {
+            Ok(n) => n,
+            Err(rejected) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "mic-eval: ignoring MIC_SWEEP_THREADS={rejected:?} \
+                         (need a positive integer); using default"
+                    );
+                });
+                fallback()
+            }
+        },
+    }
+}
+
+/// Parse a `MIC_SWEEP_THREADS` value: empty means "unset" (use the
+/// default, no warning); anything else must be a positive integer, and is
+/// returned as `Err` verbatim otherwise so the caller can name it.
+fn parse_sweep_threads(raw: &str) -> Result<usize, &str> {
+    if raw.is_empty() {
+        return Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16));
+    }
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(raw),
     }
 }
 
@@ -139,6 +170,17 @@ mod tests {
             .map(|b| (0..8).map(|x| b * 100 + x).sum::<usize>())
             .collect();
         assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn sweep_threads_parsing() {
+        assert_eq!(parse_sweep_threads("4"), Ok(4));
+        assert_eq!(parse_sweep_threads(" 12 "), Ok(12));
+        assert!(parse_sweep_threads("").is_ok(), "empty means unset");
+        assert_eq!(parse_sweep_threads("0"), Err("0"));
+        assert_eq!(parse_sweep_threads("O"), Err("O"));
+        assert_eq!(parse_sweep_threads("-3"), Err("-3"));
+        assert_eq!(parse_sweep_threads("4.5"), Err("4.5"));
     }
 
     #[test]

@@ -283,10 +283,14 @@ fn disk_path(
 }
 
 /// Best-effort write; failure just means no cache hit next run.
-fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
+///
+/// Public for stress tests and cache-maintenance tools; the experiment
+/// drivers go through the keyed cache functions above.
+pub fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
     let write = || -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
+            cleanup_orphan_tmps(dir);
         }
         let mut buf: Vec<u8> = Vec::new();
         buf.extend_from_slice(MAGIC);
@@ -304,21 +308,65 @@ fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
             }
         }
         // Write-then-rename so a crashed run never leaves a torn file
-        // under the final name.
-        let tmp = path.with_extension("bin.tmp");
+        // under the final name. The tmp name must be unique per writer:
+        // concurrent processes sharing MIC_SUITE_CACHE (and concurrent
+        // sweep jobs in one process) race on the same key, and a shared
+        // `.bin.tmp` name let one writer rename a file another was still
+        // filling — a torn cache entry under the *final* name, defeating
+        // the whole point of the rename.
+        static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = path.with_extension(format!(
+            "bin.tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         std::fs::File::create(&tmp)?.write_all(&buf)?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     };
     let _ = write();
 }
 
+/// Remove stale `*.tmp.*` files a crashed writer may have left behind.
+/// Runs at most once per process per cache directory use; only files not
+/// modified for 15 minutes are touched, so live writers (which hold their
+/// unique tmp for milliseconds) are never affected. Best-effort: any
+/// error just leaves the orphan for a later run.
+fn cleanup_orphan_tmps(dir: &Path) {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let is_tmp = name.to_str().is_some_and(|n| n.contains(".bin.tmp"));
+            if !is_tmp {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age.as_secs() > 15 * 60);
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    });
+}
+
 /// Meta words + work arrays, as stored in one workload file.
-type StoredArrays = (Vec<u64>, Vec<Arc<Vec<Work>>>);
+pub type StoredArrays = (Vec<u64>, Vec<Arc<Vec<Work>>>);
 
 /// Read a workload file; `None` on any structural problem (missing,
 /// truncated, wrong counts, non-finite values). `expect_arrays` /
 /// `expect_meta` of 0 accept any count.
-fn load_arrays(path: &Path, expect_arrays: usize, expect_meta: usize) -> Option<StoredArrays> {
+///
+/// Public for stress tests and cache-maintenance tools.
+pub fn load_arrays(path: &Path, expect_arrays: usize, expect_meta: usize) -> Option<StoredArrays> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)
         .ok()?

@@ -30,13 +30,30 @@ pub fn cilk_for<F>(pool: &ThreadPool, range: Range<usize>, grain: usize, body: F
 where
     F: Fn(Range<usize>, WorkerCtx) + Sync,
 {
+    cilk_for_labeled(pool, range, grain, "cilk", body);
+}
+
+/// The splitting engine behind [`cilk_for`], labeled for tracing. TBB's
+/// simple partitioner shares the engine but reports as "tbb". Injected
+/// ranges carry the id of the worker that published them (`usize::MAX` for
+/// the root range) so a pop by a different worker is recorded as a steal.
+pub(crate) fn cilk_for_labeled<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    grain: usize,
+    runtime: &'static str,
+    body: F,
+) where
+    F: Fn(Range<usize>, WorkerCtx) + Sync,
+{
     if range.is_empty() {
         return;
     }
+    let body = crate::trace::timed_chunk(runtime, body);
     let grain = grain.max(1);
     let total = range.len();
-    let injector: Injector<Range<usize>> = Injector::new();
-    injector.push(range);
+    let injector: Injector<(Range<usize>, usize)> = Injector::new();
+    injector.push((range, usize::MAX));
     let remaining = AtomicUsize::new(total);
     // A panicking leaf would strand `remaining` above zero and leave the
     // other workers spinning forever; the abort flag releases them, and
@@ -54,7 +71,12 @@ where
                 Some(r) => r,
                 None => loop {
                     match injector.steal() {
-                        Steal::Success(r) => break r,
+                        Steal::Success((r, owner)) => {
+                            if owner != ctx.id && owner != usize::MAX {
+                                crate::trace::emit_steal(runtime, ctx.id, owner);
+                            }
+                            break r;
+                        }
                         Steal::Empty => {
                             if remaining.load(Ordering::Acquire) == 0
                                 || aborted.load(Ordering::Acquire)
@@ -77,7 +99,7 @@ where
                 // Publish generously while the pool is likely hungry,
                 // otherwise keep it on the local stack.
                 if injector.is_empty() {
-                    injector.push(back);
+                    injector.push((back, ctx.id));
                 } else {
                     local.push(back);
                 }

@@ -35,6 +35,7 @@ pub mod scan;
 pub mod sync;
 pub mod tbb;
 pub mod tls;
+pub mod trace;
 
 pub use cilk::cilk_for;
 pub use concurrent::{BlockCursor, BlockQueue, BlockWriter, ConcurrentPushVec};
@@ -46,3 +47,4 @@ pub use scan::{exclusive_scan, exclusive_scan_seq};
 pub use sync::{Critical, RegionBarrier, Single};
 pub use tbb::{tbb_parallel_for, Partitioner};
 pub use tls::{Combinable, Holder, PerWorker, ReducerMax};
+pub use trace::{capture as capture_native_trace, NativeEvent, NativeEventKind};

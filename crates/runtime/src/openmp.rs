@@ -64,6 +64,7 @@ where
     if range.is_empty() {
         return;
     }
+    let body = crate::trace::timed_chunk("omp", body);
     let t = pool.num_threads();
     let (start, end) = (range.start, range.end);
     let n = end - start;

@@ -187,7 +187,17 @@ fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared
         // zero, which happens strictly after this call returns.
         let f = unsafe { &*job.0 };
         let outer = IN_REGION.with(|flag| flag.replace(Some(pool_id)));
+        let trace_start = crate::trace::enabled().then(crate::trace::now_us);
         let result = panic::catch_unwind(AssertUnwindSafe(|| f(WorkerCtx { id, num_threads })));
+        if let Some(t0) = trace_start {
+            crate::trace::emit(crate::trace::NativeEvent {
+                runtime: "pool",
+                worker: id,
+                start_us: t0,
+                end_us: crate::trace::now_us(),
+                kind: crate::trace::NativeEventKind::Region { epoch: seen_epoch },
+            });
+        }
         IN_REGION.with(|flag| flag.set(outer));
         let mut s = shared.state.lock();
         if let Err(p) = result {

@@ -43,7 +43,7 @@ where
         Partitioner::Simple { grain } => {
             // Same splitting engine as cilk_for: divide-until-grain with
             // stealable halves.
-            crate::cilk::cilk_for(pool, range, grain.max(1), body);
+            crate::cilk::cilk_for_labeled(pool, range, grain.max(1), "tbb", body);
         }
         Partitioner::Auto => auto_partition(pool, range, body),
         Partitioner::Affinity => {
@@ -54,6 +54,7 @@ where
             let chunk = n.div_ceil(chunks);
             let start = range.start;
             let end = range.end;
+            let body = crate::trace::timed_chunk("tbb", body);
             pool.run(|ctx| {
                 let mut c = ctx.id;
                 loop {
@@ -76,6 +77,7 @@ where
     let t = pool.num_threads();
     let n = range.len();
     let total = n;
+    let body = crate::trace::timed_chunk("tbb", body);
     let injector: Injector<Task> = Injector::new();
     // Initial division: ~4 subranges per thread, dealt with owner = the
     // worker they are destined for (cyclic), so a different popper counts
@@ -122,6 +124,9 @@ where
                 },
             };
             let stolen = task.owner != ctx.id;
+            if stolen {
+                crate::trace::emit_steal("tbb", ctx.id, task.owner);
+            }
             let mut r = task.range;
             if stolen && r.len() > 1 {
                 // Split once on steal, publishing the back half — the auto

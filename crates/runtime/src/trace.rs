@@ -1,0 +1,222 @@
+//! mic-trace, native side: scheduling events from the real runtimes.
+//!
+//! The simulator's trace (see `mic-sim::trace`) answers "where did the
+//! *simulated machine's* time go"; this module answers the companion
+//! question for the native runs — which worker executed which chunk, and
+//! where work stealing happened. The OpenMP shim records every chunk it
+//! hands out, the Cilk and TBB engines additionally record steals, and the
+//! pool records each worker's span inside a region.
+//!
+//! Collection is process-global and off by default: every hook is gated on
+//! one relaxed atomic load, so the kernels pay nothing measurable when no
+//! capture is active. [`capture`] serializes concurrent capture sessions
+//! (first come, first served) so parallel tests cannot interleave their
+//! event streams.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// What a native event describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NativeEventKind {
+    /// A worker executed one chunk of a parallel loop.
+    Chunk { lo: usize, hi: usize },
+    /// A worker took work published by `victim` (`usize::MAX` when the
+    /// victim is unknown, e.g. a Cilk injector steal).
+    Steal { victim: usize },
+    /// One worker's span inside a pool region (`ThreadPool::run`).
+    Region { epoch: u64 },
+}
+
+/// One native scheduling event. Timestamps are microseconds since the
+/// process's trace epoch; instantaneous events have `start_us == end_us`.
+#[derive(Clone, Copy, Debug)]
+pub struct NativeEvent {
+    /// Which runtime shim emitted it ("omp", "cilk", "tbb", "pool").
+    pub runtime: &'static str,
+    /// Worker id within the pool.
+    pub worker: usize,
+    pub start_us: f64,
+    pub end_us: f64,
+    pub kind: NativeEventKind,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn events() -> &'static Mutex<Vec<NativeEvent>> {
+    static EVENTS: OnceLock<Mutex<Vec<NativeEvent>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether a capture session is active. The hooks in the runtime shims
+/// check this before doing any work; it is a single relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the process's trace epoch.
+pub fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+/// Record one event (dropped unless a capture session is active).
+pub fn emit(ev: NativeEvent) {
+    if !enabled() {
+        return;
+    }
+    events().lock().unwrap_or_else(|e| e.into_inner()).push(ev);
+}
+
+/// Record a steal observed by `thief` (victim `usize::MAX` = unknown).
+#[inline]
+pub fn emit_steal(runtime: &'static str, thief: usize, victim: usize) {
+    if !enabled() {
+        return;
+    }
+    let t = now_us();
+    emit(NativeEvent {
+        runtime,
+        worker: thief,
+        start_us: t,
+        end_us: t,
+        kind: NativeEventKind::Steal { victim },
+    });
+}
+
+/// Wrap a chunk body so each invocation is timed and recorded when a
+/// capture session is active.
+pub(crate) fn timed_chunk<F>(
+    runtime: &'static str,
+    body: F,
+) -> impl Fn(Range<usize>, crate::pool::WorkerCtx)
+where
+    F: Fn(Range<usize>, crate::pool::WorkerCtx),
+{
+    move |r, ctx| {
+        if enabled() {
+            let t0 = now_us();
+            body(r.clone(), ctx);
+            emit(NativeEvent {
+                runtime,
+                worker: ctx.id,
+                start_us: t0,
+                end_us: now_us(),
+                kind: NativeEventKind::Chunk {
+                    lo: r.start,
+                    hi: r.end,
+                },
+            });
+        } else {
+            body(r, ctx);
+        }
+    }
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static SESSION: OnceLock<Mutex<()>> = OnceLock::new();
+    SESSION.get_or_init(|| Mutex::new(()))
+}
+
+/// Run `f` with native tracing enabled and return its result together with
+/// every event the runtimes emitted while it ran. Sessions are serialized
+/// process-wide; nested captures would deadlock (don't).
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<NativeEvent>) {
+    let _session = session_lock().lock().unwrap_or_else(|e| e.into_inner());
+    events().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    ENABLED.store(true, Ordering::SeqCst);
+    let result = f();
+    ENABLED.store(false, Ordering::SeqCst);
+    let evs = std::mem::take(&mut *events().lock().unwrap_or_else(|e| e.into_inner()));
+    (result, evs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openmp::{parallel_for_chunks, Schedule};
+    use crate::pool::ThreadPool;
+    use crate::tbb::{tbb_parallel_for, Partitioner};
+    use std::sync::atomic::AtomicUsize;
+
+    fn chunk_coverage(evs: &[NativeEvent], runtime: &str, n: usize) -> Vec<bool> {
+        let mut seen = vec![false; n];
+        for ev in evs {
+            if let NativeEventKind::Chunk { lo, hi } = ev.kind {
+                if ev.runtime == runtime {
+                    assert!(ev.end_us >= ev.start_us);
+                    for s in &mut seen[lo..hi] {
+                        assert!(!*s, "index covered twice");
+                        *s = true;
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn capture_records_openmp_chunks_and_pool_regions() {
+        let pool = ThreadPool::new(4);
+        let n = 997;
+        let hits = AtomicUsize::new(0);
+        let ((), evs) = capture(|| {
+            parallel_for_chunks(&pool, 0..n, Schedule::Dynamic { chunk: 64 }, |r, _| {
+                hits.fetch_add(r.len(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+        assert!(chunk_coverage(&evs, "omp", n).into_iter().all(|s| s));
+        let regions = evs
+            .iter()
+            .filter(|e| matches!(e.kind, NativeEventKind::Region { .. }))
+            .count();
+        assert_eq!(regions, 4, "one region span per worker");
+        assert!(!enabled(), "capture must disable tracing on exit");
+    }
+
+    #[test]
+    fn capture_records_cilk_chunks() {
+        let pool = ThreadPool::new(3);
+        let n = 500;
+        let ((), evs) = capture(|| {
+            crate::cilk::cilk_for(&pool, 0..n, 32, |_, _| {});
+        });
+        assert!(chunk_coverage(&evs, "cilk", n).into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn capture_records_tbb_chunks_and_auto_steals() {
+        let pool = ThreadPool::new(4);
+        let n = 2000;
+        let ((), evs) = capture(|| {
+            tbb_parallel_for(&pool, 0..n, Partitioner::Auto, |_, _| {
+                std::hint::black_box(0);
+            });
+        });
+        assert!(chunk_coverage(&evs, "tbb", n).into_iter().all(|s| s));
+        // Steals may or may not occur (timing), but any recorded one must
+        // name a thief different from its victim.
+        for ev in &evs {
+            if let NativeEventKind::Steal { victim } = ev.kind {
+                assert_ne!(ev.worker, victim);
+            }
+        }
+    }
+
+    #[test]
+    fn nothing_recorded_when_disabled() {
+        let pool = ThreadPool::new(2);
+        parallel_for_chunks(&pool, 0..100, Schedule::Static { chunk: None }, |_, _| {});
+        // A later capture starts from a clean slate.
+        let ((), evs) = capture(|| {});
+        assert!(evs.is_empty());
+    }
+}

@@ -25,6 +25,7 @@
 
 use crate::machine::Machine;
 use crate::sched::Cursor;
+use crate::trace::{ChunkEvent, CoreCounters, NullSink, StallCause, TraceSink};
 use crate::work::{Priced, Region, Work};
 
 /// Result of simulating a sequence of regions.
@@ -62,9 +63,10 @@ pub struct Bottleneck {
 }
 
 impl Bottleneck {
-    /// The dominant constraint's name.
-    pub fn dominant(&self) -> &'static str {
-        let pairs = [
+    /// `(name, fraction)` pairs in declaration order (the order of
+    /// [`StallCause::ALL`]).
+    pub fn components(&self) -> [(&'static str, f64); 7] {
+        [
             ("latency", self.latency),
             ("issue", self.issue),
             ("fpu", self.fpu),
@@ -72,12 +74,33 @@ impl Bottleneck {
             ("dram_bandwidth", self.dram_bandwidth),
             ("atomics", self.atomics),
             ("background", self.background),
-        ];
-        pairs
+        ]
+    }
+
+    /// The dominant constraint's name.
+    pub fn dominant(&self) -> &'static str {
+        self.components()
             .into_iter()
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(n, _)| n)
             .unwrap_or("latency")
+    }
+
+    /// All fractions finite (never `inf`/`NaN`).
+    pub fn is_finite(&self) -> bool {
+        self.components().into_iter().all(|(_, v)| v.is_finite())
+    }
+
+    fn add(&mut self, which: usize, w: f64) {
+        match which {
+            0 => self.latency += w,
+            1 => self.issue += w,
+            2 => self.fpu += w,
+            3 => self.l2_bandwidth += w,
+            4 => self.dram_bandwidth += w,
+            5 => self.atomics += w,
+            _ => self.background += w,
+        }
     }
 }
 
@@ -148,7 +171,7 @@ impl SimScratch {
 /// Panics if `threads` is zero or exceeds the machine's hardware threads
 /// (the paper never oversubscribes the card).
 pub fn simulate_region(m: &Machine, threads: usize, region: &Region) -> f64 {
-    simulate_region_impl(m, threads, region, None, &mut SimScratch::default())
+    simulate_region_impl::<NullSink>(m, threads, region, None, &mut SimScratch::default(), None)
 }
 
 /// Like [`simulate_region`], reusing caller-owned scratch buffers so the
@@ -159,7 +182,7 @@ pub fn simulate_region_with_scratch(
     region: &Region,
     scratch: &mut SimScratch,
 ) -> f64 {
-    simulate_region_impl(m, threads, region, None, scratch)
+    simulate_region_impl::<NullSink>(m, threads, region, None, scratch, None)
 }
 
 /// Like [`simulate_region`], but also reports where the time went.
@@ -169,16 +192,48 @@ pub fn simulate_region_telemetry(
     region: &Region,
 ) -> (f64, Bottleneck) {
     let mut b = Bottleneck::default();
-    let c = simulate_region_impl(m, threads, region, Some(&mut b), &mut SimScratch::default());
+    let c = simulate_region_impl::<NullSink>(
+        m,
+        threads,
+        region,
+        Some(&mut b),
+        &mut SimScratch::default(),
+        None,
+    );
     (c, b)
 }
 
-fn simulate_region_impl(
+/// Like [`simulate_region_with_scratch`], emitting per-chunk events and
+/// per-core counter aggregates into `sink` (see [`crate::trace`]). The
+/// returned cycle count is identical to the untraced entry points — the
+/// sink observes the simulation, it never perturbs it.
+pub fn simulate_region_traced<S: TraceSink>(
+    m: &Machine,
+    threads: usize,
+    region: &Region,
+    scratch: &mut SimScratch,
+    sink: &mut S,
+) -> f64 {
+    simulate_region_impl(m, threads, region, None, scratch, Some(sink))
+}
+
+/// Per-thread chunk bookkeeping for the traced path; allocated only when a
+/// sink is attached, so the untraced fast path stays allocation-free.
+#[derive(Clone, Copy, Default)]
+struct ChunkTrack {
+    start: f64,
+    lo: usize,
+    hi: usize,
+    acc: [f64; 7],
+}
+
+fn simulate_region_impl<S: TraceSink>(
     m: &Machine,
     threads: usize,
     region: &Region,
     mut telemetry: Option<&mut Bottleneck>,
     scratch: &mut SimScratch,
+    mut trace: Option<&mut S>,
 ) -> f64 {
     m.validate();
     assert!(threads >= 1, "need at least one thread");
@@ -197,8 +252,22 @@ fn simulate_region_impl(
     }
 
     let n = region.len();
+    if let Some(sink) = trace.as_deref_mut() {
+        sink.region_start(threads, n, region.policy);
+    }
     if n == 0 {
+        if let Some(sink) = trace.as_deref_mut() {
+            sink.region_end(&[], 0.0, cycles);
+        }
         return cycles;
+    }
+
+    // Trace-side bookkeeping, allocated only on the traced path.
+    let mut tr_chunks: Vec<ChunkTrack> = Vec::new();
+    let mut tr_cores: Vec<CoreCounters> = Vec::new();
+    if trace.is_some() {
+        tr_chunks.resize(threads, ChunkTrack::default());
+        tr_cores.resize(m.cores, CoreCounters::default());
     }
 
     // Fork + join costs only exist when a team is actually running; a
@@ -244,6 +313,14 @@ fn simulate_region_impl(
             ts[i].running = true;
             core_occ[ts[i].core] += 1;
             active += 1;
+            if trace.is_some() {
+                tr_chunks[i] = ChunkTrack {
+                    start: 0.0,
+                    lo: r.start,
+                    hi: r.end,
+                    acc: [0.0; 7],
+                };
+            }
         }
     }
 
@@ -301,8 +378,17 @@ fn simulate_region_impl(
         debug_assert!(dt.is_finite() && dt >= 0.0);
         // Attribute this interval to each running thread's binding
         // constraint (argmax of its slowdown sources).
-        if let Some(tele) = telemetry.as_deref_mut() {
-            for t in ts.iter() {
+        if telemetry.is_some() || trace.is_some() {
+            // An interval with nothing active (or a degenerate horizon)
+            // carries no attributable time; guard the division so the
+            // telemetry can never go `inf`/`NaN`.
+            let w = if active > 0 && dt.is_finite() {
+                dt / active as f64
+            } else {
+                0.0
+            };
+            debug_assert!(w.is_finite(), "telemetry weight dt={dt} active={active}");
+            for (i, t) in ts.iter().enumerate() {
                 if !t.running {
                     continue;
                 }
@@ -323,15 +409,12 @@ fn simulate_region_impl(
                     // runs at its own (latency-dominated) pace.
                     which = 0;
                 }
-                let w = dt / active as f64;
-                match which {
-                    0 => tele.latency += w,
-                    1 => tele.issue += w,
-                    2 => tele.fpu += w,
-                    3 => tele.l2_bandwidth += w,
-                    4 => tele.dram_bandwidth += w,
-                    5 => tele.atomics += w,
-                    _ => tele.background += w,
+                if let Some(tele) = telemetry.as_deref_mut() {
+                    tele.add(which, w);
+                }
+                if trace.is_some() {
+                    tr_chunks[i].acc[which] += w;
+                    tr_cores[t.core].add(which, w);
                 }
             }
         }
@@ -343,11 +426,39 @@ fn simulate_region_impl(
             }
             ts[i].frac -= dt / (t0[i] * slow[i]);
             if ts[i].frac <= EPS {
+                if let Some(sink) = trace.as_deref_mut() {
+                    let tc = &tr_chunks[i];
+                    let cause = tc
+                        .acc
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(c, _)| StallCause::from_index(c))
+                        .unwrap_or(StallCause::Latency);
+                    sink.chunk(&ChunkEvent {
+                        thread: i,
+                        core: ts[i].core,
+                        smt_slot: m.slot_of(i),
+                        iter_start: tc.lo,
+                        iter_end: tc.hi,
+                        start: tc.start,
+                        end: now,
+                        cause,
+                    });
+                }
                 match cursor.next(i) {
                     Some(r) => {
                         let w = range_work(r.start, r.end).add(&overhead);
                         ts[i].comp = Priced::price(&w, m);
                         ts[i].frac = 1.0;
+                        if trace.is_some() {
+                            tr_chunks[i] = ChunkTrack {
+                                start: now,
+                                lo: r.start,
+                                hi: r.end,
+                                acc: [0.0; 7],
+                            };
+                        }
                     }
                     None => {
                         ts[i].running = false;
@@ -357,6 +468,11 @@ fn simulate_region_impl(
                 }
             }
         }
+    }
+
+    if let Some(sink) = trace {
+        debug_assert!(tr_cores.iter().all(CoreCounters::is_finite));
+        sink.region_end(&tr_cores, now, cycles + now);
     }
 
     if let Some(tele) = telemetry {
@@ -376,6 +492,7 @@ fn simulate_region_impl(
             tele.atomics /= total;
             tele.background /= total;
         }
+        debug_assert!(tele.is_finite(), "non-finite telemetry: {tele:?}");
     }
 
     cycles + now
@@ -400,7 +517,27 @@ pub fn simulate_with_scratch(
 ) -> SimReport {
     let region_cycles: Vec<f64> = regions
         .iter()
-        .map(|r| simulate_region_impl(m, threads, r, None, scratch))
+        .map(|r| simulate_region_impl::<NullSink>(m, threads, r, None, scratch, None))
+        .collect();
+    SimReport {
+        cycles: region_cycles.iter().sum(),
+        region_cycles,
+    }
+}
+
+/// Like [`simulate_with_scratch`], emitting one `region_start` … `region_end`
+/// trace bracket per region into `sink`. Cycle counts are identical to the
+/// untraced path.
+pub fn simulate_traced<S: TraceSink>(
+    m: &Machine,
+    threads: usize,
+    regions: &[Region],
+    scratch: &mut SimScratch,
+    sink: &mut S,
+) -> SimReport {
+    let region_cycles: Vec<f64> = regions
+        .iter()
+        .map(|r| simulate_region_impl(m, threads, r, None, scratch, Some(sink)))
         .collect();
     SimReport {
         cycles: region_cycles.iter().sum(),
@@ -880,6 +1017,8 @@ mod tests {
                 let expect = reference_simulate_region(&m, t, &r);
                 let fresh = simulate_region(&m, t, &r);
                 let reused = simulate_region_with_scratch(&m, t, &r, &mut scratch);
+                let mut sink = crate::trace::RecordingSink::default();
+                let traced = simulate_region_traced(&m, t, &r, &mut scratch, &mut sink);
                 assert_eq!(
                     expect.to_bits(),
                     fresh.to_bits(),
@@ -890,8 +1029,99 @@ mod tests {
                     reused.to_bits(),
                     "{policy:?} t={t}: reused-scratch path diverged: {expect} vs {reused}"
                 );
+                assert_eq!(
+                    expect.to_bits(),
+                    traced.to_bits(),
+                    "{policy:?} t={t}: traced path diverged: {expect} vs {traced}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn trace_chunks_cover_iterations_exactly_once() {
+        let m = Machine::knf();
+        for policy in [
+            Policy::OmpStatic { chunk: Some(16) },
+            Policy::OmpDynamic { chunk: 100 },
+            Policy::OmpGuided { min_chunk: 8 },
+            Policy::Cilk { grain: 64 },
+            Policy::TbbAffinity,
+            Policy::Serial,
+        ] {
+            let n = 4_321;
+            let r = uniform_region(n, mem_bound(), policy);
+            let mut sink = crate::trace::RecordingSink::default();
+            let mut scratch = SimScratch::new();
+            simulate_region_traced(&m, 61, &r, &mut scratch, &mut sink);
+            assert_eq!(sink.regions.len(), 1);
+            let reg = &sink.regions[0];
+            assert_eq!((reg.threads, reg.iters), (61, n));
+            assert_eq!(reg.policy, Some(policy));
+            let mut seen = vec![false; n];
+            for ev in &reg.chunks {
+                assert!(ev.start >= 0.0 && ev.end >= ev.start, "{policy:?}: {ev:?}");
+                assert!(ev.end <= reg.loop_cycles * (1.0 + 1e-9));
+                assert_eq!(ev.core, m.core_of(ev.thread));
+                assert_eq!(ev.smt_slot, m.slot_of(ev.thread));
+                for (i, s) in seen[ev.iter_start..ev.iter_end].iter_mut().enumerate() {
+                    assert!(
+                        !std::mem::replace(s, true),
+                        "{policy:?}: dup {}",
+                        ev.iter_start + i
+                    );
+                }
+            }
+            assert!(seen.into_iter().all(|s| s), "{policy:?}: iterations missed");
+        }
+    }
+
+    #[test]
+    fn trace_counters_sum_to_loop_time_and_match_telemetry() {
+        let m = Machine::knf();
+        let r = uniform_region(20_000, flop_bound(), Policy::OmpDynamic { chunk: 64 });
+        let mut sink = crate::trace::RecordingSink::default();
+        let mut scratch = SimScratch::new();
+        let cycles = simulate_region_traced(&m, 121, &r, &mut scratch, &mut sink);
+        let (tele_cycles, b) = simulate_region_telemetry(&m, 121, &r);
+        assert_eq!(cycles.to_bits(), tele_cycles.to_bits());
+        let reg = &sink.regions[0];
+        assert_eq!(reg.per_core.len(), m.cores);
+        assert_eq!(reg.region_cycles.to_bits(), cycles.to_bits());
+        let totals = reg.counter_totals();
+        assert!(totals.is_finite());
+        // The counters are the *unnormalized* bottleneck attribution: their
+        // grand total is the event-loop time, and their fractions are the
+        // `why`-style breakdown.
+        let sum = totals.total();
+        assert!(
+            (sum - reg.loop_cycles).abs() <= 1e-6 * reg.loop_cycles,
+            "counter total {sum} vs loop cycles {}",
+            reg.loop_cycles
+        );
+        for (cause, (name, frac)) in crate::trace::StallCause::ALL.iter().zip(b.components()) {
+            assert_eq!(cause.name(), name);
+            assert!(
+                (totals.get(*cause) / sum - frac).abs() < 1e-9,
+                "{name}: counters disagree with telemetry"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_region_still_brackets_trace() {
+        let m = Machine::knf();
+        let r = Region::new(Vec::new(), Policy::OmpDynamic { chunk: 10 }).with_serial_pre(Work {
+            issue: 100.0,
+            ..Default::default()
+        });
+        let mut sink = crate::trace::RecordingSink::default();
+        let c = simulate_region_traced(&m, 8, &r, &mut SimScratch::new(), &mut sink);
+        assert_eq!(sink.regions.len(), 1);
+        let reg = &sink.regions[0];
+        assert!(reg.chunks.is_empty() && reg.per_core.is_empty());
+        assert_eq!(reg.loop_cycles, 0.0);
+        assert_eq!(reg.region_cycles.to_bits(), c.to_bits());
     }
 
     #[test]

@@ -38,13 +38,16 @@ pub mod analytic;
 pub mod engine;
 pub mod machine;
 pub mod sched;
+pub mod trace;
 pub mod work;
 
 pub use analytic::{bfs_model_speedup, BfsModel};
 pub use engine::{
-    simulate, simulate_region, simulate_region_telemetry, simulate_region_with_scratch,
-    simulate_with_scratch, Bottleneck, SimReport, SimScratch,
+    simulate, simulate_region, simulate_region_telemetry, simulate_region_traced,
+    simulate_region_with_scratch, simulate_traced, simulate_with_scratch, Bottleneck, SimReport,
+    SimScratch,
 };
 pub use machine::{Machine, Placement, SchedCosts};
 pub use sched::Policy;
+pub use trace::{ChunkEvent, CoreCounters, NullSink, RecordingSink, StallCause, TraceSink};
 pub use work::{Region, Work};

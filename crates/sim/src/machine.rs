@@ -209,6 +209,16 @@ impl Machine {
         }
     }
 
+    /// The SMT slot (within [`Machine::core_of`]'s core) of software
+    /// thread `i`, for `i < hw_threads()` — the scatter placement fills
+    /// slot 0 of every core before touching slot 1.
+    pub fn slot_of(&self, i: usize) -> usize {
+        match self.placement {
+            Placement::Scatter => i / self.cores,
+            Placement::Compact => i % self.smt_per_core,
+        }
+    }
+
     /// Total hardware threads.
     pub fn hw_threads(&self) -> usize {
         self.cores * self.smt_per_core

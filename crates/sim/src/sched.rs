@@ -27,6 +27,20 @@ pub enum Policy {
 }
 
 impl Policy {
+    /// Short stable label for traces and tables (knob values omitted).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::OmpStatic { .. } => "omp-static",
+            Policy::OmpDynamic { .. } => "omp-dynamic",
+            Policy::OmpGuided { .. } => "omp-guided",
+            Policy::Cilk { .. } => "cilk",
+            Policy::TbbSimple { .. } => "tbb-simple",
+            Policy::TbbAuto => "tbb-auto",
+            Policy::TbbAffinity => "tbb-affinity",
+            Policy::Serial => "serial",
+        }
+    }
+
     /// Per-chunk dispatch overhead (issue cycles + shared-line operations),
     /// from the machine's calibrated scheduler costs.
     pub(crate) fn chunk_overhead(&self, m: &Machine) -> Work {

@@ -1,7 +1,10 @@
 //! Property-based tests of the machine simulator: conservation, sanity and
 //! monotonicity laws that must hold for any workload.
 
-use mic_sim::{simulate_region, Machine, Policy, Region, Work};
+use mic_sim::{
+    simulate_region, simulate_region_telemetry, simulate_region_traced, Machine, Policy,
+    RecordingSink, Region, SimScratch, Work,
+};
 use proptest::prelude::*;
 
 fn arb_work() -> impl Strategy<Value = Work> {
@@ -108,5 +111,40 @@ proptest! {
             let c = simulate_region(&m, m.hw_threads().min(24), &r);
             prop_assert!(c.is_finite() && c > 0.0);
         }
+    }
+
+    #[test]
+    fn telemetry_is_finite_and_counters_sum_to_region_time(
+        work in proptest::collection::vec(arb_work(), 1..400),
+        policy in arb_policy(),
+        t in 1usize..124,
+    ) {
+        // The mic-trace invariants, for any workload: every telemetry field
+        // stays finite (no inf/NaN from degenerate intervals), the
+        // normalized bottleneck fractions sum to 1, and the per-core
+        // counter aggregates sum to the region's event-loop time.
+        let m = Machine::knf();
+        let r = Region::new(work, policy);
+        let mut sink = RecordingSink::default();
+        let mut scratch = SimScratch::new();
+        let cycles = simulate_region_traced(&m, t, &r, &mut scratch, &mut sink);
+        let (tele_cycles, b) = simulate_region_telemetry(&m, t, &r);
+        prop_assert_eq!(cycles.to_bits(), tele_cycles.to_bits());
+        prop_assert!(b.is_finite(), "bottleneck went non-finite: {:?}", b);
+        let frac_sum: f64 = b.components().iter().map(|(_, v)| v).sum();
+        prop_assert!((frac_sum - 1.0).abs() < 1e-9, "fractions sum to {}", frac_sum);
+        prop_assert_eq!(sink.regions.len(), 1);
+        let reg = &sink.regions[0];
+        let totals = reg.counter_totals();
+        prop_assert!(totals.is_finite(), "counters went non-finite: {:?}", totals);
+        let sum = totals.total();
+        prop_assert!(
+            (sum - reg.loop_cycles).abs() <= 1e-6 * reg.loop_cycles.max(1.0),
+            "counters sum to {} but the event loop took {}",
+            sum,
+            reg.loop_cycles
+        );
+        prop_assert!(reg.region_cycles >= reg.loop_cycles - 1e-12);
+        prop_assert_eq!(reg.region_cycles.to_bits(), cycles.to_bits());
     }
 }
