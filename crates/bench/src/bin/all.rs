@@ -10,6 +10,7 @@
 
 use mic_eval::experiments::{ablation, fig1, fig2, fig3, fig4, table1};
 use mic_eval::graph::suite::Scale;
+use mic_eval::sweep::RecordedFailure;
 use std::time::Instant;
 
 struct Timings {
@@ -35,7 +36,32 @@ fn json_path() -> Option<String> {
     }
 }
 
-fn write_json(path: &str, scale: Scale, threads: usize, total_s: f64, t: &Timings) {
+/// Minimal JSON string escaping for the hand-rolled writer (panic messages
+/// can contain quotes, backslashes, or newlines).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_json(
+    path: &str,
+    scale: Scale,
+    threads: usize,
+    total_s: f64,
+    t: &Timings,
+    failures: &[RecordedFailure],
+) {
     let mut body = String::from("{\n");
     body.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     body.push_str(&format!("  \"sweep_threads\": {threads},\n"));
@@ -45,6 +71,19 @@ fn write_json(path: &str, scale: Scale, threads: usize, total_s: f64, t: &Timing
         let comma = if i + 1 < t.exhibits.len() { "," } else { "" };
         body.push_str(&format!(
             "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{comma}\n"
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str("  \"failures\": [\n");
+    for (i, r) in failures.iter().enumerate() {
+        let comma = if i + 1 < failures.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    {{\"context\": \"{}\", \"point\": {}, \"cause\": \"{}\", \"detail\": \"{}\", \"attempts\": {}}}{comma}\n",
+            json_escape(&r.context),
+            r.failure.point,
+            r.failure.cause.kind(),
+            json_escape(&r.failure.cause.to_string()),
+            r.failure.attempts,
         ));
     }
     body.push_str("  ]\n}\n");
@@ -125,8 +164,17 @@ fn main() {
         eprintln!("{name:<28} {secs:>8.3} s");
     }
     eprintln!("{:<28} {total_s:>8.3} s", "total");
+    let failures = mic_eval::sweep::take_failures();
+    if failures.is_empty() {
+        eprintln!("== Failures: none ==");
+    } else {
+        eprintln!("== Failures: {} point(s) degraded ==", failures.len());
+        for r in &failures {
+            eprintln!("{:<28} {}", r.context, r.failure);
+        }
+    }
     if let Some(path) = json_path() {
-        write_json(&path, scale, threads, total_s, &t);
+        write_json(&path, scale, threads, total_s, &t, &failures);
         eprintln!("(timings written to {path})");
     }
 }

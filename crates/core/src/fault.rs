@@ -1,0 +1,602 @@
+//! Deterministic fault injection for the whole harness.
+//!
+//! A [`FaultPlan`] is parsed from `MIC_FAULT=<seed>:<spec>` and decides,
+//! purely from hashes of `(seed, class, site, attempt)`, whether a fault
+//! fires at a given site — so the same seed always yields the same fault
+//! schedule regardless of thread interleaving, and every failure CI finds
+//! is replayable locally with one environment variable.
+//!
+//! Spec grammar (see DESIGN.md "Failure model & recovery"):
+//!
+//! ```text
+//! MIC_FAULT = <seed> ":" rule ("," rule)*
+//! rule      = class ("@" rate | "#" index) [":" millis]
+//! class     = "job-panic" | "job-stall" | "job-slow"
+//!           | "worker-panic" | "worker-stall" | "worker-slow" | "worker-die"
+//!           | "cache-short-read" | "cache-enospc"
+//! ```
+//!
+//! `@rate` fires probabilistically (per site *and attempt*, so retries can
+//! succeed); `#index` targets one exact site deterministically on every
+//! attempt (so retries exhaust and the failure is recorded). `:millis`
+//! overrides the sleep duration of the stall/slow classes.
+//!
+//! Sites: `job-*` faults hit sweep jobs (site = job index) and are applied
+//! only on the *resilient* sweep paths (`try_map`/`map_degraded`) — the
+//! strict `map` used for workload construction never injects. `worker-*`
+//! faults hit the runtime layer through [`mic_runtime::fault`] (site = the
+//! chunk's first iteration index, or the region epoch for `worker-die`).
+//! `cache-*` faults hit wl1 cache I/O (site = a hash of the file name).
+
+use mic_runtime::fault as rt_fault;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Every fault class the injector knows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A sweep job panics in place of running.
+    JobPanic,
+    /// A sweep job sleeps long enough to bust a configured deadline
+    /// (default 1000 ms).
+    JobStall,
+    /// A sweep job sleeps briefly before running (default 5 ms) — changes
+    /// timing, never values.
+    JobSlow,
+    /// A runtime worker panics at a chunk boundary.
+    WorkerPanic,
+    /// A runtime worker sleeps at a chunk boundary (default 50 ms).
+    WorkerStall,
+    /// A runtime worker sleeps briefly at a chunk boundary (default 2 ms).
+    WorkerSlow,
+    /// A pool worker thread exits at region entry (the pool respawns it).
+    WorkerDie,
+    /// A wl1 cache load observes a truncated file.
+    CacheShortRead,
+    /// A wl1 cache store fails as if the disk were full.
+    CacheEnospc,
+}
+
+impl FaultClass {
+    const ALL: [(FaultClass, &'static str); 9] = [
+        (FaultClass::JobPanic, "job-panic"),
+        (FaultClass::JobStall, "job-stall"),
+        (FaultClass::JobSlow, "job-slow"),
+        (FaultClass::WorkerPanic, "worker-panic"),
+        (FaultClass::WorkerStall, "worker-stall"),
+        (FaultClass::WorkerSlow, "worker-slow"),
+        (FaultClass::WorkerDie, "worker-die"),
+        (FaultClass::CacheShortRead, "cache-short-read"),
+        (FaultClass::CacheEnospc, "cache-enospc"),
+    ];
+
+    /// The spec-grammar name.
+    pub fn name(self) -> &'static str {
+        Self::ALL
+            .iter()
+            .find(|(c, _)| *c == self)
+            .map(|(_, n)| n)
+            .unwrap()
+    }
+
+    fn from_name(s: &str) -> Option<FaultClass> {
+        Self::ALL.iter().find(|(_, n)| *n == s).map(|(c, _)| *c)
+    }
+
+    /// Default sleep for the stall/slow classes, milliseconds.
+    fn default_ms(self) -> u64 {
+        match self {
+            FaultClass::JobStall => 1000,
+            FaultClass::JobSlow => 5,
+            FaultClass::WorkerStall => 50,
+            FaultClass::WorkerSlow => 2,
+            _ => 0,
+        }
+    }
+}
+
+/// When a rule fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Trigger {
+    /// Fire with this probability at every `(site, attempt)`.
+    Rate(f64),
+    /// Fire at exactly this site, on every attempt.
+    Index(u64),
+}
+
+/// One parsed rule of a fault spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRule {
+    class: FaultClass,
+    trigger: Trigger,
+    millis: Option<u64>,
+}
+
+/// What a fired fault does, as decided by the plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic at the site.
+    Panic,
+    /// Sleep this long at the site.
+    SleepMs(u64),
+    /// The worker thread exits (pool region entry only).
+    Die,
+}
+
+/// A seeded, deterministic fault schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+/// splitmix64: a tiny, well-mixed stateless hash — the decision function
+/// depends only on its inputs, never on call order.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// Build a plan directly (the programmatic form used by tests; the env
+    /// form goes through [`FaultPlan::parse`]).
+    pub fn new(seed: u64, rules: Vec<FaultRule>) -> FaultPlan {
+        FaultPlan { seed, rules }
+    }
+
+    /// A single-rule plan firing `class` with probability `rate`.
+    pub fn with_rate(seed: u64, class: FaultClass, rate: f64) -> FaultPlan {
+        FaultPlan::new(
+            seed,
+            vec![FaultRule {
+                class,
+                trigger: Trigger::Rate(rate),
+                millis: None,
+            }],
+        )
+    }
+
+    /// A single-rule plan firing `class` at exactly site `index`.
+    pub fn at_index(seed: u64, class: FaultClass, index: u64) -> FaultPlan {
+        FaultPlan::new(
+            seed,
+            vec![FaultRule {
+                class,
+                trigger: Trigger::Index(index),
+                millis: None,
+            }],
+        )
+    }
+
+    /// Override the sleep duration of every stall/slow rule in the plan.
+    pub fn with_millis(mut self, millis: u64) -> FaultPlan {
+        for r in &mut self.rules {
+            r.millis = Some(millis);
+        }
+        self
+    }
+
+    /// Parse `<seed>:<rule>(,<rule>)*` (the `MIC_FAULT` value).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (seed_s, rules_s) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("missing ':' in fault spec {spec:?} (want <seed>:<rules>)"))?;
+        let seed: u64 = seed_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("fault seed {seed_s:?} is not a u64"))?;
+        let mut rules = Vec::new();
+        for raw in rules_s.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            rules.push(Self::parse_rule(raw)?);
+        }
+        if rules.is_empty() {
+            return Err(format!("fault spec {spec:?} has no rules"));
+        }
+        Ok(FaultPlan { seed, rules })
+    }
+
+    fn parse_rule(raw: &str) -> Result<FaultRule, String> {
+        let sep = raw
+            .find(['@', '#'])
+            .ok_or_else(|| format!("rule {raw:?} needs '@rate' or '#index'"))?;
+        let class = FaultClass::from_name(&raw[..sep])
+            .ok_or_else(|| format!("unknown fault class {:?}", &raw[..sep]))?;
+        let rest = &raw[sep + 1..];
+        let (value_s, millis) = match rest.split_once(':') {
+            Some((v, ms)) => (
+                v,
+                Some(
+                    ms.parse::<u64>()
+                        .map_err(|_| format!("rule {raw:?}: bad millis {ms:?}"))?,
+                ),
+            ),
+            None => (rest, None),
+        };
+        let trigger = if raw.as_bytes()[sep] == b'@' {
+            let rate: f64 = value_s
+                .parse()
+                .map_err(|_| format!("rule {raw:?}: bad rate {value_s:?}"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("rule {raw:?}: rate must be in [0, 1]"));
+            }
+            Trigger::Rate(rate)
+        } else {
+            Trigger::Index(
+                value_s
+                    .parse()
+                    .map_err(|_| format!("rule {raw:?}: bad index {value_s:?}"))?,
+            )
+        };
+        Ok(FaultRule {
+            class,
+            trigger,
+            millis,
+        })
+    }
+
+    /// The seed (for reporting).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decide whether `class` fires at `site` on `attempt`. Pure: the same
+    /// arguments always produce the same answer for a given plan.
+    pub fn decide(&self, class: FaultClass, site: u64, attempt: u64) -> Option<Fault> {
+        for (ri, rule) in self.rules.iter().enumerate() {
+            if rule.class != class {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::Index(target) => site == target,
+                Trigger::Rate(rate) => {
+                    let h = splitmix64(
+                        self.seed
+                            ^ splitmix64((class as u64) << 32 | ri as u64)
+                            ^ splitmix64(site).rotate_left(17)
+                            ^ splitmix64(attempt).rotate_left(41),
+                    );
+                    // 53 high bits -> uniform in [0, 1).
+                    ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < rate
+                }
+            };
+            if !fires {
+                continue;
+            }
+            let ms = rule.millis.unwrap_or_else(|| class.default_ms());
+            return Some(match class {
+                FaultClass::JobPanic | FaultClass::WorkerPanic => Fault::Panic,
+                FaultClass::WorkerDie => Fault::Die,
+                FaultClass::JobStall
+                | FaultClass::JobSlow
+                | FaultClass::WorkerStall
+                | FaultClass::WorkerSlow => Fault::SleepMs(ms),
+                // Cache classes are yes/no decisions; the I/O layer
+                // interprets them.
+                FaultClass::CacheShortRead | FaultClass::CacheEnospc => Fault::Panic,
+            });
+        }
+        None
+    }
+
+    /// Whether any rule targets `class`.
+    pub fn targets(&self, class: FaultClass) -> bool {
+        self.rules.iter().any(|r| r.class == class)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global active plan.
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static RwLock<Option<Arc<FaultPlan>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// The active plan, if any. One relaxed load when no plan is installed.
+pub fn active() -> Option<Arc<FaultPlan>> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    plan_slot()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// Install `plan` process-wide. Worker-class rules are bridged into the
+/// runtime layer's fault hook so pool/chunk sites consult this plan too.
+pub fn install(plan: FaultPlan) {
+    let plan = Arc::new(plan);
+    let worker_classes = [
+        FaultClass::WorkerPanic,
+        FaultClass::WorkerStall,
+        FaultClass::WorkerSlow,
+        FaultClass::WorkerDie,
+    ];
+    if worker_classes.iter().any(|c| plan.targets(*c)) {
+        let for_hook = Arc::clone(&plan);
+        rt_fault::install(Arc::new(move |site: &rt_fault::FaultSite| {
+            // `Die` only makes sense at pool region entry; the other
+            // classes apply to every runtime's chunk boundaries.
+            let die_ok = site.runtime == "pool";
+            for class in worker_classes {
+                if class == FaultClass::WorkerDie && !die_ok {
+                    continue;
+                }
+                let decision = for_hook.decide(class, site.index ^ (site.worker as u64) << 48, 0);
+                match decision {
+                    Some(Fault::Panic) => {
+                        return Some(rt_fault::FaultAction::Panic(format!(
+                            "mic-fault: injected {} at {} site {} (worker {})",
+                            class.name(),
+                            site.runtime,
+                            site.index,
+                            site.worker
+                        )))
+                    }
+                    Some(Fault::SleepMs(ms)) => return Some(rt_fault::FaultAction::StallMs(ms)),
+                    Some(Fault::Die) => return Some(rt_fault::FaultAction::Die),
+                    None => {}
+                }
+            }
+            None
+        }));
+    } else {
+        rt_fault::clear();
+    }
+    *plan_slot().write().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Remove the active plan (and the runtime bridge hook).
+pub fn clear() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    *plan_slot().write().unwrap_or_else(|e| e.into_inner()) = None;
+    rt_fault::clear();
+}
+
+/// FNV-1a of a file name — the stable site id of cache-class faults.
+pub fn site_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Whether a cache-class fault fires at `site` under the active plan.
+pub fn cache_fault(class: FaultClass, site: u64) -> bool {
+    active().is_some_and(|p| p.decide(class, site, 0).is_some())
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static SESSION: OnceLock<Mutex<()>> = OnceLock::new();
+    SESSION.get_or_init(|| Mutex::new(()))
+}
+
+/// Run `f` with `plan` installed, serializing concurrent callers (the plan
+/// is process-global) and restoring the previous state afterwards.
+pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+    let _session = session_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let previous = active();
+    install(plan);
+    let result = f();
+    match previous {
+        Some(p) => install((*p).clone()),
+        None => clear(),
+    }
+    result
+}
+
+/// The `MIC_FAULT` plan, parsed (and reported) once per process. A
+/// malformed spec is rejected loudly (one warning) rather than
+/// half-applied.
+fn env_plan() -> Option<&'static Arc<FaultPlan>> {
+    static ENV: OnceLock<Option<Arc<FaultPlan>>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let spec = std::env::var("MIC_FAULT").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                eprintln!(
+                    "mic-eval: fault injection active (MIC_FAULT seed {})",
+                    plan.seed()
+                );
+                Some(Arc::new(plan))
+            }
+            Err(e) => {
+                eprintln!("mic-eval: ignoring MIC_FAULT: {e}");
+                None
+            }
+        }
+    })
+    .as_ref()
+}
+
+/// Install the `MIC_FAULT` plan unless some plan is already active. The
+/// environment plan is a *default*, not an override: it never displaces a
+/// plan installed explicitly (so a [`with_plan`] session is injection-
+/// tight even when the process runs under `MIC_FAULT`), and because this
+/// is called at every resilient-sweep and cache-I/O entry point it is
+/// re-installed once such a session restores the empty state.
+pub fn init_from_env() {
+    if ACTIVE.load(Ordering::SeqCst) {
+        return;
+    }
+    if let Some(plan) = env_plan() {
+        install(plan.as_ref().clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let plan =
+            FaultPlan::parse("42:job-panic@0.25,worker-stall@0.1:75,cache-enospc#9").unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(plan.rules[0].class, FaultClass::JobPanic);
+        assert_eq!(plan.rules[0].trigger, Trigger::Rate(0.25));
+        assert_eq!(plan.rules[1].millis, Some(75));
+        assert_eq!(plan.rules[2].trigger, Trigger::Index(9));
+        assert!(plan.targets(FaultClass::CacheEnospc));
+        assert!(!plan.targets(FaultClass::JobStall));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "noseed",
+            "x:job-panic@0.5",
+            "1:job-panic",
+            "1:job-panic@1.5",
+            "1:job-panic@x",
+            "1:what-even@0.5",
+            "1:job-stall#x",
+            "1:job-stall@0.5:ms",
+            "7:",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::with_rate(1, FaultClass::JobPanic, 0.3);
+        let b = FaultPlan::with_rate(1, FaultClass::JobPanic, 0.3);
+        let c = FaultPlan::with_rate(2, FaultClass::JobPanic, 0.3);
+        let schedule = |p: &FaultPlan| -> Vec<bool> {
+            (0..256)
+                .map(|site| p.decide(FaultClass::JobPanic, site, 0).is_some())
+                .collect()
+        };
+        assert_eq!(schedule(&a), schedule(&b), "same seed, same schedule");
+        assert_ne!(
+            schedule(&a),
+            schedule(&c),
+            "different seed, different schedule"
+        );
+        let fired = schedule(&a).iter().filter(|f| **f).count();
+        assert!(
+            (32..=128).contains(&fired),
+            "rate 0.3 over 256 sites fired {fired} times"
+        );
+    }
+
+    #[test]
+    fn rate_rules_vary_by_attempt_index_rules_do_not() {
+        let rate = FaultPlan::with_rate(11, FaultClass::JobPanic, 0.5);
+        let varies = (0..64).any(|site| {
+            (0..4)
+                .map(|att| rate.decide(FaultClass::JobPanic, site, att).is_some())
+                .collect::<Vec<_>>()
+                .windows(2)
+                .any(|w| w[0] != w[1])
+        });
+        assert!(varies, "rate decisions must depend on the attempt");
+        let targeted = FaultPlan::at_index(11, FaultClass::JobPanic, 5);
+        for att in 0..8 {
+            assert_eq!(
+                targeted.decide(FaultClass::JobPanic, 5, att),
+                Some(Fault::Panic),
+                "targeted rules fire on every attempt"
+            );
+            assert_eq!(targeted.decide(FaultClass::JobPanic, 6, att), None);
+        }
+    }
+
+    #[test]
+    fn class_maps_to_the_right_fault() {
+        let p = |c| FaultPlan::at_index(0, c, 0).decide(c, 0, 0).unwrap();
+        assert_eq!(p(FaultClass::JobPanic), Fault::Panic);
+        assert_eq!(p(FaultClass::WorkerDie), Fault::Die);
+        assert_eq!(p(FaultClass::JobStall), Fault::SleepMs(1000));
+        assert_eq!(p(FaultClass::JobSlow), Fault::SleepMs(5));
+        assert_eq!(p(FaultClass::WorkerStall), Fault::SleepMs(50));
+        let custom = FaultPlan::at_index(0, FaultClass::JobStall, 0).with_millis(7);
+        assert_eq!(
+            custom.decide(FaultClass::JobStall, 0, 0),
+            Some(Fault::SleepMs(7))
+        );
+    }
+
+    #[test]
+    fn with_plan_installs_and_restores() {
+        let before = active().map(|p| p.seed());
+        with_plan(FaultPlan::with_rate(3, FaultClass::JobSlow, 1.0), || {
+            let p = active().expect("plan active inside with_plan");
+            assert_eq!(p.seed(), 3);
+        });
+        // The session restores the state it observed on entry. When the
+        // whole test binary runs under `MIC_FAULT` (the CI chaos job),
+        // concurrent tests may install the environment plan between our
+        // two observations, so that state is legitimate here too.
+        let after = active().map(|p| p.seed());
+        let env = env_plan().map(|p| p.seed());
+        assert!(
+            after == before || after == env,
+            "with_plan must restore the previous plan: \
+             before {before:?}, after {after:?}, env {env:?}"
+        );
+    }
+
+    #[test]
+    fn worker_rules_bridge_to_runtime_hook() {
+        with_plan(
+            FaultPlan::with_rate(5, FaultClass::WorkerStall, 1.0).with_millis(1),
+            || {
+                let act = rt_fault::check(&rt_fault::FaultSite {
+                    runtime: "omp",
+                    worker: 0,
+                    index: 0,
+                });
+                assert!(
+                    matches!(act, Some(rt_fault::FaultAction::StallMs(1))),
+                    "{act:?}"
+                );
+            },
+        );
+        assert!(rt_fault::check(&rt_fault::FaultSite {
+            runtime: "omp",
+            worker: 0,
+            index: 0,
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn die_rules_only_apply_at_pool_sites() {
+        with_plan(FaultPlan::with_rate(5, FaultClass::WorkerDie, 1.0), || {
+            let chunk = rt_fault::check(&rt_fault::FaultSite {
+                runtime: "omp",
+                worker: 1,
+                index: 10,
+            });
+            assert!(
+                chunk.is_none(),
+                "die must not fire at chunk sites: {chunk:?}"
+            );
+            let pool = rt_fault::check(&rt_fault::FaultSite {
+                runtime: "pool",
+                worker: 1,
+                index: 10,
+            });
+            assert!(matches!(pool, Some(rt_fault::FaultAction::Die)), "{pool:?}");
+        });
+    }
+}

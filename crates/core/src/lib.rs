@@ -44,6 +44,7 @@ pub use mic_runtime as runtime;
 pub use mic_sim as sim;
 
 pub mod experiments;
+pub mod fault;
 pub mod native;
 pub mod series;
 pub mod stats;

@@ -5,18 +5,30 @@
 //! performs the fastest on 1 thread for that graph."
 
 /// Geometric mean of positive values (1.0 for an empty slice).
+///
+/// Non-finite entries are skipped: a degraded sweep (see
+/// [`crate::sweep::map_degraded`]) reports failed points as NaN, and one
+/// lost graph should shrink the mean's support, not poison the whole
+/// series. All-non-finite input yields NaN. *Finite* non-positive values
+/// still panic — those are never produced by degradation, only by bugs.
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 1.0;
     }
-    let log_sum: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "geomean requires positive values, got {v}");
-            v.ln()
-        })
-        .sum();
-    (log_sum / values.len() as f64).exp()
+    let mut log_sum = 0.0f64;
+    let mut n = 0usize;
+    for &v in values {
+        if !v.is_finite() {
+            continue;
+        }
+        assert!(v > 0.0, "geomean requires positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return f64::NAN;
+    }
+    (log_sum / n as f64).exp()
 }
 
 /// Per-graph execution costs of several configurations over a thread grid.
@@ -64,6 +76,23 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn geomean_rejects_nonpositive() {
         geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn geomean_skips_nonfinite_degraded_points() {
+        assert!((geomean(&[4.0, f64::NAN, 9.0]) - 6.0).abs() < 1e-12);
+        assert!((geomean(&[f64::INFINITY, 5.0]) - 5.0).abs() < 1e-12);
+        assert!(geomean(&[f64::NAN, f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn speedups_survive_a_degraded_graph() {
+        // Graph 1's t=2 point failed (NaN); the geomean falls back to the
+        // surviving graph instead of poisoning the series.
+        let c = vec![vec![100.0, 25.0], vec![90.0, f64::NAN]];
+        let s = paper_speedups(&[c]);
+        assert!((s[0][1] - 4.0).abs() < 1e-12);
+        assert!(s[0][0].is_finite());
     }
 
     #[test]

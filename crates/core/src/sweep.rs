@@ -14,15 +14,34 @@
 //! plain serial loop, which is also used automatically for empty and
 //! single-item inputs.
 //!
+//! Two failure disciplines:
+//!
+//! - **Strict** ([`map`], [`map_with`]): a panicking job propagates to the
+//!   caller, as a plain `rayon`-style harness would. Used where a partial
+//!   result is useless (workload construction).
+//! - **Resilient** ([`try_map`], [`map_degraded`]): every job runs
+//!   panic-isolated with retry-with-backoff (`MIC_SWEEP_RETRIES`, default
+//!   2 retries) and an optional deadline (`MIC_SWEEP_DEADLINE_MS`); a job
+//!   that still fails is reported as a structured [`JobFailure`] — the
+//!   sweep completes every other point. The deadline is *cooperative*: a
+//!   wedged job is detected when it returns (its result is discarded and
+//!   the attempt counts as failed), not cancelled mid-flight. This path is
+//!   also the only one subject to `MIC_FAULT` injection (see
+//!   [`crate::fault`]), so figure sweeps degrade under chaos testing while
+//!   workload builders stay exact.
+//!
 //! Jobs may themselves run parallel regions on *other* pools (the native
 //! kernels in `experiments::extras` do); cross-pool nesting is supported
 //! by the runtime. A job must not call back into the sweep that spawned
 //! it, but nested `sweep::map` calls are fine — each map drives its own
 //! pool.
 
+use crate::fault::{self, Fault, FaultClass, FaultPlan};
 use mic_runtime::ThreadPool;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Worker count for [`map`]: `MIC_SWEEP_THREADS` if set and positive,
 /// otherwise available parallelism capped at 16. A set-but-unusable value
@@ -70,8 +89,168 @@ fn parse_sweep_threads(raw: &str) -> Result<usize, &str> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Failure records.
+
+/// Why a sweep job ultimately failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The job panicked; the payload message is kept.
+    Panic(String),
+    /// The job returned, but only after its cooperative deadline.
+    Deadline { limit_ms: u64 },
+}
+
+impl FailureCause {
+    /// Short machine-readable kind ("panic" / "deadline") for JSON output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FailureCause::Panic(_) => "panic",
+            FailureCause::Deadline { .. } => "deadline",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Panic(msg) => write!(f, "panic: {msg}"),
+            FailureCause::Deadline { limit_ms } => {
+                write!(f, "deadline: exceeded {limit_ms} ms")
+            }
+        }
+    }
+}
+
+/// One sweep point that failed every attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Input index of the failed job.
+    pub point: usize,
+    /// What went wrong on the final attempt.
+    pub cause: FailureCause,
+    /// Total attempts made (1 + retries).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "point {}: {} after {} attempt(s)",
+            self.point, self.cause, self.attempts
+        )
+    }
+}
+
+/// Result of a resilient sweep: per-point values (`None` where the job
+/// failed every attempt) plus the structured failure records, in point
+/// order.
+#[derive(Debug)]
+pub struct SweepReport<R> {
+    pub results: Vec<Option<R>>,
+    pub failures: Vec<JobFailure>,
+}
+
+impl<R> SweepReport<R> {
+    /// Replace failed points with `fallback(index)`, consuming the report.
+    pub fn into_degraded(self, mut fallback: impl FnMut(usize) -> R) -> Vec<R> {
+        self.results
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v.unwrap_or_else(|| fallback(i)))
+            .collect()
+    }
+
+    /// All points succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Knobs of the resilient path, normally read from the environment
+/// ([`SweepCfg::from_env`]) but injectable for tests so parallel test
+/// binaries never race on env vars.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepCfg {
+    /// Pool worker count.
+    pub threads: usize,
+    /// Re-runs after a failed first attempt (`MIC_SWEEP_RETRIES`).
+    pub retries: u32,
+    /// Cooperative per-attempt deadline (`MIC_SWEEP_DEADLINE_MS`; unset or
+    /// 0 = none).
+    pub deadline_ms: Option<u64>,
+}
+
+impl SweepCfg {
+    /// The environment-configured default.
+    pub fn from_env() -> SweepCfg {
+        SweepCfg {
+            threads: default_threads(),
+            retries: parse_env_u64("MIC_SWEEP_RETRIES").map_or(2, |v| v.min(100) as u32),
+            deadline_ms: parse_env_u64("MIC_SWEEP_DEADLINE_MS").filter(|v| *v > 0),
+        }
+    }
+}
+
+fn parse_env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse::<u64>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("mic-eval: ignoring {name}={raw:?} (need a non-negative integer)");
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global failure registry: figure drivers record their degraded points
+// here (labelled with the exhibit being built, see [`with_context`]) and
+// the bench binaries drain it for their failure-summary footers and
+// `BENCH_sweep.json`.
+
+/// A [`JobFailure`] plus the sweep-context label active when it happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedFailure {
+    /// e.g. `"fig1"` — empty when no context was set.
+    pub context: String,
+    pub failure: JobFailure,
+}
+
+fn registry() -> &'static Mutex<Vec<RecordedFailure>> {
+    static REGISTRY: OnceLock<Mutex<Vec<RecordedFailure>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drain every failure recorded (by [`map_degraded`]) since the last call.
+pub fn take_failures() -> Vec<RecordedFailure> {
+    std::mem::take(&mut *registry().lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+thread_local! {
+    static CONTEXT: std::cell::RefCell<String> = const { std::cell::RefCell::new(String::new()) };
+}
+
+/// Run `f` with `label` as the sweep-context label (attached to any
+/// failure recorded on this thread). Restores the previous label.
+pub fn with_context<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    let previous = CONTEXT.with(|c| std::mem::replace(&mut *c.borrow_mut(), label.to_string()));
+    let result = f();
+    CONTEXT.with(|c| *c.borrow_mut() = previous);
+    result
+}
+
+fn current_context() -> String {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+// ---------------------------------------------------------------------------
+// Strict maps.
+
 /// `f` applied to every item, results in input order, fanned out over
-/// [`default_threads`] workers.
+/// [`default_threads`] workers. Strict: a job panic propagates (after the
+/// other jobs finish); never subject to fault injection.
 pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -94,38 +273,247 @@ where
 /// order. Jobs are claimed dynamically (an atomic cursor), so stragglers
 /// do not serialize the sweep; each result lands in its input-index slot,
 /// making the output independent of the execution interleaving.
+///
+/// Strict failure discipline: if any job panicked, this panics with a
+/// message naming the job and cause (a dropped-without-result slot is
+/// re-run serially first, so it can no longer abort the process with an
+/// anonymous `expect`).
 pub fn map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send + Sync,
     F: Fn(usize, &T) -> R + Sync,
 {
-    if threads <= 1 || items.len() <= 1 {
-        return map_serial(items, f);
+    let cfg = SweepCfg {
+        threads,
+        retries: 0,
+        deadline_ms: None,
+    };
+    let report = run_report(&cfg, None, items, &f);
+    if let Some(failure) = report.failures.first() {
+        panic!("sweep job failed ({failure})");
     }
-    let pool = ThreadPool::new(threads.min(items.len()));
-    let slots: Vec<OnceLock<R>> = items.iter().map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    pool.run(|_ctx| loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= items.len() {
-            break;
-        }
-        let value = f(i, &items[i]);
-        if slots[i].set(value).is_err() {
-            unreachable!("sweep slot {i} claimed twice");
-        }
-    });
-    slots
+    report
+        .results
         .into_iter()
-        .map(|s| s.into_inner().expect("sweep job dropped without a result"))
+        .map(|s| s.expect("no failure recorded, so every slot is filled"))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Resilient maps.
+
+/// Resilient sweep with the environment configuration: every job runs
+/// panic-isolated with retry/backoff and the optional deadline; failed
+/// points come back as [`JobFailure`] records instead of aborting the
+/// sweep. Subject to `MIC_FAULT` injection.
+pub fn try_map<T, R, F>(items: &[T], f: F) -> SweepReport<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    fault::init_from_env();
+    try_map_cfg(&SweepCfg::from_env(), items, f)
+}
+
+/// [`try_map`] with an explicit configuration (tests use this to avoid
+/// racing on process-global environment variables).
+pub fn try_map_cfg<T, R, F>(cfg: &SweepCfg, items: &[T], f: F) -> SweepReport<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_report(cfg, fault::active(), items, &f)
+}
+
+/// Resilient sweep for figure drivers: failed points degrade to
+/// `fallback(index, item)` (typically NaN-shaped), the failures are
+/// recorded in the global registry under the current [`with_context`]
+/// label, and the sweep always returns a full-length vector.
+pub fn map_degraded<T, R, F, G>(items: &[T], f: F, fallback: G) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+    G: Fn(usize, &T) -> R,
+{
+    let report = try_map(items, f);
+    if !report.failures.is_empty() {
+        let context = current_context();
+        let label = if context.is_empty() {
+            "sweep"
+        } else {
+            &context
+        };
+        for failure in &report.failures {
+            eprintln!("mic-eval: {label}: degraded {failure}");
+        }
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.extend(report.failures.iter().map(|failure| RecordedFailure {
+            context: context.clone(),
+            failure: failure.clone(),
+        }));
+    }
+    report.into_degraded(|i| fallback(i, &items[i]))
+}
+
+// ---------------------------------------------------------------------------
+// The engine shared by both disciplines.
+
+type Slot<R> = OnceLock<Result<R, JobFailure>>;
+
+/// Run every job once (strict: `retries == 0`, no plan) or with the
+/// resilient attempt loop, fanned over a pool, then serially re-run any
+/// slot left empty (worker-level faults can abort a pool region before
+/// every job is claimed). The output is in input order either way.
+fn run_report<T, R, F>(
+    cfg: &SweepCfg,
+    plan: Option<Arc<FaultPlan>>,
+    items: &[T],
+    f: &F,
+) -> SweepReport<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let plan = plan.as_deref();
+    let slots: Vec<Slot<R>> = items.iter().map(|_| OnceLock::new()).collect();
+    if cfg.threads > 1 && items.len() > 1 {
+        let pool = ThreadPool::new(cfg.threads.min(items.len()));
+        let next = AtomicUsize::new(0);
+        // Worker-level faults (or a job panic on the strict path, where
+        // `run_attempts` does not retry but still isolates) may abort the
+        // region; the serial sweep below fills whatever was left.
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|_ctx| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let outcome = run_attempts(cfg, plan, i, &items[i], f);
+                if slots[i].set(outcome).is_err() {
+                    unreachable!("sweep slot {i} claimed twice");
+                }
+            });
+        }));
+    }
+    // Serial pass: everything (single-threaded / tiny inputs), or only the
+    // gaps a faulted pool region left behind. No pool is involved, so
+    // worker faults cannot starve this pass — the sweep always completes.
+    for (i, slot) in slots.iter().enumerate() {
+        if slot.get().is_none() {
+            let _ = slot.set(run_attempts(cfg, plan, i, &items[i], f));
+        }
+    }
+    let mut results = Vec::with_capacity(items.len());
+    let mut failures = Vec::new();
+    for slot in slots {
+        match slot.into_inner().expect("all slots filled above") {
+            Ok(v) => results.push(Some(v)),
+            Err(failure) => {
+                failures.push(failure);
+                results.push(None);
+            }
+        }
+    }
+    SweepReport { results, failures }
+}
+
+/// One job through the attempt loop: injection, panic isolation, the
+/// cooperative deadline, and exponential backoff between attempts.
+fn run_attempts<T, R, F>(
+    cfg: &SweepCfg,
+    plan: Option<&FaultPlan>,
+    i: usize,
+    item: &T,
+    f: &F,
+) -> Result<R, JobFailure>
+where
+    F: Fn(usize, &T) -> R,
+{
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let injected = plan.and_then(|p| job_fault(p, i as u64, (attempts - 1) as u64));
+        let started = Instant::now();
+        let outcome: Result<R, Box<dyn std::any::Any + Send>> = match injected {
+            Some(Fault::Panic) => Err(Box::new(format!(
+                "mic-fault: injected job-panic at sweep point {i} (attempt {attempts})"
+            ))),
+            Some(Fault::SleepMs(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                panic::catch_unwind(AssertUnwindSafe(|| f(i, item)))
+            }
+            Some(Fault::Die) | None => panic::catch_unwind(AssertUnwindSafe(|| f(i, item))),
+        };
+        let cause = match outcome {
+            Ok(value) => {
+                let elapsed_ms = started.elapsed().as_millis() as u64;
+                match cfg.deadline_ms {
+                    Some(limit_ms) if elapsed_ms > limit_ms => {
+                        // Cooperative deadline: the value arrived too late
+                        // to trust a live sweep with, so it is discarded
+                        // and the attempt counts as failed.
+                        FailureCause::Deadline { limit_ms }
+                    }
+                    _ => return Ok(value),
+                }
+            }
+            Err(payload) => FailureCause::Panic(payload_message(&payload)),
+        };
+        if attempts > cfg.retries {
+            return Err(JobFailure {
+                point: i,
+                cause,
+                attempts,
+            });
+        }
+        // 10ms, 20ms, 40ms, ... capped — enough to ride out transient
+        // contention without stretching a chaos run into minutes.
+        let backoff_ms = (10u64 << (attempts - 1).min(4)).min(100);
+        std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+    }
+}
+
+/// The job-site fault decision: the first matching job class wins.
+fn job_fault(plan: &FaultPlan, site: u64, attempt: u64) -> Option<Fault> {
+    for class in [
+        FaultClass::JobPanic,
+        FaultClass::JobStall,
+        FaultClass::JobSlow,
+    ] {
+        if let Some(fault) = plan.decide(class, site, attempt) {
+            return Some(fault);
+        }
+    }
+    None
+}
+
+fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn cfg(threads: usize, retries: u32, deadline_ms: Option<u64>) -> SweepCfg {
+        SweepCfg {
+            threads,
+            retries,
+            deadline_ms,
+        }
+    }
 
     #[test]
     fn parallel_matches_serial_in_order() {
@@ -194,6 +582,132 @@ mod tests {
                 x
             })
         }));
-        assert!(r.is_err());
+        let msg = payload_message(&r.unwrap_err());
+        assert!(
+            msg.contains("point 9") && msg.contains("job failure"),
+            "strict map must name the failed job: {msg}"
+        );
+    }
+
+    #[test]
+    fn try_map_isolates_panics_and_reports_once() {
+        let items: Vec<usize> = (0..32).collect();
+        for threads in [1, 4] {
+            let report = try_map_cfg(&cfg(threads, 0, None), &items, |_, &x| {
+                if x == 5 || x == 20 {
+                    panic!("bad point {x}");
+                }
+                x * 2
+            });
+            assert_eq!(report.results.len(), 32);
+            let failed: Vec<usize> = report.failures.iter().map(|f| f.point).collect();
+            assert_eq!(failed, vec![5, 20], "threads={threads}");
+            for f in &report.failures {
+                assert_eq!(f.attempts, 1);
+                assert!(matches!(&f.cause, FailureCause::Panic(m) if m.contains("bad point")));
+            }
+            for (i, v) in report.results.iter().enumerate() {
+                if i == 5 || i == 20 {
+                    assert!(v.is_none());
+                } else {
+                    assert_eq!(*v, Some(i * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retries_retry_and_then_give_up() {
+        let tries = AtomicUsize::new(0);
+        let report = try_map_cfg(&cfg(1, 2, None), &[()], |_, _| {
+            // Fails twice, succeeds on the third attempt.
+            if tries.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            7u32
+        });
+        assert!(report.is_complete());
+        assert_eq!(report.results, vec![Some(7)]);
+        assert_eq!(tries.load(Ordering::SeqCst), 3);
+
+        let report = try_map_cfg(&cfg(1, 2, None), &[()], |_, _| -> u32 {
+            panic!("permanent")
+        });
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].attempts, 3, "1 attempt + 2 retries");
+    }
+
+    #[test]
+    fn deadline_discards_late_results() {
+        let report = try_map_cfg(&cfg(1, 0, Some(5)), &[30u64, 0], |_, &ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            ms * 10
+        });
+        assert_eq!(report.results[0], None, "late result must be discarded");
+        assert_eq!(report.results[1], Some(0));
+        assert_eq!(
+            report.failures,
+            vec![JobFailure {
+                point: 0,
+                cause: FailureCause::Deadline { limit_ms: 5 },
+                attempts: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn map_degraded_fills_fallbacks_and_records() {
+        let _ = take_failures();
+        let items: Vec<usize> = (0..8).collect();
+        let out = with_context("unit-test", || {
+            crate::fault::with_plan(
+                FaultPlan::at_index(1, crate::fault::FaultClass::JobPanic, 3),
+                || map_degraded(&items, |_, &x| x as f64, |_, _| f64::NAN),
+            )
+        });
+        assert_eq!(out.len(), 8);
+        assert!(out[3].is_nan(), "failed point degrades to the fallback");
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, v)| i == 3 || *v == i as f64));
+        let recorded = take_failures();
+        assert_eq!(recorded.len(), 1);
+        assert_eq!(recorded[0].context, "unit-test");
+        assert_eq!(recorded[0].failure.point, 3);
+        assert_eq!(
+            recorded[0].failure.attempts, 3,
+            "targeted faults exhaust retries"
+        );
+        assert!(take_failures().is_empty(), "take drains the registry");
+    }
+
+    #[test]
+    fn strict_map_ignores_fault_injection() {
+        let items: Vec<usize> = (0..16).collect();
+        let out = crate::fault::with_plan(
+            FaultPlan::with_rate(9, crate::fault::FaultClass::JobPanic, 1.0),
+            || map_with(4, &items, |_, &x| x + 1),
+        );
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injected_panics_hit_try_map_deterministically() {
+        let items: Vec<usize> = (0..64).collect();
+        let plan = FaultPlan::with_rate(77, crate::fault::FaultClass::JobPanic, 0.25);
+        let run = || {
+            crate::fault::with_plan(plan.clone(), || {
+                try_map_cfg(&cfg(4, 0, None), &items, |_, &x| x)
+            })
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.failures.is_empty(), "rate 0.25 over 64 jobs must fire");
+        assert_eq!(a.failures, b.failures, "same seed, same failed points");
+        let fail_set: Vec<usize> = a.failures.iter().map(|f| f.point).collect();
+        for (i, v) in a.results.iter().enumerate() {
+            assert_eq!(v.is_none(), fail_set.contains(&i));
+        }
     }
 }

@@ -255,13 +255,98 @@ pub fn bfs(
 // On-disk workload files: `wl1-<kind>-<graph>-<scale>-<order>-<l1>-<l2><extra>.bin`
 // next to the binary-CSR cache. Layout (all little-endian):
 //
-//   magic  b"MICWL1\0\0"
+//   magic  b"MICWL2\0\0"
 //   u64    number of meta words          u64    number of arrays
 //   meta   u64 × n_meta
 //   per array: u64 length, then length × 6 f64 (issue,l1,l2,dram,flops,atomics)
+//   u64    XXH64 of every preceding byte (seed 0)
+//
+// The `wl1` filename prefix is the *semantic* version of the instrumented
+// data; `MICWL2` is the *container* version (v2 added the trailing content
+// checksum). A v1 file (no checksum) reads as a plain miss and is
+// transparently recomputed and rewritten in v2 form. A file whose checksum
+// or structure is wrong is quarantined to `<name>.corrupt` and recomputed
+// — a flipped payload byte is never loaded, and the evidence is kept for
+// post-mortems instead of being overwritten.
 // ---------------------------------------------------------------------------
 
-const MAGIC: &[u8; 8] = b"MICWL1\0\0";
+const MAGIC: &[u8; 8] = b"MICWL2\0\0";
+const MAGIC_V1: &[u8; 8] = b"MICWL1\0\0";
+
+// XXH64 (Yann Collet's xxHash, 64-bit variant), implemented inline: the
+// workspace takes no checksum dependency for one 40-line function. Checked
+// against the reference test vectors in `xxh64_reference_vectors`.
+const XP1: u64 = 0x9E3779B185EBCA87;
+const XP2: u64 = 0xC2B2AE3D27D4EB4F;
+const XP3: u64 = 0x165667B19E3779F9;
+const XP4: u64 = 0x85EBCA77C2B2AE63;
+const XP5: u64 = 0x27D4EB2F165667C5;
+
+fn xxh_round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(XP2))
+        .rotate_left(31)
+        .wrapping_mul(XP1)
+}
+
+fn xxh_merge(acc: u64, val: u64) -> u64 {
+    (acc ^ xxh_round(0, val))
+        .wrapping_mul(XP1)
+        .wrapping_add(XP4)
+}
+
+/// XXH64 of `data` with `seed`. Public so tools and tests can verify or
+/// regenerate cache-file checksums.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let u64_at = |i: usize| u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
+    let mut i = 0usize;
+    let mut h = if len >= 32 {
+        let mut v1 = seed.wrapping_add(XP1).wrapping_add(XP2);
+        let mut v2 = seed.wrapping_add(XP2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(XP1);
+        while i + 32 <= len {
+            v1 = xxh_round(v1, u64_at(i));
+            v2 = xxh_round(v2, u64_at(i + 8));
+            v3 = xxh_round(v3, u64_at(i + 16));
+            v4 = xxh_round(v4, u64_at(i + 24));
+            i += 32;
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        for v in [v1, v2, v3, v4] {
+            h = xxh_merge(h, v);
+        }
+        h
+    } else {
+        seed.wrapping_add(XP5)
+    };
+    h = h.wrapping_add(len as u64);
+    while i + 8 <= len {
+        h ^= xxh_round(0, u64_at(i));
+        h = h.rotate_left(27).wrapping_mul(XP1).wrapping_add(XP4);
+        i += 8;
+    }
+    if i + 4 <= len {
+        let w = u32::from_le_bytes(data[i..i + 4].try_into().unwrap()) as u64;
+        h ^= w.wrapping_mul(XP1);
+        h = h.rotate_left(23).wrapping_mul(XP2).wrapping_add(XP3);
+        i += 4;
+    }
+    while i < len {
+        h ^= (data[i] as u64).wrapping_mul(XP5);
+        h = h.rotate_left(11).wrapping_mul(XP1);
+        i += 1;
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(XP2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(XP3);
+    h ^ (h >> 32)
+}
 
 fn disk_path(
     kind: &str,
@@ -282,12 +367,20 @@ fn disk_path(
     )))
 }
 
+fn file_site(path: &Path) -> u64 {
+    crate::fault::site_hash(path.file_name().and_then(|n| n.to_str()).unwrap_or(""))
+}
+
 /// Best-effort write; failure just means no cache hit next run.
 ///
 /// Public for stress tests and cache-maintenance tools; the experiment
 /// drivers go through the keyed cache functions above.
 pub fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
+    crate::fault::init_from_env();
     let write = || -> std::io::Result<()> {
+        if crate::fault::cache_fault(crate::fault::FaultClass::CacheEnospc, file_site(path)) {
+            return Err(std::io::Error::other("mic-fault: injected ENOSPC"));
+        }
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
             cleanup_orphan_tmps(dir);
@@ -307,6 +400,8 @@ pub fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
                 }
             }
         }
+        let checksum = xxh64(&buf, 0);
+        buf.extend_from_slice(&checksum.to_le_bytes());
         // Write-then-rename so a crashed run never leaves a torn file
         // under the final name. The tmp name must be unique per writer:
         // concurrent processes sharing MIC_SUITE_CACHE (and concurrent
@@ -361,53 +456,123 @@ fn cleanup_orphan_tmps(dir: &Path) {
 /// Meta words + work arrays, as stored in one workload file.
 pub type StoredArrays = (Vec<u64>, Vec<Arc<Vec<Work>>>);
 
-/// Read a workload file; `None` on any structural problem (missing,
-/// truncated, wrong counts, non-finite values). `expect_arrays` /
-/// `expect_meta` of 0 accept any count.
+/// Move a corrupt cache file aside as `<name>.corrupt` so the caller can
+/// recompute while the evidence survives for post-mortems. Falls back to
+/// deleting the file if the rename fails (e.g. a `.corrupt` of the same
+/// name already exists on a platform where rename won't replace it).
+fn quarantine(path: &Path, why: &str) {
+    let dest = PathBuf::from(format!("{}.corrupt", path.display()));
+    eprintln!(
+        "mic-eval: workload cache file {} is corrupt ({why}); quarantining to {} and recomputing",
+        path.display(),
+        dest.display(),
+    );
+    if std::fs::rename(path, &dest).is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Read a workload file; `None` means "cache miss — recompute". Three
+/// distinct miss flavours:
+///
+/// - missing file, or a v1 (`MICWL1`, pre-checksum) file: plain miss, the
+///   file (if any) is left alone and will be overwritten in v2 form;
+/// - verified file whose shape disagrees with `expect_arrays` /
+///   `expect_meta` (0 accepts any count): plain miss — the file is *valid*,
+///   just not what this caller wants;
+/// - bad checksum, unparseable structure, or non-finite payload: the file
+///   is quarantined to `<name>.corrupt` before returning `None`.
 ///
 /// Public for stress tests and cache-maintenance tools.
 pub fn load_arrays(path: &Path, expect_arrays: usize, expect_meta: usize) -> Option<StoredArrays> {
+    crate::fault::init_from_env();
     let mut bytes = Vec::new();
     std::fs::File::open(path)
         .ok()?
         .read_to_end(&mut bytes)
         .ok()?;
-    let mut off = 0usize;
+    if crate::fault::cache_fault(crate::fault::FaultClass::CacheShortRead, file_site(path)) {
+        // Simulate a reader racing a torn write: drop the tail, which is
+        // exactly what a killed writer without write-then-rename produces.
+        bytes.truncate(bytes.len().saturating_sub(9));
+    }
+    if bytes.len() >= 8 && &bytes[..8] == MAGIC_V1 {
+        return None; // pre-checksum container: plain miss, recompute + rewrite
+    }
+    if bytes.len() < 32 || &bytes[..8] != MAGIC {
+        quarantine(path, "unrecognized or truncated header");
+        return None;
+    }
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let body = &bytes[..bytes.len() - 8];
+    if xxh64(body, 0) != stored {
+        quarantine(path, "checksum mismatch");
+        return None;
+    }
+    match parse_body(body, expect_arrays, expect_meta) {
+        Parsed::Ok(stored) => Some(stored),
+        Parsed::ShapeMismatch => None,
+        Parsed::Corrupt(why) => {
+            // A valid checksum over a malformed body means the *writer* was
+            // broken, not the disk; still quarantine — the file can never load.
+            quarantine(path, why);
+            None
+        }
+    }
+}
+
+enum Parsed {
+    Ok(StoredArrays),
+    ShapeMismatch,
+    Corrupt(&'static str),
+}
+
+/// Decode header + meta + arrays from `body` (magic included, trailing
+/// checksum already stripped and verified).
+fn parse_body(bytes: &[u8], expect_arrays: usize, expect_meta: usize) -> Parsed {
+    let mut off = 8usize; // magic, already checked
     let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
         let s = bytes.get(*off..*off + n)?;
         *off += n;
         Some(s)
     };
-    if take(&mut off, 8)? != MAGIC {
-        return None;
-    }
     let read_u64 = |off: &mut usize| -> Option<u64> {
         Some(u64::from_le_bytes(take(off, 8)?.try_into().ok()?))
     };
-    let n_meta = read_u64(&mut off)? as usize;
-    let n_arrays = read_u64(&mut off)? as usize;
+    let Some((n_meta, n_arrays)) = read_u64(&mut off)
+        .zip(read_u64(&mut off))
+        .map(|(m, a)| (m as usize, a as usize))
+    else {
+        return Parsed::Corrupt("truncated counts");
+    };
+    if n_meta > bytes.len() || n_arrays > bytes.len() {
+        return Parsed::Corrupt("implausible counts");
+    }
     if (expect_meta != 0 && n_meta != expect_meta)
         || (expect_arrays != 0 && n_arrays != expect_arrays)
-        || n_meta > bytes.len()
-        || n_arrays > bytes.len()
     {
-        return None;
+        return Parsed::ShapeMismatch;
     }
     let mut meta = Vec::with_capacity(n_meta);
     for _ in 0..n_meta {
-        meta.push(read_u64(&mut off)?);
+        match read_u64(&mut off) {
+            Some(m) => meta.push(m),
+            None => return Parsed::Corrupt("truncated meta"),
+        }
     }
     let mut arrays = Vec::with_capacity(n_arrays);
     for _ in 0..n_arrays {
-        let len = read_u64(&mut off)? as usize;
+        let Some(len) = read_u64(&mut off).map(|l| l as usize) else {
+            return Parsed::Corrupt("truncated array header");
+        };
         if len.checked_mul(48).is_none_or(|b| off + b > bytes.len()) {
-            return None;
+            return Parsed::Corrupt("array overruns file");
         }
         let mut arr = Vec::with_capacity(len);
         for _ in 0..len {
             let mut f = [0.0f64; 6];
             for v in f.iter_mut() {
-                *v = f64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?);
+                *v = f64::from_le_bytes(take(&mut off, 8).unwrap().try_into().unwrap());
             }
             let w = Work {
                 issue: f[0],
@@ -418,16 +583,16 @@ pub fn load_arrays(path: &Path, expect_arrays: usize, expect_meta: usize) -> Opt
                 atomics: f[5],
             };
             if !w.is_valid() {
-                return None;
+                return Parsed::Corrupt("non-finite work entry");
             }
             arr.push(w);
         }
         arrays.push(Arc::new(arr));
     }
     if off != bytes.len() {
-        return None;
+        return Parsed::Corrupt("trailing bytes after last array");
     }
-    Some((meta, arrays))
+    Parsed::Ok((meta, arrays))
 }
 
 #[cfg(test)]
@@ -491,10 +656,11 @@ mod tests {
         }
     }
 
-    #[test]
-    fn disk_roundtrip_preserves_arrays_and_rejects_corruption() {
-        let dir = std::env::temp_dir().join(format!("micwl-test-{}", std::process::id()));
-        let path = dir.join("wl1-selftest.bin");
+    /// A fresh temp dir + two small arrays for the on-disk tests.
+    fn disk_fixture(tag: &str) -> (PathBuf, PathBuf, Vec<Work>, Vec<Work>) {
+        let dir = std::env::temp_dir().join(format!("micwl-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join(format!("wl1-selftest-{tag}.bin"));
         let a: Vec<Work> = (0..10)
             .map(|i| Work {
                 issue: i as f64,
@@ -509,6 +675,27 @@ mod tests {
             };
             3
         ];
+        (dir, path, a, b)
+    }
+
+    #[test]
+    fn xxh64_reference_vectors() {
+        // Reference vectors for the upstream xxHash XXH64 with seed 0.
+        assert_eq!(xxh64(b"", 0), 0xEF46DB3751D8E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC2CF5AD770999);
+        // ≥32 bytes exercises the four-lane main loop.
+        assert_eq!(
+            xxh64(b"Nobody inspects the spammish repetition", 0),
+            0xFBCEA83C8A378BF1
+        );
+        // Seed sensitivity.
+        assert_ne!(xxh64(b"abc", 0), xxh64(b"abc", 1));
+    }
+
+    #[test]
+    fn disk_roundtrip_preserves_arrays_and_rejects_corruption() {
+        let (dir, path, a, b) = disk_fixture("roundtrip");
         store_arrays(&path, &[7, 9], &[&a, &b]);
         let (meta, arrays) = load_arrays(&path, 2, 2).expect("roundtrip");
         assert_eq!(meta, vec![7, 9]);
@@ -516,12 +703,91 @@ mod tests {
         assert_eq!(arrays[0].len(), 10);
         assert_eq!(arrays[0][4], a[4]);
         assert_eq!(arrays[1].len(), 3);
-        // Wrong expected shape → None.
+        // Wrong expected shape → plain miss, the (valid) file is untouched.
         assert!(load_arrays(&path, 3, 2).is_none());
-        // Truncation → None.
+        assert!(path.exists(), "shape mismatch must not quarantine");
+        assert!(load_arrays(&path, 2, 2).is_some());
+        // Truncation (torn write) → checksum fails → quarantined, not loaded.
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
         assert!(load_arrays(&path, 2, 2).is_none());
+        assert!(!path.exists(), "corrupt file must be moved aside");
+        let corrupt = PathBuf::from(format!("{}.corrupt", path.display()));
+        assert!(
+            corrupt.exists(),
+            "corrupt file must be preserved as evidence"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_quarantined_and_recomputed() {
+        let (dir, path, a, b) = disk_fixture("bitflip");
+        store_arrays(&path, &[1], &[&a, &b]);
+        // Flip one bit in the middle of the payload; length and header stay
+        // plausible, so only the checksum can catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            load_arrays(&path, 2, 1).is_none(),
+            "a flipped payload byte must never be loaded"
+        );
+        assert!(!path.exists());
+        assert!(PathBuf::from(format!("{}.corrupt", path.display())).exists());
+        // The cache's contract after quarantine: recompute and store works.
+        store_arrays(&path, &[1], &[&a, &b]);
+        assert!(load_arrays(&path, 2, 1).is_some(), "recomputed entry loads");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_file_is_a_plain_miss_without_quarantine() {
+        let (dir, path, _, _) = disk_fixture("v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A minimal valid *v1* file: magic + zero meta + zero arrays, no
+        // trailing checksum. Pre-checksum files are not corrupt, just old.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_arrays(&path, 0, 0).is_none(), "v1 is a miss");
+        assert!(path.exists(), "v1 file must not be quarantined");
+        assert!(!PathBuf::from(format!("{}.corrupt", path.display())).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_enospc_suppresses_the_write() {
+        use crate::fault::{with_plan, FaultClass, FaultPlan};
+        let (dir, path, a, _) = disk_fixture("enospc");
+        with_plan(
+            FaultPlan::with_rate(11, FaultClass::CacheEnospc, 1.0),
+            || store_arrays(&path, &[], &[&a]),
+        );
+        assert!(!path.exists(), "injected ENOSPC must abort the write");
+        // Without the plan the same write succeeds.
+        store_arrays(&path, &[], &[&a]);
+        assert!(load_arrays(&path, 1, 0).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_short_read_quarantines_and_recompute_recovers() {
+        use crate::fault::{with_plan, FaultClass, FaultPlan};
+        let (dir, path, a, b) = disk_fixture("shortread");
+        store_arrays(&path, &[4], &[&a, &b]);
+        let missed = with_plan(
+            FaultPlan::with_rate(23, FaultClass::CacheShortRead, 1.0),
+            || load_arrays(&path, 2, 1),
+        );
+        assert!(missed.is_none(), "a short read must not produce data");
+        assert!(!path.exists(), "the apparently-torn file is moved aside");
+        // Recompute path: store again, clean load.
+        store_arrays(&path, &[4], &[&a, &b]);
+        assert!(load_arrays(&path, 2, 1).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -8,6 +8,15 @@
 use mic_eval::sim::Work;
 use mic_eval::workload_cache::{load_arrays, store_arrays};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Fault plans are process-global; serialize the tests in this file so the
+/// injected short-read schedule can never leak into the torn-file races.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A payload whose every Work value is derived from its tag, so a file
 /// mixing bytes from two writers fails the consistency check even though
@@ -37,6 +46,7 @@ fn check_consistent(meta: &[u64], arrays: &[std::sync::Arc<Vec<Work>>]) {
 
 #[test]
 fn concurrent_writers_never_leave_a_torn_file() {
+    let _guard = serial();
     let dir = std::env::temp_dir().join(format!("mic-cache-stress-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("wl1-stress-key.bin");
@@ -81,6 +91,69 @@ fn concurrent_writers_never_leave_a_torn_file() {
     // After the dust settles: the final file parses, and no tmp files
     // were renamed over it or left holding a claim on the final name.
     let (meta, arrays) = load_arrays(&path, 1, 1).expect("final file must parse");
+    check_consistent(&meta, &arrays);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A writer killed mid-write (simulated by truncating the file at every
+/// offset) must never hand the reader data: the checksum rejects every
+/// prefix, the file is quarantined, and a recompute-and-store round
+/// restores a loadable entry.
+#[test]
+fn killed_writer_truncations_all_quarantine_then_recompute_recovers() {
+    let _guard = serial();
+    let dir = std::env::temp_dir().join(format!("mic-cache-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wl1-kill-key.bin");
+    let arr = payload(3);
+    store_arrays(&path, &[3], &[&arr]);
+    let good = std::fs::read(&path).unwrap();
+    // Every strict prefix is a possible kill point. Step 7 keeps the test
+    // fast while still hitting header, meta, payload, and checksum cuts.
+    for cut in (0..good.len()).step_by(7) {
+        std::fs::write(&path, &good[..cut]).unwrap();
+        assert!(
+            load_arrays(&path, 1, 1).is_none(),
+            "a {cut}-byte torn file must never load"
+        );
+        assert!(!path.exists(), "torn file (cut {cut}) must be quarantined");
+        // The recovery path every caller takes: recompute + store + load.
+        store_arrays(&path, &[3], &[&arr]);
+        let (meta, arrays) = load_arrays(&path, 1, 1).expect("recompute must recover");
+        check_consistent(&meta, &arrays);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A reader that observes a short read (injected fault) while a stalled
+/// writer holds the file must quarantine and recompute rather than
+/// consume the truncated view; once the fault clears, the recomputed
+/// entry loads cleanly and later stores still work.
+#[test]
+fn stalled_writer_short_read_is_quarantined_and_recomputed() {
+    let _guard = serial();
+    use mic_eval::fault::{with_plan, FaultClass, FaultPlan};
+    let dir = std::env::temp_dir().join(format!("mic-cache-stall-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wl1-stall-key.bin");
+    let arr = payload(9);
+    store_arrays(&path, &[9], &[&arr]);
+    with_plan(
+        FaultPlan::with_rate(5, FaultClass::CacheShortRead, 1.0),
+        || {
+            assert!(
+                load_arrays(&path, 1, 1).is_none(),
+                "short read must be treated as corruption, not data"
+            );
+        },
+    );
+    assert!(!path.exists(), "short-read file is moved aside");
+    assert!(
+        std::path::PathBuf::from(format!("{}.corrupt", path.display())).exists(),
+        "evidence must be preserved"
+    );
+    store_arrays(&path, &[9], &[&arr]);
+    let (meta, arrays) = load_arrays(&path, 1, 1).expect("recompute after fault clears");
     check_consistent(&meta, &arrays);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,162 @@
+//! Fault-injection hook points for the runtime layer.
+//!
+//! The runtime crates sit below the experiment harness, so they cannot see
+//! `MIC_FAULT` parsing or the seeded schedule — instead they expose one
+//! process-global *hook*: a function consulted at every worker boundary
+//! (pool region entry, loop chunk execution) that may order the worker to
+//! stall, panic, or die. The `mic-eval` fault injector installs a hook
+//! translating its deterministic schedule; with no hook installed every
+//! boundary costs a single relaxed atomic load.
+//!
+//! Sites are identified structurally — which runtime shim, which worker,
+//! which chunk/epoch index — so a seeded injector can make the *same*
+//! decision for the same site on every run, independent of thread timing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// What an injected fault makes the worker do.
+#[derive(Clone, Debug)]
+pub enum FaultAction {
+    /// Panic with this message (caught and propagated like any job panic).
+    Panic(String),
+    /// Sleep this long before proceeding (a straggler / OS-noise model).
+    StallMs(u64),
+    /// The worker thread exits. Only meaningful at pool region entry — the
+    /// pool records the loss and respawns the worker on its next region;
+    /// at chunk sites `Die` degrades to a panic.
+    Die,
+}
+
+/// Where a fault decision is being made.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSite {
+    /// Which runtime shim asks ("pool", "omp", "cilk", "tbb").
+    pub runtime: &'static str,
+    /// Worker id within the pool.
+    pub worker: usize,
+    /// Stable position index: the region epoch for pool sites, the chunk's
+    /// first iteration index for loop sites.
+    pub index: u64,
+}
+
+/// The decision function: `None` = proceed normally.
+pub type FaultHook = dyn Fn(&FaultSite) -> Option<FaultAction> + Send + Sync;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn hook_slot() -> &'static RwLock<Option<Arc<FaultHook>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<FaultHook>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Install a process-global fault hook (replacing any previous one).
+pub fn install(hook: Arc<FaultHook>) {
+    *hook_slot().write().unwrap_or_else(|e| e.into_inner()) = Some(hook);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Remove the hook; all boundaries go back to the single-load fast path.
+pub fn clear() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *hook_slot().write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Consult the hook for `site`. Fast path: one relaxed load when no hook
+/// is installed.
+#[inline]
+pub fn check(site: &FaultSite) -> Option<FaultAction> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let guard = hook_slot().read().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref().and_then(|h| h(site))
+}
+
+/// Apply a fault decision at a *chunk* site: sleep or panic in place.
+/// `Die` has no meaning mid-loop and degrades to a panic.
+#[inline]
+pub(crate) fn apply_chunk(runtime: &'static str, worker: usize, index: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    match check(&FaultSite {
+        runtime,
+        worker,
+        index,
+    }) {
+        None => {}
+        Some(FaultAction::StallMs(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        Some(FaultAction::Panic(msg)) => panic!("{msg}"),
+        Some(FaultAction::Die) => {
+            panic!("mic-fault: worker {worker} ordered to die at a {runtime} chunk boundary")
+        }
+    }
+}
+
+fn session_lock() -> &'static Mutex<()> {
+    static SESSION: OnceLock<Mutex<()>> = OnceLock::new();
+    SESSION.get_or_init(|| Mutex::new(()))
+}
+
+/// Run `f` with `hook` installed, serializing concurrent callers (the hook
+/// is process-global) and restoring the previous hook afterwards — the
+/// test-friendly scoped variant of [`install`].
+pub fn with_hook<R>(hook: Arc<FaultHook>, f: impl FnOnce() -> R) -> R {
+    let _session = session_lock().lock().unwrap_or_else(|e| e.into_inner());
+    let previous = hook_slot()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    install(hook);
+    let result = f();
+    match previous {
+        Some(h) => install(h),
+        None => clear(),
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn no_hook_means_no_faults() {
+        assert!(check(&FaultSite {
+            runtime: "omp",
+            worker: 0,
+            index: 0,
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn scoped_hook_fires_and_unwinds() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        with_hook(
+            Arc::new(move |site: &FaultSite| {
+                hits2.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(site.runtime, "tbb");
+                Some(FaultAction::StallMs(0))
+            }),
+            || {
+                let act = check(&FaultSite {
+                    runtime: "tbb",
+                    worker: 3,
+                    index: 64,
+                });
+                assert!(matches!(act, Some(FaultAction::StallMs(0))));
+            },
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        assert!(check(&FaultSite {
+            runtime: "tbb",
+            worker: 3,
+            index: 64,
+        })
+        .is_none());
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod cilk;
 pub mod concurrent;
+pub mod fault;
 pub mod model;
 pub mod openmp;
 pub mod pipeline;
@@ -39,10 +40,11 @@ pub mod trace;
 
 pub use cilk::cilk_for;
 pub use concurrent::{BlockCursor, BlockQueue, BlockWriter, ConcurrentPushVec};
+pub use fault::{FaultAction, FaultSite};
 pub use model::RuntimeModel;
 pub use openmp::{parallel_for, parallel_for_chunks, parallel_reduce, Schedule};
 pub use pipeline::{run_pipeline, Stage};
-pub use pool::{ThreadPool, WorkerCtx};
+pub use pool::{PoolError, ThreadPool, WorkerCtx};
 pub use scan::{exclusive_scan, exclusive_scan_seq};
 pub use sync::{Critical, RegionBarrier, Single};
 pub use tbb::{tbb_parallel_for, Partitioner};

@@ -9,10 +9,17 @@
 //! blocks until every worker has finished, so the borrow can never be
 //! observed after it expires. Panics in workers are caught and re-thrown
 //! from `run` on the calling thread (first panic wins).
+//!
+//! The pool is also a fault-injection site (see [`crate::fault`]): a hook
+//! may stall a worker at region entry, panic it, or kill it outright. A
+//! killed worker is bookkept in the shared state and transparently
+//! respawned at the start of the next region, so a poisoned pool recovers
+//! instead of deadlocking its next `run`.
 
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::cell::Cell;
+use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,6 +32,40 @@ pub struct WorkerCtx {
     /// Number of workers participating in the region.
     pub num_threads: usize,
 }
+
+/// Why a `try_run` call was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker tried to start a region on the pool whose region it is
+    /// already inside — that would deadlock on the pool's run lock.
+    Reentry {
+        /// Id of the pool being re-entered.
+        pool: usize,
+        /// Worker id (within that pool) that attempted the nested `run`.
+        worker: usize,
+        /// Epoch of the region the worker is currently executing.
+        epoch: u64,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Reentry {
+                pool,
+                worker,
+                epoch,
+            } => write!(
+                f,
+                "worker {worker} of pool #{pool} re-entered its own pool from \
+                 region epoch {epoch}; nested `run` on the same pool would \
+                 deadlock (use a distinct pool for inner parallelism)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 type Job = *const (dyn Fn(WorkerCtx) + Sync);
 
@@ -40,6 +81,9 @@ struct State {
     remaining: usize,
     panic: Option<Box<dyn Any + Send>>,
     shutdown: bool,
+    /// Worker ids whose threads exited (injected `Die` faults). Joined and
+    /// respawned at the start of the next region.
+    dead: Vec<usize>,
 }
 
 struct Shared {
@@ -49,12 +93,12 @@ struct Shared {
 }
 
 thread_local! {
-    /// The id of the pool whose region this OS thread is currently inside
-    /// (if any). Re-entering the *same* pool would deadlock on `run_lock`,
-    /// so that is rejected with a clear error; entering a *different* pool
-    /// (hierarchical composition, e.g. a pipeline stage driving its own
-    /// worker pool) is safe and allowed.
-    static IN_REGION: Cell<Option<usize>> = const { Cell::new(None) };
+    /// `(pool id, worker id)` of the region this OS thread is currently
+    /// inside (if any). Re-entering the *same* pool would deadlock on
+    /// `run_lock`, so that is rejected with a descriptive [`PoolError`];
+    /// entering a *different* pool (hierarchical composition, e.g. a
+    /// pipeline stage driving its own worker pool) is safe and allowed.
+    static IN_REGION: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
 }
 
 /// Monotonic pool ids for the same-pool re-entrancy check.
@@ -63,7 +107,9 @@ static POOL_IDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize
 /// Fixed-size worker pool. See the module docs.
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    /// Slot per worker id; `None` only transiently while a dead worker is
+    /// being respawned. Behind a mutex so `run(&self)` can heal the pool.
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
     /// Serializes concurrent `run` calls from different threads.
     run_lock: Mutex<()>,
     num_threads: usize,
@@ -84,22 +130,17 @@ impl ThreadPool {
                 remaining: 0,
                 panic: None,
                 shutdown: false,
+                dead: Vec::new(),
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
         let handles = (0..num_threads)
-            .map(|id| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("mic-worker-{id}"))
-                    .spawn(move || worker_loop(id, num_threads, pool_id, shared))
-                    .expect("failed to spawn pool worker")
-            })
+            .map(|id| Some(spawn_worker(id, num_threads, pool_id, &shared, 0)))
             .collect();
         ThreadPool {
             shared,
-            handles,
+            handles: Mutex::new(handles),
             run_lock: Mutex::new(()),
             num_threads,
             id: pool_id,
@@ -115,21 +156,40 @@ impl ThreadPool {
     /// all workers return. Panics raised inside workers are re-raised here.
     ///
     /// # Panics
-    /// Panics if called from inside a region of the *same* pool (that
-    /// would deadlock). Regions of different pools may nest.
+    /// Panics (with the [`PoolError::Reentry`] message) if called from
+    /// inside a region of the *same* pool. Regions of different pools may
+    /// nest. Use [`try_run`](Self::try_run) to get the error as a value.
     pub fn run<F>(&self, f: F)
     where
         F: Fn(WorkerCtx) + Sync,
     {
-        IN_REGION.with(|flag| {
-            assert!(
-                flag.get() != Some(self.id),
-                "re-entering a pool from its own region would deadlock"
-            );
-        });
+        if let Err(e) = self.try_run(f) {
+            panic!("{e}");
+        }
+    }
+
+    /// Like [`run`](Self::run), but same-pool re-entry comes back as a
+    /// [`PoolError::Reentry`] naming the pool, worker and region epoch
+    /// instead of a panic — diagnosable from sweep logs. Worker panics are
+    /// still re-raised on the calling thread.
+    pub fn try_run<F>(&self, f: F) -> Result<(), PoolError>
+    where
+        F: Fn(WorkerCtx) + Sync,
+    {
+        if let Some((pool, worker)) = IN_REGION.with(|flag| flag.get()) {
+            if pool == self.id {
+                let epoch = self.shared.state.lock().epoch;
+                return Err(PoolError::Reentry {
+                    pool,
+                    worker,
+                    epoch,
+                });
+            }
+        }
         let _serialize = self.run_lock.lock();
+        self.ensure_workers();
         let f_ref: &(dyn Fn(WorkerCtx) + Sync) = &f;
-        // SAFETY: we erase the lifetime of `f_ref`, but `run` does not
+        // SAFETY: we erase the lifetime of `f_ref`, but `try_run` does not
         // return until `remaining == 0`, i.e. until no worker can touch the
         // job pointer again, so the borrow is live for every dereference.
         let job: Job = unsafe {
@@ -149,6 +209,37 @@ impl ThreadPool {
         if let Some(p) = panic {
             panic::resume_unwind(p);
         }
+        Ok(())
+    }
+
+    /// Join and respawn any workers that died (injected `Die` faults) since
+    /// the previous region. Called under `run_lock` before a region is
+    /// posted, so a pool poisoned by worker loss heals instead of hanging
+    /// its next `run` waiting on threads that no longer exist.
+    fn ensure_workers(&self) {
+        let dead: Vec<usize> = {
+            let mut s = self.shared.state.lock();
+            std::mem::take(&mut s.dead)
+        };
+        if dead.is_empty() {
+            return;
+        }
+        let epoch = self.shared.state.lock().epoch;
+        let mut handles = self.handles.lock();
+        for id in dead {
+            if let Some(h) = handles[id].take() {
+                let _ = h.join();
+            }
+            // The replacement starts at the current epoch so it waits for
+            // the next region rather than chasing ones it never saw.
+            handles[id] = Some(spawn_worker(
+                id,
+                self.num_threads,
+                self.id,
+                &self.shared,
+                epoch,
+            ));
+        }
     }
 }
 
@@ -159,14 +250,30 @@ impl Drop for ThreadPool {
             s.shutdown = true;
             self.shared.work_cv.notify_all();
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        for h in self.handles.lock().iter_mut() {
+            if let Some(h) = h.take() {
+                let _ = h.join();
+            }
         }
     }
 }
 
-fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared>) {
-    let mut seen_epoch = 0u64;
+fn spawn_worker(
+    id: usize,
+    num_threads: usize,
+    pool_id: usize,
+    shared: &Arc<Shared>,
+    start_epoch: u64,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("mic-worker-{id}"))
+        .spawn(move || worker_loop(id, num_threads, pool_id, shared, start_epoch))
+        .expect("failed to spawn pool worker")
+}
+
+fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared>, start: u64) {
+    let mut seen_epoch = start;
     loop {
         let job = {
             let mut s = shared.state.lock();
@@ -183,22 +290,52 @@ fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared
                 shared.work_cv.wait(&mut s);
             }
         };
-        // SAFETY: `run` keeps the closure alive until `remaining` drops to
-        // zero, which happens strictly after this call returns.
-        let f = unsafe { &*job.0 };
-        let outer = IN_REGION.with(|flag| flag.replace(Some(pool_id)));
-        let trace_start = crate::trace::enabled().then(crate::trace::now_us);
-        let result = panic::catch_unwind(AssertUnwindSafe(|| f(WorkerCtx { id, num_threads })));
-        if let Some(t0) = trace_start {
-            crate::trace::emit(crate::trace::NativeEvent {
-                runtime: "pool",
-                worker: id,
-                start_us: t0,
-                end_us: crate::trace::now_us(),
-                kind: crate::trace::NativeEventKind::Region { epoch: seen_epoch },
-            });
+        // Region-entry fault site: an installed hook may stall this worker,
+        // panic it in place of the job, or kill the thread.
+        let fault = crate::fault::check(&crate::fault::FaultSite {
+            runtime: "pool",
+            worker: id,
+            index: seen_epoch,
+        });
+        if let Some(crate::fault::FaultAction::Die) = fault {
+            let mut s = shared.state.lock();
+            if s.panic.is_none() {
+                s.panic = Some(Box::new(format!(
+                    "mic-fault: pool worker {id} died at region epoch {seen_epoch}"
+                )));
+            }
+            s.dead.push(id);
+            s.remaining -= 1;
+            if s.remaining == 0 {
+                shared.done_cv.notify_all();
+            }
+            return;
         }
-        IN_REGION.with(|flag| flag.set(outer));
+        if let Some(crate::fault::FaultAction::StallMs(ms)) = &fault {
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+        }
+        let result = if let Some(crate::fault::FaultAction::Panic(msg)) = fault {
+            // The injected panic replaces the job body for this worker.
+            Err(Box::new(msg) as Box<dyn Any + Send>)
+        } else {
+            // SAFETY: `run` keeps the closure alive until `remaining` drops
+            // to zero, which happens strictly after this call returns.
+            let f = unsafe { &*job.0 };
+            let outer = IN_REGION.with(|flag| flag.replace(Some((pool_id, id))));
+            let trace_start = crate::trace::enabled().then(crate::trace::now_us);
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(WorkerCtx { id, num_threads })));
+            if let Some(t0) = trace_start {
+                crate::trace::emit(crate::trace::NativeEvent {
+                    runtime: "pool",
+                    worker: id,
+                    start_us: t0,
+                    end_us: crate::trace::now_us(),
+                    kind: crate::trace::NativeEventKind::Region { epoch: seen_epoch },
+                });
+            }
+            IN_REGION.with(|flag| flag.set(outer));
+            result
+        };
         let mut s = shared.state.lock();
         if let Err(p) = result {
             if s.panic.is_none() {
@@ -285,6 +422,34 @@ mod tests {
             });
         }));
         assert!(r.is_err(), "same-pool re-entry must panic");
+    }
+
+    #[test]
+    fn reentry_error_names_pool_and_worker() {
+        let pool = ThreadPool::new(3);
+        let pool_ref = &pool;
+        let msg = std::sync::Mutex::new(String::new());
+        pool_ref.run(|ctx| {
+            if ctx.id == 1 {
+                let err = pool_ref
+                    .try_run(|_| {})
+                    .expect_err("same-pool try_run must be rejected");
+                match err {
+                    PoolError::Reentry { worker, .. } => assert_eq!(worker, 1),
+                }
+                *msg.lock().unwrap() = err.to_string();
+            }
+        });
+        let msg = msg.into_inner().unwrap();
+        assert!(msg.contains("worker 1"), "got: {msg}");
+        assert!(msg.contains("epoch"), "got: {msg}");
+        // And the pool is still healthy: rejection happened before any
+        // region state changed.
+        let hits = AtomicUsize::new(0);
+        pool.run(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
     }
 
     #[test]

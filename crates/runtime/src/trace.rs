@@ -92,7 +92,9 @@ pub fn emit_steal(runtime: &'static str, thief: usize, victim: usize) {
 }
 
 /// Wrap a chunk body so each invocation is timed and recorded when a
-/// capture session is active.
+/// capture session is active. This is also the chunk-boundary fault site:
+/// an installed [`crate::fault`] hook is consulted with the chunk's first
+/// iteration index before the body runs.
 pub(crate) fn timed_chunk<F>(
     runtime: &'static str,
     body: F,
@@ -101,6 +103,7 @@ where
     F: Fn(Range<usize>, crate::pool::WorkerCtx),
 {
     move |r, ctx| {
+        crate::fault::apply_chunk(runtime, ctx.id, r.start as u64);
         if enabled() {
             let t0 = now_us();
             body(r.clone(), ctx);

@@ -3,11 +3,12 @@
 //! and (c) leave the pool reusable.
 
 use mic_runtime::{
-    cilk_for, parallel_for, run_pipeline, tbb_parallel_for, Partitioner, Schedule, Stage,
-    ThreadPool,
+    cilk_for, fault, parallel_for, run_pipeline, tbb_parallel_for, FaultAction, FaultSite,
+    Partitioner, Schedule, Stage, ThreadPool,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 fn assert_pool_still_works(pool: &ThreadPool) {
     let hits = AtomicUsize::new(0);
@@ -104,6 +105,86 @@ fn panic_in_pipeline_stage_propagates() {
         );
     }));
     assert!(r.is_err(), "pipeline must propagate a stage panic");
+    assert_pool_still_works(&pool);
+}
+
+#[test]
+fn injected_chunk_panic_propagates_and_pool_survives() {
+    let pool = ThreadPool::new(4);
+    fault::with_hook(
+        Arc::new(|site: &FaultSite| {
+            (site.runtime == "omp" && site.index == 64)
+                .then(|| FaultAction::Panic("injected chunk fault".into()))
+        }),
+        || {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                parallel_for(&pool, 0..1000, Schedule::Dynamic { chunk: 64 }, |_, _| {});
+            }));
+            assert!(r.is_err(), "chunk fault must propagate as a panic");
+        },
+    );
+    assert_pool_still_works(&pool);
+}
+
+#[test]
+fn injected_chunk_stall_changes_nothing_but_timing() {
+    let pool = ThreadPool::new(4);
+    let hits = AtomicUsize::new(0);
+    fault::with_hook(
+        Arc::new(|site: &FaultSite| (site.runtime == "omp").then_some(FaultAction::StallMs(1))),
+        || {
+            parallel_for(&pool, 0..100, Schedule::Dynamic { chunk: 25 }, |_, _| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        },
+    );
+    assert_eq!(hits.load(Ordering::Relaxed), 100);
+}
+
+#[test]
+fn dead_worker_is_reported_then_respawned() {
+    let pool = ThreadPool::new(4);
+    let killed = Arc::new(AtomicUsize::new(0));
+    // First region under the hook: worker 2 dies exactly once. `run` must
+    // report the loss as a panic rather than completing silently.
+    fault::with_hook(
+        Arc::new({
+            let killed = Arc::clone(&killed);
+            move |site: &FaultSite| {
+                if site.runtime == "pool"
+                    && site.worker == 2
+                    && killed
+                        .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    Some(FaultAction::Die)
+                } else {
+                    None
+                }
+            }
+        }),
+        || {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(|_| {});
+            }));
+            let msg = *r
+                .expect_err("worker death must surface as a panic")
+                .downcast::<String>()
+                .expect("death payload is a message");
+            assert!(msg.contains("worker 2"), "got: {msg}");
+            // Next region: the pool respawns the dead worker and runs at
+            // full strength again instead of deadlocking.
+            let hits = AtomicUsize::new(0);
+            let mask = AtomicUsize::new(0);
+            pool.run(|ctx| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                mask.fetch_or(1 << ctx.id, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 4);
+            assert_eq!(mask.load(Ordering::Relaxed), 0xF, "all ids participate");
+        },
+    );
+    assert_eq!(killed.load(Ordering::Relaxed), 1);
     assert_pool_still_works(&pool);
 }
 

@@ -1,0 +1,52 @@
+//! Structured validation errors for the simulation entry points.
+//!
+//! The engine's hot paths validate with `assert!`/`debug_assert!` — fine
+//! for figure regeneration where inputs come from our own kernels, but a
+//! sweep harness feeding cached (possibly corrupted) workloads needs
+//! malformed input back as a value it can record as a `JobFailure`, not as
+//! a panic and not as release-mode silent nonsense. [`SimError`] is that
+//! value; `simulate_checked`/`simulate_region_checked` validate machine,
+//! thread count and every work descriptor up front, then run the normal
+//! engine — the success path is bit-identical to the unchecked one.
+
+use std::fmt;
+
+/// Why a checked simulation refused to run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// `threads == 0`.
+    ZeroThreads,
+    /// More software threads than the machine has hardware threads (the
+    /// paper never oversubscribes the card, and neither does the engine).
+    Oversubscribed { threads: usize, hw_threads: usize },
+    /// The machine configuration is inconsistent; the message names the
+    /// first violated constraint.
+    Machine(String),
+    /// A work descriptor is non-finite or negative: `region` is the index
+    /// in the input slice (always 0 for single-region entry points),
+    /// `index` the offending iteration.
+    Work { region: usize, index: usize },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ZeroThreads => write!(f, "simulation needs at least one thread"),
+            SimError::Oversubscribed {
+                threads,
+                hw_threads,
+            } => write!(
+                f,
+                "{threads} threads exceed the machine's {hw_threads} hardware threads"
+            ),
+            SimError::Machine(msg) => write!(f, "invalid machine configuration: {msg}"),
+            SimError::Work { region, index } => write!(
+                f,
+                "invalid work descriptor (non-finite or negative) at region {region}, \
+                 iteration {index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

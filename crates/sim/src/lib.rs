@@ -36,6 +36,7 @@
 
 pub mod analytic;
 pub mod engine;
+pub mod error;
 pub mod machine;
 pub mod sched;
 pub mod trace;
@@ -43,10 +44,11 @@ pub mod work;
 
 pub use analytic::{bfs_model_speedup, BfsModel};
 pub use engine::{
-    simulate, simulate_region, simulate_region_telemetry, simulate_region_traced,
-    simulate_region_with_scratch, simulate_traced, simulate_with_scratch, Bottleneck, SimReport,
-    SimScratch,
+    simulate, simulate_checked, simulate_region, simulate_region_checked,
+    simulate_region_telemetry, simulate_region_traced, simulate_region_with_scratch,
+    simulate_traced, simulate_with_scratch, validate_inputs, Bottleneck, SimReport, SimScratch,
 };
+pub use error::SimError;
 pub use machine::{Machine, Placement, SchedCosts};
 pub use sched::Policy;
 pub use trace::{ChunkEvent, CoreCounters, NullSink, RecordingSink, StallCause, TraceSink};

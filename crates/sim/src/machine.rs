@@ -241,16 +241,53 @@ impl Machine {
         }
     }
 
-    /// Sanity-check the configuration.
+    /// Sanity-check the configuration, panicking on the first violation
+    /// (the hot-path form; see [`Machine::check`] for the error-returning
+    /// one).
     pub fn validate(&self) {
-        assert!(self.cores >= 1 && self.smt_per_core >= 1);
-        assert!(self.single_thread_issue_penalty >= 1.0);
-        assert!(self.single_thread_stall_penalty >= 1.0);
-        assert!(self.l1_latency > 0.0 && self.l2_latency >= self.l1_latency);
-        assert!(self.dram_latency >= self.l2_latency);
-        assert!(self.dram_lines_per_cycle > 0.0 && self.l2_lines_per_cycle > 0.0);
-        assert!(self.fpu_recip_throughput > 0.0);
-        assert!(self.atomic_service >= 0.0 && self.atomic_latency >= 0.0);
+        if let Err(msg) = self.check() {
+            panic!("invalid machine configuration: {msg}");
+        }
+    }
+
+    /// Sanity-check the configuration, naming the first violated
+    /// constraint instead of panicking.
+    pub fn check(&self) -> Result<(), String> {
+        let constraints: [(&str, bool); 8] = [
+            (
+                "cores >= 1 && smt_per_core >= 1",
+                self.cores >= 1 && self.smt_per_core >= 1,
+            ),
+            (
+                "single_thread_issue_penalty >= 1",
+                self.single_thread_issue_penalty >= 1.0,
+            ),
+            (
+                "single_thread_stall_penalty >= 1",
+                self.single_thread_stall_penalty >= 1.0,
+            ),
+            (
+                "0 < l1_latency <= l2_latency",
+                self.l1_latency > 0.0 && self.l2_latency >= self.l1_latency,
+            ),
+            (
+                "dram_latency >= l2_latency",
+                self.dram_latency >= self.l2_latency,
+            ),
+            (
+                "dram/l2 lines_per_cycle > 0",
+                self.dram_lines_per_cycle > 0.0 && self.l2_lines_per_cycle > 0.0,
+            ),
+            ("fpu_recip_throughput > 0", self.fpu_recip_throughput > 0.0),
+            (
+                "atomic_service >= 0 && atomic_latency >= 0",
+                self.atomic_service >= 0.0 && self.atomic_latency >= 0.0,
+            ),
+        ];
+        match constraints.iter().find(|(_, ok)| !ok) {
+            Some((name, _)) => Err(format!("machine {:?} violates {name}", self.name)),
+            None => Ok(()),
+        }
     }
 }
 
