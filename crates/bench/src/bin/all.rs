@@ -1,13 +1,26 @@
 //! Regenerate every exhibit of the paper in one run.
 //!
-//! Usage: `all [--scale K]` — the EXPERIMENTS.md record uses the default
-//! (full paper-size) scale.
+//! Usage: `all [--scale K] [--strict] [--write-baseline PATH]`
+//! — the EXPERIMENTS.md record uses the default (full paper-size) scale.
 //!
 //! The tables/figures go to stdout exactly as before; a per-exhibit wall
 //! time footer goes to stderr, and a machine-readable copy is written to
 //! `BENCH_sweep.json` in the working directory (disable with
 //! `MIC_BENCH_JSON=0`, or point it elsewhere with `MIC_BENCH_JSON=path`).
+//!
+//! Observability riders (all off unless asked for):
+//!
+//! - `MIC_METRICS=1` — run with the metrics registry on; the snapshot is
+//!   embedded in the JSON output. `MIC_METRICS=<path>` additionally
+//!   writes the Prometheus text snapshot to `<path>`.
+//! - `MIC_BASELINE=<path>` — compare this run's per-exhibit wall times
+//!   against the committed baseline (tolerance `MIC_BASELINE_TOL`,
+//!   default 15 %) and print a per-figure regression table. With
+//!   `--strict`, any regression names the figure and exits nonzero.
+//! - `--write-baseline PATH` — save this run's timings as a baseline
+//!   file for future gates.
 
+use mic_eval::baseline::{self, Baseline};
 use mic_eval::experiments::{ablation, fig1, fig2, fig3, fig4, table1};
 use mic_eval::graph::suite::Scale;
 use mic_eval::sweep::RecordedFailure;
@@ -61,6 +74,7 @@ fn write_json(
     total_s: f64,
     t: &Timings,
     failures: &[RecordedFailure],
+    metrics_json: Option<&str>,
 ) {
     let mut body = String::from("{\n");
     body.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
@@ -74,6 +88,11 @@ fn write_json(
         ));
     }
     body.push_str("  ],\n");
+    if let Some(m) = metrics_json {
+        body.push_str("  \"metrics\": ");
+        body.push_str(m.trim_end());
+        body.push_str(",\n");
+    }
     body.push_str("  \"failures\": [\n");
     for (i, r) in failures.iter().enumerate() {
         let comma = if i + 1 < failures.len() { "," } else { "" };
@@ -105,7 +124,15 @@ fn main() {
         }
         None => Scale::Full,
     };
+    let strict = args.iter().any(|a| a == "--strict");
+    let write_baseline: Option<String> =
+        args.iter().position(|a| a == "--write-baseline").map(|i| {
+            args.get(i + 1)
+                .expect("--write-baseline needs a path")
+                .clone()
+        });
 
+    mic_eval::metrics::init_from_env();
     let start = Instant::now();
     let mut t = Timings {
         exhibits: Vec::new(),
@@ -173,8 +200,85 @@ fn main() {
             eprintln!("{:<28} {}", r.context, r.failure);
         }
     }
+    // Metrics rider: snapshot once, embed in the JSON, optionally export
+    // the Prometheus text form. With MIC_METRICS unset this whole block is
+    // inert and the JSON payload is byte-identical to a metrics-free build.
+    let metrics_json = if mic_eval::metrics::enabled() {
+        let snap = mic_eval::metrics::snapshot();
+        for problem in snap.self_check() {
+            eprintln!("metrics self-check: {problem}");
+        }
+        if let Some(path) = mic_eval::metrics::snapshot_path() {
+            match std::fs::write(&path, snap.to_prometheus()) {
+                Ok(()) => eprintln!("(metrics snapshot written to {})", path.display()),
+                Err(e) => eprintln!("(could not write {}: {e})", path.display()),
+            }
+        }
+        Some(snap.to_json())
+    } else {
+        None
+    };
+
     if let Some(path) = json_path() {
-        write_json(&path, scale, threads, total_s, &t, &failures);
+        write_json(
+            &path,
+            scale,
+            threads,
+            total_s,
+            &t,
+            &failures,
+            metrics_json.as_deref(),
+        );
         eprintln!("(timings written to {path})");
+    }
+
+    let current = Baseline {
+        scale: format!("{scale:?}"),
+        total_seconds: total_s,
+        exhibits: t.exhibits.clone(),
+    };
+    if let Some(path) = &write_baseline {
+        match std::fs::write(path, current.to_json()) {
+            Ok(()) => eprintln!("(baseline written to {path})"),
+            Err(e) => {
+                eprintln!("could not write baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Baseline regression gate (MIC_BASELINE / MIC_BASELINE_TOL).
+    if let Some(path) = baseline::baseline_path() {
+        let tol = baseline::tol_from_env();
+        match Baseline::load(&path) {
+            Ok(reference) => {
+                let report = baseline::compare(&current, &reference, tol);
+                eprintln!(
+                    "== Baseline gate ({} at {:.0}% tolerance) ==",
+                    path.display(),
+                    tol * 100.0
+                );
+                eprint!("{}", report.to_table());
+                if !report.ok() {
+                    let names = report.regressions().join(", ");
+                    if strict {
+                        eprintln!("baseline gate FAILED: regressed exhibit(s): {names}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("baseline gate: regressed exhibit(s): {names} (not --strict)");
+                } else {
+                    eprintln!("baseline gate: ok");
+                }
+            }
+            Err(e) => {
+                eprintln!("baseline gate: cannot load reference: {e}");
+                if strict {
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else if strict {
+        eprintln!("--strict requires MIC_BASELINE to point at a baseline file");
+        std::process::exit(1);
     }
 }

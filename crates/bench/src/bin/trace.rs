@@ -84,11 +84,16 @@ fn main() {
 
     // Full chunk-level traces at the top of the grid, one lane per config.
     let mut failures = 0usize;
+    let mut failing_configs: Vec<String> = Vec::new();
     let mut parts: Vec<TracePart> = Vec::new();
     for (label, regions) in &configs {
         let (_, part) = trace_simulation(&format!("{label} t={t_trace}"), &m, t_trace, regions);
         if check {
-            failures += check_counters(&m, t_trace, label, regions, &part);
+            let mismatches = check_counters(&m, t_trace, label, regions, &part);
+            if mismatches > 0 {
+                failing_configs.push(label.clone());
+            }
+            failures += mismatches;
         }
         parts.push(part);
     }
@@ -143,6 +148,12 @@ fn main() {
     }
     if check {
         if failures > 0 {
+            if !failing_configs.is_empty() {
+                eprintln!(
+                    "check FAILED: counter mismatches in config(s): {}",
+                    failing_configs.join(", ")
+                );
+            }
             eprintln!("check FAILED: {failures} problem(s)");
             std::process::exit(1);
         }

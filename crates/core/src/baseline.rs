@@ -1,0 +1,604 @@
+//! Performance-baseline regression gate for the bench drivers.
+//!
+//! `all` records per-exhibit wall times in `BENCH_sweep.json`; this module
+//! compares such a run against a committed reference
+//! (`BENCH_baseline.json`) and reports per-figure regressions. The knobs:
+//!
+//! - `MIC_BASELINE=<path>` — the reference file ([`baseline_path`]);
+//! - `MIC_BASELINE_TOL=<fraction>` — relative slack (default `0.15`,
+//!   i.e. a figure regresses when it is more than 15 % slower than the
+//!   reference; [`tol_from_env`]).
+//!
+//! A figure counts as regressed only when it is *both* `tol` slower in
+//! relative terms and [`ABS_SLACK_S`] slower in absolute terms — the
+//! absolute floor keeps millisecond-scale exhibits from flapping on
+//! scheduler noise. Exhibits present in the reference but missing from
+//! the current run are regressions too (the figure was not produced);
+//! exhibits new in the current run are reported but never fail the gate.
+//!
+//! The file format is the `exhibits`/`total_seconds`/`scale` subset of
+//! `BENCH_sweep.json`, so a previous sweep output can be committed as a
+//! baseline verbatim. Parsing uses the in-crate minimal JSON reader
+//! ([`json::parse`]) — the workspace takes no serde dependency for one
+//! small file.
+
+use std::path::{Path, PathBuf};
+
+/// Absolute slowdown (seconds) a figure must also exceed before the
+/// relative tolerance can fail the gate.
+pub const ABS_SLACK_S: f64 = 0.010;
+
+/// Default `MIC_BASELINE_TOL`.
+pub const DEFAULT_TOL: f64 = 0.15;
+
+/// The reference file requested via `MIC_BASELINE`, if any.
+pub fn baseline_path() -> Option<PathBuf> {
+    crate::env::path("MIC_BASELINE")
+}
+
+/// The relative tolerance: `MIC_BASELINE_TOL` or [`DEFAULT_TOL`].
+pub fn tol_from_env() -> f64 {
+    crate::env::nonneg_f64("MIC_BASELINE_TOL").unwrap_or(DEFAULT_TOL)
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value reader.
+
+/// A tiny recursive-descent JSON reader — just enough to load baseline /
+/// sweep files. Numbers are `f64`, objects keep insertion order.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field by key (first match), if this is an object.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one JSON document (trailing content is an error).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    fields.push((key, parse_value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&b[start..*pos]).unwrap_or("");
+                s.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| format!("bad token at byte {start}"))
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b.get(*pos..*pos + len).ok_or("truncated utf-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "bad utf-8")?);
+                    *pos += len;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The baseline itself.
+
+/// Per-exhibit wall times of one full `all` run — the unit both sides of
+/// the gate are expressed in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Baseline {
+    /// `format!("{scale:?}")` of the run, e.g. `"Fraction(256)"`.
+    pub scale: String,
+    /// Whole-run wall time, seconds.
+    pub total_seconds: f64,
+    /// `(exhibit name, seconds)` in run order.
+    pub exhibits: Vec<(String, f64)>,
+}
+
+impl Baseline {
+    /// Serialize in the `BENCH_sweep.json`-compatible shape.
+    pub fn to_json(&self) -> String {
+        let mut body = String::from("{\n");
+        body.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
+        body.push_str(&format!(
+            "  \"total_seconds\": {:.3},\n",
+            self.total_seconds
+        ));
+        body.push_str("  \"exhibits\": [\n");
+        for (i, (name, secs)) in self.exhibits.iter().enumerate() {
+            let comma = if i + 1 < self.exhibits.len() { "," } else { "" };
+            body.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{comma}\n"
+            ));
+        }
+        body.push_str("  ]\n}\n");
+        body
+    }
+
+    /// Parse a baseline (or a full `BENCH_sweep.json`; extra fields are
+    /// ignored).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = json::parse(text)?;
+        let scale = v
+            .get("scale")
+            .and_then(|s| s.as_str())
+            .ok_or("missing \"scale\"")?
+            .to_string();
+        let total_seconds = v
+            .get("total_seconds")
+            .and_then(|s| s.as_f64())
+            .ok_or("missing \"total_seconds\"")?;
+        let mut exhibits = Vec::new();
+        for e in v
+            .get("exhibits")
+            .and_then(|e| e.as_arr())
+            .ok_or("missing \"exhibits\"")?
+        {
+            let name = e
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or("exhibit missing \"name\"")?;
+            let secs = e
+                .get("seconds")
+                .and_then(|s| s.as_f64())
+                .ok_or("exhibit missing \"seconds\"")?;
+            exhibits.push((name.to_string(), secs));
+        }
+        if exhibits.is_empty() {
+            return Err("baseline has no exhibits".into());
+        }
+        Ok(Baseline {
+            scale,
+            total_seconds,
+            exhibits,
+        })
+    }
+
+    /// [`Baseline::parse`] from a file, with the path in the error.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The gate.
+
+/// One figure's comparison against the reference.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    pub name: String,
+    pub baseline_s: f64,
+    /// `None` when the current run did not produce this exhibit.
+    pub current_s: Option<f64>,
+    /// `current / baseline` (`f64::INFINITY` when missing or the
+    /// reference is zero-time).
+    pub ratio: f64,
+    pub regressed: bool,
+}
+
+/// The per-figure regression table plus gate verdict.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    pub tol: f64,
+    /// `(baseline scale, current scale)` when they disagree — the
+    /// comparison is meaningless and the gate fails.
+    pub scale_mismatch: Option<(String, String)>,
+    pub rows: Vec<GateRow>,
+    /// Exhibits in the current run only (reported, never a failure).
+    pub new_exhibits: Vec<String>,
+}
+
+impl GateReport {
+    /// Names of the regressing figures (includes `"total"` when the
+    /// whole-run time breached).
+    pub fn regressions(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.name.as_str())
+            .collect()
+    }
+
+    /// The gate passes: scales agree and nothing regressed.
+    pub fn ok(&self) -> bool {
+        self.scale_mismatch.is_none() && self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// Render the regression table (the stderr footer of `all`).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10} {:>7}  verdict\n",
+            "exhibit", "base s", "now s", "ratio"
+        ));
+        for r in &self.rows {
+            let now = match r.current_s {
+                Some(s) => format!("{s:.3}"),
+                None => "missing".to_string(),
+            };
+            let ratio = if r.ratio.is_finite() {
+                format!("{:.2}", r.ratio)
+            } else {
+                "inf".to_string()
+            };
+            let verdict = if r.regressed {
+                format!("REGRESSED (> {:.0}%)", self.tol * 100.0)
+            } else {
+                "ok".to_string()
+            };
+            out.push_str(&format!(
+                "{:<28} {:>10.3} {:>10} {:>7}  {verdict}\n",
+                r.name, r.baseline_s, now, ratio
+            ));
+        }
+        for name in &self.new_exhibits {
+            out.push_str(&format!("{name:<28} (new exhibit, not in baseline)\n"));
+        }
+        if let Some((base, now)) = &self.scale_mismatch {
+            out.push_str(&format!(
+                "scale mismatch: baseline recorded at {base}, this run at {now}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Compare `current` against `baseline` at relative tolerance `tol`.
+///
+/// Row order follows the baseline (the committed file is the contract),
+/// with a synthetic `"total"` row last.
+pub fn compare(current: &Baseline, baseline: &Baseline, tol: f64) -> GateReport {
+    let breach = |base: f64, now: f64| now > base * (1.0 + tol) && now - base > ABS_SLACK_S;
+    let mut rows = Vec::new();
+    for (name, base_s) in &baseline.exhibits {
+        let current_s = current
+            .exhibits
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s);
+        let (ratio, regressed) = match current_s {
+            Some(now) => {
+                let ratio = if *base_s > 0.0 {
+                    now / base_s
+                } else if now > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
+                (ratio, breach(*base_s, now))
+            }
+            // The figure disappeared: that is a regression by definition.
+            None => (f64::INFINITY, true),
+        };
+        rows.push(GateRow {
+            name: name.clone(),
+            baseline_s: *base_s,
+            current_s,
+            ratio,
+            regressed,
+        });
+    }
+    rows.push(GateRow {
+        name: "total".to_string(),
+        baseline_s: baseline.total_seconds,
+        current_s: Some(current.total_seconds),
+        ratio: if baseline.total_seconds > 0.0 {
+            current.total_seconds / baseline.total_seconds
+        } else {
+            1.0
+        },
+        regressed: breach(baseline.total_seconds, current.total_seconds),
+    });
+    let new_exhibits = current
+        .exhibits
+        .iter()
+        .filter(|(n, _)| !baseline.exhibits.iter().any(|(b, _)| b == n))
+        .map(|(n, _)| n.clone())
+        .collect();
+    GateReport {
+        tol,
+        scale_mismatch: (current.scale != baseline.scale)
+            .then(|| (baseline.scale.clone(), current.scale.clone())),
+        rows,
+        new_exhibits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Baseline {
+        Baseline {
+            scale: "Fraction(256)".into(),
+            total_seconds: 10.0,
+            exhibits: vec![
+                ("table1".into(), 1.0),
+                ("fig1-OpenMp".into(), 4.0),
+                ("fig2".into(), 5.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = base();
+        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn parses_full_sweep_json_shape() {
+        // Extra fields (sweep_threads, failures) are ignored, so a
+        // BENCH_sweep.json can be committed as the baseline verbatim.
+        let text = r#"{
+          "scale": "Full",
+          "sweep_threads": 8,
+          "total_seconds": 2.5,
+          "exhibits": [
+            {"name": "table1", "seconds": 0.5},
+            {"name": "fig2", "seconds": 2.0}
+          ],
+          "failures": [
+            {"context": "fig2", "point": 3, "cause": "panic",
+             "detail": "panic: \"quoted\"\nline", "attempts": 3}
+          ]
+        }"#;
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.scale, "Full");
+        assert_eq!(b.exhibits.len(), 2);
+        assert_eq!(b.exhibits[1], ("fig2".to_string(), 2.0));
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2]",
+            r#"{"scale": "Full"}"#,
+            r#"{"scale": "Full", "total_seconds": 1.0, "exhibits": []}"#,
+            r#"{"scale": 3, "total_seconds": 1.0, "exhibits": [{"name": "a", "seconds": 1}]}"#,
+        ] {
+            assert!(Baseline::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let mut now = base();
+        for (_, s) in &mut now.exhibits {
+            *s *= 1.10; // 10% slower everywhere, tol 15%
+        }
+        now.total_seconds *= 1.10;
+        let report = compare(&now, &base(), 0.15);
+        assert!(report.ok(), "{}", report.to_table());
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn a_regressing_figure_is_named() {
+        let mut now = base();
+        now.exhibits[1].1 = 8.0; // fig1-OpenMp 2x slower
+        let report = compare(&now, &base(), 0.15);
+        assert!(!report.ok());
+        assert_eq!(report.regressions(), vec!["fig1-OpenMp"]);
+        assert!(report.to_table().contains("fig1-OpenMp"));
+        assert!(report.to_table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn missing_and_new_exhibits() {
+        let mut now = base();
+        now.exhibits.remove(2); // fig2 not produced
+        now.exhibits.push(("fig9".into(), 0.1));
+        let report = compare(&now, &base(), 0.15);
+        assert_eq!(report.regressions(), vec!["fig2"]);
+        assert_eq!(report.new_exhibits, vec!["fig9".to_string()]);
+        assert!(report.to_table().contains("missing"));
+    }
+
+    #[test]
+    fn tiny_exhibits_do_not_flap() {
+        // 3ms vs 1ms is 3x, but inside the absolute slack.
+        let fast = Baseline {
+            scale: "Full".into(),
+            total_seconds: 0.001,
+            exhibits: vec![("t".into(), 0.001)],
+        };
+        let slow = Baseline {
+            scale: "Full".into(),
+            total_seconds: 0.003,
+            exhibits: vec![("t".into(), 0.003)],
+        };
+        assert!(compare(&slow, &fast, 0.15).ok());
+    }
+
+    #[test]
+    fn scale_mismatch_fails_the_gate() {
+        let mut now = base();
+        now.scale = "Full".into();
+        let report = compare(&now, &base(), 0.15);
+        assert!(!report.ok());
+        assert!(report.to_table().contains("scale mismatch"));
+    }
+
+    #[test]
+    fn total_row_breaches_too() {
+        let mut now = base();
+        now.total_seconds = 20.0;
+        let report = compare(&now, &base(), 0.15);
+        assert_eq!(report.regressions(), vec!["total"]);
+    }
+}

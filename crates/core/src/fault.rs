@@ -332,6 +332,9 @@ pub fn install(plan: FaultPlan) {
                     continue;
                 }
                 let decision = for_hook.decide(class, site.index ^ (site.worker as u64) << 48, 0);
+                if decision.is_some() {
+                    count_injection(class);
+                }
                 match decision {
                     Some(Fault::Panic) => {
                         return Some(rt_fault::FaultAction::Panic(format!(
@@ -375,7 +378,24 @@ pub fn site_hash(name: &str) -> u64 {
 
 /// Whether a cache-class fault fires at `site` under the active plan.
 pub fn cache_fault(class: FaultClass, site: u64) -> bool {
-    active().is_some_and(|p| p.decide(class, site, 0).is_some())
+    let fired = active().is_some_and(|p| p.decide(class, site, 0).is_some());
+    if fired {
+        count_injection(class);
+    }
+    fired
+}
+
+/// Record a fired injection in the metrics registry (no-op when metrics
+/// are off).
+fn count_injection(class: FaultClass) {
+    if crate::metrics::enabled() {
+        crate::metrics::counter(
+            "mic_fault_injections_total",
+            "Injected faults fired, by fault class.",
+            &[("class", class.name())],
+        )
+        .inc();
+    }
 }
 
 fn session_lock() -> &'static Mutex<()> {

@@ -43,8 +43,11 @@ pub use mic_irregular as irregular;
 pub use mic_runtime as runtime;
 pub use mic_sim as sim;
 
+pub mod baseline;
+pub mod env;
 pub mod experiments;
 pub mod fault;
+pub mod metrics;
 pub mod native;
 pub mod series;
 pub mod stats;

@@ -1,0 +1,75 @@
+//! Harness-wide metrics policy: a thin layer over the [`mic_metrics`]
+//! registry (re-exported here in full) that decides *when* metrics are on.
+//!
+//! The registry itself is environment-free; this module owns the
+//! `MIC_METRICS` knob:
+//!
+//! - unset / empty / `0` — metrics stay **off**: every instrumented hot
+//!   path costs exactly one relaxed atomic load and the numeric outputs
+//!   are bit-identical to an uninstrumented build (pinned by
+//!   `tests/metrics_bit_identity.rs` and the sim crate's capture tests);
+//! - `1` / `true` — metrics **on**; the bench binaries embed a snapshot
+//!   in their JSON output;
+//! - any other value — metrics on, **and** the value is a file path the
+//!   bench binaries write the Prometheus text snapshot to
+//!   ([`snapshot_path`]).
+//!
+//! [`init_from_env`] is called at every resilient-sweep and cache-I/O
+//! entry point (mirroring [`crate::fault::init_from_env`]), so any driver
+//! that touches the harness picks the knob up without per-binary wiring.
+
+pub use mic_metrics::*;
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+#[derive(Debug)]
+enum Mode {
+    Off,
+    On,
+    OnWithPath(PathBuf),
+}
+
+fn mode() -> &'static Mode {
+    static MODE: OnceLock<Mode> = OnceLock::new();
+    MODE.get_or_init(|| match crate::env::raw("MIC_METRICS") {
+        None => Mode::Off,
+        Some(v) => {
+            let t = v.trim();
+            if t == "0" {
+                Mode::Off
+            } else if t == "1" || t.eq_ignore_ascii_case("true") {
+                Mode::On
+            } else {
+                Mode::OnWithPath(PathBuf::from(v))
+            }
+        }
+    })
+}
+
+/// Whether `MIC_METRICS` requests metrics at all (regardless of whether
+/// the registry is currently enabled — test sessions toggle that).
+pub fn env_requested() -> bool {
+    !matches!(mode(), Mode::Off)
+}
+
+/// The Prometheus snapshot file requested via `MIC_METRICS=<path>`, if
+/// any.
+pub fn snapshot_path() -> Option<PathBuf> {
+    match mode() {
+        Mode::OnWithPath(p) => Some(p.clone()),
+        _ => None,
+    }
+}
+
+/// Enable the registry if `MIC_METRICS` asks for it. Idempotent and
+/// cheap after the first call; never *disables* (an explicit
+/// [`set_enabled`] or test session owns that).
+pub fn init_from_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        if env_requested() {
+            mic_metrics::set_enabled(true);
+        }
+    });
+}

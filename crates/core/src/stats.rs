@@ -83,6 +83,45 @@ mod tests {
         assert!((geomean(&[4.0, f64::NAN, 9.0]) - 6.0).abs() < 1e-12);
         assert!((geomean(&[f64::INFINITY, 5.0]) - 5.0).abs() < 1e-12);
         assert!(geomean(&[f64::NAN, f64::NAN]).is_nan());
+        assert!(geomean(&[f64::NEG_INFINITY]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_negative() {
+        geomean(&[2.0, -3.0]);
+    }
+
+    #[test]
+    fn geomean_extreme_magnitudes_stay_finite() {
+        // Log-domain accumulation: the product 1e300 * 1e-300 overflows /
+        // underflows in linear space but the mean is exactly 1.
+        assert!((geomean(&[1e300, 1e-300]) - 1.0).abs() < 1e-9);
+        // Many large values whose product overflows f64.
+        let big = [1e308; 8];
+        let g = geomean(&big);
+        assert!(g.is_finite() && (g / 1e308 - 1.0).abs() < 1e-9);
+        // Tiny but positive values stay positive, never rounding to 0 NaNs.
+        let tiny = [f64::MIN_POSITIVE; 4];
+        assert!(geomean(&tiny) > 0.0);
+    }
+
+    #[test]
+    fn geomean_is_scale_invariant_and_order_free() {
+        let xs = [3.0, 7.0, 11.0, 0.5];
+        let scaled: Vec<f64> = xs.iter().map(|v| v * 10.0).collect();
+        assert!((geomean(&scaled) / geomean(&xs) - 10.0).abs() < 1e-12);
+        let mut rev = xs;
+        rev.reverse();
+        assert!((geomean(&rev) - geomean(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_singleton_nan_vs_empty() {
+        // Empty = neutral element 1.0; all-degraded = NaN. The distinction
+        // matters to figure code deciding whether a series exists at all.
+        assert_eq!(geomean(&[]), 1.0);
+        assert!(geomean(&[f64::NAN]).is_nan());
     }
 
     #[test]

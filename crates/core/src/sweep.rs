@@ -49,44 +49,12 @@ use std::time::Instant;
 /// silently falling back used to make `MIC_SWEEP_THREADS=O` typos
 /// indistinguishable from the default.
 pub fn default_threads() -> usize {
-    let fallback = || {
+    crate::env::positive_usize("MIC_SWEEP_THREADS").unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(16)
-    };
-    match std::env::var("MIC_SWEEP_THREADS") {
-        Err(_) => fallback(),
-        Ok(raw) => match parse_sweep_threads(&raw) {
-            Ok(n) => n,
-            Err(rejected) => {
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "mic-eval: ignoring MIC_SWEEP_THREADS={rejected:?} \
-                         (need a positive integer); using default"
-                    );
-                });
-                fallback()
-            }
-        },
-    }
-}
-
-/// Parse a `MIC_SWEEP_THREADS` value: empty means "unset" (use the
-/// default, no warning); anything else must be a positive integer, and is
-/// returned as `Err` verbatim otherwise so the caller can name it.
-fn parse_sweep_threads(raw: &str) -> Result<usize, &str> {
-    if raw.is_empty() {
-        return Ok(std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16));
-    }
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n >= 1 => Ok(n),
-        _ => Err(raw),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -187,19 +155,8 @@ impl SweepCfg {
     pub fn from_env() -> SweepCfg {
         SweepCfg {
             threads: default_threads(),
-            retries: parse_env_u64("MIC_SWEEP_RETRIES").map_or(2, |v| v.min(100) as u32),
-            deadline_ms: parse_env_u64("MIC_SWEEP_DEADLINE_MS").filter(|v| *v > 0),
-        }
-    }
-}
-
-fn parse_env_u64(name: &str) -> Option<u64> {
-    let raw = std::env::var(name).ok()?;
-    match raw.trim().parse::<u64>() {
-        Ok(v) => Some(v),
-        Err(_) => {
-            eprintln!("mic-eval: ignoring {name}={raw:?} (need a non-negative integer)");
-            None
+            retries: crate::env::nonneg_u64("MIC_SWEEP_RETRIES").map_or(2, |v| v.min(100) as u32),
+            deadline_ms: crate::env::nonneg_u64("MIC_SWEEP_DEADLINE_MS").filter(|v| *v > 0),
         }
     }
 }
@@ -314,6 +271,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     fault::init_from_env();
+    crate::metrics::init_from_env();
     try_map_cfg(&SweepCfg::from_env(), items, f)
 }
 
@@ -434,10 +392,28 @@ fn run_attempts<T, R, F>(
 where
     F: Fn(usize, &T) -> R,
 {
+    let metrics_on = crate::metrics::enabled();
+    if metrics_on {
+        sweep_counter("mic_sweep_jobs_total", "Sweep jobs started.").inc();
+    }
     let mut attempts = 0u32;
     loop {
         attempts += 1;
+        if metrics_on && attempts > 1 {
+            sweep_counter("mic_sweep_retries_total", "Sweep job re-attempts.").inc();
+        }
         let injected = plan.and_then(|p| job_fault(p, i as u64, (attempts - 1) as u64));
+        if metrics_on {
+            if let Some((class, _)) = injected {
+                crate::metrics::counter(
+                    "mic_fault_injections_total",
+                    "Injected faults fired, by fault class.",
+                    &[("class", class.name())],
+                )
+                .inc();
+            }
+        }
+        let injected = injected.map(|(_, fault)| fault);
         let started = Instant::now();
         let outcome: Result<R, Box<dyn std::any::Any + Send>> = match injected {
             Some(Fault::Panic) => Err(Box::new(format!(
@@ -457,6 +433,13 @@ where
                         // Cooperative deadline: the value arrived too late
                         // to trust a live sweep with, so it is discarded
                         // and the attempt counts as failed.
+                        if metrics_on {
+                            sweep_counter(
+                                "mic_sweep_deadline_hits_total",
+                                "Attempts whose result arrived after the cooperative deadline.",
+                            )
+                            .inc();
+                        }
                         FailureCause::Deadline { limit_ms }
                     }
                     _ => return Ok(value),
@@ -465,6 +448,14 @@ where
             Err(payload) => FailureCause::Panic(payload_message(&payload)),
         };
         if attempts > cfg.retries {
+            if metrics_on {
+                crate::metrics::counter(
+                    "mic_sweep_failures_total",
+                    "Sweep jobs that failed every attempt, by final cause.",
+                    &[("cause", cause.kind())],
+                )
+                .inc();
+            }
             return Err(JobFailure {
                 point: i,
                 cause,
@@ -478,15 +469,22 @@ where
     }
 }
 
-/// The job-site fault decision: the first matching job class wins.
-fn job_fault(plan: &FaultPlan, site: u64, attempt: u64) -> Option<Fault> {
+/// Unlabeled sweep counter (all labeled families go through
+/// [`crate::metrics::counter`] directly).
+fn sweep_counter(name: &str, help: &'static str) -> std::sync::Arc<mic_metrics::Counter> {
+    crate::metrics::counter(name, help, &[])
+}
+
+/// The job-site fault decision: the first matching job class wins. The
+/// class rides along so the injection can be counted per class.
+fn job_fault(plan: &FaultPlan, site: u64, attempt: u64) -> Option<(FaultClass, Fault)> {
     for class in [
         FaultClass::JobPanic,
         FaultClass::JobStall,
         FaultClass::JobSlow,
     ] {
         if let Some(fault) = plan.decide(class, site, attempt) {
-            return Some(fault);
+            return Some((class, fault));
         }
     }
     None
@@ -560,16 +558,8 @@ mod tests {
         assert_eq!(sums, expect);
     }
 
-    #[test]
-    fn sweep_threads_parsing() {
-        assert_eq!(parse_sweep_threads("4"), Ok(4));
-        assert_eq!(parse_sweep_threads(" 12 "), Ok(12));
-        assert!(parse_sweep_threads("").is_ok(), "empty means unset");
-        assert_eq!(parse_sweep_threads("0"), Err("0"));
-        assert_eq!(parse_sweep_threads("O"), Err("O"));
-        assert_eq!(parse_sweep_threads("-3"), Err("-3"));
-        assert_eq!(parse_sweep_threads("4.5"), Err("4.5"));
-    }
+    // MIC_SWEEP_THREADS grammar is pinned in `crate::env::tests`
+    // (`positive_usize_grammar`), where the shared parser now lives.
 
     #[test]
     fn job_panic_propagates() {

@@ -32,13 +32,10 @@ use mic_sim::{
 use std::path::{Path, PathBuf};
 
 /// The trace output file requested via `MIC_TRACE`, if any. Unset, empty
-/// and `0` all mean "tracing off".
+/// and `0` all mean "tracing off" (the shared [`crate::env::path`]
+/// semantics).
 pub fn trace_path() -> Option<PathBuf> {
-    let v = std::env::var("MIC_TRACE").ok()?;
-    if v.is_empty() || v == "0" {
-        return None;
-    }
-    Some(PathBuf::from(v))
+    crate::env::path("MIC_TRACE")
 }
 
 /// One traced simulation run: a labeled sequence of region traces, shown

@@ -377,6 +377,7 @@ fn file_site(path: &Path) -> u64 {
 /// drivers go through the keyed cache functions above.
 pub fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
     crate::fault::init_from_env();
+    crate::metrics::init_from_env();
     let write = || -> std::io::Result<()> {
         if crate::fault::cache_fault(crate::fault::FaultClass::CacheEnospc, file_site(path)) {
             return Err(std::io::Error::other("mic-fault: injected ENOSPC"));
@@ -417,6 +418,13 @@ pub fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
         ));
         std::fs::File::create(&tmp)?.write_all(&buf)?;
         std::fs::rename(&tmp, path).inspect_err(|_| {
+            if crate::metrics::enabled() {
+                cache_counter(
+                    "mic_cache_write_races_total",
+                    "Cache stores whose final rename lost (another writer or an fs error).",
+                )
+                .inc();
+            }
             let _ = std::fs::remove_file(&tmp);
         })
     };
@@ -459,7 +467,8 @@ pub type StoredArrays = (Vec<u64>, Vec<Arc<Vec<Work>>>);
 /// Move a corrupt cache file aside as `<name>.corrupt` so the caller can
 /// recompute while the evidence survives for post-mortems. Falls back to
 /// deleting the file if the rename fails (e.g. a `.corrupt` of the same
-/// name already exists on a platform where rename won't replace it).
+/// name already exists on a platform where rename won't replace it) —
+/// loudly, since that fallback destroys the evidence.
 fn quarantine(path: &Path, why: &str) {
     let dest = PathBuf::from(format!("{}.corrupt", path.display()));
     eprintln!(
@@ -467,9 +476,26 @@ fn quarantine(path: &Path, why: &str) {
         path.display(),
         dest.display(),
     );
-    if std::fs::rename(path, &dest).is_err() {
+    if crate::metrics::enabled() {
+        cache_counter(
+            "mic_cache_quarantines_total",
+            "Corrupt workload-cache files moved aside (or deleted).",
+        )
+        .inc();
+    }
+    if let Err(e) = std::fs::rename(path, &dest) {
+        eprintln!(
+            "mic-eval: could not quarantine {} to {} ({e}); deleting the corrupt file instead",
+            path.display(),
+            dest.display(),
+        );
         let _ = std::fs::remove_file(path);
     }
+}
+
+/// Unlabeled cache counter; every `mic_cache_*` family is label-free.
+fn cache_counter(name: &str, help: &'static str) -> Arc<mic_metrics::Counter> {
+    crate::metrics::counter(name, help, &[])
 }
 
 /// Read a workload file; `None` means "cache miss — recompute". Three
@@ -486,6 +512,23 @@ fn quarantine(path: &Path, why: &str) {
 /// Public for stress tests and cache-maintenance tools.
 pub fn load_arrays(path: &Path, expect_arrays: usize, expect_meta: usize) -> Option<StoredArrays> {
     crate::fault::init_from_env();
+    crate::metrics::init_from_env();
+    let result = load_arrays_impl(path, expect_arrays, expect_meta);
+    if crate::metrics::enabled() {
+        if result.is_some() {
+            cache_counter("mic_cache_hits_total", "Workload-cache files loaded.").inc();
+        } else {
+            cache_counter(
+                "mic_cache_misses_total",
+                "Workload-cache lookups that fell back to recomputation.",
+            )
+            .inc();
+        }
+    }
+    result
+}
+
+fn load_arrays_impl(path: &Path, expect_arrays: usize, expect_meta: usize) -> Option<StoredArrays> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)
         .ok()?

@@ -1,0 +1,65 @@
+//! Property tests for the histogram quantile estimator: for any bucket
+//! layout and any observation stream, reported quantiles must be monotone
+//! in the quantile level and bounded by the bucket range.
+
+use mic_metrics::{histogram, with_session};
+use proptest::prelude::*;
+
+fn arb_bounds() -> impl Strategy<Value = Vec<f64>> {
+    // Strictly increasing positive bounds built from positive gaps.
+    proptest::collection::vec(0.001f64..10.0, 1..12).prop_map(|gaps| {
+        let mut acc = 0.0;
+        gaps.iter()
+            .map(|g| {
+                acc += g;
+                acc
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        bounds in arb_bounds(),
+        obs in proptest::collection::vec(0.0f64..120.0, 0..200),
+    ) {
+        let ((), snap) = with_session(|| {
+            let h = histogram("prop_seconds", "prop", &[], &bounds);
+            for &v in &obs {
+                h.observe(v);
+            }
+        });
+        let h = snap.hist("prop_seconds", &[]).unwrap();
+        prop_assert_eq!(h.count, obs.len() as u64);
+        prop_assert!(snap.self_check().is_empty(), "{:?}", snap.self_check());
+        if h.count > 0 {
+            prop_assert!(h.p50 <= h.p95, "p50={} p95={}", h.p50, h.p95);
+            prop_assert!(h.p95 <= h.p99, "p95={} p99={}", h.p95, h.p99);
+            // Quantiles live inside the bucketed range: never above the
+            // last finite bound (overflow clamps), never below zero
+            // (all observations are non-negative here).
+            prop_assert!(h.p50 >= 0.0);
+            prop_assert!(h.p99 <= *bounds.last().unwrap());
+        } else {
+            prop_assert!(h.p50.is_nan() && h.p95.is_nan() && h.p99.is_nan());
+        }
+    }
+
+    #[test]
+    fn histogram_sum_matches_reference(
+        obs in proptest::collection::vec(0.0f64..50.0, 1..100),
+    ) {
+        let ((), snap) = with_session(|| {
+            let h = histogram("sum_seconds", "prop", &[], &[1.0, 5.0, 25.0]);
+            for &v in &obs {
+                h.observe(v);
+            }
+        });
+        let h = snap.hist("sum_seconds", &[]).unwrap();
+        let expect: f64 = obs.iter().sum();
+        prop_assert!((h.sum - expect).abs() <= 1e-9 * expect.max(1.0));
+    }
+}

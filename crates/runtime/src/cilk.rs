@@ -49,7 +49,7 @@ pub(crate) fn cilk_for_labeled<F>(
     if range.is_empty() {
         return;
     }
-    let body = crate::trace::timed_chunk(runtime, body);
+    let body = crate::trace::timed_chunk(runtime, "simple", body);
     let grain = grain.max(1);
     let total = range.len();
     let injector: Injector<(Range<usize>, usize)> = Injector::new();

@@ -64,7 +64,12 @@ where
     if range.is_empty() {
         return;
     }
-    let body = crate::trace::timed_chunk("omp", body);
+    let sched_label = match schedule {
+        Schedule::Static { .. } => "static",
+        Schedule::Dynamic { .. } => "dynamic",
+        Schedule::Guided { .. } => "guided",
+    };
+    let body = crate::trace::timed_chunk("omp", sched_label, body);
     let t = pool.num_threads();
     let (start, end) = (range.start, range.end);
     let n = end - start;

@@ -188,6 +188,14 @@ impl ThreadPool {
         }
         let _serialize = self.run_lock.lock();
         self.ensure_workers();
+        if mic_metrics::enabled() {
+            mic_metrics::counter(
+                "mic_pool_regions_total",
+                "Parallel regions executed by thread pools",
+                &[],
+            )
+            .inc();
+        }
         let f_ref: &(dyn Fn(WorkerCtx) + Sync) = &f;
         // SAFETY: we erase the lifetime of `f_ref`, but `try_run` does not
         // return until `remaining == 0`, i.e. until no worker can touch the
@@ -230,6 +238,14 @@ impl ThreadPool {
             if let Some(h) = handles[id].take() {
                 let _ = h.join();
             }
+            if mic_metrics::enabled() {
+                mic_metrics::counter(
+                    "mic_pool_workers_respawned_total",
+                    "Dead pool workers replaced at region start",
+                    &[],
+                )
+                .inc();
+            }
             // The replacement starts at the current epoch so it waits for
             // the next region rather than chasing ones it never saw.
             handles[id] = Some(spawn_worker(
@@ -265,6 +281,14 @@ fn spawn_worker(
     shared: &Arc<Shared>,
     start_epoch: u64,
 ) -> JoinHandle<()> {
+    if mic_metrics::enabled() {
+        mic_metrics::counter(
+            "mic_pool_workers_spawned_total",
+            "Pool worker threads started (initial spawns and respawns)",
+            &[],
+        )
+        .inc();
+    }
     let shared = Arc::clone(shared);
     std::thread::Builder::new()
         .name(format!("mic-worker-{id}"))

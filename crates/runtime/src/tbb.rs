@@ -54,7 +54,7 @@ where
             let chunk = n.div_ceil(chunks);
             let start = range.start;
             let end = range.end;
-            let body = crate::trace::timed_chunk("tbb", body);
+            let body = crate::trace::timed_chunk("tbb", "affinity", body);
             pool.run(|ctx| {
                 let mut c = ctx.id;
                 loop {
@@ -77,7 +77,7 @@ where
     let t = pool.num_threads();
     let n = range.len();
     let total = n;
-    let body = crate::trace::timed_chunk("tbb", body);
+    let body = crate::trace::timed_chunk("tbb", "auto", body);
     let injector: Injector<Task> = Injector::new();
     // Initial division: ~4 subranges per thread, dealt with owner = the
     // worker they are destined for (cyclic), so a different popper counts

@@ -76,8 +76,23 @@ pub fn emit(ev: NativeEvent) {
 }
 
 /// Record a steal observed by `thief` (victim `usize::MAX` = unknown).
+/// This is the single choke point every stealing runtime reports through,
+/// so the metrics layer counts steals here too, labeled by victim.
 #[inline]
 pub fn emit_steal(runtime: &'static str, thief: usize, victim: usize) {
+    if mic_metrics::enabled() {
+        let victim_label = if victim == usize::MAX {
+            "unknown".to_string()
+        } else {
+            victim.to_string()
+        };
+        mic_metrics::counter(
+            "mic_runtime_steals_total",
+            "Work-stealing events observed by the native runtimes, by victim worker",
+            &[("runtime", runtime), ("victim", &victim_label)],
+        )
+        .inc();
+    }
     if !enabled() {
         return;
     }
@@ -91,12 +106,21 @@ pub fn emit_steal(runtime: &'static str, thief: usize, victim: usize) {
     });
 }
 
+/// Bucket edges for native chunk latencies: 0.1 µs … ≈ 1.7 s.
+fn chunk_seconds_buckets() -> Vec<f64> {
+    mic_metrics::exp_buckets(1e-7, 4.0, 13)
+}
+
 /// Wrap a chunk body so each invocation is timed and recorded when a
 /// capture session is active. This is also the chunk-boundary fault site:
 /// an installed [`crate::fault`] hook is consulted with the chunk's first
-/// iteration index before the body runs.
+/// iteration index before the body runs. `sched` names the scheduling
+/// discipline that produced the chunk ("static", "dynamic", "guided",
+/// "simple", "auto", "affinity") and labels the per-schedule chunk-latency
+/// histogram when metrics are enabled.
 pub(crate) fn timed_chunk<F>(
     runtime: &'static str,
+    sched: &'static str,
     body: F,
 ) -> impl Fn(Range<usize>, crate::pool::WorkerCtx)
 where
@@ -104,21 +128,42 @@ where
 {
     move |r, ctx| {
         crate::fault::apply_chunk(runtime, ctx.id, r.start as u64);
-        if enabled() {
-            let t0 = now_us();
-            body(r.clone(), ctx);
+        let trace_on = enabled();
+        let metrics_on = mic_metrics::enabled();
+        if !trace_on && !metrics_on {
+            body(r, ctx);
+            return;
+        }
+        let t0 = now_us();
+        body(r.clone(), ctx);
+        let t1 = now_us();
+        if trace_on {
             emit(NativeEvent {
                 runtime,
                 worker: ctx.id,
                 start_us: t0,
-                end_us: now_us(),
+                end_us: t1,
                 kind: NativeEventKind::Chunk {
                     lo: r.start,
                     hi: r.end,
                 },
             });
-        } else {
-            body(r, ctx);
+        }
+        if metrics_on {
+            let labels = [("runtime", runtime), ("sched", sched)];
+            mic_metrics::counter(
+                "mic_runtime_chunks_total",
+                "Chunks executed by the native runtime shims",
+                &labels,
+            )
+            .inc();
+            mic_metrics::histogram(
+                "mic_runtime_chunk_seconds",
+                "Native chunk execution latency per runtime and schedule",
+                &labels,
+                &chunk_seconds_buckets(),
+            )
+            .observe((t1 - t0) * 1e-6);
         }
     }
 }

@@ -298,6 +298,15 @@ fn simulate_region_impl<S: TraceSink>(
         m.hw_threads()
     );
 
+    // Metrics capture: one relaxed load decides, and the accumulators are
+    // plain stack scalars, so the disabled path stays allocation-free and
+    // bit-identical (the attribution math below never feeds back into the
+    // simulated clock).
+    let metrics_on = mic_metrics::enabled();
+    let metrics_t0 = metrics_on.then(std::time::Instant::now);
+    let mut metric_stalls = [0.0f64; 7];
+    let mut metric_chunks = 0u64;
+
     let mut cycles = 0.0;
 
     // Serial prefix, executed by one thread alone on its core.
@@ -312,6 +321,9 @@ fn simulate_region_impl<S: TraceSink>(
     if n == 0 {
         if let Some(sink) = trace.as_deref_mut() {
             sink.region_end(&[], 0.0, cycles);
+        }
+        if metrics_on {
+            record_region_metrics(&metric_stalls, 0, 0.0, metrics_t0);
         }
         return cycles;
     }
@@ -367,6 +379,7 @@ fn simulate_region_impl<S: TraceSink>(
             ts[i].running = true;
             core_occ[ts[i].core] += 1;
             active += 1;
+            metric_chunks += 1;
             if trace.is_some() {
                 tr_chunks[i] = ChunkTrack {
                     start: 0.0,
@@ -432,7 +445,7 @@ fn simulate_region_impl<S: TraceSink>(
         debug_assert!(dt.is_finite() && dt >= 0.0);
         // Attribute this interval to each running thread's binding
         // constraint (argmax of its slowdown sources).
-        if telemetry.is_some() || trace.is_some() {
+        if telemetry.is_some() || trace.is_some() || metrics_on {
             // An interval with nothing active (or a degenerate horizon)
             // carries no attributable time; guard the division so the
             // telemetry can never go `inf`/`NaN`.
@@ -465,6 +478,9 @@ fn simulate_region_impl<S: TraceSink>(
                 }
                 if let Some(tele) = telemetry.as_deref_mut() {
                     tele.add(which, w);
+                }
+                if metrics_on {
+                    metric_stalls[which] += w;
                 }
                 if trace.is_some() {
                     tr_chunks[i].acc[which] += w;
@@ -505,6 +521,7 @@ fn simulate_region_impl<S: TraceSink>(
                         let w = range_work(r.start, r.end).add(&overhead);
                         ts[i].comp = Priced::price(&w, m);
                         ts[i].frac = 1.0;
+                        metric_chunks += 1;
                         if trace.is_some() {
                             tr_chunks[i] = ChunkTrack {
                                 start: now,
@@ -549,7 +566,59 @@ fn simulate_region_impl<S: TraceSink>(
         debug_assert!(tele.is_finite(), "non-finite telemetry: {tele:?}");
     }
 
+    if metrics_on {
+        record_region_metrics(&metric_stalls, metric_chunks, now, metrics_t0);
+    }
+
     cycles + now
+}
+
+/// Flush one region's accumulated metrics into the global registry. The
+/// stall-cycle counters are the *unnormalized* bottleneck attribution —
+/// their per-cause fractions of `mic_sim_loop_cycles_total` equal the
+/// [`Bottleneck`] fractions the telemetry path reports (checked to 1e-9 by
+/// `--bin metrics --check`).
+fn record_region_metrics(
+    stalls: &[f64; 7],
+    chunks: u64,
+    loop_cycles: f64,
+    t0: Option<std::time::Instant>,
+) {
+    mic_metrics::counter(
+        "mic_sim_runs_total",
+        "Engine region simulations completed",
+        &[],
+    )
+    .inc();
+    mic_metrics::counter(
+        "mic_sim_chunks_total",
+        "Chunks dispatched by the simulated schedulers",
+        &[],
+    )
+    .add(chunks as f64);
+    mic_metrics::counter(
+        "mic_sim_loop_cycles_total",
+        "Simulated event-loop cycles (sum of all stall-cycle causes)",
+        &[],
+    )
+    .add(loop_cycles);
+    for cause in StallCause::ALL {
+        mic_metrics::counter(
+            "mic_sim_stall_cycles_total",
+            "Simulated cycles attributed to each binding constraint",
+            &[("cause", cause.name())],
+        )
+        .add(stalls[cause.index()]);
+    }
+    if let Some(t0) = t0 {
+        mic_metrics::histogram(
+            "mic_sim_engine_seconds",
+            "Host wall time per engine region simulation",
+            &[],
+            &mic_metrics::seconds_buckets(),
+        )
+        .observe(t0.elapsed().as_secs_f64());
+    }
 }
 
 /// Time for one thread, alone on its core, to execute `p`.
