@@ -3,22 +3,14 @@
 //!
 //! Usage: `ablation [--scale K]`.
 
+use mic_bench::cli::Cli;
 use mic_eval::experiments::ablation;
 use mic_eval::graph::suite::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Full,
-    };
+    let mut cli = Cli::parse("ablation", "ablation [--scale K]");
+    let scale = cli.scale(Scale::Full);
+    cli.done();
     println!("{}", ablation::block_size_sweep(scale).to_ascii());
     println!("{}", ablation::chunk_size_sweep(scale).to_ascii());
     println!("{}", ablation::locked_vs_relaxed(scale).to_ascii());

@@ -20,10 +20,13 @@
 //! - `--write-baseline PATH` — save this run's timings as a baseline
 //!   file for future gates.
 
-use mic_eval::baseline::{self, Baseline};
+use mic_bench::cli::Cli;
+use mic_eval::baseline::{self, Baseline, SCHEMA_VERSION};
 use mic_eval::experiments::{ablation, fig1, fig2, fig3, fig4, table1};
 use mic_eval::graph::suite::Scale;
+use mic_eval::json;
 use mic_eval::sweep::RecordedFailure;
+use std::path::Path;
 use std::time::Instant;
 
 struct Timings {
@@ -41,34 +44,12 @@ impl Timings {
     }
 }
 
-fn json_path() -> Option<String> {
-    match std::env::var("MIC_BENCH_JSON") {
-        Ok(v) if v == "0" => None,
-        Ok(v) if !v.is_empty() => Some(v),
-        _ => Some("BENCH_sweep.json".to_string()),
-    }
-}
-
-/// Minimal JSON string escaping for the hand-rolled writer (panic messages
-/// can contain quotes, backslashes, or newlines).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+// Panic messages in failure records can contain quotes, backslashes, or
+// newlines; escape them with the shared JSON helper.
+use json::escape as json_escape;
 
 fn write_json(
-    path: &str,
+    path: &Path,
     scale: Scale,
     threads: usize,
     total_s: f64,
@@ -77,6 +58,7 @@ fn write_json(
     metrics_json: Option<&str>,
 ) {
     let mut body = String::from("{\n");
+    body.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
     body.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     body.push_str(&format!("  \"sweep_threads\": {threads},\n"));
     body.push_str(&format!("  \"total_seconds\": {total_s:.3},\n"));
@@ -107,30 +89,17 @@ fn write_json(
     }
     body.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write(path, body) {
-        eprintln!("(could not write {path}: {e})");
+        eprintln!("(could not write {}: {e})", path.display());
     }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Full,
-    };
-    let strict = args.iter().any(|a| a == "--strict");
-    let write_baseline: Option<String> =
-        args.iter().position(|a| a == "--write-baseline").map(|i| {
-            args.get(i + 1)
-                .expect("--write-baseline needs a path")
-                .clone()
-        });
+    let mut cli = Cli::parse("all", "all [--scale K] [--strict] [--write-baseline PATH]");
+    let scale = cli.scale(Scale::Full);
+    let strict = cli.strict();
+    let write_baseline = cli.write_baseline();
+    let config = cli.config();
+    cli.done();
 
     mic_eval::metrics::init_from_env();
     let start = Instant::now();
@@ -219,9 +188,9 @@ fn main() {
         None
     };
 
-    if let Some(path) = json_path() {
+    if let Some(path) = &config.bench_json {
         write_json(
-            &path,
+            path,
             scale,
             threads,
             total_s,
@@ -229,7 +198,7 @@ fn main() {
             &failures,
             metrics_json.as_deref(),
         );
-        eprintln!("(timings written to {path})");
+        eprintln!("(timings written to {})", path.display());
     }
 
     let current = Baseline {

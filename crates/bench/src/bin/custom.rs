@@ -3,6 +3,7 @@
 //!
 //! Usage: `custom <path.mtx> [--threads N]`.
 
+use mic_bench::cli::Cli;
 use mic_eval::bfs::instrument::SimVariant;
 use mic_eval::bfs::{bfs, parallel_bfs, seq::table1_source, BfsVariant};
 use mic_eval::coloring::{check_proper, iterative_coloring, seq::greedy_color};
@@ -12,17 +13,13 @@ use mic_eval::runtime::{RuntimeModel, Schedule, ThreadPool};
 use mic_eval::sim::{bfs_model_speedup, simulate, Machine, Policy};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+    let mut cli = Cli::parse("custom", "custom <path.mtx> [--threads N]");
+    let threads = cli.threads(4);
+    let pos = cli.positionals();
+    let Some(path) = pos.first() else {
         eprintln!("usage: custom <path.mtx> [--threads N]");
         std::process::exit(2);
     };
-    let threads: usize = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
 
     eprintln!("reading {path}...");
     let g = read_matrix_market_path(path).unwrap_or_else(|e| {

@@ -3,28 +3,15 @@
 //!
 //! Usage: `extras [--scale K] [--threads N]`.
 
+use mic_bench::cli::Cli;
 use mic_eval::experiments::extras;
 use mic_eval::graph::suite::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Fraction(16),
-    };
-    let threads: usize = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let mut cli = Cli::parse("extras", "extras [--scale K] [--threads N]");
+    let scale = cli.scale(Scale::Fraction(16));
+    let threads = cli.threads(4);
+    cli.done();
     println!("{}", extras::jp_vs_speculation(scale, threads).to_ascii());
     println!("{}", extras::coloring_quality(scale, threads).to_ascii());
     println!("{}", extras::delta_sweep(scale, threads).to_ascii());

@@ -2,21 +2,13 @@
 //!
 //! Usage: `fig2 [--scale K]`.
 
+use mic_bench::cli::Cli;
 use mic_eval::experiments::fig2::fig2;
 use mic_eval::graph::suite::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Full,
-    };
+    let mut cli = Cli::parse("fig2", "fig2 [--scale K]");
+    let scale = cli.scale(Scale::Full);
+    cli.done();
     println!("{}", fig2(scale).to_ascii());
 }

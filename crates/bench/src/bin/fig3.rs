@@ -2,38 +2,19 @@
 //!
 //! Usage: `fig3 [a|b|c] [--scale K]` (no panel = all three).
 
+use mic_bench::cli::{panels, Cli};
 use mic_eval::experiments::fig3::{fig3, Panel};
 use mic_eval::graph::suite::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Full,
-    };
-    let panels: Vec<Panel> = args
-        .iter()
-        .skip(1)
-        .filter_map(|a| {
-            a.chars()
-                .next()
-                .and_then(Panel::from_char)
-                .filter(|_| a.len() == 1)
-        })
-        .collect();
-    let panels = if panels.is_empty() {
-        vec![Panel::OpenMp, Panel::CilkPlus, Panel::Tbb]
-    } else {
-        panels
-    };
-    for p in panels {
+    let mut cli = Cli::parse("fig3", "fig3 [a|b|c] [--scale K]");
+    let scale = cli.scale(Scale::Full);
+    let picked = panels(
+        &cli.positionals(),
+        Panel::from_char,
+        &[Panel::OpenMp, Panel::CilkPlus, Panel::Tbb],
+    );
+    for p in picked {
         println!("{}", fig3(p, scale).to_ascii());
     }
 }

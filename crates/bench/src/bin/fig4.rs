@@ -2,38 +2,19 @@
 //!
 //! Usage: `fig4 [a|b|c|d] [--scale K]` (no panel = all four).
 
+use mic_bench::cli::{panels, Cli};
 use mic_eval::experiments::fig4::{fig4, Panel};
 use mic_eval::graph::suite::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Full,
-    };
-    let panels: Vec<Panel> = args
-        .iter()
-        .skip(1)
-        .filter_map(|a| {
-            a.chars()
-                .next()
-                .and_then(Panel::from_char)
-                .filter(|_| a.len() == 1)
-        })
-        .collect();
-    let panels = if panels.is_empty() {
-        vec![Panel::Pwtk, Panel::Inline1, Panel::AllKnf, Panel::AllCpu]
-    } else {
-        panels
-    };
-    for p in panels {
+    let mut cli = Cli::parse("fig4", "fig4 [a|b|c|d] [--scale K]");
+    let scale = cli.scale(Scale::Full);
+    let picked = panels(
+        &cli.positionals(),
+        Panel::from_char,
+        &[Panel::Pwtk, Panel::Inline1, Panel::AllKnf, Panel::AllCpu],
+    );
+    for p in picked {
         println!("{}", fig4(p, scale).to_ascii());
     }
 }

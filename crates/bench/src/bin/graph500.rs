@@ -4,6 +4,7 @@
 //!
 //! Usage: `graph500 [scale] [edge_factor]` (defaults 16, 16).
 
+use mic_bench::cli::Cli;
 use mic_eval::bfs::instrument::{instrument, SimVariant};
 use mic_eval::bfs::{check_levels, parallel_bfs, BfsVariant};
 use mic_eval::graph::generators::{rmat, RmatProbs};
@@ -13,9 +14,10 @@ use mic_eval::sim::{bfs_model_speedup, simulate, Machine, Policy};
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
-    let edge_factor: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let cli = Cli::parse("graph500", "graph500 [scale] [edge_factor]");
+    let pos = cli.positionals();
+    let scale: u32 = pos.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let edge_factor: usize = pos.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
 
     eprintln!("generating RMAT scale {scale}, edge factor {edge_factor}...");
     let t0 = Instant::now();

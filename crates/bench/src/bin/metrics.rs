@@ -23,6 +23,7 @@
 //!    counters tick as expected, and the snapshot passes its own
 //!    self-check.
 
+use mic_bench::cli::Cli;
 use mic_eval::graph::stats::LocalityWindows;
 use mic_eval::graph::suite::{PaperGraph, Scale};
 use mic_eval::metrics;
@@ -54,27 +55,15 @@ impl Checks {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Fraction(64),
-    };
-    let out: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .map(|i| PathBuf::from(&args[i + 1]));
+    let mut cli = Cli::parse("metrics", "metrics [--scale K] [--check] [--out PATH]");
+    let scale = cli.scale(Scale::Fraction(64));
+    let out: Option<PathBuf> = cli.out();
     let mut checks = Checks {
-        enabled: args.iter().any(|a| a == "--check"),
+        enabled: cli.check(),
         failures: Vec::new(),
         passed: 0,
     };
+    cli.done();
 
     let m = Machine::knf();
     let threads = *m.thread_grid().last().unwrap();

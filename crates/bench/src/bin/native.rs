@@ -4,34 +4,23 @@
 //! for real; the simulated figures exist because the original 124-thread
 //! card does not. Usage: `native [--scale K] [--max-threads N]`.
 
+use mic_bench::cli::Cli;
 use mic_eval::bfs::BfsVariant;
 use mic_eval::graph::suite::{build, PaperGraph, Scale};
 use mic_eval::native::{native_scaling, run_bfs, run_coloring, run_irregular};
 use mic_eval::runtime::{RuntimeModel, Schedule};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Fraction(8),
-    };
-    let max_t: usize = args
-        .iter()
-        .position(|a| a == "--max-threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
+    let mut cli = Cli::parse("native", "native [--scale K] [--max-threads N]");
+    let scale = cli.scale(Scale::Fraction(8));
+    let max_t: usize = cli
+        .opt_parse::<usize>("--max-threads", "a positive integer")
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
         });
+    cli.done();
     let threads: Vec<usize> = (1..=max_t).collect();
 
     let g = build(PaperGraph::Hood, scale);

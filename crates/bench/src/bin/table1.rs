@@ -2,29 +2,14 @@
 //!
 //! Usage: `table1 [--scale K]` (K = vertex divisor; default 1 = paper size).
 
+use mic_bench::cli::Cli;
 use mic_eval::experiments::table1::{render, table1};
 use mic_eval::graph::suite::Scale;
 
-fn scale_from_args() -> Scale {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args
-                .get(i + 1)
-                .and_then(|s| s.parse().ok())
-                .expect("--scale needs an integer divisor");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Full,
-    }
-}
-
 fn main() {
-    let scale = scale_from_args();
+    let mut cli = Cli::parse("table1", "table1 [--scale K]");
+    let scale = cli.scale(Scale::Full);
+    cli.done();
     eprintln!("building the 7-graph suite at {scale:?}...");
     let rows = table1(scale);
     println!("Table I: properties of the test graphs (measured | paper)\n");

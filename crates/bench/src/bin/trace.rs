@@ -13,6 +13,7 @@
 //!
 //! Open the output in `chrome://tracing` or <https://ui.perfetto.dev>.
 
+use mic_bench::cli::Cli;
 use mic_eval::graph::stats::LocalityWindows;
 use mic_eval::graph::suite::{PaperGraph, Scale};
 use mic_eval::native::run_coloring;
@@ -25,23 +26,11 @@ use mic_eval::workload_cache::{self, OrderTag};
 use std::path::PathBuf;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Fraction(8),
-    };
-    let out: Option<PathBuf> = match args.iter().position(|a| a == "--out") {
-        Some(i) => Some(PathBuf::from(&args[i + 1])),
-        None => trace_path(),
-    };
-    let check = args.iter().any(|a| a == "--check");
+    let mut cli = Cli::parse("trace", "trace [--scale K] [--out PATH] [--check]");
+    let scale = cli.scale(Scale::Fraction(8));
+    let out: Option<PathBuf> = cli.out().or_else(trace_path);
+    let check = cli.check();
+    cli.done();
 
     let m = Machine::knf();
     let win = LocalityWindows::default();

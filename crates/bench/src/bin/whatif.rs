@@ -4,6 +4,7 @@
 //!
 //! Usage: `whatif [--scale K]`.
 
+use mic_bench::cli::Cli;
 use mic_eval::coloring::instrument::instrument as color_instr;
 use mic_eval::graph::ordering::{apply, Ordering};
 use mic_eval::graph::stats::LocalityWindows;
@@ -12,18 +13,9 @@ use mic_eval::irregular::instrument::instrument as irr_instr;
 use mic_eval::sim::{simulate, simulate_region, Machine, Placement, Policy};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Fraction(4),
-    };
+    let mut cli = Cli::parse("whatif", "whatif [--scale K]");
+    let scale = cli.scale(Scale::Fraction(4));
+    cli.done();
     let g = build(PaperGraph::Hood, scale);
     let (shuffled, _) = apply(&g, Ordering::Random { seed: 5 });
     let win = LocalityWindows::default();

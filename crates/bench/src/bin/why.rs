@@ -11,6 +11,7 @@
 //!
 //! Usage: `why [--scale K]` (default 1/4 scale).
 
+use mic_bench::cli::Cli;
 use mic_eval::bfs::instrument::SimVariant;
 use mic_eval::graph::stats::LocalityWindows;
 use mic_eval::graph::suite::{PaperGraph, Scale};
@@ -34,18 +35,9 @@ fn show(name: &str, m: &Machine, t: usize, regions: &[Region]) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.iter().position(|a| a == "--scale") {
-        Some(i) => {
-            let k: u32 = args[i + 1].parse().expect("--scale needs an integer");
-            if k <= 1 {
-                Scale::Full
-            } else {
-                Scale::Fraction(k)
-            }
-        }
-        None => Scale::Fraction(4),
-    };
+    let mut cli = Cli::parse("why", "why [--scale K]");
+    let scale = cli.scale(Scale::Fraction(4));
+    cli.done();
     let m = Machine::knf();
     let t = 121;
     let win = LocalityWindows::default();

@@ -1,1 +1,6 @@
 //! Experiment harness binaries live in src/bin; see mic-eval for the library.
+//!
+//! The library half of this crate is [`cli`]: the shared argument
+//! parser every bench bin (and the mic-serve bin) builds on.
+
+pub mod cli;

@@ -31,223 +31,27 @@ pub const ABS_SLACK_S: f64 = 0.010;
 /// Default `MIC_BASELINE_TOL`.
 pub const DEFAULT_TOL: f64 = 0.15;
 
-/// The reference file requested via `MIC_BASELINE`, if any.
+/// Schema version written into every BENCH JSON exhibit
+/// (`BENCH_sweep.json`, `BENCH_baseline.json`, `BENCH_serve.json`). Bump
+/// when a field changes meaning; the loader rejects versions it does not
+/// understand instead of silently misreading them.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The reference file requested via `MIC_BASELINE` (through
+/// [`crate::config`]), if any.
 pub fn baseline_path() -> Option<PathBuf> {
-    crate::env::path("MIC_BASELINE")
+    crate::config::current().baseline.clone()
 }
 
-/// The relative tolerance: `MIC_BASELINE_TOL` or [`DEFAULT_TOL`].
+/// The relative tolerance: `MIC_BASELINE_TOL` (through [`crate::config`])
+/// or [`DEFAULT_TOL`].
 pub fn tol_from_env() -> f64 {
-    crate::env::nonneg_f64("MIC_BASELINE_TOL").unwrap_or(DEFAULT_TOL)
+    crate::config::current().baseline_tol
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value reader.
-
-/// A tiny recursive-descent JSON reader — just enough to load baseline /
-/// sweep files. Numbers are `f64`, objects keep insertion order.
-pub mod json {
-    /// A parsed JSON value.
-    #[derive(Clone, Debug, PartialEq)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        Num(f64),
-        Str(String),
-        Arr(Vec<Value>),
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        /// Object field by key (first match), if this is an object.
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        pub fn as_arr(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(items) => Some(items),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parse one JSON document (trailing content is an error).
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing content at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&c) {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {pos}", c as char))
-        }
-    }
-
-    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            None => Err("unexpected end of input".into()),
-            Some(b'{') => {
-                *pos += 1;
-                let mut fields = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                loop {
-                    skip_ws(b, pos);
-                    let key = parse_string(b, pos)?;
-                    expect(b, pos, b':')?;
-                    fields.push((key, parse_value(b, pos)?));
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b'}') => {
-                            *pos += 1;
-                            return Ok(Value::Obj(fields));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *pos += 1;
-                let mut items = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                loop {
-                    items.push(parse_value(b, pos)?);
-                    skip_ws(b, pos);
-                    match b.get(*pos) {
-                        Some(b',') => *pos += 1,
-                        Some(b']') => {
-                            *pos += 1;
-                            return Ok(Value::Arr(items));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                    }
-                }
-            }
-            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
-            Some(b't') if b[*pos..].starts_with(b"true") => {
-                *pos += 4;
-                Ok(Value::Bool(true))
-            }
-            Some(b'f') if b[*pos..].starts_with(b"false") => {
-                *pos += 5;
-                Ok(Value::Bool(false))
-            }
-            Some(b'n') if b[*pos..].starts_with(b"null") => {
-                *pos += 4;
-                Ok(Value::Null)
-            }
-            Some(_) => {
-                let start = *pos;
-                while *pos < b.len()
-                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-                {
-                    *pos += 1;
-                }
-                let s = std::str::from_utf8(&b[start..*pos]).unwrap_or("");
-                s.parse::<f64>()
-                    .map(Value::Num)
-                    .map_err(|_| format!("bad token at byte {start}"))
-            }
-        }
-    }
-
-    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string at byte {pos}"));
-        }
-        *pos += 1;
-        let mut out = String::new();
-        loop {
-            match b.get(*pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    *pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    *pos += 1;
-                    match b.get(*pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = b
-                                .get(*pos + 1..*pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            *pos += 4;
-                        }
-                        _ => return Err("bad escape".into()),
-                    }
-                    *pos += 1;
-                }
-                Some(&c) => {
-                    // Multi-byte UTF-8 sequences pass through untouched.
-                    let len = match c {
-                        0x00..=0x7f => 1,
-                        0xc0..=0xdf => 2,
-                        0xe0..=0xef => 3,
-                        _ => 4,
-                    };
-                    let chunk = b.get(*pos..*pos + len).ok_or("truncated utf-8")?;
-                    out.push_str(std::str::from_utf8(chunk).map_err(|_| "bad utf-8")?);
-                    *pos += len;
-                }
-            }
-        }
-    }
-}
+/// The shared minimal JSON reader now lives in [`crate::json`]; re-export
+/// it under the old path for existing callers.
+pub use crate::json;
 
 // ---------------------------------------------------------------------------
 // The baseline itself.
@@ -268,6 +72,7 @@ impl Baseline {
     /// Serialize in the `BENCH_sweep.json`-compatible shape.
     pub fn to_json(&self) -> String {
         let mut body = String::from("{\n");
+        body.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         body.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         body.push_str(&format!(
             "  \"total_seconds\": {:.3},\n",
@@ -285,9 +90,24 @@ impl Baseline {
     }
 
     /// Parse a baseline (or a full `BENCH_sweep.json`; extra fields are
-    /// ignored).
+    /// ignored). Files written before versioning (no `schema_version`
+    /// field) are accepted as version-0 legacies; an explicit version this
+    /// build does not understand is rejected with a clear message.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let v = json::parse(text)?;
+        if let Some(ver) = v.get("schema_version") {
+            match ver.as_u64() {
+                Some(n) if n == SCHEMA_VERSION => {}
+                Some(n) => {
+                    return Err(format!(
+                        "unsupported schema_version {n}: this build understands \
+                         version {SCHEMA_VERSION} (re-record the file with this \
+                         build, or update the tooling)"
+                    ));
+                }
+                None => return Err("\"schema_version\" must be a non-negative integer".into()),
+            }
+        }
         let scale = v
             .get("scale")
             .and_then(|s| s.as_str())
@@ -494,8 +314,39 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let b = base();
-        let parsed = Baseline::parse(&b.to_json()).unwrap();
+        let text = b.to_json();
+        assert!(
+            text.contains("\"schema_version\": 1"),
+            "written baselines carry the schema version: {text}"
+        );
+        let parsed = Baseline::parse(&text).unwrap();
         assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected_with_a_clear_message() {
+        let text = base().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 99",
+        );
+        let err = Baseline::parse(&text).unwrap_err();
+        assert!(
+            err.contains("unsupported schema_version 99") && err.contains("version 1"),
+            "error must name both versions: {err}"
+        );
+        let bad = base().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": \"one\"",
+        );
+        assert!(Baseline::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn files_without_schema_version_still_parse() {
+        // Pre-versioning BENCH_sweep.json files stay loadable.
+        let text = r#"{"scale": "Full", "total_seconds": 1.0,
+                       "exhibits": [{"name": "t", "seconds": 1.0}]}"#;
+        assert!(Baseline::parse(text).is_ok());
     }
 
     #[test]

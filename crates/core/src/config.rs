@@ -1,0 +1,313 @@
+//! `SuiteConfig`: the typed owner of every `MIC_*` knob.
+//!
+//! Historically each layer read its own environment variables at point of
+//! use (`MIC_SWEEP_THREADS` in the sweep harness, `MIC_BASELINE` in the
+//! gate, `MIC_SUITE_CACHE` in the workload cache, ...). That worked for
+//! one-shot bins but made the knobs impossible to audit, to override
+//! programmatically (the serve layer takes requests, not env vars), or to
+//! test without process-global races. `SuiteConfig` replaces the ad-hoc
+//! plumbing:
+//!
+//! - [`SuiteConfig::from_env`] is the **only** place `MIC_*` environment
+//!   variables are read (through the [`crate::env`] warn-once parsers; a
+//!   CI grep forbids raw `std::env::var("MIC_…")` reads anywhere else);
+//! - builder methods override individual knobs — precedence is **builder
+//!   > env > default**;
+//! - [`SuiteConfig::install`] publishes a config process-wide; every
+//!   consumer (sweep, baseline gate, metrics policy, trace export,
+//!   workload cache, fault injection, the bench bins and `mic-serve`)
+//!   reads [`current`], which lazily installs `from_env()` on first use —
+//!   so a plain bin run behaves exactly as before.
+//!
+//! | knob | env var | default |
+//! |---|---|---|
+//! | `sweep_threads` | `MIC_SWEEP_THREADS` | available parallelism, ≤ 16 |
+//! | `sweep_retries` | `MIC_SWEEP_RETRIES` | 2 |
+//! | `sweep_deadline_ms` | `MIC_SWEEP_DEADLINE_MS` | none |
+//! | `cache_dir` | `MIC_SUITE_CACHE` | off |
+//! | `fault` | `MIC_FAULT` | none |
+//! | `metrics` | `MIC_METRICS` | off |
+//! | `baseline` | `MIC_BASELINE` | none |
+//! | `baseline_tol` | `MIC_BASELINE_TOL` | 0.15 |
+//! | `trace` | `MIC_TRACE` | off |
+//! | `bench_json` | `MIC_BENCH_JSON` | `BENCH_sweep.json` |
+
+use crate::fault::FaultPlan;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// What `MIC_METRICS` (or the builder) asked for.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Metrics registry off; instrumented paths cost one relaxed load.
+    #[default]
+    Off,
+    /// Registry on; bench bins embed a snapshot in their JSON output.
+    On,
+    /// Registry on, and the Prometheus text snapshot is written here.
+    OnWithPath(PathBuf),
+}
+
+impl MetricsMode {
+    /// `MIC_METRICS` grammar: unset/empty/`0` off, `1`/`true` on, anything
+    /// else is a snapshot path (and on).
+    fn parse(raw: Option<String>) -> MetricsMode {
+        match raw {
+            None => MetricsMode::Off,
+            Some(v) => {
+                let t = v.trim();
+                if t == "0" {
+                    MetricsMode::Off
+                } else if t == "1" || t.eq_ignore_ascii_case("true") {
+                    MetricsMode::On
+                } else {
+                    MetricsMode::OnWithPath(PathBuf::from(v))
+                }
+            }
+        }
+    }
+
+    pub fn is_on(&self) -> bool {
+        !matches!(self, MetricsMode::Off)
+    }
+}
+
+/// The typed suite configuration. Construct with [`SuiteConfig::default`]
+/// (all knobs at their documented defaults), [`SuiteConfig::from_env`]
+/// (env overlaid on the defaults), then chain builder methods; publish
+/// with [`SuiteConfig::install`].
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// Sweep pool worker count; `None` = auto (available parallelism ≤ 16).
+    pub sweep_threads: Option<usize>,
+    /// Re-runs after a failed resilient-sweep attempt.
+    pub sweep_retries: u32,
+    /// Cooperative per-attempt deadline; `None`/0 = none.
+    pub sweep_deadline_ms: Option<u64>,
+    /// On-disk workload cache directory; `None` = in-memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Default fault-injection plan (a `with_plan` session still wins).
+    pub fault: Option<FaultPlan>,
+    /// Metrics policy.
+    pub metrics: MetricsMode,
+    /// Perf-baseline reference file for the regression gate.
+    pub baseline: Option<PathBuf>,
+    /// Relative tolerance of the baseline gate.
+    pub baseline_tol: f64,
+    /// Chrome trace output path; `None` = tracing off.
+    pub trace: Option<PathBuf>,
+    /// Where `all` writes its machine-readable sweep record; `None` = off.
+    pub bench_json: Option<PathBuf>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig {
+            sweep_threads: None,
+            sweep_retries: 2,
+            sweep_deadline_ms: None,
+            cache_dir: None,
+            fault: None,
+            metrics: MetricsMode::Off,
+            baseline: None,
+            baseline_tol: crate::baseline::DEFAULT_TOL,
+            trace: None,
+            bench_json: Some(PathBuf::from("BENCH_sweep.json")),
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// The environment-configured config: every `MIC_*` knob overlaid on
+    /// the defaults. This is the single place the suite reads its
+    /// environment variables; set-but-unusable values warn once and fall
+    /// back (the [`crate::env`] discipline).
+    pub fn from_env() -> SuiteConfig {
+        let defaults = SuiteConfig::default();
+        SuiteConfig {
+            sweep_threads: crate::env::positive_usize("MIC_SWEEP_THREADS"),
+            sweep_retries: crate::env::nonneg_u64("MIC_SWEEP_RETRIES")
+                .map_or(defaults.sweep_retries, |v| v.min(100) as u32),
+            sweep_deadline_ms: crate::env::nonneg_u64("MIC_SWEEP_DEADLINE_MS").filter(|v| *v > 0),
+            cache_dir: crate::env::path("MIC_SUITE_CACHE"),
+            fault: parse_env_fault(),
+            metrics: MetricsMode::parse(crate::env::raw("MIC_METRICS")),
+            baseline: crate::env::path("MIC_BASELINE"),
+            baseline_tol: crate::env::nonneg_f64("MIC_BASELINE_TOL")
+                .unwrap_or(defaults.baseline_tol),
+            trace: crate::env::path("MIC_TRACE"),
+            bench_json: match crate::env::raw("MIC_BENCH_JSON") {
+                None => defaults.bench_json,
+                Some(v) if v.trim() == "0" => None,
+                Some(v) => Some(PathBuf::from(v)),
+            },
+        }
+    }
+
+    // -- builder methods (each overrides one knob; precedence over env) --
+
+    pub fn sweep_threads(mut self, threads: usize) -> Self {
+        self.sweep_threads = Some(threads);
+        self
+    }
+
+    pub fn sweep_retries(mut self, retries: u32) -> Self {
+        self.sweep_retries = retries;
+        self
+    }
+
+    pub fn sweep_deadline_ms(mut self, deadline_ms: Option<u64>) -> Self {
+        self.sweep_deadline_ms = deadline_ms.filter(|v| *v > 0);
+        self
+    }
+
+    pub fn cache_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.cache_dir = dir;
+        self
+    }
+
+    pub fn fault(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    pub fn metrics(mut self, mode: MetricsMode) -> Self {
+        self.metrics = mode;
+        self
+    }
+
+    pub fn baseline(mut self, path: Option<PathBuf>) -> Self {
+        self.baseline = path;
+        self
+    }
+
+    pub fn baseline_tol(mut self, tol: f64) -> Self {
+        self.baseline_tol = tol;
+        self
+    }
+
+    pub fn trace(mut self, path: Option<PathBuf>) -> Self {
+        self.trace = path;
+        self
+    }
+
+    pub fn bench_json(mut self, path: Option<PathBuf>) -> Self {
+        self.bench_json = path;
+        self
+    }
+
+    /// The sweep worker count with the auto default applied.
+    pub fn effective_sweep_threads(&self) -> usize {
+        self.sweep_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
+        })
+    }
+
+    /// Publish this config process-wide: subsequent [`current`] calls (in
+    /// every layer) see it. Replaces any previously installed config.
+    pub fn install(self) {
+        *slot().write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(self));
+    }
+}
+
+fn slot() -> &'static RwLock<Option<Arc<SuiteConfig>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<SuiteConfig>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// The installed [`SuiteConfig`], installing [`SuiteConfig::from_env`] on
+/// first use. Cheap after the first call (one RwLock read + Arc clone).
+pub fn current() -> Arc<SuiteConfig> {
+    if let Some(cfg) = slot().read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        return Arc::clone(cfg);
+    }
+    let mut w = slot().write().unwrap_or_else(|e| e.into_inner());
+    // Racing installer may have won while we upgraded the lock.
+    Arc::clone(w.get_or_insert_with(|| Arc::new(SuiteConfig::from_env())))
+}
+
+/// `MIC_FAULT`, parsed and reported once per process. A malformed spec is
+/// rejected loudly rather than half-applied.
+fn parse_env_fault() -> Option<FaultPlan> {
+    let spec = crate::env::raw("MIC_FAULT")?;
+    static REPORT: std::sync::Once = std::sync::Once::new();
+    match FaultPlan::parse(&spec) {
+        Ok(plan) => {
+            REPORT.call_once(|| {
+                eprintln!(
+                    "mic-eval: fault injection active (MIC_FAULT seed {})",
+                    plan.seed()
+                );
+            });
+            Some(plan)
+        }
+        Err(e) => {
+            REPORT.call_once(|| eprintln!("mic-eval: ignoring MIC_FAULT: {e}"));
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_documented_values() {
+        let c = SuiteConfig::default();
+        assert_eq!(c.sweep_threads, None);
+        assert_eq!(c.sweep_retries, 2);
+        assert_eq!(c.sweep_deadline_ms, None);
+        assert!(c.cache_dir.is_none() && c.fault.is_none());
+        assert_eq!(c.metrics, MetricsMode::Off);
+        assert!(c.baseline.is_none());
+        assert_eq!(c.baseline_tol, crate::baseline::DEFAULT_TOL);
+        assert!(c.trace.is_none());
+        assert_eq!(c.bench_json, Some(PathBuf::from("BENCH_sweep.json")));
+    }
+
+    #[test]
+    fn builder_overrides_win() {
+        let c = SuiteConfig::default()
+            .sweep_threads(3)
+            .sweep_retries(0)
+            .sweep_deadline_ms(Some(250))
+            .baseline_tol(0.5)
+            .bench_json(None)
+            .metrics(MetricsMode::On);
+        assert_eq!(c.sweep_threads, Some(3));
+        assert_eq!(c.effective_sweep_threads(), 3);
+        assert_eq!(c.sweep_retries, 0);
+        assert_eq!(c.sweep_deadline_ms, Some(250));
+        assert_eq!(c.baseline_tol, 0.5);
+        assert_eq!(c.bench_json, None);
+        assert!(c.metrics.is_on());
+    }
+
+    #[test]
+    fn zero_deadline_means_none() {
+        let c = SuiteConfig::default().sweep_deadline_ms(Some(0));
+        assert_eq!(c.sweep_deadline_ms, None);
+    }
+
+    #[test]
+    fn effective_threads_auto_is_bounded() {
+        let t = SuiteConfig::default().effective_sweep_threads();
+        assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    fn metrics_mode_grammar() {
+        assert_eq!(MetricsMode::parse(None), MetricsMode::Off);
+        assert_eq!(MetricsMode::parse(Some("0".into())), MetricsMode::Off);
+        assert_eq!(MetricsMode::parse(Some("1".into())), MetricsMode::On);
+        assert_eq!(MetricsMode::parse(Some("true".into())), MetricsMode::On);
+        assert_eq!(
+            MetricsMode::parse(Some("out/m.txt".into())),
+            MetricsMode::OnWithPath(PathBuf::from("out/m.txt"))
+        );
+    }
+}

@@ -417,31 +417,13 @@ pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
     result
 }
 
-/// The `MIC_FAULT` plan, parsed (and reported) once per process. A
-/// malformed spec is rejected loudly (one warning) rather than
-/// half-applied.
+/// The configured default plan (`MIC_FAULT` or a builder override),
+/// resolved through [`crate::config`] once per process. Parsing and the
+/// one-line activation report happen in `SuiteConfig::from_env`.
 fn env_plan() -> Option<&'static Arc<FaultPlan>> {
     static ENV: OnceLock<Option<Arc<FaultPlan>>> = OnceLock::new();
-    ENV.get_or_init(|| {
-        let spec = std::env::var("MIC_FAULT").ok()?;
-        if spec.trim().is_empty() {
-            return None;
-        }
-        match FaultPlan::parse(&spec) {
-            Ok(plan) => {
-                eprintln!(
-                    "mic-eval: fault injection active (MIC_FAULT seed {})",
-                    plan.seed()
-                );
-                Some(Arc::new(plan))
-            }
-            Err(e) => {
-                eprintln!("mic-eval: ignoring MIC_FAULT: {e}");
-                None
-            }
-        }
-    })
-    .as_ref()
+    ENV.get_or_init(|| crate::config::current().fault.clone().map(Arc::new))
+        .as_ref()
 }
 
 /// Install the `MIC_FAULT` plan unless some plan is already active. The

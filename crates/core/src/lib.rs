@@ -44,9 +44,11 @@ pub use mic_runtime as runtime;
 pub use mic_sim as sim;
 
 pub mod baseline;
+pub mod config;
 pub mod env;
 pub mod experiments;
 pub mod fault;
+pub mod json;
 pub mod metrics;
 pub mod native;
 pub mod series;

@@ -20,56 +20,30 @@
 
 pub use mic_metrics::*;
 
+use crate::config::MetricsMode;
 use std::path::PathBuf;
-use std::sync::OnceLock;
 
-#[derive(Debug)]
-enum Mode {
-    Off,
-    On,
-    OnWithPath(PathBuf),
-}
-
-fn mode() -> &'static Mode {
-    static MODE: OnceLock<Mode> = OnceLock::new();
-    MODE.get_or_init(|| match crate::env::raw("MIC_METRICS") {
-        None => Mode::Off,
-        Some(v) => {
-            let t = v.trim();
-            if t == "0" {
-                Mode::Off
-            } else if t == "1" || t.eq_ignore_ascii_case("true") {
-                Mode::On
-            } else {
-                Mode::OnWithPath(PathBuf::from(v))
-            }
-        }
-    })
-}
-
-/// Whether `MIC_METRICS` requests metrics at all (regardless of whether
-/// the registry is currently enabled — test sessions toggle that).
+/// Whether the installed [`crate::config`] requests metrics at all
+/// (regardless of whether the registry is currently enabled — test
+/// sessions toggle that).
 pub fn env_requested() -> bool {
-    !matches!(mode(), Mode::Off)
+    crate::config::current().metrics.is_on()
 }
 
-/// The Prometheus snapshot file requested via `MIC_METRICS=<path>`, if
-/// any.
+/// The Prometheus snapshot file requested via `MIC_METRICS=<path>` (or
+/// the config builder), if any.
 pub fn snapshot_path() -> Option<PathBuf> {
-    match mode() {
-        Mode::OnWithPath(p) => Some(p.clone()),
+    match &crate::config::current().metrics {
+        MetricsMode::OnWithPath(p) => Some(p.clone()),
         _ => None,
     }
 }
 
-/// Enable the registry if `MIC_METRICS` asks for it. Idempotent and
-/// cheap after the first call; never *disables* (an explicit
-/// [`set_enabled`] or test session owns that).
+/// Enable the registry if the installed config asks for it. Idempotent
+/// and cheap; never *disables* (an explicit [`set_enabled`] or test
+/// session owns that).
 pub fn init_from_env() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        if env_requested() {
-            mic_metrics::set_enabled(true);
-        }
-    });
+    if env_requested() {
+        mic_metrics::set_enabled(true);
+    }
 }

@@ -43,18 +43,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Worker count for [`map`]: `MIC_SWEEP_THREADS` if set and positive,
-/// otherwise available parallelism capped at 16. A set-but-unusable value
+/// Worker count for [`map`]: the installed [`crate::config`]'s
+/// `sweep_threads` (from `MIC_SWEEP_THREADS` or the builder), otherwise
+/// available parallelism capped at 16. A set-but-unusable env value
 /// (unparsable, or `0`) is rejected with a one-line warning on stderr —
 /// silently falling back used to make `MIC_SWEEP_THREADS=O` typos
 /// indistinguishable from the default.
 pub fn default_threads() -> usize {
-    crate::env::positive_usize("MIC_SWEEP_THREADS").unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(16)
-    })
+    crate::config::current().effective_sweep_threads()
 }
 
 // ---------------------------------------------------------------------------
@@ -151,12 +147,18 @@ pub struct SweepCfg {
 }
 
 impl SweepCfg {
-    /// The environment-configured default.
+    /// The installed [`crate::config`]'s sweep knobs (env-configured
+    /// unless a builder config was installed).
     pub fn from_env() -> SweepCfg {
+        SweepCfg::from_config(&crate::config::current())
+    }
+
+    /// The sweep knobs of an explicit [`SuiteConfig`](crate::config::SuiteConfig).
+    pub fn from_config(cfg: &crate::config::SuiteConfig) -> SweepCfg {
         SweepCfg {
-            threads: default_threads(),
-            retries: crate::env::nonneg_u64("MIC_SWEEP_RETRIES").map_or(2, |v| v.min(100) as u32),
-            deadline_ms: crate::env::nonneg_u64("MIC_SWEEP_DEADLINE_MS").filter(|v| *v > 0),
+            threads: cfg.effective_sweep_threads(),
+            retries: cfg.sweep_retries,
+            deadline_ms: cfg.sweep_deadline_ms,
         }
     }
 }
@@ -246,7 +248,7 @@ where
         retries: 0,
         deadline_ms: None,
     };
-    let report = run_report(&cfg, None, items, &f);
+    let report = run_report(&cfg, None, None, items, &f);
     if let Some(failure) = report.failures.first() {
         panic!("sweep job failed ({failure})");
     }
@@ -283,7 +285,29 @@ where
     R: Send + Sync,
     F: Fn(usize, &T) -> R + Sync,
 {
-    run_report(cfg, fault::active(), items, &f)
+    run_report(cfg, fault::active(), None, items, &f)
+}
+
+/// [`try_map_cfg`] fanned over a caller-owned [`ThreadPool`] instead of a
+/// pool created per call. Long-lived consumers (the `mic-serve` batch
+/// executor) run every sweep on one shared pool, so requests share warm
+/// worker threads rather than paying a pool spawn per batch.
+/// `cfg.threads` is ignored for fan-out (the pool's worker count rules);
+/// retry/deadline semantics are identical to [`try_map_cfg`].
+pub fn try_map_shared<T, R, F>(
+    pool: &ThreadPool,
+    cfg: &SweepCfg,
+    items: &[T],
+    f: F,
+) -> SweepReport<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    fault::init_from_env();
+    crate::metrics::init_from_env();
+    run_report(cfg, fault::active(), Some(pool), items, &f)
 }
 
 /// Resilient sweep for figure drivers: failed points degrade to
@@ -323,12 +347,14 @@ where
 type Slot<R> = OnceLock<Result<R, JobFailure>>;
 
 /// Run every job once (strict: `retries == 0`, no plan) or with the
-/// resilient attempt loop, fanned over a pool, then serially re-run any
-/// slot left empty (worker-level faults can abort a pool region before
-/// every job is claimed). The output is in input order either way.
+/// resilient attempt loop, fanned over a pool (`shared` if given, else a
+/// fresh pool sized by `cfg.threads`), then serially re-run any slot left
+/// empty (worker-level faults can abort a pool region before every job is
+/// claimed). The output is in input order either way.
 fn run_report<T, R, F>(
     cfg: &SweepCfg,
     plan: Option<Arc<FaultPlan>>,
+    shared: Option<&ThreadPool>,
     items: &[T],
     f: &F,
 ) -> SweepReport<R>
@@ -339,8 +365,16 @@ where
 {
     let plan = plan.as_deref();
     let slots: Vec<Slot<R>> = items.iter().map(|_| OnceLock::new()).collect();
-    if cfg.threads > 1 && items.len() > 1 {
-        let pool = ThreadPool::new(cfg.threads.min(items.len()));
+    let parallel = items.len() > 1 && (shared.is_some() || cfg.threads > 1);
+    if parallel {
+        let fresh;
+        let pool = match shared {
+            Some(p) => p,
+            None => {
+                fresh = ThreadPool::new(cfg.threads.min(items.len()));
+                &fresh
+            }
+        };
         let next = AtomicUsize::new(0);
         // Worker-level faults (or a job panic on the strict path, where
         // `run_attempts` does not retry but still isolates) may abort the
@@ -670,6 +704,31 @@ mod tests {
             "targeted faults exhaust retries"
         );
         assert!(take_failures().is_empty(), "take drains the registry");
+    }
+
+    #[test]
+    fn shared_pool_matches_serial_and_is_reusable() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u64> = (0..97).collect();
+        let f = |i: usize, &x: &u64| x * 3 + i as u64;
+        let serial = map_serial(&items, f);
+        for _ in 0..3 {
+            let report = try_map_shared(&pool, &cfg(1, 0, None), &items, f);
+            assert!(report.is_complete());
+            let got: Vec<u64> = report.results.into_iter().map(|v| v.unwrap()).collect();
+            assert_eq!(got, serial);
+        }
+        // Panic isolation holds on the shared pool too, and the pool
+        // survives for the next batch.
+        let report = try_map_shared(&pool, &cfg(1, 0, None), &items, |_, &x| {
+            if x == 13 {
+                panic!("bad point");
+            }
+            x
+        });
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].point, 13);
+        assert!(try_map_shared(&pool, &cfg(1, 0, None), &items, f).is_complete());
     }
 
     #[test]

@@ -31,11 +31,11 @@ use mic_sim::{
 };
 use std::path::{Path, PathBuf};
 
-/// The trace output file requested via `MIC_TRACE`, if any. Unset, empty
-/// and `0` all mean "tracing off" (the shared [`crate::env::path`]
-/// semantics).
+/// The trace output file requested via `MIC_TRACE` (through
+/// [`crate::config`]), if any. Unset, empty and `0` all mean "tracing
+/// off".
 pub fn trace_path() -> Option<PathBuf> {
-    crate::env::path("MIC_TRACE")
+    crate::config::current().trace.clone()
 }
 
 /// One traced simulation run: a labeled sequence of region traces, shown

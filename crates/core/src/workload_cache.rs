@@ -129,7 +129,7 @@ static BFS: Cache<BfsKey, Arc<BfsWorkload>> = Cache::new();
 /// derived from the cached natural graph.
 pub fn graph(pg: PaperGraph, scale: Scale, order: OrderTag) -> Arc<Csr> {
     GRAPHS.get_or_build((pg, scale, order), || match order.ordering() {
-        None => Arc::new(match std::env::var_os("MIC_SUITE_CACHE") {
+        None => Arc::new(match crate::config::current().cache_dir.clone() {
             Some(dir) => build_cached(pg, scale, dir),
             None => build(pg, scale),
         }),
@@ -356,8 +356,8 @@ fn disk_path(
     windows: LocalityWindows,
     extra: &str,
 ) -> Option<PathBuf> {
-    let dir = std::env::var_os("MIC_SUITE_CACHE")?;
-    Some(PathBuf::from(dir).join(format!(
+    let dir = crate::config::current().cache_dir.clone()?;
+    Some(dir.join(format!(
         "wl1-{kind}-{}-{}-{}-{}-{}{extra}.bin",
         pg.name(),
         scale_code(scale),

@@ -1,0 +1,261 @@
+//! The mic-serve binary: server, load client, and the self-hosted bench
+//! exhibit in one.
+//!
+//! Usage: `serve <serve|client|bench> [flags]`
+//!
+//! - `serve serve [--addr A] [--queue-cap N] [--batch-max N] [--lru N]
+//!   [--pool N] [--duration S]` — run the TCP server (default
+//!   `127.0.0.1:7171`; `--duration` exits after S seconds, otherwise it
+//!   runs until killed). `MIC_METRICS=<path>` writes a Prometheus
+//!   snapshot on clean shutdown.
+//! - `serve client --addr A [--clients N] [--rps R] [--duration S]` —
+//!   drive one bounded load point against a running server and print the
+//!   throughput/latency row.
+//! - `serve bench [--clients N] [--rps R] [--duration S] [--out PATH]
+//!   [--check]` — start an in-process server on an ephemeral port, drive
+//!   three load points (R/2, R, 2R), and write the `BENCH_serve.json`
+//!   exhibit. `--check` additionally validates the `mic_serve_*` metric
+//!   invariants against the live registry and exits nonzero on failure.
+
+use mic_bench::cli::Cli;
+use mic_serve::client::{self, LoadOpts, LoadSummary};
+use mic_serve::server::{ServeOpts, Server};
+use std::path::PathBuf;
+
+const USAGE: &str = "serve <serve|client|bench> [--addr HOST:PORT] [--queue-cap N] \
+                     [--batch-max N] [--lru N] [--pool N] [--clients N] [--rps R] \
+                     [--duration S] [--out PATH] [--check]";
+
+fn main() {
+    let mut cli = Cli::parse("serve", USAGE);
+    let addr = cli.opt("--addr");
+    let mut opts = ServeOpts::default();
+    if let Some(n) = cli.opt_parse::<usize>("--queue-cap", "a positive integer") {
+        opts.queue_cap = n.max(1);
+    }
+    if let Some(n) = cli.opt_parse::<usize>("--batch-max", "a positive integer") {
+        opts.batch_max = n.max(1);
+    }
+    if let Some(n) = cli.opt_parse::<usize>("--lru", "a cache capacity") {
+        opts.lru_cap = n;
+    }
+    if let Some(n) = cli.opt_parse::<usize>("--pool", "a positive integer") {
+        opts.pool_threads = n.max(1);
+    }
+    let clients = cli
+        .opt_parse::<usize>("--clients", "a positive integer")
+        .unwrap_or(4)
+        .max(1);
+    let rps = cli
+        .opt_parse::<f64>("--rps", "a request rate")
+        .unwrap_or(100.0)
+        .max(0.1);
+    let duration = cli.opt_parse::<f64>("--duration", "seconds");
+    let out = cli.out();
+    let check = cli.check();
+    let pos = cli.positionals();
+    let mode = pos.first().map(String::as_str).unwrap_or("serve");
+
+    mic_eval::metrics::init_from_env();
+    let code = match mode {
+        "serve" => run_serve(addr.as_deref().unwrap_or("127.0.0.1:7171"), opts, duration),
+        "client" => {
+            let Some(addr) = addr.as_deref() else {
+                eprintln!("serve: client mode needs --addr HOST:PORT");
+                eprintln!("usage: {USAGE}");
+                std::process::exit(2);
+            };
+            run_client(addr, clients, rps, duration.unwrap_or(2.0))
+        }
+        "bench" => run_bench(opts, clients, rps, duration.unwrap_or(2.0), out, check),
+        other => {
+            eprintln!("serve: unknown mode {other:?}");
+            eprintln!("usage: {USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn write_metrics_snapshot() {
+    if mic_eval::metrics::enabled() {
+        let snap = mic_eval::metrics::snapshot();
+        if let Some(path) = mic_eval::metrics::snapshot_path() {
+            match std::fs::write(&path, snap.to_prometheus()) {
+                Ok(()) => eprintln!("(metrics snapshot written to {})", path.display()),
+                Err(e) => eprintln!("(could not write {}: {e})", path.display()),
+            }
+        }
+    }
+}
+
+fn run_serve(addr: &str, opts: ServeOpts, duration: Option<f64>) -> i32 {
+    let server = match Server::start(addr, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    println!("mic-serve listening on {}", server.addr);
+    println!(
+        "  queue_cap={} batch_max={} lru={} pool={}",
+        opts.queue_cap, opts.batch_max, opts.lru_cap, opts.pool_threads
+    );
+    match duration {
+        Some(s) => {
+            std::thread::sleep(std::time::Duration::from_secs_f64(s.max(0.0)));
+            let stats = &server.dispatcher().stats;
+            eprintln!(
+                "shutting down after {s}s: received={} ok={} shed={} errors={}",
+                stats.received.load(std::sync::atomic::Ordering::Relaxed),
+                stats.ok.load(std::sync::atomic::Ordering::Relaxed),
+                stats.shed.load(std::sync::atomic::Ordering::Relaxed),
+                stats.errors.load(std::sync::atomic::Ordering::Relaxed),
+            );
+            server.shutdown();
+            write_metrics_snapshot();
+            0
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+}
+
+fn run_client(addr: &str, clients: usize, rps: f64, duration: f64) -> i32 {
+    let point = LoadOpts {
+        clients,
+        target_rps: rps,
+        duration_s: duration,
+    };
+    match client::run_load(addr, point) {
+        Ok(summary) => {
+            println!("{}", LoadSummary::header());
+            println!("{}", summary.row());
+            0
+        }
+        Err(e) => {
+            eprintln!("serve: load run against {addr} failed: {e}");
+            1
+        }
+    }
+}
+
+fn run_bench(
+    opts: ServeOpts,
+    clients: usize,
+    rps: f64,
+    duration: f64,
+    out: Option<PathBuf>,
+    check: bool,
+) -> i32 {
+    if check && !mic_eval::metrics::enabled() {
+        mic_eval::metrics::set_enabled(true);
+    }
+    let server = match Server::start("127.0.0.1:0", opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot start in-process server: {e}");
+            return 1;
+        }
+    };
+    let addr = server.addr.to_string();
+    eprintln!("in-process server on {addr}; 3 load points at {clients} clients, {duration}s each");
+    let mut points = Vec::new();
+    println!("{}", LoadSummary::header());
+    for target_rps in [rps * 0.5, rps, rps * 2.0] {
+        match client::run_load(
+            &addr,
+            LoadOpts {
+                clients,
+                target_rps,
+                duration_s: duration,
+            },
+        ) {
+            Ok(summary) => {
+                println!("{}", summary.row());
+                points.push(summary);
+            }
+            Err(e) => {
+                eprintln!("serve: load point {target_rps} rps failed: {e}");
+                return 1;
+            }
+        }
+    }
+    let failures = if check {
+        check_serve_metrics(&server)
+    } else {
+        0
+    };
+    server.shutdown();
+    write_metrics_snapshot();
+
+    let path = out.unwrap_or_else(|| PathBuf::from("BENCH_serve.json"));
+    let text = client::bench_serve_json(&points);
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("serve: could not write {}: {e}", path.display());
+        return 1;
+    }
+    eprintln!("(exhibit written to {})", path.display());
+    if check {
+        if failures > 0 {
+            eprintln!("check FAILED: {failures} serve metric invariant(s)");
+            return 1;
+        }
+        println!("check: serve metric invariants hold");
+    }
+    0
+}
+
+/// The `mic_serve_*` registry invariants: per-op latency histogram counts
+/// equal the per-op request counters, responses balance requests, and the
+/// registry's own counters agree with the dispatcher's. Returns the
+/// number of violations (also printed).
+fn check_serve_metrics(server: &Server) -> usize {
+    let snap = mic_eval::metrics::snapshot();
+    let mut failures = 0;
+    let mut requests_seen = 0.0;
+    for e in &snap.entries {
+        if e.name != "mic_serve_requests_total" {
+            continue;
+        }
+        let labels: Vec<(&str, &str)> = e
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let counter = snap
+            .value("mic_serve_requests_total", &labels)
+            .unwrap_or(0.0);
+        requests_seen += counter;
+        let hist = snap
+            .hist("mic_serve_request_seconds", &labels)
+            .map(|h| h.count as f64);
+        if hist != Some(counter) {
+            eprintln!(
+                "check FAILED: request histogram {:?} count {hist:?} != counter {counter}",
+                e.labels
+            );
+            failures += 1;
+        }
+    }
+    let responses = snap.family_total("mic_serve_responses_total");
+    if responses != requests_seen {
+        eprintln!("check FAILED: responses_total {responses} != requests_total {requests_seen}");
+        failures += 1;
+    }
+    let stats = &server.dispatcher().stats;
+    let received = stats.received.load(std::sync::atomic::Ordering::Relaxed) as f64;
+    if requests_seen != received {
+        eprintln!(
+            "check FAILED: registry saw {requests_seen} requests, dispatcher counted {received}"
+        );
+        failures += 1;
+    }
+    for problem in snap.self_check() {
+        eprintln!("check FAILED: snapshot self-check: {problem}");
+        failures += 1;
+    }
+    failures
+}

@@ -1,0 +1,331 @@
+//! Load-generator client: open-loop-ish request pacing over N
+//! connections, latency quantiles, and the `BENCH_serve.json` exhibit.
+//!
+//! Each client thread owns one connection and paces itself so the fleet
+//! approaches the target request rate; responses are classified (`ok` /
+//! `shed` / `error`) and latencies pooled for p50/p95/p99. A client that
+//! falls behind (server saturated) does not queue unsent requests — the
+//! achieved rate simply drops, which together with the shed count is the
+//! backpressure signal the exhibit plots.
+
+use crate::protocol::{self, Response, SCHEMA_VERSION};
+use mic_eval::json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One load point's configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadOpts {
+    pub clients: usize,
+    pub target_rps: f64,
+    pub duration_s: f64,
+}
+
+/// One load point's outcome.
+#[derive(Clone, Debug, Default)]
+pub struct LoadSummary {
+    pub clients: usize,
+    pub target_rps: f64,
+    pub duration_s: f64,
+    pub sent: u64,
+    pub ok: u64,
+    pub shed: u64,
+    pub errors: u64,
+    pub coalesced: u64,
+    pub cached: u64,
+    pub achieved_rps: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+/// Empirical quantile of a sorted latency list (nearest-rank).
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+/// The request mix: a small rotation of realistic simulate requests, so
+/// the server sees both coalescable duplicates and distinct work.
+fn request_line(id: &str, step: usize) -> String {
+    const THREADS: [usize; 3] = [31, 61, 121];
+    let threads = THREADS[step % THREADS.len()];
+    format!(
+        "{{\"id\":\"{id}\",\"op\":\"simulate\",\"kernel\":\"coloring\",\"graph\":\"hood\",\
+         \"runtime\":\"omp\",\"sched\":\"dynamic\",\"chunk\":100,\"threads\":{threads},\
+         \"scale\":256}}"
+    )
+}
+
+/// Drive one load point against a serving address.
+pub fn run_load(addr: &str, opts: LoadOpts) -> std::io::Result<LoadSummary> {
+    let clients = opts.clients.max(1);
+    let per_client_interval = Duration::from_secs_f64(clients as f64 / opts.target_rps.max(0.001));
+    let deadline = Duration::from_secs_f64(opts.duration_s.max(0.01));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for ci in 0..clients {
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || -> std::io::Result<Worker> {
+            let stream = TcpStream::connect(&addr)?;
+            stream.set_nodelay(true)?;
+            let mut reader = BufReader::new(stream.try_clone()?);
+            let mut writer = stream;
+            let mut w = Worker::default();
+            let t0 = Instant::now();
+            let mut next_at = Duration::ZERO;
+            let mut step = 0usize;
+            while t0.elapsed() < deadline {
+                let line = request_line(&format!("c{ci}-{step}"), ci + step);
+                step += 1;
+                let sent_at = Instant::now();
+                writeln!(writer, "{line}")?;
+                w.sent += 1;
+                let mut resp_line = String::new();
+                if reader.read_line(&mut resp_line)? == 0 {
+                    break;
+                }
+                let latency_ms = sent_at.elapsed().as_secs_f64() * 1e3;
+                match protocol::parse_response(resp_line.trim_end()) {
+                    Ok(Response::Ok { meta, .. }) => {
+                        w.ok += 1;
+                        w.coalesced += meta.coalesced as u64;
+                        w.cached += meta.cached as u64;
+                        w.latencies_ms.push(latency_ms);
+                    }
+                    Ok(Response::Shed { .. }) => w.shed += 1,
+                    _ => w.errors += 1,
+                }
+                next_at += per_client_interval;
+                let elapsed = t0.elapsed();
+                if next_at > elapsed {
+                    std::thread::sleep(next_at - elapsed);
+                }
+            }
+            Ok(w)
+        }));
+    }
+    let mut agg = Worker::default();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(w)) => agg.merge(w),
+            Ok(Err(e)) => return Err(e),
+            Err(_) => {
+                return Err(std::io::Error::other("load client thread panicked"));
+            }
+        }
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    agg.latencies_ms.sort_by(f64::total_cmp);
+    Ok(LoadSummary {
+        clients,
+        target_rps: opts.target_rps,
+        duration_s: opts.duration_s,
+        sent: agg.sent,
+        ok: agg.ok,
+        shed: agg.shed,
+        errors: agg.errors,
+        coalesced: agg.coalesced,
+        cached: agg.cached,
+        achieved_rps: agg.ok as f64 / elapsed_s.max(1e-9),
+        p50_ms: quantile(&agg.latencies_ms, 0.50),
+        p95_ms: quantile(&agg.latencies_ms, 0.95),
+        p99_ms: quantile(&agg.latencies_ms, 0.99),
+        max_ms: agg.latencies_ms.last().copied().unwrap_or(0.0),
+    })
+}
+
+#[derive(Default)]
+struct Worker {
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    coalesced: u64,
+    cached: u64,
+    latencies_ms: Vec<f64>,
+}
+
+impl Worker {
+    fn merge(&mut self, other: Worker) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.errors += other.errors;
+        self.coalesced += other.coalesced;
+        self.cached += other.cached;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+}
+
+impl LoadSummary {
+    /// One human-readable table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>8.0} {:>8.0} {:>7} {:>7} {:>6} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            self.target_rps,
+            self.achieved_rps,
+            self.ok,
+            self.sent - self.ok,
+            self.shed,
+            self.errors,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.max_ms,
+        )
+    }
+
+    /// Column header matching [`row`](Self::row).
+    pub fn header() -> &'static str {
+        "  target   actual      ok   other   shed    err    p50 ms    p95 ms    p99 ms    max ms"
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("clients".into(), Value::Num(self.clients as f64)),
+            ("target_rps".into(), Value::Num(self.target_rps)),
+            ("duration_s".into(), Value::Num(self.duration_s)),
+            ("sent".into(), Value::Num(self.sent as f64)),
+            ("ok".into(), Value::Num(self.ok as f64)),
+            ("shed".into(), Value::Num(self.shed as f64)),
+            ("errors".into(), Value::Num(self.errors as f64)),
+            ("coalesced".into(), Value::Num(self.coalesced as f64)),
+            ("cached".into(), Value::Num(self.cached as f64)),
+            ("achieved_rps".into(), Value::Num(self.achieved_rps)),
+            ("p50_ms".into(), Value::Num(self.p50_ms)),
+            ("p95_ms".into(), Value::Num(self.p95_ms)),
+            ("p99_ms".into(), Value::Num(self.p99_ms)),
+            ("max_ms".into(), Value::Num(self.max_ms)),
+        ])
+    }
+}
+
+/// Render the `BENCH_serve.json` exhibit: throughput and tail latency at
+/// each load point, schema-versioned like the other bench JSON files.
+pub fn bench_serve_json(points: &[LoadSummary]) -> String {
+    let mut doc = Value::Obj(vec![
+        ("schema_version".into(), Value::Num(SCHEMA_VERSION as f64)),
+        ("bench".into(), Value::str("serve")),
+        (
+            "points".into(),
+            Value::Arr(points.iter().map(LoadSummary::to_value).collect()),
+        ),
+    ]);
+    // Pretty-print the top level one point per line for diffability.
+    if let Value::Obj(fields) = &mut doc {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            let comma = if i + 1 < fields.len() { "," } else { "" };
+            match v {
+                Value::Arr(items) => {
+                    out.push_str(&format!("  \"{k}\": [\n"));
+                    for (j, item) in items.iter().enumerate() {
+                        let c = if j + 1 < items.len() { "," } else { "" };
+                        out.push_str(&format!("    {}{c}\n", item.render()));
+                    }
+                    out.push_str(&format!("  ]{comma}\n"));
+                }
+                other => out.push_str(&format!("  \"{k}\": {}{comma}\n", other.render())),
+            }
+        }
+        out.push_str("}\n");
+        return out;
+    }
+    unreachable!("doc is an object")
+}
+
+/// Load a `BENCH_serve.json` document, rejecting files stamped with a
+/// schema version this build does not understand.
+pub fn parse_bench_serve(text: &str) -> Result<Vec<LoadSummary>, String> {
+    let doc = mic_eval::json::parse(text)?;
+    match doc.get("schema_version").map(Value::as_u64) {
+        Some(Some(SCHEMA_VERSION)) => {}
+        Some(Some(n)) => {
+            return Err(format!(
+                "unsupported schema_version {n}: this build understands version {SCHEMA_VERSION} \
+                 (re-record the file with this build, or update the tooling)"
+            ))
+        }
+        Some(None) => return Err("schema_version must be a non-negative integer".into()),
+        None => return Err("missing schema_version".into()),
+    }
+    let points = doc
+        .get("points")
+        .and_then(Value::as_arr)
+        .ok_or("missing points array")?;
+    let num = |p: &Value, key: &str| p.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+    Ok(points
+        .iter()
+        .map(|p| LoadSummary {
+            clients: num(p, "clients") as usize,
+            target_rps: num(p, "target_rps"),
+            duration_s: num(p, "duration_s"),
+            sent: num(p, "sent") as u64,
+            ok: num(p, "ok") as u64,
+            shed: num(p, "shed") as u64,
+            errors: num(p, "errors") as u64,
+            coalesced: num(p, "coalesced") as u64,
+            cached: num(p, "cached") as u64,
+            achieved_rps: num(p, "achieved_rps"),
+            p50_ms: num(p, "p50_ms"),
+            p95_ms: num(p, "p95_ms"),
+            p99_ms: num(p, "p99_ms"),
+            max_ms: num(p, "max_ms"),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&v, 0.50), 50.0);
+        assert_eq!(quantile(&v, 0.95), 95.0);
+        assert_eq!(quantile(&v, 0.99), 99.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn bench_serve_json_round_trips_and_is_versioned() {
+        let point = LoadSummary {
+            clients: 4,
+            target_rps: 100.0,
+            duration_s: 2.0,
+            sent: 200,
+            ok: 180,
+            shed: 15,
+            errors: 5,
+            coalesced: 30,
+            cached: 90,
+            achieved_rps: 90.5,
+            p50_ms: 1.5,
+            p95_ms: 9.25,
+            p99_ms: 20.125,
+            max_ms: 31.0,
+        };
+        let text = bench_serve_json(std::slice::from_ref(&point));
+        assert!(text.contains("\"schema_version\": 1"), "{text}");
+        let back = parse_bench_serve(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].ok, 180);
+        assert_eq!(back[0].p99_ms, 20.125);
+    }
+
+    #[test]
+    fn unknown_bench_schema_version_is_rejected() {
+        let err = parse_bench_serve(r#"{"schema_version": 9, "points": []}"#).unwrap_err();
+        assert!(err.contains("unsupported schema_version 9"), "{err}");
+        let err = parse_bench_serve(r#"{"points": []}"#).unwrap_err();
+        assert!(err.contains("missing schema_version"), "{err}");
+    }
+}

@@ -1,0 +1,21 @@
+//! mic-serve: a batched, backpressured simulation-as-a-service layer.
+//!
+//! Long-running job server over plain TCP + newline-delimited JSON that
+//! accepts simulation requests against the paper's instrumented kernels,
+//! coalesces identical in-flight requests, folds compatible ones into a
+//! single resilient sweep invocation on one long-lived thread pool, and
+//! answers with explicit backpressure (`status:"shed"`) instead of
+//! buffering without bound. See DESIGN.md "Serving layer".
+//!
+//! - [`protocol`] — the NDJSON wire format, request validation, and the
+//!   canonical [`protocol::JobSpec`] job identity;
+//! - [`server`] — admission control, coalescing, the batch executor,
+//!   metrics/tracing instrumentation, and the TCP front end;
+//! - [`client`] — the load-generator client and the `BENCH_serve.json`
+//!   exhibit writer/loader;
+//! - [`lru`] — the bounded result cache.
+
+pub mod client;
+pub mod lru;
+pub mod protocol;
+pub mod server;

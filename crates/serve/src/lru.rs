@@ -1,0 +1,104 @@
+//! A small bounded LRU for served simulation results.
+//!
+//! Sits in front of the process-wide workload cache: that layer memoizes
+//! *instrumentation* (unbounded, keyed by workload), this one memoizes
+//! finished *results* (`key → cycles`) so a repeated request skips the
+//! queue entirely. Capacity-bounded with least-recently-used eviction;
+//! the scan-to-evict is O(len), which at serving capacities (hundreds)
+//! is noise next to a simulation.
+
+use std::collections::HashMap;
+
+pub struct LruCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<String, (u64, f64)>,
+}
+
+impl LruCache {
+    /// `cap == 0` disables caching entirely.
+    pub fn new(cap: usize) -> LruCache {
+        LruCache {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap.min(1024)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<f64> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            slot.1
+        })
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when full.
+    pub fn put(&mut self, key: &str, value: f64) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(slot) = self.map.get_mut(key) {
+            *slot = (self.tick, value);
+            return;
+        }
+        if self.map.len() >= self.cap {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key.to_string(), (self.tick, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        lru.put("a", 1.0);
+        lru.put("b", 2.0);
+        assert_eq!(lru.get("a"), Some(1.0)); // refresh a; b is now oldest
+        lru.put("c", 3.0);
+        assert_eq!(lru.get("b"), None);
+        assert_eq!(lru.get("a"), Some(1.0));
+        assert_eq!(lru.get("c"), Some(3.0));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut lru = LruCache::new(0);
+        lru.put("a", 1.0);
+        assert_eq!(lru.get("a"), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn refresh_updates_value_without_growth() {
+        let mut lru = LruCache::new(4);
+        lru.put("a", 1.0);
+        lru.put("a", 9.0);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get("a"), Some(9.0));
+    }
+}

@@ -1,0 +1,520 @@
+//! The mic-serve wire protocol: newline-delimited JSON over plain TCP.
+//!
+//! One request per line, one response line per request, in order. The
+//! reader/writer is [`mic_eval::json`], so numbers round-trip bit-exactly:
+//! a `cycles` value computed by the server parses back to the identical
+//! `f64` on the client — the basis of the "served results are bit-identical
+//! to direct simulation" guarantee.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"id":"r1","op":"simulate","kernel":"coloring","graph":"hood",
+//!  "order":"natural","runtime":"omp","sched":"dynamic","chunk":100,
+//!  "threads":121,"scale":64,"iter":1}
+//! {"id":"r2","op":"ping"}
+//! {"id":"r3","op":"stats"}
+//! ```
+//!
+//! Field defaults: `op` = `simulate`, `graph` = `hood`, `order` =
+//! `natural` (`random` takes `seed`, default 5), `runtime` = `omp`,
+//! `sched` = `dynamic` (omp) / `simple` (tbb), `chunk`/`grain` = 100 (40
+//! for tbb), `threads` = 121, `scale` = 64, `iter` = 1. `delay_ms` makes
+//! the job sleep before simulating — a debug knob the tests use to hold
+//! the executor busy deterministically.
+//!
+//! ## Responses
+//!
+//! Every response carries `id`, `status` and `schema_version`. Statuses:
+//! `ok` (with `cycles`, `batch`, `coalesced`, `cached`, `queue_ms`),
+//! `pong`, `stats`, `shed` (queue full — back off and retry), `error`
+//! (bad request or a fault-injected job failure; the connection stays
+//! usable). A `schema_version` this build does not understand is
+//! rejected by [`parse_response`], like the baseline loader.
+
+use mic_eval::graph::stats::LocalityWindows;
+use mic_eval::graph::suite::{PaperGraph, Scale};
+use mic_eval::json::Value;
+use mic_eval::sim::{simulate, Machine, Policy};
+use mic_eval::workload_cache::{self, OrderTag};
+
+/// Version stamp on every response line and on `BENCH_serve.json`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Which instrumented kernel a job simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    Coloring,
+    Irregular,
+    Bfs,
+}
+
+impl Kernel {
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Coloring => "coloring",
+            Kernel::Irregular => "irregular",
+            Kernel::Bfs => "bfs",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Kernel> {
+        match s {
+            "coloring" => Some(Kernel::Coloring),
+            "irregular" => Some(Kernel::Irregular),
+            "bfs" => Some(Kernel::Bfs),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-validated simulation job. Two requests with equal specs are
+/// the *same* job: [`JobSpec::key`] is the coalescing and cache key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    pub kernel: Kernel,
+    pub graph: PaperGraph,
+    pub order: OrderTag,
+    pub policy: Policy,
+    pub threads: usize,
+    pub scale: Scale,
+    pub iter: usize,
+    pub delay_ms: u64,
+}
+
+impl JobSpec {
+    /// Canonical identity string: equal specs ⇔ equal keys.
+    pub fn key(&self) -> String {
+        let scale = match self.scale {
+            Scale::Full => "full".to_string(),
+            Scale::Fraction(k) => format!("1/{k}"),
+            other => format!("{other:?}"),
+        };
+        format!(
+            "{}/{}/{:?}/{scale}/{:?}/t{}/i{}/d{}",
+            self.kernel.name(),
+            self.graph.name(),
+            self.order,
+            self.policy,
+            self.threads,
+            self.iter,
+            self.delay_ms,
+        )
+    }
+
+    /// Run the simulation and return the cycle count. Deterministic for a
+    /// given spec; workloads come from the shared process-wide cache, so
+    /// repeated jobs only pay the engine, not instrumentation. May panic
+    /// under injected faults — callers run it on a resilient sweep path.
+    pub fn compute(&self) -> f64 {
+        if self.delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
+        }
+        let win = LocalityWindows::default();
+        let regions = match self.kernel {
+            Kernel::Coloring => workload_cache::coloring(self.graph, self.scale, self.order, win)
+                .regions(self.policy),
+            Kernel::Irregular => {
+                vec![
+                    workload_cache::irregular(self.graph, self.scale, self.order, win, self.iter)
+                        .region(self.policy),
+                ]
+            }
+            Kernel::Bfs => workload_cache::bfs(
+                self.graph,
+                self.scale,
+                self.order,
+                win,
+                mic_eval::bfs::instrument::SimVariant::Block {
+                    block: 32,
+                    relaxed: true,
+                },
+            )
+            .regions(self.policy),
+        };
+        simulate(&Machine::knf(), self.threads, &regions).cycles
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    Simulate { id: String, spec: JobSpec },
+    Ping { id: String },
+    Stats { id: String },
+}
+
+impl Request {
+    /// The `op` value, for the per-op request counter.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Simulate { .. } => "simulate",
+            Request::Ping { .. } => "ping",
+            Request::Stats { .. } => "stats",
+        }
+    }
+}
+
+fn field_u64(obj: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn field_str<'a>(obj: &'a Value, key: &str, default: &'a str) -> Result<&'a str, String> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| format!("field {key:?} must be a string")),
+    }
+}
+
+fn parse_policy(obj: &Value) -> Result<Policy, String> {
+    let runtime = field_str(obj, "runtime", "omp")?;
+    Ok(match runtime {
+        "omp" => {
+            let chunk = field_u64(obj, "chunk", 100)? as usize;
+            match field_str(obj, "sched", "dynamic")? {
+                "static" => Policy::OmpStatic {
+                    chunk: (chunk > 0).then_some(chunk),
+                },
+                "dynamic" => Policy::OmpDynamic {
+                    chunk: chunk.max(1),
+                },
+                "guided" => Policy::OmpGuided {
+                    min_chunk: chunk.max(1),
+                },
+                other => return Err(format!("unknown omp sched {other:?}")),
+            }
+        }
+        "cilk" => Policy::Cilk {
+            grain: (field_u64(obj, "grain", 100)? as usize).max(1),
+        },
+        "tbb" => match field_str(obj, "sched", "simple")? {
+            "simple" => Policy::TbbSimple {
+                grain: (field_u64(obj, "grain", 40)? as usize).max(1),
+            },
+            "auto" => Policy::TbbAuto,
+            "affinity" => Policy::TbbAffinity,
+            other => return Err(format!("unknown tbb sched {other:?}")),
+        },
+        "serial" => Policy::Serial,
+        other => return Err(format!("unknown runtime {other:?}")),
+    })
+}
+
+/// Parse one request line. On error, returns the request `id` when one
+/// could be extracted (so the error response still correlates) plus a
+/// message naming the offending field.
+pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
+    let doc = mic_eval::json::parse(line).map_err(|e| (String::new(), format!("bad JSON: {e}")))?;
+    let id = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let fail = |msg: String| (id.clone(), msg);
+    match doc.get("op").and_then(Value::as_str).unwrap_or("simulate") {
+        "ping" => return Ok(Request::Ping { id }),
+        "stats" => return Ok(Request::Stats { id }),
+        "simulate" => {}
+        other => return Err(fail(format!("unknown op {other:?}"))),
+    }
+    let kernel_name = field_str(&doc, "kernel", "").map_err(&fail)?;
+    let kernel = Kernel::parse(kernel_name).ok_or_else(|| {
+        fail(format!(
+            "field \"kernel\" must be one of coloring|irregular|bfs, got {kernel_name:?}"
+        ))
+    })?;
+    let graph_name = field_str(&doc, "graph", "hood").map_err(&fail)?;
+    let graph = PaperGraph::all()
+        .into_iter()
+        .find(|g| g.name() == graph_name)
+        .ok_or_else(|| fail(format!("unknown graph {graph_name:?}")))?;
+    let order = match field_str(&doc, "order", "natural").map_err(&fail)? {
+        "natural" => OrderTag::Natural,
+        "random" => OrderTag::Random {
+            seed: field_u64(&doc, "seed", 5).map_err(&fail)?,
+        },
+        other => return Err(fail(format!("unknown order {other:?}"))),
+    };
+    let policy = parse_policy(&doc).map_err(&fail)?;
+    let threads = (field_u64(&doc, "threads", 121).map_err(&fail)? as usize).clamp(1, 1024);
+    let scale = match field_u64(&doc, "scale", 64).map_err(&fail)? {
+        k if k <= 1 => Scale::Full,
+        k => Scale::Fraction(k.min(u32::MAX as u64) as u32),
+    };
+    let iter = (field_u64(&doc, "iter", 1).map_err(&fail)? as usize).clamp(1, 100);
+    let delay_ms = field_u64(&doc, "delay_ms", 0).map_err(&fail)?.min(60_000);
+    Ok(Request::Simulate {
+        id,
+        spec: JobSpec {
+            kernel,
+            graph,
+            order,
+            policy,
+            threads,
+            scale,
+            iter,
+            delay_ms,
+        },
+    })
+}
+
+/// How a completed simulation was satisfied, echoed back to the client.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimMeta {
+    /// Jobs in the sweep batch that computed this result (0 = served from
+    /// the result cache, no batch ran for it).
+    pub batch: usize,
+    /// This request attached to an identical in-flight job.
+    pub coalesced: bool,
+    /// Served straight from the bounded result LRU.
+    pub cached: bool,
+    /// Wall time from admission to completion.
+    pub queue_ms: f64,
+}
+
+/// A response line.
+#[derive(Clone, Debug)]
+pub enum Response {
+    Ok {
+        id: String,
+        cycles: f64,
+        meta: SimMeta,
+    },
+    Pong {
+        id: String,
+    },
+    Stats {
+        id: String,
+        fields: Vec<(String, f64)>,
+    },
+    Shed {
+        id: String,
+        detail: String,
+    },
+    Error {
+        id: String,
+        detail: String,
+    },
+}
+
+impl Response {
+    /// The `status` value, for the per-status response counter.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Response::Ok { .. } => "ok",
+            Response::Pong { .. } => "pong",
+            Response::Stats { .. } => "stats",
+            Response::Shed { .. } => "shed",
+            Response::Error { .. } => "error",
+        }
+    }
+
+    /// Render as one JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut fields: Vec<(String, Value)> = vec![
+            (
+                "id".into(),
+                Value::str(match self {
+                    Response::Ok { id, .. }
+                    | Response::Pong { id }
+                    | Response::Stats { id, .. }
+                    | Response::Shed { id, .. }
+                    | Response::Error { id, .. } => id.clone(),
+                }),
+            ),
+            ("status".into(), Value::str(self.status())),
+            ("schema_version".into(), Value::Num(SCHEMA_VERSION as f64)),
+        ];
+        match self {
+            Response::Ok { cycles, meta, .. } => {
+                fields.push(("cycles".into(), Value::Num(*cycles)));
+                fields.push(("batch".into(), Value::Num(meta.batch as f64)));
+                fields.push(("coalesced".into(), Value::Bool(meta.coalesced)));
+                fields.push(("cached".into(), Value::Bool(meta.cached)));
+                fields.push(("queue_ms".into(), Value::Num(meta.queue_ms)));
+            }
+            Response::Stats { fields: st, .. } => {
+                for (k, v) in st {
+                    fields.push((k.clone(), Value::Num(*v)));
+                }
+            }
+            Response::Shed { detail, .. } | Response::Error { detail, .. } => {
+                fields.push(("error".into(), Value::str(detail.clone())));
+            }
+            Response::Pong { .. } => {}
+        }
+        Value::Obj(fields).render()
+    }
+}
+
+/// Parse a response line (the client side). Rejects lines stamped with a
+/// `schema_version` this build does not understand.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let doc = mic_eval::json::parse(line).map_err(|e| format!("bad response JSON: {e}"))?;
+    if let Some(v) = doc.get("schema_version") {
+        match v.as_u64() {
+            Some(SCHEMA_VERSION) => {}
+            Some(n) => {
+                return Err(format!(
+                    "unsupported schema_version {n}: this build understands \
+                     version {SCHEMA_VERSION}"
+                ))
+            }
+            None => return Err("schema_version must be a non-negative integer".into()),
+        }
+    }
+    let id = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let num = |key: &str| doc.get(key).and_then(Value::as_f64);
+    match doc.get("status").and_then(Value::as_str) {
+        Some("ok") => Ok(Response::Ok {
+            id,
+            cycles: num("cycles").ok_or("ok response without cycles")?,
+            meta: SimMeta {
+                batch: num("batch").unwrap_or(0.0) as usize,
+                coalesced: doc
+                    .get("coalesced")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(false),
+                cached: doc.get("cached").and_then(Value::as_bool).unwrap_or(false),
+                queue_ms: num("queue_ms").unwrap_or(0.0),
+            },
+        }),
+        Some("pong") => Ok(Response::Pong { id }),
+        Some("stats") => {
+            let fields = match &doc {
+                Value::Obj(fs) => fs
+                    .iter()
+                    .filter(|(k, _)| !matches!(k.as_str(), "id" | "status" | "schema_version"))
+                    .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            Ok(Response::Stats { id, fields })
+        }
+        Some("shed") => Ok(Response::Shed {
+            id,
+            detail: doc
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        }),
+        Some("error") => Ok(Response::Error {
+            id,
+            detail: doc
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        }),
+        other => Err(format!("unknown response status {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_request_round_trips() {
+        let req = r#"{"id":"r1","kernel":"coloring","graph":"hood","order":"random","seed":7,
+                      "runtime":"omp","sched":"dynamic","chunk":100,"threads":61,"scale":128}"#
+            .replace('\n', " ");
+        let Request::Simulate { id, spec } = parse_request(&req).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(id, "r1");
+        assert_eq!(spec.kernel, Kernel::Coloring);
+        assert_eq!(spec.order, OrderTag::Random { seed: 7 });
+        assert_eq!(spec.policy, Policy::OmpDynamic { chunk: 100 });
+        assert_eq!(spec.threads, 61);
+        assert_eq!(spec.scale, Scale::Fraction(128));
+        assert_eq!(spec.iter, 1);
+    }
+
+    #[test]
+    fn defaults_fill_optional_fields() {
+        let Request::Simulate { spec, .. } = parse_request(r#"{"id":"x","kernel":"bfs"}"#).unwrap()
+        else {
+            panic!("expected simulate");
+        };
+        assert_eq!(spec.graph, PaperGraph::Hood);
+        assert_eq!(spec.order, OrderTag::Natural);
+        assert_eq!(spec.policy, Policy::OmpDynamic { chunk: 100 });
+        assert_eq!(spec.threads, 121);
+        assert_eq!(spec.scale, Scale::Fraction(64));
+    }
+
+    #[test]
+    fn bad_fields_name_the_problem() {
+        let err = parse_request(r#"{"id":"q","kernel":"sorting"}"#).unwrap_err();
+        assert_eq!(err.0, "q");
+        assert!(err.1.contains("kernel"), "{}", err.1);
+        let err = parse_request(r#"{"id":"q","kernel":"bfs","runtime":"mpi"}"#).unwrap_err();
+        assert!(err.1.contains("runtime"), "{}", err.1);
+        let err = parse_request("not json").unwrap_err();
+        assert!(err.1.contains("bad JSON"), "{}", err.1);
+    }
+
+    #[test]
+    fn identical_specs_share_a_key_distinct_ones_do_not() {
+        let parse = |line: &str| match parse_request(line).unwrap() {
+            Request::Simulate { spec, .. } => spec,
+            _ => panic!("expected simulate"),
+        };
+        let a = parse(r#"{"id":"a","kernel":"coloring","threads":61}"#);
+        let b = parse(r#"{"id":"b","kernel":"coloring","threads":61}"#);
+        let c = parse(r#"{"id":"c","kernel":"coloring","threads":121}"#);
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn response_cycles_round_trip_bit_exactly() {
+        for bits in [
+            0x3ff0000000000001u64,
+            0x4197d78400000001,
+            0x7fe1234567abcdef,
+        ] {
+            let cycles = f64::from_bits(bits);
+            let line = Response::Ok {
+                id: "r".into(),
+                cycles,
+                meta: SimMeta {
+                    batch: 3,
+                    coalesced: true,
+                    cached: false,
+                    queue_ms: 1.25,
+                },
+            }
+            .render();
+            let Response::Ok {
+                cycles: back, meta, ..
+            } = parse_response(&line).unwrap()
+            else {
+                panic!("expected ok");
+            };
+            assert_eq!(back.to_bits(), cycles.to_bits());
+            assert_eq!(meta.batch, 3);
+            assert!(meta.coalesced && !meta.cached);
+        }
+    }
+
+    #[test]
+    fn unknown_response_schema_version_is_rejected() {
+        let line = r#"{"id":"r","status":"ok","schema_version":2,"cycles":1.0}"#;
+        let err = parse_response(line).unwrap_err();
+        assert!(err.contains("unsupported schema_version 2"), "{err}");
+    }
+}

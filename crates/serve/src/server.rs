@@ -1,0 +1,495 @@
+//! The mic-serve server: admission control, coalescing, batching, and the
+//! TCP front end.
+//!
+//! Life of a request:
+//!
+//! 1. a connection handler parses the line ([`crate::protocol`]);
+//! 2. [`Dispatcher::submit`] consults the bounded result LRU (hit →
+//!    immediate answer), then the in-flight table (identical job already
+//!    admitted → **coalesce**: wait on that job instead of enqueueing),
+//!    then the bounded queue (full → **shed**: an explicit backpressure
+//!    response, never an unbounded buffer);
+//! 3. the single executor thread drains up to `batch_max` queued jobs and
+//!    runs them as ONE resilient sweep invocation
+//!    ([`mic_eval::sweep::try_map_shared`]) on a long-lived thread pool —
+//!    injected faults become per-job [`JobFailure`]s, so a poisoned job
+//!    answers `status:"error"` while the batch's other jobs, the executor
+//!    and the process all survive;
+//! 4. completion wakes every waiter (the admitting request plus all
+//!    coalesced ones) and publishes the result to the LRU.
+//!
+//! Everything observable is counted: `mic_serve_requests_total{op}` /
+//! `mic_serve_responses_total{status}` / `mic_serve_request_seconds{op}`
+//! (the histogram count equals the request counter per op — an invariant
+//! the integration tests and `serve bench --check` pin),
+//! `mic_serve_coalesce_hits_total`, `mic_serve_sheds_total`,
+//! `mic_serve_cache_hits_total`, `mic_serve_batches_total`,
+//! `mic_serve_batch_jobs`, `mic_serve_queue_depth`. With `MIC_TRACE`
+//! capture active, each request additionally emits a `"serve"` span.
+
+use crate::lru::LruCache;
+use crate::protocol::{self, JobSpec, Request, Response, SimMeta};
+use mic_eval::runtime::trace as rt_trace;
+use mic_eval::runtime::{NativeEvent, NativeEventKind, ThreadPool};
+use mic_eval::sweep::{self, SweepCfg};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Serving knobs. All bounded; the defaults suit tests and single-host
+/// benchmarking.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOpts {
+    /// Admission bound: requests beyond this many *queued* jobs are shed.
+    pub queue_cap: usize,
+    /// Most jobs folded into one sweep invocation.
+    pub batch_max: usize,
+    /// Result-LRU capacity (0 disables result caching).
+    pub lru_cap: usize,
+    /// Executor pool workers (one pool shared across every batch).
+    pub pool_threads: usize,
+}
+
+impl Default for ServeOpts {
+    fn default() -> ServeOpts {
+        ServeOpts {
+            queue_cap: 64,
+            batch_max: 8,
+            lru_cap: 256,
+            pool_threads: 4,
+        }
+    }
+}
+
+/// Monotonic serving counters, independent of the metrics registry (the
+/// `stats` op reports these even when metrics are off).
+#[derive(Default)]
+pub struct ServeStats {
+    pub received: AtomicU64,
+    pub ok: AtomicU64,
+    pub errors: AtomicU64,
+    pub shed: AtomicU64,
+    pub coalesced: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub batches: AtomicU64,
+    pub executed: AtomicU64,
+}
+
+impl ServeStats {
+    fn fields(&self, queue_len: usize, inflight: usize) -> Vec<(String, f64)> {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+        vec![
+            ("received".into(), g(&self.received)),
+            ("ok".into(), g(&self.ok)),
+            ("errors".into(), g(&self.errors)),
+            ("shed".into(), g(&self.shed)),
+            ("coalesced".into(), g(&self.coalesced)),
+            ("cache_hits".into(), g(&self.cache_hits)),
+            ("batches".into(), g(&self.batches)),
+            ("executed".into(), g(&self.executed)),
+            ("queue_len".into(), queue_len as f64),
+            ("inflight".into(), inflight as f64),
+        ]
+    }
+}
+
+/// One admitted job; waiters block on `cv` until `done` holds the
+/// outcome (`cycles` + the size of the batch that computed it).
+struct Job {
+    spec: JobSpec,
+    key: String,
+    done: Mutex<Option<Result<(f64, usize), String>>>,
+    cv: Condvar,
+}
+
+struct DispatchState {
+    queue: VecDeque<Arc<Job>>,
+    inflight: HashMap<String, Arc<Job>>,
+}
+
+/// How `submit` resolved.
+pub enum Submission {
+    /// The job produced a result (computed, coalesced, or cached).
+    Done { cycles: f64, meta: SimMeta },
+    /// Admission control refused the job; the client should back off.
+    Shed { queue_len: usize },
+    /// The job ran and failed (e.g. an injected fault exhausted retries).
+    Failed(String),
+}
+
+pub struct Dispatcher {
+    opts: ServeOpts,
+    cfg: SweepCfg,
+    state: Mutex<DispatchState>,
+    wake: Condvar,
+    lru: Mutex<LruCache>,
+    pub stats: ServeStats,
+    stop: AtomicBool,
+    span_epoch: AtomicU64,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scounter(name: &'static str, help: &'static str) -> Arc<mic_metrics::Counter> {
+    mic_metrics::counter(name, help, &[])
+}
+
+impl Dispatcher {
+    pub fn new(opts: ServeOpts) -> Dispatcher {
+        let mut cfg = SweepCfg::from_env();
+        cfg.threads = opts.pool_threads.max(1);
+        Dispatcher {
+            opts,
+            cfg,
+            state: Mutex::new(DispatchState {
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+            }),
+            wake: Condvar::new(),
+            lru: Mutex::new(LruCache::new(opts.lru_cap)),
+            stats: ServeStats::default(),
+            stop: AtomicBool::new(false),
+            span_epoch: AtomicU64::new(0),
+        }
+    }
+
+    pub fn opts(&self) -> &ServeOpts {
+        &self.opts
+    }
+
+    /// Admit one job and block until it resolves (or is shed).
+    pub fn submit(&self, spec: &JobSpec) -> Submission {
+        let t0 = Instant::now();
+        let key = spec.key();
+        if let Some(cycles) = lock(&self.lru).get(&key) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if mic_metrics::enabled() {
+                scounter(
+                    "mic_serve_cache_hits_total",
+                    "Simulate requests answered from the bounded result LRU.",
+                )
+                .inc();
+            }
+            return Submission::Done {
+                cycles,
+                meta: SimMeta {
+                    batch: 0,
+                    coalesced: false,
+                    cached: true,
+                    queue_ms: t0.elapsed().as_secs_f64() * 1e3,
+                },
+            };
+        }
+        let (job, coalesced) = {
+            let mut st = lock(&self.state);
+            if let Some(job) = st.inflight.get(&key) {
+                self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                if mic_metrics::enabled() {
+                    scounter(
+                        "mic_serve_coalesce_hits_total",
+                        "Simulate requests coalesced onto an identical in-flight job.",
+                    )
+                    .inc();
+                }
+                (Arc::clone(job), true)
+            } else if st.queue.len() >= self.opts.queue_cap {
+                let queue_len = st.queue.len();
+                drop(st);
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                if mic_metrics::enabled() {
+                    scounter(
+                        "mic_serve_sheds_total",
+                        "Simulate requests refused by admission control (queue full).",
+                    )
+                    .inc();
+                }
+                return Submission::Shed { queue_len };
+            } else {
+                let job = Arc::new(Job {
+                    spec: spec.clone(),
+                    key: key.clone(),
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                st.queue.push_back(Arc::clone(&job));
+                st.inflight.insert(key, Arc::clone(&job));
+                self.set_queue_gauge(st.queue.len());
+                self.wake.notify_one();
+                (job, false)
+            }
+        };
+        let mut done = lock(&job.done);
+        while done.is_none() {
+            done = job.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        match done.as_ref().unwrap() {
+            Ok((cycles, batch)) => Submission::Done {
+                cycles: *cycles,
+                meta: SimMeta {
+                    batch: *batch,
+                    coalesced,
+                    cached: false,
+                    queue_ms: t0.elapsed().as_secs_f64() * 1e3,
+                },
+            },
+            Err(msg) => Submission::Failed(msg.clone()),
+        }
+    }
+
+    fn set_queue_gauge(&self, len: usize) {
+        if mic_metrics::enabled() {
+            mic_metrics::gauge(
+                "mic_serve_queue_depth",
+                "Jobs admitted and waiting for the batch executor.",
+                &[],
+            )
+            .set(len as f64);
+        }
+    }
+
+    /// The batch executor: runs until [`stop`](Self::shutdown) with an
+    /// empty queue. One long-lived pool serves every batch.
+    fn executor_loop(&self) {
+        let pool = ThreadPool::new(self.cfg.threads.max(1));
+        loop {
+            let batch: Vec<Arc<Job>> = {
+                let mut st = lock(&self.state);
+                while st.queue.is_empty() && !self.stop.load(Ordering::SeqCst) {
+                    st = self.wake.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                if st.queue.is_empty() {
+                    return; // stopped and drained
+                }
+                let n = st.queue.len().min(self.opts.batch_max.max(1));
+                let batch: Vec<Arc<Job>> = st.queue.drain(..n).collect();
+                self.set_queue_gauge(st.queue.len());
+                batch
+            };
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .executed
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            if mic_metrics::enabled() {
+                scounter(
+                    "mic_serve_batches_total",
+                    "Sweep invocations issued by the batch executor.",
+                )
+                .inc();
+                mic_metrics::histogram(
+                    "mic_serve_batch_jobs",
+                    "Jobs folded into one sweep invocation.",
+                    &[],
+                    &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+                )
+                .observe(batch.len() as f64);
+            }
+            let specs: Vec<JobSpec> = batch.iter().map(|j| j.spec.clone()).collect();
+            let report = sweep::try_map_shared(&pool, &self.cfg, &specs, |_, s| s.compute());
+            let mut fail_by_point: HashMap<usize, String> = report
+                .failures
+                .iter()
+                .map(|f| (f.point, f.to_string()))
+                .collect();
+            for (i, job) in batch.iter().enumerate() {
+                let outcome = match report.results.get(i).and_then(|r| r.as_ref()) {
+                    Some(cycles) => {
+                        lock(&self.lru).put(&job.key, *cycles);
+                        Ok((*cycles, batch.len()))
+                    }
+                    None => Err(fail_by_point
+                        .remove(&i)
+                        .unwrap_or_else(|| "job failed".to_string())),
+                };
+                lock(&self.state).inflight.remove(&job.key);
+                *lock(&job.done) = Some(outcome);
+                job.cv.notify_all();
+            }
+        }
+    }
+
+    /// Handle one raw request line end to end: parse, dispatch, count,
+    /// time, and render the response. Never panics on bad input — every
+    /// outcome is a response line.
+    pub fn handle_line(&self, line: &str) -> Response {
+        self.stats.received.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let span_start = rt_trace::enabled().then(rt_trace::now_us);
+        let parsed = protocol::parse_request(line);
+        let op: &'static str = match &parsed {
+            Ok(req) => req.op(),
+            Err(_) => "invalid",
+        };
+        let resp = match parsed {
+            Err((id, detail)) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error { id, detail }
+            }
+            Ok(Request::Ping { id }) => Response::Pong { id },
+            Ok(Request::Stats { id }) => {
+                let (queue_len, inflight) = {
+                    let st = lock(&self.state);
+                    (st.queue.len(), st.inflight.len())
+                };
+                Response::Stats {
+                    id,
+                    fields: self.stats.fields(queue_len, inflight),
+                }
+            }
+            Ok(Request::Simulate { id, spec }) => match self.submit(&spec) {
+                Submission::Done { cycles, meta } => {
+                    self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                    Response::Ok { id, cycles, meta }
+                }
+                Submission::Shed { queue_len } => Response::Shed {
+                    id,
+                    detail: format!(
+                        "queue full ({queue_len}/{} jobs); retry with backoff",
+                        self.opts.queue_cap
+                    ),
+                },
+                Submission::Failed(detail) => {
+                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::Error { id, detail }
+                }
+            },
+        };
+        if mic_metrics::enabled() {
+            let labels = [("op", op)];
+            mic_metrics::counter(
+                "mic_serve_requests_total",
+                "Requests received, by operation.",
+                &labels,
+            )
+            .inc();
+            mic_metrics::counter(
+                "mic_serve_responses_total",
+                "Responses sent, by status.",
+                &[("status", resp.status())],
+            )
+            .inc();
+            mic_metrics::histogram(
+                "mic_serve_request_seconds",
+                "Request latency from first byte parsed to response rendered, by operation.",
+                &labels,
+                &mic_metrics::seconds_buckets(),
+            )
+            .observe(t0.elapsed().as_secs_f64());
+        }
+        if let Some(start_us) = span_start {
+            rt_trace::emit(NativeEvent {
+                runtime: "serve",
+                worker: 0,
+                start_us,
+                end_us: rt_trace::now_us(),
+                kind: NativeEventKind::Region {
+                    epoch: self.span_epoch.fetch_add(1, Ordering::Relaxed),
+                },
+            });
+        }
+        resp
+    }
+}
+
+/// A running server bound to `addr`. Dropping (or calling
+/// [`shutdown`](Server::shutdown)) stops the accept loop and the
+/// executor; in-flight batches finish first.
+pub struct Server {
+    pub addr: SocketAddr,
+    dispatcher: Arc<Dispatcher>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    executor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving.
+    pub fn start(addr: &str, opts: ServeOpts) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let dispatcher = Arc::new(Dispatcher::new(opts));
+        let executor = {
+            let d = Arc::clone(&dispatcher);
+            std::thread::Builder::new()
+                .name("serve-exec".into())
+                .spawn(move || d.executor_loop())?
+        };
+        let accept = {
+            let d = Arc::clone(&dispatcher);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if d.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let d = Arc::clone(&d);
+                        let _ = std::thread::Builder::new()
+                            .name("serve-conn".into())
+                            .spawn(move || handle_connection(stream, &d));
+                    }
+                })?
+        };
+        Ok(Server {
+            addr: local,
+            dispatcher,
+            accept: Some(accept),
+            executor: Some(executor),
+        })
+    }
+
+    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
+        &self.dispatcher
+    }
+
+    /// Stop accepting, drain the queue, and join the service threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.dispatcher.stop.store(true, Ordering::SeqCst);
+        self.dispatcher.wake.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, d: &Dispatcher) {
+    // One short request line per response round trip: Nagle + delayed ACK
+    // would add ~40 ms to every exchange.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = d.handle_line(&line);
+        if writeln!(writer, "{}", resp.render()).is_err() {
+            break;
+        }
+    }
+}

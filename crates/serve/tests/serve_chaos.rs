@@ -1,0 +1,107 @@
+//! Chaos variant: the server under a deterministic fault plan. Own test
+//! binary because the installed plan is process-global.
+//!
+//! `job-panic#1` targets sweep-job site 1 on every attempt: in a batch of
+//! four jobs, exactly the job at batch position 1 exhausts its retries
+//! and panics — so one request gets a structured error response while the
+//! other three succeed, and the server (and its executor) survive.
+
+use mic_eval::fault::{self, FaultPlan};
+use mic_serve::protocol::{self, Response};
+use mic_serve::server::{ServeOpts, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn rpc(addr: SocketAddr, line: &str) -> Response {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, "{line}").expect("send");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("recv");
+    protocol::parse_response(resp.trim_end()).expect("parse response")
+}
+
+#[test]
+fn injected_job_faults_become_error_responses_not_process_death() {
+    let plan = FaultPlan::parse("42:job-panic#1").expect("plan parses");
+    fault::with_plan(plan, run_under_faults);
+}
+
+fn run_under_faults() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeOpts {
+            queue_cap: 16,
+            batch_max: 4,
+            lru_cap: 0,
+            pool_threads: 2,
+        },
+    )
+    .expect("start server");
+    let addr = server.addr;
+
+    // Plug the executor so the next four distinct jobs form one batch.
+    // The plug runs alone (batch position 0), so the #1 rule misses it.
+    let plug = std::thread::spawn(move || {
+        rpc(
+            addr,
+            r#"{"id":"plug","kernel":"coloring","threads":99,"scale":512,"delay_ms":400}"#,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(120));
+    let workers: Vec<_> = (1..=4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                rpc(
+                    addr,
+                    &format!(r#"{{"id":"j{t}","kernel":"coloring","threads":{t},"scale":512}}"#),
+                )
+            })
+        })
+        .collect();
+    let responses: Vec<Response> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(matches!(plug.join().unwrap(), Response::Ok { .. }));
+
+    let mut ok = 0;
+    let mut errors = Vec::new();
+    for r in responses {
+        match r {
+            Response::Ok { .. } => ok += 1,
+            Response::Error { detail, .. } => errors.push(detail),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(ok, 3, "three of the four batched jobs succeed");
+    assert_eq!(errors.len(), 1, "exactly batch position 1 is poisoned");
+    assert!(errors[0].contains("panic"), "{}", errors[0]);
+
+    // The server keeps serving after the fault: a lone follow-up job is
+    // batch position 0, which the plan does not target.
+    assert!(matches!(
+        rpc(addr, r#"{"id":"p","op":"ping"}"#),
+        Response::Pong { .. }
+    ));
+    assert!(matches!(
+        rpc(
+            addr,
+            r#"{"id":"after","kernel":"coloring","threads":50,"scale":512}"#
+        ),
+        Response::Ok { .. }
+    ));
+    let Response::Stats { fields, .. } = rpc(addr, r#"{"id":"s","op":"stats"}"#) else {
+        panic!("expected stats");
+    };
+    let stat = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
+    assert_eq!(stat("errors"), 1.0);
+    assert_eq!(stat("executed"), 6.0, "plug + 4 batched + 1 follow-up");
+    server.shutdown();
+}
