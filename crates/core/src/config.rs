@@ -31,6 +31,7 @@
 //! | `baseline_tol` | `MIC_BASELINE_TOL` | 0.15 |
 //! | `trace` | `MIC_TRACE` | off |
 //! | `bench_json` | `MIC_BENCH_JSON` | `BENCH_sweep.json` |
+//! | `steal_spin` | `MIC_STEAL_SPIN` | 64 |
 
 use crate::fault::FaultPlan;
 use std::path::PathBuf;
@@ -98,6 +99,10 @@ pub struct SuiteConfig {
     pub trace: Option<PathBuf>,
     /// Where `all` writes its machine-readable sweep record; `None` = off.
     pub bench_json: Option<PathBuf>,
+    /// Spin iterations before an event-count waiter parks on its futex
+    /// (the runtime's `park_spin` knob); `None` = the runtime default.
+    /// `Some(0)` parks immediately — the syscall-heavy-but-CPU-frugal end.
+    pub steal_spin: Option<usize>,
 }
 
 impl Default for SuiteConfig {
@@ -113,6 +118,7 @@ impl Default for SuiteConfig {
             baseline_tol: crate::baseline::DEFAULT_TOL,
             trace: None,
             bench_json: Some(PathBuf::from("BENCH_sweep.json")),
+            steal_spin: None,
         }
     }
 }
@@ -141,6 +147,7 @@ impl SuiteConfig {
                 Some(v) if v.trim() == "0" => None,
                 Some(v) => Some(PathBuf::from(v)),
             },
+            steal_spin: crate::env::nonneg_u64("MIC_STEAL_SPIN").map(|v| v.min(1 << 20) as usize),
         }
     }
 
@@ -196,6 +203,11 @@ impl SuiteConfig {
         self
     }
 
+    pub fn steal_spin(mut self, spin: Option<usize>) -> Self {
+        self.steal_spin = spin;
+        self
+    }
+
     /// The sweep worker count with the auto default applied.
     pub fn effective_sweep_threads(&self) -> usize {
         self.sweep_threads.unwrap_or_else(|| {
@@ -209,7 +221,19 @@ impl SuiteConfig {
     /// Publish this config process-wide: subsequent [`current`] calls (in
     /// every layer) see it. Replaces any previously installed config.
     pub fn install(self) {
+        self.apply();
         *slot().write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(self));
+    }
+
+    /// Push knobs that live outside the config slot into their process
+    /// globals (currently the runtime's park-spin budget). Re-applying on
+    /// every install keeps replacement configs consistent: a config with
+    /// `steal_spin: None` restores the runtime default.
+    fn apply(&self) {
+        mic_runtime::set_park_spin(
+            self.steal_spin
+                .unwrap_or(mic_runtime::sync::DEFAULT_PARK_SPIN),
+        );
     }
 }
 
@@ -226,7 +250,11 @@ pub fn current() -> Arc<SuiteConfig> {
     }
     let mut w = slot().write().unwrap_or_else(|e| e.into_inner());
     // Racing installer may have won while we upgraded the lock.
-    Arc::clone(w.get_or_insert_with(|| Arc::new(SuiteConfig::from_env())))
+    Arc::clone(w.get_or_insert_with(|| {
+        let cfg = SuiteConfig::from_env();
+        cfg.apply();
+        Arc::new(cfg)
+    }))
 }
 
 /// `MIC_FAULT`, parsed and reported once per process. A malformed spec is
@@ -267,6 +295,19 @@ mod tests {
         assert_eq!(c.baseline_tol, crate::baseline::DEFAULT_TOL);
         assert!(c.trace.is_none());
         assert_eq!(c.bench_json, Some(PathBuf::from("BENCH_sweep.json")));
+        assert_eq!(c.steal_spin, None);
+    }
+
+    #[test]
+    fn steal_spin_round_trips_through_install() {
+        SuiteConfig::default().steal_spin(Some(7)).install();
+        assert_eq!(mic_runtime::park_spin(), 7);
+        // A replacement config without the knob restores the default.
+        SuiteConfig::default().install();
+        assert_eq!(
+            mic_runtime::park_spin(),
+            mic_runtime::sync::DEFAULT_PARK_SPIN
+        );
     }
 
     #[test]

@@ -3,19 +3,44 @@
 //!
 //! `cilk for` in Cilk Plus recursively spawns halves of the iteration space
 //! until a grain size is reached; idle workers steal the *shallowest*
-//! (largest) pending subranges. We reproduce that discipline with a local
-//! LIFO stack per worker (the "deep" end, executed locally) and a shared
-//! injector (the "shallow" end, exposed for stealing): whenever a worker
-//! splits a range it keeps the front half and publishes the back half. This
-//! preserves Cilk's key properties — geometric task sizes, grain-bounded
-//! leaves, steals take big pieces — without pinning per-OS-thread deques
-//! into the generic pool.
+//! (largest) pending subranges. We reproduce that discipline with a
+//! per-worker Chase–Lev deque ([`crate::deque::WsDeque`]): the owner works
+//! the deep LIFO end (cache-warm subranges), thieves take the shallow FIFO
+//! end (the oldest, largest pieces). A shared lock-free
+//! [`Injector`](crate::injector::Injector) seeds the root range and absorbs
+//! deque overflow, so no path through the loop takes a lock. This preserves
+//! Cilk's key properties — geometric task sizes, grain-bounded leaves,
+//! steals take big pieces — while the hand-off itself is CAS-only.
 
+use crate::deque::WsDeque;
+use crate::injector::{Injector, Steal};
 use crate::pool::{ThreadPool, WorkerCtx};
-use crossbeam_deque::{Injector, Steal};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Per-worker deque capacity for the splitting engines. Splitting one range
+/// down to the grain pushes at most ⌈log₂(n/grain)⌉ back-halves (~64 for
+/// any realistic loop); overflow beyond this spills to the shared injector
+/// rather than blocking.
+pub(crate) const ENGINE_DEQUE_CAP: usize = 256;
+
+/// Publish the contention telemetry a loop accumulated (lost steal CASes on
+/// the worker deques and the injector) to the metrics registry.
+pub(crate) fn record_cas_retries<T>(deques: &[WsDeque<T>], injector_retries: u64) {
+    if !mic_metrics::enabled() {
+        return;
+    }
+    let total: u64 = deques.iter().map(|d| d.retries()).sum::<u64>() + injector_retries;
+    if total > 0 {
+        mic_metrics::counter(
+            "mic_runtime_cas_retries_total",
+            "Lost steal CASes on work-stealing deques and injectors",
+            &[],
+        )
+        .add(total as f64);
+    }
+}
 
 /// Default grain: like Cilk Plus, aim for ~8 leaves per worker so steals
 /// stay rare but balance is achievable.
@@ -52,6 +77,12 @@ pub(crate) fn cilk_for_labeled<F>(
     let body = crate::trace::timed_chunk(runtime, "simple", body);
     let grain = grain.max(1);
     let total = range.len();
+    let threads = pool.num_threads();
+    // Per-worker Chase–Lev deques, indexed by pool worker id; the shared
+    // injector carries the root range and any deque overflow.
+    let deques: Vec<WsDeque<Range<usize>>> = (0..threads)
+        .map(|_| WsDeque::new(ENGINE_DEQUE_CAP))
+        .collect();
     let injector: Injector<(Range<usize>, usize)> = Injector::new();
     injector.push((range, usize::MAX));
     let remaining = AtomicUsize::new(total);
@@ -61,13 +92,18 @@ pub(crate) fn cilk_for_labeled<F>(
     let aborted = AtomicBool::new(false);
 
     pool.run(|ctx| {
-        let mut local: Vec<Range<usize>> = Vec::new();
+        let mine = &deques[ctx.id];
         'outer: while remaining.load(Ordering::Acquire) > 0 {
             if aborted.load(Ordering::Acquire) {
                 break;
             }
-            // Take the deepest local range, else steal from the injector.
-            let task = match local.pop() {
+            // Take the deepest range from our own deque, else steal: first
+            // from the injector (root/overflow), then from siblings' FIFO
+            // ends — the oldest, largest subranges, Cilk's discipline.
+            //
+            // SAFETY (pop/push): worker `ctx.id` is the sole owner of
+            // `deques[ctx.id]` — ids are unique within the region.
+            let task = match unsafe { mine.pop() } {
                 Some(r) => r,
                 None => loop {
                     match injector.steal() {
@@ -77,31 +113,45 @@ pub(crate) fn cilk_for_labeled<F>(
                             }
                             break r;
                         }
-                        Steal::Empty => {
-                            if remaining.load(Ordering::Acquire) == 0
-                                || aborted.load(Ordering::Acquire)
-                            {
-                                break 'outer;
-                            }
-                            std::hint::spin_loop();
+                        Steal::Retry => {
                             std::thread::yield_now();
+                            continue;
                         }
-                        Steal::Retry => {}
+                        Steal::Empty => {}
                     }
+                    let mut found = None;
+                    for k in 1..threads {
+                        let victim = (ctx.id + k) % threads;
+                        match deques[victim].steal() {
+                            Steal::Success(r) => {
+                                crate::trace::emit_steal(runtime, ctx.id, victim);
+                                found = Some(r);
+                                break;
+                            }
+                            // A lost CAS means the victim is active; move
+                            // on to the next one rather than re-hammering.
+                            Steal::Retry | Steal::Empty => {}
+                        }
+                    }
+                    if let Some(r) = found {
+                        break r;
+                    }
+                    if remaining.load(Ordering::Acquire) == 0 || aborted.load(Ordering::Acquire) {
+                        break 'outer;
+                    }
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
                 },
             };
-            // Split down to the grain, keeping the front half local-ish and
-            // publishing the back half for thieves.
+            // Split down to the grain, keeping the front half and pushing
+            // the back half on our own deque, where thieves can take it
+            // from the FIFO end. A full deque spills to the injector.
             let mut r = task;
             while r.len() > grain {
                 let mid = r.start + r.len() / 2;
                 let back = mid..r.end;
-                // Publish generously while the pool is likely hungry,
-                // otherwise keep it on the local stack.
-                if injector.is_empty() {
+                if let Err(back) = unsafe { mine.push(back) } {
                     injector.push((back, ctx.id));
-                } else {
-                    local.push(back);
                 }
                 r = r.start..mid;
             }
@@ -113,6 +163,7 @@ pub(crate) fn cilk_for_labeled<F>(
             remaining.fetch_sub(len, Ordering::AcqRel);
         }
     });
+    record_cas_retries(&deques, injector.retries());
 }
 
 /// Fork–join on two independent closures, Cilk's `spawn`/`sync` pair.

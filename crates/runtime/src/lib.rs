@@ -20,14 +20,21 @@
 //! [`concurrent`] provides the shared lock-free pieces: a push-only
 //! concurrent vector (used for the coloring conflict list) and the paper's
 //! *block-accessed queue* (§IV-C), the novel data structure behind its best
-//! BFS implementation. [`sync`] adds the OpenMP `barrier`/`critical`/
-//! `single` constructs for persistent-team kernels, [`scan`] the parallel
+//! BFS implementation. [`deque`] and [`injector`] are the lock-free
+//! scheduling substrate: a Chase–Lev work-stealing deque per worker and an
+//! MPMC injector (unbounded segmented + bounded ring variants) that the
+//! Cilk/TBB engines and the serve admission path are built on. [`sync`]
+//! adds the OpenMP `barrier`/`critical`/`single` constructs for
+//! persistent-team kernels plus the [`sync::EventCount`] park/unpark
+//! primitive behind the pool's lock-free dispatch, [`scan`] the parallel
 //! prefix sum behind SNAP-style queue merges, and [`pipeline`] a TBB-style
 //! `parallel_pipeline` with in-order serial stages.
 
 pub mod cilk;
 pub mod concurrent;
+pub mod deque;
 pub mod fault;
+pub mod injector;
 pub mod model;
 pub mod openmp;
 pub mod pipeline;
@@ -40,13 +47,15 @@ pub mod trace;
 
 pub use cilk::cilk_for;
 pub use concurrent::{BlockCursor, BlockQueue, BlockWriter, ConcurrentPushVec};
+pub use deque::WsDeque;
 pub use fault::{FaultAction, FaultSite};
+pub use injector::{BoundedQueue, Injector, Steal};
 pub use model::RuntimeModel;
 pub use openmp::{parallel_for, parallel_for_chunks, parallel_reduce, Schedule};
 pub use pipeline::{run_pipeline, Stage};
 pub use pool::{PoolError, ThreadPool, WorkerCtx};
 pub use scan::{exclusive_scan, exclusive_scan_seq};
-pub use sync::{Critical, RegionBarrier, Single};
+pub use sync::{park_spin, set_park_spin, Critical, EventCount, RegionBarrier, Single};
 pub use tbb::{tbb_parallel_for, Partitioner};
 pub use tls::{Combinable, Holder, PerWorker, ReducerMax};
 pub use trace::{capture as capture_native_trace, NativeEvent, NativeEventKind};

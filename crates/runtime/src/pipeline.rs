@@ -13,8 +13,8 @@
 //! type `T` (TBB lets each stage change the type); in exchange the whole
 //! pipeline needs no per-token boxing.
 
+use crate::injector::{Injector, Steal};
 use crate::pool::ThreadPool;
-use crossbeam_deque::{Injector, Steal};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

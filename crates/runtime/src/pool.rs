@@ -10,17 +10,29 @@
 //! observed after it expires. Panics in workers are caught and re-thrown
 //! from `run` on the calling thread (first panic wins).
 //!
+//! Region dispatch is **lock-free on the hot path**: the submitter
+//! publishes the job pointer, resets the `remaining` counter, advances
+//! the `epoch` atomic with a `Release` store, and pings an
+//! [`EventCount`](crate::sync::EventCount) — no mutex is held while
+//! workers are woken, and idle workers spin `MIC_STEAL_SPIN` iterations
+//! before parking. The only mutex left guards the *cold* error path
+//! (first panic, dead-worker bookkeeping), which is touched at most once
+//! per fault, never per region. See DESIGN.md "Lock-free structures" for
+//! the publication argument.
+//!
 //! The pool is also a fault-injection site (see [`crate::fault`]): a hook
 //! may stall a worker at region entry, panic it, or kill it outright. A
-//! killed worker is bookkept in the shared state and transparently
+//! killed worker is bookkept in the cold state and transparently
 //! respawned at the start of the next region, so a poisoned pool recovers
 //! instead of deadlocking its next `run`.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::EventCount;
+use parking_lot::Mutex;
 use std::any::Any;
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -75,22 +87,41 @@ type Job = *const (dyn Fn(WorkerCtx) + Sync);
 struct SendJob(Job);
 unsafe impl Send for SendJob {}
 
-struct State {
-    epoch: u64,
-    job: Option<SendJob>,
-    remaining: usize,
+/// Cold-path state: touched only on worker panics and injected deaths,
+/// never on the per-region hot path.
+#[derive(Default)]
+struct ColdState {
     panic: Option<Box<dyn Any + Send>>,
-    shutdown: bool,
     /// Worker ids whose threads exited (injected `Die` faults). Joined and
     /// respawned at the start of the next region.
     dead: Vec<usize>,
 }
 
 struct Shared {
-    state: Mutex<State>,
-    work_cv: Condvar,
-    done_cv: Condvar,
+    /// Region sequence number. Advanced with a `Release` store *after*
+    /// `job` and `remaining` are written; workers `Acquire`-load it, so
+    /// observing a new epoch licenses reading the job slot.
+    epoch: AtomicU64,
+    /// The current region's closure. Written only by the submitter while
+    /// no region is live (`remaining == 0` observed with `Acquire`).
+    job: UnsafeCell<Option<SendJob>>,
+    /// Workers that have not finished the current region.
+    remaining: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Workers park here between regions.
+    work: EventCount,
+    /// The submitter parks here while a region drains.
+    done: EventCount,
+    cold: Mutex<ColdState>,
 }
+
+// SAFETY: `job` is the only non-atomic field. It is written by the
+// submitter strictly before the epoch `Release` store and read by workers
+// strictly after their epoch `Acquire` load; it is rewritten only after
+// every worker's `Release` decrement of `remaining` has been observed
+// with `Acquire` — so no write ever races a read (full argument in
+// DESIGN.md "Lock-free structures").
+unsafe impl Sync for Shared {}
 
 thread_local! {
     /// `(pool id, worker id)` of the region this OS thread is currently
@@ -102,7 +133,7 @@ thread_local! {
 }
 
 /// Monotonic pool ids for the same-pool re-entrancy check.
-static POOL_IDS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+static POOL_IDS: AtomicUsize = AtomicUsize::new(0);
 
 /// Fixed-size worker pool. See the module docs.
 pub struct ThreadPool {
@@ -110,7 +141,10 @@ pub struct ThreadPool {
     /// Slot per worker id; `None` only transiently while a dead worker is
     /// being respawned. Behind a mutex so `run(&self)` can heal the pool.
     handles: Mutex<Vec<Option<JoinHandle<()>>>>,
-    /// Serializes concurrent `run` calls from different threads.
+    /// Serializes concurrent `run` calls from different threads. Not part
+    /// of the dispatch hot path: a single driver thread takes it
+    /// uncontended (one CAS), and it is never held while workers are
+    /// woken or joined mid-region.
     run_lock: Mutex<()>,
     num_threads: usize,
     id: usize,
@@ -122,18 +156,15 @@ impl ThreadPool {
     /// counts go to 121 on a 31-core chip.
     pub fn new(num_threads: usize) -> Self {
         assert!(num_threads >= 1, "pool needs at least one worker");
-        let pool_id = POOL_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let pool_id = POOL_IDS.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                epoch: 0,
-                job: None,
-                remaining: 0,
-                panic: None,
-                shutdown: false,
-                dead: Vec::new(),
-            }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            job: UnsafeCell::new(None),
+            remaining: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            work: EventCount::named("pool-work"),
+            done: EventCount::named("pool-done"),
+            cold: Mutex::new(ColdState::default()),
         });
         let handles = (0..num_threads)
             .map(|id| Some(spawn_worker(id, num_threads, pool_id, &shared, 0)))
@@ -178,7 +209,7 @@ impl ThreadPool {
     {
         if let Some((pool, worker)) = IN_REGION.with(|flag| flag.get()) {
             if pool == self.id {
-                let epoch = self.shared.state.lock().epoch;
+                let epoch = self.shared.epoch.load(Ordering::Relaxed);
                 return Err(PoolError::Reentry {
                     pool,
                     worker,
@@ -203,17 +234,28 @@ impl ThreadPool {
         let job: Job = unsafe {
             std::mem::transmute::<*const (dyn Fn(WorkerCtx) + Sync), Job>(f_ref as *const _)
         };
-        let mut s = self.shared.state.lock();
-        s.epoch += 1;
-        s.job = Some(SendJob(job));
-        s.remaining = self.num_threads;
-        self.shared.work_cv.notify_all();
-        while s.remaining > 0 {
-            self.shared.done_cv.wait(&mut s);
-        }
-        s.job = None;
-        let panic = s.panic.take();
-        drop(s);
+        // Publish the region: job slot and remaining first, then the epoch
+        // with Release, then wake. No lock is held at any point.
+        //
+        // SAFETY: no region is live (`run_lock` serialized the previous
+        // one, which ended with `remaining == 0` observed via Acquire), so
+        // no worker reads `job` until the epoch store below.
+        unsafe { *self.shared.job.get() = Some(SendJob(job)) };
+        self.shared
+            .remaining
+            .store(self.num_threads, Ordering::Relaxed);
+        let epoch = self.shared.epoch.load(Ordering::Relaxed);
+        self.shared.epoch.store(epoch + 1, Ordering::Release);
+        self.shared.work.notify();
+        // Wait for the region to drain (spin, then park on `done`).
+        self.shared
+            .done
+            .park_until(|| self.shared.remaining.load(Ordering::Acquire) == 0);
+        // SAFETY: every worker decremented `remaining` with a Release op
+        // after its last use of the job pointer; the Acquire observation
+        // of 0 above orders those uses before this write.
+        unsafe { *self.shared.job.get() = None };
+        let panic = self.shared.cold.lock().panic.take();
         if let Some(p) = panic {
             panic::resume_unwind(p);
         }
@@ -226,13 +268,13 @@ impl ThreadPool {
     /// its next `run` waiting on threads that no longer exist.
     fn ensure_workers(&self) {
         let dead: Vec<usize> = {
-            let mut s = self.shared.state.lock();
-            std::mem::take(&mut s.dead)
+            let mut cold = self.shared.cold.lock();
+            std::mem::take(&mut cold.dead)
         };
         if dead.is_empty() {
             return;
         }
-        let epoch = self.shared.state.lock().epoch;
+        let epoch = self.shared.epoch.load(Ordering::Relaxed);
         let mut handles = self.handles.lock();
         for id in dead {
             if let Some(h) = handles[id].take() {
@@ -261,11 +303,8 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        {
-            let mut s = self.shared.state.lock();
-            s.shutdown = true;
-            self.shared.work_cv.notify_all();
-        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work.notify();
         for h in self.handles.lock().iter_mut() {
             if let Some(h) = h.take() {
                 let _ = h.join();
@@ -296,24 +335,32 @@ fn spawn_worker(
         .expect("failed to spawn pool worker")
 }
 
+/// Decrement `remaining` as the worker's last act for this region, waking
+/// the submitter when this was the final worker.
+fn finish_region(shared: &Shared) {
+    if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.done.notify();
+    }
+}
+
 fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared>, start: u64) {
     let mut seen_epoch = start;
     loop {
-        let job = {
-            let mut s = shared.state.lock();
-            loop {
-                if s.shutdown {
-                    return;
-                }
-                if s.epoch > seen_epoch {
-                    if let Some(job) = s.job {
-                        seen_epoch = s.epoch;
-                        break job;
-                    }
-                }
-                shared.work_cv.wait(&mut s);
-            }
-        };
+        // Wait for a new region (or shutdown): spin, then park. The
+        // Acquire epoch load pairs with the submitter's Release store and
+        // licenses the job read below.
+        shared.work.park_until(|| {
+            shared.shutdown.load(Ordering::Acquire)
+                || shared.epoch.load(Ordering::Acquire) > seen_epoch
+        });
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        seen_epoch = shared.epoch.load(Ordering::Acquire);
+        // SAFETY: the epoch Acquire load above observed the submitter's
+        // Release store, which happens-after the job write; the slot is
+        // not rewritten until this worker decrements `remaining`.
+        let job = unsafe { *shared.job.get() }.expect("job published with region epoch");
         // Region-entry fault site: an installed hook may stall this worker,
         // panic it in place of the job, or kill the thread.
         let fault = crate::fault::check(&crate::fault::FaultSite {
@@ -322,17 +369,16 @@ fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared
             index: seen_epoch,
         });
         if let Some(crate::fault::FaultAction::Die) = fault {
-            let mut s = shared.state.lock();
-            if s.panic.is_none() {
-                s.panic = Some(Box::new(format!(
-                    "mic-fault: pool worker {id} died at region epoch {seen_epoch}"
-                )));
+            {
+                let mut cold = shared.cold.lock();
+                if cold.panic.is_none() {
+                    cold.panic = Some(Box::new(format!(
+                        "mic-fault: pool worker {id} died at region epoch {seen_epoch}"
+                    )));
+                }
+                cold.dead.push(id);
             }
-            s.dead.push(id);
-            s.remaining -= 1;
-            if s.remaining == 0 {
-                shared.done_cv.notify_all();
-            }
+            finish_region(&shared);
             return;
         }
         if let Some(crate::fault::FaultAction::StallMs(ms)) = &fault {
@@ -360,16 +406,13 @@ fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared
             IN_REGION.with(|flag| flag.set(outer));
             result
         };
-        let mut s = shared.state.lock();
         if let Err(p) = result {
-            if s.panic.is_none() {
-                s.panic = Some(p);
+            let mut cold = shared.cold.lock();
+            if cold.panic.is_none() {
+                cold.panic = Some(p);
             }
         }
-        s.remaining -= 1;
-        if s.remaining == 0 {
-            shared.done_cv.notify_all();
-        }
+        finish_region(&shared);
     }
 }
 
@@ -452,7 +495,7 @@ mod tests {
     fn reentry_error_names_pool_and_worker() {
         let pool = ThreadPool::new(3);
         let pool_ref = &pool;
-        let msg = std::sync::Mutex::new(String::new());
+        let msg = parking_lot::Mutex::new(String::new());
         pool_ref.run(|ctx| {
             if ctx.id == 1 {
                 let err = pool_ref
@@ -461,10 +504,10 @@ mod tests {
                 match err {
                     PoolError::Reentry { worker, .. } => assert_eq!(worker, 1),
                 }
-                *msg.lock().unwrap() = err.to_string();
+                *msg.lock() = err.to_string();
             }
         });
-        let msg = msg.into_inner().unwrap();
+        let msg = msg.into_inner();
         assert!(msg.contains("worker 1"), "got: {msg}");
         assert!(msg.contains("epoch"), "got: {msg}");
         // And the pool is still healthy: rejection happened before any
@@ -511,5 +554,22 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn park_spin_zero_still_dispatches() {
+        // With no spin budget every wait parks immediately; regions must
+        // still complete (exercises the park/notify slow path heavily).
+        let before = crate::sync::park_spin();
+        crate::sync::set_park_spin(0);
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..25 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        crate::sync::set_park_spin(before);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
     }
 }

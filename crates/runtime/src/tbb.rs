@@ -1,8 +1,9 @@
 //! TBB-style `parallel_for` over a blocked range with the three partitioners
 //! of §II-C of the paper.
 
+use crate::deque::WsDeque;
+use crate::injector::{Injector, Steal};
 use crate::pool::{ThreadPool, WorkerCtx};
-use crossbeam_deque::{Injector, Steal};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -98,29 +99,50 @@ where
     let remaining = AtomicUsize::new(total);
     // See cilk_for: release spinning siblings if a task body panics.
     let aborted = AtomicBool::new(false);
+    // Per-worker deques for split-off halves; the injector holds the
+    // initial deal and any overflow.
+    let deques: Vec<WsDeque<Task>> = (0..t)
+        .map(|_| WsDeque::new(crate::cilk::ENGINE_DEQUE_CAP))
+        .collect();
 
     pool.run(|ctx| {
-        let mut local: Vec<Task> = Vec::new();
+        let mine = &deques[ctx.id];
         'outer: while remaining.load(Ordering::Acquire) > 0 {
             if aborted.load(Ordering::Acquire) {
                 break;
             }
-            let task = match local.pop() {
+            // SAFETY (pop/push): worker `ctx.id` is the sole owner of
+            // `deques[ctx.id]` — ids are unique within the region.
+            let task = match unsafe { mine.pop() } {
                 Some(task) => task,
                 None => loop {
                     match injector.steal() {
                         Steal::Success(task) => break task,
-                        Steal::Empty => {
-                            if remaining.load(Ordering::Acquire) == 0
-                                || aborted.load(Ordering::Acquire)
-                            {
-                                break 'outer;
-                            }
-                            std::hint::spin_loop();
+                        Steal::Retry => {
                             std::thread::yield_now();
+                            continue;
                         }
-                        Steal::Retry => {}
+                        Steal::Empty => {}
                     }
+                    let mut found = None;
+                    for k in 1..t {
+                        let victim = (ctx.id + k) % t;
+                        match deques[victim].steal() {
+                            Steal::Success(task) => {
+                                found = Some(task);
+                                break;
+                            }
+                            Steal::Retry | Steal::Empty => {}
+                        }
+                    }
+                    if let Some(task) = found {
+                        break task;
+                    }
+                    if remaining.load(Ordering::Acquire) == 0 || aborted.load(Ordering::Acquire) {
+                        break 'outer;
+                    }
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
                 },
             };
             let stolen = task.owner != ctx.id;
@@ -129,13 +151,18 @@ where
             }
             let mut r = task.range;
             if stolen && r.len() > 1 {
-                // Split once on steal, publishing the back half — the auto
-                // partitioner's defining move.
+                // Split once on steal, keeping the front half and exposing
+                // the back half on our deque's FIFO end — the auto
+                // partitioner's defining move. Overflow spills back to the
+                // shared injector.
                 let mid = r.start + r.len() / 2;
-                injector.push(Task {
+                let back = Task {
                     range: mid..r.end,
                     owner: ctx.id,
-                });
+                };
+                if let Err(back) = unsafe { mine.push(back) } {
+                    injector.push(back);
+                }
                 r = r.start..mid;
             }
             let len = r.len();
@@ -146,6 +173,7 @@ where
             remaining.fetch_sub(len, Ordering::AcqRel);
         }
     });
+    crate::cilk::record_cas_retries(&deques, injector.retries());
 }
 
 #[cfg(test)]

@@ -13,8 +13,16 @@
 //!   metrics/tracing instrumentation, and the TCP front end;
 //! - [`client`] — the load-generator client and the `BENCH_serve.json`
 //!   exhibit writer/loader;
-//! - [`lru`] — the bounded result cache.
+//! - [`lru`] — the bounded result cache, sharded N ways;
+//! - [`cell`] — the one-shot result cell coalesced waiters block on.
+//!
+//! The request hot path is lock-free end to end: admission is a bounded
+//! MPMC ring ([`mic_eval::runtime::BoundedQueue`]) guarded by an atomic
+//! depth ticket, results are published through [`cell::ResultCell`]s, and
+//! the executor parks on an event-count. The only locks left are the
+//! coalescing table (a short map probe) and the per-shard LRU mutexes.
 
+pub mod cell;
 pub mod client;
 pub mod lru;
 pub mod protocol;

@@ -6,8 +6,14 @@
 //! queue entirely. Capacity-bounded with least-recently-used eviction;
 //! the scan-to-evict is O(len), which at serving capacities (hundreds)
 //! is noise next to a simulation.
+//!
+//! [`ShardedLru`] wraps N independent [`LruCache`] shards behind their own
+//! locks, keyed by a hash of the job key, so concurrent cache hits stop
+//! serializing on one global mutex — the contention fix the serve layer
+//! needs, since every request consults the cache before admission.
 
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 pub struct LruCache {
     cap: usize,
@@ -68,6 +74,56 @@ impl LruCache {
     }
 }
 
+/// N-way sharded result LRU. Each shard holds `ceil(cap / shards)` entries
+/// behind its own lock; eviction is per shard (a hot shard may evict while
+/// a cold one has room — total capacity stays within one entry per shard
+/// of the requested bound, which is noise at serving capacities).
+pub struct ShardedLru {
+    shards: Vec<parking_lot::Mutex<LruCache>>,
+}
+
+/// Shard count: enough to make same-instant cache hits on distinct keys
+/// unlikely to collide, small enough that per-shard capacity stays useful.
+const SHARDS: usize = 8;
+
+impl ShardedLru {
+    /// Total capacity `cap` spread over the shards (`cap == 0` disables
+    /// caching entirely, as in [`LruCache`]).
+    pub fn new(cap: usize) -> ShardedLru {
+        let per_shard = cap.div_ceil(SHARDS);
+        ShardedLru {
+            shards: (0..SHARDS)
+                .map(|_| parking_lot::Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &parking_lot::Mutex<LruCache> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up `key`, refreshing its recency within its shard.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Insert (or refresh) `key`, evicting within its shard when full.
+    pub fn put(&self, key: &str, value: f64) {
+        self.shard(key).lock().put(key, value);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +156,51 @@ mod tests {
         lru.put("a", 9.0);
         assert_eq!(lru.len(), 1);
         assert_eq!(lru.get("a"), Some(9.0));
+    }
+
+    #[test]
+    fn sharded_roundtrip_and_bound() {
+        let lru = ShardedLru::new(64);
+        for i in 0..500 {
+            lru.put(&format!("key-{i}"), i as f64);
+        }
+        // Bounded: at most ceil(64/8) entries per shard.
+        assert!(lru.len() <= 64 + SHARDS, "len {} over bound", lru.len());
+        // Recent keys (the survivors in each shard) still hit.
+        let hits = (0..500)
+            .filter(|i| lru.get(&format!("key-{i}")) == Some(*i as f64))
+            .count();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn sharded_zero_capacity_disables_caching() {
+        let lru = ShardedLru::new(0);
+        lru.put("a", 1.0);
+        assert_eq!(lru.get("a"), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn sharded_concurrent_hits() {
+        let lru = std::sync::Arc::new(ShardedLru::new(128));
+        for i in 0..64 {
+            lru.put(&format!("k{i}"), i as f64);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lru = std::sync::Arc::clone(&lru);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        for i in 0..64 {
+                            assert_eq!(lru.get(&format!("k{i}")), Some(i as f64));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

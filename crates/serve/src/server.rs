@@ -4,19 +4,29 @@
 //! Life of a request:
 //!
 //! 1. a connection handler parses the line ([`crate::protocol`]);
-//! 2. [`Dispatcher::submit`] consults the bounded result LRU (hit →
+//! 2. [`Dispatcher::submit`] consults the sharded result LRU (hit →
 //!    immediate answer), then the in-flight table (identical job already
 //!    admitted → **coalesce**: wait on that job instead of enqueueing),
-//!    then the bounded queue (full → **shed**: an explicit backpressure
-//!    response, never an unbounded buffer);
+//!    then claims a depth ticket against the admission bound (over →
+//!    **shed**: an explicit backpressure response, never an unbounded
+//!    buffer) and pushes onto a lock-free bounded ring;
 //! 3. the single executor thread drains up to `batch_max` queued jobs and
 //!    runs them as ONE resilient sweep invocation
 //!    ([`mic_eval::sweep::try_map_shared`]) on a long-lived thread pool —
 //!    injected faults become per-job [`JobFailure`]s, so a poisoned job
 //!    answers `status:"error"` while the batch's other jobs, the executor
 //!    and the process all survive;
-//! 4. completion wakes every waiter (the admitting request plus all
-//!    coalesced ones) and publishes the result to the LRU.
+//! 4. completion publishes each outcome through a one-shot
+//!    [`ResultCell`](crate::cell::ResultCell) — waking the admitting
+//!    request plus all coalesced ones without a per-job lock — and stores
+//!    the result in the LRU.
+//!
+//! No mutex sits on the request hot path: the queue is a
+//! [`BoundedQueue`] ring, the depth bound is an atomic ticket, result
+//! hand-off is a guard-word cell, and the executor parks on an
+//! [`EventCount`]. The in-flight coalescing table keeps a short mutexed
+//! map probe (it must atomically test-and-insert a key), and the LRU
+//! locks only one of its shards per probe.
 //!
 //! Everything observable is counted: `mic_serve_requests_total{op}` /
 //! `mic_serve_responses_total{status}` / `mic_serve_request_seconds{op}`
@@ -27,16 +37,18 @@
 //! `mic_serve_batch_jobs`, `mic_serve_queue_depth`. With `MIC_TRACE`
 //! capture active, each request additionally emits a `"serve"` span.
 
-use crate::lru::LruCache;
+use crate::cell::ResultCell;
+use crate::lru::ShardedLru;
 use crate::protocol::{self, JobSpec, Request, Response, SimMeta};
 use mic_eval::runtime::trace as rt_trace;
-use mic_eval::runtime::{NativeEvent, NativeEventKind, ThreadPool};
+use mic_eval::runtime::{BoundedQueue, EventCount, NativeEvent, NativeEventKind, ThreadPool};
 use mic_eval::sweep::{self, SweepCfg};
-use std::collections::{HashMap, VecDeque};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Serving knobs. All bounded; the defaults suit tests and single-host
@@ -96,18 +108,12 @@ impl ServeStats {
     }
 }
 
-/// One admitted job; waiters block on `cv` until `done` holds the
-/// outcome (`cycles` + the size of the batch that computed it).
+/// One admitted job; waiters block on the one-shot `done` cell until it
+/// holds the outcome (`cycles` + the size of the batch that computed it).
 struct Job {
     spec: JobSpec,
     key: String,
-    done: Mutex<Option<Result<(f64, usize), String>>>,
-    cv: Condvar,
-}
-
-struct DispatchState {
-    queue: VecDeque<Arc<Job>>,
-    inflight: HashMap<String, Arc<Job>>,
+    done: ResultCell<Result<(f64, usize), String>>,
 }
 
 /// How `submit` resolved.
@@ -123,16 +129,21 @@ pub enum Submission {
 pub struct Dispatcher {
     opts: ServeOpts,
     cfg: SweepCfg,
-    state: Mutex<DispatchState>,
-    wake: Condvar,
-    lru: Mutex<LruCache>,
+    /// Lock-free admission ring. Capacity (next power of two ≥ `queue_cap`)
+    /// can never be exceeded because `depth` tickets bound occupancy at
+    /// `queue_cap`, so `push` cannot fail.
+    queue: BoundedQueue<Arc<Job>>,
+    /// Queued-job count, maintained at enqueue/dequeue. Doubles as the
+    /// admission ticket: `fetch_add` past `queue_cap` means shed.
+    depth: AtomicUsize,
+    /// Coalescing table: key → in-flight job. The one remaining lock on
+    /// the submit path (atomic test-and-insert of the key).
+    inflight: Mutex<HashMap<String, Arc<Job>>>,
+    wake: EventCount,
+    lru: ShardedLru,
     pub stats: ServeStats,
     stop: AtomicBool,
     span_epoch: AtomicU64,
-}
-
-fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn scounter(name: &'static str, help: &'static str) -> Arc<mic_metrics::Counter> {
@@ -146,12 +157,11 @@ impl Dispatcher {
         Dispatcher {
             opts,
             cfg,
-            state: Mutex::new(DispatchState {
-                queue: VecDeque::new(),
-                inflight: HashMap::new(),
-            }),
-            wake: Condvar::new(),
-            lru: Mutex::new(LruCache::new(opts.lru_cap)),
+            queue: BoundedQueue::new(opts.queue_cap.max(1)),
+            depth: AtomicUsize::new(0),
+            inflight: Mutex::new(HashMap::new()),
+            wake: EventCount::named("serve-exec"),
+            lru: ShardedLru::new(opts.lru_cap),
             stats: ServeStats::default(),
             stop: AtomicBool::new(false),
             span_epoch: AtomicU64::new(0),
@@ -166,7 +176,7 @@ impl Dispatcher {
     pub fn submit(&self, spec: &JobSpec) -> Submission {
         let t0 = Instant::now();
         let key = spec.key();
-        if let Some(cycles) = lock(&self.lru).get(&key) {
+        if let Some(cycles) = self.lru.get(&key) {
             self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             if mic_metrics::enabled() {
                 scounter(
@@ -186,8 +196,8 @@ impl Dispatcher {
             };
         }
         let (job, coalesced) = {
-            let mut st = lock(&self.state);
-            if let Some(job) = st.inflight.get(&key) {
+            let mut inflight = self.inflight.lock();
+            if let Some(job) = inflight.get(&key) {
                 self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
                 if mic_metrics::enabled() {
                     scounter(
@@ -197,37 +207,40 @@ impl Dispatcher {
                     .inc();
                 }
                 (Arc::clone(job), true)
-            } else if st.queue.len() >= self.opts.queue_cap {
-                let queue_len = st.queue.len();
-                drop(st);
-                self.stats.shed.fetch_add(1, Ordering::Relaxed);
-                if mic_metrics::enabled() {
-                    scounter(
-                        "mic_serve_sheds_total",
-                        "Simulate requests refused by admission control (queue full).",
-                    )
-                    .inc();
-                }
-                return Submission::Shed { queue_len };
             } else {
+                // Claim an admission ticket: the ring holds at most
+                // `queue_cap` jobs, so a ticket at or past the cap is a
+                // shed, and a ticket under it guarantees the push succeeds.
+                let ticket = self.depth.fetch_add(1, Ordering::AcqRel);
+                if ticket >= self.opts.queue_cap {
+                    self.depth.fetch_sub(1, Ordering::AcqRel);
+                    drop(inflight);
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    if mic_metrics::enabled() {
+                        scounter(
+                            "mic_serve_sheds_total",
+                            "Simulate requests refused by admission control (queue full).",
+                        )
+                        .inc();
+                    }
+                    return Submission::Shed { queue_len: ticket };
+                }
                 let job = Arc::new(Job {
                     spec: spec.clone(),
                     key: key.clone(),
-                    done: Mutex::new(None),
-                    cv: Condvar::new(),
+                    done: ResultCell::new(),
                 });
-                st.queue.push_back(Arc::clone(&job));
-                st.inflight.insert(key, Arc::clone(&job));
-                self.set_queue_gauge(st.queue.len());
-                self.wake.notify_one();
+                inflight.insert(key, Arc::clone(&job));
+                drop(inflight);
+                if self.queue.push(Arc::clone(&job)).is_err() {
+                    unreachable!("admission ring sized above queue_cap tickets");
+                }
+                self.set_queue_gauge();
+                self.wake.notify();
                 (job, false)
             }
         };
-        let mut done = lock(&job.done);
-        while done.is_none() {
-            done = job.cv.wait(done).unwrap_or_else(|e| e.into_inner());
-        }
-        match done.as_ref().unwrap() {
+        match job.done.wait() {
             Ok((cycles, batch)) => Submission::Done {
                 cycles: *cycles,
                 meta: SimMeta {
@@ -241,14 +254,16 @@ impl Dispatcher {
         }
     }
 
-    fn set_queue_gauge(&self, len: usize) {
+    /// Export the queue depth from its `AtomicUsize` — called at enqueue
+    /// and dequeue, never while holding any lock.
+    fn set_queue_gauge(&self) {
         if mic_metrics::enabled() {
             mic_metrics::gauge(
                 "mic_serve_queue_depth",
                 "Jobs admitted and waiting for the batch executor.",
                 &[],
             )
-            .set(len as f64);
+            .set(self.depth.load(Ordering::Relaxed) as f64);
         }
     }
 
@@ -257,19 +272,25 @@ impl Dispatcher {
     fn executor_loop(&self) {
         let pool = ThreadPool::new(self.cfg.threads.max(1));
         loop {
-            let batch: Vec<Arc<Job>> = {
-                let mut st = lock(&self.state);
-                while st.queue.is_empty() && !self.stop.load(Ordering::SeqCst) {
-                    st = self.wake.wait(st).unwrap_or_else(|e| e.into_inner());
+            self.wake
+                .park_until(|| self.stop.load(Ordering::SeqCst) || !self.queue.is_empty());
+            let mut batch: Vec<Arc<Job>> = Vec::new();
+            while batch.len() < self.opts.batch_max.max(1) {
+                match self.queue.pop() {
+                    Some(job) => {
+                        self.depth.fetch_sub(1, Ordering::AcqRel);
+                        batch.push(job);
+                    }
+                    None => break,
                 }
-                if st.queue.is_empty() {
+            }
+            if batch.is_empty() {
+                if self.stop.load(Ordering::SeqCst) {
                     return; // stopped and drained
                 }
-                let n = st.queue.len().min(self.opts.batch_max.max(1));
-                let batch: Vec<Arc<Job>> = st.queue.drain(..n).collect();
-                self.set_queue_gauge(st.queue.len());
-                batch
-            };
+                continue; // raced another wakeup; park again
+            }
+            self.set_queue_gauge();
             self.stats.batches.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .executed
@@ -298,16 +319,17 @@ impl Dispatcher {
             for (i, job) in batch.iter().enumerate() {
                 let outcome = match report.results.get(i).and_then(|r| r.as_ref()) {
                     Some(cycles) => {
-                        lock(&self.lru).put(&job.key, *cycles);
+                        self.lru.put(&job.key, *cycles);
                         Ok((*cycles, batch.len()))
                     }
                     None => Err(fail_by_point
                         .remove(&i)
                         .unwrap_or_else(|| "job failed".to_string())),
                 };
-                lock(&self.state).inflight.remove(&job.key);
-                *lock(&job.done) = Some(outcome);
-                job.cv.notify_all();
+                self.inflight.lock().remove(&job.key);
+                // One-shot publish wakes the admitting waiter and every
+                // coalesced one; a job runs once, so `set` cannot lose.
+                let _ = job.done.set(outcome);
             }
         }
     }
@@ -331,10 +353,8 @@ impl Dispatcher {
             }
             Ok(Request::Ping { id }) => Response::Pong { id },
             Ok(Request::Stats { id }) => {
-                let (queue_len, inflight) = {
-                    let st = lock(&self.state);
-                    (st.queue.len(), st.inflight.len())
-                };
+                let queue_len = self.depth.load(Ordering::Relaxed);
+                let inflight = self.inflight.lock().len();
                 Response::Stats {
                     id,
                     fields: self.stats.fields(queue_len, inflight),
@@ -453,7 +473,7 @@ impl Server {
 
     fn stop(&mut self) {
         self.dispatcher.stop.store(true, Ordering::SeqCst);
-        self.dispatcher.wake.notify_all();
+        self.dispatcher.wake.notify();
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
