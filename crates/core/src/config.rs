@@ -32,6 +32,11 @@
 //! | `trace` | `MIC_TRACE` | off |
 //! | `bench_json` | `MIC_BENCH_JSON` | `BENCH_sweep.json` |
 //! | `steal_spin` | `MIC_STEAL_SPIN` | 64 |
+//! | `serve_shards` | `MIC_SERVE_SHARDS` | 4 |
+//! | `serve_quota` | `MIC_SERVE_QUOTA` | 256 |
+//! | `serve_wire` | `MIC_SERVE_WIRE` | `binary` |
+//! | `serve_max_request` | `MIC_SERVE_MAX_REQUEST` | 65536 |
+//! | `serve_conn_cap` | `MIC_SERVE_CONNS` | 256 |
 
 use crate::fault::FaultPlan;
 use std::path::PathBuf;
@@ -73,6 +78,48 @@ impl MetricsMode {
     }
 }
 
+/// Which wire format the serve layer's client/bench sides speak by
+/// default. The server itself negotiates per connection (the first byte
+/// selects framing), so this knob steers the *initiating* side: the load
+/// client, the bench harness, and any embedding that builds requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeWire {
+    /// Length-prefixed binary frames (magic + version + len + op tag).
+    #[default]
+    Binary,
+    /// Newline-delimited JSON — the debug/compat mode.
+    Json,
+}
+
+impl ServeWire {
+    /// `MIC_SERVE_WIRE` grammar: unset/empty/`binary` → binary, `json` →
+    /// JSON compat; anything else warns once and uses the default.
+    fn parse(raw: Option<String>) -> ServeWire {
+        match raw.as_deref().map(str::trim) {
+            None | Some("") | Some("binary") => ServeWire::Binary,
+            Some("json") => ServeWire::Json,
+            Some(other) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                let owned = other.to_string();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "mic-eval: ignoring MIC_SERVE_WIRE={owned:?} (need binary|json); \
+                         using binary"
+                    );
+                });
+                ServeWire::Binary
+            }
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeWire::Binary => "binary",
+            ServeWire::Json => "json",
+        }
+    }
+}
+
 /// The typed suite configuration. Construct with [`SuiteConfig::default`]
 /// (all knobs at their documented defaults), [`SuiteConfig::from_env`]
 /// (env overlaid on the defaults), then chain builder methods; publish
@@ -103,6 +150,20 @@ pub struct SuiteConfig {
     /// (the runtime's `park_spin` knob); `None` = the runtime default.
     /// `Some(0)` parks immediately — the syscall-heavy-but-CPU-frugal end.
     pub steal_spin: Option<usize>,
+    /// Worker shards in the serve router (each shard owns a dispatcher:
+    /// queue, executor, pool, LRU).
+    pub serve_shards: usize,
+    /// Per-client (per peer IP) in-flight simulate quota; the soft tier
+    /// sheds past it under load, the hard tier at twice it always.
+    pub serve_quota: usize,
+    /// Default wire mode for the serve client/bench initiating side.
+    pub serve_wire: ServeWire,
+    /// Largest accepted request, in bytes — caps both a JSON line and a
+    /// binary frame payload.
+    pub serve_max_request: usize,
+    /// Concurrent connection cap; connects past it are refused with a
+    /// `shed` response instead of an unbounded thread spawn.
+    pub serve_conn_cap: usize,
 }
 
 impl Default for SuiteConfig {
@@ -119,6 +180,11 @@ impl Default for SuiteConfig {
             trace: None,
             bench_json: Some(PathBuf::from("BENCH_sweep.json")),
             steal_spin: None,
+            serve_shards: 4,
+            serve_quota: 256,
+            serve_wire: ServeWire::Binary,
+            serve_max_request: 64 * 1024,
+            serve_conn_cap: 256,
         }
     }
 }
@@ -148,6 +214,15 @@ impl SuiteConfig {
                 Some(v) => Some(PathBuf::from(v)),
             },
             steal_spin: crate::env::nonneg_u64("MIC_STEAL_SPIN").map(|v| v.min(1 << 20) as usize),
+            serve_shards: crate::env::positive_usize("MIC_SERVE_SHARDS")
+                .map_or(defaults.serve_shards, |v| v.min(64)),
+            serve_quota: crate::env::positive_usize("MIC_SERVE_QUOTA")
+                .unwrap_or(defaults.serve_quota),
+            serve_wire: ServeWire::parse(crate::env::raw("MIC_SERVE_WIRE")),
+            serve_max_request: crate::env::positive_usize("MIC_SERVE_MAX_REQUEST")
+                .map_or(defaults.serve_max_request, |v| v.clamp(256, 1 << 30)),
+            serve_conn_cap: crate::env::positive_usize("MIC_SERVE_CONNS")
+                .unwrap_or(defaults.serve_conn_cap),
         }
     }
 
@@ -205,6 +280,31 @@ impl SuiteConfig {
 
     pub fn steal_spin(mut self, spin: Option<usize>) -> Self {
         self.steal_spin = spin;
+        self
+    }
+
+    pub fn serve_shards(mut self, shards: usize) -> Self {
+        self.serve_shards = shards.clamp(1, 64);
+        self
+    }
+
+    pub fn serve_quota(mut self, quota: usize) -> Self {
+        self.serve_quota = quota.max(1);
+        self
+    }
+
+    pub fn serve_wire(mut self, wire: ServeWire) -> Self {
+        self.serve_wire = wire;
+        self
+    }
+
+    pub fn serve_max_request(mut self, bytes: usize) -> Self {
+        self.serve_max_request = bytes.clamp(256, 1 << 30);
+        self
+    }
+
+    pub fn serve_conn_cap(mut self, cap: usize) -> Self {
+        self.serve_conn_cap = cap.max(1);
         self
     }
 
@@ -296,6 +396,36 @@ mod tests {
         assert!(c.trace.is_none());
         assert_eq!(c.bench_json, Some(PathBuf::from("BENCH_sweep.json")));
         assert_eq!(c.steal_spin, None);
+        assert_eq!(c.serve_shards, 4);
+        assert_eq!(c.serve_quota, 256);
+        assert_eq!(c.serve_wire, ServeWire::Binary);
+        assert_eq!(c.serve_max_request, 64 * 1024);
+        assert_eq!(c.serve_conn_cap, 256);
+    }
+
+    #[test]
+    fn serve_wire_grammar() {
+        assert_eq!(ServeWire::parse(None), ServeWire::Binary);
+        assert_eq!(ServeWire::parse(Some("binary".into())), ServeWire::Binary);
+        assert_eq!(ServeWire::parse(Some(" json ".into())), ServeWire::Json);
+        assert_eq!(ServeWire::parse(Some("msgpack".into())), ServeWire::Binary);
+        assert_eq!(ServeWire::Json.name(), "json");
+    }
+
+    #[test]
+    fn serve_builders_clamp_to_sane_ranges() {
+        let c = SuiteConfig::default()
+            .serve_shards(0)
+            .serve_quota(0)
+            .serve_wire(ServeWire::Json)
+            .serve_max_request(1)
+            .serve_conn_cap(0);
+        assert_eq!(c.serve_shards, 1, "at least one shard");
+        assert_eq!(c.serve_quota, 1);
+        assert_eq!(c.serve_wire, ServeWire::Json);
+        assert_eq!(c.serve_max_request, 256, "cap floor keeps pings parseable");
+        assert_eq!(c.serve_conn_cap, 1);
+        assert_eq!(SuiteConfig::default().serve_shards(999).serve_shards, 64);
     }
 
     #[test]

@@ -4,32 +4,40 @@
 //! Usage: `serve <serve|client|bench> [flags]`
 //!
 //! - `serve serve [--addr A] [--queue-cap N] [--batch-max N] [--lru N]
-//!   [--pool N] [--duration S]` — run the TCP server (default
+//!   [--pool N] [--shards N] [--quota N] [--conn-cap N]
+//!   [--max-request BYTES] [--duration S]` — run the TCP server (default
 //!   `127.0.0.1:7171`; `--duration` exits after S seconds, otherwise it
 //!   runs until killed). `MIC_METRICS=<path>` writes a Prometheus
-//!   snapshot on clean shutdown.
-//! - `serve client --addr A [--clients N] [--rps R] [--duration S]` —
-//!   drive one bounded load point against a running server and print the
-//!   throughput/latency row.
+//!   snapshot on clean shutdown. Defaults come from the `MIC_SERVE_*`
+//!   SuiteConfig knobs; flags win.
+//! - `serve client --addr A [--clients N] [--rps R] [--duration S]
+//!   [--json]` — drive one bounded load point against a running server
+//!   and print the throughput/latency row. The wire is binary frames
+//!   unless `--json` (or `MIC_SERVE_WIRE=json`) selects the newline-JSON
+//!   compat mode.
 //! - `serve bench [--clients N] [--rps R] [--duration S] [--out PATH]
 //!   [--check]` — start an in-process server on an ephemeral port, drive
-//!   three load points (R/2, R, 2R), and write the `BENCH_serve.json`
-//!   exhibit. `--check` additionally validates the `mic_serve_*` metric
-//!   invariants against the live registry and exits nonzero on failure.
+//!   three load points (R/2, R, 2R) under EACH wire mode, and write the
+//!   `BENCH_serve.json` exhibit. `--check` additionally validates the
+//!   `mic_serve_*` metric invariants against the live registry and exits
+//!   nonzero on failure.
 
 use mic_bench::cli::Cli;
+use mic_eval::config::ServeWire;
 use mic_serve::client::{self, LoadOpts, LoadSummary};
 use mic_serve::server::{ServeOpts, Server};
 use std::path::PathBuf;
 
 const USAGE: &str = "serve <serve|client|bench> [--addr HOST:PORT] [--queue-cap N] \
-                     [--batch-max N] [--lru N] [--pool N] [--clients N] [--rps R] \
-                     [--duration S] [--out PATH] [--check]";
+                     [--batch-max N] [--lru N] [--pool N] [--shards N] [--quota N] \
+                     [--conn-cap N] [--max-request BYTES] [--clients N] [--rps R] \
+                     [--duration S] [--json] [--out PATH] [--check]";
 
 fn main() {
     let mut cli = Cli::parse("serve", USAGE);
+    let cfg = cli.config();
     let addr = cli.opt("--addr");
-    let mut opts = ServeOpts::default();
+    let mut opts = ServeOpts::from_config(&cfg);
     if let Some(n) = cli.opt_parse::<usize>("--queue-cap", "a positive integer") {
         opts.queue_cap = n.max(1);
     }
@@ -42,6 +50,23 @@ fn main() {
     if let Some(n) = cli.opt_parse::<usize>("--pool", "a positive integer") {
         opts.pool_threads = n.max(1);
     }
+    if let Some(n) = cli.opt_parse::<usize>("--shards", "a positive integer") {
+        opts.shards = n.clamp(1, 64);
+    }
+    if let Some(n) = cli.opt_parse::<usize>("--quota", "a positive integer") {
+        opts.quota = n.max(1);
+    }
+    if let Some(n) = cli.opt_parse::<usize>("--conn-cap", "a positive integer") {
+        opts.conn_cap = n.max(1);
+    }
+    if let Some(n) = cli.opt_parse::<usize>("--max-request", "a byte count") {
+        opts.max_request = n.max(256);
+    }
+    let wire = if cli.flag("--json") {
+        ServeWire::Json
+    } else {
+        cfg.serve_wire
+    };
     let clients = cli
         .opt_parse::<usize>("--clients", "a positive integer")
         .unwrap_or(4)
@@ -65,7 +90,7 @@ fn main() {
                 eprintln!("usage: {USAGE}");
                 std::process::exit(2);
             };
-            run_client(addr, clients, rps, duration.unwrap_or(2.0))
+            run_client(addr, clients, rps, duration.unwrap_or(2.0), wire)
         }
         "bench" => run_bench(opts, clients, rps, duration.unwrap_or(2.0), out, check),
         other => {
@@ -99,13 +124,20 @@ fn run_serve(addr: &str, opts: ServeOpts, duration: Option<f64>) -> i32 {
     };
     println!("mic-serve listening on {}", server.addr);
     println!(
-        "  queue_cap={} batch_max={} lru={} pool={}",
-        opts.queue_cap, opts.batch_max, opts.lru_cap, opts.pool_threads
+        "  shards={} queue_cap={} batch_max={} lru={} pool={} quota={} conn_cap={} max_request={}",
+        opts.shards,
+        opts.queue_cap,
+        opts.batch_max,
+        opts.lru_cap,
+        opts.pool_threads,
+        opts.quota,
+        opts.conn_cap,
+        opts.max_request
     );
     match duration {
         Some(s) => {
             std::thread::sleep(std::time::Duration::from_secs_f64(s.max(0.0)));
-            let stats = &server.dispatcher().stats;
+            let stats = server.stats();
             eprintln!(
                 "shutting down after {s}s: received={} ok={} shed={} errors={}",
                 stats.received.load(std::sync::atomic::Ordering::Relaxed),
@@ -123,11 +155,12 @@ fn run_serve(addr: &str, opts: ServeOpts, duration: Option<f64>) -> i32 {
     }
 }
 
-fn run_client(addr: &str, clients: usize, rps: f64, duration: f64) -> i32 {
+fn run_client(addr: &str, clients: usize, rps: f64, duration: f64, wire: ServeWire) -> i32 {
     let point = LoadOpts {
         clients,
         target_rps: rps,
         duration_s: duration,
+        wire,
     };
     match client::run_load(addr, point) {
         Ok(summary) => {
@@ -161,25 +194,32 @@ fn run_bench(
         }
     };
     let addr = server.addr.to_string();
-    eprintln!("in-process server on {addr}; 3 load points at {clients} clients, {duration}s each");
+    eprintln!(
+        "in-process server on {addr} ({} shards); 3 load points per wire mode at {clients} \
+         clients, {duration}s each",
+        opts.shards
+    );
     let mut points = Vec::new();
     println!("{}", LoadSummary::header());
-    for target_rps in [rps * 0.5, rps, rps * 2.0] {
-        match client::run_load(
-            &addr,
-            LoadOpts {
-                clients,
-                target_rps,
-                duration_s: duration,
-            },
-        ) {
-            Ok(summary) => {
-                println!("{}", summary.row());
-                points.push(summary);
-            }
-            Err(e) => {
-                eprintln!("serve: load point {target_rps} rps failed: {e}");
-                return 1;
+    for wire in [ServeWire::Binary, ServeWire::Json] {
+        for target_rps in [rps * 0.5, rps, rps * 2.0] {
+            match client::run_load(
+                &addr,
+                LoadOpts {
+                    clients,
+                    target_rps,
+                    duration_s: duration,
+                    wire,
+                },
+            ) {
+                Ok(summary) => {
+                    println!("{}", summary.row());
+                    points.push(summary);
+                }
+                Err(e) => {
+                    eprintln!("serve: load point {target_rps} rps ({}) failed: {e}", wire.name());
+                    return 1;
+                }
             }
         }
     }
@@ -210,8 +250,8 @@ fn run_bench(
 
 /// The `mic_serve_*` registry invariants: per-op latency histogram counts
 /// equal the per-op request counters, responses balance requests, and the
-/// registry's own counters agree with the dispatcher's. Returns the
-/// number of violations (also printed).
+/// registry's own counters agree with the router's. Returns the number of
+/// violations (also printed).
 fn check_serve_metrics(server: &Server) -> usize {
     let snap = mic_eval::metrics::snapshot();
     let mut failures = 0;
@@ -245,11 +285,11 @@ fn check_serve_metrics(server: &Server) -> usize {
         eprintln!("check FAILED: responses_total {responses} != requests_total {requests_seen}");
         failures += 1;
     }
-    let stats = &server.dispatcher().stats;
+    let stats = server.stats();
     let received = stats.received.load(std::sync::atomic::Ordering::Relaxed) as f64;
     if requests_seen != received {
         eprintln!(
-            "check FAILED: registry saw {requests_seen} requests, dispatcher counted {received}"
+            "check FAILED: registry saw {requests_seen} requests, router counted {received}"
         );
         failures += 1;
     }

@@ -7,8 +7,16 @@
 //! falls behind (server saturated) does not queue unsent requests — the
 //! achieved rate simply drops, which together with the shed count is the
 //! backpressure signal the exhibit plots.
+//!
+//! The client speaks both wires: binary frames ([`crate::frame`], the
+//! default) or the newline-JSON compat mode ([`LoadOpts::wire`]). Either
+//! way a response may arrive as a JSON line — the server refuses
+//! over-cap connections before mode negotiation — so the reader sniffs
+//! each response's first byte, mirroring the server's own sniff.
 
-use crate::protocol::{self, Response, SCHEMA_VERSION};
+use crate::frame;
+use crate::protocol::{self, Request, Response, SCHEMA_VERSION};
+use mic_eval::config::ServeWire;
 use mic_eval::json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -20,6 +28,19 @@ pub struct LoadOpts {
     pub clients: usize,
     pub target_rps: f64,
     pub duration_s: f64,
+    /// Wire encoding this load point speaks.
+    pub wire: ServeWire,
+}
+
+impl Default for LoadOpts {
+    fn default() -> LoadOpts {
+        LoadOpts {
+            clients: 4,
+            target_rps: 100.0,
+            duration_s: 2.0,
+            wire: ServeWire::Binary,
+        }
+    }
 }
 
 /// One load point's outcome.
@@ -28,6 +49,8 @@ pub struct LoadSummary {
     pub clients: usize,
     pub target_rps: f64,
     pub duration_s: f64,
+    /// `"binary"` or `"json"` — which wire produced this point.
+    pub wire: String,
     pub sent: u64,
     pub ok: u64,
     pub shed: u64,
@@ -62,6 +85,37 @@ fn request_line(id: &str, step: usize) -> String {
     )
 }
 
+/// Read one response in either encoding, sniffing the first byte exactly
+/// like the server does: a connection-refusal `shed` is always a JSON
+/// line even when this client asked for binary frames.
+fn read_response(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+) -> std::io::Result<Option<Response>> {
+    let first = match reader.fill_buf() {
+        Ok([]) => return Ok(None), // clean EOF
+        Ok(buf) => buf[0],
+        Err(e) => return Err(e),
+    };
+    if first == frame::MAGIC[0] {
+        match frame::read_frame(reader, max) {
+            Ok(None) => Ok(None),
+            Ok(Some((tag, payload))) => Ok(frame::decode_response(tag, &payload).ok()),
+            Err(frame::FrameError::Io(e)) => Err(e),
+            Err(_) => Ok(Some(Response::Error {
+                id: String::new(),
+                detail: "undecodable response frame".into(),
+            })),
+        }
+    } else {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        Ok(protocol::parse_response(line.trim_end()).ok())
+    }
+}
+
 /// Drive one load point against a serving address.
 pub fn run_load(addr: &str, opts: LoadOpts) -> std::io::Result<LoadSummary> {
     let clients = opts.clients.max(1);
@@ -71,6 +125,7 @@ pub fn run_load(addr: &str, opts: LoadOpts) -> std::io::Result<LoadSummary> {
     let mut handles = Vec::new();
     for ci in 0..clients {
         let addr = addr.to_string();
+        let wire = opts.wire;
         handles.push(std::thread::spawn(move || -> std::io::Result<Worker> {
             let stream = TcpStream::connect(&addr)?;
             stream.set_nodelay(true)?;
@@ -84,21 +139,31 @@ pub fn run_load(addr: &str, opts: LoadOpts) -> std::io::Result<LoadSummary> {
                 let line = request_line(&format!("c{ci}-{step}"), ci + step);
                 step += 1;
                 let sent_at = Instant::now();
-                writeln!(writer, "{line}")?;
-                w.sent += 1;
-                let mut resp_line = String::new();
-                if reader.read_line(&mut resp_line)? == 0 {
-                    break;
+                match wire {
+                    ServeWire::Binary => {
+                        // Same validated spec as the JSON path — the
+                        // parse is the compat-mode one, the encoding is
+                        // the frame codec.
+                        let req = protocol::parse_request(&line)
+                            .map_err(|(_, e)| std::io::Error::other(e))?;
+                        let (tag, payload) = frame::encode_request(&req);
+                        frame::write_frame(&mut writer, tag, &payload)?;
+                    }
+                    ServeWire::Json => writeln!(writer, "{line}")?,
                 }
+                w.sent += 1;
+                let Some(resp) = read_response(&mut reader, 1 << 20)? else {
+                    break; // server closed (shutdown or refusal already read)
+                };
                 let latency_ms = sent_at.elapsed().as_secs_f64() * 1e3;
-                match protocol::parse_response(resp_line.trim_end()) {
-                    Ok(Response::Ok { meta, .. }) => {
+                match resp {
+                    Response::Ok { meta, .. } => {
                         w.ok += 1;
                         w.coalesced += meta.coalesced as u64;
                         w.cached += meta.cached as u64;
                         w.latencies_ms.push(latency_ms);
                     }
-                    Ok(Response::Shed { .. }) => w.shed += 1,
+                    Response::Shed { .. } => w.shed += 1,
                     _ => w.errors += 1,
                 }
                 next_at += per_client_interval;
@@ -126,6 +191,7 @@ pub fn run_load(addr: &str, opts: LoadOpts) -> std::io::Result<LoadSummary> {
         clients,
         target_rps: opts.target_rps,
         duration_s: opts.duration_s,
+        wire: opts.wire.name().to_string(),
         sent: agg.sent,
         ok: agg.ok,
         shed: agg.shed,
@@ -167,7 +233,8 @@ impl LoadSummary {
     /// One human-readable table row.
     pub fn row(&self) -> String {
         format!(
-            "{:>8.0} {:>8.0} {:>7} {:>7} {:>6} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            "{:>6} {:>8.0} {:>8.0} {:>7} {:>7} {:>6} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            self.wire,
             self.target_rps,
             self.achieved_rps,
             self.ok,
@@ -183,7 +250,7 @@ impl LoadSummary {
 
     /// Column header matching [`row`](Self::row).
     pub fn header() -> &'static str {
-        "  target   actual      ok   other   shed    err    p50 ms    p95 ms    p99 ms    max ms"
+        "  wire   target   actual      ok   other   shed    err    p50 ms    p95 ms    p99 ms    max ms"
     }
 
     fn to_value(&self) -> Value {
@@ -191,6 +258,7 @@ impl LoadSummary {
             ("clients".into(), Value::Num(self.clients as f64)),
             ("target_rps".into(), Value::Num(self.target_rps)),
             ("duration_s".into(), Value::Num(self.duration_s)),
+            ("wire".into(), Value::str(&self.wire)),
             ("sent".into(), Value::Num(self.sent as f64)),
             ("ok".into(), Value::Num(self.ok as f64)),
             ("shed".into(), Value::Num(self.shed as f64)),
@@ -266,6 +334,11 @@ pub fn parse_bench_serve(text: &str) -> Result<Vec<LoadSummary>, String> {
             clients: num(p, "clients") as usize,
             target_rps: num(p, "target_rps"),
             duration_s: num(p, "duration_s"),
+            wire: p
+                .get("wire")
+                .and_then(Value::as_str)
+                .unwrap_or("json")
+                .to_string(),
             sent: num(p, "sent") as u64,
             ok: num(p, "ok") as u64,
             shed: num(p, "shed") as u64,
@@ -279,6 +352,12 @@ pub fn parse_bench_serve(text: &str) -> Result<Vec<LoadSummary>, String> {
             max_ms: num(p, "max_ms"),
         })
         .collect())
+}
+
+/// The request mix as validated [`Request`]s — shared with tests that
+/// drive the binary wire directly.
+pub fn request_at(id: &str, step: usize) -> Request {
+    protocol::parse_request(&request_line(id, step)).expect("request mix is valid")
 }
 
 #[cfg(test)]
@@ -301,6 +380,7 @@ mod tests {
             clients: 4,
             target_rps: 100.0,
             duration_s: 2.0,
+            wire: "binary".into(),
             sent: 200,
             ok: 180,
             shed: 15,
@@ -318,6 +398,7 @@ mod tests {
         let back = parse_bench_serve(&text).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].ok, 180);
+        assert_eq!(back[0].wire, "binary");
         assert_eq!(back[0].p99_ms, 20.125);
     }
 
@@ -327,5 +408,13 @@ mod tests {
         assert!(err.contains("unsupported schema_version 9"), "{err}");
         let err = parse_bench_serve(r#"{"points": []}"#).unwrap_err();
         assert!(err.contains("missing schema_version"), "{err}");
+    }
+
+    #[test]
+    fn bench_points_without_wire_default_to_json() {
+        let text = r#"{"schema_version": 1, "points": [{"ok": 3}]}"#;
+        let back = parse_bench_serve(text).unwrap();
+        assert_eq!(back[0].wire, "json");
+        assert_eq!(back[0].ok, 3);
     }
 }

@@ -1,29 +1,43 @@
-//! mic-serve: a batched, backpressured simulation-as-a-service layer.
+//! mic-serve: a sharded, batched, backpressured simulation-as-a-service
+//! layer.
 //!
-//! Long-running job server over plain TCP + newline-delimited JSON that
-//! accepts simulation requests against the paper's instrumented kernels,
-//! coalesces identical in-flight requests, folds compatible ones into a
-//! single resilient sweep invocation on one long-lived thread pool, and
-//! answers with explicit backpressure (`status:"shed"`) instead of
-//! buffering without bound. See DESIGN.md "Serving layer".
+//! Long-running job server over plain TCP that accepts simulation
+//! requests against the paper's instrumented kernels. The wire is a
+//! length-prefixed, schema-versioned binary frame protocol
+//! ([`frame`]); the original newline-JSON encoding survives as a
+//! negotiated debug/compat mode (the server sniffs the first byte of a
+//! connection). A front-end [`router`] shards `simulate` jobs across N
+//! independent worker shards by job-key hash — each shard owns its own
+//! admission queue, batch executor, thread pool and result LRU — and
+//! applies per-client quotas with tiered admission so one heavy client
+//! sheds (`status:"shed"`) before starving others. See DESIGN.md
+//! "Serving layer".
 //!
-//! - [`protocol`] — the NDJSON wire format, request validation, and the
-//!   canonical [`protocol::JobSpec`] job identity;
-//! - [`server`] — admission control, coalescing, the batch executor,
-//!   metrics/tracing instrumentation, and the TCP front end;
-//! - [`client`] — the load-generator client and the `BENCH_serve.json`
-//!   exhibit writer/loader;
+//! - [`frame`] — the binary wire codec (magic + version + length + op
+//!   tag), plus the capped line reader the JSON compat mode uses;
+//! - [`protocol`] — request validation, the JSON compat encoding, and
+//!   the canonical [`protocol::JobSpec`] job identity;
+//! - [`router`] — client attribution, quota tiers, shard selection, and
+//!   dead-shard re-routing;
+//! - [`server`] — the per-shard dispatcher (admission, coalescing, the
+//!   batch executor), the bounded connection registry, and the TCP
+//!   front end;
+//! - [`client`] — the load-generator client (both wire modes) and the
+//!   `BENCH_serve.json` exhibit writer/loader;
 //! - [`lru`] — the bounded result cache, sharded N ways;
 //! - [`cell`] — the one-shot result cell coalesced waiters block on.
 //!
 //! The request hot path is lock-free end to end: admission is a bounded
-//! MPMC ring ([`mic_eval::runtime::BoundedQueue`]) guarded by an atomic
-//! depth ticket, results are published through [`cell::ResultCell`]s, and
-//! the executor parks on an event-count. The only locks left are the
-//! coalescing table (a short map probe) and the per-shard LRU mutexes.
+//! MPMC ring ([`mic_eval::runtime::BoundedQueue`]) guarded by a
+//! CAS-claimed depth ticket, results are published through
+//! [`cell::ResultCell`]s, and each executor parks on an event-count. The
+//! only locks left are the per-shard coalescing table (a short map
+//! probe) and the per-shard LRU mutexes.
 
 pub mod cell;
 pub mod client;
+pub mod frame;
 pub mod lru;
 pub mod protocol;
+pub mod router;
 pub mod server;

@@ -15,6 +15,15 @@
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 
+/// The canonical job-key hash, shared by the LRU shard selector and the
+/// router's shard selector so "same key → same home shard" holds across
+/// both layers.
+pub fn hash_key(key: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
 pub struct LruCache {
     cap: usize,
     tick: u64,
@@ -99,9 +108,7 @@ impl ShardedLru {
     }
 
     fn shard(&self, key: &str) -> &parking_lot::Mutex<LruCache> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        &self.shards[(hash_key(key) as usize) % self.shards.len()]
     }
 
     /// Look up `key`, refreshing its recency within its shard.

@@ -1,0 +1,404 @@
+//! The front-end router: shards `simulate` jobs across N independent
+//! dispatchers, enforces per-client quotas with tiered admission, and
+//! re-routes around killed shards.
+//!
+//! ## Sharding
+//!
+//! Each shard is a complete [`Dispatcher`] — admission ring, batch
+//! executor, thread pool, result LRU — with no shared mutable state
+//! between shards (the discipline the paper's multi-core results
+//! motivate: per-worker state stays private, coordination happens at the
+//! edges). A job routes by the hash of its canonical
+//! [`JobSpec::key`](crate::protocol::JobSpec::key), so identical requests
+//! land on the same shard and keep coalescing and LRU locality exactly as
+//! in the single-dispatcher design, while distinct jobs spread across
+//! shards and stop queueing behind each other.
+//!
+//! ## Quotas and tiered admission
+//!
+//! Every connection is attributed to a client (its peer IP). A client's
+//! in-flight `simulate` count is checked against `quota` in two tiers:
+//!
+//! - **hard** (`> 2×quota`): always shed — a runaway client cannot own
+//!   the queue even when the server is idle;
+//! - **soft** (`> quota`, only while the target shard is under pressure,
+//!   i.e. its queue is at least half full): the heavy client sheds first,
+//!   before admission control starts refusing everyone.
+//!
+//! Under-quota clients are never quota-shed; they only see ordinary
+//! queue-full shedding.
+//!
+//! ## Shard death and re-routing
+//!
+//! [`Router::kill_shard`] (the chaos hook, exercised by
+//! `tests/serve_shard_chaos.rs` alongside MIC_FAULT worker-death inside a
+//! shard's pool) marks a shard dead and fails its queued jobs with an
+//! internal marker. Every waiter — admitting or coalesced — observes the
+//! marker inside [`Router::submit_routed`] and retries on the next live
+//! shard in probe order, so an accepted request is re-routed, never lost;
+//! only when no live shard remains does the client see an error.
+
+use crate::protocol::{self, JobSpec, Request, Response};
+use crate::server::{Dispatcher, ServeOpts, ServeStats, Submission, SHARD_DEAD};
+use crate::{frame, lru};
+use mic_eval::runtime::trace as rt_trace;
+use mic_eval::runtime::{NativeEvent, NativeEventKind};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-client (per peer IP) accounting: the in-flight `simulate` count
+/// the quota tiers consult. One instance is shared by every connection
+/// from the same address.
+pub struct ClientState {
+    inflight: AtomicUsize,
+}
+
+impl ClientState {
+    /// Current in-flight simulate requests attributed to this client.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+}
+
+/// Decrements the client's in-flight count when the request resolves,
+/// whatever path it takes out of `handle_request`.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+pub struct Router {
+    opts: ServeOpts,
+    shards: Vec<Arc<Dispatcher>>,
+    alive: Vec<AtomicBool>,
+    pub stats: Arc<ServeStats>,
+    clients: Mutex<HashMap<IpAddr, Arc<ClientState>>>,
+    span_epoch: AtomicU64,
+}
+
+fn scounter(name: &'static str, help: &'static str) -> Arc<mic_metrics::Counter> {
+    mic_metrics::counter(name, help, &[])
+}
+
+impl Router {
+    pub fn new(opts: ServeOpts) -> Router {
+        let stats = Arc::new(ServeStats::default());
+        let shards: Vec<Arc<Dispatcher>> = (0..opts.shards.max(1))
+            .map(|i| Arc::new(Dispatcher::new(i, opts, Arc::clone(&stats))))
+            .collect();
+        let alive = shards.iter().map(|_| AtomicBool::new(true)).collect();
+        Router {
+            opts,
+            shards,
+            alive,
+            stats,
+            clients: Mutex::new(HashMap::new()),
+            span_epoch: AtomicU64::new(0),
+        }
+    }
+
+    pub fn opts(&self) -> &ServeOpts {
+        &self.opts
+    }
+
+    pub fn shards(&self) -> &[Arc<Dispatcher>] {
+        &self.shards
+    }
+
+    /// Spawn one executor thread per shard; the handles join cleanly
+    /// after [`shutdown`](Self::shutdown).
+    pub fn spawn_executors(&self) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let d = Arc::clone(d);
+                std::thread::Builder::new()
+                    .name(format!("serve-exec-{i}"))
+                    .spawn(move || d.executor_loop())
+            })
+            .collect()
+    }
+
+    /// Stop every shard executor (each drains its queue first).
+    pub fn shutdown(&self) {
+        for d in &self.shards {
+            d.request_stop();
+        }
+    }
+
+    /// The client slot for a peer address, created on first sight.
+    pub fn client(&self, ip: IpAddr) -> Arc<ClientState> {
+        Arc::clone(
+            self.clients
+                .lock()
+                .entry(ip)
+                .or_insert_with(|| {
+                    Arc::new(ClientState {
+                        inflight: AtomicUsize::new(0),
+                    })
+                }),
+        )
+    }
+
+    /// Which shard a key routes to before liveness probing.
+    pub fn shard_for(&self, key: &str) -> usize {
+        (lru::hash_key(key) as usize) % self.shards.len()
+    }
+
+    /// Live shard count (the chaos test watches this drop).
+    pub fn shards_alive(&self) -> usize {
+        self.alive.iter().filter(|a| a.load(Ordering::Acquire)).count()
+    }
+
+    /// Chaos hook: kill shard `idx` — its executor drains by *failing*
+    /// queued jobs with the re-route marker and exits; its pool threads
+    /// die with it. Returns false if `idx` was already dead.
+    pub fn kill_shard(&self, idx: usize) -> bool {
+        let was_alive = self.alive[idx].swap(false, Ordering::AcqRel);
+        if was_alive {
+            self.shards[idx].kill();
+        }
+        was_alive
+    }
+
+    /// Route a job to its shard, stepping over dead shards, and re-route
+    /// any job the dying shard handed back. The probe order is
+    /// deterministic (hash, then linear), so a key keeps one home shard
+    /// while liveness is stable — coalescing and LRU locality survive a
+    /// kill.
+    pub fn submit_routed(&self, spec: &JobSpec) -> Submission {
+        let key = spec.key();
+        let home = self.shard_for(&key);
+        let n = self.shards.len();
+        for probe in 0..n {
+            let idx = (home + probe) % n;
+            if !self.alive[idx].load(Ordering::Acquire) {
+                continue;
+            }
+            match self.shards[idx].submit(spec) {
+                Submission::Failed(msg) if msg == SHARD_DEAD => {
+                    // The shard died under us (or was dead but not yet
+                    // marked): record, mark, and try the next one.
+                    self.alive[idx].store(false, Ordering::Release);
+                    self.stats.rerouted.fetch_add(1, Ordering::Relaxed);
+                    if mic_metrics::enabled() {
+                        scounter(
+                            "mic_serve_reroutes_total",
+                            "Jobs re-routed off a dead worker shard.",
+                        )
+                        .inc();
+                    }
+                    continue;
+                }
+                other => return other,
+            }
+        }
+        Submission::Failed("no live worker shards; server is draining".to_string())
+    }
+
+    /// True when the shard a key would route to has a queue at least half
+    /// full — the pressure signal the soft quota tier keys off.
+    fn target_pressured(&self, key: &str) -> bool {
+        let home = self.shard_for(key);
+        let n = self.shards.len();
+        for probe in 0..n {
+            let idx = (home + probe) % n;
+            if self.alive[idx].load(Ordering::Acquire) {
+                return self.shards[idx].depth() * 2 >= self.opts.queue_cap.max(1);
+            }
+        }
+        true // nothing alive: maximally pressured
+    }
+
+    fn quota_shed(&self, id: String, tier: &'static str, concurrent: usize) -> Response {
+        self.stats.quota_shed.fetch_add(1, Ordering::Relaxed);
+        if mic_metrics::enabled() {
+            mic_metrics::counter(
+                "mic_serve_quota_sheds_total",
+                "Simulate requests shed by per-client quota tiers.",
+                &[("tier", tier)],
+            )
+            .inc();
+        }
+        Response::Shed {
+            id,
+            detail: format!(
+                "client quota exceeded ({concurrent} in flight, quota {}, {tier} tier); \
+                 retry with backoff",
+                self.opts.quota
+            ),
+        }
+    }
+
+    /// Handle one newline-JSON request line (the compat wire mode).
+    pub fn handle_line(&self, line: &str, client: &ClientState) -> Response {
+        self.respond(protocol::parse_request(line), client)
+    }
+
+    /// Handle one decoded binary frame (tag + payload).
+    pub fn handle_frame(&self, tag: u8, payload: &[u8], client: &ClientState) -> Response {
+        self.respond(frame::decode_request(tag, payload), client)
+    }
+
+    /// The shared request path both wire modes feed: count, quota-check,
+    /// route, time, and render — every outcome is exactly one response,
+    /// which is the requests==responses invariant `serve bench --check`
+    /// pins.
+    fn respond(
+        &self,
+        parsed: Result<Request, (String, String)>,
+        client: &ClientState,
+    ) -> Response {
+        self.stats.received.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let span_start = rt_trace::enabled().then(rt_trace::now_us);
+        let op: &'static str = match &parsed {
+            Ok(req) => req.op(),
+            Err(_) => "invalid",
+        };
+        let resp = match parsed {
+            Err((id, detail)) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error { id, detail }
+            }
+            Ok(Request::Ping { id }) => Response::Pong { id },
+            Ok(Request::Stats { id }) => {
+                let queue_len: usize = self.shards.iter().map(|s| s.depth()).sum();
+                let inflight: usize = self.shards.iter().map(|s| s.inflight_len()).sum();
+                let mut fields = self.stats.fields(queue_len, inflight);
+                fields.push(("shards".into(), self.shards.len() as f64));
+                fields.push(("shards_alive".into(), self.shards_alive() as f64));
+                Response::Stats { id, fields }
+            }
+            Ok(Request::Simulate { id, spec }) => self.simulate(id, &spec, client),
+        };
+        if mic_metrics::enabled() {
+            let labels = [("op", op)];
+            mic_metrics::counter(
+                "mic_serve_requests_total",
+                "Requests received, by operation.",
+                &labels,
+            )
+            .inc();
+            mic_metrics::counter(
+                "mic_serve_responses_total",
+                "Responses sent, by status.",
+                &[("status", resp.status())],
+            )
+            .inc();
+            mic_metrics::histogram(
+                "mic_serve_request_seconds",
+                "Request latency from first byte parsed to response rendered, by operation.",
+                &labels,
+                &mic_metrics::seconds_buckets(),
+            )
+            .observe(t0.elapsed().as_secs_f64());
+        }
+        if let Some(start_us) = span_start {
+            rt_trace::emit(NativeEvent {
+                runtime: "serve",
+                worker: 0,
+                start_us,
+                end_us: rt_trace::now_us(),
+                kind: NativeEventKind::Region {
+                    epoch: self.span_epoch.fetch_add(1, Ordering::Relaxed),
+                },
+            });
+        }
+        resp
+    }
+
+    fn simulate(&self, id: String, spec: &JobSpec, client: &ClientState) -> Response {
+        let concurrent = client.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        let _guard = InflightGuard(&client.inflight);
+        let quota = self.opts.quota.max(1);
+        if concurrent > quota.saturating_mul(2) {
+            return self.quota_shed(id, "hard", concurrent);
+        }
+        if concurrent > quota && self.target_pressured(&spec.key()) {
+            return self.quota_shed(id, "soft", concurrent);
+        }
+        match self.submit_routed(spec) {
+            Submission::Done { cycles, meta } => {
+                self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                Response::Ok { id, cycles, meta }
+            }
+            Submission::Shed { queue_len } => Response::Shed {
+                id,
+                detail: format!(
+                    "queue full ({queue_len}/{} jobs); retry with backoff",
+                    self.opts.queue_cap
+                ),
+            },
+            Submission::Failed(detail) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error { id, detail }
+            }
+        }
+    }
+
+    /// Count a wire-level failure that never became a request (bad magic,
+    /// oversize frame, capped line, truncated payload).
+    pub fn count_wire_error(&self, kind: &'static str) {
+        self.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
+        if mic_metrics::enabled() {
+            mic_metrics::counter(
+                "mic_serve_frame_errors_total",
+                "Wire-level decode failures that dropped a connection.",
+                &[("kind", kind)],
+            )
+            .inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn spec(threads: usize) -> JobSpec {
+        let line = format!(r#"{{"id":"t","kernel":"coloring","threads":{threads},"scale":512}}"#);
+        match parse_request(&line).unwrap() {
+            Request::Simulate { spec, .. } => spec,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn keys_route_deterministically_and_spread() {
+        let router = Router::new(ServeOpts {
+            shards: 4,
+            ..ServeOpts::default()
+        });
+        let mut seen = std::collections::HashSet::new();
+        for t in 1..64 {
+            let key = spec(t).key();
+            let a = router.shard_for(&key);
+            let b = router.shard_for(&key);
+            assert_eq!(a, b, "routing must be deterministic");
+            seen.insert(a);
+        }
+        assert!(seen.len() > 1, "63 distinct keys must hit more than one shard");
+    }
+
+    #[test]
+    fn kill_shard_marks_dead_once() {
+        let router = Router::new(ServeOpts {
+            shards: 3,
+            ..ServeOpts::default()
+        });
+        assert_eq!(router.shards_alive(), 3);
+        assert!(router.kill_shard(1));
+        assert!(!router.kill_shard(1), "second kill is a no-op");
+        assert_eq!(router.shards_alive(), 2);
+    }
+}

@@ -1,68 +1,78 @@
-//! The mic-serve server: admission control, coalescing, batching, and the
-//! TCP front end.
+//! The mic-serve server: per-shard admission control, coalescing, and
+//! batching behind a bounded TCP front end.
 //!
 //! Life of a request:
 //!
-//! 1. a connection handler parses the line ([`crate::protocol`]);
-//! 2. [`Dispatcher::submit`] consults the sharded result LRU (hit →
-//!    immediate answer), then the in-flight table (identical job already
-//!    admitted → **coalesce**: wait on that job instead of enqueueing),
-//!    then claims a depth ticket against the admission bound (over →
-//!    **shed**: an explicit backpressure response, never an unbounded
-//!    buffer) and pushes onto a lock-free bounded ring;
-//! 3. the single executor thread drains up to `batch_max` queued jobs and
-//!    runs them as ONE resilient sweep invocation
-//!    ([`mic_eval::sweep::try_map_shared`]) on a long-lived thread pool —
-//!    injected faults become per-job [`JobFailure`]s, so a poisoned job
-//!    answers `status:"error"` while the batch's other jobs, the executor
-//!    and the process all survive;
-//! 4. completion publishes each outcome through a one-shot
-//!    [`ResultCell`](crate::cell::ResultCell) — waking the admitting
-//!    request plus all coalesced ones without a per-job lock — and stores
-//!    the result in the LRU.
+//! 1. the accept loop admits the connection against a bounded registry
+//!    (over the cap → an explicit `shed` response, never an unbounded
+//!    thread spawn) and the handler sniffs the wire mode from the first
+//!    byte — binary frames ([`crate::frame`]) or newline-JSON compat
+//!    ([`crate::protocol`]); both reads are capped at
+//!    [`ServeOpts::max_request`] bytes;
+//! 2. the [`crate::router::Router`] attributes the request to its client
+//!    (peer IP), applies the quota tiers, and routes `simulate` jobs to a
+//!    shard by job-key hash;
+//! 3. the shard's [`Dispatcher::submit`] consults its result LRU (hit →
+//!    immediate answer), then its in-flight table (identical job already
+//!    admitted → **coalesce**), then claims a depth ticket with a bounded
+//!    CAS loop against the admission cap (full → **shed**) and pushes
+//!    onto a lock-free bounded ring;
+//! 4. the shard's executor thread drains up to `batch_max` queued jobs
+//!    and runs them as ONE resilient sweep invocation
+//!    ([`mic_eval::sweep::try_map_shared`]) on the shard's long-lived
+//!    pool — injected faults become per-job failures, so a poisoned job
+//!    answers `status:"error"` while everything else survives;
+//! 5. completion publishes each outcome through a one-shot
+//!    [`ResultCell`](crate::cell::ResultCell), waking the admitting
+//!    request plus all coalesced ones, and feeds the shard's LRU.
 //!
 //! No mutex sits on the request hot path: the queue is a
-//! [`BoundedQueue`] ring, the depth bound is an atomic ticket, result
-//! hand-off is a guard-word cell, and the executor parks on an
-//! [`EventCount`]. The in-flight coalescing table keeps a short mutexed
-//! map probe (it must atomically test-and-insert a key), and the LRU
-//! locks only one of its shards per probe.
-//!
-//! Everything observable is counted: `mic_serve_requests_total{op}` /
-//! `mic_serve_responses_total{status}` / `mic_serve_request_seconds{op}`
-//! (the histogram count equals the request counter per op — an invariant
-//! the integration tests and `serve bench --check` pin),
-//! `mic_serve_coalesce_hits_total`, `mic_serve_sheds_total`,
-//! `mic_serve_cache_hits_total`, `mic_serve_batches_total`,
-//! `mic_serve_batch_jobs`, `mic_serve_queue_depth`. With `MIC_TRACE`
-//! capture active, each request additionally emits a `"serve"` span.
+//! [`BoundedQueue`] ring, the depth bound is a CAS-claimed atomic ticket
+//! (never transiently over the cap, so concurrent submitters can't shed
+//! each other spuriously), result hand-off is a guard-word cell, and each
+//! executor parks on an [`EventCount`]. Shutdown is complete: the accept
+//! loop, every live connection handler (their sockets are shut down to
+//! unblock reads) and every shard executor are joined before
+//! [`Server::shutdown`] returns — no handler can write after it.
 
 use crate::cell::ResultCell;
+use crate::frame::{self, LineRead};
 use crate::lru::ShardedLru;
-use crate::protocol::{self, JobSpec, Request, Response, SimMeta};
-use mic_eval::runtime::trace as rt_trace;
-use mic_eval::runtime::{BoundedQueue, EventCount, NativeEvent, NativeEventKind, ThreadPool};
+use crate::protocol::{JobSpec, Response, SimMeta};
+use crate::router::Router;
+use mic_eval::config::SuiteConfig;
+use mic_eval::runtime::{BoundedQueue, EventCount, ThreadPool};
 use mic_eval::sweep::{self, SweepCfg};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufReader, Write};
+use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Serving knobs. All bounded; the defaults suit tests and single-host
-/// benchmarking.
+/// benchmarking, and [`ServeOpts::from_config`] overlays the installed
+/// [`SuiteConfig`]'s `MIC_SERVE_*` knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeOpts {
-    /// Admission bound: requests beyond this many *queued* jobs are shed.
+    /// Per-shard admission bound: requests beyond this many *queued* jobs
+    /// on a shard are shed.
     pub queue_cap: usize,
     /// Most jobs folded into one sweep invocation.
     pub batch_max: usize,
-    /// Result-LRU capacity (0 disables result caching).
+    /// Per-shard result-LRU capacity (0 disables result caching).
     pub lru_cap: usize,
-    /// Executor pool workers (one pool shared across every batch).
+    /// Executor pool workers per shard.
     pub pool_threads: usize,
+    /// Worker shards (each with its own queue, executor, pool and LRU).
+    pub shards: usize,
+    /// Per-client in-flight simulate quota (soft tier; hard tier at 2×).
+    pub quota: usize,
+    /// Concurrent connection cap; connects past it get a `shed` response.
+    pub conn_cap: usize,
+    /// Largest accepted request in bytes (JSON line or binary payload).
+    pub max_request: usize,
 }
 
 impl Default for ServeOpts {
@@ -72,12 +82,30 @@ impl Default for ServeOpts {
             batch_max: 8,
             lru_cap: 256,
             pool_threads: 4,
+            shards: 4,
+            quota: 256,
+            conn_cap: 256,
+            max_request: 64 * 1024,
+        }
+    }
+}
+
+impl ServeOpts {
+    /// Defaults overlaid with the serve knobs of a [`SuiteConfig`].
+    pub fn from_config(cfg: &SuiteConfig) -> ServeOpts {
+        ServeOpts {
+            shards: cfg.serve_shards.max(1),
+            quota: cfg.serve_quota.max(1),
+            conn_cap: cfg.serve_conn_cap.max(1),
+            max_request: cfg.serve_max_request,
+            ..ServeOpts::default()
         }
     }
 }
 
 /// Monotonic serving counters, independent of the metrics registry (the
-/// `stats` op reports these even when metrics are off).
+/// `stats` op reports these even when metrics are off). Shared by the
+/// router and every shard dispatcher.
 #[derive(Default)]
 pub struct ServeStats {
     pub received: AtomicU64,
@@ -88,10 +116,19 @@ pub struct ServeStats {
     pub cache_hits: AtomicU64,
     pub batches: AtomicU64,
     pub executed: AtomicU64,
+    /// Jobs re-routed off a dead shard (none lost).
+    pub rerouted: AtomicU64,
+    /// Requests shed by the per-client quota tiers.
+    pub quota_shed: AtomicU64,
+    /// Connections refused by the bounded connection registry.
+    pub conn_shed: AtomicU64,
+    /// Wire-level failures (oversize/bad-magic/truncated) that dropped a
+    /// connection.
+    pub frame_errors: AtomicU64,
 }
 
 impl ServeStats {
-    fn fields(&self, queue_len: usize, inflight: usize) -> Vec<(String, f64)> {
+    pub(crate) fn fields(&self, queue_len: usize, inflight: usize) -> Vec<(String, f64)> {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
         vec![
             ("received".into(), g(&self.received)),
@@ -102,6 +139,10 @@ impl ServeStats {
             ("cache_hits".into(), g(&self.cache_hits)),
             ("batches".into(), g(&self.batches)),
             ("executed".into(), g(&self.executed)),
+            ("rerouted".into(), g(&self.rerouted)),
+            ("quota_shed".into(), g(&self.quota_shed)),
+            ("conn_shed".into(), g(&self.conn_shed)),
+            ("frame_errors".into(), g(&self.frame_errors)),
             ("queue_len".into(), queue_len as f64),
             ("inflight".into(), inflight as f64),
         ]
@@ -121,29 +162,43 @@ pub enum Submission {
     /// The job produced a result (computed, coalesced, or cached).
     Done { cycles: f64, meta: SimMeta },
     /// Admission control refused the job; the client should back off.
+    /// `queue_len` is clamped to the admission cap — it reports the
+    /// bounded queue, not a transient ticket value.
     Shed { queue_len: usize },
     /// The job ran and failed (e.g. an injected fault exhausted retries).
     Failed(String),
 }
 
+/// Internal marker a dying shard hands back so the router re-routes the
+/// job instead of failing the client. Never escapes to a response.
+pub(crate) const SHARD_DEAD: &str = "worker shard died; job re-routed";
+
+/// One worker shard: admission ring, coalescing table, batch executor,
+/// pool and result LRU. Shards never touch each other's state.
 pub struct Dispatcher {
+    shard: usize,
+    shard_label: String,
     opts: ServeOpts,
     cfg: SweepCfg,
     /// Lock-free admission ring. Capacity (next power of two ≥ `queue_cap`)
     /// can never be exceeded because `depth` tickets bound occupancy at
     /// `queue_cap`, so `push` cannot fail.
     queue: BoundedQueue<Arc<Job>>,
-    /// Queued-job count, maintained at enqueue/dequeue. Doubles as the
-    /// admission ticket: `fetch_add` past `queue_cap` means shed.
+    /// Queued-job count, maintained at enqueue/dequeue. Admission claims
+    /// it with a bounded CAS loop, so it never exceeds `queue_cap` even
+    /// transiently — concurrent submitters cannot shed each other with
+    /// overshoot tickets.
     depth: AtomicUsize,
     /// Coalescing table: key → in-flight job. The one remaining lock on
     /// the submit path (atomic test-and-insert of the key).
     inflight: Mutex<HashMap<String, Arc<Job>>>,
     wake: EventCount,
     lru: ShardedLru,
-    pub stats: ServeStats,
+    stats: Arc<ServeStats>,
     stop: AtomicBool,
-    span_epoch: AtomicU64,
+    /// Chaos: a killed shard fails queued jobs with [`SHARD_DEAD`] so the
+    /// router re-routes them.
+    dead: AtomicBool,
 }
 
 fn scounter(name: &'static str, help: &'static str) -> Arc<mic_metrics::Counter> {
@@ -151,10 +206,12 @@ fn scounter(name: &'static str, help: &'static str) -> Arc<mic_metrics::Counter>
 }
 
 impl Dispatcher {
-    pub fn new(opts: ServeOpts) -> Dispatcher {
+    pub fn new(shard: usize, opts: ServeOpts, stats: Arc<ServeStats>) -> Dispatcher {
         let mut cfg = SweepCfg::from_env();
         cfg.threads = opts.pool_threads.max(1);
         Dispatcher {
+            shard,
+            shard_label: shard.to_string(),
             opts,
             cfg,
             queue: BoundedQueue::new(opts.queue_cap.max(1)),
@@ -162,9 +219,9 @@ impl Dispatcher {
             inflight: Mutex::new(HashMap::new()),
             wake: EventCount::named("serve-exec"),
             lru: ShardedLru::new(opts.lru_cap),
-            stats: ServeStats::default(),
+            stats,
             stop: AtomicBool::new(false),
-            span_epoch: AtomicU64::new(0),
+            dead: AtomicBool::new(false),
         }
     }
 
@@ -172,8 +229,58 @@ impl Dispatcher {
         &self.opts
     }
 
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Queued (admitted, not yet executing) jobs on this shard.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// In-flight (admitted or executing) distinct jobs on this shard.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().len()
+    }
+
+    /// Ask the executor to stop once the queue is drained.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.wake.notify();
+    }
+
+    /// Chaos: mark the shard dead. Queued jobs are failed with the
+    /// re-route marker (by the executor, or by any submitter that races
+    /// past the executor's exit) — they are re-routed, not lost.
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        self.wake.notify();
+        // The executor may already be gone (or mid-batch): drain here too
+        // so no queued job waits on a dead shard.
+        self.drain_dead();
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Fail every queued job with the re-route marker. Safe to call from
+    /// any thread, concurrently with the executor: the ring is MPMC and
+    /// the result cells are one-shot.
+    fn drain_dead(&self) {
+        while let Some(job) = self.queue.pop() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            self.inflight.lock().remove(&job.key);
+            let _ = job.done.set(Err(SHARD_DEAD.to_string()));
+        }
+        self.set_queue_gauge();
+    }
+
     /// Admit one job and block until it resolves (or is shed).
     pub fn submit(&self, spec: &JobSpec) -> Submission {
+        if self.is_dead() {
+            return Submission::Failed(SHARD_DEAD.to_string());
+        }
         let t0 = Instant::now();
         let key = spec.key();
         if let Some(cycles) = self.lru.get(&key) {
@@ -208,12 +315,26 @@ impl Dispatcher {
                 }
                 (Arc::clone(job), true)
             } else {
-                // Claim an admission ticket: the ring holds at most
-                // `queue_cap` jobs, so a ticket at or past the cap is a
-                // shed, and a ticket under it guarantees the push succeeds.
-                let ticket = self.depth.fetch_add(1, Ordering::AcqRel);
-                if ticket >= self.opts.queue_cap {
-                    self.depth.fetch_sub(1, Ordering::AcqRel);
+                // Claim an admission ticket with a bounded CAS loop: the
+                // counter is only ever incremented while strictly under
+                // the cap, so it cannot overshoot and a burst of
+                // concurrent submitters cannot observe phantom depth.
+                let mut seen = self.depth.load(Ordering::Relaxed);
+                let admitted = loop {
+                    if seen >= self.opts.queue_cap {
+                        break false;
+                    }
+                    match self.depth.compare_exchange_weak(
+                        seen,
+                        seen + 1,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => break true,
+                        Err(cur) => seen = cur,
+                    }
+                };
+                if !admitted {
                     drop(inflight);
                     self.stats.shed.fetch_add(1, Ordering::Relaxed);
                     if mic_metrics::enabled() {
@@ -223,7 +344,11 @@ impl Dispatcher {
                         )
                         .inc();
                     }
-                    return Submission::Shed { queue_len: ticket };
+                    return Submission::Shed {
+                        // Clamped: reports the bounded queue, never a raw
+                        // over-cap ticket.
+                        queue_len: seen.min(self.opts.queue_cap),
+                    };
                 }
                 let job = Arc::new(Job {
                     spec: spec.clone(),
@@ -237,6 +362,12 @@ impl Dispatcher {
                 }
                 self.set_queue_gauge();
                 self.wake.notify();
+                if self.is_dead() {
+                    // Raced a kill: the executor may have drained and
+                    // exited before our push landed. Drain ourselves so
+                    // this job (and any neighbour) fails over promptly.
+                    self.drain_dead();
+                }
                 (job, false)
             }
         };
@@ -254,26 +385,37 @@ impl Dispatcher {
         }
     }
 
-    /// Export the queue depth from its `AtomicUsize` — called at enqueue
-    /// and dequeue, never while holding any lock.
+    /// Export this shard's queue depth from its `AtomicUsize` — called at
+    /// enqueue and dequeue, never while holding any lock.
     fn set_queue_gauge(&self) {
         if mic_metrics::enabled() {
             mic_metrics::gauge(
                 "mic_serve_queue_depth",
-                "Jobs admitted and waiting for the batch executor.",
-                &[],
+                "Jobs admitted and waiting for a shard's batch executor.",
+                &[("shard", &self.shard_label)],
             )
             .set(self.depth.load(Ordering::Relaxed) as f64);
         }
     }
 
-    /// The batch executor: runs until [`stop`](Self::shutdown) with an
-    /// empty queue. One long-lived pool serves every batch.
-    fn executor_loop(&self) {
+    /// The shard's batch executor: runs until [`request_stop`] with an
+    /// empty queue, or until [`kill`] (which fails queued jobs over to
+    /// other shards). One long-lived pool serves every batch.
+    ///
+    /// [`request_stop`]: Self::request_stop
+    /// [`kill`]: Self::kill
+    pub fn executor_loop(&self) {
         let pool = ThreadPool::new(self.cfg.threads.max(1));
         loop {
-            self.wake
-                .park_until(|| self.stop.load(Ordering::SeqCst) || !self.queue.is_empty());
+            self.wake.park_until(|| {
+                self.stop.load(Ordering::SeqCst)
+                    || self.dead.load(Ordering::SeqCst)
+                    || !self.queue.is_empty()
+            });
+            if self.is_dead() {
+                self.drain_dead();
+                return;
+            }
             let mut batch: Vec<Arc<Job>> = Vec::new();
             while batch.len() < self.opts.batch_max.max(1) {
                 match self.queue.pop() {
@@ -298,7 +440,7 @@ impl Dispatcher {
             if mic_metrics::enabled() {
                 scounter(
                     "mic_serve_batches_total",
-                    "Sweep invocations issued by the batch executor.",
+                    "Sweep invocations issued by the batch executors.",
                 )
                 .inc();
                 mic_metrics::histogram(
@@ -333,96 +475,118 @@ impl Dispatcher {
             }
         }
     }
+}
 
-    /// Handle one raw request line end to end: parse, dispatch, count,
-    /// time, and render the response. Never panics on bad input — every
-    /// outcome is a response line.
-    pub fn handle_line(&self, line: &str) -> Response {
-        self.stats.received.fetch_add(1, Ordering::Relaxed);
-        let t0 = Instant::now();
-        let span_start = rt_trace::enabled().then(rt_trace::now_us);
-        let parsed = protocol::parse_request(line);
-        let op: &'static str = match &parsed {
-            Ok(req) => req.op(),
-            Err(_) => "invalid",
-        };
-        let resp = match parsed {
-            Err((id, detail)) => {
-                self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                Response::Error { id, detail }
-            }
-            Ok(Request::Ping { id }) => Response::Pong { id },
-            Ok(Request::Stats { id }) => {
-                let queue_len = self.depth.load(Ordering::Relaxed);
-                let inflight = self.inflight.lock().len();
-                Response::Stats {
-                    id,
-                    fields: self.stats.fields(queue_len, inflight),
-                }
-            }
-            Ok(Request::Simulate { id, spec }) => match self.submit(&spec) {
-                Submission::Done { cycles, meta } => {
-                    self.stats.ok.fetch_add(1, Ordering::Relaxed);
-                    Response::Ok { id, cycles, meta }
-                }
-                Submission::Shed { queue_len } => Response::Shed {
-                    id,
-                    detail: format!(
-                        "queue full ({queue_len}/{} jobs); retry with backoff",
-                        self.opts.queue_cap
-                    ),
-                },
-                Submission::Failed(detail) => {
-                    self.stats.errors.fetch_add(1, Ordering::Relaxed);
-                    Response::Error { id, detail }
-                }
-            },
-        };
-        if mic_metrics::enabled() {
-            let labels = [("op", op)];
-            mic_metrics::counter(
-                "mic_serve_requests_total",
-                "Requests received, by operation.",
-                &labels,
-            )
-            .inc();
-            mic_metrics::counter(
-                "mic_serve_responses_total",
-                "Responses sent, by status.",
-                &[("status", resp.status())],
-            )
-            .inc();
-            mic_metrics::histogram(
-                "mic_serve_request_seconds",
-                "Request latency from first byte parsed to response rendered, by operation.",
-                &labels,
-                &mic_metrics::seconds_buckets(),
-            )
-            .observe(t0.elapsed().as_secs_f64());
+/// Tracks live connections: a bounded slot count (the fix for the
+/// unbounded thread-per-connection spawn) plus the stream and join handle
+/// of every handler, so shutdown can unblock their reads and join them.
+struct ConnRegistry {
+    cap: usize,
+    active: AtomicUsize,
+    next_id: AtomicU64,
+    conns: Mutex<HashMap<u64, ConnSlot>>,
+}
+
+struct ConnSlot {
+    stream: TcpStream,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ConnRegistry {
+    fn new(cap: usize) -> ConnRegistry {
+        ConnRegistry {
+            cap: cap.max(1),
+            active: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
         }
-        if let Some(start_us) = span_start {
-            rt_trace::emit(NativeEvent {
-                runtime: "serve",
-                worker: 0,
-                start_us,
-                end_us: rt_trace::now_us(),
-                kind: NativeEventKind::Region {
-                    epoch: self.span_epoch.fetch_add(1, Ordering::Relaxed),
-                },
-            });
+    }
+
+    /// Claim a connection slot with a bounded CAS loop (same discipline
+    /// as the admission ticket: no transient overshoot).
+    fn try_admit(&self) -> bool {
+        let mut seen = self.active.load(Ordering::Relaxed);
+        loop {
+            if seen >= self.cap {
+                return false;
+            }
+            match self.active.compare_exchange_weak(
+                seen,
+                seen + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(cur) => seen = cur,
+            }
         }
-        resp
+    }
+
+    /// Register an admitted connection; the handle is attached once the
+    /// handler thread is spawned.
+    fn register(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.conns
+            .lock()
+            .insert(id, ConnSlot { stream, handle: None });
+        id
+    }
+
+    fn attach(&self, id: u64, handle: std::thread::JoinHandle<()>) {
+        let stale = {
+            let mut conns = self.conns.lock();
+            match conns.get_mut(&id) {
+                Some(slot) => {
+                    slot.handle = Some(handle);
+                    None
+                }
+                // The handler already released its slot (very short
+                // connection): join it outside the lock — it is at (or
+                // moments from) its end.
+                None => Some(handle),
+            }
+        };
+        if let Some(h) = stale {
+            let _ = h.join();
+        }
+    }
+
+    /// Release a slot from its own handler thread as its final act.
+    fn release(&self, id: u64) {
+        if self.conns.lock().remove(&id).is_some() {
+            self.active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Shut down every live connection's socket (unblocking handler
+    /// reads/writes) and join the handlers. Called with no lock held
+    /// while joining, so racing `release` calls cannot deadlock.
+    fn shutdown_all(&self) {
+        let slots: Vec<ConnSlot> = {
+            let mut conns = self.conns.lock();
+            conns.drain().map(|(_, slot)| slot).collect()
+        };
+        for slot in &slots {
+            let _ = slot.stream.shutdown(Shutdown::Both);
+        }
+        for slot in slots {
+            if let Some(h) = slot.handle {
+                let _ = h.join();
+            }
+        }
     }
 }
 
 /// A running server bound to `addr`. Dropping (or calling
-/// [`shutdown`](Server::shutdown)) stops the accept loop and the
-/// executor; in-flight batches finish first.
+/// [`shutdown`](Server::shutdown)) stops the accept loop, joins every
+/// live connection handler, and drains and joins every shard executor.
 pub struct Server {
     pub addr: SocketAddr,
-    dispatcher: Arc<Dispatcher>,
+    router: Arc<Router>,
+    registry: Arc<ConnRegistry>,
+    stopping: Arc<AtomicBool>,
     accept: Option<std::thread::JoinHandle<()>>,
-    executor: Option<std::thread::JoinHandle<()>>,
+    executors: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -430,58 +594,93 @@ impl Server {
     pub fn start(addr: &str, opts: ServeOpts) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let dispatcher = Arc::new(Dispatcher::new(opts));
-        let executor = {
-            let d = Arc::clone(&dispatcher);
-            std::thread::Builder::new()
-                .name("serve-exec".into())
-                .spawn(move || d.executor_loop())?
-        };
+        let router = Arc::new(Router::new(opts));
+        let registry = Arc::new(ConnRegistry::new(opts.conn_cap));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let executors = router.spawn_executors()?;
         let accept = {
-            let d = Arc::clone(&dispatcher);
+            let router = Arc::clone(&router);
+            let registry = Arc::clone(&registry);
+            let stopping = Arc::clone(&stopping);
             std::thread::Builder::new()
                 .name("serve-accept".into())
                 .spawn(move || {
                     for stream in listener.incoming() {
-                        if d.stop.load(Ordering::SeqCst) {
+                        if stopping.load(Ordering::SeqCst) {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        let d = Arc::clone(&d);
-                        let _ = std::thread::Builder::new()
+                        if !registry.try_admit() {
+                            refuse_connection(stream, &router);
+                            continue;
+                        }
+                        let Ok(watch) = stream.try_clone() else {
+                            registry.release_unattached();
+                            continue;
+                        };
+                        let id = registry.register(watch);
+                        let r = Arc::clone(&router);
+                        let reg = Arc::clone(&registry);
+                        match std::thread::Builder::new()
                             .name("serve-conn".into())
-                            .spawn(move || handle_connection(stream, &d));
+                            .spawn(move || {
+                                handle_connection(stream, &r);
+                                reg.release(id);
+                            }) {
+                            Ok(handle) => registry.attach(id, handle),
+                            Err(_) => registry.release(id),
+                        }
                     }
                 })?
         };
         Ok(Server {
             addr: local,
-            dispatcher,
+            router,
+            registry,
+            stopping,
             accept: Some(accept),
-            executor: Some(executor),
+            executors,
         })
     }
 
-    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
-        &self.dispatcher
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
     }
 
-    /// Stop accepting, drain the queue, and join the service threads.
+    /// The shared serving counters (the `stats` op reports the same).
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.router.stats
+    }
+
+    /// Stop accepting, join live connection handlers, drain the shard
+    /// queues, and join the executors.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        self.dispatcher.stop.store(true, Ordering::SeqCst);
-        self.dispatcher.wake.notify();
+        self.stopping.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.executor.take() {
+        // Join handlers BEFORE stopping executors: a handler blocked on a
+        // submitted job needs the executor alive to resolve its cell; its
+        // socket is shut down, so its next read (or response write)
+        // fails and the thread exits.
+        self.registry.shutdown_all();
+        self.router.shutdown();
+        for h in self.executors.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+impl ConnRegistry {
+    /// Undo `try_admit` when no slot was ever registered.
+    fn release_unattached(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -493,23 +692,108 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, d: &Dispatcher) {
-    // One short request line per response round trip: Nagle + delayed ACK
+/// Refuse an over-cap connection with one explicit `shed` response and
+/// close it. Mode negotiation has not happened yet, so the refusal always
+/// speaks JSON (the compat mode); the binary client falls back to parsing
+/// a JSON line when the first response byte is not the frame magic.
+fn refuse_connection(stream: TcpStream, router: &Router) {
+    router.stats.conn_shed.fetch_add(1, Ordering::Relaxed);
+    if mic_metrics::enabled() {
+        mic_metrics::counter(
+            "mic_serve_conn_sheds_total",
+            "Connections refused by the bounded connection registry.",
+            &[],
+        )
+        .inc();
+    }
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(250)));
+    let resp = Response::Shed {
+        id: String::new(),
+        detail: format!(
+            "connection limit reached ({} live connections); retry with backoff",
+            router.opts().conn_cap
+        ),
+    };
+    let mut stream = stream;
+    let _ = writeln!(stream, "{}", resp.render());
+}
+
+/// Serve one connection until EOF, a wire error, or shutdown. The first
+/// byte selects the wire mode: the frame magic means binary framing for
+/// the rest of the connection, anything else is newline-JSON compat.
+fn handle_connection(stream: TcpStream, router: &Router) {
+    // One short request per response round trip: Nagle + delayed ACK
     // would add ~40 ms to every exchange.
     let _ = stream.set_nodelay(true);
+    let client_ip = stream
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(Ipv4Addr::LOCALHOST));
+    let client = router.client(client_ip);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let binary = match std::io::BufRead::fill_buf(&mut reader) {
+        Ok([]) | Err(_) => return, // EOF or failure before the first byte
+        Ok(buf) => buf[0] == frame::MAGIC[0],
+    };
+    let max = router.opts().max_request.max(256);
+    if binary {
+        loop {
+            match frame::read_frame(&mut reader, max) {
+                Ok(None) => break, // clean EOF between frames
+                Ok(Some((tag, payload))) => {
+                    let resp = router.handle_frame(tag, &payload, &client);
+                    let (rtag, rpayload) = frame::encode_response(&resp);
+                    if frame::write_frame(&mut writer, rtag, &rpayload).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // A wire-level failure poisons the stream framing:
+                    // answer one final error frame and drop.
+                    router.count_wire_error(e.kind());
+                    let resp = Response::Error {
+                        id: String::new(),
+                        detail: format!("{e}; closing connection"),
+                    };
+                    let (rtag, rpayload) = frame::encode_response(&resp);
+                    let _ = frame::write_frame(&mut writer, rtag, &rpayload);
+                    break;
+                }
+            }
         }
-        let resp = d.handle_line(&line);
-        if writeln!(writer, "{}", resp.render()).is_err() {
-            break;
+    } else {
+        loop {
+            match frame::read_line_capped(&mut reader, max) {
+                Ok(LineRead::Eof) => break,
+                Ok(LineRead::Line(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let resp = router.handle_line(&line, &client);
+                    if writeln!(writer, "{}", resp.render()).is_err() {
+                        break;
+                    }
+                }
+                Ok(LineRead::Overflow) => {
+                    // The unbounded-line fix: answer an explicit error and
+                    // drop the connection instead of buffering forever.
+                    router.count_wire_error("line_overflow");
+                    let resp = Response::Error {
+                        id: String::new(),
+                        detail: format!(
+                            "request exceeds the {max}-byte limit; closing connection"
+                        ),
+                    };
+                    let _ = writeln!(writer, "{}", resp.render());
+                    break;
+                }
+                Err(_) => break,
+            }
         }
     }
 }

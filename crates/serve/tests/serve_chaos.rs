@@ -38,6 +38,8 @@ fn run_under_faults() {
             batch_max: 4,
             lru_cap: 0,
             pool_threads: 2,
+            shards: 1, // one executor so the batch positions are exact
+            ..ServeOpts::default()
         },
     )
     .expect("start server");

@@ -36,6 +36,8 @@ fn identical_concurrent_requests_coalesce_into_one_executed_job() {
             batch_max: 1,
             lru_cap: 0, // no result cache: every request must queue or coalesce
             pool_threads: 2,
+            shards: 1, // single queue: the coalescing counts are exact
+            ..ServeOpts::default()
         },
     )
     .expect("start server");
@@ -101,6 +103,8 @@ fn queue_overflow_sheds_explicitly_and_recovers() {
             batch_max: 1,
             lru_cap: 0,
             pool_threads: 2,
+            shards: 1, // one admission queue so "full" is deterministic
+            ..ServeOpts::default()
         },
     )
     .expect("start server");

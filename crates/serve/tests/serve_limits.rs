@@ -1,0 +1,189 @@
+//! Regression tests for the serve front end's resource-exhaustion fixes:
+//! capped request reads, the bounded + joined connection registry, and
+//! CAS-claimed admission tickets that neither overshoot nor misreport.
+
+use mic_serve::protocol::{self, Response};
+use mic_serve::server::{Dispatcher, ServeOpts, ServeStats, Server, Submission};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Regression (unbounded `BufReader::lines()`): a request line longer
+/// than the cap gets an explicit error response and a dropped connection
+/// — without waiting for a newline that may never come.
+#[test]
+fn oversized_json_line_is_refused_and_connection_dropped() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeOpts {
+            max_request: 1024,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("start server");
+    let stream = TcpStream::connect(server.addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    // 4 KiB of an endless "line" with NO terminating newline: the old
+    // reader would buffer forever; the capped one answers as soon as the
+    // cap is crossed.
+    let flood = vec![b'{'; 4096];
+    writer.write_all(&flood).unwrap();
+    writer.flush().unwrap();
+    let mut resp_line = String::new();
+    reader.read_line(&mut resp_line).unwrap();
+    match protocol::parse_response(resp_line.trim_end()).unwrap() {
+        Response::Error { detail, .. } => {
+            assert!(detail.contains("limit"), "{detail}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Dropped: EOF follows the error response.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    assert_eq!(server.stats().frame_errors.load(Ordering::Relaxed), 1);
+    // The server still serves new, well-behaved connections.
+    let stream = TcpStream::connect(server.addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    writeln!(writer, r#"{{"id":"p","op":"ping"}}"#).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        protocol::parse_response(line.trim_end()).unwrap(),
+        Response::Pong { .. }
+    ));
+    server.shutdown();
+}
+
+/// Regression (unbounded thread-per-connection + never-joined handlers):
+/// connects past the cap are refused with a `shed` response instead of a
+/// new thread, and `shutdown` returns even with idle connections still
+/// open — their handlers are unblocked and joined.
+#[test]
+fn connection_cap_sheds_and_shutdown_joins_live_handlers() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeOpts {
+            conn_cap: 2,
+            ..ServeOpts::default()
+        },
+    )
+    .expect("start server");
+    // Two idle connections occupy the registry (their handlers sit in the
+    // first-byte sniff).
+    let idle1 = TcpStream::connect(server.addr).unwrap();
+    let idle2 = TcpStream::connect(server.addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The third connect is refused with an explicit shed line.
+    let refused = TcpStream::connect(server.addr).unwrap();
+    let mut reader = BufReader::new(refused);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    match protocol::parse_response(line.trim_end()).unwrap() {
+        Response::Shed { detail, .. } => {
+            assert!(detail.contains("connection limit"), "{detail}");
+        }
+        other => panic!("expected shed, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "refused connection is closed");
+    assert_eq!(server.stats().conn_shed.load(Ordering::Relaxed), 1);
+
+    // A released slot is reusable: drop one idle connection and the next
+    // connect is admitted and served.
+    drop(idle1);
+    let mut admitted = None;
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(20));
+        let stream = TcpStream::connect(server.addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writeln!(writer, r#"{{"id":"p","op":"ping"}}"#).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        match protocol::parse_response(line.trim_end()).unwrap() {
+            Response::Pong { .. } => {
+                admitted = Some(());
+                break;
+            }
+            Response::Shed { .. } => continue, // slot not yet released
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(admitted.is_some(), "freed slot admits a new connection");
+
+    // The join fix: shutdown returns with `idle2` (and the ping
+    // connection) still open — the old server would leave those handler
+    // threads running forever.
+    server.shutdown();
+    drop(idle2);
+}
+
+/// Regression (blind `fetch_add` tickets): concurrent over-capacity
+/// submitters must each see a `queue_len` clamped to the cap (never a raw
+/// over-cap ticket), and the transient overshoot that could shed a
+/// request even though a slot was free must be gone — exactly `queue_cap`
+/// jobs are admitted.
+#[test]
+fn shed_reports_clamped_depth_and_tickets_never_overshoot() {
+    let opts = ServeOpts {
+        queue_cap: 4,
+        lru_cap: 0,
+        shards: 1,
+        ..ServeOpts::default()
+    };
+    // A dispatcher with NO executor: admitted jobs stay queued, so the
+    // queue is saturated deterministically.
+    let dispatcher = Arc::new(Dispatcher::new(0, opts, Arc::new(ServeStats::default())));
+    let submitters: Vec<_> = (0..16)
+        .map(|i| {
+            let d = Arc::clone(&dispatcher);
+            std::thread::spawn(move || {
+                let line = format!(
+                    r#"{{"id":"t{i}","kernel":"coloring","threads":{},"scale":512}}"#,
+                    i + 1
+                );
+                let protocol::Request::Simulate { spec, .. } =
+                    protocol::parse_request(&line).unwrap()
+                else {
+                    panic!()
+                };
+                d.submit(&spec)
+            })
+        })
+        .collect();
+    // Let every submitter resolve (shed) or block (admitted), then fail
+    // the queued jobs over so the blocked threads return.
+    while dispatcher.depth() < 4 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    dispatcher.kill();
+
+    let mut shed = 0;
+    let mut failed = 0;
+    for h in submitters {
+        match h.join().unwrap() {
+            Submission::Shed { queue_len } => {
+                shed += 1;
+                assert!(
+                    queue_len <= 4,
+                    "shed must report the bounded queue, got {queue_len}"
+                );
+            }
+            Submission::Failed(_) => failed += 1, // admitted, then failed over
+            Submission::Done { .. } => panic!("no executor is running"),
+        }
+    }
+    assert_eq!(failed, 4, "exactly queue_cap submitters are admitted");
+    assert_eq!(shed, 12, "the rest shed — no spurious extra sheds");
+    assert_eq!(dispatcher.depth(), 0, "kill drained the queue");
+}

@@ -29,6 +29,8 @@ fn request_latency_histogram_counts_equal_request_counters() {
                 batch_max: 4,
                 lru_cap: 16,
                 pool_threads: 2,
+                shards: 1, // exact-count assertions need one executor
+                ..ServeOpts::default()
             },
         )
         .expect("start server");
@@ -47,8 +49,7 @@ fn request_latency_histogram_counts_equal_request_counters() {
         ));
         assert!(matches!(rpc(addr, "garbage"), Response::Error { .. }));
         let received = server
-            .dispatcher()
-            .stats
+            .stats()
             .received
             .load(std::sync::atomic::Ordering::Relaxed);
         server.shutdown();
