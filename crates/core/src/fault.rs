@@ -14,6 +14,7 @@
 //! class     = "job-panic" | "job-stall" | "job-slow"
 //!           | "worker-panic" | "worker-stall" | "worker-slow" | "worker-die"
 //!           | "cache-short-read" | "cache-enospc"
+//!           | "io-short-write" | "io-torn-page" | "io-fsync-fail" | "io-open-fail"
 //! ```
 //!
 //! `@rate` fires probabilistically (per site *and attempt*, so retries can
@@ -27,8 +28,16 @@
 //! faults hit the runtime layer through [`mic_runtime::fault`] (site = the
 //! chunk's first iteration index, or the region epoch for `worker-die`).
 //! `cache-*` faults hit wl1 cache I/O (site = a hash of the file name).
+//! `io-*` faults hit the paged store's file boundaries through
+//! [`mic_store::fault`] (site = page id for writes, committing epoch for
+//! fsyncs, file-name hash for opens). An *unknown* `io-` subclass is
+//! skipped with a warning instead of rejecting the whole spec — the io
+//! family is expected to grow, and a chaos sweep with one newer rule
+//! should still run its known rules (any other unknown class stays a
+//! hard error).
 
 use mic_runtime::fault as rt_fault;
+use mic_store::fault as store_fault;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
@@ -55,10 +64,20 @@ pub enum FaultClass {
     CacheShortRead,
     /// A wl1 cache store fails as if the disk were full.
     CacheEnospc,
+    /// A store page write lands half its bytes, then errors (torn prefix
+    /// on disk — what a killed writer leaves).
+    IoShortWrite,
+    /// A store page write silently lands corrupted bytes and reports
+    /// success; only checksums catch it later.
+    IoTornPage,
+    /// A store fsync fails (the commit must not be acknowledged).
+    IoFsyncFail,
+    /// Opening the store file fails.
+    IoOpenFail,
 }
 
 impl FaultClass {
-    const ALL: [(FaultClass, &'static str); 9] = [
+    const ALL: [(FaultClass, &'static str); 13] = [
         (FaultClass::JobPanic, "job-panic"),
         (FaultClass::JobStall, "job-stall"),
         (FaultClass::JobSlow, "job-slow"),
@@ -68,6 +87,10 @@ impl FaultClass {
         (FaultClass::WorkerDie, "worker-die"),
         (FaultClass::CacheShortRead, "cache-short-read"),
         (FaultClass::CacheEnospc, "cache-enospc"),
+        (FaultClass::IoShortWrite, "io-short-write"),
+        (FaultClass::IoTornPage, "io-torn-page"),
+        (FaultClass::IoFsyncFail, "io-fsync-fail"),
+        (FaultClass::IoOpenFail, "io-open-fail"),
     ];
 
     /// The spec-grammar name.
@@ -193,7 +216,9 @@ impl FaultPlan {
             if raw.is_empty() {
                 continue;
             }
-            rules.push(Self::parse_rule(raw)?);
+            if let Some(rule) = Self::parse_rule(raw)? {
+                rules.push(rule);
+            }
         }
         if rules.is_empty() {
             return Err(format!("fault spec {spec:?} has no rules"));
@@ -201,12 +226,26 @@ impl FaultPlan {
         Ok(FaultPlan { seed, rules })
     }
 
-    fn parse_rule(raw: &str) -> Result<FaultRule, String> {
+    /// `Ok(None)` = the rule was skipped with a warning (unknown `io-`
+    /// subclass); any other malformed rule rejects the whole spec.
+    fn parse_rule(raw: &str) -> Result<Option<FaultRule>, String> {
         let sep = raw
             .find(['@', '#'])
             .ok_or_else(|| format!("rule {raw:?} needs '@rate' or '#index'"))?;
-        let class = FaultClass::from_name(&raw[..sep])
-            .ok_or_else(|| format!("unknown fault class {:?}", &raw[..sep]))?;
+        let class_name = &raw[..sep];
+        let Some(class) = FaultClass::from_name(class_name) else {
+            if class_name.starts_with("io-") {
+                // The io family is expected to grow: skip-with-warning so
+                // a spec with one newer subclass still runs its known
+                // rules, instead of silently injecting nothing.
+                eprintln!(
+                    "mic-eval: skipping unknown io fault subclass {class_name:?} \
+                     (known: io-short-write, io-torn-page, io-fsync-fail, io-open-fail)"
+                );
+                return Ok(None);
+            }
+            return Err(format!("unknown fault class {class_name:?}"));
+        };
         let rest = &raw[sep + 1..];
         let (value_s, millis) = match rest.split_once(':') {
             Some((v, ms)) => (
@@ -233,11 +272,11 @@ impl FaultPlan {
                     .map_err(|_| format!("rule {raw:?}: bad index {value_s:?}"))?,
             )
         };
-        Ok(FaultRule {
+        Ok(Some(FaultRule {
             class,
             trigger,
             millis,
-        })
+        }))
     }
 
     /// The seed (for reporting).
@@ -276,9 +315,14 @@ impl FaultPlan {
                 | FaultClass::JobSlow
                 | FaultClass::WorkerStall
                 | FaultClass::WorkerSlow => Fault::SleepMs(ms),
-                // Cache classes are yes/no decisions; the I/O layer
-                // interprets them.
-                FaultClass::CacheShortRead | FaultClass::CacheEnospc => Fault::Panic,
+                // Cache and io classes are yes/no decisions; the I/O
+                // layer interprets them.
+                FaultClass::CacheShortRead
+                | FaultClass::CacheEnospc
+                | FaultClass::IoShortWrite
+                | FaultClass::IoTornPage
+                | FaultClass::IoFsyncFail
+                | FaultClass::IoOpenFail => Fault::Panic,
             });
         }
         None
@@ -355,15 +399,48 @@ pub fn install(plan: FaultPlan) {
     } else {
         rt_fault::clear();
     }
+    let io_classes = [
+        FaultClass::IoShortWrite,
+        FaultClass::IoTornPage,
+        FaultClass::IoFsyncFail,
+        FaultClass::IoOpenFail,
+    ];
+    if io_classes.iter().any(|c| plan.targets(*c)) {
+        let for_hook = Arc::clone(&plan);
+        store_fault::install(Arc::new(move |site: &store_fault::IoSite| {
+            // Each file operation consults the classes that can apply to
+            // it; the first firing rule wins.
+            let candidates: &[(FaultClass, store_fault::IoFault)] = match site.op {
+                store_fault::IoOp::Open => &[(FaultClass::IoOpenFail, store_fault::IoFault::Fail)],
+                store_fault::IoOp::Write => &[
+                    (FaultClass::IoShortWrite, store_fault::IoFault::ShortWrite),
+                    (FaultClass::IoTornPage, store_fault::IoFault::TornPage),
+                ],
+                store_fault::IoOp::Fsync => {
+                    &[(FaultClass::IoFsyncFail, store_fault::IoFault::Fail)]
+                }
+            };
+            for (class, fault) in candidates {
+                if for_hook.decide(*class, site.site, 0).is_some() {
+                    count_injection(*class);
+                    return Some(*fault);
+                }
+            }
+            None
+        }));
+    } else {
+        store_fault::clear();
+    }
     *plan_slot().write().unwrap_or_else(|e| e.into_inner()) = Some(plan);
     ACTIVE.store(true, Ordering::SeqCst);
 }
 
-/// Remove the active plan (and the runtime bridge hook).
+/// Remove the active plan (and the runtime and store bridge hooks).
 pub fn clear() {
     ACTIVE.store(false, Ordering::SeqCst);
     *plan_slot().write().unwrap_or_else(|e| e.into_inner()) = None;
     rt_fault::clear();
+    store_fault::clear();
 }
 
 /// FNV-1a of a file name — the stable site id of cache-class faults.
@@ -555,6 +632,53 @@ mod tests {
             "with_plan must restore the previous plan: \
              before {before:?}, after {after:?}, env {env:?}"
         );
+    }
+
+    #[test]
+    fn io_rules_parse_and_unknown_subclasses_skip_with_warning() {
+        let plan = FaultPlan::parse("5:io-torn-page@0.5,io-fsync-fail#3").unwrap();
+        assert!(plan.targets(FaultClass::IoTornPage));
+        assert!(plan.targets(FaultClass::IoFsyncFail));
+        // An unknown io subclass is skipped; the known rule survives.
+        let partial = FaultPlan::parse("5:io-phase-of-moon@0.5,io-open-fail@1.0").unwrap();
+        assert!(partial.targets(FaultClass::IoOpenFail));
+        assert_eq!(partial.rules.len(), 1);
+        // Nothing left after skipping → the spec is still rejected.
+        assert!(FaultPlan::parse("5:io-phase-of-moon@0.5").is_err());
+        // Non-io unknown classes remain hard errors.
+        assert!(FaultPlan::parse("5:disk-on-fire@0.5,io-open-fail@1.0").is_err());
+    }
+
+    #[test]
+    fn io_rules_bridge_to_store_hook() {
+        with_plan(
+            FaultPlan::with_rate(9, FaultClass::IoFsyncFail, 1.0),
+            || {
+                let fired = store_fault::check(&store_fault::IoSite {
+                    op: store_fault::IoOp::Fsync,
+                    site: 2,
+                });
+                assert_eq!(fired, Some(store_fault::IoFault::Fail));
+                // A write-class op must not consult the fsync rule.
+                assert!(store_fault::check(&store_fault::IoSite {
+                    op: store_fault::IoOp::Write,
+                    site: 2,
+                })
+                .is_none());
+            },
+        );
+        with_plan(FaultPlan::with_rate(9, FaultClass::IoTornPage, 1.0), || {
+            let fired = store_fault::check(&store_fault::IoSite {
+                op: store_fault::IoOp::Write,
+                site: 0,
+            });
+            assert_eq!(fired, Some(store_fault::IoFault::TornPage));
+        });
+        assert!(store_fault::check(&store_fault::IoSite {
+            op: store_fault::IoOp::Fsync,
+            site: 2,
+        })
+        .is_none());
     }
 
     #[test]

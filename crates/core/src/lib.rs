@@ -42,6 +42,7 @@ pub use mic_graph as graph;
 pub use mic_irregular as irregular;
 pub use mic_runtime as runtime;
 pub use mic_sim as sim;
+pub use mic_store as store;
 
 pub mod baseline;
 pub mod config;

@@ -273,80 +273,10 @@ pub fn bfs(
 const MAGIC: &[u8; 8] = b"MICWL2\0\0";
 const MAGIC_V1: &[u8; 8] = b"MICWL1\0\0";
 
-// XXH64 (Yann Collet's xxHash, 64-bit variant), implemented inline: the
-// workspace takes no checksum dependency for one 40-line function. Checked
-// against the reference test vectors in `xxh64_reference_vectors`.
-const XP1: u64 = 0x9E3779B185EBCA87;
-const XP2: u64 = 0xC2B2AE3D27D4EB4F;
-const XP3: u64 = 0x165667B19E3779F9;
-const XP4: u64 = 0x85EBCA77C2B2AE63;
-const XP5: u64 = 0x27D4EB2F165667C5;
-
-fn xxh_round(acc: u64, input: u64) -> u64 {
-    acc.wrapping_add(input.wrapping_mul(XP2))
-        .rotate_left(31)
-        .wrapping_mul(XP1)
-}
-
-fn xxh_merge(acc: u64, val: u64) -> u64 {
-    (acc ^ xxh_round(0, val))
-        .wrapping_mul(XP1)
-        .wrapping_add(XP4)
-}
-
-/// XXH64 of `data` with `seed`. Public so tools and tests can verify or
-/// regenerate cache-file checksums.
-pub fn xxh64(data: &[u8], seed: u64) -> u64 {
-    let len = data.len();
-    let u64_at = |i: usize| u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
-    let mut i = 0usize;
-    let mut h = if len >= 32 {
-        let mut v1 = seed.wrapping_add(XP1).wrapping_add(XP2);
-        let mut v2 = seed.wrapping_add(XP2);
-        let mut v3 = seed;
-        let mut v4 = seed.wrapping_sub(XP1);
-        while i + 32 <= len {
-            v1 = xxh_round(v1, u64_at(i));
-            v2 = xxh_round(v2, u64_at(i + 8));
-            v3 = xxh_round(v3, u64_at(i + 16));
-            v4 = xxh_round(v4, u64_at(i + 24));
-            i += 32;
-        }
-        let mut h = v1
-            .rotate_left(1)
-            .wrapping_add(v2.rotate_left(7))
-            .wrapping_add(v3.rotate_left(12))
-            .wrapping_add(v4.rotate_left(18));
-        for v in [v1, v2, v3, v4] {
-            h = xxh_merge(h, v);
-        }
-        h
-    } else {
-        seed.wrapping_add(XP5)
-    };
-    h = h.wrapping_add(len as u64);
-    while i + 8 <= len {
-        h ^= xxh_round(0, u64_at(i));
-        h = h.rotate_left(27).wrapping_mul(XP1).wrapping_add(XP4);
-        i += 8;
-    }
-    if i + 4 <= len {
-        let w = u32::from_le_bytes(data[i..i + 4].try_into().unwrap()) as u64;
-        h ^= w.wrapping_mul(XP1);
-        h = h.rotate_left(23).wrapping_mul(XP2).wrapping_add(XP3);
-        i += 4;
-    }
-    while i < len {
-        h ^= (data[i] as u64).wrapping_mul(XP5);
-        h = h.rotate_left(11).wrapping_mul(XP1);
-        i += 1;
-    }
-    h ^= h >> 33;
-    h = h.wrapping_mul(XP2);
-    h ^= h >> 29;
-    h = h.wrapping_mul(XP3);
-    h ^ (h >> 32)
-}
+// The canonical XXH64 implementation moved into `mic-store` (whose page
+// format seals every page with it); re-exported here so existing callers
+// and cache-maintenance tools keep their import path.
+pub use mic_store::xxh64;
 
 fn disk_path(
     kind: &str,
@@ -371,6 +301,62 @@ fn file_site(path: &Path) -> u64 {
     crate::fault::site_hash(path.file_name().and_then(|n| n.to_str()).unwrap_or(""))
 }
 
+/// Serialize meta + arrays into the `MICWL2` container (checksum sealed).
+fn encode_container(meta: &[u64], arrays: &[&[Work]]) -> Vec<u8> {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(meta.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&(arrays.len() as u64).to_le_bytes());
+    for m in meta {
+        buf.extend_from_slice(&m.to_le_bytes());
+    }
+    for arr in arrays {
+        buf.extend_from_slice(&(arr.len() as u64).to_le_bytes());
+        for w in arr.iter() {
+            for v in [w.issue, w.l1, w.l2, w.dram, w.flops, w.atomics] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    let checksum = xxh64(&buf, 0);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// The durable spill tier under the wl2 cache: one crash-safe paged
+/// store shared process-wide (and with mic-serve's result spill when
+/// both point `MIC_STORE` at the same file). `None` when the knob is
+/// off or the store cannot be opened — opening failures warn once and
+/// the cache falls back to plain files.
+fn store_tier() -> Option<std::sync::Arc<mic_store::Store>> {
+    let cfg = crate::config::current();
+    let path = cfg.store_path.clone()?;
+    let opts = mic_store::StoreOpts {
+        page_size: cfg.store_page,
+        pool_frames: cfg.store_pool,
+        sync_every: cfg.store_sync,
+    };
+    match mic_store::Store::open_shared(&path, opts) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            static WARNED: OnceLock<()> = OnceLock::new();
+            WARNED.get_or_init(|| {
+                eprintln!(
+                    "mic-eval: MIC_STORE={} could not be opened ({e}); \
+                     continuing without the durable cache tier",
+                    path.display()
+                );
+            });
+            None
+        }
+    }
+}
+
+/// The store-tier key of a cache file: its (format-versioned) file name.
+fn store_key(path: &Path) -> Option<Vec<u8>> {
+    path.file_name().map(|n| n.as_encoded_bytes().to_vec())
+}
+
 /// Best-effort write; failure just means no cache hit next run.
 ///
 /// Public for stress tests and cache-maintenance tools; the experiment
@@ -378,6 +364,7 @@ fn file_site(path: &Path) -> u64 {
 pub fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
     crate::fault::init_from_env();
     crate::metrics::init_from_env();
+    let buf = encode_container(meta, arrays);
     let write = || -> std::io::Result<()> {
         if crate::fault::cache_fault(crate::fault::FaultClass::CacheEnospc, file_site(path)) {
             return Err(std::io::Error::other("mic-fault: injected ENOSPC"));
@@ -386,23 +373,6 @@ pub fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
             std::fs::create_dir_all(dir)?;
             cleanup_orphan_tmps(dir);
         }
-        let mut buf: Vec<u8> = Vec::new();
-        buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&(meta.len() as u64).to_le_bytes());
-        buf.extend_from_slice(&(arrays.len() as u64).to_le_bytes());
-        for m in meta {
-            buf.extend_from_slice(&m.to_le_bytes());
-        }
-        for arr in arrays {
-            buf.extend_from_slice(&(arr.len() as u64).to_le_bytes());
-            for w in arr.iter() {
-                for v in [w.issue, w.l1, w.l2, w.dram, w.flops, w.atomics] {
-                    buf.extend_from_slice(&v.to_le_bytes());
-                }
-            }
-        }
-        let checksum = xxh64(&buf, 0);
-        buf.extend_from_slice(&checksum.to_le_bytes());
         // Write-then-rename so a crashed run never leaves a torn file
         // under the final name. The tmp name must be unique per writer:
         // concurrent processes sharing MIC_SUITE_CACHE (and concurrent
@@ -429,6 +399,14 @@ pub fn store_arrays(path: &Path, meta: &[u64], arrays: &[&[Work]]) {
         })
     };
     let _ = write();
+    // Mirror into the durable store tier. wl2 writes are rare and large,
+    // so each one persists immediately: the entry survives `kill -9` the
+    // moment store_arrays returns. Best-effort like the file write.
+    if let (Some(store), Some(key)) = (store_tier(), store_key(path)) {
+        if store.put(&key, &buf).is_ok() {
+            let _ = store.persist();
+        }
+    }
 }
 
 /// Remove stale `*.tmp.*` files a crashed writer may have left behind.
@@ -464,18 +442,16 @@ fn cleanup_orphan_tmps(dir: &Path) {
 /// Meta words + work arrays, as stored in one workload file.
 pub type StoredArrays = (Vec<u64>, Vec<Arc<Vec<Work>>>);
 
-/// Move a corrupt cache file aside as `<name>.corrupt` so the caller can
-/// recompute while the evidence survives for post-mortems. Falls back to
-/// deleting the file if the rename fails (e.g. a `.corrupt` of the same
-/// name already exists on a platform where rename won't replace it) —
-/// loudly, since that fallback destroys the evidence.
+/// Move a corrupt cache file aside as `<name>.corrupt[.N]` so the caller
+/// can recompute while the evidence survives for post-mortems. The
+/// destination carries a unique numeric suffix: repeated corruption of
+/// the same file used to clobber the earlier `.corrupt` (rename replaces
+/// on unix), destroying exactly the evidence a recurring-corruption
+/// post-mortem needs most. `hard_link` + `remove_file` claims each
+/// candidate name atomically — `AlreadyExists` moves to the next suffix.
+/// Falls back to deletion only if no candidate can be claimed — loudly,
+/// since that destroys the evidence.
 fn quarantine(path: &Path, why: &str) {
-    let dest = PathBuf::from(format!("{}.corrupt", path.display()));
-    eprintln!(
-        "mic-eval: workload cache file {} is corrupt ({why}); quarantining to {} and recomputing",
-        path.display(),
-        dest.display(),
-    );
     if crate::metrics::enabled() {
         cache_counter(
             "mic_cache_quarantines_total",
@@ -483,14 +459,32 @@ fn quarantine(path: &Path, why: &str) {
         )
         .inc();
     }
-    if let Err(e) = std::fs::rename(path, &dest) {
-        eprintln!(
-            "mic-eval: could not quarantine {} to {} ({e}); deleting the corrupt file instead",
-            path.display(),
-            dest.display(),
-        );
-        let _ = std::fs::remove_file(path);
+    for i in 0..100u32 {
+        let dest = if i == 0 {
+            PathBuf::from(format!("{}.corrupt", path.display()))
+        } else {
+            PathBuf::from(format!("{}.corrupt.{i}", path.display()))
+        };
+        match std::fs::hard_link(path, &dest) {
+            Ok(()) => {
+                eprintln!(
+                    "mic-eval: workload cache file {} is corrupt ({why}); \
+                     quarantining to {} and recomputing",
+                    path.display(),
+                    dest.display(),
+                );
+                let _ = std::fs::remove_file(path);
+                return;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(_) => break,
+        }
     }
+    eprintln!(
+        "mic-eval: could not quarantine {} ({why}); deleting the corrupt file instead",
+        path.display(),
+    );
+    let _ = std::fs::remove_file(path);
 }
 
 /// Unlabeled cache counter; every `mic_cache_*` family is label-free.
@@ -529,6 +523,28 @@ pub fn load_arrays(path: &Path, expect_arrays: usize, expect_meta: usize) -> Opt
 }
 
 fn load_arrays_impl(path: &Path, expect_arrays: usize, expect_meta: usize) -> Option<StoredArrays> {
+    // Durable store tier first: a hit skips file IO entirely, and the
+    // store already verified the bytes page-by-page. The container is
+    // still re-verified below the same way a file read would be, so a
+    // buggy writer cannot smuggle malformed arrays through either tier.
+    if let (Some(store), Some(key)) = (store_tier(), store_key(path)) {
+        if let Some(bytes) = store.get(&key) {
+            match verify_container(&bytes, expect_arrays, expect_meta) {
+                Verified::Ok(stored) => return Some(stored),
+                Verified::ShapeMismatch => return None,
+                Verified::Corrupt(why) => {
+                    // The store's checksums passed but the container is
+                    // malformed: writer bug. Drop the entry and fall
+                    // through to the file path.
+                    eprintln!(
+                        "mic-eval: store-tier entry for {} is corrupt ({why}); dropping it",
+                        path.display()
+                    );
+                    store.remove(&key);
+                }
+            }
+        }
+    }
     let mut bytes = Vec::new();
     std::fs::File::open(path)
         .ok()?
@@ -542,37 +558,42 @@ fn load_arrays_impl(path: &Path, expect_arrays: usize, expect_meta: usize) -> Op
     if bytes.len() >= 8 && &bytes[..8] == MAGIC_V1 {
         return None; // pre-checksum container: plain miss, recompute + rewrite
     }
-    if bytes.len() < 32 || &bytes[..8] != MAGIC {
-        quarantine(path, "unrecognized or truncated header");
-        return None;
-    }
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
-    let body = &bytes[..bytes.len() - 8];
-    if xxh64(body, 0) != stored {
-        quarantine(path, "checksum mismatch");
-        return None;
-    }
-    match parse_body(body, expect_arrays, expect_meta) {
-        Parsed::Ok(stored) => Some(stored),
-        Parsed::ShapeMismatch => None,
-        Parsed::Corrupt(why) => {
-            // A valid checksum over a malformed body means the *writer* was
-            // broken, not the disk; still quarantine — the file can never load.
+    match verify_container(&bytes, expect_arrays, expect_meta) {
+        Verified::Ok(stored) => Some(stored),
+        Verified::ShapeMismatch => None,
+        Verified::Corrupt(why) => {
+            // Includes the valid-checksum-but-malformed-body case: the
+            // *writer* was broken, not the disk; still quarantine — the
+            // file can never load.
             quarantine(path, why);
             None
         }
     }
 }
 
-enum Parsed {
+enum Verified {
     Ok(StoredArrays),
     ShapeMismatch,
     Corrupt(&'static str),
 }
 
+/// Container-level verification shared by the file and store tiers:
+/// magic, trailing checksum, then structural parse.
+fn verify_container(bytes: &[u8], expect_arrays: usize, expect_meta: usize) -> Verified {
+    if bytes.len() < 32 || &bytes[..8] != MAGIC {
+        return Verified::Corrupt("unrecognized or truncated header");
+    }
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let body = &bytes[..bytes.len() - 8];
+    if xxh64(body, 0) != stored {
+        return Verified::Corrupt("checksum mismatch");
+    }
+    parse_body(body, expect_arrays, expect_meta)
+}
+
 /// Decode header + meta + arrays from `body` (magic included, trailing
 /// checksum already stripped and verified).
-fn parse_body(bytes: &[u8], expect_arrays: usize, expect_meta: usize) -> Parsed {
+fn parse_body(bytes: &[u8], expect_arrays: usize, expect_meta: usize) -> Verified {
     let mut off = 8usize; // magic, already checked
     let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
         let s = bytes.get(*off..*off + n)?;
@@ -586,30 +607,30 @@ fn parse_body(bytes: &[u8], expect_arrays: usize, expect_meta: usize) -> Parsed 
         .zip(read_u64(&mut off))
         .map(|(m, a)| (m as usize, a as usize))
     else {
-        return Parsed::Corrupt("truncated counts");
+        return Verified::Corrupt("truncated counts");
     };
     if n_meta > bytes.len() || n_arrays > bytes.len() {
-        return Parsed::Corrupt("implausible counts");
+        return Verified::Corrupt("implausible counts");
     }
     if (expect_meta != 0 && n_meta != expect_meta)
         || (expect_arrays != 0 && n_arrays != expect_arrays)
     {
-        return Parsed::ShapeMismatch;
+        return Verified::ShapeMismatch;
     }
     let mut meta = Vec::with_capacity(n_meta);
     for _ in 0..n_meta {
         match read_u64(&mut off) {
             Some(m) => meta.push(m),
-            None => return Parsed::Corrupt("truncated meta"),
+            None => return Verified::Corrupt("truncated meta"),
         }
     }
     let mut arrays = Vec::with_capacity(n_arrays);
     for _ in 0..n_arrays {
         let Some(len) = read_u64(&mut off).map(|l| l as usize) else {
-            return Parsed::Corrupt("truncated array header");
+            return Verified::Corrupt("truncated array header");
         };
         if len.checked_mul(48).is_none_or(|b| off + b > bytes.len()) {
-            return Parsed::Corrupt("array overruns file");
+            return Verified::Corrupt("array overruns file");
         }
         let mut arr = Vec::with_capacity(len);
         for _ in 0..len {
@@ -626,16 +647,16 @@ fn parse_body(bytes: &[u8], expect_arrays: usize, expect_meta: usize) -> Parsed 
                 atomics: f[5],
             };
             if !w.is_valid() {
-                return Parsed::Corrupt("non-finite work entry");
+                return Verified::Corrupt("non-finite work entry");
             }
             arr.push(w);
         }
         arrays.push(Arc::new(arr));
     }
     if off != bytes.len() {
-        return Parsed::Corrupt("trailing bytes after last array");
+        return Verified::Corrupt("trailing bytes after last array");
     }
-    Parsed::Ok((meta, arrays))
+    Verified::Ok((meta, arrays))
 }
 
 #[cfg(test)]
@@ -719,21 +740,6 @@ mod tests {
             3
         ];
         (dir, path, a, b)
-    }
-
-    #[test]
-    fn xxh64_reference_vectors() {
-        // Reference vectors for the upstream xxHash XXH64 with seed 0.
-        assert_eq!(xxh64(b"", 0), 0xEF46DB3751D8E999);
-        assert_eq!(xxh64(b"a", 0), 0xD24EC4F1A98C6E5B);
-        assert_eq!(xxh64(b"abc", 0), 0x44BC2CF5AD770999);
-        // ≥32 bytes exercises the four-lane main loop.
-        assert_eq!(
-            xxh64(b"Nobody inspects the spammish repetition", 0),
-            0xFBCEA83C8A378BF1
-        );
-        // Seed sensitivity.
-        assert_ne!(xxh64(b"abc", 0), xxh64(b"abc", 1));
     }
 
     #[test]

@@ -125,6 +125,111 @@ fn killed_writer_truncations_all_quarantine_then_recompute_recovers() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Repeated corruption of one cache key must preserve *every* piece of
+/// evidence: the second quarantine claims `.corrupt.1` instead of
+/// clobbering the `.corrupt` from the first event.
+#[test]
+fn repeated_quarantines_keep_distinct_evidence_files() {
+    let _guard = serial();
+    let dir = std::env::temp_dir().join(format!("mic-cache-evidence-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wl1-evidence-key.bin");
+    let arr = payload(21);
+    let mut evidence_bytes = Vec::new();
+    for round in 0..2u8 {
+        store_arrays(&path, &[21], &[&arr]);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Distinct corruption per round, so the evidence files differ.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10 + round;
+        std::fs::write(&path, &bytes).unwrap();
+        evidence_bytes.push(bytes);
+        assert!(load_arrays(&path, 1, 1).is_none());
+        assert!(!path.exists(), "round {round}: corrupt file moved aside");
+    }
+    let first = std::path::PathBuf::from(format!("{}.corrupt", path.display()));
+    let second = std::path::PathBuf::from(format!("{}.corrupt.1", path.display()));
+    assert!(first.exists(), "first evidence file must exist");
+    assert!(second.exists(), "second event must claim the next suffix");
+    assert_eq!(std::fs::read(&first).unwrap(), evidence_bytes[0]);
+    assert_eq!(std::fs::read(&second).unwrap(), evidence_bytes[1]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With `MIC_STORE` pointing at a spill file, a stored workload survives
+/// deletion of its `.bin` cache file: the durable store tier answers the
+/// load, bit-identical, across what amounts to a cold restart of the
+/// file cache.
+#[test]
+fn store_tier_serves_workloads_after_file_cache_loss() {
+    let _guard = serial();
+    use mic_eval::config::SuiteConfig;
+    let dir = std::env::temp_dir().join(format!("mic-cache-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wl1-spill-key.bin");
+    SuiteConfig::default()
+        .store_path(Some(dir.join("spill.pg")))
+        .store_page(512)
+        .install();
+    let arr = payload(33);
+    store_arrays(&path, &[33], &[&arr]);
+    std::fs::remove_file(&path).expect("file-tier entry exists");
+    let (meta, arrays) =
+        load_arrays(&path, 1, 1).expect("store tier must answer after the cache file is gone");
+    check_consistent(&meta, &arrays);
+    // Restore the env-derived config so later tests see the default tiers.
+    SuiteConfig::from_env().install();
+    assert!(
+        load_arrays(&path, 1, 1).is_none(),
+        "with the store tier off and the file gone, the entry is a miss"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash-mid-persist matrix on the store file itself: truncate it at
+/// every page boundary (plus cuts through both header slots) and reload.
+/// Whatever state the "crash" left, the cache must hand back either the
+/// exact workload or a miss-and-recompute — never corrupt arrays.
+#[test]
+fn store_file_crash_matrix_recovers_or_misses_never_corrupts() {
+    let _guard = serial();
+    use mic_eval::config::SuiteConfig;
+    let dir = std::env::temp_dir().join(format!("mic-cache-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wl1-crash-key.bin");
+    let store_file = dir.join("spill.pg");
+    SuiteConfig::default()
+        .store_path(Some(store_file.clone()))
+        .store_page(512)
+        .install();
+    let arr = payload(44);
+    store_arrays(&path, &[44], &[&arr]);
+    let golden = std::fs::read(&store_file).unwrap();
+    // Page boundaries (pages start at 4096, 512-byte pages) + cuts through
+    // header slot A (offset 0), slot B (offset 512), and mid-page.
+    let mut cuts: Vec<usize> = (0..golden.len()).step_by(512).collect();
+    cuts.extend([17, 300, 800, 4200, golden.len() - 1]);
+    for cut in cuts {
+        let cut = cut.min(golden.len());
+        std::fs::write(&store_file, &golden[..cut]).unwrap();
+        // Force the load through the store tier alone.
+        let _ = std::fs::remove_file(&path);
+        if let Some((meta, arrays)) = load_arrays(&path, 1, 1) {
+            check_consistent(&meta, &arrays);
+            assert_eq!(meta[0], 44, "cut {cut}: wrong entry surfaced");
+        }
+        // The recovery path every caller takes: recompute, store, reload.
+        store_arrays(&path, &[44], &[&arr]);
+        let (meta, arrays) =
+            load_arrays(&path, 1, 1).unwrap_or_else(|| panic!("cut {cut}: recompute must recover"));
+        check_consistent(&meta, &arrays);
+    }
+    SuiteConfig::from_env().install();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A reader that observes a short read (injected fault) while a stalled
 /// writer holds the file must quarantine and recompute rather than
 /// consume the truncated view; once the fault clears, the recomputed

@@ -1,15 +1,19 @@
 //! The mic-serve binary: server, load client, and the self-hosted bench
 //! exhibit in one.
 //!
-//! Usage: `serve <serve|client|bench> [flags]`
+//! Usage: `serve <serve|client|bench|stats> [flags]`
 //!
 //! - `serve serve [--addr A] [--queue-cap N] [--batch-max N] [--lru N]
 //!   [--pool N] [--shards N] [--quota N] [--conn-cap N]
-//!   [--max-request BYTES] [--duration S]` — run the TCP server (default
-//!   `127.0.0.1:7171`; `--duration` exits after S seconds, otherwise it
-//!   runs until killed). `MIC_METRICS=<path>` writes a Prometheus
+//!   [--max-request BYTES] [--store PATH] [--store-sync N]
+//!   [--duration S]` — run the TCP server (default `127.0.0.1:7171`;
+//!   `--duration` exits after S seconds, otherwise it runs until
+//!   killed). `--store` spills results to a crash-safe paged store so a
+//!   restarted server answers repeat jobs warm; `--store-sync N`
+//!   persists every N results (default: at shutdown only — pass 1 to
+//!   survive `kill -9`). `MIC_METRICS=<path>` writes a Prometheus
 //!   snapshot on clean shutdown. Defaults come from the `MIC_SERVE_*`
-//!   SuiteConfig knobs; flags win.
+//!   and `MIC_STORE*` SuiteConfig knobs; flags win.
 //! - `serve client --addr A [--clients N] [--rps R] [--duration S]
 //!   [--json]` — drive one bounded load point against a running server
 //!   and print the throughput/latency row. The wire is binary frames
@@ -17,10 +21,13 @@
 //!   compat mode.
 //! - `serve bench [--clients N] [--rps R] [--duration S] [--out PATH]
 //!   [--check]` — start an in-process server on an ephemeral port, drive
-//!   three load points (R/2, R, 2R) under EACH wire mode, and write the
+//!   three load points (R/2, R, 2R) under EACH wire mode, then a
+//!   store-backed cold/warm restart pair, and write the
 //!   `BENCH_serve.json` exhibit. `--check` additionally validates the
-//!   `mic_serve_*` metric invariants against the live registry and exits
-//!   nonzero on failure.
+//!   `mic_serve_*` metric invariants against the live registry and that
+//!   the warm run answered from the store, exiting nonzero on failure.
+//! - `serve stats --addr A` — print a running server's `stats` fields
+//!   (one `name value` line each), for scripts and CI assertions.
 
 use mic_bench::cli::Cli;
 use mic_eval::config::ServeWire;
@@ -28,10 +35,10 @@ use mic_serve::client::{self, LoadOpts, LoadSummary};
 use mic_serve::server::{ServeOpts, Server};
 use std::path::PathBuf;
 
-const USAGE: &str = "serve <serve|client|bench> [--addr HOST:PORT] [--queue-cap N] \
+const USAGE: &str = "serve <serve|client|bench|stats> [--addr HOST:PORT] [--queue-cap N] \
                      [--batch-max N] [--lru N] [--pool N] [--shards N] [--quota N] \
-                     [--conn-cap N] [--max-request BYTES] [--clients N] [--rps R] \
-                     [--duration S] [--json] [--out PATH] [--check]";
+                     [--conn-cap N] [--max-request BYTES] [--store PATH] [--store-sync N] \
+                     [--clients N] [--rps R] [--duration S] [--json] [--out PATH] [--check]";
 
 fn main() {
     let mut cli = Cli::parse("serve", USAGE);
@@ -61,6 +68,12 @@ fn main() {
     }
     if let Some(n) = cli.opt_parse::<usize>("--max-request", "a byte count") {
         opts.max_request = n.max(256);
+    }
+    if let Some(p) = cli.opt("--store") {
+        opts.store_path = Some(PathBuf::from(p));
+    }
+    if let Some(n) = cli.opt_parse::<usize>("--store-sync", "a put count") {
+        opts.store_sync = n;
     }
     let wire = if cli.flag("--json") {
         ServeWire::Json
@@ -93,6 +106,14 @@ fn main() {
             run_client(addr, clients, rps, duration.unwrap_or(2.0), wire)
         }
         "bench" => run_bench(opts, clients, rps, duration.unwrap_or(2.0), out, check),
+        "stats" => {
+            let Some(addr) = addr.as_deref() else {
+                eprintln!("serve: stats mode needs --addr HOST:PORT");
+                eprintln!("usage: {USAGE}");
+                std::process::exit(2);
+            };
+            run_stats(addr)
+        }
         other => {
             eprintln!("serve: unknown mode {other:?}");
             eprintln!("usage: {USAGE}");
@@ -114,8 +135,40 @@ fn write_metrics_snapshot() {
     }
 }
 
+/// Ask a running server for its `stats` fields and print them one per
+/// line (`name value`), so shell scripts and CI can grep and compare.
+fn run_stats(addr: &str) -> i32 {
+    use std::io::{BufRead, BufReader, Write};
+    let result = (|| -> std::io::Result<mic_serve::protocol::Response> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        writeln!(writer, r#"{{"id":"cli","op":"stats"}}"#)?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        mic_serve::protocol::parse_response(line.trim_end()).map_err(std::io::Error::other)
+    })();
+    match result {
+        Ok(mic_serve::protocol::Response::Stats { fields, .. }) => {
+            for (name, value) in fields {
+                println!("{name} {value}");
+            }
+            0
+        }
+        Ok(other) => {
+            eprintln!("serve: unexpected stats response: {}", other.render());
+            1
+        }
+        Err(e) => {
+            eprintln!("serve: stats query against {addr} failed: {e}");
+            1
+        }
+    }
+}
+
 fn run_serve(addr: &str, opts: ServeOpts, duration: Option<f64>) -> i32 {
-    let server = match Server::start(addr, opts) {
+    let server = match Server::start(addr, opts.clone()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: cannot bind {addr}: {e}");
@@ -186,7 +239,7 @@ fn run_bench(
     if check && !mic_eval::metrics::enabled() {
         mic_eval::metrics::set_enabled(true);
     }
-    let server = match Server::start("127.0.0.1:0", opts) {
+    let server = match Server::start("127.0.0.1:0", opts.clone()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: cannot start in-process server: {e}");
@@ -217,18 +270,79 @@ fn run_bench(
                     points.push(summary);
                 }
                 Err(e) => {
-                    eprintln!("serve: load point {target_rps} rps ({}) failed: {e}", wire.name());
+                    eprintln!(
+                        "serve: load point {target_rps} rps ({}) failed: {e}",
+                        wire.name()
+                    );
                     return 1;
                 }
             }
         }
     }
-    let failures = if check {
+    let mut failures = if check {
         check_serve_metrics(&server)
     } else {
         0
     };
     server.shutdown();
+
+    // Cold vs warm: the same load point against a store-backed server,
+    // with a full restart (and store reopen) in between. The warm run's
+    // `store_hits` is the durability exhibit: repeat jobs answered
+    // without recomputation.
+    let store_dir =
+        std::env::temp_dir().join(format!("mic-serve-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut store_opts = opts.clone();
+    store_opts.store_path = Some(store_dir.join("results.pg"));
+    let mut warm_hits = 0u64;
+    for phase in ["cold", "warm"] {
+        let server = match Server::start("127.0.0.1:0", store_opts.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: cannot start {phase} store-backed server: {e}");
+                return 1;
+            }
+        };
+        let addr = server.addr.to_string();
+        match client::run_load(
+            &addr,
+            LoadOpts {
+                clients,
+                target_rps: rps,
+                duration_s: duration,
+                wire: ServeWire::Binary,
+            },
+        ) {
+            Ok(mut summary) => {
+                summary.phase = phase.to_string();
+                summary.store_hits = server
+                    .stats()
+                    .store_hits
+                    .load(std::sync::atomic::Ordering::Relaxed);
+                if phase == "warm" {
+                    warm_hits = summary.store_hits;
+                }
+                println!(
+                    "{}  [{phase}: store_hits={}]",
+                    summary.row(),
+                    summary.store_hits
+                );
+                points.push(summary);
+            }
+            Err(e) => {
+                eprintln!("serve: {phase} store-backed load point failed: {e}");
+                return 1;
+            }
+        }
+        // Clean shutdown persists the store — the warm server reopens it.
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    if check && warm_hits == 0 {
+        eprintln!("check FAILED: warm store-backed run answered no request from the store");
+        failures += 1;
+    }
     write_metrics_snapshot();
 
     let path = out.unwrap_or_else(|| PathBuf::from("BENCH_serve.json"));
@@ -288,9 +402,7 @@ fn check_serve_metrics(server: &Server) -> usize {
     let stats = server.stats();
     let received = stats.received.load(std::sync::atomic::Ordering::Relaxed) as f64;
     if requests_seen != received {
-        eprintln!(
-            "check FAILED: registry saw {requests_seen} requests, router counted {received}"
-        );
+        eprintln!("check FAILED: registry saw {requests_seen} requests, router counted {received}");
         failures += 1;
     }
     for problem in snap.self_check() {

@@ -51,6 +51,12 @@ pub struct LoadSummary {
     pub duration_s: f64,
     /// `"binary"` or `"json"` — which wire produced this point.
     pub wire: String,
+    /// Bench phase label: `""` for the plain load matrix, `"cold"` /
+    /// `"warm"` for the store-backed restart pair.
+    pub phase: String,
+    /// Requests the server answered from its durable result store
+    /// (nonzero only on a warm, store-backed run).
+    pub store_hits: u64,
     pub sent: u64,
     pub ok: u64,
     pub shed: u64,
@@ -192,6 +198,8 @@ pub fn run_load(addr: &str, opts: LoadOpts) -> std::io::Result<LoadSummary> {
         target_rps: opts.target_rps,
         duration_s: opts.duration_s,
         wire: opts.wire.name().to_string(),
+        phase: String::new(),
+        store_hits: 0,
         sent: agg.sent,
         ok: agg.ok,
         shed: agg.shed,
@@ -259,6 +267,8 @@ impl LoadSummary {
             ("target_rps".into(), Value::Num(self.target_rps)),
             ("duration_s".into(), Value::Num(self.duration_s)),
             ("wire".into(), Value::str(&self.wire)),
+            ("phase".into(), Value::str(&self.phase)),
+            ("store_hits".into(), Value::Num(self.store_hits as f64)),
             ("sent".into(), Value::Num(self.sent as f64)),
             ("ok".into(), Value::Num(self.ok as f64)),
             ("shed".into(), Value::Num(self.shed as f64)),
@@ -339,6 +349,12 @@ pub fn parse_bench_serve(text: &str) -> Result<Vec<LoadSummary>, String> {
                 .and_then(Value::as_str)
                 .unwrap_or("json")
                 .to_string(),
+            phase: p
+                .get("phase")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            store_hits: num(p, "store_hits") as u64,
             sent: num(p, "sent") as u64,
             ok: num(p, "ok") as u64,
             shed: num(p, "shed") as u64,
@@ -381,6 +397,8 @@ mod tests {
             target_rps: 100.0,
             duration_s: 2.0,
             wire: "binary".into(),
+            phase: "warm".into(),
+            store_hits: 12,
             sent: 200,
             ok: 180,
             shed: 15,
@@ -399,6 +417,8 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].ok, 180);
         assert_eq!(back[0].wire, "binary");
+        assert_eq!(back[0].phase, "warm");
+        assert_eq!(back[0].store_hits, 12);
         assert_eq!(back[0].p99_ms, 20.125);
     }
 

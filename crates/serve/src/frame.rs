@@ -85,7 +85,11 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::Io(e) => write!(f, "frame read failed: {e}"),
             FrameError::BadMagic(b) => {
-                write!(f, "bad frame magic (first byte {b:#04x}, want {:#04x})", MAGIC[0])
+                write!(
+                    f,
+                    "bad frame magic (first byte {b:#04x}, want {:#04x})",
+                    MAGIC[0]
+                )
             }
             FrameError::UnsupportedVersion(v) => write!(
                 f,
@@ -115,10 +119,7 @@ pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> std::io::Resu
 /// frames); an EOF anywhere inside a frame is [`FrameError::Truncated`].
 /// The declared payload length is validated against `max` *before* any
 /// allocation, so a hostile header cannot balloon memory.
-pub fn read_frame(
-    r: &mut impl BufRead,
-    max: usize,
-) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+pub fn read_frame(r: &mut impl BufRead, max: usize) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
     match r.fill_buf() {
         Ok([]) => return Ok(None),
         Ok(_) => {}
@@ -543,7 +544,13 @@ mod tests {
             let (tag, payload) = encode_request(&req);
             let back = decode_request(tag, &payload).expect("decodes");
             match (&req, &back) {
-                (Request::Simulate { id, spec }, Request::Simulate { id: id2, spec: spec2 }) => {
+                (
+                    Request::Simulate { id, spec },
+                    Request::Simulate {
+                        id: id2,
+                        spec: spec2,
+                    },
+                ) => {
                     assert_eq!(id, id2);
                     assert_eq!(spec, spec2);
                     assert_eq!(spec.key(), spec2.key());
@@ -557,7 +564,11 @@ mod tests {
 
     #[test]
     fn response_round_trips_bit_exactly() {
-        for bits in [0x3ff0000000000001u64, 0x7fe1234567abcdef, 0x0000000000000001] {
+        for bits in [
+            0x3ff0000000000001u64,
+            0x7fe1234567abcdef,
+            0x0000000000000001,
+        ] {
             let resp = Response::Ok {
                 id: "r".into(),
                 cycles: f64::from_bits(bits),
@@ -592,7 +603,7 @@ mod tests {
     #[test]
     fn oversize_header_is_rejected_before_allocation() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, TAG_PING, &vec![0u8; 100]).unwrap();
+        write_frame(&mut wire, TAG_PING, &[0u8; 100]).unwrap();
         let mut r = BufReader::new(&wire[..]);
         match read_frame(&mut r, 64) {
             Err(FrameError::TooLarge { len: 100, max: 64 }) => {}
@@ -629,6 +640,9 @@ mod tests {
         ));
         // EOF with no pending bytes is a clean end.
         let mut r = BufReader::new(&b""[..]);
-        assert!(matches!(read_line_capped(&mut r, 64).unwrap(), LineRead::Eof));
+        assert!(matches!(
+            read_line_capped(&mut r, 64).unwrap(),
+            LineRead::Eof
+        ));
     }
 }

@@ -81,6 +81,10 @@ pub struct Router {
     pub stats: Arc<ServeStats>,
     clients: Mutex<HashMap<IpAddr, Arc<ClientState>>>,
     span_epoch: AtomicU64,
+    /// The durable result store every shard spills to (one shared handle
+    /// — the store is single-writer per file). `None` when `store_path`
+    /// is unset or the file could not be opened.
+    store: Option<Arc<mic_store::Store>>,
 }
 
 fn scounter(name: &'static str, help: &'static str) -> Arc<mic_metrics::Counter> {
@@ -90,8 +94,37 @@ fn scounter(name: &'static str, help: &'static str) -> Arc<mic_metrics::Counter>
 impl Router {
     pub fn new(opts: ServeOpts) -> Router {
         let stats = Arc::new(ServeStats::default());
+        // Open the durable result store once; a failure degrades to
+        // LRU-only serving rather than refusing to start (the store is a
+        // cache tier, not the source of truth).
+        let store = opts.store_path.as_ref().and_then(|path| {
+            let cfg = mic_eval::config::current();
+            let sopts = mic_store::StoreOpts {
+                page_size: cfg.store_page,
+                pool_frames: cfg.store_pool,
+                sync_every: opts.store_sync,
+            };
+            match mic_store::Store::open_shared(path, sopts) {
+                Ok(store) => Some(store),
+                Err(e) => {
+                    eprintln!(
+                        "mic-serve: result store {} could not be opened ({e}); \
+                         serving without the durable tier",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
         let shards: Vec<Arc<Dispatcher>> = (0..opts.shards.max(1))
-            .map(|i| Arc::new(Dispatcher::new(i, opts, Arc::clone(&stats))))
+            .map(|i| {
+                Arc::new(Dispatcher::new(
+                    i,
+                    opts.clone(),
+                    Arc::clone(&stats),
+                    store.clone(),
+                ))
+            })
             .collect();
         let alive = shards.iter().map(|_| AtomicBool::new(true)).collect();
         Router {
@@ -101,6 +134,7 @@ impl Router {
             stats,
             clients: Mutex::new(HashMap::new()),
             span_epoch: AtomicU64::new(0),
+            store,
         }
     }
 
@@ -134,18 +168,24 @@ impl Router {
         }
     }
 
+    /// Flip the durable store's header so every spilled result survives
+    /// the restart. Call after the executors have drained (they are the
+    /// writers); best-effort — a failed persist costs warm hits only.
+    pub fn persist_store(&self) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.persist() {
+                eprintln!("mic-serve: result store persist failed: {e}");
+            }
+        }
+    }
+
     /// The client slot for a peer address, created on first sight.
     pub fn client(&self, ip: IpAddr) -> Arc<ClientState> {
-        Arc::clone(
-            self.clients
-                .lock()
-                .entry(ip)
-                .or_insert_with(|| {
-                    Arc::new(ClientState {
-                        inflight: AtomicUsize::new(0),
-                    })
-                }),
-        )
+        Arc::clone(self.clients.lock().entry(ip).or_insert_with(|| {
+            Arc::new(ClientState {
+                inflight: AtomicUsize::new(0),
+            })
+        }))
     }
 
     /// Which shard a key routes to before liveness probing.
@@ -155,7 +195,10 @@ impl Router {
 
     /// Live shard count (the chaos test watches this drop).
     pub fn shards_alive(&self) -> usize {
-        self.alive.iter().filter(|a| a.load(Ordering::Acquire)).count()
+        self.alive
+            .iter()
+            .filter(|a| a.load(Ordering::Acquire))
+            .count()
     }
 
     /// Chaos hook: kill shard `idx` — its executor drains by *failing*
@@ -252,11 +295,7 @@ impl Router {
     /// route, time, and render — every outcome is exactly one response,
     /// which is the requests==responses invariant `serve bench --check`
     /// pins.
-    fn respond(
-        &self,
-        parsed: Result<Request, (String, String)>,
-        client: &ClientState,
-    ) -> Response {
+    fn respond(&self, parsed: Result<Request, (String, String)>, client: &ClientState) -> Response {
         self.stats.received.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
         let span_start = rt_trace::enabled().then(rt_trace::now_us);
@@ -276,6 +315,11 @@ impl Router {
                 let mut fields = self.stats.fields(queue_len, inflight);
                 fields.push(("shards".into(), self.shards.len() as f64));
                 fields.push(("shards_alive".into(), self.shards_alive() as f64));
+                if let Some(store) = &self.store {
+                    for (name, value) in store.stats().fields() {
+                        fields.push((name.into(), value as f64));
+                    }
+                }
                 Response::Stats { id, fields }
             }
             Ok(Request::Simulate { id, spec }) => self.simulate(id, &spec, client),
@@ -387,7 +431,10 @@ mod tests {
             assert_eq!(a, b, "routing must be deterministic");
             seen.insert(a);
         }
-        assert!(seen.len() > 1, "63 distinct keys must hit more than one shard");
+        assert!(
+            seen.len() > 1,
+            "63 distinct keys must hit more than one shard"
+        );
     }
 
     #[test]

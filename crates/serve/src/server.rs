@@ -53,8 +53,8 @@ use std::time::Instant;
 
 /// Serving knobs. All bounded; the defaults suit tests and single-host
 /// benchmarking, and [`ServeOpts::from_config`] overlays the installed
-/// [`SuiteConfig`]'s `MIC_SERVE_*` knobs.
-#[derive(Clone, Copy, Debug)]
+/// [`SuiteConfig`]'s `MIC_SERVE_*` (and `MIC_STORE*`) knobs.
+#[derive(Clone, Debug)]
 pub struct ServeOpts {
     /// Per-shard admission bound: requests beyond this many *queued* jobs
     /// on a shard are shed.
@@ -73,6 +73,14 @@ pub struct ServeOpts {
     pub conn_cap: usize,
     /// Largest accepted request in bytes (JSON line or binary payload).
     pub max_request: usize,
+    /// Durable result-spill file shared by every shard (`MIC_STORE`);
+    /// `None` serves from the in-memory LRUs alone. With a store, results
+    /// survive restarts: a warm server answers repeat jobs without
+    /// recomputing them.
+    pub store_path: Option<std::path::PathBuf>,
+    /// Auto-persist the store after this many results (`MIC_STORE_SYNC`);
+    /// 0 persists only at shutdown.
+    pub store_sync: usize,
 }
 
 impl Default for ServeOpts {
@@ -86,6 +94,8 @@ impl Default for ServeOpts {
             quota: 256,
             conn_cap: 256,
             max_request: 64 * 1024,
+            store_path: None,
+            store_sync: 0,
         }
     }
 }
@@ -98,6 +108,8 @@ impl ServeOpts {
             quota: cfg.serve_quota.max(1),
             conn_cap: cfg.serve_conn_cap.max(1),
             max_request: cfg.serve_max_request,
+            store_path: cfg.store_path.clone(),
+            store_sync: cfg.store_sync,
             ..ServeOpts::default()
         }
     }
@@ -114,6 +126,9 @@ pub struct ServeStats {
     pub shed: AtomicU64,
     pub coalesced: AtomicU64,
     pub cache_hits: AtomicU64,
+    /// Simulate requests answered from the durable result store (a warm
+    /// restart shows these before any LRU hit is possible).
+    pub store_hits: AtomicU64,
     pub batches: AtomicU64,
     pub executed: AtomicU64,
     /// Jobs re-routed off a dead shard (none lost).
@@ -137,6 +152,9 @@ impl ServeStats {
             ("shed".into(), g(&self.shed)),
             ("coalesced".into(), g(&self.coalesced)),
             ("cache_hits".into(), g(&self.cache_hits)),
+            // Results answered from the durable store tier (the page-level
+            // store_* rows come from the store itself via the stats op).
+            ("store_result_hits".into(), g(&self.store_hits)),
             ("batches".into(), g(&self.batches)),
             ("executed".into(), g(&self.executed)),
             ("rerouted".into(), g(&self.rerouted)),
@@ -194,6 +212,10 @@ pub struct Dispatcher {
     inflight: Mutex<HashMap<String, Arc<Job>>>,
     wake: EventCount,
     lru: ShardedLru,
+    /// Optional durable spill tier below the LRU, shared across shards
+    /// (one handle per file, so the single-writer store stays single-
+    /// writer). Probed on LRU miss; fed after every computed result.
+    store: Option<Arc<mic_store::Store>>,
     stats: Arc<ServeStats>,
     stop: AtomicBool,
     /// Chaos: a killed shard fails queued jobs with [`SHARD_DEAD`] so the
@@ -206,22 +228,28 @@ fn scounter(name: &'static str, help: &'static str) -> Arc<mic_metrics::Counter>
 }
 
 impl Dispatcher {
-    pub fn new(shard: usize, opts: ServeOpts, stats: Arc<ServeStats>) -> Dispatcher {
+    pub fn new(
+        shard: usize,
+        opts: ServeOpts,
+        stats: Arc<ServeStats>,
+        store: Option<Arc<mic_store::Store>>,
+    ) -> Dispatcher {
         let mut cfg = SweepCfg::from_env();
         cfg.threads = opts.pool_threads.max(1);
         Dispatcher {
             shard,
             shard_label: shard.to_string(),
-            opts,
             cfg,
             queue: BoundedQueue::new(opts.queue_cap.max(1)),
             depth: AtomicUsize::new(0),
             inflight: Mutex::new(HashMap::new()),
             wake: EventCount::named("serve-exec"),
             lru: ShardedLru::new(opts.lru_cap),
+            store,
             stats,
             stop: AtomicBool::new(false),
             dead: AtomicBool::new(false),
+            opts,
         }
     }
 
@@ -289,6 +317,27 @@ impl Dispatcher {
                 scounter(
                     "mic_serve_cache_hits_total",
                     "Simulate requests answered from the bounded result LRU.",
+                )
+                .inc();
+            }
+            return Submission::Done {
+                cycles,
+                meta: SimMeta {
+                    batch: 0,
+                    coalesced: false,
+                    cached: true,
+                    queue_ms: t0.elapsed().as_secs_f64() * 1e3,
+                },
+            };
+        }
+        if let Some(cycles) = self.store_get(&key) {
+            // Warm the LRU so the next repeat skips even the store read.
+            self.lru.put(&key, cycles);
+            self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+            if mic_metrics::enabled() {
+                scounter(
+                    "mic_serve_store_hits_total",
+                    "Simulate requests answered from the durable result store.",
                 )
                 .inc();
             }
@@ -385,6 +434,23 @@ impl Dispatcher {
         }
     }
 
+    /// Probe the durable store for a finished result. The store verifies
+    /// its bytes page-by-page; this only re-checks the value's shape (one
+    /// little-endian f64) and finiteness before trusting it.
+    fn store_get(&self, key: &str) -> Option<f64> {
+        let bytes = self.store.as_ref()?.get(key.as_bytes())?;
+        let cycles = f64::from_le_bytes(bytes.try_into().ok()?);
+        cycles.is_finite().then_some(cycles)
+    }
+
+    /// Feed a computed result to the durable store, best-effort: a write
+    /// failure costs a future warm hit, never the in-flight response.
+    fn store_put(&self, key: &str, cycles: f64) {
+        if let Some(store) = &self.store {
+            let _ = store.put(key.as_bytes(), &cycles.to_le_bytes());
+        }
+    }
+
     /// Export this shard's queue depth from its `AtomicUsize` — called at
     /// enqueue and dequeue, never while holding any lock.
     fn set_queue_gauge(&self) {
@@ -462,6 +528,7 @@ impl Dispatcher {
                 let outcome = match report.results.get(i).and_then(|r| r.as_ref()) {
                     Some(cycles) => {
                         self.lru.put(&job.key, *cycles);
+                        self.store_put(&job.key, *cycles);
                         Ok((*cycles, batch.len()))
                     }
                     None => Err(fail_by_point
@@ -526,9 +593,13 @@ impl ConnRegistry {
     /// handler thread is spawned.
     fn register(&self, stream: TcpStream) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.conns
-            .lock()
-            .insert(id, ConnSlot { stream, handle: None });
+        self.conns.lock().insert(
+            id,
+            ConnSlot {
+                stream,
+                handle: None,
+            },
+        );
         id
     }
 
@@ -594,8 +665,9 @@ impl Server {
     pub fn start(addr: &str, opts: ServeOpts) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let conn_cap = opts.conn_cap;
         let router = Arc::new(Router::new(opts));
-        let registry = Arc::new(ConnRegistry::new(opts.conn_cap));
+        let registry = Arc::new(ConnRegistry::new(conn_cap));
         let stopping = Arc::new(AtomicBool::new(false));
         let executors = router.spawn_executors()?;
         let accept = {
@@ -621,12 +693,12 @@ impl Server {
                         let id = registry.register(watch);
                         let r = Arc::clone(&router);
                         let reg = Arc::clone(&registry);
-                        match std::thread::Builder::new()
-                            .name("serve-conn".into())
-                            .spawn(move || {
+                        match std::thread::Builder::new().name("serve-conn".into()).spawn(
+                            move || {
                                 handle_connection(stream, &r);
                                 reg.release(id);
-                            }) {
+                            },
+                        ) {
                             Ok(handle) => registry.attach(id, handle),
                             Err(_) => registry.release(id),
                         }
@@ -674,6 +746,9 @@ impl Server {
         for h in self.executors.drain(..) {
             let _ = h.join();
         }
+        // Executors (the store writers) are gone: flip the header so every
+        // spilled result is durable for the next (warm) server.
+        self.router.persist_store();
     }
 }
 
@@ -785,9 +860,7 @@ fn handle_connection(stream: TcpStream, router: &Router) {
                     router.count_wire_error("line_overflow");
                     let resp = Response::Error {
                         id: String::new(),
-                        detail: format!(
-                            "request exceeds the {max}-byte limit; closing connection"
-                        ),
+                        detail: format!("request exceeds the {max}-byte limit; closing connection"),
                     };
                     let _ = writeln!(writer, "{}", resp.render());
                     break;

@@ -32,10 +32,9 @@ fn read_binary_response(reader: &mut BufReader<TcpStream>) -> Response {
 fn frames_split_across_many_tcp_writes_still_parse() {
     let server = Server::start("127.0.0.1:0", ServeOpts::default()).expect("start server");
     let (mut reader, mut writer) = connect(server.addr);
-    let req = protocol::parse_request(
-        r#"{"id":"split","kernel":"coloring","threads":5,"scale":512}"#,
-    )
-    .unwrap();
+    let req =
+        protocol::parse_request(r#"{"id":"split","kernel":"coloring","threads":5,"scale":512}"#)
+            .unwrap();
     let bytes = binary_rpc_bytes(&req);
     // One byte per write: the reader must reassemble the frame across
     // arbitrarily small TCP reads.
@@ -145,8 +144,10 @@ fn json_and_binary_modes_serve_bit_identical_cycles() {
     writeln!(jwriter, "{line}").unwrap();
     let mut resp_line = String::new();
     jreader.read_line(&mut resp_line).unwrap();
-    let Response::Ok { cycles: json_cycles, .. } =
-        protocol::parse_response(resp_line.trim_end()).unwrap()
+    let Response::Ok {
+        cycles: json_cycles,
+        ..
+    } = protocol::parse_response(resp_line.trim_end()).unwrap()
     else {
         panic!("expected ok over JSON");
     };
@@ -155,7 +156,10 @@ fn json_and_binary_modes_serve_bit_identical_cycles() {
     let (mut breader, mut bwriter) = connect(server.addr);
     let req = protocol::parse_request(line).unwrap();
     bwriter.write_all(&binary_rpc_bytes(&req)).unwrap();
-    let Response::Ok { cycles: bin_cycles, .. } = read_binary_response(&mut breader) else {
+    let Response::Ok {
+        cycles: bin_cycles, ..
+    } = read_binary_response(&mut breader)
+    else {
         panic!("expected ok over binary");
     };
 

@@ -142,7 +142,12 @@ fn shed_reports_clamped_depth_and_tickets_never_overshoot() {
     };
     // A dispatcher with NO executor: admitted jobs stay queued, so the
     // queue is saturated deterministically.
-    let dispatcher = Arc::new(Dispatcher::new(0, opts, Arc::new(ServeStats::default())));
+    let dispatcher = Arc::new(Dispatcher::new(
+        0,
+        opts,
+        Arc::new(ServeStats::default()),
+        None,
+    ));
     let submitters: Vec<_> = (0..16)
         .map(|i| {
             let d = Arc::clone(&dispatcher);
