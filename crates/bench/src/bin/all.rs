@@ -59,6 +59,10 @@ fn write_json(
 ) {
     let mut body = String::from("{\n");
     body.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    body.push_str(&format!(
+        "  \"build\": \"{}\",\n",
+        json_escape(&mic_eval::buildinfo::stamp())
+    ));
     body.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
     body.push_str(&format!("  \"sweep_threads\": {threads},\n"));
     body.push_str(&format!("  \"total_seconds\": {total_s:.3},\n"));

@@ -442,6 +442,10 @@ fn run_admission_locked(threads: usize, ops: u64) -> RunOut {
 fn render_json(samples: &[Sample], ops: u64) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!(
+        "  \"build\": \"{}\",\n",
+        mic_eval::buildinfo::stamp()
+    ));
     out.push_str("  \"bench\": \"contention\",\n");
     out.push_str(&format!("  \"ops\": {ops},\n"));
     out.push_str("  \"exhibits\": [\n");

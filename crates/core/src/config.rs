@@ -41,6 +41,9 @@
 //! | `store_page` | `MIC_STORE_PAGE` | 4096 |
 //! | `store_pool` | `MIC_STORE_POOL` | 256 |
 //! | `store_sync` | `MIC_STORE_SYNC` | 0 (persist on shutdown only) |
+//! | `obs` | `MIC_OBS` | off |
+//! | `obs_slow_ms` | `MIC_OBS_SLOW_MS` | none |
+//! | `obs_ring` | `MIC_OBS_RING` | 1024 |
 
 use crate::fault::FaultPlan;
 use std::path::PathBuf;
@@ -79,6 +82,45 @@ impl MetricsMode {
 
     pub fn is_on(&self) -> bool {
         !matches!(self, MetricsMode::Off)
+    }
+}
+
+/// What `MIC_OBS` (or the builder) asked for: request tracing + the
+/// flight recorder, and where flight-recorder dumps land.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum ObsMode {
+    /// Observability off; instrumented paths cost one relaxed load.
+    #[default]
+    Off,
+    /// Tracing + flight recorder on; dumps go to the default `mic-obs/`
+    /// directory.
+    On,
+    /// On, with dumps written under this directory.
+    OnWithDir(PathBuf),
+}
+
+impl ObsMode {
+    /// `MIC_OBS` grammar (mirrors `MIC_METRICS`): unset/empty/`0` off,
+    /// `1`/`true` on with the default dump directory, anything else is a
+    /// dump directory (and on).
+    fn parse(raw: Option<String>) -> ObsMode {
+        match raw {
+            None => ObsMode::Off,
+            Some(v) => {
+                let t = v.trim();
+                if t.is_empty() || t == "0" {
+                    ObsMode::Off
+                } else if t == "1" || t.eq_ignore_ascii_case("true") {
+                    ObsMode::On
+                } else {
+                    ObsMode::OnWithDir(PathBuf::from(v))
+                }
+            }
+        }
+    }
+
+    pub fn is_on(&self) -> bool {
+        !matches!(self, ObsMode::Off)
     }
 }
 
@@ -179,6 +221,13 @@ pub struct SuiteConfig {
     /// persist (graceful shutdown). Raise durability under `kill -9` by
     /// lowering this.
     pub store_sync: usize,
+    /// Observability policy: request tracing plus the flight recorder.
+    pub obs: ObsMode,
+    /// Requests slower than this dump the flight recorder (tail
+    /// sampling); `None`/0 = no slow-request sampling.
+    pub obs_slow_ms: Option<u64>,
+    /// Flight-recorder ring capacity, events per thread.
+    pub obs_ring: usize,
 }
 
 impl Default for SuiteConfig {
@@ -204,6 +253,9 @@ impl Default for SuiteConfig {
             store_page: 4096,
             store_pool: 256,
             store_sync: 0,
+            obs: ObsMode::Off,
+            obs_slow_ms: None,
+            obs_ring: 1024,
         }
     }
 }
@@ -248,6 +300,10 @@ impl SuiteConfig {
             store_pool: crate::env::positive_usize("MIC_STORE_POOL").unwrap_or(defaults.store_pool),
             store_sync: crate::env::nonneg_u64("MIC_STORE_SYNC")
                 .map_or(defaults.store_sync, |v| v.min(1 << 20) as usize),
+            obs: ObsMode::parse(crate::env::raw("MIC_OBS")),
+            obs_slow_ms: crate::env::nonneg_u64("MIC_OBS_SLOW_MS").filter(|v| *v > 0),
+            obs_ring: crate::env::positive_usize("MIC_OBS_RING")
+                .map_or(defaults.obs_ring, |v| v.clamp(8, 1 << 20)),
         }
     }
 
@@ -353,6 +409,35 @@ impl SuiteConfig {
         self
     }
 
+    pub fn obs(mut self, mode: ObsMode) -> Self {
+        self.obs = mode;
+        self
+    }
+
+    pub fn obs_slow_ms(mut self, ms: Option<u64>) -> Self {
+        self.obs_slow_ms = ms.filter(|v| *v > 0);
+        self
+    }
+
+    pub fn obs_ring(mut self, events: usize) -> Self {
+        self.obs_ring = events.clamp(8, 1 << 20);
+        self
+    }
+
+    /// The [`mic_obs::ObsConfig`] this config asks for; `None` = off.
+    pub fn obs_config(&self) -> Option<mic_obs::ObsConfig> {
+        let dir = match &self.obs {
+            ObsMode::Off => return None,
+            ObsMode::On => PathBuf::from("mic-obs"),
+            ObsMode::OnWithDir(d) => d.clone(),
+        };
+        Some(mic_obs::ObsConfig {
+            dir,
+            slow_ms: self.obs_slow_ms,
+            ring: self.obs_ring,
+        })
+    }
+
     /// The sweep worker count with the auto default applied.
     pub fn effective_sweep_threads(&self) -> usize {
         self.sweep_threads.unwrap_or_else(|| {
@@ -379,6 +464,10 @@ impl SuiteConfig {
             self.steal_spin
                 .unwrap_or(mic_runtime::sync::DEFAULT_PARK_SPIN),
         );
+        match self.obs_config() {
+            Some(obs) => mic_obs::install(obs),
+            None => mic_obs::disable(),
+        }
     }
 }
 
@@ -450,6 +539,9 @@ mod tests {
         assert_eq!(c.store_page, 4096);
         assert_eq!(c.store_pool, 256);
         assert_eq!(c.store_sync, 0);
+        assert_eq!(c.obs, ObsMode::Off);
+        assert_eq!(c.obs_slow_ms, None);
+        assert_eq!(c.obs_ring, 1024);
     }
 
     #[test]
@@ -534,6 +626,34 @@ mod tests {
     fn effective_threads_auto_is_bounded() {
         let t = SuiteConfig::default().effective_sweep_threads();
         assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    fn obs_mode_grammar_and_builders() {
+        assert_eq!(ObsMode::parse(None), ObsMode::Off);
+        assert_eq!(ObsMode::parse(Some("0".into())), ObsMode::Off);
+        assert_eq!(ObsMode::parse(Some("".into())), ObsMode::Off);
+        assert_eq!(ObsMode::parse(Some("1".into())), ObsMode::On);
+        assert_eq!(ObsMode::parse(Some("true".into())), ObsMode::On);
+        assert_eq!(
+            ObsMode::parse(Some("dumps/obs".into())),
+            ObsMode::OnWithDir(PathBuf::from("dumps/obs"))
+        );
+        let c = SuiteConfig::default()
+            .obs(ObsMode::On)
+            .obs_slow_ms(Some(0))
+            .obs_ring(1);
+        assert_eq!(c.obs_slow_ms, None, "zero threshold means no sampling");
+        assert_eq!(c.obs_ring, 8, "ring floor");
+        let oc = c.obs_config().expect("on");
+        assert_eq!(oc.dir, PathBuf::from("mic-obs"));
+        assert_eq!(oc.ring, 8);
+        assert!(SuiteConfig::default().obs_config().is_none());
+        let named = SuiteConfig::default()
+            .obs(ObsMode::OnWithDir(PathBuf::from("/tmp/fd")))
+            .obs_config()
+            .unwrap();
+        assert_eq!(named.dir, PathBuf::from("/tmp/fd"));
     }
 
     #[test]

@@ -38,7 +38,7 @@
 
 use mic_runtime::fault as rt_fault;
 use mic_store::fault as store_fault;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// Every fault class the injector knows.
@@ -377,7 +377,7 @@ pub fn install(plan: FaultPlan) {
                 }
                 let decision = for_hook.decide(class, site.index ^ (site.worker as u64) << 48, 0);
                 if decision.is_some() {
-                    count_injection(class);
+                    count_injection_at(class, site.index);
                 }
                 match decision {
                     Some(Fault::Panic) => {
@@ -422,7 +422,7 @@ pub fn install(plan: FaultPlan) {
             };
             for (class, fault) in candidates {
                 if for_hook.decide(*class, site.site, 0).is_some() {
-                    count_injection(*class);
+                    count_injection_at(*class, site.site);
                     return Some(*fault);
                 }
             }
@@ -457,14 +457,17 @@ pub fn site_hash(name: &str) -> u64 {
 pub fn cache_fault(class: FaultClass, site: u64) -> bool {
     let fired = active().is_some_and(|p| p.decide(class, site, 0).is_some());
     if fired {
-        count_injection(class);
+        count_injection_at(class, site);
     }
     fired
 }
 
-/// Record a fired injection in the metrics registry (no-op when metrics
-/// are off).
-fn count_injection(class: FaultClass) {
+/// Record a fired injection: the metrics counter (no-op when metrics are
+/// off) plus a flight-recorder event, and — once per fault class per
+/// process — a flight-recorder dump, so a chaos run ships a post-mortem
+/// the moment its first fault of each kind lands. Both riders cost one
+/// relaxed load when their subsystem is off.
+pub(crate) fn count_injection_at(class: FaultClass, site: u64) {
     if crate::metrics::enabled() {
         crate::metrics::counter(
             "mic_fault_injections_total",
@@ -472,6 +475,14 @@ fn count_injection(class: FaultClass) {
             &[("class", class.name())],
         )
         .inc();
+    }
+    if mic_obs::enabled() {
+        mic_obs::flight::record(mic_obs::flight::EventKind::Fault, class as u64, site, 0);
+        static DUMPED: AtomicU64 = AtomicU64::new(0);
+        let bit = 1u64 << (class as u64).min(63);
+        if DUMPED.fetch_or(bit, Ordering::Relaxed) & bit == 0 {
+            let _ = mic_obs::flight::dump(&format!("fault-{}", class.name()));
+        }
     }
 }
 

@@ -40,11 +40,13 @@ pub use mic_bfs as bfs;
 pub use mic_coloring as coloring;
 pub use mic_graph as graph;
 pub use mic_irregular as irregular;
+pub use mic_obs as obs;
 pub use mic_runtime as runtime;
 pub use mic_sim as sim;
 pub use mic_store as store;
 
 pub mod baseline;
+pub mod buildinfo;
 pub mod config;
 pub mod env;
 pub mod experiments;

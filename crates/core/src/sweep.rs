@@ -437,15 +437,8 @@ where
             sweep_counter("mic_sweep_retries_total", "Sweep job re-attempts.").inc();
         }
         let injected = plan.and_then(|p| job_fault(p, i as u64, (attempts - 1) as u64));
-        if metrics_on {
-            if let Some((class, _)) = injected {
-                crate::metrics::counter(
-                    "mic_fault_injections_total",
-                    "Injected faults fired, by fault class.",
-                    &[("class", class.name())],
-                )
-                .inc();
-            }
+        if let Some((class, _)) = injected {
+            fault::count_injection_at(class, i as u64);
         }
         let injected = injected.map(|(_, fault)| fault);
         let started = Instant::now();
@@ -489,6 +482,14 @@ where
                     &[("cause", cause.kind())],
                 )
                 .inc();
+            }
+            if mic_obs::enabled() {
+                mic_obs::flight::record(
+                    mic_obs::flight::EventKind::SweepFailure,
+                    i as u64,
+                    attempts as u64,
+                    0,
+                );
             }
             return Err(JobFailure {
                 point: i,

@@ -235,6 +235,18 @@ fn meta_event(out: &mut Vec<String>, what: &str, pid: usize, tid: usize, name: &
 /// with the per-cause cycle totals at each region boundary. Native events,
 /// if any, go on one further process lane in real microseconds.
 pub fn chrome_trace_json(parts: &[TracePart], native: &[NativeEvent]) -> String {
+    chrome_trace_json_with_spans(parts, native, &[])
+}
+
+/// [`chrome_trace_json`] plus a "requests" process lane rendering per-
+/// request spans from the [`mic_obs`] span store: one timeline row per
+/// serving shard (row 0 for spans with no shard), each span an `X` event
+/// named by its kind with the trace/span/parent ids in `args`.
+pub fn chrome_trace_json_with_spans(
+    parts: &[TracePart],
+    native: &[NativeEvent],
+    spans: &[mic_obs::span::Span],
+) -> String {
     let mut ev: Vec<String> = Vec::new();
     for (pi, part) in parts.iter().enumerate() {
         let pid = pi + 1;
@@ -302,6 +314,31 @@ pub fn chrome_trace_json(parts: &[TracePart], native: &[NativeEvent]) -> String 
     if !native.is_empty() {
         let pid = parts.len() + 1;
         meta_event(&mut ev, "process_name", pid, 0, "native runtime");
+        // One timeline row per (lane, worker) pair. Lane 0 (the default)
+        // keeps the bare worker id; serve shard lanes land at
+        // `lane * 1024 + worker` and are named "shard-N/worker-M", so two
+        // shards' dispatcher pools never interleave on one row.
+        let mut rows: Vec<(usize, usize)> = native.iter().map(|e| (e.lane, e.worker)).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        for &(lane, worker) in &rows {
+            if lane > 0 {
+                meta_event(
+                    &mut ev,
+                    "thread_name",
+                    pid,
+                    lane * 1024 + worker,
+                    &format!("shard-{}/worker-{worker}", lane - 1),
+                );
+            }
+        }
+        let tid = |e: &NativeEvent| {
+            if e.lane > 0 {
+                e.lane * 1024 + e.worker
+            } else {
+                e.worker
+            }
+        };
         for e in native {
             match e.kind {
                 NativeEventKind::Chunk { lo, hi } => ev.push(format!(
@@ -309,23 +346,45 @@ pub fn chrome_trace_json(parts: &[TracePart], native: &[NativeEvent]) -> String 
                     e.runtime,
                     num(e.start_us),
                     num(e.end_us - e.start_us),
-                    e.worker,
+                    tid(e),
                 )),
                 NativeEventKind::Region { epoch } => ev.push(format!(
                     "{{\"name\":\"region\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"epoch\":{epoch}}}}}",
                     e.runtime,
                     num(e.start_us),
                     num(e.end_us - e.start_us),
-                    e.worker,
+                    tid(e),
                 )),
                 NativeEventKind::Steal { victim } => ev.push(format!(
                     "{{\"name\":\"steal\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"victim\":{}}}}}",
                     e.runtime,
                     num(e.start_us),
-                    e.worker,
+                    tid(e),
                     if victim == usize::MAX { -1i64 } else { victim as i64 },
                 )),
             }
+        }
+    }
+    if !spans.is_empty() {
+        let pid = parts.len() + 2;
+        meta_event(&mut ev, "process_name", pid, 0, "requests");
+        let mut shards: Vec<usize> = spans.iter().filter_map(|s| s.shard).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        for sh in shards {
+            meta_event(&mut ev, "thread_name", pid, sh + 1, &format!("shard-{sh}"));
+        }
+        for sp in spans {
+            ev.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"trace\":\"{}\",\"span\":\"{}\",\"parent\":\"{}\"}}}}",
+                sp.kind.name(),
+                num(sp.start_us),
+                num(sp.end_us - sp.start_us),
+                sp.shard.map_or(0, |sh| sh + 1),
+                mic_obs::trace_hex(sp.trace),
+                mic_obs::span_hex(sp.id),
+                mic_obs::span_hex(sp.parent),
+            ));
         }
     }
     format!(
@@ -579,6 +638,7 @@ mod tests {
             NativeEvent {
                 runtime: "omp",
                 worker: 0,
+                lane: 0,
                 start_us: 1.0,
                 end_us: 2.5,
                 kind: NativeEventKind::Chunk { lo: 0, hi: 64 },
@@ -586,6 +646,7 @@ mod tests {
             NativeEvent {
                 runtime: "tbb",
                 worker: 1,
+                lane: 2,
                 start_us: 3.0,
                 end_us: 3.0,
                 kind: NativeEventKind::Steal { victim: 0 },
@@ -600,10 +661,50 @@ mod tests {
             "stall cycles",
             "\"steal\"",
             "native runtime",
+            // The lane-2 steal lands on a namespaced shard row...
+            "shard-1/worker-1",
+            "\"tid\":2049",
         ] {
             assert!(json.contains(needle), "missing {needle}");
         }
+        // ...while the lane-0 chunk keeps its bare worker tid.
+        assert!(json.contains("\"name\":\"chunk 0..64\",\"cat\":\"omp\",\"ph\":\"X\",\"ts\":1,\"dur\":1.5,\"pid\":2,\"tid\":0"));
         assert!(report.cycles > 0.0);
+    }
+
+    #[test]
+    fn span_lane_renders_requests_by_shard() {
+        let spans = vec![
+            mic_obs::span::Span {
+                trace: 0xabcd,
+                id: 7,
+                parent: 0,
+                kind: mic_obs::span::SpanKind::Request,
+                shard: None,
+                start_us: 0.0,
+                end_us: 10.0,
+            },
+            mic_obs::span::Span {
+                trace: 0xabcd,
+                id: 8,
+                parent: 7,
+                kind: mic_obs::span::SpanKind::Execute,
+                shard: Some(3),
+                start_us: 2.0,
+                end_us: 9.0,
+            },
+        ];
+        let json = chrome_trace_json_with_spans(&[], &[], &spans);
+        validate_json(&json).expect("span export must parse");
+        for needle in [
+            "\"requests\"",
+            "\"shard-3\"",
+            "\"name\":\"execute\"",
+            "\"name\":\"request\"",
+            &format!("\"trace\":\"{}\"", mic_obs::trace_hex(0xabcd)),
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
     }
 
     #[test]

@@ -135,6 +135,72 @@ impl Gauge {
     }
 }
 
+/// Per-bucket exemplar: the trace id of the worst (largest) observation
+/// routed through [`Histogram::observe_with_exemplar`]. A four-word
+/// seqlock — writers skip when racing (exemplars are best-effort), and a
+/// torn read is detected and dropped, so neither side ever blocks.
+struct ExemplarSlot {
+    /// Even = stable, odd = a write is in progress.
+    seq: AtomicU64,
+    /// f64 bits of the exemplar value; `NEG_INFINITY` bits = empty.
+    value: AtomicU64,
+    trace_lo: AtomicU64,
+    trace_hi: AtomicU64,
+}
+
+impl ExemplarSlot {
+    fn new() -> Self {
+        ExemplarSlot {
+            seq: AtomicU64::new(0),
+            value: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            trace_lo: AtomicU64::new(0),
+            trace_hi: AtomicU64::new(0),
+        }
+    }
+
+    fn offer(&self, v: f64, trace: u128) {
+        if v <= f64::from_bits(self.value.load(Ordering::Relaxed)) {
+            return;
+        }
+        let s = self.seq.load(Ordering::Relaxed);
+        if s & 1 == 1
+            || self
+                .seq
+                .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            // Another writer holds the slot; losing an exemplar race is
+            // fine — the winner carried a competitive observation too.
+            return;
+        }
+        if v > f64::from_bits(self.value.load(Ordering::Relaxed)) {
+            self.value.store(v.to_bits(), Ordering::Relaxed);
+            self.trace_lo.store(trace as u64, Ordering::Relaxed);
+            self.trace_hi.store((trace >> 64) as u64, Ordering::Relaxed);
+        }
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    fn read(&self) -> Option<(f64, u128)> {
+        for _ in 0..8 {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let vb = self.value.load(Ordering::Relaxed);
+            let lo = self.trace_lo.load(Ordering::Relaxed);
+            let hi = self.trace_hi.load(Ordering::Relaxed);
+            if self.seq.load(Ordering::Acquire) != s1 {
+                continue;
+            }
+            let v = f64::from_bits(vb);
+            return (v != f64::NEG_INFINITY).then_some((v, ((hi as u128) << 64) | lo as u128));
+        }
+        None
+    }
+}
+
 /// Fixed-bucket histogram. `bounds` are strictly increasing upper bucket
 /// edges; an implicit `+Inf` overflow bucket catches the rest. Bucket
 /// occupancy counts are striped `u64`s; the running sum is a striped f64.
@@ -145,6 +211,9 @@ pub struct Histogram {
     /// Stripe-major: `counts[stripe * (bounds.len() + 1) + bucket]`.
     counts: Box<[Stripe]>,
     sum: Counter,
+    /// One exemplar slot per bucket (incl. overflow), populated only via
+    /// [`observe_with_exemplar`](Self::observe_with_exemplar).
+    exemplars: Box<[ExemplarSlot]>,
 }
 
 impl Histogram {
@@ -159,6 +228,7 @@ impl Histogram {
             bounds: bounds.into(),
             counts: (0..STRIPES * nb).map(|_| Stripe::zero()).collect(),
             sum: Counter::new(),
+            exemplars: (0..nb).map(|_| ExemplarSlot::new()).collect(),
         }
     }
 
@@ -177,6 +247,24 @@ impl Histogram {
         // day, but every current use is a duration; route through the
         // counter's guarded add (clamps below zero) to keep one code path.
         self.sum.add(v.max(0.0));
+    }
+
+    /// [`observe`](Self::observe), additionally offering `trace` as the
+    /// bucket's exemplar: each bucket remembers the trace id of its worst
+    /// observation so a p99 spike links straight to a dumped trace. A zero
+    /// trace id records nothing; the plain `observe` path is untouched.
+    #[inline]
+    pub fn observe_with_exemplar(&self, v: f64, trace: u128) {
+        self.observe(v);
+        if trace != 0 && v.is_finite() {
+            let bucket = self.bounds.partition_point(|&b| b < v);
+            self.exemplars[bucket].offer(v, trace);
+        }
+    }
+
+    /// Exemplar of one bucket, if any observation carried a trace id.
+    pub fn exemplar(&self, bucket: usize) -> Option<(f64, u128)> {
+        self.exemplars.get(bucket).and_then(ExemplarSlot::read)
     }
 
     /// Per-bucket counts merged across stripes (`bounds.len() + 1` long,
@@ -205,6 +293,7 @@ impl Histogram {
         let (p50, p95, p99) = (q(0.50), q(0.95), q(0.99));
         HistogramSnapshot {
             bounds: self.bounds.to_vec(),
+            exemplars: (0..counts.len()).map(|i| self.exemplar(i)).collect(),
             counts,
             sum: self.sum(),
             count,
@@ -448,6 +537,9 @@ pub struct HistogramSnapshot {
     /// Non-cumulative per-bucket counts; `bounds.len() + 1` entries, the
     /// last being the `+Inf` overflow bucket.
     pub counts: Vec<u64>,
+    /// Per-bucket `(worst value, trace id)` exemplars, parallel to
+    /// `counts`; `None` where no observation carried a trace id.
+    pub exemplars: Vec<Option<(f64, u128)>>,
     pub sum: f64,
     pub count: u64,
     pub p50: f64,
@@ -597,6 +689,11 @@ impl Snapshot {
                     {
                         problems.push(format!("{id}: bounds not strictly increasing/finite"));
                     }
+                    for ex in h.exemplars.iter().flatten() {
+                        if !ex.0.is_finite() {
+                            problems.push(format!("{id}: non-finite exemplar {}", ex.0));
+                        }
+                    }
                     if h.count > 0 && !(h.p50 <= h.p95 && h.p95 <= h.p99) {
                         problems.push(format!(
                             "{id}: quantiles not monotone (p50={} p95={} p99={})",
@@ -650,6 +747,12 @@ impl Snapshot {
                         out.push_str(&prom_labels(&e.labels, Some(&le)));
                         out.push(' ');
                         out.push_str(&cum.to_string());
+                        if let Some(Some((v, trace))) = h.exemplars.get(i) {
+                            // OpenMetrics exemplar: links the bucket to the
+                            // trace id of its worst observation.
+                            out.push_str(&format!(" # {{trace_id=\"{trace:032x}\"}} "));
+                            out.push_str(&prom_num(*v));
+                        }
                         out.push('\n');
                     }
                     out.push_str(&e.name);
@@ -711,6 +814,20 @@ impl Snapshot {
                             out.push(',');
                         }
                         out.push_str(&c.to_string());
+                    }
+                    out.push_str("],\"exemplars\":[");
+                    let mut first = true;
+                    for (j, ex) in h.exemplars.iter().enumerate() {
+                        if let Some((v, trace)) = ex {
+                            if !first {
+                                out.push(',');
+                            }
+                            first = false;
+                            out.push_str(&format!(
+                                "{{\"bucket\":{j},\"value\":{},\"trace_id\":\"{trace:032x}\"}}",
+                                json_num(*v)
+                            ));
+                        }
                     }
                     out.push_str("],\"sum\":");
                     out.push_str(&json_num(h.sum));
@@ -936,6 +1053,7 @@ mod tests {
                 data: Data::Histogram(HistogramSnapshot {
                     bounds: vec![2.0, 1.0],
                     counts: vec![1, 0, 0],
+                    exemplars: vec![None, None, None],
                     sum: 1.0,
                     count: 2, // mismatch vs bucket total 1
                     p50: 2.0,
@@ -950,6 +1068,55 @@ mod tests {
             .iter()
             .any(|p| p.contains("not strictly increasing")));
         assert!(problems.iter().any(|p| p.contains("not monotone")));
+    }
+
+    #[test]
+    fn exemplars_track_worst_per_bucket() {
+        let ((), snap) = with_session(|| {
+            let h = histogram("ex_seconds", "t", &[], &[1.0, 2.0]);
+            h.observe(0.5); // plain observe: no exemplar
+            h.observe_with_exemplar(0.25, 0xaa);
+            h.observe_with_exemplar(0.75, 0xbb); // worse: replaces 0xaa
+            h.observe_with_exemplar(1.5, 0xcc);
+            h.observe_with_exemplar(9.0, 0); // zero trace id: ignored
+        });
+        let h = snap.hist("ex_seconds", &[]).unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.exemplars[0], Some((0.75, 0xbb)));
+        assert_eq!(h.exemplars[1], Some((1.5, 0xcc)));
+        assert_eq!(h.exemplars[2], None, "overflow saw only a zero trace id");
+        assert!(snap.self_check().is_empty(), "{:?}", snap.self_check());
+        let text = snap.to_prometheus();
+        assert!(
+            text.contains(&format!("# {{trace_id=\"{:032x}\"}} 0.75", 0xbbu128)),
+            "{text}"
+        );
+        let js = snap.to_json();
+        assert!(js.contains(&format!("\"trace_id\":\"{:032x}\"", 0xccu128)));
+    }
+
+    #[test]
+    fn exemplar_slot_survives_concurrent_offers() {
+        let h = std::sync::Arc::new(Histogram::new(&[1.0]));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        let v = f64::from(t * 1000 + i) * 1e-5;
+                        h.observe_with_exemplar(v, u128::from(t * 1000 + i) + 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // The winner must be the global maximum below the first bound,
+        // carrying exactly its own trace id.
+        let (v, trace) = h.exemplar(0).expect("exemplar present");
+        assert!((v - 0.07999).abs() < 1e-12, "{v}");
+        assert_eq!(trace, 8000);
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Per-request span trees.
+//!
+//! Every stage a request passes through records one [`Span`] under the
+//! request's trace id. The store is a bounded global ring (oldest traces
+//! fall off), so a serving process can answer "what happened to trace X"
+//! for recent requests without unbounded memory. Recording is gated on
+//! [`crate::enabled`] and happens off the per-event hot path (a span is
+//! recorded once per *stage*, not per item), so a plain mutex-guarded
+//! ring is cheap enough and keeps insertion ordered.
+
+use crate::{SpanId, TraceId};
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+/// What stage of a request's life a span covers. Names are the stable
+/// strings used in JSON exports and the `serve trace` summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// The whole request as seen by the router (admission → response
+    /// built). Serialize time comes after, as its own span.
+    Request,
+    /// From queue push to executor pop.
+    QueueWait,
+    /// A duplicate request joining an in-flight leader's execution.
+    CoalesceJoin,
+    /// The simulation itself, on an executor batch.
+    Execute,
+    /// Probing the durable store for a cached result.
+    StoreProbe,
+    /// Writing a fresh result back to the durable store.
+    StoreWrite,
+    /// Rendering + writing the response bytes to the socket.
+    Serialize,
+}
+
+impl SpanKind {
+    pub const ALL: [SpanKind; 7] = [
+        SpanKind::Request,
+        SpanKind::QueueWait,
+        SpanKind::CoalesceJoin,
+        SpanKind::Execute,
+        SpanKind::StoreProbe,
+        SpanKind::StoreWrite,
+        SpanKind::Serialize,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::CoalesceJoin => "coalesce_join",
+            SpanKind::Execute => "execute",
+            SpanKind::StoreProbe => "store_probe",
+            SpanKind::StoreWrite => "store_write",
+            SpanKind::Serialize => "serialize",
+        }
+    }
+}
+
+/// One recorded stage of one request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id (nonzero).
+    pub id: SpanId,
+    /// Parent span id; 0 = a root of the trace.
+    pub parent: SpanId,
+    pub kind: SpanKind,
+    /// Shard that did the work, when the stage is shard-bound.
+    pub shard: Option<usize>,
+    /// Start/end, microseconds on the [`crate::now_us`] clock.
+    pub start_us: f64,
+    pub end_us: f64,
+}
+
+impl Span {
+    pub fn duration_us(&self) -> f64 {
+        (self.end_us - self.start_us).max(0.0)
+    }
+}
+
+/// Bound on retained spans — roughly the last few thousand requests'
+/// worth; old spans fall off the front.
+const STORE_CAP: usize = 16384;
+
+fn store() -> &'static Mutex<VecDeque<Span>> {
+    static STORE: OnceLock<Mutex<VecDeque<Span>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Record a finished span. No-op when observability is off.
+pub fn record(span: Span) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut s = store().lock().unwrap_or_else(|e| e.into_inner());
+    if s.len() >= STORE_CAP {
+        s.pop_front();
+    }
+    s.push_back(span);
+}
+
+/// Convenience: mint a span id, record the span, return the id (so the
+/// caller can parent further spans under it).
+pub fn record_new(
+    trace: TraceId,
+    parent: SpanId,
+    kind: SpanKind,
+    shard: Option<usize>,
+    start_us: f64,
+    end_us: f64,
+) -> SpanId {
+    let id = crate::mint_span_id();
+    record(Span {
+        trace,
+        id,
+        parent,
+        kind,
+        shard,
+        start_us,
+        end_us,
+    });
+    id
+}
+
+/// Every retained span of `trace`, in recording order.
+pub fn for_trace(trace: TraceId) -> Vec<Span> {
+    store()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .filter(|s| s.trace == trace)
+        .copied()
+        .collect()
+}
+
+/// All retained spans (exporters).
+pub fn all() -> Vec<Span> {
+    store()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .copied()
+        .collect()
+}
+
+/// Drop every retained span (tests, and session isolation).
+pub fn clear() {
+    store().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Numeric summary of one trace: per-kind total duration (µs) and span
+/// count, plus the wall time covered (`total_us` = max end − min start).
+/// Shape matches the serve stats op: stable `(name, value)` pairs.
+pub fn summarize(trace: TraceId) -> Vec<(String, f64)> {
+    let spans = for_trace(trace);
+    let mut fields: Vec<(String, f64)> = Vec::new();
+    fields.push(("spans".to_string(), spans.len() as f64));
+    if spans.is_empty() {
+        return fields;
+    }
+    let start = spans
+        .iter()
+        .map(|s| s.start_us)
+        .fold(f64::INFINITY, f64::min);
+    let end = spans
+        .iter()
+        .map(|s| s.end_us)
+        .fold(f64::NEG_INFINITY, f64::max);
+    fields.push(("total_us".to_string(), (end - start).max(0.0)));
+    for kind in SpanKind::ALL {
+        let of_kind: Vec<&Span> = spans.iter().filter(|s| s.kind == kind).collect();
+        if of_kind.is_empty() {
+            continue;
+        }
+        let total: f64 = of_kind.iter().map(|s| s.duration_us()).sum();
+        fields.push((format!("{}_us", kind.name()), total));
+        fields.push((format!("{}_count", kind.name()), of_kind.len() as f64));
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: TraceId, kind: SpanKind, start: f64, end: f64) -> Span {
+        Span {
+            trace,
+            id: crate::mint_span_id(),
+            parent: 0,
+            kind,
+            shard: None,
+            start_us: start,
+            end_us: end,
+        }
+    }
+
+    #[test]
+    fn record_is_inert_when_disabled() {
+        let _g = crate::test_guard();
+        crate::disable();
+        clear();
+        record(span(7, SpanKind::Execute, 0.0, 1.0));
+        assert!(for_trace(7).is_empty());
+    }
+
+    #[test]
+    fn records_and_summarizes_when_enabled() {
+        let _g = crate::test_guard();
+        crate::install(crate::ObsConfig::default());
+        clear();
+        let t = crate::mint_trace_id();
+        let root = record_new(t, 0, SpanKind::Request, None, 100.0, 400.0);
+        record_new(t, root, SpanKind::QueueWait, Some(2), 110.0, 150.0);
+        record_new(t, root, SpanKind::Execute, Some(2), 150.0, 390.0);
+        record_new(t, root, SpanKind::Serialize, None, 400.0, 410.0);
+        let spans = for_trace(t);
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().skip(1).all(|s| s.parent == root));
+        let sum = summarize(t);
+        let get = |name: &str| sum.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("spans"), Some(4.0));
+        assert_eq!(get("total_us"), Some(310.0));
+        assert_eq!(get("queue_wait_us"), Some(40.0));
+        assert_eq!(get("execute_us"), Some(240.0));
+        assert_eq!(get("serialize_us"), Some(10.0));
+        assert_eq!(get("execute_count"), Some(1.0));
+        crate::disable();
+        clear();
+    }
+
+    #[test]
+    fn store_is_bounded() {
+        let _g = crate::test_guard();
+        crate::install(crate::ObsConfig::default());
+        clear();
+        for i in 0..(STORE_CAP + 10) {
+            record(span(1, SpanKind::Execute, i as f64, i as f64 + 1.0));
+        }
+        assert_eq!(all().len(), STORE_CAP, "oldest spans fall off");
+        crate::disable();
+        clear();
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        for k in SpanKind::ALL {
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(SpanKind::QueueWait.name(), "queue_wait");
+    }
+}

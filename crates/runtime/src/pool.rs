@@ -148,6 +148,9 @@ pub struct ThreadPool {
     run_lock: Mutex<()>,
     num_threads: usize,
     id: usize,
+    /// Trace lane inherited from the creating thread (see
+    /// [`crate::trace::set_lane`]); respawned workers rejoin it.
+    lane: usize,
 }
 
 impl ThreadPool {
@@ -157,6 +160,9 @@ impl ThreadPool {
     pub fn new(num_threads: usize) -> Self {
         assert!(num_threads >= 1, "pool needs at least one worker");
         let pool_id = POOL_IDS.fetch_add(1, Ordering::Relaxed);
+        // Workers inherit the creating thread's trace lane so a pool built
+        // by a serve shard executor stays on that shard's timeline row.
+        let lane = crate::trace::current_lane();
         let shared = Arc::new(Shared {
             epoch: AtomicU64::new(0),
             job: UnsafeCell::new(None),
@@ -167,7 +173,7 @@ impl ThreadPool {
             cold: Mutex::new(ColdState::default()),
         });
         let handles = (0..num_threads)
-            .map(|id| Some(spawn_worker(id, num_threads, pool_id, &shared, 0)))
+            .map(|id| Some(spawn_worker(id, num_threads, pool_id, lane, &shared, 0)))
             .collect();
         ThreadPool {
             shared,
@@ -175,6 +181,7 @@ impl ThreadPool {
             run_lock: Mutex::new(()),
             num_threads,
             id: pool_id,
+            lane,
         }
     }
 
@@ -290,10 +297,19 @@ impl ThreadPool {
             }
             // The replacement starts at the current epoch so it waits for
             // the next region rather than chasing ones it never saw.
+            if mic_obs::enabled() {
+                mic_obs::flight::record(
+                    mic_obs::flight::EventKind::WorkerRespawn,
+                    id as u64,
+                    epoch,
+                    0,
+                );
+            }
             handles[id] = Some(spawn_worker(
                 id,
                 self.num_threads,
                 self.id,
+                self.lane,
                 &self.shared,
                 epoch,
             ));
@@ -317,6 +333,7 @@ fn spawn_worker(
     id: usize,
     num_threads: usize,
     pool_id: usize,
+    lane: usize,
     shared: &Arc<Shared>,
     start_epoch: u64,
 ) -> JoinHandle<()> {
@@ -331,7 +348,10 @@ fn spawn_worker(
     let shared = Arc::clone(shared);
     std::thread::Builder::new()
         .name(format!("mic-worker-{id}"))
-        .spawn(move || worker_loop(id, num_threads, pool_id, shared, start_epoch))
+        .spawn(move || {
+            crate::trace::set_lane(lane);
+            worker_loop(id, num_threads, pool_id, shared, start_epoch)
+        })
         .expect("failed to spawn pool worker")
 }
 
@@ -369,6 +389,14 @@ fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared
             index: seen_epoch,
         });
         if let Some(crate::fault::FaultAction::Die) = fault {
+            if mic_obs::enabled() {
+                mic_obs::flight::record(
+                    mic_obs::flight::EventKind::WorkerDeath,
+                    id as u64,
+                    seen_epoch,
+                    0,
+                );
+            }
             {
                 let mut cold = shared.cold.lock();
                 if cold.panic.is_none() {
@@ -398,6 +426,7 @@ fn worker_loop(id: usize, num_threads: usize, pool_id: usize, shared: Arc<Shared
                 crate::trace::emit(crate::trace::NativeEvent {
                     runtime: "pool",
                     worker: id,
+                    lane: crate::trace::current_lane(),
                     start_us: t0,
                     end_us: crate::trace::now_us(),
                     kind: crate::trace::NativeEventKind::Region { epoch: seen_epoch },

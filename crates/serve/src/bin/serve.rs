@@ -27,18 +27,30 @@
 //!   `mic_serve_*` metric invariants against the live registry and that
 //!   the warm run answered from the store, exiting nonzero on failure.
 //! - `serve stats --addr A` — print a running server's `stats` fields
-//!   (one `name value` line each), for scripts and CI assertions.
+//!   (one `name value` line each, plus the server's `build` stamp), for
+//!   scripts and CI assertions.
+//! - `serve trace --addr A --trace-id HEX` — summarize one trace's span
+//!   tree on a running, `MIC_OBS`-enabled server (`name value` lines:
+//!   span count, total µs, per-stage µs/counts). `serve trace --check`
+//!   instead runs a self-contained smoke: an in-process traced server,
+//!   one client-minted traced request, then the trace op — nonzero exit
+//!   unless the span tree came back with an execute span.
+//!
+//! `serve client --trace` mints a fresh trace context per request, so a
+//! traced server builds a span tree for every one of them.
 
 use mic_bench::cli::Cli;
 use mic_eval::config::ServeWire;
 use mic_serve::client::{self, LoadOpts, LoadSummary};
+use mic_serve::protocol::Response;
 use mic_serve::server::{ServeOpts, Server};
 use std::path::PathBuf;
 
-const USAGE: &str = "serve <serve|client|bench|stats> [--addr HOST:PORT] [--queue-cap N] \
+const USAGE: &str = "serve <serve|client|bench|stats|trace> [--addr HOST:PORT] [--queue-cap N] \
                      [--batch-max N] [--lru N] [--pool N] [--shards N] [--quota N] \
                      [--conn-cap N] [--max-request BYTES] [--store PATH] [--store-sync N] \
-                     [--clients N] [--rps R] [--duration S] [--json] [--out PATH] [--check]";
+                     [--clients N] [--rps R] [--duration S] [--json] [--trace] \
+                     [--trace-id HEX] [--out PATH] [--check]";
 
 fn main() {
     let mut cli = Cli::parse("serve", USAGE);
@@ -89,6 +101,8 @@ fn main() {
         .unwrap_or(100.0)
         .max(0.1);
     let duration = cli.opt_parse::<f64>("--duration", "seconds");
+    let trace_requests = cli.flag("--trace");
+    let trace_id = cli.opt("--trace-id");
     let out = cli.out();
     let check = cli.check();
     let pos = cli.positionals();
@@ -103,7 +117,14 @@ fn main() {
                 eprintln!("usage: {USAGE}");
                 std::process::exit(2);
             };
-            run_client(addr, clients, rps, duration.unwrap_or(2.0), wire)
+            run_client(
+                addr,
+                clients,
+                rps,
+                duration.unwrap_or(2.0),
+                wire,
+                trace_requests,
+            )
         }
         "bench" => run_bench(opts, clients, rps, duration.unwrap_or(2.0), out, check),
         "stats" => {
@@ -114,6 +135,7 @@ fn main() {
             };
             run_stats(addr)
         }
+        "trace" => run_trace(addr.as_deref(), trace_id, opts, check),
         other => {
             eprintln!("serve: unknown mode {other:?}");
             eprintln!("usage: {USAGE}");
@@ -150,7 +172,8 @@ fn run_stats(addr: &str) -> i32 {
         mic_serve::protocol::parse_response(line.trim_end()).map_err(std::io::Error::other)
     })();
     match result {
-        Ok(mic_serve::protocol::Response::Stats { fields, .. }) => {
+        Ok(Response::Stats { fields, build, .. }) => {
+            println!("build {build}");
             for (name, value) in fields {
                 println!("{name} {value}");
             }
@@ -208,12 +231,20 @@ fn run_serve(addr: &str, opts: ServeOpts, duration: Option<f64>) -> i32 {
     }
 }
 
-fn run_client(addr: &str, clients: usize, rps: f64, duration: f64, wire: ServeWire) -> i32 {
+fn run_client(
+    addr: &str,
+    clients: usize,
+    rps: f64,
+    duration: f64,
+    wire: ServeWire,
+    trace: bool,
+) -> i32 {
     let point = LoadOpts {
         clients,
         target_rps: rps,
         duration_s: duration,
         wire,
+        trace,
     };
     match client::run_load(addr, point) {
         Ok(summary) => {
@@ -263,6 +294,7 @@ fn run_bench(
                     target_rps,
                     duration_s: duration,
                     wire,
+                    trace: false,
                 },
             ) {
                 Ok(summary) => {
@@ -312,6 +344,7 @@ fn run_bench(
                 target_rps: rps,
                 duration_s: duration,
                 wire: ServeWire::Binary,
+                trace: false,
             },
         ) {
             Ok(mut summary) => {
@@ -360,6 +393,145 @@ fn run_bench(
         println!("check: serve metric invariants hold");
     }
     0
+}
+
+/// One JSON request/response exchange on an already-open connection.
+fn json_exchange(
+    writer: &mut std::net::TcpStream,
+    reader: &mut std::io::BufReader<std::net::TcpStream>,
+    line: &str,
+) -> std::io::Result<Response> {
+    use std::io::{BufRead, Write};
+    writeln!(writer, "{line}")?;
+    let mut resp = String::new();
+    if reader.read_line(&mut resp)? == 0 {
+        return Err(std::io::Error::other("server closed the connection"));
+    }
+    mic_serve::protocol::parse_response(resp.trim_end()).map_err(std::io::Error::other)
+}
+
+/// `serve trace`: summarize one trace's span tree as `name value` lines.
+fn run_trace(addr: Option<&str>, trace_id: Option<String>, opts: ServeOpts, check: bool) -> i32 {
+    if check {
+        return run_trace_check(opts);
+    }
+    let (Some(addr), Some(trace_id)) = (addr, trace_id) else {
+        eprintln!("serve: trace mode needs --addr HOST:PORT and --trace-id HEX (or --check)");
+        eprintln!("usage: {USAGE}");
+        return 2;
+    };
+    if mic_eval::obs::parse_trace_hex(&trace_id).is_none() {
+        eprintln!("serve: --trace-id must be 32 hex chars (and not all zero)");
+        return 2;
+    }
+    let result = (|| -> std::io::Result<Response> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut reader = std::io::BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        json_exchange(
+            &mut writer,
+            &mut reader,
+            &format!(r#"{{"id":"cli","op":"trace","trace_id":"{trace_id}"}}"#),
+        )
+    })();
+    match result {
+        Ok(Response::Trace { fields, .. }) => {
+            for (name, value) in fields {
+                println!("{name} {value}");
+            }
+            0
+        }
+        Ok(other) => {
+            eprintln!("serve: unexpected trace response: {}", other.render());
+            1
+        }
+        Err(e) => {
+            eprintln!("serve: trace query against {addr} failed: {e}");
+            1
+        }
+    }
+}
+
+/// `serve trace --check`: a self-contained tracing smoke. Installs
+/// observability, starts an in-process server, sends one client-minted
+/// traced request, then asks for its span summary — failing unless the
+/// request echoed the trace id and the tree contains an execute span.
+fn run_trace_check(opts: ServeOpts) -> i32 {
+    let dump_dir = std::env::temp_dir().join(format!("mic-obs-trace-check-{}", std::process::id()));
+    // Overlay tracing on the current config (rather than calling
+    // obs::install directly) so the config slot and the obs switch agree.
+    (*mic_eval::config::current())
+        .clone()
+        .obs(mic_eval::config::ObsMode::OnWithDir(dump_dir.clone()))
+        .install();
+    let server = match Server::start("127.0.0.1:0", opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot start in-process server: {e}");
+            return 1;
+        }
+    };
+    let ctx = mic_eval::obs::TraceCtx::mint();
+    let hex = mic_eval::obs::trace_hex(ctx.trace);
+    let result = (|| -> std::io::Result<i32> {
+        let stream = std::net::TcpStream::connect(server.addr)?;
+        stream.set_nodelay(true)?;
+        let mut reader = std::io::BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let sim = format!(
+            "{{\"id\":\"t0\",\"op\":\"simulate\",\"kernel\":\"coloring\",\"graph\":\"hood\",\
+             \"runtime\":\"omp\",\"sched\":\"dynamic\",\"chunk\":100,\"threads\":31,\
+             \"scale\":256,\"trace_id\":\"{hex}\"}}"
+        );
+        let Response::Ok { meta, .. } = json_exchange(&mut writer, &mut reader, &sim)? else {
+            eprintln!("trace check FAILED: traced simulate did not return ok");
+            return Ok(1);
+        };
+        if meta.trace != ctx.trace {
+            eprintln!(
+                "trace check FAILED: response echoed trace {} != minted {hex}",
+                mic_eval::obs::trace_hex(meta.trace)
+            );
+            return Ok(1);
+        }
+        let summary = json_exchange(
+            &mut writer,
+            &mut reader,
+            &format!(r#"{{"id":"t1","op":"trace","trace_id":"{hex}"}}"#),
+        )?;
+        let Response::Trace { fields, .. } = summary else {
+            eprintln!(
+                "trace check FAILED: unexpected trace response: {}",
+                summary.render()
+            );
+            return Ok(1);
+        };
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(name, _)| name == key)
+                .map_or(0.0, |(_, v)| *v)
+        };
+        for (name, value) in &fields {
+            println!("{name} {value}");
+        }
+        if get("spans") < 1.0 || get("execute_count") < 1.0 {
+            eprintln!("trace check FAILED: span tree is missing an execute span");
+            return Ok(1);
+        }
+        println!("trace check: span tree intact for trace {hex}");
+        Ok(0)
+    })();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("serve: trace check failed: {e}");
+            1
+        }
+    }
 }
 
 /// The `mic_serve_*` registry invariants: per-op latency histogram counts

@@ -30,6 +30,11 @@ pub struct LoadOpts {
     pub duration_s: f64,
     /// Wire encoding this load point speaks.
     pub wire: ServeWire,
+    /// Mint a client-side trace context for every request. The ids ride
+    /// the wire (either encoding) and the server threads them through
+    /// its span tree; the plain load matrix leaves this off so bench
+    /// numbers measure the untraced hot path.
+    pub trace: bool,
 }
 
 impl Default for LoadOpts {
@@ -39,6 +44,7 @@ impl Default for LoadOpts {
             target_rps: 100.0,
             duration_s: 2.0,
             wire: ServeWire::Binary,
+            trace: false,
         }
     }
 }
@@ -91,6 +97,17 @@ fn request_line(id: &str, step: usize) -> String {
     )
 }
 
+/// Graft a freshly minted trace context onto a request line. Both wires
+/// share this: the binary path re-parses the line, and `trace_id` lands
+/// in the frame's optional trailing block.
+fn with_trace(line: &str, ctx: &mic_eval::obs::TraceCtx) -> String {
+    let body = line.strip_suffix('}').unwrap_or(line);
+    format!(
+        "{body},\"trace_id\":\"{}\"}}",
+        mic_eval::obs::trace_hex(ctx.trace)
+    )
+}
+
 /// Read one response in either encoding, sniffing the first byte exactly
 /// like the server does: a connection-refusal `shed` is always a JSON
 /// line even when this client asked for binary frames.
@@ -132,6 +149,7 @@ pub fn run_load(addr: &str, opts: LoadOpts) -> std::io::Result<LoadSummary> {
     for ci in 0..clients {
         let addr = addr.to_string();
         let wire = opts.wire;
+        let trace = opts.trace;
         handles.push(std::thread::spawn(move || -> std::io::Result<Worker> {
             let stream = TcpStream::connect(&addr)?;
             stream.set_nodelay(true)?;
@@ -142,7 +160,10 @@ pub fn run_load(addr: &str, opts: LoadOpts) -> std::io::Result<LoadSummary> {
             let mut next_at = Duration::ZERO;
             let mut step = 0usize;
             while t0.elapsed() < deadline {
-                let line = request_line(&format!("c{ci}-{step}"), ci + step);
+                let mut line = request_line(&format!("c{ci}-{step}"), ci + step);
+                if trace {
+                    line = with_trace(&line, &mic_eval::obs::TraceCtx::mint());
+                }
                 step += 1;
                 let sent_at = Instant::now();
                 match wire {
@@ -290,6 +311,7 @@ pub fn bench_serve_json(points: &[LoadSummary]) -> String {
     let mut doc = Value::Obj(vec![
         ("schema_version".into(), Value::Num(SCHEMA_VERSION as f64)),
         ("bench".into(), Value::str("serve")),
+        ("build".into(), Value::str(mic_eval::buildinfo::stamp())),
         (
             "points".into(),
             Value::Arr(points.iter().map(LoadSummary::to_value).collect()),
@@ -413,6 +435,10 @@ mod tests {
         };
         let text = bench_serve_json(std::slice::from_ref(&point));
         assert!(text.contains("\"schema_version\": 1"), "{text}");
+        assert!(
+            text.contains(&format!("\"build\": \"{}\"", mic_eval::buildinfo::stamp())),
+            "{text}"
+        );
         let back = parse_bench_serve(&text).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].ok, 180);
@@ -428,6 +454,19 @@ mod tests {
         assert!(err.contains("unsupported schema_version 9"), "{err}");
         let err = parse_bench_serve(r#"{"points": []}"#).unwrap_err();
         assert!(err.contains("missing schema_version"), "{err}");
+    }
+
+    #[test]
+    fn with_trace_injects_a_parseable_context() {
+        let ctx = mic_eval::obs::TraceCtx::mint();
+        let traced = with_trace(&request_line("t0", 0), &ctx);
+        let Request::Simulate { ctx: parsed, .. } = protocol::parse_request(&traced).unwrap()
+        else {
+            panic!("expected simulate");
+        };
+        let parsed = parsed.expect("trace context should survive the line");
+        assert_eq!(parsed.trace, ctx.trace);
+        assert_eq!(parsed.parent, 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use crate::protocol::{JobSpec, Kernel, Request, Response, SimMeta};
 use mic_eval::graph::suite::{PaperGraph, Scale};
+use mic_eval::obs::TraceCtx;
 use mic_eval::sim::Policy;
 use mic_eval::workload_cache::OrderTag;
 use std::io::{BufRead, Read, Write};
@@ -46,11 +47,13 @@ pub const HEADER_LEN: usize = 10;
 pub const TAG_SIMULATE: u8 = 0x01;
 pub const TAG_PING: u8 = 0x02;
 pub const TAG_STATS: u8 = 0x03;
+pub const TAG_TRACE: u8 = 0x04;
 pub const TAG_OK: u8 = 0x81;
 pub const TAG_PONG: u8 = 0x82;
 pub const TAG_STATS_RESP: u8 = 0x83;
 pub const TAG_SHED: u8 = 0x84;
 pub const TAG_ERROR: u8 = 0x85;
+pub const TAG_TRACE_RESP: u8 = 0x86;
 
 /// Everything that can go wrong between the socket and a decoded frame.
 #[derive(Debug)]
@@ -262,6 +265,17 @@ impl<'a> Cursor<'a> {
         String::from_utf8(b.to_vec()).map_err(|_| format!("{what} is not valid UTF-8"))
     }
 
+    fn u128(&mut self, what: &str) -> Result<u128, String> {
+        let b = self.take(16, what)?;
+        Ok(u128::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Bytes left after the fixed fields — how optional trailing blocks
+    /// (the trace context) detect their presence.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn done(&self, what: &str) -> Result<(), String> {
         if self.pos != self.buf.len() {
             return Err(format!(
@@ -271,6 +285,10 @@ impl<'a> Cursor<'a> {
         }
         Ok(())
     }
+}
+
+fn put_u128(buf: &mut Vec<u8>, v: u128) {
+    buf.extend_from_slice(&v.to_le_bytes());
 }
 
 // Policy tags: tag byte + one u64 parameter (0 when the variant has none).
@@ -318,7 +336,12 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             put_str(&mut buf, id);
             (TAG_STATS, buf)
         }
-        Request::Simulate { id, spec } => {
+        Request::Trace { id, trace } => {
+            put_str(&mut buf, id);
+            put_u128(&mut buf, *trace);
+            (TAG_TRACE, buf)
+        }
+        Request::Simulate { id, spec, ctx } => {
             put_str(&mut buf, id);
             buf.push(match spec.kernel {
                 Kernel::Coloring => 0,
@@ -350,6 +373,13 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
             put_u64(&mut buf, sval);
             put_u64(&mut buf, spec.iter as u64);
             put_u64(&mut buf, spec.delay_ms);
+            // Optional trailing trace block: 16-byte trace id + 8-byte
+            // parent span. Absent for untraced requests, so the untraced
+            // encoding is byte-identical to pre-tracing builds.
+            if let Some(ctx) = ctx {
+                put_u128(&mut buf, ctx.trace);
+                put_u64(&mut buf, ctx.parent);
+            }
             (TAG_SIMULATE, buf)
         }
     }
@@ -371,6 +401,14 @@ pub fn decode_request(tag: u8, payload: &[u8]) -> Result<Request, (String, Strin
         TAG_STATS => {
             c.done("stats").map_err(&fail)?;
             return Ok(Request::Stats { id });
+        }
+        TAG_TRACE => {
+            let trace = c.u128("trace id").map_err(&fail)?;
+            c.done("trace").map_err(&fail)?;
+            if trace == 0 {
+                return Err(fail("trace id must be nonzero".to_string()));
+            }
+            return Ok(Request::Trace { id, trace });
         }
         TAG_SIMULATE => {}
         other => return Err(fail(format!("unknown request op tag {other:#04x}"))),
@@ -411,6 +449,16 @@ pub fn decode_request(tag: u8, payload: &[u8]) -> Result<Request, (String, Strin
     };
     let iter = (c.u64("iter").map_err(&fail)? as usize).clamp(1, 100);
     let delay_ms = c.u64("delay_ms").map_err(&fail)?.min(60_000);
+    // Optional trailing trace block, present iff bytes remain. A zero
+    // trace id means "absent" (a traced peer never sends one — minting
+    // rejects zero).
+    let ctx = if c.remaining() > 0 {
+        let trace = c.u128("trace id").map_err(&fail)?;
+        let parent = c.u64("parent span").map_err(&fail)?;
+        (trace != 0).then_some(TraceCtx { trace, parent })
+    } else {
+        None
+    };
     c.done("simulate").map_err(&fail)?;
     Ok(Request::Simulate {
         id,
@@ -424,6 +472,7 @@ pub fn decode_request(tag: u8, payload: &[u8]) -> Result<Request, (String, Strin
             iter,
             delay_ms,
         },
+        ctx,
     })
 }
 
@@ -439,20 +488,36 @@ pub fn encode_response(resp: &Response) -> (u8, Vec<u8>) {
             put_u64(&mut buf, meta.batch as u64);
             buf.push((meta.coalesced as u8) | ((meta.cached as u8) << 1));
             put_f64(&mut buf, meta.queue_ms);
+            // Optional trailing trace echo, mirroring the request block:
+            // untraced responses stay byte-identical to older builds.
+            if meta.trace != 0 {
+                put_u128(&mut buf, meta.trace);
+                put_u64(&mut buf, meta.root_span);
+            }
             (TAG_OK, buf)
         }
         Response::Pong { id } => {
             put_str(&mut buf, id);
             (TAG_PONG, buf)
         }
-        Response::Stats { id, fields } => {
+        Response::Stats { id, fields, build } => {
             put_str(&mut buf, id);
             buf.extend_from_slice(&(fields.len() as u32).to_le_bytes());
             for (k, v) in fields {
                 put_str(&mut buf, k);
                 put_f64(&mut buf, *v);
             }
+            put_str(&mut buf, build);
             (TAG_STATS_RESP, buf)
+        }
+        Response::Trace { id, fields } => {
+            put_str(&mut buf, id);
+            buf.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+            for (k, v) in fields {
+                put_str(&mut buf, k);
+                put_f64(&mut buf, *v);
+            }
+            (TAG_TRACE_RESP, buf)
         }
         Response::Shed { id, detail } => {
             put_str(&mut buf, id);
@@ -477,6 +542,11 @@ pub fn decode_response(tag: u8, payload: &[u8]) -> Result<Response, String> {
             let batch = c.u64("batch")? as usize;
             let flags = c.u8("flags")?;
             let queue_ms = c.f64("queue_ms")?;
+            let (trace, root_span) = if c.remaining() > 0 {
+                (c.u128("trace id")?, c.u64("root span")?)
+            } else {
+                (0, 0)
+            };
             c.done("ok")?;
             Ok(Response::Ok {
                 id,
@@ -486,6 +556,8 @@ pub fn decode_response(tag: u8, payload: &[u8]) -> Result<Response, String> {
                     coalesced: flags & 1 != 0,
                     cached: flags & 2 != 0,
                     queue_ms,
+                    trace,
+                    root_span,
                 },
             })
         }
@@ -504,8 +576,27 @@ pub fn decode_response(tag: u8, payload: &[u8]) -> Result<Response, String> {
                 let v = c.f64("stats field value")?;
                 fields.push((k, v));
             }
+            let build = if c.remaining() > 0 {
+                c.str("build stamp")?
+            } else {
+                String::new()
+            };
             c.done("stats")?;
-            Ok(Response::Stats { id, fields })
+            Ok(Response::Stats { id, fields, build })
+        }
+        TAG_TRACE_RESP => {
+            let n = c.u32("field count")? as usize;
+            if n > payload.len() {
+                return Err(format!("trace field count {n} exceeds payload"));
+            }
+            let mut fields = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = c.str("trace field name")?;
+                let v = c.f64("trace field value")?;
+                fields.push((k, v));
+            }
+            c.done("trace")?;
+            Ok(Response::Trace { id, fields })
         }
         TAG_SHED => {
             let detail = c.str("detail")?;
@@ -545,10 +636,11 @@ mod tests {
             let back = decode_request(tag, &payload).expect("decodes");
             match (&req, &back) {
                 (
-                    Request::Simulate { id, spec },
+                    Request::Simulate { id, spec, .. },
                     Request::Simulate {
                         id: id2,
                         spec: spec2,
+                        ..
                     },
                 ) => {
                     assert_eq!(id, id2);
@@ -572,12 +664,7 @@ mod tests {
             let resp = Response::Ok {
                 id: "r".into(),
                 cycles: f64::from_bits(bits),
-                meta: SimMeta {
-                    batch: 5,
-                    coalesced: true,
-                    cached: false,
-                    queue_ms: 0.125,
-                },
+                meta: SimMeta::untraced(5, true, false, 0.125),
             };
             let (tag, payload) = encode_response(&resp);
             let Response::Ok { cycles, meta, .. } = decode_response(tag, &payload).unwrap() else {
@@ -587,6 +674,98 @@ mod tests {
             assert!(meta.coalesced && !meta.cached);
             assert_eq!(meta.batch, 5);
         }
+    }
+
+    #[test]
+    fn trace_context_rides_the_binary_wire() {
+        let t = mic_eval::obs::mint_trace_id();
+        // Request: the trailing block survives the round trip.
+        let mut req = sim_request(r#"{"id":"a","kernel":"bfs","threads":31}"#);
+        let Request::Simulate { ctx, .. } = &mut req else {
+            panic!("expected simulate");
+        };
+        *ctx = Some(TraceCtx {
+            trace: t,
+            parent: 99,
+        });
+        let (tag, payload) = encode_request(&req);
+        let Request::Simulate { ctx, spec, .. } = decode_request(tag, &payload).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(
+            ctx,
+            Some(TraceCtx {
+                trace: t,
+                parent: 99
+            })
+        );
+        assert_eq!(spec.threads, 31);
+        // Without a context the payload is identical to the pre-tracing
+        // layout (no trailing bytes at all).
+        let bare = sim_request(r#"{"id":"a","kernel":"bfs","threads":31}"#);
+        let (_, bare_payload) = encode_request(&bare);
+        assert_eq!(payload.len(), bare_payload.len() + 24);
+        let Request::Simulate { ctx, .. } = decode_request(tag, &bare_payload).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(ctx, None);
+        // Response: the Ok echo round-trips too.
+        let mut meta = SimMeta::untraced(2, false, true, 1.5);
+        meta.trace = t;
+        meta.root_span = 1234;
+        let (rtag, rpayload) = encode_response(&Response::Ok {
+            id: "a".into(),
+            cycles: 7.0,
+            meta,
+        });
+        let Response::Ok { meta: back, .. } = decode_response(rtag, &rpayload).unwrap() else {
+            panic!("expected ok");
+        };
+        assert_eq!(back.trace, t);
+        assert_eq!(back.root_span, 1234);
+    }
+
+    #[test]
+    fn trace_op_round_trips_in_frames() {
+        let t = mic_eval::obs::mint_trace_id();
+        let (tag, payload) = encode_request(&Request::Trace {
+            id: "q".into(),
+            trace: t,
+        });
+        assert_eq!(tag, TAG_TRACE);
+        let Request::Trace { id, trace } = decode_request(tag, &payload).unwrap() else {
+            panic!("expected trace request");
+        };
+        assert_eq!(id, "q");
+        assert_eq!(trace, t);
+        let resp = Response::Trace {
+            id: "q".into(),
+            fields: vec![("spans".into(), 3.0), ("queue_wait_us".into(), 41.5)],
+        };
+        let (rtag, rpayload) = encode_response(&resp);
+        assert_eq!(rtag, TAG_TRACE_RESP);
+        let Response::Trace { fields, .. } = decode_response(rtag, &rpayload).unwrap() else {
+            panic!("expected trace response");
+        };
+        assert_eq!(
+            fields,
+            vec![("spans".into(), 3.0), ("queue_wait_us".into(), 41.5)]
+        );
+    }
+
+    #[test]
+    fn stats_build_stamp_rides_the_binary_wire() {
+        let resp = Response::Stats {
+            id: "s".into(),
+            fields: vec![("ok".into(), 9.0)],
+            build: "0.1.0+cafecafecafe".into(),
+        };
+        let (tag, payload) = encode_response(&resp);
+        let Response::Stats { fields, build, .. } = decode_response(tag, &payload).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(fields, vec![("ok".into(), 9.0)]);
+        assert_eq!(build, "0.1.0+cafecafecafe");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 use mic_eval::graph::stats::LocalityWindows;
 use mic_eval::graph::suite::{PaperGraph, Scale};
 use mic_eval::json::Value;
+use mic_eval::obs::TraceCtx;
 use mic_eval::sim::{simulate, Machine, Policy};
 use mic_eval::workload_cache::{self, OrderTag};
 
@@ -139,9 +140,27 @@ impl JobSpec {
 /// A parsed request line.
 #[derive(Clone, Debug)]
 pub enum Request {
-    Simulate { id: String, spec: JobSpec },
-    Ping { id: String },
-    Stats { id: String },
+    Simulate {
+        id: String,
+        spec: JobSpec,
+        /// Client-carried trace context (`trace_id` / `parent_span` on the
+        /// JSON wire, the optional trailing block on the binary one).
+        /// `None` = the client did not trace; the server mints a fresh
+        /// root when observability is on, so a traced server never
+        /// records under an empty id.
+        ctx: Option<TraceCtx>,
+    },
+    Ping {
+        id: String,
+    },
+    Stats {
+        id: String,
+    },
+    /// Ask the server to summarize the spans it retained for one trace.
+    Trace {
+        id: String,
+        trace: mic_eval::obs::TraceId,
+    },
 }
 
 impl Request {
@@ -151,6 +170,7 @@ impl Request {
             Request::Simulate { .. } => "simulate",
             Request::Ping { .. } => "ping",
             Request::Stats { .. } => "stats",
+            Request::Trace { .. } => "trace",
         }
     }
 }
@@ -221,9 +241,39 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
     match doc.get("op").and_then(Value::as_str).unwrap_or("simulate") {
         "ping" => return Ok(Request::Ping { id }),
         "stats" => return Ok(Request::Stats { id }),
+        "trace" => {
+            let hex = field_str(&doc, "trace_id", "").map_err(&fail)?;
+            let trace = mic_eval::obs::parse_trace_hex(hex).ok_or_else(|| {
+                fail(format!(
+                    "field \"trace_id\" must be 32 hex chars (nonzero), got {hex:?}"
+                ))
+            })?;
+            return Ok(Request::Trace { id, trace });
+        }
         "simulate" => {}
         other => return Err(fail(format!("unknown op {other:?}"))),
     }
+    // Optional client-minted trace context. A malformed id is a request
+    // error (silently dropping it would orphan the client's trace).
+    let ctx = match field_str(&doc, "trace_id", "").map_err(&fail)? {
+        "" => None,
+        hex => {
+            let trace = mic_eval::obs::parse_trace_hex(hex).ok_or_else(|| {
+                fail(format!(
+                    "field \"trace_id\" must be 32 hex chars (nonzero), got {hex:?}"
+                ))
+            })?;
+            let parent = match field_str(&doc, "parent_span", "").map_err(&fail)? {
+                "" => 0,
+                p => mic_eval::obs::parse_span_hex(p).ok_or_else(|| {
+                    fail(format!(
+                        "field \"parent_span\" must be 16 hex chars, got {p:?}"
+                    ))
+                })?,
+            };
+            Some(TraceCtx { trace, parent })
+        }
+    };
     let kernel_name = field_str(&doc, "kernel", "").map_err(&fail)?;
     let kernel = Kernel::parse(kernel_name).ok_or_else(|| {
         fail(format!(
@@ -262,6 +312,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
             iter,
             delay_ms,
         },
+        ctx,
     })
 }
 
@@ -277,6 +328,27 @@ pub struct SimMeta {
     pub cached: bool,
     /// Wall time from admission to completion.
     pub queue_ms: f64,
+    /// Trace id this request was recorded under; 0 = untraced (trace
+    /// fields are then omitted from the wire, keeping untraced responses
+    /// byte-identical to pre-tracing builds).
+    pub trace: mic_eval::obs::TraceId,
+    /// Root span id of the request's span tree; 0 = untraced.
+    pub root_span: mic_eval::obs::SpanId,
+}
+
+impl SimMeta {
+    /// Untraced meta with every counter zeroed — the base the dispatcher
+    /// builds on.
+    pub fn untraced(batch: usize, coalesced: bool, cached: bool, queue_ms: f64) -> SimMeta {
+        SimMeta {
+            batch,
+            coalesced,
+            cached,
+            queue_ms,
+            trace: 0,
+            root_span: 0,
+        }
+    }
 }
 
 /// A response line.
@@ -291,6 +363,15 @@ pub enum Response {
         id: String,
     },
     Stats {
+        id: String,
+        fields: Vec<(String, f64)>,
+        /// Build stamp (`<version>+<sha>`) of the serving binary, so a
+        /// stats snapshot is attributable to the commit that produced it.
+        build: String,
+    },
+    /// Span summary for one trace (`spans`, `total_us`, per-kind `_us` /
+    /// `_count` pairs — empty when the trace is unknown or aged out).
+    Trace {
         id: String,
         fields: Vec<(String, f64)>,
     },
@@ -311,6 +392,7 @@ impl Response {
             Response::Ok { .. } => "ok",
             Response::Pong { .. } => "pong",
             Response::Stats { .. } => "stats",
+            Response::Trace { .. } => "trace",
             Response::Shed { .. } => "shed",
             Response::Error { .. } => "error",
         }
@@ -325,6 +407,7 @@ impl Response {
                     Response::Ok { id, .. }
                     | Response::Pong { id }
                     | Response::Stats { id, .. }
+                    | Response::Trace { id, .. }
                     | Response::Shed { id, .. }
                     | Response::Error { id, .. } => id.clone(),
                 }),
@@ -339,8 +422,26 @@ impl Response {
                 fields.push(("coalesced".into(), Value::Bool(meta.coalesced)));
                 fields.push(("cached".into(), Value::Bool(meta.cached)));
                 fields.push(("queue_ms".into(), Value::Num(meta.queue_ms)));
+                if meta.trace != 0 {
+                    fields.push((
+                        "trace_id".into(),
+                        Value::str(mic_eval::obs::trace_hex(meta.trace)),
+                    ));
+                    fields.push((
+                        "root_span".into(),
+                        Value::str(mic_eval::obs::span_hex(meta.root_span)),
+                    ));
+                }
             }
-            Response::Stats { fields: st, .. } => {
+            Response::Stats {
+                fields: st, build, ..
+            } => {
+                for (k, v) in st {
+                    fields.push((k.clone(), Value::Num(*v)));
+                }
+                fields.push(("build".into(), Value::str(build.clone())));
+            }
+            Response::Trace { fields: st, .. } => {
                 for (k, v) in st {
                     fields.push((k.clone(), Value::Num(*v)));
                 }
@@ -388,10 +489,38 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                     .unwrap_or(false),
                 cached: doc.get("cached").and_then(Value::as_bool).unwrap_or(false),
                 queue_ms: num("queue_ms").unwrap_or(0.0),
+                trace: doc
+                    .get("trace_id")
+                    .and_then(Value::as_str)
+                    .and_then(mic_eval::obs::parse_trace_hex)
+                    .unwrap_or(0),
+                root_span: doc
+                    .get("root_span")
+                    .and_then(Value::as_str)
+                    .and_then(mic_eval::obs::parse_span_hex)
+                    .unwrap_or(0),
             },
         }),
         Some("pong") => Ok(Response::Pong { id }),
         Some("stats") => {
+            let fields = match &doc {
+                Value::Obj(fs) => fs
+                    .iter()
+                    .filter(|(k, _)| {
+                        !matches!(k.as_str(), "id" | "status" | "schema_version" | "build")
+                    })
+                    .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            let build = doc
+                .get("build")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string();
+            Ok(Response::Stats { id, fields, build })
+        }
+        Some("trace") => {
             let fields = match &doc {
                 Value::Obj(fs) => fs
                     .iter()
@@ -400,7 +529,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                     .collect(),
                 _ => Vec::new(),
             };
-            Ok(Response::Stats { id, fields })
+            Ok(Response::Trace { id, fields })
         }
         Some("shed") => Ok(Response::Shed {
             id,
@@ -431,7 +560,7 @@ mod tests {
         let req = r#"{"id":"r1","kernel":"coloring","graph":"hood","order":"random","seed":7,
                       "runtime":"omp","sched":"dynamic","chunk":100,"threads":61,"scale":128}"#
             .replace('\n', " ");
-        let Request::Simulate { id, spec } = parse_request(&req).unwrap() else {
+        let Request::Simulate { id, spec, ctx } = parse_request(&req).unwrap() else {
             panic!("expected simulate");
         };
         assert_eq!(id, "r1");
@@ -441,6 +570,7 @@ mod tests {
         assert_eq!(spec.threads, 61);
         assert_eq!(spec.scale, Scale::Fraction(128));
         assert_eq!(spec.iter, 1);
+        assert_eq!(ctx, None);
     }
 
     #[test]
@@ -491,12 +621,7 @@ mod tests {
             let line = Response::Ok {
                 id: "r".into(),
                 cycles,
-                meta: SimMeta {
-                    batch: 3,
-                    coalesced: true,
-                    cached: false,
-                    queue_ms: 1.25,
-                },
+                meta: SimMeta::untraced(3, true, false, 1.25),
             }
             .render();
             let Response::Ok {
@@ -509,6 +634,107 @@ mod tests {
             assert_eq!(meta.batch, 3);
             assert!(meta.coalesced && !meta.cached);
         }
+    }
+
+    #[test]
+    fn trace_context_parses_and_echoes() {
+        // A request without trace_id carries no context.
+        let Request::Simulate { ctx, .. } = parse_request(r#"{"id":"a","kernel":"bfs"}"#).unwrap()
+        else {
+            panic!("expected simulate");
+        };
+        assert_eq!(ctx, None);
+        // With trace_id (and optional parent_span) the context rides along.
+        let t = mic_eval::obs::mint_trace_id();
+        let line = format!(
+            r#"{{"id":"b","kernel":"bfs","trace_id":"{}","parent_span":"{}"}}"#,
+            mic_eval::obs::trace_hex(t),
+            mic_eval::obs::span_hex(42),
+        );
+        let Request::Simulate { ctx, .. } = parse_request(&line).unwrap() else {
+            panic!("expected simulate");
+        };
+        assert_eq!(
+            ctx,
+            Some(TraceCtx {
+                trace: t,
+                parent: 42
+            })
+        );
+        // A malformed id is an error, not a silent drop.
+        let err = parse_request(r#"{"id":"c","kernel":"bfs","trace_id":"xyz"}"#).unwrap_err();
+        assert!(err.1.contains("trace_id"), "{}", err.1);
+        // The Ok echo round-trips through the JSON wire.
+        let mut meta = SimMeta::untraced(1, false, false, 0.5);
+        meta.trace = t;
+        meta.root_span = 7;
+        let rendered = Response::Ok {
+            id: "b".into(),
+            cycles: 2.0,
+            meta,
+        }
+        .render();
+        assert!(
+            rendered.contains(&mic_eval::obs::trace_hex(t)),
+            "{rendered}"
+        );
+        let Response::Ok { meta: back, .. } = parse_response(&rendered).unwrap() else {
+            panic!("expected ok");
+        };
+        assert_eq!(back.trace, t);
+        assert_eq!(back.root_span, 7);
+        // An untraced Ok renders no trace fields at all.
+        let plain = Response::Ok {
+            id: "p".into(),
+            cycles: 1.0,
+            meta: SimMeta::untraced(1, false, false, 0.5),
+        }
+        .render();
+        assert!(!plain.contains("trace_id"), "{plain}");
+    }
+
+    #[test]
+    fn trace_op_round_trips() {
+        let t = mic_eval::obs::mint_trace_id();
+        let line = format!(
+            r#"{{"id":"q","op":"trace","trace_id":"{}"}}"#,
+            mic_eval::obs::trace_hex(t)
+        );
+        let Request::Trace { id, trace } = parse_request(&line).unwrap() else {
+            panic!("expected trace op");
+        };
+        assert_eq!(id, "q");
+        assert_eq!(trace, t);
+        // Missing/bad trace_id is an error.
+        assert!(parse_request(r#"{"id":"q","op":"trace"}"#).is_err());
+        // The response renders its summary fields as numbers.
+        let resp = Response::Trace {
+            id: "q".into(),
+            fields: vec![("spans".into(), 4.0), ("execute_us".into(), 120.5)],
+        };
+        let Response::Trace { fields, .. } = parse_response(&resp.render()).unwrap() else {
+            panic!("expected trace response");
+        };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0], ("spans".to_string(), 4.0));
+    }
+
+    #[test]
+    fn stats_response_carries_build_stamp() {
+        let resp = Response::Stats {
+            id: "s".into(),
+            fields: vec![("received".into(), 3.0)],
+            build: "0.1.0+abcdef123456".into(),
+        };
+        let line = resp.render();
+        assert!(line.contains("\"build\":"), "{line}");
+        let Response::Stats { fields, build, .. } = parse_response(&line).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(build, "0.1.0+abcdef123456");
+        // The build string must not leak into the numeric fields.
+        assert!(fields.iter().all(|(k, _)| k != "build"));
+        assert_eq!(fields[0], ("received".to_string(), 3.0));
     }
 
     #[test]

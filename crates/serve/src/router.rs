@@ -41,6 +41,7 @@
 use crate::protocol::{self, JobSpec, Request, Response};
 use crate::server::{Dispatcher, ServeOpts, ServeStats, Submission, SHARD_DEAD};
 use crate::{frame, lru};
+use mic_eval::obs::{self, flight, span, TraceCtx};
 use mic_eval::runtime::trace as rt_trace;
 use mic_eval::runtime::{NativeEvent, NativeEventKind};
 use parking_lot::Mutex;
@@ -208,6 +209,10 @@ impl Router {
         let was_alive = self.alive[idx].swap(false, Ordering::AcqRel);
         if was_alive {
             self.shards[idx].kill();
+            if obs::enabled() {
+                flight::record(flight::EventKind::ShardDead, idx as u64, 0, 0);
+                let _ = flight::dump("shard-death");
+            }
         }
         was_alive
     }
@@ -218,6 +223,16 @@ impl Router {
     /// while liveness is stable — coalescing and LRU locality survive a
     /// kill.
     pub fn submit_routed(&self, spec: &JobSpec) -> Submission {
+        self.submit_routed_traced(spec, None)
+    }
+
+    /// [`submit_routed`](Self::submit_routed) with the request's trace
+    /// identity, threaded down to the shard dispatcher.
+    pub fn submit_routed_traced(
+        &self,
+        spec: &JobSpec,
+        req_trace: Option<(obs::TraceId, obs::SpanId)>,
+    ) -> Submission {
         let key = spec.key();
         let home = self.shard_for(&key);
         let n = self.shards.len();
@@ -226,7 +241,7 @@ impl Router {
             if !self.alive[idx].load(Ordering::Acquire) {
                 continue;
             }
-            match self.shards[idx].submit(spec) {
+            match self.shards[idx].submit_traced(spec, req_trace) {
                 Submission::Failed(msg) if msg == SHARD_DEAD => {
                     // The shard died under us (or was dead but not yet
                     // marked): record, mark, and try the next one.
@@ -238,6 +253,14 @@ impl Router {
                             "Jobs re-routed off a dead worker shard.",
                         )
                         .inc();
+                    }
+                    if obs::enabled() {
+                        flight::record(
+                            flight::EventKind::Reroute,
+                            idx as u64,
+                            ((idx + 1) % n) as u64,
+                            req_trace.map_or(0, |(t, _)| t),
+                        );
                     }
                     continue;
                 }
@@ -320,9 +343,17 @@ impl Router {
                         fields.push((name.into(), value as f64));
                     }
                 }
-                Response::Stats { id, fields }
+                Response::Stats {
+                    id,
+                    fields,
+                    build: mic_eval::buildinfo::stamp(),
+                }
             }
-            Ok(Request::Simulate { id, spec }) => self.simulate(id, &spec, client),
+            Ok(Request::Trace { id, trace }) => Response::Trace {
+                id,
+                fields: span::summarize(trace),
+            },
+            Ok(Request::Simulate { id, spec, ctx }) => self.simulate(id, &spec, ctx, client),
         };
         if mic_metrics::enabled() {
             let labels = [("op", op)];
@@ -338,18 +369,25 @@ impl Router {
                 &[("status", resp.status())],
             )
             .inc();
+            // Traced Ok responses offer their trace id as the bucket's
+            // exemplar (trace 0 = plain observe, bit-identical).
+            let exemplar_trace = match &resp {
+                Response::Ok { meta, .. } => meta.trace,
+                _ => 0,
+            };
             mic_metrics::histogram(
                 "mic_serve_request_seconds",
                 "Request latency from first byte parsed to response rendered, by operation.",
                 &labels,
                 &mic_metrics::seconds_buckets(),
             )
-            .observe(t0.elapsed().as_secs_f64());
+            .observe_with_exemplar(t0.elapsed().as_secs_f64(), exemplar_trace);
         }
         if let Some(start_us) = span_start {
             rt_trace::emit(NativeEvent {
                 runtime: "serve",
                 worker: 0,
+                lane: rt_trace::current_lane(),
                 start_us,
                 end_us: rt_trace::now_us(),
                 kind: NativeEventKind::Region {
@@ -360,19 +398,45 @@ impl Router {
         resp
     }
 
-    fn simulate(&self, id: String, spec: &JobSpec, client: &ClientState) -> Response {
+    fn simulate(
+        &self,
+        id: String,
+        spec: &JobSpec,
+        ctx: Option<TraceCtx>,
+        client: &ClientState,
+    ) -> Response {
+        // Client context wins; with none, a traced server mints a fresh
+        // root at admission (never an empty id). With observability off
+        // and no client context, the request stays untraced and the
+        // response is byte-identical to pre-tracing builds.
+        let ctx = ctx.or_else(|| obs::enabled().then(TraceCtx::mint));
+        // The request's root span id is pre-minted so every child stage
+        // can parent under it before the root itself is recorded.
+        let req_trace = ctx.map(|c| (c.trace, mic_eval::obs::mint_span_id()));
+        let start_us = req_trace.map(|_| obs::now_us());
         let concurrent = client.inflight.fetch_add(1, Ordering::AcqRel) + 1;
         let _guard = InflightGuard(&client.inflight);
         let quota = self.opts.quota.max(1);
-        if concurrent > quota.saturating_mul(2) {
-            return self.quota_shed(id, "hard", concurrent);
+        let quota_tier = if concurrent > quota.saturating_mul(2) {
+            Some("hard")
+        } else if concurrent > quota && self.target_pressured(&spec.key()) {
+            Some("soft")
+        } else {
+            None
+        };
+        if let Some(tier) = quota_tier {
+            if let Some((trace, _)) = req_trace {
+                flight::record(flight::EventKind::QuotaShed, concurrent as u64, 0, trace);
+            }
+            return self.quota_shed(id, tier, concurrent);
         }
-        if concurrent > quota && self.target_pressured(&spec.key()) {
-            return self.quota_shed(id, "soft", concurrent);
-        }
-        match self.submit_routed(spec) {
-            Submission::Done { cycles, meta } => {
+        let resp = match self.submit_routed_traced(spec, req_trace) {
+            Submission::Done { cycles, mut meta } => {
                 self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = ctx {
+                    meta.trace = c.trace;
+                    meta.root_span = req_trace.map_or(0, |(_, root)| root);
+                }
                 Response::Ok { id, cycles, meta }
             }
             Submission::Shed { queue_len } => Response::Shed {
@@ -386,7 +450,37 @@ impl Router {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
                 Response::Error { id, detail }
             }
+        };
+        if let (Some(c), Some((_, root)), Some(start_us)) = (ctx, req_trace, start_us) {
+            let end_us = obs::now_us();
+            // The root span: admission to response built (serialize time
+            // is recorded separately by the connection handler).
+            span::record(span::Span {
+                trace: c.trace,
+                id: root,
+                parent: c.parent,
+                kind: span::SpanKind::Request,
+                shard: None,
+                start_us,
+                end_us,
+            });
+            let latency_us = (end_us - start_us).max(0.0) as u64;
+            let ok = matches!(resp, Response::Ok { .. });
+            flight::record(
+                flight::EventKind::RequestDone,
+                latency_us,
+                ok as u64,
+                c.trace,
+            );
+            // Tail sampling: a request past the slow threshold ships the
+            // whole recorder as a post-mortem artifact.
+            let slow = obs::slow_us();
+            if slow > 0 && latency_us >= slow {
+                flight::record(flight::EventKind::SlowRequest, latency_us, 0, c.trace);
+                let _ = flight::dump("slow-request");
+            }
         }
+        resp
     }
 
     /// Count a wire-level failure that never became a request (bad magic,

@@ -41,6 +41,8 @@ use crate::lru::ShardedLru;
 use crate::protocol::{JobSpec, Response, SimMeta};
 use crate::router::Router;
 use mic_eval::config::SuiteConfig;
+use mic_eval::obs::{self, flight, span};
+use mic_eval::runtime::trace as rt_trace;
 use mic_eval::runtime::{BoundedQueue, EventCount, ThreadPool};
 use mic_eval::sweep::{self, SweepCfg};
 use parking_lot::Mutex;
@@ -167,12 +169,26 @@ impl ServeStats {
     }
 }
 
+/// Trace identity an admitted (leader) job carries into the executor so
+/// queue-wait / execute / store-write spans land under the admitting
+/// request's root. Coalesced followers do not get one — their stages ARE
+/// the leader's.
+#[derive(Clone, Copy)]
+struct JobTrace {
+    trace: obs::TraceId,
+    root: obs::SpanId,
+    /// When the job was pushed onto the admission ring ([`obs::now_us`]).
+    enqueued_us: f64,
+}
+
 /// One admitted job; waiters block on the one-shot `done` cell until it
 /// holds the outcome (`cycles` + the size of the batch that computed it).
 struct Job {
     spec: JobSpec,
     key: String,
     done: ResultCell<Result<(f64, usize), String>>,
+    /// Leader's trace identity; `None` when the request was untraced.
+    trace: Option<JobTrace>,
 }
 
 /// How `submit` resolved.
@@ -306,6 +322,17 @@ impl Dispatcher {
 
     /// Admit one job and block until it resolves (or is shed).
     pub fn submit(&self, spec: &JobSpec) -> Submission {
+        self.submit_traced(spec, None)
+    }
+
+    /// [`submit`](Self::submit) with the admitting request's trace
+    /// identity (trace id + pre-minted root span id), so every stage the
+    /// job passes through records a span under that root.
+    pub fn submit_traced(
+        &self,
+        spec: &JobSpec,
+        req_trace: Option<(obs::TraceId, obs::SpanId)>,
+    ) -> Submission {
         if self.is_dead() {
             return Submission::Failed(SHARD_DEAD.to_string());
         }
@@ -320,17 +347,29 @@ impl Dispatcher {
                 )
                 .inc();
             }
+            if let Some((trace, _)) = req_trace {
+                flight::record(flight::EventKind::CacheHit, self.shard as u64, 0, trace);
+            }
             return Submission::Done {
                 cycles,
-                meta: SimMeta {
-                    batch: 0,
-                    coalesced: false,
-                    cached: true,
-                    queue_ms: t0.elapsed().as_secs_f64() * 1e3,
-                },
+                meta: SimMeta::untraced(0, false, true, t0.elapsed().as_secs_f64() * 1e3),
             };
         }
-        if let Some(cycles) = self.store_get(&key) {
+        let probe_start = req_trace
+            .filter(|_| self.store.is_some())
+            .map(|_| obs::now_us());
+        let store_cycles = self.store_get(&key);
+        if let (Some((trace, root)), Some(start_us)) = (req_trace, probe_start) {
+            span::record_new(
+                trace,
+                root,
+                span::SpanKind::StoreProbe,
+                Some(self.shard),
+                start_us,
+                obs::now_us(),
+            );
+        }
+        if let Some(cycles) = store_cycles {
             // Warm the LRU so the next repeat skips even the store read.
             self.lru.put(&key, cycles);
             self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
@@ -341,14 +380,12 @@ impl Dispatcher {
                 )
                 .inc();
             }
+            if let Some((trace, _)) = req_trace {
+                flight::record(flight::EventKind::StoreHit, self.shard as u64, 0, trace);
+            }
             return Submission::Done {
                 cycles,
-                meta: SimMeta {
-                    batch: 0,
-                    coalesced: false,
-                    cached: true,
-                    queue_ms: t0.elapsed().as_secs_f64() * 1e3,
-                },
+                meta: SimMeta::untraced(0, false, true, t0.elapsed().as_secs_f64() * 1e3),
             };
         }
         let (job, coalesced) = {
@@ -361,6 +398,20 @@ impl Dispatcher {
                         "Simulate requests coalesced onto an identical in-flight job.",
                     )
                     .inc();
+                }
+                if let Some((trace, root)) = req_trace {
+                    // The follower's tree records the join under its OWN
+                    // root; the execute/store stages live in the leader's.
+                    let now = obs::now_us();
+                    span::record_new(
+                        trace,
+                        root,
+                        span::SpanKind::CoalesceJoin,
+                        Some(self.shard),
+                        now,
+                        now,
+                    );
+                    flight::record(flight::EventKind::Coalesce, self.shard as u64, 0, trace);
                 }
                 (Arc::clone(job), true)
             } else {
@@ -393,6 +444,14 @@ impl Dispatcher {
                         )
                         .inc();
                     }
+                    if obs::enabled() {
+                        flight::record(
+                            flight::EventKind::Shed,
+                            self.shard as u64,
+                            seen.min(self.opts.queue_cap) as u64,
+                            req_trace.map_or(0, |(t, _)| t),
+                        );
+                    }
                     return Submission::Shed {
                         // Clamped: reports the bounded queue, never a raw
                         // over-cap ticket.
@@ -403,6 +462,11 @@ impl Dispatcher {
                     spec: spec.clone(),
                     key: key.clone(),
                     done: ResultCell::new(),
+                    trace: req_trace.map(|(trace, root)| JobTrace {
+                        trace,
+                        root,
+                        enqueued_us: obs::now_us(),
+                    }),
                 });
                 inflight.insert(key, Arc::clone(&job));
                 drop(inflight);
@@ -411,6 +475,14 @@ impl Dispatcher {
                 }
                 self.set_queue_gauge();
                 self.wake.notify();
+                if let Some((trace, _)) = req_trace {
+                    flight::record(
+                        flight::EventKind::Admit,
+                        self.shard as u64,
+                        self.depth.load(Ordering::Relaxed) as u64,
+                        trace,
+                    );
+                }
                 if self.is_dead() {
                     // Raced a kill: the executor may have drained and
                     // exited before our push landed. Drain ourselves so
@@ -423,12 +495,7 @@ impl Dispatcher {
         match job.done.wait() {
             Ok((cycles, batch)) => Submission::Done {
                 cycles: *cycles,
-                meta: SimMeta {
-                    batch: *batch,
-                    coalesced,
-                    cached: false,
-                    queue_ms: t0.elapsed().as_secs_f64() * 1e3,
-                },
+                meta: SimMeta::untraced(*batch, coalesced, false, t0.elapsed().as_secs_f64() * 1e3),
             },
             Err(msg) => Submission::Failed(msg.clone()),
         }
@@ -471,6 +538,10 @@ impl Dispatcher {
     /// [`request_stop`]: Self::request_stop
     /// [`kill`]: Self::kill
     pub fn executor_loop(&self) {
+        // Tag this executor (and, via lane inheritance, every pool worker
+        // it spawns) with the shard's trace lane, so the Chrome exporter
+        // renders each shard on its own `shard-N/worker-M` timeline rows.
+        rt_trace::set_lane(self.shard + 1);
         let pool = ThreadPool::new(self.cfg.threads.max(1));
         loop {
             self.wake.park_until(|| {
@@ -517,8 +588,47 @@ impl Dispatcher {
                 )
                 .observe(batch.len() as f64);
             }
+            // The batch was popped: close each traced job's queue-wait
+            // span (push → pop) before the sweep starts.
+            if obs::enabled() {
+                let popped_us = obs::now_us();
+                for job in &batch {
+                    if let Some(jt) = &job.trace {
+                        span::record_new(
+                            jt.trace,
+                            jt.root,
+                            span::SpanKind::QueueWait,
+                            Some(self.shard),
+                            jt.enqueued_us,
+                            popped_us,
+                        );
+                    }
+                }
+            }
             let specs: Vec<JobSpec> = batch.iter().map(|j| j.spec.clone()).collect();
-            let report = sweep::try_map_shared(&pool, &self.cfg, &specs, |_, s| s.compute());
+            let traces: Vec<Option<(obs::TraceId, obs::SpanId)>> = batch
+                .iter()
+                .map(|j| j.trace.as_ref().map(|jt| (jt.trace, jt.root)))
+                .collect();
+            let shard = self.shard;
+            let report = sweep::try_map_shared(&pool, &self.cfg, &specs, |i, s| {
+                match traces.get(i).copied().flatten() {
+                    Some((trace, root)) if obs::enabled() => {
+                        let start_us = obs::now_us();
+                        let cycles = s.compute();
+                        span::record_new(
+                            trace,
+                            root,
+                            span::SpanKind::Execute,
+                            Some(shard),
+                            start_us,
+                            obs::now_us(),
+                        );
+                        cycles
+                    }
+                    _ => s.compute(),
+                }
+            });
             let mut fail_by_point: HashMap<usize, String> = report
                 .failures
                 .iter()
@@ -528,7 +638,22 @@ impl Dispatcher {
                 let outcome = match report.results.get(i).and_then(|r| r.as_ref()) {
                     Some(cycles) => {
                         self.lru.put(&job.key, *cycles);
+                        let write_start = job
+                            .trace
+                            .as_ref()
+                            .filter(|_| self.store.is_some() && obs::enabled())
+                            .map(|_| obs::now_us());
                         self.store_put(&job.key, *cycles);
+                        if let (Some(jt), Some(start_us)) = (&job.trace, write_start) {
+                            span::record_new(
+                                jt.trace,
+                                jt.root,
+                                span::SpanKind::StoreWrite,
+                                Some(self.shard),
+                                start_us,
+                                obs::now_us(),
+                            );
+                        }
                         Ok((*cycles, batch.len()))
                     }
                     None => Err(fail_by_point
@@ -773,6 +898,14 @@ impl Drop for Server {
 /// a JSON line when the first response byte is not the frame magic.
 fn refuse_connection(stream: TcpStream, router: &Router) {
     router.stats.conn_shed.fetch_add(1, Ordering::Relaxed);
+    if obs::enabled() {
+        flight::record(
+            flight::EventKind::ConnShed,
+            router.opts().conn_cap as u64,
+            0,
+            0,
+        );
+    }
     if mic_metrics::enabled() {
         mic_metrics::counter(
             "mic_serve_conn_sheds_total",
@@ -792,6 +925,32 @@ fn refuse_connection(stream: TcpStream, router: &Router) {
     };
     let mut stream = stream;
     let _ = writeln!(stream, "{}", resp.render());
+}
+
+/// Where a traced response starts its serialize span: just before
+/// encoding, but only for a traced `Ok` (everything else is untraced).
+fn serialize_span_start(resp: &Response) -> Option<(obs::TraceId, obs::SpanId, f64)> {
+    match resp {
+        Response::Ok { meta, .. } if meta.trace != 0 && obs::enabled() => {
+            Some((meta.trace, meta.root_span, obs::now_us()))
+        }
+        _ => None,
+    }
+}
+
+/// Close the serialize span opened by [`serialize_span_start`] after the
+/// response bytes hit the socket.
+fn record_serialize_span(start: Option<(obs::TraceId, obs::SpanId, f64)>) {
+    if let Some((trace, root, start_us)) = start {
+        span::record_new(
+            trace,
+            root,
+            span::SpanKind::Serialize,
+            None,
+            start_us,
+            obs::now_us(),
+        );
+    }
 }
 
 /// Serve one connection until EOF, a wire error, or shutdown. The first
@@ -822,8 +981,11 @@ fn handle_connection(stream: TcpStream, router: &Router) {
                 Ok(None) => break, // clean EOF between frames
                 Ok(Some((tag, payload))) => {
                     let resp = router.handle_frame(tag, &payload, &client);
+                    let ser_start = serialize_span_start(&resp);
                     let (rtag, rpayload) = frame::encode_response(&resp);
-                    if frame::write_frame(&mut writer, rtag, &rpayload).is_err() {
+                    let write_ok = frame::write_frame(&mut writer, rtag, &rpayload).is_ok();
+                    record_serialize_span(ser_start);
+                    if !write_ok {
                         break;
                     }
                 }
@@ -850,7 +1012,10 @@ fn handle_connection(stream: TcpStream, router: &Router) {
                         continue;
                     }
                     let resp = router.handle_line(&line, &client);
-                    if writeln!(writer, "{}", resp.render()).is_err() {
+                    let ser_start = serialize_span_start(&resp);
+                    let write_ok = writeln!(writer, "{}", resp.render()).is_ok();
+                    record_serialize_span(ser_start);
+                    if !write_ok {
                         break;
                     }
                 }

@@ -205,6 +205,10 @@ pub struct RegionTrace {
     pub loop_cycles: f64,
     /// Full region time including serial prefix, fork and barrier.
     pub region_cycles: f64,
+    /// Request span this region was simulated under (0 = none): stamped
+    /// from [`RecordingSink::span_id`] so serving-stack exports can tie a
+    /// simulated region back to the request trace that ran it.
+    pub span_id: u64,
 }
 
 impl RegionTrace {
@@ -223,6 +227,18 @@ impl RegionTrace {
 #[derive(Clone, Debug, Default)]
 pub struct RecordingSink {
     pub regions: Vec<RegionTrace>,
+    /// Span id stamped into every region recorded from here on (0 = none).
+    pub span_id: u64,
+}
+
+impl RecordingSink {
+    /// A sink whose recorded regions are tagged with `span_id`.
+    pub fn for_span(span_id: u64) -> Self {
+        RecordingSink {
+            regions: Vec::new(),
+            span_id,
+        }
+    }
 }
 
 impl TraceSink for RecordingSink {
@@ -231,6 +247,7 @@ impl TraceSink for RecordingSink {
             threads,
             iters,
             policy: Some(policy),
+            span_id: self.span_id,
             ..Default::default()
         });
     }
@@ -265,6 +282,17 @@ mod tests {
             assert_eq!(StallCause::from_index(i), c);
             assert!(!c.name().is_empty());
         }
+    }
+
+    #[test]
+    fn recording_sink_stamps_span_ids() {
+        let mut sink = RecordingSink::for_span(0xfeed);
+        sink.region_start(2, 10, Policy::Serial);
+        sink.region_end(&[], 0.0, 0.0);
+        assert_eq!(sink.regions[0].span_id, 0xfeed);
+        let mut plain = RecordingSink::default();
+        plain.region_start(1, 1, Policy::Serial);
+        assert_eq!(plain.regions[0].span_id, 0);
     }
 
     #[test]

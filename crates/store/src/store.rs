@@ -638,7 +638,7 @@ fn recover(file: &mut File, path: &Path, stats: &StoreStats) -> std::io::Result<
         if Some(header.epoch) != newest_epoch || slot_is_torn(&slots, header.epoch) {
             // We fell past a newer-but-unreadable state (torn header or
             // torn dir chain): this open *recovered* rather than resumed.
-            count_recovery(stats);
+            count_recovery(stats, header.epoch);
             eprintln!(
                 "mic-store: {} recovered to epoch {} (newer state torn)",
                 path.display(),
@@ -657,7 +657,7 @@ fn recover(file: &mut File, path: &Path, stats: &StoreStats) -> std::io::Result<
         )));
     }
     // Bytes, but no consistent state: quarantine the evidence, start over.
-    count_recovery(stats);
+    count_recovery(stats, u64::MAX);
     quarantine(path, "no recoverable header");
     Ok(None)
 }
@@ -672,7 +672,10 @@ fn slot_is_torn(slots: &[u8], winning_epoch: u64) -> bool {
     }
 }
 
-fn count_recovery(stats: &StoreStats) {
+/// `epoch` is the epoch recovered to, or `u64::MAX` when the file was
+/// quarantined with no recoverable state at all.
+fn count_recovery(stats: &StoreStats, epoch: u64) {
+    mic_obs::flight::record(mic_obs::flight::EventKind::StoreRecovery, epoch, 0, 0);
     bump(
         &stats.recoveries,
         "mic_store_recoveries_total",
