@@ -1,7 +1,13 @@
 //! Regenerate every exhibit of the paper in one run.
 //!
-//! Usage: `all [--scale K] [--strict] [--write-baseline PATH]`
+//! Usage: `all [--scale K] [--strict] [--write-baseline PATH] [--list]`
 //! — the EXPERIMENTS.md record uses the default (full paper-size) scale.
+//!
+//! This bin owns no exhibit list of its own: it iterates the
+//! [`mic_eval::exhibit`] registry (everything except the `extra` group),
+//! so registering a new exhibit there is all it takes to appear here, in
+//! `BENCH_sweep.json`, and under the baseline gate. `--list` prints the
+//! registry table (the README's exhibit table, diffed in CI) and exits.
 //!
 //! The tables/figures go to stdout exactly as before; a per-exhibit wall
 //! time footer goes to stderr, and a machine-readable copy is written to
@@ -22,7 +28,7 @@
 
 use mic_bench::cli::Cli;
 use mic_eval::baseline::{self, Baseline, SCHEMA_VERSION};
-use mic_eval::experiments::{ablation, fig1, fig2, fig3, fig4, table1};
+use mic_eval::exhibit;
 use mic_eval::graph::suite::Scale;
 use mic_eval::json;
 use mic_eval::sweep::RecordedFailure;
@@ -98,12 +104,21 @@ fn write_json(
 }
 
 fn main() {
-    let mut cli = Cli::parse("all", "all [--scale K] [--strict] [--write-baseline PATH]");
+    let mut cli = Cli::parse(
+        "all",
+        "all [--scale K] [--strict] [--write-baseline PATH] [--list]",
+    );
     let scale = cli.scale(Scale::Full);
     let strict = cli.strict();
     let write_baseline = cli.write_baseline();
+    let list = cli.flag("--list");
     let config = cli.config();
     cli.done();
+
+    if list {
+        print!("{}", exhibit::registry().list_table());
+        return;
+    }
 
     mic_eval::metrics::init_from_env();
     let start = Instant::now();
@@ -111,51 +126,10 @@ fn main() {
         exhibits: Vec::new(),
     };
 
-    eprintln!("== Table I ==");
-    t.show("table1", || table1::render(&table1::table1(scale)));
-
-    for p in [fig1::Panel::OpenMp, fig1::Panel::CilkPlus, fig1::Panel::Tbb] {
-        eprintln!("== Figure 1 {p:?} ==");
-        t.show(&format!("fig1-{p:?}"), || fig1::fig1(p, scale).to_ascii());
+    for e in exhibit::registry().in_all() {
+        eprintln!("== {} ==", e.title);
+        t.show(e.id, || (e.run)(scale));
     }
-
-    eprintln!("== Figure 2 ==");
-    t.show("fig2", || fig2::fig2(scale).to_ascii());
-
-    for p in [fig3::Panel::OpenMp, fig3::Panel::CilkPlus, fig3::Panel::Tbb] {
-        eprintln!("== Figure 3 {p:?} ==");
-        t.show(&format!("fig3-{p:?}"), || fig3::fig3(p, scale).to_ascii());
-    }
-
-    for p in [
-        fig4::Panel::Pwtk,
-        fig4::Panel::Inline1,
-        fig4::Panel::AllKnf,
-        fig4::Panel::AllCpu,
-    ] {
-        eprintln!("== Figure 4 {p:?} ==");
-        t.show(&format!("fig4-{p:?}"), || fig4::fig4(p, scale).to_ascii());
-    }
-
-    eprintln!("== Ablations ==");
-    t.show("ablation-block-size", || {
-        ablation::block_size_sweep(scale).to_ascii()
-    });
-    t.show("ablation-chunk-size", || {
-        ablation::chunk_size_sweep(scale).to_ascii()
-    });
-    t.show("ablation-locked-vs-relaxed", || {
-        ablation::locked_vs_relaxed(scale).to_ascii()
-    });
-    t.show("ablation-ordering", || {
-        ablation::ordering_ablation(scale).to_ascii()
-    });
-    t.show("ablation-placement", || {
-        ablation::placement_ablation(scale).to_ascii()
-    });
-    t.show("ablation-fork-vs-persistent", || {
-        ablation::fork_vs_persistent(scale).to_ascii()
-    });
 
     let total_s = start.elapsed().as_secs_f64();
     let threads = mic_eval::sweep::default_threads();
@@ -225,7 +199,8 @@ fn main() {
         let tol = baseline::tol_from_env();
         match Baseline::load(&path) {
             Ok(reference) => {
-                let report = baseline::compare(&current, &reference, tol);
+                let report =
+                    baseline::compare_known(&current, &reference, tol, &exhibit::known_ids());
                 eprintln!(
                     "== Baseline gate ({} at {:.0}% tolerance) ==",
                     path.display(),

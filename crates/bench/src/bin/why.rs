@@ -3,6 +3,11 @@
 //! engine's bottleneck telemetry. This is the one-screen answer to "why
 //! does this curve plateau where it does".
 //!
+//! The configurations are the `why` hooks of the
+//! [`mic_eval::exhibit`] registry — an exhibit that wants a line here
+//! declares it at its `register()` call site, and this bin stays
+//! exhibit-agnostic.
+//!
 //! Two levels of detail: a one-line summary per configuration at the top
 //! thread count, then the full per-point stall-attribution table over the
 //! whole thread grid (every sweep point of every headline config). With
@@ -12,12 +17,10 @@
 //! Usage: `why [--scale K]` (default 1/4 scale).
 
 use mic_bench::cli::Cli;
-use mic_eval::bfs::instrument::SimVariant;
-use mic_eval::graph::stats::LocalityWindows;
-use mic_eval::graph::suite::{PaperGraph, Scale};
-use mic_eval::sim::{Machine, Policy, Region};
+use mic_eval::exhibit;
+use mic_eval::graph::suite::Scale;
+use mic_eval::sim::{Machine, Region};
 use mic_eval::trace::{aggregate_breakdown, stall_sweep, trace_path, trace_simulation};
-use mic_eval::workload_cache::{self, OrderTag};
 
 fn show(name: &str, m: &Machine, t: usize, regions: &[Region]) {
     let (_, agg) = aggregate_breakdown(m, t, regions);
@@ -40,63 +43,16 @@ fn main() {
     cli.done();
     let m = Machine::knf();
     let t = 121;
-    let win = LocalityWindows::default();
 
     // All workloads come from the shared cache, so repeated runs (and the
     // other bench binaries in the same process tree) instrument once.
-    let natural = OrderTag::Natural;
-    let shuffled = OrderTag::Random { seed: 5 };
-    let color = |order, policy| {
-        workload_cache::coloring(PaperGraph::Hood, scale, order, win).regions(policy)
-    };
-    let configs: Vec<(String, Vec<Region>)> = vec![
-        (
-            "Fig1a coloring natural, OMP-dyn/100".into(),
-            color(natural, Policy::OmpDynamic { chunk: 100 }),
-        ),
-        (
-            "Fig1b coloring natural, Cilk/100".into(),
-            color(natural, Policy::Cilk { grain: 100 }),
-        ),
-        (
-            "Fig1c coloring natural, TBB-simple/40".into(),
-            color(natural, Policy::TbbSimple { grain: 40 }),
-        ),
-        (
-            "Fig2  coloring shuffled, OMP-dyn/100".into(),
-            color(shuffled, Policy::OmpDynamic { chunk: 100 }),
-        ),
-        (
-            "Fig3  irregular iter=1, OMP-dyn/100".into(),
-            vec![
-                workload_cache::irregular(PaperGraph::Hood, scale, natural, win, 1)
-                    .region(Policy::OmpDynamic { chunk: 100 }),
-            ],
-        ),
-        (
-            "Fig3  irregular iter=10, OMP-dyn/100".into(),
-            vec![
-                workload_cache::irregular(PaperGraph::Hood, scale, natural, win, 10)
-                    .region(Policy::OmpDynamic { chunk: 100 }),
-            ],
-        ),
-        (
-            "Fig4  BFS block-relaxed, OMP-dyn/32".into(),
-            workload_cache::bfs(
-                PaperGraph::Hood,
-                scale,
-                natural,
-                win,
-                SimVariant::Block {
-                    block: 32,
-                    relaxed: true,
-                },
-            )
-            .regions(Policy::OmpDynamic { chunk: 32 }),
-        ),
-    ];
+    let configs: Vec<(String, Vec<Region>)> = exhibit::registry()
+        .iter()
+        .filter_map(|e| e.why)
+        .flat_map(|hook| hook(scale))
+        .collect();
 
-    println!("binding resource at {t} threads on KNF (hood at {scale:?}):\n");
+    println!("binding resource at {t} threads on KNF (headline configs at {scale:?}):\n");
     for (name, regions) in &configs {
         show(name, &m, t, regions);
     }

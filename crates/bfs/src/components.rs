@@ -8,9 +8,12 @@
 //! are benign (monotone decreasing lattice), so the result is exactly the
 //! per-component minimum id regardless of scheduling.
 
+use mic_graph::stats::{gap_class, LocalityWindows, MemClass};
 use mic_graph::{Csr, VertexId};
 use mic_runtime::{RuntimeModel, ThreadPool};
+use mic_sim::{Policy, Region, Work};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Component labels: `labels[v]` = the smallest vertex id in v's component.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +49,105 @@ pub fn components_seq(g: &Csr) -> Components {
         labels,
         count,
         rounds: 1,
+    }
+}
+
+/// Synchronous (Jacobi / double-buffered) label propagation: every round
+/// reads the previous round's labels only, so the round count is a pure
+/// function of the graph — one hop of min-id flooding per round. This is
+/// the deterministic variant the simulator instrumentation replays
+/// (the in-place [`components_parallel`] converges in a schedule-dependent
+/// number of rounds, which a reproducible workload cannot use).
+pub fn components_sync(g: &Csr) -> Components {
+    let n = g.num_vertices();
+    let mut labels: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut next = labels.clone();
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for v in 0..n {
+            let mut m = labels[v];
+            for &w in g.neighbors(v as VertexId) {
+                m = m.min(labels[w as usize]);
+            }
+            if m != labels[v] {
+                changed = true;
+            }
+            next[v] = m;
+        }
+        std::mem::swap(&mut labels, &mut next);
+        if !changed {
+            break;
+        }
+    }
+    let count = labels
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| l == v as VertexId)
+        .count();
+    Components {
+        labels,
+        count,
+        rounds,
+    }
+}
+
+/// Simulator-facing workload of a synchronous label-propagation run: the
+/// same per-vertex sweep repeated `rounds` times. Every round re-reads the
+/// whole label vector, so each round pays the real locality classes (there
+/// is no warm-cache discount as in the irregular kernel's `iter` knob).
+#[derive(Clone)]
+pub struct ComponentsWorkload {
+    pub round_work: Arc<Vec<Work>>,
+    pub rounds: usize,
+}
+
+/// Build the components workload from a native [`components_sync`] run.
+pub fn instrument_components(g: &Csr, windows: LocalityWindows) -> ComponentsWorkload {
+    let native = components_sync(g);
+    let work = g
+        .vertices()
+        .map(|v| {
+            let deg = g.degree(v) as f64;
+            let (mut l1, mut l2, mut dram) = (0.0f64, 0.0f64, 0.0f64);
+            for &w in g.neighbors(v) {
+                match gap_class(v, w, windows) {
+                    MemClass::L1 => l1 += 1.0,
+                    MemClass::L2 => l2 += 1.0,
+                    MemClass::Dram => dram += 1.0,
+                }
+            }
+            Work {
+                // Own-label load, per-neighbor load+min+branch, one store.
+                issue: 6.0 + 3.0 * deg,
+                l1: l1 + 1.0,
+                l2: l2 + deg / 16.0, // prefetched adjacency stream
+                dram,
+                flops: 0.0,
+                atomics: 0.0,
+            }
+        })
+        .collect();
+    ComponentsWorkload {
+        round_work: Arc::new(work),
+        rounds: native.rounds,
+    }
+}
+
+impl ComponentsWorkload {
+    /// One region per round under `policy`, each with a serial prefix for
+    /// the changed-flag reduction and buffer swap between rounds.
+    pub fn regions(&self, policy: Policy) -> Vec<Region> {
+        (0..self.rounds)
+            .map(|_| {
+                Region::shared(Arc::clone(&self.round_work), policy).with_serial_pre(Work {
+                    issue: 130.0,
+                    l1: 6.0,
+                    ..Default::default()
+                })
+            })
+            .collect()
     }
 }
 
@@ -159,6 +261,44 @@ mod tests {
         // In-place sweeps propagate many hops per round when chunks run in
         // ascending order; just sanity-bound it.
         assert!(r.rounds <= 201, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn sync_matches_sequential_labels() {
+        for seed in 0..3 {
+            let g = erdos_renyi_gnm(600, 400, seed);
+            let want = components_seq(&g);
+            let got = components_sync(&g);
+            assert_eq!(got.labels, want.labels, "seed {seed}");
+            assert_eq!(got.count, want.count);
+        }
+    }
+
+    #[test]
+    fn sync_rounds_are_deterministic_and_hop_bounded() {
+        let g = path(50);
+        let a = components_sync(&g);
+        let b = components_sync(&g);
+        assert_eq!(a.rounds, b.rounds);
+        // Jacobi flooding moves one hop per round: label 0 needs 49 hops to
+        // reach the far end, plus the fixed-point-detection round.
+        assert_eq!(a.rounds, 50);
+    }
+
+    #[test]
+    fn components_workload_replays_native_rounds() {
+        use mic_graph::generators::{rmat, RmatProbs};
+        use mic_graph::stats::LocalityWindows;
+        let g = rmat(10, 8, RmatProbs::graph500(), 3);
+        let w = instrument_components(&g, LocalityWindows::default());
+        assert_eq!(w.rounds, components_sync(&g).rounds);
+        assert_eq!(w.round_work.len(), g.num_vertices());
+        assert!(w.round_work.iter().all(|x| x.is_valid()));
+        let regions = w.regions(mic_sim::Policy::OmpDynamic { chunk: 64 });
+        assert_eq!(regions.len(), w.rounds);
+        // Scale-free graphs converge in a handful of rounds — that is what
+        // makes the kernel simulable at paper scale.
+        assert!(w.rounds < 20, "rounds {}", w.rounds);
     }
 
     #[test]

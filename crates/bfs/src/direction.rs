@@ -10,7 +10,41 @@
 
 use crate::seq::BfsResult;
 use crate::UNREACHED;
+use mic_graph::stats::{gap_class, LocalityWindows, MemClass};
 use mic_graph::{Csr, VertexId};
+use mic_sim::{Policy, Region, Work};
+use std::sync::Arc;
+
+/// Traversal direction of one executed BFS level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    TopDown,
+    BottomUp,
+}
+
+/// [`hybrid_bfs`] plus the per-level direction trace — the evidence that
+/// the Beamer switch actually fired on a given graph.
+#[derive(Clone, Debug)]
+pub struct HybridResult {
+    pub bfs: BfsResult,
+    /// Direction chosen for each processed frontier (level 0 onward).
+    pub directions: Vec<Direction>,
+    /// Direction changes along the traversal; a traversal that starts
+    /// bottom-up counts that initial departure from top-down as a switch.
+    pub switches: usize,
+}
+
+fn count_switches(directions: &[Direction]) -> usize {
+    let mut prev = Direction::TopDown;
+    let mut switches = 0;
+    for &d in directions {
+        if d != prev {
+            switches += 1;
+        }
+        prev = d;
+    }
+    switches
+}
 
 /// Heuristic parameters: switch to bottom-up when the frontier's out-edge
 /// count exceeds `1/alpha` of the unexplored edges; switch back when the
@@ -33,6 +67,12 @@ impl Default for Hybrid {
 /// Direction-optimizing BFS from `source`. Produces exactly the sequential
 /// BFS levels.
 pub fn hybrid_bfs(g: &Csr, source: VertexId, h: Hybrid) -> BfsResult {
+    hybrid_bfs_stats(g, source, h).bfs
+}
+
+/// Like [`hybrid_bfs`], but also records which direction each level ran in
+/// and how many times the traversal switched.
+pub fn hybrid_bfs_stats(g: &Csr, source: VertexId, h: Hybrid) -> HybridResult {
     let n = g.num_vertices();
     assert!((source as usize) < n);
     let mut levels = vec![UNREACHED; n];
@@ -41,10 +81,16 @@ pub fn hybrid_bfs(g: &Csr, source: VertexId, h: Hybrid) -> BfsResult {
     let mut level = 1u32;
     let mut max_level = 0u32;
     let mut unexplored_edges: usize = 2 * g.num_edges();
+    let mut directions = Vec::new();
 
     while !frontier.is_empty() {
         let frontier_edges: usize = frontier.iter().map(|&v| g.degree(v)).sum();
         let bottom_up = h.alpha > 0 && frontier_edges * h.alpha > unexplored_edges.max(1);
+        directions.push(if bottom_up {
+            Direction::BottomUp
+        } else {
+            Direction::TopDown
+        });
         unexplored_edges = unexplored_edges.saturating_sub(frontier_edges);
         let mut next = Vec::new();
         if bottom_up {
@@ -80,9 +126,14 @@ pub fn hybrid_bfs(g: &Csr, source: VertexId, h: Hybrid) -> BfsResult {
         frontier = next;
         level += 1;
     }
-    BfsResult {
-        levels,
-        num_levels: max_level + 1,
+    let switches = count_switches(&directions);
+    HybridResult {
+        bfs: BfsResult {
+            levels,
+            num_levels: max_level + 1,
+        },
+        directions,
+        switches,
     }
 }
 
@@ -210,6 +261,139 @@ pub fn parallel_hybrid_bfs(
     BfsResult { levels, num_levels }
 }
 
+/// Simulator-facing workload of one hybrid traversal: one region per
+/// processed frontier, in the direction the native heuristic chose.
+#[derive(Clone)]
+pub struct HybridWorkload {
+    /// Per-region work arrays. Top-down regions cover the frontier
+    /// vertices; bottom-up regions cover the *unvisited candidates* the
+    /// scan walks (the visited-skip is a bitmap test the model folds into
+    /// the candidates' issue cost).
+    pub level_work: Vec<Arc<Vec<Work>>>,
+    /// Work-array length per region.
+    pub widths: Vec<usize>,
+    /// Direction per region, from the native run.
+    pub directions: Vec<Direction>,
+    /// Direction switches in the native run.
+    pub switches: usize,
+}
+
+/// Build the hybrid-BFS workload from a native [`hybrid_bfs_stats`] run.
+///
+/// Top-down levels reuse the paper's relaxed block-queue cost model;
+/// bottom-up levels cost each still-unvisited vertex by how many neighbor
+/// probes its sequential early-exit scan performs (all of them when no
+/// parent is found yet, up to the first frontier neighbor otherwise).
+pub fn instrument_hybrid(
+    g: &Csr,
+    source: VertexId,
+    windows: LocalityWindows,
+    h: Hybrid,
+) -> HybridWorkload {
+    use crate::instrument::{vertex_work, SimVariant};
+
+    let r = hybrid_bfs_stats(g, source, h);
+    let levels = &r.bfs.levels;
+    let by_level = crate::seq::vertices_by_level(levels);
+    let n = g.num_vertices();
+    let block = SimVariant::Block {
+        block: 32,
+        relaxed: true,
+    };
+
+    // Unvisited candidates at the start of each processed level: vertices
+    // whose final level is >= the level being discovered, or unreached.
+    let mut level_work = Vec::with_capacity(r.directions.len());
+    for (i, &dir) in r.directions.iter().enumerate() {
+        let work: Vec<Work> = match dir {
+            Direction::TopDown => by_level[i]
+                .iter()
+                .map(|&v| vertex_work(g, v, windows, block))
+                .collect(),
+            Direction::BottomUp => {
+                let discover_level = i as u32 + 1;
+                (0..n as VertexId)
+                    .filter(|&v| {
+                        let l = levels[v as usize];
+                        l == UNREACHED || l >= discover_level
+                    })
+                    .map(|v| bottom_up_work(g, v, levels, discover_level, windows))
+                    .collect()
+            }
+        };
+        level_work.push(Arc::new(work));
+    }
+    let widths = level_work.iter().map(|w| w.len()).collect();
+    HybridWorkload {
+        level_work,
+        widths,
+        directions: r.directions,
+        switches: r.switches,
+    }
+}
+
+/// Cost of one bottom-up candidate: probe neighbors in order until one
+/// sits on the previous level (then store the level and push), or exhaust
+/// them. Deterministic given the final level array.
+fn bottom_up_work(
+    g: &Csr,
+    v: VertexId,
+    levels: &[u32],
+    discover_level: u32,
+    windows: LocalityWindows,
+) -> Work {
+    let mut w = Work {
+        // Bitmap/level test for the candidate itself + loop setup.
+        issue: 6.0,
+        l1: 1.0,
+        ..Default::default()
+    };
+    let mut probes = 0.0f64;
+    let discovered = levels[v as usize] == discover_level;
+    for &u in g.neighbors(v) {
+        probes += 1.0;
+        match gap_class(v, u, windows) {
+            MemClass::L1 => w.l1 += 1.0,
+            MemClass::L2 => w.l2 += 1.0,
+            MemClass::Dram => w.dram += 1.0,
+        }
+        if discovered && levels[u as usize] == discover_level - 1 {
+            break;
+        }
+    }
+    w.issue += 3.0 * probes;
+    w.l2 += probes / 16.0; // prefetched adjacency stream
+    if discovered {
+        w.issue += 4.0; // level store + frontier push bookkeeping
+        w.l1 += 1.0;
+        w.atomics += 1.0; // concurrent push of the discovery
+    }
+    w
+}
+
+impl HybridWorkload {
+    /// The region sequence under `policy`, with the same per-level serial
+    /// bookkeeping prefix as the layered-BFS workload (frontier swap,
+    /// edge-count heuristic).
+    pub fn regions(&self, policy: Policy) -> Vec<Region> {
+        self.level_work
+            .iter()
+            .map(|lw| {
+                Region::shared(Arc::clone(lw), policy).with_serial_pre(Work {
+                    issue: 140.0,
+                    l1: 6.0,
+                    ..Default::default()
+                })
+            })
+            .collect()
+    }
+
+    /// Total work items across all regions.
+    pub fn total_items(&self) -> usize {
+        self.widths.iter().sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +459,85 @@ mod tests {
         let g = star(100);
         let got = hybrid_bfs(&g, 0, Hybrid { alpha: 0, beta: 24 });
         assert_eq!(got.levels, bfs(&g, 0).levels);
+    }
+
+    #[test]
+    fn stats_record_switches_on_rmat() {
+        let g = rmat(12, 16, RmatProbs::graph500(), 7);
+        let r = hybrid_bfs_stats(&g, 0, Hybrid::default());
+        assert_eq!(r.bfs.levels, bfs(&g, 0).levels);
+        assert!(r.switches > 0, "RMAT must trigger the Beamer switch");
+        assert!(r.directions.contains(&Direction::BottomUp));
+        assert_eq!(
+            r.switches,
+            count_switches(&r.directions),
+            "switch count must match the trace"
+        );
+    }
+
+    #[test]
+    fn stats_with_alpha_zero_never_switch() {
+        let g = path(500);
+        let r = hybrid_bfs_stats(&g, 0, Hybrid { alpha: 0, beta: 24 });
+        assert_eq!(r.switches, 0);
+        assert!(r.directions.iter().all(|&d| d == Direction::TopDown));
+    }
+
+    #[test]
+    fn hybrid_workload_shape_and_determinism() {
+        use mic_graph::stats::LocalityWindows;
+        let g = rmat(11, 16, RmatProbs::graph500(), 7);
+        let win = LocalityWindows::default();
+        let w = instrument_hybrid(&g, 0, win, Hybrid::default());
+        assert_eq!(w.level_work.len(), w.directions.len());
+        assert_eq!(w.widths.len(), w.directions.len());
+        assert!(w.switches > 0);
+        assert!(w
+            .level_work
+            .iter()
+            .flat_map(|l| l.iter())
+            .all(|x| x.is_valid()));
+        // Bit-identical on a second native run.
+        let w2 = instrument_hybrid(&g, 0, win, Hybrid::default());
+        for (a, b) in w.level_work.iter().zip(&w2.level_work) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // Bottom-up regions cover the unvisited tail, which on a
+        // low-diameter RMAT dwarfs the corresponding frontier width.
+        let first_bu = w
+            .directions
+            .iter()
+            .position(|&d| d == Direction::BottomUp)
+            .unwrap();
+        assert!(w.widths[first_bu] > 0);
+    }
+
+    #[test]
+    fn hybrid_workload_simulates_faster_than_pure_top_down() {
+        use crate::instrument::{instrument, SimVariant};
+        use mic_graph::stats::LocalityWindows;
+        use mic_sim::{simulate, Machine, Policy};
+        let g = rmat(12, 16, RmatProbs::graph500(), 7);
+        let win = LocalityWindows::default();
+        let pol = Policy::OmpDynamic { chunk: 64 };
+        let m = Machine::knf();
+        let hybrid = instrument_hybrid(&g, 0, win, Hybrid::default()).regions(pol);
+        let layered = instrument(
+            &g,
+            0,
+            win,
+            SimVariant::Block {
+                block: 32,
+                relaxed: true,
+            },
+        )
+        .regions(pol);
+        let t = 61;
+        let h = simulate(&m, t, &hybrid).cycles;
+        let l = simulate(&m, t, &layered).cycles;
+        assert!(
+            h < l,
+            "direction optimization should win on scale-free: hybrid {h} vs layered {l}"
+        );
     }
 }

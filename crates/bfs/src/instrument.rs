@@ -80,7 +80,12 @@ pub fn instrument(
     BfsWorkload { level_work, widths }
 }
 
-fn vertex_work(g: &Csr, v: VertexId, windows: LocalityWindows, variant: SimVariant) -> Work {
+pub(crate) fn vertex_work(
+    g: &Csr,
+    v: VertexId,
+    windows: LocalityWindows,
+    variant: SimVariant,
+) -> Work {
     let deg = g.degree(v) as f64;
     let (mut l1, mut l2, mut dram) = (0.0f64, 0.0f64, 0.0f64);
     for &w in g.neighbors(v) {

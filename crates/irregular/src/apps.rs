@@ -39,6 +39,40 @@ fn pagerank_step(
     });
 }
 
+/// Sequential PageRank, bit-identical to [`pagerank`] under any model and
+/// thread count: the parallel step only splits the vertex range, and each
+/// vertex's update reads the previous vector alone, so the arithmetic
+/// (and its order) is the same.
+pub fn pagerank_seq(g: &Csr, damping: f64, tol: f64, max_iters: usize) -> (Vec<f64>, usize) {
+    let n = g.num_vertices();
+    assert!(n > 0, "pagerank needs at least one vertex");
+    assert!((0.0..1.0).contains(&damping));
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for it in 1..=max_iters {
+        let nf = n as f64;
+        let dangling: f64 = g
+            .vertices()
+            .filter(|&v| g.degree(v) == 0)
+            .map(|v| rank[v as usize])
+            .sum();
+        let base = (1.0 - damping) / nf + damping * dangling / nf;
+        for v in g.vertices() {
+            let mut sum = 0.0;
+            for &w in g.neighbors(v) {
+                sum += rank[w as usize] / g.degree(w) as f64;
+            }
+            next[v as usize] = base + damping * sum;
+        }
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < tol {
+            return (rank, it);
+        }
+    }
+    (rank, max_iters)
+}
+
 /// PageRank by power iteration until the L1 change drops below `tol` (or
 /// `max_iters`). Returns the ranks and the number of iterations run.
 pub fn pagerank(
@@ -160,6 +194,18 @@ mod tests {
         let g = b.build();
         let (r, _) = pagerank(&pool(), &g, 0.85, 1e-10, 200, OMP);
         assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pagerank_seq_is_bit_identical_to_parallel() {
+        let g = erdos_renyi_gnm(400, 1600, 9);
+        let (want, want_it) = pagerank_seq(&g, 0.85, 1e-10, 300);
+        for t in [1, 3, 7] {
+            let pool = ThreadPool::new(t);
+            let (got, it) = pagerank(&pool, &g, 0.85, 1e-10, 300, OMP);
+            assert_eq!(got, want, "t = {t}");
+            assert_eq!(it, want_it);
+        }
     }
 
     #[test]

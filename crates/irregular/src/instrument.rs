@@ -63,6 +63,75 @@ impl IrregularWorkload {
     }
 }
 
+/// Simulator-facing workload of a converged PageRank run: the same
+/// per-vertex pull sweep repeated for the native iteration count. Unlike
+/// the microbenchmark's `iter` knob, every power iteration re-reads the
+/// whole rank vector, so each region pays the real locality classes.
+#[derive(Clone)]
+pub struct PagerankWorkload {
+    pub vertex_work: Arc<Vec<Work>>,
+    /// Iterations the native run took to converge (the region count).
+    pub iters: usize,
+}
+
+/// Build the PageRank workload from a native [`crate::apps::pagerank_seq`]
+/// run to convergence.
+pub fn instrument_pagerank(
+    g: &Csr,
+    windows: LocalityWindows,
+    damping: f64,
+    tol: f64,
+    max_iters: usize,
+) -> PagerankWorkload {
+    let (_, iters) = crate::apps::pagerank_seq(g, damping, tol, max_iters);
+    let work = g
+        .vertices()
+        .map(|v| {
+            let deg = g.degree(v) as f64;
+            let (mut l1, mut l2, mut dram) = (0.0f64, 0.0f64, 0.0f64);
+            for &w in g.neighbors(v) {
+                match gap_class(v, w, windows) {
+                    MemClass::L1 => l1 += 1.0,
+                    MemClass::L2 => l2 += 1.0,
+                    MemClass::Dram => dram += 1.0,
+                }
+            }
+            Work {
+                // Loop control, rank + degree load per neighbor, the store,
+                // and this vertex's share of the delta/dangling reductions.
+                issue: 10.0 + 3.0 * deg,
+                l1: l1 + 1.0,
+                l2: l2 + deg / 16.0, // prefetched adjacency stream
+                dram,
+                // Divide + add per neighbor, base blend, |Δ| contribution.
+                flops: 2.0 * deg + 5.0,
+                atomics: 0.0,
+            }
+        })
+        .collect();
+    PagerankWorkload {
+        vertex_work: Arc::new(work),
+        iters,
+    }
+}
+
+impl PagerankWorkload {
+    /// One region per power iteration under `policy`, each with a serial
+    /// prefix for the convergence test and buffer swap (the reductions
+    /// themselves are charged to the vertices).
+    pub fn regions(&self, policy: Policy) -> Vec<Region> {
+        (0..self.iters)
+            .map(|_| {
+                Region::shared(Arc::clone(&self.vertex_work), policy).with_serial_pre(Work {
+                    issue: 150.0,
+                    l1: 8.0,
+                    ..Default::default()
+                })
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +203,31 @@ mod tests {
         let w = instrument(&g, LocalityWindows::default(), 3);
         assert_eq!(w.iter_work.len(), g.num_vertices());
         assert!(w.iter_work.iter().all(|x| x.is_valid()));
+    }
+
+    #[test]
+    fn pagerank_workload_replays_native_iterations() {
+        use mic_graph::generators::{rmat, RmatProbs};
+        let g = rmat(10, 8, RmatProbs::graph500(), 3);
+        let w = instrument_pagerank(&g, LocalityWindows::default(), 0.85, 1e-8, 200);
+        let (_, native_iters) = crate::apps::pagerank_seq(&g, 0.85, 1e-8, 200);
+        assert_eq!(w.iters, native_iters);
+        assert!(w.iters > 1 && w.iters < 200, "iters {}", w.iters);
+        assert_eq!(w.vertex_work.len(), g.num_vertices());
+        assert!(w.vertex_work.iter().all(|x| x.is_valid()));
+        let regions = w.regions(Policy::OmpDynamic { chunk: 64 });
+        assert_eq!(regions.len(), w.iters);
+    }
+
+    #[test]
+    fn pagerank_workload_scales_sublinearly() {
+        use mic_graph::generators::{rmat, RmatProbs};
+        use mic_sim::simulate;
+        let g = rmat(11, 16, RmatProbs::graph500(), 5);
+        let m = Machine::knf();
+        let w = instrument_pagerank(&g, LocalityWindows::default(), 0.85, 1e-8, 200);
+        let regions = w.regions(Policy::OmpDynamic { chunk: 100 });
+        let s = simulate(&m, 1, &regions).cycles / simulate(&m, 61, &regions).cycles;
+        assert!(s > 2.0 && s < 61.0, "speedup {s}");
     }
 }

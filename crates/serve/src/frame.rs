@@ -347,6 +347,9 @@ pub fn encode_request(req: &Request) -> (u8, Vec<u8>) {
                 Kernel::Coloring => 0,
                 Kernel::Irregular => 1,
                 Kernel::Bfs => 2,
+                Kernel::PageRank => 3,
+                Kernel::Components => 4,
+                Kernel::HybridBfs => 5,
             });
             put_str(&mut buf, spec.graph.name());
             match spec.order {
@@ -417,10 +420,13 @@ pub fn decode_request(tag: u8, payload: &[u8]) -> Result<Request, (String, Strin
         0 => Kernel::Coloring,
         1 => Kernel::Irregular,
         2 => Kernel::Bfs,
+        3 => Kernel::PageRank,
+        4 => Kernel::Components,
+        5 => Kernel::HybridBfs,
         k => return Err(fail(format!("unknown kernel tag {k}"))),
     };
     let graph_name = c.str("graph").map_err(&fail)?;
-    let graph = PaperGraph::all()
+    let graph = PaperGraph::every()
         .into_iter()
         .find(|g| g.name() == graph_name)
         .ok_or_else(|| fail(format!("unknown graph {graph_name:?}")))?;
@@ -627,6 +633,9 @@ mod tests {
         let lines = [
             r#"{"id":"a","kernel":"coloring","graph":"pwtk","order":"random","seed":9,"runtime":"tbb","sched":"simple","grain":40,"threads":61,"scale":128,"iter":2}"#,
             r#"{"id":"b","kernel":"bfs","runtime":"cilk","grain":100,"threads":31,"scale":1}"#,
+            r#"{"id":"e","kernel":"pagerank","graph":"rmat-ef16","threads":61,"scale":64}"#,
+            r#"{"id":"f","kernel":"components","graph":"rmat-ef8","threads":31,"scale":64}"#,
+            r#"{"id":"g","kernel":"hybrid-bfs","graph":"rmat-ef16","threads":121,"scale":64}"#,
             r#"{"id":"c","op":"ping"}"#,
             r#"{"id":"d","op":"stats"}"#,
         ];

@@ -32,39 +32,58 @@
 //! usable). A `schema_version` this build does not understand is
 //! rejected by [`parse_response`], like the baseline loader.
 
+use mic_eval::exhibit::{self, KernelId};
 use mic_eval::graph::stats::LocalityWindows;
 use mic_eval::graph::suite::{PaperGraph, Scale};
 use mic_eval::json::Value;
 use mic_eval::obs::TraceCtx;
 use mic_eval::sim::{simulate, Machine, Policy};
-use mic_eval::workload_cache::{self, OrderTag};
+use mic_eval::workload_cache::OrderTag;
 
 /// Version stamp on every response line and on `BENCH_serve.json`.
 pub const SCHEMA_VERSION: u64 = 1;
 
-/// Which instrumented kernel a job simulates.
+/// Which instrumented kernel a job simulates: the simulable subset of the
+/// exhibit registry's [`KernelId`] set (everything but `Table`, which has
+/// no region sequence to serve). Names on the wire are the registry's
+/// stable kernel codes, so a serve job key and a registry exhibit agree
+/// on vocabulary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Kernel {
     Coloring,
     Irregular,
     Bfs,
+    PageRank,
+    Components,
+    HybridBfs,
 }
 
 impl Kernel {
-    pub fn name(self) -> &'static str {
+    /// The registry-side id this kernel dispatches through.
+    pub fn id(self) -> KernelId {
         match self {
-            Kernel::Coloring => "coloring",
-            Kernel::Irregular => "irregular",
-            Kernel::Bfs => "bfs",
+            Kernel::Coloring => KernelId::Coloring,
+            Kernel::Irregular => KernelId::Irregular,
+            Kernel::Bfs => KernelId::Bfs,
+            Kernel::PageRank => KernelId::PageRank,
+            Kernel::Components => KernelId::Components,
+            Kernel::HybridBfs => KernelId::HybridBfs,
         }
     }
 
+    pub fn name(self) -> &'static str {
+        self.id().code()
+    }
+
     pub fn parse(s: &str) -> Option<Kernel> {
-        match s {
-            "coloring" => Some(Kernel::Coloring),
-            "irregular" => Some(Kernel::Irregular),
-            "bfs" => Some(Kernel::Bfs),
-            _ => None,
+        match KernelId::parse(s)? {
+            KernelId::Table => None,
+            KernelId::Coloring => Some(Kernel::Coloring),
+            KernelId::Irregular => Some(Kernel::Irregular),
+            KernelId::Bfs => Some(Kernel::Bfs),
+            KernelId::PageRank => Some(Kernel::PageRank),
+            KernelId::Components => Some(Kernel::Components),
+            KernelId::HybridBfs => Some(Kernel::HybridBfs),
         }
     }
 }
@@ -111,28 +130,15 @@ impl JobSpec {
         if self.delay_ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
         }
-        let win = LocalityWindows::default();
-        let regions = match self.kernel {
-            Kernel::Coloring => workload_cache::coloring(self.graph, self.scale, self.order, win)
-                .regions(self.policy),
-            Kernel::Irregular => {
-                vec![
-                    workload_cache::irregular(self.graph, self.scale, self.order, win, self.iter)
-                        .region(self.policy),
-                ]
-            }
-            Kernel::Bfs => workload_cache::bfs(
-                self.graph,
-                self.scale,
-                self.order,
-                win,
-                mic_eval::bfs::instrument::SimVariant::Block {
-                    block: 32,
-                    relaxed: true,
-                },
-            )
-            .regions(self.policy),
-        };
+        let regions = exhibit::kernel_regions(
+            self.kernel.id(),
+            self.graph,
+            self.scale,
+            self.order,
+            LocalityWindows::default(),
+            self.iter,
+            self.policy,
+        );
         simulate(&Machine::knf(), self.threads, &regions).cycles
     }
 }
@@ -277,11 +283,12 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
     let kernel_name = field_str(&doc, "kernel", "").map_err(&fail)?;
     let kernel = Kernel::parse(kernel_name).ok_or_else(|| {
         fail(format!(
-            "field \"kernel\" must be one of coloring|irregular|bfs, got {kernel_name:?}"
+            "field \"kernel\" must be one of \
+             coloring|irregular|bfs|pagerank|components|hybrid-bfs, got {kernel_name:?}"
         ))
     })?;
     let graph_name = field_str(&doc, "graph", "hood").map_err(&fail)?;
-    let graph = PaperGraph::all()
+    let graph = PaperGraph::every()
         .into_iter()
         .find(|g| g.name() == graph_name)
         .ok_or_else(|| fail(format!("unknown graph {graph_name:?}")))?;
@@ -584,6 +591,27 @@ mod tests {
         assert_eq!(spec.policy, Policy::OmpDynamic { chunk: 100 });
         assert_eq!(spec.threads, 121);
         assert_eq!(spec.scale, Scale::Fraction(64));
+    }
+
+    #[test]
+    fn scale_free_kernels_parse_with_rmat_graphs() {
+        for (kernel, want) in [
+            ("pagerank", Kernel::PageRank),
+            ("components", Kernel::Components),
+            ("hybrid-bfs", Kernel::HybridBfs),
+        ] {
+            let line = format!(r#"{{"id":"k","kernel":"{kernel}","graph":"rmat-ef16"}}"#);
+            let Request::Simulate { spec, .. } = parse_request(&line).unwrap() else {
+                panic!("expected simulate");
+            };
+            assert_eq!(spec.kernel, want);
+            assert_eq!(spec.graph, PaperGraph::RmatEf16);
+            // The registry's kernel code is the wire name.
+            assert_eq!(spec.kernel.name(), kernel);
+            assert!(spec.key().starts_with(&format!("{kernel}/rmat-ef16/")));
+        }
+        // "table" is a registry kernel but has nothing to simulate.
+        assert!(Kernel::parse("table").is_none());
     }
 
     #[test]
